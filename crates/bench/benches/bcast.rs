@@ -1,0 +1,29 @@
+//! Criterion bench: the LBCAST algorithm variants over a 6-rank row
+//! communicator, backing the broadcast-selection discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpl_comm::{panel_bcast, BcastAlgo, Universe};
+
+fn bench_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("panel_bcast");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    let len = 64 * 1024;
+    for algo in BcastAlgo::ALL {
+        g.throughput(Throughput::Bytes((len * 8) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &(), |bch, _| {
+            bch.iter(|| {
+                Universe::run(6, |comm| {
+                    let mut buf = vec![1.0f64; len];
+                    panel_bcast(&comm, algo, 0, &mut buf);
+                    buf[len - 1]
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bcast);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench: multi-threaded panel factorization (the Fig 5 kernel)
+//! at several panel heights and thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpl_blas::mat::Matrix;
+use hpl_comm::Universe;
+use rhpl_core::fact::{panel_factor, FactInput};
+use rhpl_core::{FactOpts, FactVariant, MatGen};
+
+fn bench_fact(c: &mut Criterion) {
+    let nb = 64usize;
+    let mut g = c.benchmark_group("fact_mt");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for &m in &[512usize, 2048] {
+        for &threads in &[1usize, 2, 4] {
+            let flops = (m * nb * nb) as u64;
+            g.throughput(Throughput::Elements(flops));
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("m{m}_t{threads}")),
+                &(),
+                |bch, _| {
+                    bch.iter(|| {
+                        Universe::run(1, |comm| {
+                            let pool = hpl_threads::Pool::new(threads);
+                            let gen = MatGen::new(3, m);
+                            let mut panel = Matrix::from_fn(m, nb, |i, j| gen.entry(i, j));
+                            let inp = FactInput {
+                                col_comm: &comm,
+                                rows: rhpl_core::dist::Axis { n: m, nb, iproc: 0, nprocs: 1 },
+                                k0: 0,
+                                jb: nb,
+                                lb: 0,
+                                is_curr: true,
+                                pool: &pool,
+                                opts: FactOpts {
+                                    variant: FactVariant::Right,
+                                    ndiv: 2,
+                                    nbmin: 16,
+                                    threads,
+                                },
+                            };
+                            let mut v = panel.view_mut();
+                            panel_factor(&inp, &mut v).expect("nonsingular");
+                        });
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fact);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: the row-swap phase (plan building + scatterv +
+//! allgatherv + kernels) over a 4-rank process column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpl_blas::mat::Matrix;
+use hpl_comm::Universe;
+use rhpl_core::dist::Axis;
+use rhpl_core::swap::{row_swap, ColRange, RowSwapAlgo, SwapPlan};
+
+fn bench_rowswap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row_swap");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    let p = 4usize;
+    let nb = 32usize;
+    for &cols in &[64usize, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("w{cols}")), &(), |bch, _| {
+            bch.iter(|| {
+                Universe::run(p, |comm| {
+                    let n = 512usize;
+                    let rows = Axis { n, nb, iproc: comm.rank(), nprocs: p };
+                    let mloc = rows.local_len();
+                    let mut a = Matrix::from_fn(mloc, cols, |i, j| (i * cols + j) as f64);
+                    // Pivots: reverse-ish pattern exercising all ranks.
+                    let ipiv: Vec<usize> = (0..nb).map(|k| k + (n - nb - k) / 2).collect();
+                    let plan = SwapPlan::build(0, nb, &ipiv);
+                    let mut av = a.view_mut();
+                    let u = row_swap(
+                        &comm,
+                        rows,
+                        &plan,
+                        0,
+                        &mut av,
+                        ColRange { start: 0, end: cols },
+                        RowSwapAlgo::Ring,
+                    );
+                    u.get(0, 0)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rowswap);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! §III.B in-text anchor — CPU core time sharing.
+//!
+//! Prints the thread-binding table the rocHPL launch wrapper computes for
+//! node-local grids on a 64-core socket: every FACT phase uses
+//! `P + C̄ = P + (C - PQ)` cores via `T = 1 + C̄/P` threads per
+//! participating rank, including the paper's worked 2x4 example (42 idle
+//! cores without sharing, none with it).
+
+use hpl_bench::{arg_value, emit_json, row};
+use hpl_threads::{fact_cores, max_core_sharing, time_shared_bindings};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct GridRow {
+    p: usize,
+    q: usize,
+    threads_per_rank: usize,
+    fact_cores: usize,
+    idle_during_fact: usize,
+    max_sharing: usize,
+}
+
+fn main() {
+    let cores: usize = arg_value("--cores").unwrap_or(64);
+    println!("CPU core time sharing on a {cores}-core socket (paper SIII.B)");
+    println!("T = 1 + (C - PQ)/P threads per rank; every FACT uses P + C-PQ cores\n");
+    let widths = [8usize, 8, 12, 12, 10];
+    println!("{}", row(&["grid", "T", "FACT cores", "idle cores", "sharing"], &widths));
+    let mut rows = Vec::new();
+    for (p, q) in [(8usize, 1usize), (4, 2), (2, 4), (1, 8)] {
+        let b = time_shared_bindings(p, q, cores).expect("valid grid");
+        let t = b[0].threads();
+        let used = fact_cores(&b, p, 0);
+        let idle = cores - used;
+        let share = max_core_sharing(&b, cores);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{p}x{q}"),
+                    format!("{t}"),
+                    format!("{used}"),
+                    format!("{idle}"),
+                    format!("{share}x"),
+                ],
+                &widths
+            )
+        );
+        rows.push(GridRow {
+            p,
+            q,
+            threads_per_rank: t,
+            fact_cores: used,
+            idle_during_fact: idle,
+            max_sharing: share,
+        });
+    }
+    println!("\nwithout sharing (8 cores per rank, 2x4 grid): 2 ranks x 8 = 16 FACT");
+    println!("cores + 6 idle root cores => 42 idle cores, the paper's example.");
+    emit_json("core_binding", &rows);
+}

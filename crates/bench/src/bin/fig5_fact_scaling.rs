@@ -1,0 +1,127 @@
+//! Fig 5 — multi-threading performance of the FACT phase.
+//!
+//! Measures the GFLOPS of the panel factorization of an `M x NB` matrix on
+//! a single process (no MPI pivot exchange time, as in the paper's test)
+//! for a range of `M` (multiples of `NB`) and thread counts, using the
+//! recursive right-looking factorization with two subdivisions and base
+//! block 16 — the paper's exact configuration, scaled down (`NB = 128` by
+//! default instead of 512, and thread counts up to the host's cores
+//! instead of 64; pass `--nb`/`--threads-max` to change).
+//!
+//! Pass `--model` to print the calibrated 64-core Frontier model surface at
+//! the paper's `NB = 512` instead of measuring.
+
+use std::time::Instant;
+
+use hpl_bench::{arg_value, emit_json, has_flag, row};
+use hpl_comm::Universe;
+use hpl_sim::FactModel;
+use rhpl_core::fact::{panel_factor, FactInput};
+use rhpl_core::{FactOpts, FactVariant};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    m: usize,
+    threads: usize,
+    gflops: f64,
+}
+
+fn measure(nb: usize, m: usize, threads: usize, reps: usize) -> f64 {
+    use hpl_blas::mat::Matrix;
+    let flops = m as f64 * (nb * nb) as f64 - (nb * nb * nb) as f64 / 3.0;
+    let out = Universe::run(1, |comm| {
+        let pool = hpl_threads::Pool::new(threads);
+        let mut best = f64::INFINITY;
+        for rep in 0..reps {
+            // Fresh random panel per repetition.
+            let gen = rhpl_core::MatGen::new(7 + rep as u64, m);
+            let mut panel = Matrix::from_fn(m, nb, |i, j| gen.entry(i, j));
+            let inp = FactInput {
+                col_comm: &comm,
+                rows: rhpl_core::dist::Axis { n: m, nb, iproc: 0, nprocs: 1 },
+                k0: 0,
+                jb: nb,
+                lb: 0,
+                is_curr: true,
+                pool: &pool,
+                opts: FactOpts {
+                    variant: FactVariant::Right,
+                    ndiv: 2,
+                    nbmin: 16,
+                    threads,
+                },
+            };
+            let t0 = Instant::now();
+            let mut v = panel.view_mut();
+            panel_factor(&inp, &mut v).expect("random panel is nonsingular");
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    });
+    flops / out[0] / 1e9
+}
+
+fn main() {
+    if has_flag("--model") {
+        model_table();
+        return;
+    }
+    let nb: usize = arg_value("--nb").unwrap_or(128);
+    let tmax: usize = arg_value("--threads-max")
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4));
+    let reps: usize = arg_value("--reps").unwrap_or(3);
+    let threads: Vec<usize> =
+        [1usize, 2, 4, 8, 16, 32, 64].into_iter().filter(|&t| t <= tmax).collect();
+    let ms: Vec<usize> = [2, 4, 8, 16, 32, 64].iter().map(|&k| k * nb).collect();
+
+    println!("Fig 5 (measured): FACT GFLOPS of an M x {nb} panel, recursive right-looking");
+    println!("(paper: NB = 512, 1..64 cores of a Frontier EPYC; here scaled to this host)");
+    let cores = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    println!("host parallelism: {cores} hardware thread(s)");
+    if cores == 1 {
+        println!("NOTE: on a single-core host, threads time-slice — measured numbers can");
+        println!("only show the orchestration overhead; the Fig 5 scaling *shape* is");
+        println!("carried by the calibrated model (--model).");
+    }
+    let mut widths = vec![8usize];
+    widths.extend(std::iter::repeat_n(9, threads.len()));
+    let mut header = vec!["M".to_string()];
+    header.extend(threads.iter().map(|t| format!("T={t}")));
+    println!("{}", row(&header, &widths));
+    let mut points = Vec::new();
+    for &m in &ms {
+        let mut cells = vec![format!("{m}")];
+        for &t in &threads {
+            let g = measure(nb, m, t, reps);
+            points.push(Point { m, threads: t, gflops: g });
+            cells.push(format!("{g:.2}"));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+    emit_json("fig5_measured", &points);
+}
+
+fn model_table() {
+    let f = FactModel::default();
+    let nb = 512usize;
+    println!("Fig 5 (model): FACT GFLOPS, NB = 512, Frontier 64-core EPYC model");
+    let threads = [1usize, 2, 4, 8, 16, 32, 64];
+    let ms: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128].iter().map(|&k| k * nb).collect();
+    let mut widths = vec![8usize];
+    widths.extend(std::iter::repeat_n(9, threads.len()));
+    let mut header = vec!["M".to_string()];
+    header.extend(threads.iter().map(|t| format!("T={t}")));
+    println!("{}", row(&header, &widths));
+    let mut points = Vec::new();
+    for &m in &ms {
+        let mut cells = vec![format!("{m}")];
+        for &t in &threads {
+            let g = f.gflops(t, m as f64);
+            points.push(Point { m, threads: t, gflops: g });
+            cells.push(format!("{g:.1}"));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+    emit_json("fig5_model", &points);
+}

@@ -1,0 +1,106 @@
+//! Fig 7 — per-iteration timing breakdown of a single-node run.
+//!
+//! Default: the calibrated Frontier model at the paper's configuration
+//! (`N = 256000`, `NB = 512`, `P x Q = 4 x 2`, 50-50 split), printing the
+//! same five series the paper plots — total iteration time, GPU active
+//! time, and the stacked FACT / MPI / transfer components — plus the
+//! summary statistics the paper quotes (regime boundary, overall score,
+//! hidden-communication fractions).
+//!
+//! Pass `--functional` to instead *execute* the real distributed benchmark
+//! at a scaled-down size (`--n`, `--nb`, `--p`, `--q`) and print the
+//! measured per-iteration phases from the diagonal-owner rank.
+
+use hpl_bench::{arg_value, emit_json, has_flag, row};
+use hpl_comm::Universe;
+use hpl_sim::{NodeModel, Pipeline, RunParams, Simulator};
+use rhpl_core::config::Schedule;
+use rhpl_core::{run_hpl, HplConfig};
+
+fn main() {
+    if has_flag("--functional") {
+        functional();
+    } else {
+        model();
+    }
+}
+
+fn model() {
+    let sim = Simulator::new(NodeModel::frontier(), RunParams::paper_single_node());
+    let r = sim.run(Pipeline::SplitUpdate);
+    println!("Fig 7 (model): per-iteration breakdown, N=256000 NB=512 4x2, split 50%");
+    println!("paper anchors: 153 TFLOPS overall, regime change near iteration 250,");
+    println!("iteration time == GPU time in the first regime\n");
+    let widths = [6usize, 10, 10, 10, 10, 10];
+    println!("{}", row(&["iter", "total ms", "gpu ms", "fact ms", "mpi ms", "xfer ms"], &widths));
+    for it in (0..r.iters.len()).step_by(25).chain([r.iters.len() - 1]) {
+        let x = &r.iters[it];
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}", x.iter),
+                    format!("{:.2}", x.time * 1e3),
+                    format!("{:.2}", x.gpu_active * 1e3),
+                    format!("{:.2}", x.fact * 1e3),
+                    format!("{:.2}", x.mpi * 1e3),
+                    format!("{:.2}", x.transfer * 1e3),
+                ],
+                &widths
+            )
+        );
+    }
+    let boundary = r.iters.iter().position(|x| x.time > x.gpu_active * 1.02);
+    println!("\nscore:                  {:.1} TFLOPS (paper: 153)", r.tflops);
+    println!("regime boundary:        iteration {:?} of {} (paper: ~250 of 500)", boundary, r.iters.len());
+    println!("hidden-iteration frac:  {:.2} (paper: ~0.5)", r.hidden_iter_fraction);
+    println!("hidden-time frac:       {:.2} (paper: ~0.75)", r.hidden_time_fraction);
+    emit_json("fig7_model", &r);
+}
+
+fn functional() {
+    let n: usize = arg_value("--n").unwrap_or(768);
+    let nb: usize = arg_value("--nb").unwrap_or(32);
+    let p: usize = arg_value("--p").unwrap_or(2);
+    let q: usize = arg_value("--q").unwrap_or(2);
+    let mut cfg = HplConfig::new(n, nb, p, q);
+    cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
+    cfg.fact.threads = 2;
+    println!("Fig 7 (functional): measured per-iteration phases, N={n} NB={nb} {p}x{q}");
+    let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, &cfg).expect("nonsingular"));
+    // Merge: per-phase maximum across ranks — the critical-path view. (With
+    // look-ahead, the FACT of panel i+1 runs during iteration i on the next
+    // panel's column, so no single rank's record holds every phase.)
+    let mut merged = Vec::new();
+    for it in 0..cfg.iterations() {
+        let mut rec = rhpl_core::IterTiming { iter: it, ..Default::default() };
+        for r in &results {
+            let t = r.timings[it];
+            rec.total = rec.total.max(t.total);
+            rec.fact = rec.fact.max(t.fact);
+            rec.comm = rec.comm.max(t.comm);
+            rec.transfer = rec.transfer.max(t.transfer);
+            rec.update = rec.update.max(t.update);
+        }
+        merged.push(rec);
+    }
+    let widths = [6usize, 10, 10, 10, 10];
+    println!("{}", row(&["iter", "total ms", "fact ms", "comm ms", "xfer ms"], &widths));
+    for t in &merged {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}", t.iter),
+                    format!("{:.3}", t.total * 1e3),
+                    format!("{:.3}", t.fact * 1e3),
+                    format!("{:.3}", t.comm * 1e3),
+                    format!("{:.3}", t.transfer * 1e3),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\nwall: {:.3} s, {:.2} GFLOPS", results[0].wall, results[0].gflops);
+    emit_json("fig7_functional", &merged.iter().map(|t| (t.iter, t.total, t.fact, t.comm, t.transfer)).collect::<Vec<_>>());
+}

@@ -1,0 +1,28 @@
+//! Diagnostic: fork-join region + barrier overhead of the FACT thread
+//! pool, per region width. On a multi-core host this is the fixed cost the
+//! §III.A multithreading must amortize per panel column; on a single-core
+//! host it also quantifies the time-slicing penalty that makes *measured*
+//! thread scaling impossible (see fig5_fact_scaling's note).
+
+use std::time::Instant;
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    println!("host parallelism: {cores}");
+    let pool = hpl_threads::Pool::new(8);
+    for t in [1usize, 2, 4, 8] {
+        let iters = 1000;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            pool.run(t, |ctx| {
+                ctx.barrier();
+                ctx.reduce_maxloc(1.0, ctx.thread_id());
+                ctx.barrier();
+            });
+        }
+        println!(
+            "T={t}: {:.2} us per region (4 barrier crossings each)",
+            t0.elapsed().as_secs_f64() / iters as f64 * 1e6
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! # hpl-bench
+//!
+//! The benchmark harness of the rhpl workspace: one binary per figure of
+//! the paper (see DESIGN.md's experiment index) plus Criterion
+//! micro-benchmarks for the kernels. Each binary prints a human-readable
+//! table; pass `--json` to also emit the series as JSON on stdout for
+//! post-processing.
+
+
+// Lint policy: indexed loops are used deliberately where they mirror the
+// reference BLAS/HPL loop structure, and several kernels take the full
+// argument list their BLAS counterparts do.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::too_many_arguments)]
+
+use std::fmt::Display;
+
+/// Tiny argv helper: returns true if `flag` is present.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Tiny argv helper: value following `key`, parsed.
+pub fn arg_value<T: std::str::FromStr>(key: &str) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+/// Prints a named JSON document when `--json` was passed.
+pub fn emit_json<T: serde::Serialize>(name: &str, value: &T) {
+    if has_flag("--json") {
+        println!(
+            "JSON {name} {}",
+            serde_json::to_string(value).expect("serializable bench output")
+        );
+    }
+}
+
+/// Renders one formatted table row (right-aligned cells).
+pub fn row<D: Display>(cells: &[D], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_formats_right_aligned() {
+        let r = row(&["a", "bb"], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

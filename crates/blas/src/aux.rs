@@ -1,0 +1,166 @@
+//! LAPACK-style auxiliary routines used throughout HPL: matrix copy,
+//! norms, and row interchanges (DLASWP).
+
+use crate::mat::{MatMut, MatRef};
+
+/// Which norm [`dlange`] computes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Norm {
+    /// Maximum absolute element value.
+    Max,
+    /// Maximum absolute column sum (the 1-norm).
+    One,
+    /// Maximum absolute row sum (the infinity norm).
+    Inf,
+}
+
+/// Copies `a` into `b` element-wise. Panics on shape mismatch.
+pub fn dlacpy(a: MatRef<'_>, b: &mut MatMut<'_>) {
+    assert_eq!(a.rows(), b.rows(), "dlacpy: row mismatch");
+    assert_eq!(a.cols(), b.cols(), "dlacpy: col mismatch");
+    for j in 0..a.cols() {
+        b.col_mut(j).copy_from_slice(a.col(j));
+    }
+}
+
+/// Copies `a` transposed into `b` (`b[j][i] = a[i][j]`).
+///
+/// Used when assembling the broadcast `L` panel in transposed layout so the
+/// trailing DGEMM reads it with stride-1 access.
+pub fn dlatcpy(a: MatRef<'_>, b: &mut MatMut<'_>) {
+    assert_eq!(a.rows(), b.cols(), "dlatcpy: shape mismatch");
+    assert_eq!(a.cols(), b.rows(), "dlatcpy: shape mismatch");
+    for j in 0..a.cols() {
+        let col = a.col(j);
+        for (i, &v) in col.iter().enumerate() {
+            b.set(j, i, v);
+        }
+    }
+}
+
+/// Computes a norm of `a` (LAPACK DLANGE).
+pub fn dlange(norm: Norm, a: MatRef<'_>) -> f64 {
+    match norm {
+        Norm::Max => {
+            let mut m = 0.0f64;
+            for j in 0..a.cols() {
+                for &v in a.col(j) {
+                    m = m.max(v.abs());
+                }
+            }
+            m
+        }
+        Norm::One => {
+            let mut m = 0.0f64;
+            for j in 0..a.cols() {
+                let s: f64 = a.col(j).iter().map(|v| v.abs()).sum();
+                m = m.max(s);
+            }
+            m
+        }
+        Norm::Inf => {
+            let mut sums = vec![0.0f64; a.rows()];
+            for j in 0..a.cols() {
+                for (s, &v) in sums.iter_mut().zip(a.col(j)) {
+                    *s += v.abs();
+                }
+            }
+            sums.into_iter().fold(0.0, f64::max)
+        }
+    }
+}
+
+/// Applies a sequence of row interchanges to `a` (LAPACK DLASWP).
+///
+/// For `k` in `0..ipiv.len()`, swaps row `k` with row `ipiv[k]`
+/// (0-based, `ipiv[k] >= k`), in order. This matches the forward
+/// (`incx = 1`) direction of the reference routine.
+pub fn dlaswp(a: &mut MatMut<'_>, ipiv: &[usize]) {
+    for (k, &p) in ipiv.iter().enumerate() {
+        assert!(p < a.rows(), "dlaswp: pivot {p} out of {} rows", a.rows());
+        if p != k {
+            swap_rows(a, k, p);
+        }
+    }
+}
+
+/// Applies the interchanges of [`dlaswp`] in reverse order, undoing them.
+pub fn dlaswp_inv(a: &mut MatMut<'_>, ipiv: &[usize]) {
+    for (k, &p) in ipiv.iter().enumerate().rev() {
+        assert!(p < a.rows(), "dlaswp: pivot {p} out of {} rows", a.rows());
+        if p != k {
+            swap_rows(a, k, p);
+        }
+    }
+}
+
+/// Swaps rows `r1` and `r2` of `a`.
+pub fn swap_rows(a: &mut MatMut<'_>, r1: usize, r2: usize) {
+    if r1 == r2 {
+        return;
+    }
+    for j in 0..a.cols() {
+        let col = a.col_mut(j);
+        col.swap(r1, r2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Matrix;
+
+    #[test]
+    fn dlacpy_copies() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i + j * 10) as f64);
+        let mut b = Matrix::zeros(3, 2);
+        let mut bv = b.view_mut();
+        dlacpy(a.view(), &mut bv);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dlatcpy_transposes() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i * 10 + j) as f64);
+        let mut b = Matrix::zeros(2, 3);
+        let mut bv = b.view_mut();
+        dlatcpy(a.view(), &mut bv);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(b.get(j, i), a.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn dlange_norms() {
+        // [[1, -2], [-3, 4]]
+        let a = Matrix::from_vec(2, 2, vec![1.0, -3.0, -2.0, 4.0]);
+        assert_eq!(dlange(Norm::Max, a.view()), 4.0);
+        assert_eq!(dlange(Norm::One, a.view()), 6.0); // col sums: 4, 6
+        assert_eq!(dlange(Norm::Inf, a.view()), 7.0); // row sums: 3, 7
+    }
+
+    #[test]
+    fn dlaswp_roundtrip() {
+        let orig = Matrix::from_fn(5, 3, |i, j| (i * 100 + j) as f64);
+        let mut a = orig.clone();
+        let ipiv = vec![2usize, 4, 2, 3, 4];
+        let mut v = a.view_mut();
+        dlaswp(&mut v, &ipiv);
+        assert_ne!(a, orig);
+        let mut v = a.view_mut();
+        dlaswp_inv(&mut v, &ipiv);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn dlaswp_matches_manual_swaps() {
+        let mut a = Matrix::from_fn(4, 1, |i, _| i as f64);
+        let ipiv = vec![1usize, 1, 3];
+        let mut v = a.view_mut();
+        dlaswp(&mut v, &ipiv);
+        // swap(0,1) -> [1,0,2,3]; swap(1,1) no-op; swap(2,3) -> [1,0,3,2]
+        assert_eq!(a.as_slice(), &[1.0, 0.0, 3.0, 2.0]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Level-2 BLAS kernels: rank-1 update, matrix-vector product, triangular
+//! solve against a vector.
+
+use crate::mat::{MatMut, MatRef};
+use crate::{Diag, Trans, Uplo};
+
+/// Rank-1 update `A <- A + alpha * x * y^T`.
+///
+/// `x.len() == A.rows()`, `y.len() == A.cols()`. This is the inner kernel of
+/// the unblocked right-looking LU factorization.
+pub fn dger(alpha: f64, x: &[f64], y: &[f64], a: &mut MatMut<'_>) {
+    assert_eq!(x.len(), a.rows(), "dger: x length mismatch");
+    assert_eq!(y.len(), a.cols(), "dger: y length mismatch");
+    if alpha == 0.0 || a.is_empty() {
+        return;
+    }
+    for j in 0..a.cols() {
+        let ayj = alpha * y[j];
+        if ayj == 0.0 {
+            continue;
+        }
+        let col = a.col_mut(j);
+        for (ci, &xi) in col.iter_mut().zip(x) {
+            *ci += ayj * xi;
+        }
+    }
+}
+
+/// Matrix-vector product `y <- alpha * op(A) * x + beta * y`.
+pub fn dgemv(trans: Trans, alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+    let (m, n) = (a.rows(), a.cols());
+    match trans {
+        Trans::No => {
+            assert_eq!(x.len(), n, "dgemv: x length mismatch");
+            assert_eq!(y.len(), m, "dgemv: y length mismatch");
+            if beta != 1.0 {
+                for v in y.iter_mut() {
+                    *v *= beta;
+                }
+            }
+            for j in 0..n {
+                let axj = alpha * x[j];
+                if axj == 0.0 {
+                    continue;
+                }
+                let col = a.col(j);
+                for (yi, &aij) in y.iter_mut().zip(col) {
+                    *yi += axj * aij;
+                }
+            }
+        }
+        Trans::Yes => {
+            assert_eq!(x.len(), m, "dgemv: x length mismatch");
+            assert_eq!(y.len(), n, "dgemv: y length mismatch");
+            for (j, yj) in y.iter_mut().enumerate() {
+                let col = a.col(j);
+                let mut s = 0.0;
+                for (&aij, &xi) in col.iter().zip(x) {
+                    s += aij * xi;
+                }
+                *yj = alpha * s + beta * *yj;
+            }
+        }
+    }
+}
+
+/// Triangular solve `x <- op(A)^{-1} x` for a triangular `A`.
+///
+/// Used by the final back-substitution on the diagonal blocks.
+pub fn dtrsv(uplo: Uplo, trans: Trans, diag: Diag, a: MatRef<'_>, x: &mut [f64]) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "dtrsv: A must be square");
+    assert_eq!(x.len(), n, "dtrsv: x length mismatch");
+    match (uplo, trans) {
+        (Uplo::Lower, Trans::No) => {
+            // Forward substitution.
+            for j in 0..n {
+                if matches!(diag, Diag::NonUnit) {
+                    x[j] /= a.get(j, j);
+                }
+                let xj = x[j];
+                if xj != 0.0 {
+                    let col = a.col(j);
+                    for i in j + 1..n {
+                        x[i] -= xj * col[i];
+                    }
+                }
+            }
+        }
+        (Uplo::Upper, Trans::No) => {
+            // Backward substitution.
+            for j in (0..n).rev() {
+                if matches!(diag, Diag::NonUnit) {
+                    x[j] /= a.get(j, j);
+                }
+                let xj = x[j];
+                if xj != 0.0 {
+                    let col = a.col(j);
+                    for (i, xi) in x.iter_mut().enumerate().take(j) {
+                        *xi -= xj * col[i];
+                    }
+                }
+            }
+        }
+        (Uplo::Lower, Trans::Yes) => {
+            // Solve L^T x = b: backward over columns of L.
+            for j in (0..n).rev() {
+                let col = a.col(j);
+                let mut s = x[j];
+                for i in j + 1..n {
+                    s -= col[i] * x[i];
+                }
+                x[j] = match diag {
+                    Diag::Unit => s,
+                    Diag::NonUnit => s / col[j],
+                };
+            }
+        }
+        (Uplo::Upper, Trans::Yes) => {
+            // Solve U^T x = b: forward over columns of U.
+            for j in 0..n {
+                let col = a.col(j);
+                let mut s = x[j];
+                for (i, &xi) in x.iter().enumerate().take(j) {
+                    s -= col[i] * xi;
+                }
+                x[j] = match diag {
+                    Diag::Unit => s,
+                    Diag::NonUnit => s / col[j],
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Matrix;
+
+    #[test]
+    fn dger_rank1() {
+        let mut a = Matrix::zeros(3, 2);
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![10.0, 20.0];
+        let mut v = a.view_mut();
+        dger(0.5, &x, &y, &mut v);
+        assert_eq!(a.get(0, 0), 5.0);
+        assert_eq!(a.get(2, 1), 30.0);
+    }
+
+    #[test]
+    fn dgemv_notrans() {
+        // A = [[1, 2], [3, 4]]; y = A * [1, 1] = [3, 7].
+        let a = Matrix::from_vec(2, 2, vec![1.0, 3.0, 2.0, 4.0]);
+        let mut y = vec![100.0, 100.0];
+        dgemv(Trans::No, 1.0, a.view(), &[1.0, 1.0], 0.0, &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn dgemv_trans() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 3.0, 2.0, 4.0]);
+        let mut y = vec![0.0, 0.0];
+        dgemv(Trans::Yes, 1.0, a.view(), &[1.0, 1.0], 0.0, &mut y);
+        assert_eq!(y, vec![4.0, 6.0]); // A^T * [1,1]
+    }
+
+    fn tri_lower(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            if i > j {
+                0.1 * (i as f64 + 1.0) + j as f64
+            } else if i == j {
+                2.0 + i as f64
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn dtrsv_lower_solves() {
+        let n = 5;
+        let l = tri_lower(n);
+        let xtrue: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let mut b = vec![0.0; n];
+        dgemv(Trans::No, 1.0, l.view(), &xtrue, 0.0, &mut b);
+        dtrsv(Uplo::Lower, Trans::No, Diag::NonUnit, l.view(), &mut b);
+        for (got, want) in b.iter().zip(&xtrue) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn dtrsv_upper_solves() {
+        let n = 5;
+        let l = tri_lower(n);
+        // Use L^T as an upper-triangular matrix.
+        let u = Matrix::from_fn(n, n, |i, j| l.get(j, i));
+        let xtrue: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 + 1.0).collect();
+        let mut b = vec![0.0; n];
+        dgemv(Trans::No, 1.0, u.view(), &xtrue, 0.0, &mut b);
+        dtrsv(Uplo::Upper, Trans::No, Diag::NonUnit, u.view(), &mut b);
+        for (got, want) in b.iter().zip(&xtrue) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn dtrsv_transposed_variants() {
+        let n = 6;
+        let l = tri_lower(n);
+        let xtrue: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 2.0).collect();
+        // Solve L^T x = b where b = L^T xtrue.
+        let mut b = vec![0.0; n];
+        dgemv(Trans::Yes, 1.0, l.view(), &xtrue, 0.0, &mut b);
+        dtrsv(Uplo::Lower, Trans::Yes, Diag::NonUnit, l.view(), &mut b);
+        for (got, want) in b.iter().zip(&xtrue) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+        // Upper^T: U = L^T, solve U^T x = L x = b.
+        let u = Matrix::from_fn(n, n, |i, j| l.get(j, i));
+        let mut b2 = vec![0.0; n];
+        dgemv(Trans::No, 1.0, l.view(), &xtrue, 0.0, &mut b2);
+        dtrsv(Uplo::Upper, Trans::Yes, Diag::NonUnit, u.view(), &mut b2);
+        for (got, want) in b2.iter().zip(&xtrue) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn dtrsv_unit_diag_ignores_diagonal() {
+        let n = 4;
+        // Store garbage on the diagonal; Diag::Unit must ignore it.
+        let mut l = tri_lower(n);
+        let mut lu = l.clone();
+        for i in 0..n {
+            l.set(i, i, 1.0);
+            lu.set(i, i, 1234.5);
+        }
+        let xtrue = vec![1.0, -1.0, 2.0, 0.5];
+        let mut b = vec![0.0; n];
+        dgemv(Trans::No, 1.0, l.view(), &xtrue, 0.0, &mut b);
+        dtrsv(Uplo::Lower, Trans::No, Diag::Unit, lu.view(), &mut b);
+        for (got, want) in b.iter().zip(&xtrue) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Level-3 BLAS kernels: DGEMM and DTRSM.
+//!
+//! DGEMM is the kernel that dominates HPL's trailing update; it is
+//! implemented GotoBLAS-style with cache blocking, panel packing and an
+//! `MR x NR` register microkernel. DTRSM recurses on the triangular factor
+//! and delegates the rectangular updates to DGEMM, so it inherits its
+//! throughput.
+
+use crate::mat::{MatMut, MatRef};
+use crate::{Diag, Side, Trans, Uplo};
+
+/// Rows of the register microkernel tile.
+const MR: usize = 8;
+/// Columns of the register microkernel tile.
+const NR: usize = 4;
+/// Cache block in the `m` dimension (packed A panel height).
+const MC: usize = 256;
+/// Cache block in the `k` dimension (packed panel depth).
+const KC: usize = 256;
+/// Cache block in the `n` dimension (packed B panel width).
+const NC: usize = 2048;
+
+/// General matrix-matrix multiply `C <- alpha * op(A) * op(B) + beta * C`.
+///
+/// Dimensions: `op(A)` is `m x k`, `op(B)` is `k x n`, `C` is `m x n`.
+pub fn dgemm(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = match transa {
+        Trans::No => {
+            assert_eq!(a.rows(), m, "dgemm: op(A) rows != C rows");
+            a.cols()
+        }
+        Trans::Yes => {
+            assert_eq!(a.cols(), m, "dgemm: op(A) rows != C rows");
+            a.rows()
+        }
+    };
+    match transb {
+        Trans::No => {
+            assert_eq!(b.rows(), k, "dgemm: op(B) rows != op(A) cols");
+            assert_eq!(b.cols(), n, "dgemm: op(B) cols != C cols");
+        }
+        Trans::Yes => {
+            assert_eq!(b.cols(), k, "dgemm: op(B) rows != op(A) cols");
+            assert_eq!(b.rows(), n, "dgemm: op(B) cols != C cols");
+        }
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == 0.0 || k == 0 {
+        scale_c(beta, c);
+        return;
+    }
+
+    // Workspaces for packed panels. Allocated per call; HPL reuses large
+    // updates so the allocation cost is negligible relative to the O(mnk)
+    // arithmetic.
+    let mut apack = vec![0.0f64; MC.min(round_up(m, MR)) * KC.min(k)];
+    let mut bpack = vec![0.0f64; KC.min(k) * NC.min(round_up(n, NR))];
+
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(transb, b, pc, jc, kc, nc, &mut bpack);
+            // beta applies only on the first k-panel; afterwards accumulate.
+            let beta_eff = if pc == 0 { beta } else { 1.0 };
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(transa, a, ic, pc, mc, kc, &mut apack);
+                macro_kernel(
+                    mc,
+                    nc,
+                    kc,
+                    alpha,
+                    &apack,
+                    &bpack,
+                    beta_eff,
+                    &mut c.submatrix_mut(ic, jc, mc, nc),
+                );
+            }
+        }
+    }
+}
+
+#[inline]
+fn round_up(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+fn scale_c(beta: f64, c: &mut MatMut<'_>) {
+    if beta == 1.0 {
+        return;
+    }
+    for j in 0..c.cols() {
+        if beta == 0.0 {
+            c.col_mut(j).fill(0.0);
+        } else {
+            for v in c.col_mut(j) {
+                *v *= beta;
+            }
+        }
+    }
+}
+
+/// Packs an `mc x kc` block of `op(A)` starting at `(ic, pc)` into
+/// MR-row strips, each strip stored k-major, zero-padded to MR.
+fn pack_a(transa: Trans, a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, out: &mut [f64]) {
+    let mut off = 0;
+    for i0 in (0..mc).step_by(MR) {
+        let mr = MR.min(mc - i0);
+        for p in 0..kc {
+            for i in 0..MR {
+                out[off + i] = if i < mr {
+                    match transa {
+                        Trans::No => a.get(ic + i0 + i, pc + p),
+                        Trans::Yes => a.get(pc + p, ic + i0 + i),
+                    }
+                } else {
+                    0.0
+                };
+            }
+            off += MR;
+        }
+    }
+}
+
+/// Packs a `kc x nc` block of `op(B)` starting at `(pc, jc)` into NR-column
+/// strips, each strip stored k-major, zero-padded to NR.
+fn pack_b(transb: Trans, b: MatRef<'_>, pc: usize, jc: usize, kc: usize, nc: usize, out: &mut [f64]) {
+    let mut off = 0;
+    for j0 in (0..nc).step_by(NR) {
+        let nr = NR.min(nc - j0);
+        for p in 0..kc {
+            for j in 0..NR {
+                out[off + j] = if j < nr {
+                    match transb {
+                        Trans::No => b.get(pc + p, jc + j0 + j),
+                        Trans::Yes => b.get(jc + j0 + j, pc + p),
+                    }
+                } else {
+                    0.0
+                };
+            }
+            off += NR;
+        }
+    }
+}
+
+/// Multiplies packed panels into the `mc x nc` block of C.
+fn macro_kernel(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    alpha: f64,
+    apack: &[f64],
+    bpack: &[f64],
+    beta: f64,
+    c: &mut MatMut<'_>,
+) {
+    for (jb, j0) in (0..nc).step_by(NR).enumerate() {
+        let nr = NR.min(nc - j0);
+        let bstrip = &bpack[jb * kc * NR..(jb + 1) * kc * NR];
+        for (ib, i0) in (0..mc).step_by(MR).enumerate() {
+            let mr = MR.min(mc - i0);
+            let astrip = &apack[ib * kc * MR..(ib + 1) * kc * MR];
+            let mut acc = [[0.0f64; MR]; NR];
+            micro_kernel(kc, astrip, bstrip, &mut acc);
+            // Write back with alpha/beta and edge guards.
+            for j in 0..nr {
+                let col = &mut c.col_mut(j0 + j)[i0..i0 + mr];
+                if beta == 0.0 {
+                    for (i, ci) in col.iter_mut().enumerate() {
+                        *ci = alpha * acc[j][i];
+                    }
+                } else if beta == 1.0 {
+                    for (i, ci) in col.iter_mut().enumerate() {
+                        *ci += alpha * acc[j][i];
+                    }
+                } else {
+                    for (i, ci) in col.iter_mut().enumerate() {
+                        *ci = beta * *ci + alpha * acc[j][i];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The `MR x NR` register tile: `acc[j][i] = sum_p astrip[p*MR+i] * bstrip[p*NR+j]`.
+#[inline(always)]
+fn micro_kernel(kc: usize, astrip: &[f64], bstrip: &[f64], acc: &mut [[f64; MR]; NR]) {
+    debug_assert!(astrip.len() >= kc * MR);
+    debug_assert!(bstrip.len() >= kc * NR);
+    for p in 0..kc {
+        let av: &[f64; MR] = astrip[p * MR..p * MR + MR].try_into().unwrap();
+        let bv: &[f64; NR] = bstrip[p * NR..p * NR + NR].try_into().unwrap();
+        for j in 0..NR {
+            let bj = bv[j];
+            for i in 0..MR {
+                acc[j][i] += av[i] * bj;
+            }
+        }
+    }
+}
+
+/// Reference (naive) DGEMM used by tests and as a fallback oracle.
+pub fn dgemm_naive(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = match transa {
+        Trans::No => a.cols(),
+        Trans::Yes => a.rows(),
+    };
+    for j in 0..n {
+        for i in 0..m {
+            let mut s = 0.0;
+            for p in 0..k {
+                let aip = match transa {
+                    Trans::No => a.get(i, p),
+                    Trans::Yes => a.get(p, i),
+                };
+                let bpj = match transb {
+                    Trans::No => b.get(p, j),
+                    Trans::Yes => b.get(j, p),
+                };
+                s += aip * bpj;
+            }
+            let old = c.get(i, j);
+            c.set(i, j, alpha * s + beta * old);
+        }
+    }
+}
+
+/// Triangular solve with multiple right-hand sides:
+/// `B <- alpha * op(T)^{-1} B` (Side::Left) or `B <- alpha * B * op(T)^{-1}`
+/// (Side::Right), where `T` is triangular per `uplo`/`diag`.
+pub fn dtrsm(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    alpha: f64,
+    t: MatRef<'_>,
+    b: &mut MatMut<'_>,
+) {
+    let dim = match side {
+        Side::Left => b.rows(),
+        Side::Right => b.cols(),
+    };
+    assert_eq!(t.rows(), dim, "dtrsm: T dimension mismatch");
+    assert_eq!(t.cols(), dim, "dtrsm: T must be square");
+    if b.is_empty() {
+        return;
+    }
+    if alpha != 1.0 {
+        for j in 0..b.cols() {
+            for v in b.col_mut(j) {
+                *v *= alpha;
+            }
+        }
+    }
+    dtrsm_rec(side, uplo, trans, diag, t, &mut b.submatrix_mut(0, 0, b.rows(), b.cols()));
+}
+
+/// Recursion cutoff for the triangular dimension.
+const TRSM_BASE: usize = 32;
+
+fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b: &mut MatMut<'_>) {
+    let n = t.rows();
+    if n == 0 {
+        return;
+    }
+    if n <= TRSM_BASE {
+        dtrsm_unblocked(side, uplo, trans, diag, t, b);
+        return;
+    }
+    let h = n / 2;
+    let t11 = t.submatrix(0, 0, h, h);
+    let t22 = t.submatrix(h, h, n - h, n - h);
+    // The off-diagonal block of the triangle.
+    let (t21, t12) = (
+        if matches!(uplo, Uplo::Lower) { Some(t.submatrix(h, 0, n - h, h)) } else { None },
+        if matches!(uplo, Uplo::Upper) { Some(t.submatrix(0, h, h, n - h)) } else { None },
+    );
+    match side {
+        Side::Left => {
+            let nrhs = b.cols();
+            let (mut b1, mut b2) = b.submatrix_mut(0, 0, n, nrhs).split_at_row(h);
+            // Effective operator is op(T); "lower" behaviour means the first
+            // block row is solved first.
+            let lower_first = matches!(
+                (uplo, trans),
+                (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes)
+            );
+            if lower_first {
+                dtrsm_rec(side, uplo, trans, diag, t11, &mut b1);
+                // B2 -= op(T)21 * X1.
+                match (uplo, trans) {
+                    (Uplo::Lower, Trans::No) => {
+                        dgemm(Trans::No, Trans::No, -1.0, t21.unwrap(), b1.as_ref(), 1.0, &mut b2)
+                    }
+                    (Uplo::Upper, Trans::Yes) => {
+                        dgemm(Trans::Yes, Trans::No, -1.0, t12.unwrap(), b1.as_ref(), 1.0, &mut b2)
+                    }
+                    _ => unreachable!(),
+                }
+                dtrsm_rec(side, uplo, trans, diag, t22, &mut b2);
+            } else {
+                dtrsm_rec(side, uplo, trans, diag, t22, &mut b2);
+                // B1 -= op(T)12 * X2.
+                match (uplo, trans) {
+                    (Uplo::Upper, Trans::No) => {
+                        dgemm(Trans::No, Trans::No, -1.0, t12.unwrap(), b2.as_ref(), 1.0, &mut b1)
+                    }
+                    (Uplo::Lower, Trans::Yes) => {
+                        dgemm(Trans::Yes, Trans::No, -1.0, t21.unwrap(), b2.as_ref(), 1.0, &mut b1)
+                    }
+                    _ => unreachable!(),
+                }
+                dtrsm_rec(side, uplo, trans, diag, t11, &mut b1);
+            }
+        }
+        Side::Right => {
+            let nrows = b.rows();
+            let (mut b1, mut b2) = b.submatrix_mut(0, 0, nrows, n).split_at_col(h);
+            // X * op(T) = B. "first" = the block column solved first.
+            let first_is_left = matches!(
+                (uplo, trans),
+                (Uplo::Upper, Trans::No) | (Uplo::Lower, Trans::Yes)
+            );
+            if first_is_left {
+                dtrsm_rec(side, uplo, trans, diag, t11, &mut b1);
+                // B2 -= X1 * op(T)12.
+                match (uplo, trans) {
+                    (Uplo::Upper, Trans::No) => {
+                        dgemm(Trans::No, Trans::No, -1.0, b1.as_ref(), t12.unwrap(), 1.0, &mut b2)
+                    }
+                    (Uplo::Lower, Trans::Yes) => {
+                        dgemm(Trans::No, Trans::Yes, -1.0, b1.as_ref(), t21.unwrap(), 1.0, &mut b2)
+                    }
+                    _ => unreachable!(),
+                }
+                dtrsm_rec(side, uplo, trans, diag, t22, &mut b2);
+            } else {
+                dtrsm_rec(side, uplo, trans, diag, t22, &mut b2);
+                // B1 -= X2 * op(T)21.
+                match (uplo, trans) {
+                    (Uplo::Lower, Trans::No) => {
+                        dgemm(Trans::No, Trans::No, -1.0, b2.as_ref(), t21.unwrap(), 1.0, &mut b1)
+                    }
+                    (Uplo::Upper, Trans::Yes) => {
+                        dgemm(Trans::No, Trans::Yes, -1.0, b2.as_ref(), t12.unwrap(), 1.0, &mut b1)
+                    }
+                    _ => unreachable!(),
+                }
+                dtrsm_rec(side, uplo, trans, diag, t11, &mut b1);
+            }
+        }
+    }
+}
+
+/// Unblocked triangular solve used as the recursion base case.
+fn dtrsm_unblocked(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    t: MatRef<'_>,
+    b: &mut MatMut<'_>,
+) {
+    let n = t.rows();
+    match side {
+        Side::Left => {
+            // Solve op(T) X = B column by column of B.
+            let forward = matches!(
+                (uplo, trans),
+                (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes)
+            );
+            for j in 0..b.cols() {
+                let col = b.col_mut(j);
+                if forward {
+                    for r in 0..n {
+                        let mut s = col[r];
+                        for p in 0..r {
+                            let trp = match trans {
+                                Trans::No => t.get(r, p),
+                                Trans::Yes => t.get(p, r),
+                            };
+                            s -= trp * col[p];
+                        }
+                        col[r] = match diag {
+                            Diag::Unit => s,
+                            Diag::NonUnit => s / t.get(r, r),
+                        };
+                    }
+                } else {
+                    for r in (0..n).rev() {
+                        let mut s = col[r];
+                        for p in r + 1..n {
+                            let trp = match trans {
+                                Trans::No => t.get(r, p),
+                                Trans::Yes => t.get(p, r),
+                            };
+                            s -= trp * col[p];
+                        }
+                        col[r] = match diag {
+                            Diag::Unit => s,
+                            Diag::NonUnit => s / t.get(r, r),
+                        };
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            // Solve X op(T) = B row-block at a time: process B's columns in
+            // dependency order; column c of X depends on previously solved
+            // columns.
+            let forward = matches!(
+                (uplo, trans),
+                (Uplo::Upper, Trans::No) | (Uplo::Lower, Trans::Yes)
+            );
+            let m = b.rows();
+            let order: Vec<usize> = if forward { (0..n).collect() } else { (0..n).rev().collect() };
+            for &c in &order {
+                // X[:,c] = (B[:,c] - sum_{p solved before} X[:,p] * op(T)[p,c]) / op(T)[c,c]
+                let tcc = match diag {
+                    Diag::Unit => 1.0,
+                    Diag::NonUnit => t.get(c, c),
+                };
+                let deps: Vec<usize> = order.iter().take_while(|&&p| p != c).copied().collect();
+                for &p in &deps {
+                    let tpc = match trans {
+                        Trans::No => t.get(p, c),
+                        Trans::Yes => t.get(c, p),
+                    };
+                    if tpc != 0.0 {
+                        // B[:,c] -= X[:,p] * tpc; split to satisfy borrows.
+                        for i in 0..m {
+                            let xp = b.get(i, p);
+                            let v = b.get(i, c) - xp * tpc;
+                            b.set(i, c, v);
+                        }
+                    }
+                }
+                if matches!(diag, Diag::NonUnit) {
+                    for v in b.col_mut(c) {
+                        *v /= tcc;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Thread-parallel Level-3 kernels over an `hpl-threads` pool.
+//!
+//! rocHPL's trailing update runs on a massively parallel device; this
+//! module is the CPU-side analogue: `C`'s columns are partitioned into
+//! contiguous chunks, one per pool thread. Because the serial DGEMM
+//! computes every column of `C` independently with a fixed `k`-accumulation
+//! order, the parallel result is **bitwise identical** to the serial one —
+//! a property the benchmark driver's schedule-equivalence tests rely on.
+
+use hpl_threads::Pool;
+
+use crate::l3::dgemm;
+use crate::mat::{MatMut, MatRef};
+use crate::Trans;
+
+/// Parallel `C <- alpha * op(A) * op(B) + beta * C` over `nthreads` pool
+/// threads. Falls back to the serial kernel for one thread or skinny `C`.
+pub fn dgemm_parallel(
+    pool: &Pool,
+    nthreads: usize,
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+) {
+    let n = c.cols();
+    let nthreads = nthreads.clamp(1, pool.size()).min(n.max(1));
+    if nthreads <= 1 || n < 2 {
+        dgemm(transa, transb, alpha, a, b, beta, c);
+        return;
+    }
+    let m = c.rows();
+    let lda = c.lda();
+    // Shared as an address so the `Fn + Sync` closure can capture it; the
+    // disjoint-chunk protocol below governs the actual accesses.
+    let cbase = c.as_mut_ptr() as usize;
+    // Contiguous column chunks, earlier threads absorbing the remainder.
+    let base = n / nthreads;
+    let rem = n % nthreads;
+    pool.run(nthreads, |ctx| {
+        let t = ctx.thread_id();
+        let j0 = t * base + t.min(rem);
+        let w = base + usize::from(t < rem);
+        if w == 0 {
+            return;
+        }
+        // SAFETY: column ranges are disjoint across threads, and the
+        // parent `c` borrow is held for the whole region.
+        let mut cchunk =
+            unsafe { MatMut::from_raw_parts((cbase as *mut f64).add(j0 * lda), m, w, lda) };
+        let bchunk = match transb {
+            Trans::No => b.submatrix(0, j0, b.rows(), w),
+            Trans::Yes => b.submatrix(j0, 0, w, b.cols()),
+        };
+        dgemm(transa, transb, alpha, a, bchunk, beta, &mut cchunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Matrix;
+
+    fn filled(r: usize, c: usize, seed: usize) -> Matrix {
+        Matrix::from_fn(r, c, |i, j| ((i * 31 + j * 17 + seed) % 23) as f64 * 0.125 - 1.0)
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let pool = Pool::new(4);
+        for &(m, n, k) in &[(40usize, 60usize, 16usize), (33, 7, 5), (64, 128, 32), (10, 3, 10)] {
+            for &(ta, tb) in &[(Trans::No, Trans::No), (Trans::Yes, Trans::No), (Trans::No, Trans::Yes)] {
+                let a = match ta {
+                    Trans::No => filled(m, k, 1),
+                    Trans::Yes => filled(k, m, 1),
+                };
+                let b = match tb {
+                    Trans::No => filled(k, n, 2),
+                    Trans::Yes => filled(n, k, 2),
+                };
+                let c0 = filled(m, n, 3);
+                let mut serial = c0.clone();
+                let mut sv = serial.view_mut();
+                dgemm(ta, tb, -1.0, a.view(), b.view(), 1.0, &mut sv);
+                for threads in [2usize, 3, 4] {
+                    let mut par = c0.clone();
+                    let mut pv = par.view_mut();
+                    dgemm_parallel(&pool, threads, ta, tb, -1.0, a.view(), b.view(), 1.0, &mut pv);
+                    assert_eq!(
+                        par.as_slice(),
+                        serial.as_slice(),
+                        "m={m} n={n} k={k} t={threads} ta={ta:?} tb={tb:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_columns() {
+        let pool = Pool::new(8);
+        let a = filled(5, 4, 1);
+        let b = filled(4, 2, 2);
+        let c0 = filled(5, 2, 3);
+        let mut serial = c0.clone();
+        let mut sv = serial.view_mut();
+        dgemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.5, &mut sv);
+        let mut par = c0.clone();
+        let mut pv = par.view_mut();
+        dgemm_parallel(&pool, 8, Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.5, &mut pv);
+        assert_eq!(par.as_slice(), serial.as_slice());
+    }
+
+    #[test]
+    fn single_thread_falls_back() {
+        let pool = Pool::new(2);
+        let a = filled(8, 8, 1);
+        let b = filled(8, 8, 2);
+        let mut c = Matrix::zeros(8, 8);
+        let mut cv = c.view_mut();
+        dgemm_parallel(&pool, 1, Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, &mut cv);
+        assert!(c.as_slice().iter().any(|&v| v != 0.0));
+    }
+}

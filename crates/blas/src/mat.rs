@@ -1,0 +1,505 @@
+//! Column-major matrix views.
+//!
+//! HPL operates on column-major storage with an explicit leading dimension
+//! (`lda`), constantly taking submatrix views of one distributed local array.
+//! [`MatRef`] and [`MatMut`] capture exactly that: a `(rows, cols, lda)`
+//! window into a flat `f64` buffer. Views are constructed from slices (so the
+//! borrow checker governs aliasing at the buffer level) and sub-views are
+//! produced by consuming/reborrowing splits, which keeps the `unsafe`
+//! pointer arithmetic private to this module.
+
+use core::fmt;
+use core::marker::PhantomData;
+
+/// Immutable column-major matrix view with leading dimension `lda >= rows`.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a> {
+    ptr: *const f64,
+    rows: usize,
+    cols: usize,
+    lda: usize,
+    _marker: PhantomData<&'a f64>,
+}
+
+/// Mutable column-major matrix view with leading dimension `lda >= rows`.
+pub struct MatMut<'a> {
+    ptr: *mut f64,
+    rows: usize,
+    cols: usize,
+    lda: usize,
+    _marker: PhantomData<&'a mut f64>,
+}
+
+// A view is a window onto a `&[f64]`/`&mut [f64]`; sending it to another
+// thread is as safe as sending the underlying borrow.
+unsafe impl Send for MatRef<'_> {}
+unsafe impl Sync for MatRef<'_> {}
+unsafe impl Send for MatMut<'_> {}
+
+#[inline]
+fn check_dims(len: usize, rows: usize, cols: usize, lda: usize) {
+    assert!(lda >= rows.max(1), "lda ({lda}) must be >= rows ({rows})");
+    if rows > 0 && cols > 0 {
+        let need = lda
+            .checked_mul(cols - 1)
+            .and_then(|x| x.checked_add(rows))
+            .expect("matrix extent overflows usize");
+        assert!(
+            len >= need,
+            "buffer of len {len} too small for {rows}x{cols} view with lda {lda} (need {need})"
+        );
+    }
+}
+
+impl<'a> MatRef<'a> {
+    /// Views `data` as a `rows x cols` column-major matrix with leading
+    /// dimension `lda`. Panics if the buffer is too small.
+    #[inline]
+    pub fn from_slice(data: &'a [f64], rows: usize, cols: usize, lda: usize) -> Self {
+        check_dims(data.len(), rows, cols, lda);
+        Self { ptr: data.as_ptr(), rows, cols, lda, _marker: PhantomData }
+    }
+
+    /// Builds a view from a raw pointer to element `(0, 0)`.
+    ///
+    /// # Safety
+    /// The window `(rows, cols, lda)` starting at `ptr` must be readable and
+    /// unaliased by mutable accesses for the lifetime `'a`.
+    #[inline]
+    pub unsafe fn from_raw_parts(ptr: *const f64, rows: usize, cols: usize, lda: usize) -> Self {
+        assert!(lda >= rows.max(1), "lda ({lda}) must be >= rows ({rows})");
+        Self { ptr, rows, cols, lda, _marker: PhantomData }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension of the underlying buffer.
+    #[inline]
+    pub fn lda(&self) -> usize {
+        self.lda
+    }
+
+    /// `true` if the view contains no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Element `(i, j)` without bounds checks.
+    ///
+    /// # Safety
+    /// `i < rows()` and `j < cols()`.
+    #[inline(always)]
+    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(j * self.lda + i)
+    }
+
+    /// Element `(i, j)` with bounds checks.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        unsafe { self.get_unchecked(i, j) }
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &'a [f64] {
+        assert!(j < self.cols, "column {j} out of {}", self.cols);
+        unsafe { core::slice::from_raw_parts(self.ptr.add(j * self.lda), self.rows) }
+    }
+
+    /// Raw pointer to element `(0, 0)`.
+    #[inline]
+    pub fn as_ptr(&self) -> *const f64 {
+        self.ptr
+    }
+
+    /// Sub-view of size `nrows x ncols` starting at `(i, j)`.
+    #[inline]
+    pub fn submatrix(&self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatRef<'a> {
+        assert!(i + nrows <= self.rows, "row window {i}+{nrows} out of {}", self.rows);
+        assert!(j + ncols <= self.cols, "col window {j}+{ncols} out of {}", self.cols);
+        MatRef {
+            ptr: unsafe { self.ptr.add(j * self.lda + i) },
+            rows: nrows,
+            cols: ncols,
+            lda: self.lda,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Copies the view into a fresh dense `rows*cols` vector (lda == rows).
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for j in 0..self.cols {
+            out.extend_from_slice(self.col(j));
+        }
+        out
+    }
+}
+
+impl<'a> MatMut<'a> {
+    /// Views `data` as a mutable `rows x cols` column-major matrix.
+    #[inline]
+    pub fn from_slice(data: &'a mut [f64], rows: usize, cols: usize, lda: usize) -> Self {
+        check_dims(data.len(), rows, cols, lda);
+        Self { ptr: data.as_mut_ptr(), rows, cols, lda, _marker: PhantomData }
+    }
+
+    /// Builds a mutable view from a raw pointer to element `(0, 0)`.
+    ///
+    /// # Safety
+    /// The elements of the window `(rows, cols, lda)` starting at `ptr`
+    /// (i.e. rows `0..rows` of each of the `cols` columns, *not* the gaps
+    /// between columns) must be exclusively accessible through this view
+    /// for the lifetime `'a`.
+    #[inline]
+    pub unsafe fn from_raw_parts(ptr: *mut f64, rows: usize, cols: usize, lda: usize) -> Self {
+        assert!(lda >= rows.max(1), "lda ({lda}) must be >= rows ({rows})");
+        Self { ptr, rows, cols, lda, _marker: PhantomData }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension of the underlying buffer.
+    #[inline]
+    pub fn lda(&self) -> usize {
+        self.lda
+    }
+
+    /// `true` if the view contains no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Element `(i, j)` without bounds checks.
+    ///
+    /// # Safety
+    /// `i < rows()` and `j < cols()`.
+    #[inline(always)]
+    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(j * self.lda + i)
+    }
+
+    /// Writes element `(i, j)` without bounds checks.
+    ///
+    /// # Safety
+    /// `i < rows()` and `j < cols()`.
+    #[inline(always)]
+    pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(j * self.lda + i) = v;
+    }
+
+    /// Element `(i, j)` with bounds checks.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        unsafe { self.get_unchecked(i, j) }
+    }
+
+    /// Writes element `(i, j)` with bounds checks.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        unsafe { self.set_unchecked(i, j, v) }
+    }
+
+    /// Column `j` as a contiguous mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(j < self.cols, "column {j} out of {}", self.cols);
+        unsafe { core::slice::from_raw_parts_mut(self.ptr.add(j * self.lda), self.rows) }
+    }
+
+    /// Column `j` as a contiguous immutable slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!(j < self.cols, "column {j} out of {}", self.cols);
+        unsafe { core::slice::from_raw_parts(self.ptr.add(j * self.lda), self.rows) }
+    }
+
+    /// Raw pointer to element `(0, 0)`.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut f64 {
+        self.ptr
+    }
+
+    /// Immutable view of the same window.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_> {
+        MatRef { ptr: self.ptr, rows: self.rows, cols: self.cols, lda: self.lda, _marker: PhantomData }
+    }
+
+    /// Reborrows a mutable sub-view of size `nrows x ncols` at `(i, j)`.
+    #[inline]
+    pub fn submatrix_mut(&mut self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatMut<'_> {
+        assert!(i + nrows <= self.rows, "row window {i}+{nrows} out of {}", self.rows);
+        assert!(j + ncols <= self.cols, "col window {j}+{ncols} out of {}", self.cols);
+        MatMut {
+            ptr: unsafe { self.ptr.add(j * self.lda + i) },
+            rows: nrows,
+            cols: ncols,
+            lda: self.lda,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Splits into non-overlapping `(left, right)` views at column `j`.
+    #[inline]
+    pub fn split_at_col(self, j: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(j <= self.cols, "split col {j} out of {}", self.cols);
+        let right_ptr = unsafe { self.ptr.add(j * self.lda) };
+        (
+            MatMut { ptr: self.ptr, rows: self.rows, cols: j, lda: self.lda, _marker: PhantomData },
+            MatMut { ptr: right_ptr, rows: self.rows, cols: self.cols - j, lda: self.lda, _marker: PhantomData },
+        )
+    }
+
+    /// Splits into non-overlapping `(top, bottom)` views at row `i`.
+    ///
+    /// The two views alias distinct rows of the same columns; the shared
+    /// `lda` stride keeps them inside the original buffer but disjoint.
+    #[inline]
+    pub fn split_at_row(self, i: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(i <= self.rows, "split row {i} out of {}", self.rows);
+        let bot_ptr = unsafe { self.ptr.add(i) };
+        (
+            MatMut { ptr: self.ptr, rows: i, cols: self.cols, lda: self.lda, _marker: PhantomData },
+            MatMut { ptr: bot_ptr, rows: self.rows - i, cols: self.cols, lda: self.lda, _marker: PhantomData },
+        )
+    }
+
+    /// Fills the whole view with `v`.
+    pub fn fill(&mut self, v: f64) {
+        for j in 0..self.cols {
+            self.col_mut(j).fill(v);
+        }
+    }
+}
+
+impl fmt::Debug for MatRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "MatRef {}x{} (lda {})", self.rows, self.cols, self.lda)?;
+        for i in 0..self.rows.min(8) {
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>12.5} ", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for MatMut<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_ref().fmt(f)
+    }
+}
+
+/// Owned column-major matrix (lda == rows), the workhorse for tests,
+/// workspaces and local matrix storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zeros `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a column-major data vector; `data.len()` must be
+    /// `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds element-wise from `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[j * self.rows + i]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[j * self.rows + i] = v;
+    }
+
+    /// Column-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable column-major backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Full immutable view.
+    #[inline]
+    pub fn view(&self) -> MatRef<'_> {
+        MatRef::from_slice(&self.data, self.rows, self.cols, self.rows.max(1))
+    }
+
+    /// Full mutable view.
+    #[inline]
+    pub fn view_mut(&mut self) -> MatMut<'_> {
+        let (rows, cols) = (self.rows, self.cols);
+        MatMut::from_slice(&mut self.data, rows, cols, rows.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_roundtrip() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 10 + j) as f64);
+        let v = m.view();
+        assert_eq!(v.rows(), 3);
+        assert_eq!(v.cols(), 4);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(v.get(i, j), (i * 10 + j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn submatrix_indexing() {
+        let m = Matrix::from_fn(5, 5, |i, j| (i + 100 * j) as f64);
+        let v = m.view();
+        let s = v.submatrix(1, 2, 3, 2);
+        assert_eq!(s.get(0, 0), (1 + 200) as f64);
+        assert_eq!(s.get(2, 1), (3 + 300) as f64);
+        assert_eq!(s.lda(), 5);
+    }
+
+    #[test]
+    fn split_at_col_disjoint() {
+        let mut m = Matrix::zeros(4, 6);
+        let v = m.view_mut();
+        let (mut l, mut r) = v.split_at_col(2);
+        l.fill(1.0);
+        r.fill(2.0);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(3, 2), 2.0);
+        assert_eq!(m.get(0, 5), 2.0);
+    }
+
+    #[test]
+    fn split_at_row_disjoint() {
+        let mut m = Matrix::zeros(6, 3);
+        let v = m.view_mut();
+        let (mut t, mut b) = v.split_at_row(4);
+        t.fill(7.0);
+        b.fill(9.0);
+        assert_eq!(m.get(3, 2), 7.0);
+        assert_eq!(m.get(4, 0), 9.0);
+    }
+
+    #[test]
+    fn col_slices_are_contiguous() {
+        let mut m = Matrix::from_fn(4, 3, |i, j| (i + 10 * j) as f64);
+        assert_eq!(m.view().col(1), &[10.0, 11.0, 12.0, 13.0]);
+        m.view_mut().col_mut(2)[3] = -1.0;
+        assert_eq!(m.get(3, 2), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer of len")]
+    fn from_slice_rejects_short_buffer() {
+        let data = vec![0.0; 10];
+        let _ = MatRef::from_slice(&data, 4, 3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn submatrix_out_of_bounds_panics() {
+        let m = Matrix::zeros(3, 3);
+        let _ = m.view().submatrix(1, 1, 3, 1);
+    }
+
+    #[test]
+    fn empty_views_are_fine() {
+        let data: Vec<f64> = vec![];
+        let v = MatRef::from_slice(&data, 0, 0, 1);
+        assert!(v.is_empty());
+        let m = Matrix::zeros(0, 5);
+        assert!(m.view().is_empty());
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! DGEMM/DTRSM validated against a naive oracle across shapes, transposes,
+//! alpha/beta values, and non-trivial leading dimensions.
+
+use hpl_blas::mat::{MatMut, MatRef, Matrix};
+use hpl_blas::{dgemm, dgemm_naive, dtrsm, Diag, Side, Trans, Uplo};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn dgemm_matches_naive_over_shapes() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let shapes = [
+        (1, 1, 1),
+        (3, 5, 2),
+        (8, 4, 8),
+        (9, 5, 17),
+        (17, 19, 23),
+        (64, 64, 64),
+        (65, 33, 70),
+        (100, 1, 100),
+        (1, 100, 50),
+        (130, 130, 7),
+        (300, 64, 512),
+    ];
+    for &(m, n, k) in &shapes {
+        for &ta in &[Trans::No, Trans::Yes] {
+            for &tb in &[Trans::No, Trans::Yes] {
+                for &(alpha, beta) in &[(1.0, 0.0), (-1.0, 1.0), (0.5, -2.0), (0.0, 3.0)] {
+                    let a = match ta {
+                        Trans::No => rand_matrix(&mut rng, m, k),
+                        Trans::Yes => rand_matrix(&mut rng, k, m),
+                    };
+                    let b = match tb {
+                        Trans::No => rand_matrix(&mut rng, k, n),
+                        Trans::Yes => rand_matrix(&mut rng, n, k),
+                    };
+                    let c0 = rand_matrix(&mut rng, m, n);
+                    let mut c1 = c0.clone();
+                    let mut c2 = c0.clone();
+                    let mut v1 = c1.view_mut();
+                    dgemm(ta, tb, alpha, a.view(), b.view(), beta, &mut v1);
+                    let mut v2 = c2.view_mut();
+                    dgemm_naive(ta, tb, alpha, a.view(), b.view(), beta, &mut v2);
+                    let d = max_abs_diff(&c1, &c2);
+                    assert!(
+                        d < 1e-11 * (k as f64).max(1.0),
+                        "m={m} n={n} k={k} ta={ta:?} tb={tb:?} alpha={alpha} beta={beta}: diff {d}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dgemm_respects_leading_dimension() {
+    // C is a window in a larger buffer; elements outside the window must not
+    // be touched.
+    let mut rng = StdRng::seed_from_u64(2);
+    let (m, n, k, lda) = (13, 9, 11, 20);
+    let a = rand_matrix(&mut rng, m, k);
+    let b = rand_matrix(&mut rng, k, n);
+    let mut buf = vec![7.5f64; lda * n];
+    let orig = buf.clone();
+    {
+        let mut c = MatMut::from_slice(&mut buf, m, n, lda);
+        dgemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, &mut c);
+    }
+    // Check padding rows untouched.
+    for j in 0..n {
+        for i in m..lda {
+            assert_eq!(buf[j * lda + i], orig[j * lda + i], "padding touched at ({i},{j})");
+        }
+    }
+    // And the window is correct.
+    let mut cref = Matrix::zeros(m, n);
+    let mut v = cref.view_mut();
+    dgemm_naive(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, &mut v);
+    let cw = MatRef::from_slice(&buf, m, n, lda);
+    for j in 0..n {
+        for i in 0..m {
+            assert!((cw.get(i, j) - cref.get(i, j)).abs() < 1e-11);
+        }
+    }
+}
+
+fn make_triangular(rng: &mut StdRng, n: usize, uplo: Uplo, diag: Diag) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        let inside = match uplo {
+            Uplo::Lower => i >= j,
+            Uplo::Upper => i <= j,
+        };
+        if i == j {
+            match diag {
+                // Storage holds garbage on the diagonal for Unit: the solver
+                // must never read it.
+                Diag::Unit => rng.gen_range(5.0..9.0),
+                Diag::NonUnit => rng.gen_range(1.5..2.5) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+            }
+        } else if inside {
+            rng.gen_range(-0.5..0.5)
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Computes op(T) as a dense matrix honoring uplo/diag, for oracle checks.
+fn dense_op_t(t: &Matrix, uplo: Uplo, trans: Trans, diag: Diag) -> Matrix {
+    let n = t.rows();
+    let mut d = Matrix::from_fn(n, n, |i, j| {
+        let inside = match uplo {
+            Uplo::Lower => i >= j,
+            Uplo::Upper => i <= j,
+        };
+        if i == j {
+            match diag {
+                Diag::Unit => 1.0,
+                Diag::NonUnit => t.get(i, j),
+            }
+        } else if inside {
+            t.get(i, j)
+        } else {
+            0.0
+        }
+    });
+    if matches!(trans, Trans::Yes) {
+        d = Matrix::from_fn(n, n, |i, j| d.get(j, i));
+    }
+    d
+}
+
+#[test]
+fn dtrsm_all_combinations() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for &n in &[1usize, 2, 7, 33, 70] {
+        for &nrhs in &[1usize, 5, 40] {
+            for &side in &[Side::Left, Side::Right] {
+                for &uplo in &[Uplo::Lower, Uplo::Upper] {
+                    for &trans in &[Trans::No, Trans::Yes] {
+                        for &diag in &[Diag::Unit, Diag::NonUnit] {
+                            let t = make_triangular(&mut rng, n, uplo, diag);
+                            let (brows, bcols) = match side {
+                                Side::Left => (n, nrhs),
+                                Side::Right => (nrhs, n),
+                            };
+                            let b0 = rand_matrix(&mut rng, brows, bcols);
+                            let alpha = 1.5;
+                            let mut x = b0.clone();
+                            let mut xv = x.view_mut();
+                            dtrsm(side, uplo, trans, diag, alpha, t.view(), &mut xv);
+                            // Verify op(T)-product reproduces alpha*B.
+                            let opt = dense_op_t(&t, uplo, trans, diag);
+                            let mut prod = Matrix::zeros(brows, bcols);
+                            let mut pv = prod.view_mut();
+                            match side {
+                                Side::Left => dgemm_naive(
+                                    Trans::No,
+                                    Trans::No,
+                                    1.0,
+                                    opt.view(),
+                                    x.view(),
+                                    0.0,
+                                    &mut pv,
+                                ),
+                                Side::Right => dgemm_naive(
+                                    Trans::No,
+                                    Trans::No,
+                                    1.0,
+                                    x.view(),
+                                    opt.view(),
+                                    0.0,
+                                    &mut pv,
+                                ),
+                            }
+                            for (got, want) in prod.as_slice().iter().zip(b0.as_slice()) {
+                                let want = alpha * want;
+                                assert!(
+                                    (got - want).abs() < 1e-9 * (n as f64).max(1.0),
+                                    "n={n} nrhs={nrhs} side={side:?} uplo={uplo:?} trans={trans:?} diag={diag:?}: {got} vs {want}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dtrsm_empty_rhs_is_noop() {
+    let t = Matrix::identity(4);
+    let mut b = Matrix::zeros(4, 0);
+    let mut bv = b.view_mut();
+    dtrsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 2.0, t.view(), &mut bv);
+}

@@ -1,0 +1,25 @@
+//! # rhpl-cli
+//!
+//! The `rhpl` benchmark binary: reads a classic `HPL.dat` (the same input
+//! format Netlib HPL and rocHPL use), runs the described sweep on
+//! thread-backed ranks, and prints results in the classic HPL layout —
+//! so existing HPL tooling and muscle memory work against this
+//! reproduction.
+//!
+//! * [`dat`] — the `HPL.dat` parser.
+//! * [`runner`] — sweep expansion and execution.
+//! * [`report`] — classic output formatting.
+
+
+// Lint policy: indexed loops are used deliberately where they mirror the
+// reference BLAS/HPL loop structure, and several kernels take the full
+// argument list their BLAS counterparts do.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::too_many_arguments)]
+
+pub mod dat;
+pub mod report;
+pub mod runner;
+
+pub use dat::{parse, JobSpec, ParseError, SAMPLE};
+pub use runner::{encode_tv, expand, run_one, RunRecord};

@@ -1,0 +1,82 @@
+//! `rhpl` — HPL.dat-driven benchmark runner.
+//!
+//! ```text
+//! rhpl [HPL.dat]              run the sweep described by the input file
+//! rhpl --sample               print a ready-to-edit sample HPL.dat
+//! rhpl ... --split-frac 0.5   split-update fraction (0 = look-ahead only)
+//! rhpl ... --threads 4        FACT threads per rank (SIII.A)
+//! rhpl ... --seed 42          matrix generator seed
+//! ```
+
+use std::process::ExitCode;
+
+use rhpl_cli::{dat, report, runner};
+
+fn arg_value<T: std::str::FromStr>(args: &[String], key: &str) -> Option<T> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--sample") {
+        print!("{}", dat::SAMPLE);
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: rhpl [HPL.dat] [--split-frac F] [--threads T] [--seed S] [--sample]");
+        return ExitCode::SUCCESS;
+    }
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && arg_is_positional(&args, a))
+        .cloned()
+        .unwrap_or_else(|| "HPL.dat".to_string());
+    let split_frac: f64 = arg_value(&args, "--split-frac").unwrap_or(0.5);
+    let threads: usize = arg_value(&args, "--threads").unwrap_or(1);
+    let seed: u64 = arg_value(&args, "--seed").unwrap_or(42);
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rhpl: cannot read {path}: {e}");
+            eprintln!("hint: `rhpl --sample > HPL.dat` writes a starting point");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match dat::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rhpl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let combos = runner::expand(&spec, seed, split_frac, threads);
+    let max_ranks = combos.iter().map(|(c, _)| c.ranks()).max().unwrap_or(1);
+    print!("{}", report::banner(max_ranks));
+    print!("{}", report::table_header());
+    let mut failed = 0usize;
+    let total = combos.len();
+    for (cfg, depth) in combos {
+        let rec = runner::run_one(&cfg, depth, spec.threshold);
+        print!("{}", report::format_record(&rec));
+        if !rec.passed {
+            failed += 1;
+        }
+    }
+    print!("{}", report::footer(total, failed));
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// A positional arg is one not consumed as a `--key value` pair.
+fn arg_is_positional(args: &[String], a: &str) -> bool {
+    match args.iter().position(|x| x == a) {
+        Some(0) => true,
+        Some(i) => !args[i - 1].starts_with("--"),
+        None => false,
+    }
+}

@@ -1,0 +1,117 @@
+//! Classic HPL output formatting: the banner, the `T/V  N  NB  P  Q  Time
+//! Gflops` table and the residual line, byte-layout-compatible with what
+//! `xhpl`/rocHPL print.
+
+use crate::runner::RunRecord;
+
+/// The run banner.
+pub fn banner(ranks: usize) -> String {
+    let mut s = String::new();
+    s.push_str(&"=".repeat(80));
+    s.push('\n');
+    s.push_str("rhpl — High-Performance Linpack for Accelerated Architectures (Rust)\n");
+    s.push_str("A reproduction of rocHPL (Chalmers et al., SC 2023) on a thread-backed\n");
+    s.push_str("message-passing substrate.\n");
+    s.push_str(&format!("Running on {ranks} rank(s)\n"));
+    s.push_str(&"=".repeat(80));
+    s.push('\n');
+    s
+}
+
+/// The result-table header.
+pub fn table_header() -> String {
+    format!(
+        "{}\n{:<12}{:>12}{:>6}{:>6}{:>6}{:>19}{:>19}\n{}\n",
+        "=".repeat(80),
+        "T/V",
+        "N",
+        "NB",
+        "P",
+        "Q",
+        "Time",
+        "Gflops",
+        "-".repeat(80)
+    )
+}
+
+/// One result row plus its residual line.
+pub fn format_record(r: &RunRecord) -> String {
+    let mut s = format!(
+        "{:<12}{:>12}{:>6}{:>6}{:>6}{:>19.2}{:>19}\n",
+        r.tv,
+        r.cfg.n,
+        r.cfg.nb,
+        r.cfg.p,
+        r.cfg.q,
+        r.time,
+        format!("{:.4e}", r.gflops)
+    );
+    s.push_str(&format!(
+        "||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N)= {:>18.7} ...... {}\n",
+        r.residual,
+        if r.passed { "PASSED" } else { "FAILED" }
+    ));
+    s
+}
+
+/// The closing summary.
+pub fn footer(total: usize, failed: usize) -> String {
+    format!(
+        "{}\nFinished {:>6} tests with the following results:\n\
+         {:>12} tests completed and passed residual checks,\n\
+         {:>12} tests completed and failed residual checks.\n{}\nEnd of Tests.\n{}\n",
+        "=".repeat(80),
+        total,
+        total - failed,
+        failed,
+        "-".repeat(80),
+        "=".repeat(80)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhpl_core::HplConfig;
+
+    fn record() -> RunRecord {
+        RunRecord {
+            cfg: HplConfig::new(768, 32, 2, 2),
+            tv: "WC112R16".into(),
+            time: 1.23,
+            gflops: 2.5,
+            residual: 0.0051561,
+            passed: true,
+        }
+    }
+
+    #[test]
+    fn record_line_layout() {
+        let s = format_record(&record());
+        let first = s.lines().next().unwrap();
+        assert!(first.starts_with("WC112R16"));
+        assert!(first.contains("768"));
+        assert!(first.contains("32"));
+        assert!(s.contains("PASSED"));
+        assert!(s.contains("||Ax-b||_oo"));
+    }
+
+    #[test]
+    fn header_columns_align_with_rows() {
+        let h = table_header();
+        let header_line = h.lines().nth(1).unwrap();
+        let row = format_record(&record());
+        let row_line = row.lines().next().unwrap();
+        // N column right edges line up.
+        let hn = header_line.find(" N").map(|i| i + 2).unwrap();
+        assert_eq!(&row_line[hn - 3..hn], "768");
+    }
+
+    #[test]
+    fn footer_counts() {
+        let f = footer(5, 1);
+        assert!(f.contains("5 tests"));
+        assert!(f.contains("4 tests completed and passed"));
+        assert!(f.contains("1 tests completed and failed"));
+    }
+}

@@ -1,0 +1,230 @@
+//! The [`Communicator`]: a rank's handle to one communication context,
+//! offering MPI-style typed point-to-point operations, barrier, and
+//! `split` for building row/column sub-communicators.
+
+use std::sync::Arc;
+
+use crate::fabric::{CommStats, Fabric, Tag};
+
+/// A rank's endpoint in one communicator (the analogue of an `MPI_Comm`
+/// plus the caller's rank in it).
+///
+/// `Clone` produces another handle to the *same* context (same mailboxes,
+/// same rank) — useful for inspecting [`Communicator::stats`] after a call
+/// that consumed the original handle. For a fresh isolated context use
+/// [`Communicator::duplicate`] instead.
+#[derive(Clone)]
+pub struct Communicator {
+    fabric: Arc<Fabric>,
+    rank: usize,
+}
+
+impl Communicator {
+    pub(crate) fn new(fabric: Arc<Fabric>, rank: usize) -> Self {
+        Self { fabric, rank }
+    }
+
+    /// This rank's id in `0..size()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.fabric.size()
+    }
+
+    /// Sends `value` to `dst` with `tag`. Asynchronous: never blocks.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
+        self.fabric.send(self.rank, dst, tag, Box::new(value), 1);
+    }
+
+    /// Sends a `f64` slice (copied) to `dst`; counted in element stats.
+    pub fn send_slice(&self, dst: usize, tag: Tag, data: &[f64]) {
+        self.fabric.send(self.rank, dst, tag, Box::new(data.to_vec()), data.len() as u64);
+    }
+
+    /// Receives a `T` from `(src, tag)`, blocking. Panics if the matching
+    /// message has a different payload type (a programming error on the
+    /// matched send side).
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
+        let any = self.fabric.recv(self.rank, src, tag);
+        *any.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: recv type mismatch from rank {src} tag {tag:?} (expected {})",
+                self.rank,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Receives a `Vec<f64>` from `(src, tag)` into `buf` (lengths must
+    /// match). The vector-copy variant of [`Communicator::recv`].
+    pub fn recv_into(&self, src: usize, tag: Tag, buf: &mut [f64]) {
+        let v: Vec<f64> = self.recv(src, tag);
+        assert_eq!(v.len(), buf.len(), "recv_into length mismatch");
+        buf.copy_from_slice(&v);
+    }
+
+    /// Simultaneous exchange: sends `send` to `dst` and receives the
+    /// matching message from `src`. Safe against head-of-line blocking
+    /// because sends never block.
+    pub fn sendrecv(&self, dst: usize, src: usize, tag: Tag, send: &[f64]) -> Vec<f64> {
+        self.send_slice(dst, tag, send);
+        self.recv(src, tag)
+    }
+
+    /// Barrier across all ranks of this communicator.
+    pub fn barrier(&self) {
+        self.fabric.barrier();
+    }
+
+    /// Traffic statistics for this rank.
+    pub fn stats(&self) -> &CommStats {
+        self.fabric.stats(self.rank)
+    }
+
+    /// Splits the communicator: ranks passing the same `color` form a new
+    /// communicator, ordered by `(key, parent rank)`. Collective — every
+    /// rank of the parent must call it.
+    pub fn split(&self, color: usize, key: usize) -> Communicator {
+        let n = self.size();
+        // Gather (color, key) at rank 0.
+        if self.rank == 0 {
+            let mut entries: Vec<(usize, usize, usize)> = Vec::with_capacity(n);
+            entries.push((color, key, 0));
+            for src in 1..n {
+                let (c, k): (usize, usize) = self.recv(src, Tag::SPLIT);
+                entries.push((c, k, src));
+            }
+            // Group by color.
+            let mut colors: Vec<usize> = entries.iter().map(|e| e.0).collect();
+            colors.sort_unstable();
+            colors.dedup();
+            let mut my_comm = None;
+            for c in colors {
+                let mut members: Vec<(usize, usize, usize)> =
+                    entries.iter().copied().filter(|e| e.0 == c).collect();
+                members.sort_by_key(|&(_, k, r)| (k, r));
+                let fabric = Fabric::new(members.len());
+                for (new_rank, &(_, _, parent_rank)) in members.iter().enumerate() {
+                    if parent_rank == 0 {
+                        my_comm = Some(Communicator::new(Arc::clone(&fabric), new_rank));
+                    } else {
+                        self.send(parent_rank, Tag::SPLIT, (Arc::clone(&fabric), new_rank));
+                    }
+                }
+            }
+            my_comm.expect("rank 0 belongs to some color group")
+        } else {
+            self.send(0, Tag::SPLIT, (color, key));
+            let (fabric, new_rank): (Arc<Fabric>, usize) = self.recv(0, Tag::SPLIT);
+            Communicator::new(fabric, new_rank)
+        }
+    }
+
+    /// Duplicates the communicator with a fresh context (fresh mailboxes and
+    /// stats), like `MPI_Comm_dup`. Collective.
+    pub fn duplicate(&self) -> Communicator {
+        self.split(0, self.rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn p2p_roundtrip() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, Tag::user(1), vec![1.0f64, 2.0, 3.0]);
+                let back: Vec<f64> = comm.recv(1, Tag::user(2));
+                assert_eq!(back, vec![6.0]);
+            } else {
+                let v: Vec<f64> = comm.recv(0, Tag::user(1));
+                comm.send(0, Tag::user(2), vec![v.iter().sum::<f64>()]);
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_ring_rotates() {
+        let out = Universe::run(4, |comm| {
+            let r = comm.rank();
+            let n = comm.size();
+            let got = comm.sendrecv((r + 1) % n, (r + n - 1) % n, Tag::user(0), &[r as f64]);
+            got[0] as usize
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn split_into_rows() {
+        // 6 ranks -> 2 rows of 3 (color = rank / 3).
+        let out = Universe::run(6, |comm| {
+            let color = comm.rank() / 3;
+            let sub = comm.split(color, comm.rank());
+            assert_eq!(sub.size(), 3);
+            // Ranks within a row are ordered by parent rank.
+            assert_eq!(sub.rank(), comm.rank() % 3);
+            // Sub-communicators are isolated: a barrier + exchange inside.
+            let got = sub.sendrecv(
+                (sub.rank() + 1) % 3,
+                (sub.rank() + 2) % 3,
+                Tag::user(5),
+                &[comm.rank() as f64],
+            );
+            got[0] as usize
+        });
+        assert_eq!(out, vec![2, 0, 1, 5, 3, 4]);
+    }
+
+    #[test]
+    fn split_respects_key_order() {
+        let out = Universe::run(4, |comm| {
+            // Reverse ordering via key.
+            let sub = comm.split(0, 100 - comm.rank());
+            sub.rank()
+        });
+        assert_eq!(out, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn duplicate_is_isolated() {
+        Universe::run(3, |comm| {
+            let dup = comm.duplicate();
+            assert_eq!(dup.rank(), comm.rank());
+            assert_eq!(dup.size(), 3);
+            // Message sent on dup must not be receivable on comm's fabric
+            // (different mailboxes) — exchange on both and check values.
+            let a = dup.sendrecv(
+                (dup.rank() + 1) % 3,
+                (dup.rank() + 2) % 3,
+                Tag::user(9),
+                &[dup.rank() as f64 * 10.0],
+            );
+            let b = comm.sendrecv(
+                (comm.rank() + 1) % 3,
+                (comm.rank() + 2) % 3,
+                Tag::user(9),
+                &[comm.rank() as f64],
+            );
+            assert_eq!(a[0], ((comm.rank() + 2) % 3) as f64 * 10.0);
+            assert_eq!(b[0], ((comm.rank() + 2) % 3) as f64);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn recv_type_mismatch_panics() {
+        // Single-rank "self-send" keeps the panic on the main thread.
+        Universe::run(1, |comm| {
+            comm.send(0, Tag::user(0), 42u32);
+            let _: Vec<f64> = comm.recv(0, Tag::user(0));
+        });
+    }
+}

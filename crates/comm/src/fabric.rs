@@ -1,0 +1,294 @@
+//! The message fabric: per-rank mailboxes with MPI-style `(source, tag)`
+//! matching.
+//!
+//! Sends are asynchronous (the payload is moved into the destination's
+//! mailbox and the sender continues immediately — "eager protocol");
+//! receives block until a matching message arrives. Message order between a
+//! fixed `(source, tag)` pair is FIFO, which is what MPI guarantees per
+//! (source, tag, communicator) and what the collective algorithms rely on.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Message tag. User tags live below [`Tag::RESERVED_BASE`]; the collective
+/// implementations use reserved tags above it so user point-to-point traffic
+/// can never match a collective's internal messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u64);
+
+impl Tag {
+    /// First reserved tag value; see type docs.
+    pub const RESERVED_BASE: u64 = 1 << 48;
+
+    pub(crate) const BCAST: Tag = Tag(Self::RESERVED_BASE + 1);
+    pub(crate) const REDUCE: Tag = Tag(Self::RESERVED_BASE + 2);
+    pub(crate) const GATHER: Tag = Tag(Self::RESERVED_BASE + 3);
+    pub(crate) const SCATTER: Tag = Tag(Self::RESERVED_BASE + 4);
+    pub(crate) const ALLGATHER: Tag = Tag(Self::RESERVED_BASE + 5);
+    pub(crate) const SPLIT: Tag = Tag(Self::RESERVED_BASE + 6);
+    pub(crate) const RING: Tag = Tag(Self::RESERVED_BASE + 7);
+
+    /// Creates a user tag; panics on collision with the reserved range.
+    pub fn user(t: u64) -> Tag {
+        assert!(t < Self::RESERVED_BASE, "tag {t} collides with reserved range");
+        Tag(t)
+    }
+}
+
+type Boxed = Box<dyn Any + Send>;
+
+#[derive(Default)]
+struct MailboxInner {
+    queues: HashMap<(usize, Tag), VecDeque<Boxed>>,
+}
+
+/// One destination rank's inbox.
+struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Self { inner: Mutex::new(MailboxInner::default()), arrived: Condvar::new() }
+    }
+
+    fn deposit(&self, src: usize, tag: Tag, msg: Boxed) {
+        let mut g = self.inner.lock();
+        g.queues.entry((src, tag)).or_default().push_back(msg);
+        self.arrived.notify_all();
+    }
+
+    fn take(&self, dst: usize, src: usize, tag: Tag) -> Boxed {
+        let mut g = self.inner.lock();
+        let mut waited = std::time::Duration::ZERO;
+        loop {
+            if let Some(q) = g.queues.get_mut(&(src, tag)) {
+                if let Some(m) = q.pop_front() {
+                    return m;
+                }
+            }
+            // A real MPI would hang here forever on a mismatched schedule;
+            // we turn that into a diagnosable failure after a (generous,
+            // overridable) timeout so broken collective orderings fail
+            // loudly in tests instead of wedging the whole run.
+            let step = std::time::Duration::from_millis(500);
+            if self.arrived.wait_for(&mut g, step).timed_out() {
+                waited += step;
+                if waited >= recv_timeout() {
+                    panic!(
+                        "rank {dst}: no message from rank {src} with tag {tag:?} after \
+                         {waited:?} — mismatched send/recv or collective ordering \
+                         (set HPL_COMM_TIMEOUT_SECS to lengthen)"
+                    );
+                }
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inner.lock().queues.values().all(|q| q.is_empty())
+    }
+}
+
+/// How long a `recv` waits before declaring the run deadlocked. Reads
+/// `HPL_COMM_TIMEOUT_SECS` once (default 120 s).
+pub fn recv_timeout() -> std::time::Duration {
+    use std::sync::OnceLock;
+    static T: OnceLock<std::time::Duration> = OnceLock::new();
+    *T.get_or_init(|| {
+        let secs = std::env::var("HPL_COMM_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(120);
+        std::time::Duration::from_secs(secs.max(1))
+    })
+}
+
+/// Per-rank traffic counters, useful for asserting the structural properties
+/// of collective algorithms (message counts, communicated volume).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Messages sent by this rank.
+    pub messages_sent: AtomicU64,
+    /// Total `f64`-equivalent elements sent (best-effort: only counted by
+    /// the slice-payload helpers; `Any` payloads count as one element).
+    pub elems_sent: AtomicU64,
+}
+
+impl CommStats {
+    /// Snapshot `(messages_sent, elems_sent)`.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.messages_sent.load(Ordering::Relaxed), self.elems_sent.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn count(&self, elems: u64) {
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.elems_sent.fetch_add(elems, Ordering::Relaxed);
+    }
+}
+
+/// The shared state of one communicator: `size` mailboxes plus barrier
+/// bookkeeping and per-rank stats.
+pub struct Fabric {
+    boxes: Vec<Mailbox>,
+    stats: Vec<CommStats>,
+    barrier_state: Mutex<BarrierGen>,
+    barrier_cv: Condvar,
+}
+
+#[derive(Default)]
+struct BarrierGen {
+    arrived: usize,
+    generation: u64,
+}
+
+impl Fabric {
+    /// Creates a fabric connecting `size` ranks.
+    pub fn new(size: usize) -> Arc<Self> {
+        Arc::new(Self {
+            boxes: (0..size).map(|_| Mailbox::new()).collect(),
+            stats: (0..size).map(|_| CommStats::default()).collect(),
+            barrier_state: Mutex::new(BarrierGen::default()),
+            barrier_cv: Condvar::new(),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Deposits a message for `dst`.
+    pub fn send(&self, src: usize, dst: usize, tag: Tag, msg: Boxed, elems: u64) {
+        assert!(dst < self.boxes.len(), "send to rank {dst} of {}", self.boxes.len());
+        self.stats[src].count(elems);
+        self.boxes[dst].deposit(src, tag, msg);
+    }
+
+    /// Blocks until a message from `(src, tag)` addressed to `dst` arrives.
+    /// Panics with a diagnostic after [`recv_timeout`] (default 120 s,
+    /// `HPL_COMM_TIMEOUT_SECS` to override) — see [`Mailbox::take`].
+    pub fn recv(&self, dst: usize, src: usize, tag: Tag) -> Boxed {
+        assert!(src < self.boxes.len(), "recv from rank {src} of {}", self.boxes.len());
+        self.boxes[dst].take(dst, src, tag)
+    }
+
+    /// Per-rank statistics.
+    pub fn stats(&self, rank: usize) -> &CommStats {
+        &self.stats[rank]
+    }
+
+    /// True if no undelivered messages remain anywhere (used by tests to
+    /// assert collectives are self-contained).
+    pub fn quiescent(&self) -> bool {
+        self.boxes.iter().all(Mailbox::is_empty)
+    }
+
+    /// Centralized generation-counting barrier over all ranks of this fabric.
+    pub fn barrier(&self) {
+        let n = self.boxes.len();
+        let mut g = self.barrier_state.lock();
+        let gen = g.generation;
+        g.arrived += 1;
+        if g.arrived == n {
+            g.arrived = 0;
+            g.generation = g.generation.wrapping_add(1);
+            self.barrier_cv.notify_all();
+        } else {
+            while g.generation == gen {
+                self.barrier_cv.wait(&mut g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_per_source_tag() {
+        let f = Fabric::new(2);
+        f.send(0, 1, Tag::user(7), Box::new(1u32), 1);
+        f.send(0, 1, Tag::user(7), Box::new(2u32), 1);
+        let a = *f.recv(1, 0, Tag::user(7)).downcast::<u32>().unwrap();
+        let b = *f.recv(1, 0, Tag::user(7)).downcast::<u32>().unwrap();
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn tags_do_not_cross_match() {
+        let f = Fabric::new(2);
+        f.send(0, 1, Tag::user(1), Box::new("one"), 1);
+        f.send(0, 1, Tag::user(2), Box::new("two"), 1);
+        let t2 = *f.recv(1, 0, Tag::user(2)).downcast::<&str>().unwrap();
+        let t1 = *f.recv(1, 0, Tag::user(1)).downcast::<&str>().unwrap();
+        assert_eq!((t1, t2), ("one", "two"));
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let f = Fabric::new(2);
+        let f2 = Arc::clone(&f);
+        let h = thread::spawn(move || *f2.recv(1, 0, Tag::user(3)).downcast::<u64>().unwrap());
+        thread::sleep(std::time::Duration::from_millis(20));
+        f.send(0, 1, Tag::user(3), Box::new(99u64), 1);
+        assert_eq!(h.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all() {
+        let f = Fabric::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let f = Arc::clone(&f);
+                let c = Arc::clone(&counter);
+                s.spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    f.barrier();
+                    assert_eq!(c.load(Ordering::SeqCst), 4);
+                    f.barrier();
+                    c.fetch_add(10, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 44);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with reserved range")]
+    fn reserved_tags_rejected() {
+        let _ = Tag::user(Tag::RESERVED_BASE + 5);
+    }
+
+    #[test]
+    fn recv_timeout_panics_with_diagnostic() {
+        // Shrink the timeout for this test only (env is read once per
+        // process, so set it before any recv path runs in this test bin).
+        std::env::set_var("HPL_COMM_TIMEOUT_SECS", "1");
+        let f = Fabric::new(2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = f.recv(1, 0, Tag::user(9));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("no message from rank 0"), "{msg}");
+    }
+
+    #[test]
+    fn stats_count_sends() {
+        let f = Fabric::new(2);
+        f.send(0, 1, Tag::user(0), Box::new(0u8), 128);
+        let (m, e) = f.stats(0).snapshot();
+        assert_eq!((m, e), (1, 128));
+        let _ = f.recv(1, 0, Tag::user(0));
+        assert!(f.quiescent());
+    }
+}

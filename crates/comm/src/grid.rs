@@ -1,0 +1,145 @@
+//! The 2D process grid: `P x Q` ranks in column-major order with row and
+//! column sub-communicators, exactly as HPL lays them out.
+
+use crate::comm::Communicator;
+
+/// Rank-to-coordinate ordering of the grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GridOrder {
+    /// `rank = col * p + row` (HPL's default).
+    #[default]
+    ColumnMajor,
+    /// `rank = row * q + col`.
+    RowMajor,
+}
+
+/// A `P x Q` process grid built over a world communicator.
+///
+/// * The **column communicator** connects the `P` ranks of one process
+///   column — the FACT pivot collectives run here.
+/// * The **row communicator** connects the `Q` ranks of one process row —
+///   LBCAST runs here.
+pub struct Grid {
+    world: Communicator,
+    row_comm: Communicator,
+    col_comm: Communicator,
+    p: usize,
+    q: usize,
+    myrow: usize,
+    mycol: usize,
+}
+
+impl Grid {
+    /// Builds the grid; collective over all ranks of `world`. Panics unless
+    /// `world.size() == p * q`.
+    pub fn new(world: Communicator, p: usize, q: usize, order: GridOrder) -> Self {
+        assert_eq!(world.size(), p * q, "grid {p}x{q} needs exactly {} ranks", p * q);
+        let rank = world.rank();
+        let (myrow, mycol) = match order {
+            GridOrder::ColumnMajor => (rank % p, rank / p),
+            GridOrder::RowMajor => (rank / q, rank % q),
+        };
+        // Row communicator: same row, ordered by column.
+        let row_comm = world.split(myrow, mycol);
+        // Column communicator: same column, ordered by row.
+        let col_comm = world.split(mycol, myrow);
+        debug_assert_eq!(row_comm.rank(), mycol);
+        debug_assert_eq!(col_comm.rank(), myrow);
+        Self { world, row_comm, col_comm, p, q, myrow, mycol }
+    }
+
+    /// Number of process rows.
+    #[inline]
+    pub fn nprow(&self) -> usize {
+        self.p
+    }
+
+    /// Number of process columns.
+    #[inline]
+    pub fn npcol(&self) -> usize {
+        self.q
+    }
+
+    /// This rank's process row.
+    #[inline]
+    pub fn myrow(&self) -> usize {
+        self.myrow
+    }
+
+    /// This rank's process column.
+    #[inline]
+    pub fn mycol(&self) -> usize {
+        self.mycol
+    }
+
+    /// The all-ranks communicator.
+    #[inline]
+    pub fn world(&self) -> &Communicator {
+        &self.world
+    }
+
+    /// Communicator over this rank's process row (`Q` ranks, rank == mycol).
+    #[inline]
+    pub fn row(&self) -> &Communicator {
+        &self.row_comm
+    }
+
+    /// Communicator over this rank's process column (`P` ranks,
+    /// rank == myrow).
+    #[inline]
+    pub fn col(&self) -> &Communicator {
+        &self.col_comm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::{allreduce, Op};
+    use crate::universe::Universe;
+
+    #[test]
+    fn column_major_coordinates() {
+        let out = Universe::run(6, |comm| {
+            let g = Grid::new(comm, 2, 3, GridOrder::ColumnMajor);
+            (g.myrow(), g.mycol(), g.row().size(), g.col().size())
+        });
+        assert_eq!(
+            out,
+            vec![(0, 0, 3, 2), (1, 0, 3, 2), (0, 1, 3, 2), (1, 1, 3, 2), (0, 2, 3, 2), (1, 2, 3, 2)]
+        );
+    }
+
+    #[test]
+    fn row_major_coordinates() {
+        let out = Universe::run(6, |comm| {
+            let g = Grid::new(comm, 2, 3, GridOrder::RowMajor);
+            (g.myrow(), g.mycol())
+        });
+        assert_eq!(out, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn row_and_col_comms_are_disjoint_reductions() {
+        let out = Universe::run(6, |comm| {
+            let g = Grid::new(comm, 2, 3, GridOrder::ColumnMajor);
+            let mut row_sum = vec![g.mycol() as f64];
+            allreduce(g.row(), Op::Sum, &mut row_sum);
+            let mut col_sum = vec![g.myrow() as f64];
+            allreduce(g.col(), Op::Sum, &mut col_sum);
+            (row_sum[0], col_sum[0])
+        });
+        // Row sums over cols 0+1+2 = 3, col sums over rows 0+1 = 1.
+        for (rs, cs) in out {
+            assert_eq!((rs, cs), (3.0, 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs exactly")]
+    fn wrong_size_panics() {
+        Universe::run(5, |comm| {
+            let _ = Grid::new(comm, 2, 3, GridOrder::ColumnMajor);
+        });
+    }
+}

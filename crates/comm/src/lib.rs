@@ -1,0 +1,44 @@
+//! # hpl-comm
+//!
+//! A thread-backed message-passing substrate with the MPI surface HPL
+//! needs. The paper's system runs over Cray-MPICH on Slingshot; Rust has no
+//! mature MPI binding, so this crate plays that role: ranks are OS threads
+//! inside one process, point-to-point messages match on `(source, tag)`
+//! with FIFO order per pair, and the collectives are implemented *as
+//! algorithms over point-to-point messages* — binomial trees, rings, and
+//! scatter+allgather — rather than shared-memory shortcuts, so the
+//! communication structure (who talks to whom, in what order, with what
+//! volume) is exactly what an MPI-based HPL would produce.
+//!
+//! Quick map:
+//! * [`Universe::run`] — `mpirun -np N` analogue (one thread per rank).
+//! * [`Communicator`] — typed `send`/`recv`, `sendrecv`, `barrier`,
+//!   [`Communicator::split`].
+//! * [`coll`] — `bcast`, `reduce`/`allreduce` (+[`coll::allreduce_maxloc`]
+//!   for pivot search), `gatherv`, `scatterv`, ring `allgatherv`.
+//! * [`ring`] — the six HPL panel-broadcast variants ([`BcastAlgo`]).
+//! * [`Grid`] — the `P x Q` process grid with row/column communicators.
+
+
+// Lint policy: indexed loops are used deliberately where they mirror the
+// reference BLAS/HPL loop structure, and several kernels take the full
+// argument list their BLAS counterparts do.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::too_many_arguments)]
+
+pub mod coll;
+pub mod comm;
+pub mod fabric;
+pub mod grid;
+pub mod ring;
+pub mod universe;
+
+pub use coll::{
+    allgatherv, allgatherv_rd, allreduce, allreduce_maxloc, allreduce_with, bcast, gatherv,
+    reduce, scatterv, MaxLoc, Op,
+};
+pub use comm::Communicator;
+pub use fabric::{CommStats, Tag};
+pub use grid::{Grid, GridOrder};
+pub use ring::{panel_bcast, BcastAlgo};
+pub use universe::Universe;

@@ -1,0 +1,94 @@
+//! Launching a "job": one OS thread per rank, all connected by a world
+//! [`Communicator`].
+
+use std::sync::Arc;
+
+use crate::comm::Communicator;
+use crate::fabric::Fabric;
+
+/// Entry point of the message-passing substrate, the analogue of
+/// `mpirun -np N`.
+pub struct Universe;
+
+impl Universe {
+    /// Runs `f` on `nranks` concurrent ranks (one OS thread each) and
+    /// returns their results ordered by rank. `f` may borrow from the
+    /// caller's stack; the call returns when every rank has finished.
+    ///
+    /// A panic on any rank propagates to the caller after all other ranks
+    /// finish or panic (ranks blocked on a peer that died would otherwise
+    /// hang forever — tests rely on fail-fast, so every rank's closure
+    /// should be deadlock-free on its own).
+    pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Sync,
+    {
+        assert!(nranks >= 1, "need at least one rank");
+        let fabric = Fabric::new(nranks);
+        let mut results: Vec<Option<T>> = Vec::with_capacity(nranks);
+        results.resize_with(nranks, || None);
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(nranks);
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let comm = Communicator::new(Arc::clone(&fabric), rank);
+                let f = &f;
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .spawn_scoped(s, move || {
+                            *slot = Some(f(comm));
+                        })
+                        .expect("spawn rank thread"),
+                );
+            }
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for h in handles {
+                if let Err(e) = h.join() {
+                    panic.get_or_insert(e);
+                }
+            }
+            if let Some(e) = panic {
+                std::panic::resume_unwind(e);
+            }
+        });
+        results.into_iter().map(|r| r.expect("rank produced a result")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_ordered_by_rank() {
+        let out = Universe::run(5, |c| c.rank() * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let out = Universe::run(1, |c| {
+            assert_eq!(c.size(), 1);
+            "ok"
+        });
+        assert_eq!(out, vec!["ok"]);
+    }
+
+    #[test]
+    fn closures_can_borrow_environment() {
+        let data = [10usize, 20, 30];
+        let out = Universe::run(3, |c| data[c.rank()]);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn rank_panic_propagates() {
+        Universe::run(2, |c| {
+            if c.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

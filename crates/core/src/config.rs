@@ -1,0 +1,199 @@
+//! Benchmark configuration: the knobs rocHPL exposes (problem size, block
+//! size, grid shape, broadcast algorithm, panel factorization recipe,
+//! look-ahead and split-update controls).
+
+use hpl_comm::{BcastAlgo, GridOrder};
+
+use crate::swap::RowSwapAlgo;
+
+/// Which unblocked LU variant runs at the base of the panel factorization
+/// (HPL's `PFACT`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FactVariant {
+    /// Left-looking: column `k` is updated by all previous columns at its
+    /// own step (lazy).
+    Left,
+    /// Crout: column update then row update, no trailing rank-1.
+    Crout,
+    /// Right-looking: eager rank-1 trailing update (what the paper's Fig 5
+    /// test uses at the base).
+    #[default]
+    Right,
+}
+
+impl FactVariant {
+    /// All variants, for sweeps and equivalence tests.
+    pub const ALL: [FactVariant; 3] = [FactVariant::Left, FactVariant::Crout, FactVariant::Right];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FactVariant::Left => "left",
+            FactVariant::Crout => "crout",
+            FactVariant::Right => "right",
+        }
+    }
+}
+
+/// Panel factorization recipe: recursive column splitting down to a base
+/// width, then an unblocked variant (HPL's `RFACT`/`NDIV`/`NBMIN`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FactOpts {
+    /// Unblocked variant at the recursion base.
+    pub variant: FactVariant,
+    /// Number of subdivisions per recursion level (paper: 2).
+    pub ndiv: usize,
+    /// Stop recursing below this width (paper: 16).
+    pub nbmin: usize,
+    /// Threads for the multi-threaded factorization (1 = serial; §III.A).
+    pub threads: usize,
+}
+
+impl Default for FactOpts {
+    fn default() -> Self {
+        // The paper's Fig 5 configuration: recursive right-looking,
+        // two subdivisions, base width 16.
+        Self { variant: FactVariant::Right, ndiv: 2, nbmin: 16, threads: 1 }
+    }
+}
+
+/// How each iteration schedules communication against the trailing update.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Schedule {
+    /// Factor, broadcast, swap, update — no overlap structure (reference).
+    Simple,
+    /// Look-ahead (Fig 3): update the next panel's columns first, factor it
+    /// while the rest of the trailing update proceeds.
+    LookAhead,
+    /// Look-ahead plus split update (Fig 6): the local columns are split
+    /// into left/right sections whose row-swap communication is staggered
+    /// under the other section's update. The fraction is the initial share
+    /// of local columns in the *right* section (paper: 0.5 on one node).
+    SplitUpdate {
+        /// Fraction of local columns initially in the right section.
+        frac: f64,
+    },
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::SplitUpdate { frac: 0.5 }
+    }
+}
+
+/// Full benchmark configuration.
+#[derive(Clone, Debug)]
+pub struct HplConfig {
+    /// Global problem size `N` (the matrix is `N x (N+1)` augmented).
+    pub n: usize,
+    /// Blocking factor `NB`.
+    pub nb: usize,
+    /// Process grid rows `P`.
+    pub p: usize,
+    /// Process grid columns `Q`.
+    pub q: usize,
+    /// Matrix generator seed.
+    pub seed: u64,
+    /// Panel broadcast algorithm (LBCAST).
+    pub bcast: BcastAlgo,
+    /// Panel factorization recipe.
+    pub fact: FactOpts,
+    /// Iteration schedule.
+    pub schedule: Schedule,
+    /// Threads for the trailing-update DGEMM (1 = serial). This emulates
+    /// the device-side parallelism of the GPU update; results are bitwise
+    /// independent of the thread count.
+    pub update_threads: usize,
+    /// Row-swap allgather algorithm.
+    pub swap: RowSwapAlgo,
+    /// Rank-to-grid ordering.
+    pub order: GridOrder,
+}
+
+impl HplConfig {
+    /// A small default configuration for tests and examples.
+    pub fn new(n: usize, nb: usize, p: usize, q: usize) -> Self {
+        Self {
+            n,
+            nb,
+            p,
+            q,
+            seed: 42,
+            bcast: BcastAlgo::default(),
+            fact: FactOpts::default(),
+            schedule: Schedule::Simple,
+            update_threads: 1,
+            swap: RowSwapAlgo::default(),
+            order: GridOrder::ColumnMajor,
+        }
+    }
+
+    /// Number of ranks the configuration needs.
+    pub fn ranks(&self) -> usize {
+        self.p * self.q
+    }
+
+    /// Number of panel iterations.
+    pub fn iterations(&self) -> usize {
+        self.n.div_ceil(self.nb)
+    }
+
+    /// Validates invariants, panicking with a clear message on misuse.
+    pub fn validate(&self) {
+        assert!(self.n > 0, "N must be positive");
+        assert!(self.nb > 0, "NB must be positive");
+        assert!(self.p > 0 && self.q > 0, "grid must be non-empty");
+        assert!(self.fact.ndiv >= 2, "NDIV must be at least 2");
+        assert!(self.fact.nbmin >= 1, "NBMIN must be at least 1");
+        assert!(self.fact.threads >= 1, "need at least one FACT thread");
+        assert!(self.update_threads >= 1, "need at least one update thread");
+        if let Schedule::SplitUpdate { frac } = self.schedule {
+            assert!(
+                (0.0..=1.0).contains(&frac),
+                "split fraction must lie in [0, 1], got {frac}"
+            );
+        }
+    }
+
+    /// Total floating-point operations of the benchmark
+    /// (`2/3 N^3 + 3/2 N^2`, the HPL accounting formula).
+    pub fn flops(&self) -> f64 {
+        let n = self.n as f64;
+        (2.0 / 3.0) * n * n * n + 1.5 * n * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_settings() {
+        let f = FactOpts::default();
+        assert_eq!(f.variant, FactVariant::Right);
+        assert_eq!(f.ndiv, 2);
+        assert_eq!(f.nbmin, 16);
+        assert_eq!(Schedule::default(), Schedule::SplitUpdate { frac: 0.5 });
+    }
+
+    #[test]
+    fn iteration_count_rounds_up() {
+        assert_eq!(HplConfig::new(100, 32, 2, 2).iterations(), 4);
+        assert_eq!(HplConfig::new(96, 32, 2, 2).iterations(), 3);
+    }
+
+    #[test]
+    fn flops_formula() {
+        let c = HplConfig::new(1000, 100, 1, 1);
+        let n = 1000.0f64;
+        assert_eq!(c.flops(), 2.0 / 3.0 * n.powi(3) + 1.5 * n * n);
+    }
+
+    #[test]
+    #[should_panic(expected = "split fraction")]
+    fn bad_split_fraction_rejected() {
+        let mut c = HplConfig::new(64, 16, 1, 1);
+        c.schedule = Schedule::SplitUpdate { frac: 1.5 };
+        c.validate();
+    }
+}

@@ -1,0 +1,207 @@
+//! 2D block-cyclic distribution index math (Fig 1 of the paper).
+//!
+//! The global `N x N` matrix is blocked into `NB x NB` panels distributed
+//! round-robin over a `P x Q` process grid: global row `g` belongs to
+//! process row `(g / NB) % P`, and analogously for columns. These helpers
+//! are the ScaLAPACK `numroc`/`indxg2l`/`indxg2p` family specialized to a
+//! zero source offset.
+
+/// Number of rows (or columns) of a global dimension `n`, blocked by `nb`,
+/// that process `iproc` of `nprocs` owns (ScaLAPACK `numroc`).
+pub fn numroc(n: usize, nb: usize, iproc: usize, nprocs: usize) -> usize {
+    assert!(nb > 0 && nprocs > 0 && iproc < nprocs);
+    let nblocks = n / nb;
+    let mut count = (nblocks / nprocs) * nb;
+    let extra = nblocks % nprocs;
+    if iproc < extra {
+        count += nb;
+    } else if iproc == extra {
+        count += n % nb;
+    }
+    count
+}
+
+/// Process that owns global index `g`.
+#[inline]
+pub fn owner(g: usize, nb: usize, nprocs: usize) -> usize {
+    (g / nb) % nprocs
+}
+
+/// Local index of global index `g` on its owning process.
+#[inline]
+pub fn global_to_local(g: usize, nb: usize, nprocs: usize) -> usize {
+    let block = g / nb;
+    (block / nprocs) * nb + g % nb
+}
+
+/// Global index of local index `l` on process `iproc`.
+#[inline]
+pub fn local_to_global(l: usize, nb: usize, iproc: usize, nprocs: usize) -> usize {
+    let local_block = l / nb;
+    (local_block * nprocs + iproc) * nb + l % nb
+}
+
+/// Smallest local index on `iproc` whose global index is `>= g`
+/// (i.e. the start of this process's slice of the trailing submatrix).
+pub fn local_lower_bound(g: usize, nb: usize, iproc: usize, nprocs: usize) -> usize {
+    let block = g / nb;
+    let my_next_block = if block % nprocs == iproc {
+        // `g` falls inside one of my blocks.
+        return (block / nprocs) * nb + g % nb;
+    } else {
+        // First of my blocks at or after `block`.
+        let mut b = block + (iproc + nprocs - block % nprocs) % nprocs;
+        if b < block {
+            b += nprocs;
+        }
+        b
+    };
+    (my_next_block / nprocs) * nb
+}
+
+/// One axis of a block-cyclic distribution: dimension `n` in blocks of
+/// `nb` over `nprocs` processes, viewed from process `iproc`.
+#[derive(Clone, Copy, Debug)]
+pub struct Axis {
+    /// Global dimension.
+    pub n: usize,
+    /// Block size.
+    pub nb: usize,
+    /// This process's coordinate on the axis.
+    pub iproc: usize,
+    /// Number of processes on the axis.
+    pub nprocs: usize,
+}
+
+impl Axis {
+    /// Local element count on this process.
+    #[inline]
+    pub fn local_len(&self) -> usize {
+        numroc(self.n, self.nb, self.iproc, self.nprocs)
+    }
+
+    /// Owner of global index `g`.
+    #[inline]
+    pub fn owner(&self, g: usize) -> usize {
+        owner(g, self.nb, self.nprocs)
+    }
+
+    /// Whether this process owns global index `g`.
+    #[inline]
+    pub fn is_mine(&self, g: usize) -> bool {
+        self.owner(g) == self.iproc
+    }
+
+    /// Local index of global `g`; callers must check [`Axis::is_mine`].
+    #[inline]
+    pub fn to_local(&self, g: usize) -> usize {
+        debug_assert!(self.is_mine(g));
+        global_to_local(g, self.nb, self.nprocs)
+    }
+
+    /// Global index of local index `l` on this process.
+    #[inline]
+    pub fn to_global(&self, l: usize) -> usize {
+        local_to_global(l, self.nb, self.iproc, self.nprocs)
+    }
+
+    /// Smallest local index with global index `>= g`.
+    #[inline]
+    pub fn local_lower_bound(&self, g: usize) -> usize {
+        local_lower_bound(g, self.nb, self.iproc, self.nprocs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numroc_partitions_exactly() {
+        for &(n, nb, p) in
+            &[(16usize, 4usize, 2usize), (17, 4, 2), (100, 8, 3), (5, 8, 4), (0, 4, 2), (512, 512, 2)]
+        {
+            let total: usize = (0..p).map(|ip| numroc(n, nb, ip, p)).sum();
+            assert_eq!(total, n, "n={n} nb={nb} p={p}");
+        }
+    }
+
+    #[test]
+    fn fig1_example_2x2() {
+        // N = 8 NB, 2x2 grid: each process owns 4 blocks of rows and cols.
+        let n = 8 * 32;
+        assert_eq!(numroc(n, 32, 0, 2), 4 * 32);
+        assert_eq!(numroc(n, 32, 1, 2), 4 * 32);
+        // Row blocks alternate: block 0 -> p0, block 1 -> p1, ...
+        assert_eq!(owner(0, 32, 2), 0);
+        assert_eq!(owner(33, 32, 2), 1);
+        assert_eq!(owner(64, 32, 2), 0);
+    }
+
+    #[test]
+    fn roundtrip_global_local() {
+        let (n, nb, p) = (137usize, 8usize, 3usize);
+        for g in 0..n {
+            let o = owner(g, nb, p);
+            let l = global_to_local(g, nb, p);
+            assert_eq!(local_to_global(l, nb, o, p), g);
+        }
+    }
+
+    #[test]
+    fn local_indices_are_globally_monotonic() {
+        let (n, nb, p) = (100usize, 8usize, 3usize);
+        for ip in 0..p {
+            let cnt = numroc(n, nb, ip, p);
+            let globals: Vec<usize> = (0..cnt).map(|l| local_to_global(l, nb, ip, p)).collect();
+            assert!(globals.windows(2).all(|w| w[0] < w[1]), "proc {ip}: {globals:?}");
+            assert!(globals.iter().all(|&g| g < n));
+        }
+    }
+
+    #[test]
+    fn lower_bound_matches_scan() {
+        let (n, nb, p) = (133usize, 16usize, 4usize);
+        for ip in 0..p {
+            let cnt = numroc(n, nb, ip, p);
+            for g in 0..n {
+                let expect = (0..cnt)
+                    .find(|&l| local_to_global(l, nb, ip, p) >= g)
+                    .unwrap_or(cnt);
+                assert_eq!(
+                    local_lower_bound(g, nb, ip, p),
+                    expect,
+                    "g={g} ip={ip}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_rows_are_contiguous_suffix() {
+        // The panel at iteration k owns local rows [lb..mloc): check that
+        // every local row >= lb has global >= k0 and vice versa.
+        let (n, nb, p) = (96usize, 8usize, 3usize);
+        for ip in 0..p {
+            let mloc = numroc(n, nb, ip, p);
+            for k0 in (0..n).step_by(nb) {
+                let lb = local_lower_bound(k0, nb, ip, p);
+                for l in 0..mloc {
+                    let g = local_to_global(l, nb, ip, p);
+                    assert_eq!(l >= lb, g >= k0, "ip={ip} k0={k0} l={l} g={g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axis_wrapper_consistency() {
+        let ax = Axis { n: 50, nb: 4, iproc: 1, nprocs: 3 };
+        assert_eq!(ax.local_len(), numroc(50, 4, 1, 3));
+        for l in 0..ax.local_len() {
+            let g = ax.to_global(l);
+            assert!(ax.is_mine(g));
+            assert_eq!(ax.to_local(g), l);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The benchmark driver: orchestrates FACT, LBCAST, RS and UPDATE across
+//! iterations under one of three schedules — the reference order, the
+//! look-ahead pipeline (paper Fig 3), and the split-update pipeline
+//! (paper Fig 6) — and finishes with the distributed back-substitution.
+//!
+//! All three schedules perform the same arithmetic on the same operands in
+//! a different order *between* independent column groups, so their results
+//! are bitwise identical; the integration tests rely on this.
+
+use std::time::Instant;
+
+use hpl_blas::mat::Matrix;
+use hpl_comm::{Communicator, Grid};
+use hpl_threads::Pool;
+
+use crate::config::{HplConfig, Schedule};
+use crate::fact::{panel_factor, FactInput, FactOut, Singular};
+use crate::local::LocalMatrix;
+use crate::panel::{host_view, lbcast, pack_panel, panel_from_host, panel_to_host, PanelGeom, PanelL};
+use crate::solve::back_substitute;
+use crate::swap::{apply_moves, row_swap, row_swap_comm, ColRange, RsData, SwapPlan};
+use crate::update::{gemm_update_parallel, solve_u, store_u};
+
+/// Per-iteration phase timings recorded by each rank (seconds). The paper's
+/// Fig 7 plots the diagonal-owner's record of each iteration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IterTiming {
+    /// Iteration index.
+    pub iter: usize,
+    /// Whether this rank owned the iteration's diagonal block.
+    pub diag_owner: bool,
+    /// Total wall time of the iteration on this rank.
+    pub total: f64,
+    /// CPU time in the panel factorization (minus its collectives).
+    pub fact: f64,
+    /// MPI time: pivot collectives + LBCAST + row-swap communication.
+    pub comm: f64,
+    /// Host<->device panel transfer time (the explicit copies).
+    pub transfer: f64,
+    /// "GPU" compute: DTRSM + DGEMM + swap gather/scatter kernels.
+    pub update: f64,
+}
+
+/// Result of a benchmark run on one rank.
+pub struct HplResult {
+    /// The solution vector, replicated on every rank.
+    pub x: Vec<f64>,
+    /// Per-iteration timings recorded by this rank.
+    pub timings: Vec<IterTiming>,
+    /// Total factorization+solve wall time on this rank (seconds).
+    pub wall: f64,
+    /// Benchmark GFLOPS (HPL formula over the wall time).
+    pub gflops: f64,
+    /// Problem size, kept for the progress accounting below.
+    pub n: usize,
+    /// Blocking factor.
+    pub nb: usize,
+}
+
+/// One running-throughput sample, the metric rocHPL prints during
+/// execution ("we typically see the running throughput in this regime
+/// achieve 90% of this limit", paper SIV.A).
+#[derive(Clone, Copy, Debug)]
+pub struct ProgressSample {
+    /// Iteration index.
+    pub iter: usize,
+    /// Fraction of the benchmark's FLOPs completed after this iteration.
+    pub fraction: f64,
+    /// Running throughput over the elapsed iterations (GFLOPS).
+    pub running_gflops: f64,
+}
+
+impl HplResult {
+    /// Per-iteration running throughput: cumulative HPL-accounted FLOPs
+    /// over cumulative iteration time. Early samples reflect the
+    /// compute-bound regime; the final sample approaches
+    /// [`HplResult::gflops`] (minus the back-substitution epilogue).
+    pub fn progress(&self) -> Vec<ProgressSample> {
+        let n = self.n as f64;
+        let total_flops = 2.0 / 3.0 * n * n * n + 1.5 * n * n;
+        let mut out = Vec::with_capacity(self.timings.len());
+        let mut elapsed = 0.0f64;
+        for t in &self.timings {
+            elapsed += t.total;
+            // FLOPs completed through iteration `iter`: eliminating the
+            // leading k columns costs total - (2/3 r^3 + 3/2 r^2) with
+            // r = n - k rows remaining.
+            let k = (((t.iter + 1) * self.nb) as f64).min(n);
+            let r = n - k;
+            let done = total_flops - (2.0 / 3.0 * r * r * r + 1.5 * r * r);
+            out.push(ProgressSample {
+                iter: t.iter,
+                fraction: done / total_flops,
+                running_gflops: if elapsed > 0.0 { done / elapsed / 1e9 } else { 0.0 },
+            });
+        }
+        out
+    }
+}
+
+/// One iteration's panel, after factorization and broadcast.
+struct IterPanel {
+    geom: PanelGeom,
+    panel: PanelL,
+    plan: SwapPlan,
+}
+
+struct Driver<'a> {
+    grid: &'a Grid,
+    cfg: &'a HplConfig,
+    pool: Pool,
+    a: LocalMatrix,
+    timings: Vec<IterTiming>,
+}
+
+/// Runs the full HPL benchmark on this rank with the seeded random system.
+/// Collective over all ranks of `comm` (which must have exactly
+/// `cfg.p * cfg.q` ranks).
+pub fn run_hpl(comm: Communicator, cfg: &HplConfig) -> Result<HplResult, Singular> {
+    let gen = crate::rng::MatGen::new(cfg.seed, cfg.n);
+    run_hpl_with(comm, cfg, &|i, j| gen.entry(i, j))
+}
+
+/// Runs the benchmark pipeline as a *solver* for a caller-supplied dense
+/// augmented system: `fill(i, j)` returns global entry `(i, j)` of the
+/// `N x (N+1)` matrix, with column `N` holding the right-hand side. The
+/// returned solution solves `A x = b` to HPL accuracy. Collective.
+pub fn run_hpl_with(
+    comm: Communicator,
+    cfg: &HplConfig,
+    fill: &(dyn Fn(usize, usize) -> f64 + Sync),
+) -> Result<HplResult, Singular> {
+    cfg.validate();
+    let grid = Grid::new(comm, cfg.p, cfg.q, cfg.order);
+    let a = LocalMatrix::generate_with(cfg.n, cfg.nb, &grid, fill);
+    let pool = Pool::new(cfg.fact.threads.max(cfg.update_threads).max(1));
+    let mut d = Driver { grid: &grid, cfg, pool, a, timings: Vec::new() };
+
+    let t0 = Instant::now();
+    match cfg.schedule {
+        Schedule::Simple => d.run_simple()?,
+        Schedule::LookAhead => d.run_lookahead(0.0)?,
+        Schedule::SplitUpdate { frac } => d.run_lookahead(frac)?,
+    }
+    let x = back_substitute(&d.a, &grid, cfg.nb);
+    let wall = t0.elapsed().as_secs_f64();
+    Ok(HplResult {
+        x,
+        timings: d.timings,
+        wall,
+        gflops: cfg.flops() / wall / 1e9,
+        n: cfg.n,
+        nb: cfg.nb,
+    })
+}
+
+impl Driver<'_> {
+    /// Panel geometry for iteration `it`.
+    fn geom(&self, it: usize) -> PanelGeom {
+        let k0 = it * self.cfg.nb;
+        let jb = self.cfg.nb.min(self.cfg.n - k0);
+        PanelGeom::new(&self.a, self.grid, k0, jb)
+    }
+
+    /// Local trailing-column range after iteration `it`'s panel.
+    fn trailing(&self, it: usize) -> ColRange {
+        let k0 = it * self.cfg.nb;
+        let jb = self.cfg.nb.min(self.cfg.n - k0);
+        ColRange { start: self.a.cols.local_lower_bound(k0 + jb), end: self.a.nloc }
+    }
+
+    /// Factors panel `it` and broadcasts it; returns the iteration panel
+    /// and accumulates phase timings into `t`.
+    fn fact_and_bcast(&mut self, it: usize, t: &mut IterTiming) -> Result<IterPanel, Singular> {
+        let geom = self.geom(it);
+        let packed = if geom.in_panel_col {
+            let tx = Instant::now();
+            let mut host = panel_to_host(&self.a, &geom);
+            t.transfer += tx.elapsed().as_secs_f64();
+
+            let tf = Instant::now();
+            let out: FactOut = {
+                let inp = FactInput {
+                    col_comm: self.grid.col(),
+                    rows: self.a.rows,
+                    k0: geom.k0,
+                    jb: geom.jb,
+                    lb: geom.lb,
+                    is_curr: geom.in_curr_row,
+                    pool: &self.pool,
+                    opts: self.cfg.fact,
+                };
+                let mut hv = host_view(&mut host, &geom);
+                panel_factor(&inp, &mut hv)?
+            };
+            t.fact += tf.elapsed().as_secs_f64() - out.comm_seconds;
+            t.comm += out.comm_seconds;
+
+            let tx = Instant::now();
+            panel_from_host(&mut self.a, &geom, &host, &out.top);
+            let buf = pack_panel(&geom, &out.top, &out.ipiv, &host);
+            t.transfer += tx.elapsed().as_secs_f64();
+            Some(buf)
+        } else {
+            None
+        };
+        let tb = Instant::now();
+        let panel = lbcast(self.grid.row(), self.cfg.bcast, &geom, packed);
+        t.comm += tb.elapsed().as_secs_f64();
+        let plan = SwapPlan::build(geom.k0, geom.jb, &panel.ipiv);
+        Ok(IterPanel { geom, panel, plan })
+    }
+
+    /// Row swap + full update over `range` using iteration panel `ip`.
+    fn swap_and_update(&mut self, ip: &IterPanel, range: ColRange, t: &mut IterTiming) {
+        if range.width() == 0 {
+            // Still participate in the column collectives: peers in this
+            // process column have the same width (identical column
+            // distribution), so zero width is column-wide and nobody calls.
+            return;
+        }
+        let tr = Instant::now();
+        let rows = self.a.rows;
+        let prow = ip.geom.prow;
+        let mut av = self.a.view_mut();
+        let u = row_swap(self.grid.col(), rows, &ip.plan, prow, &mut av, range, self.cfg.swap);
+        t.comm += tr.elapsed().as_secs_f64();
+
+        let tu = Instant::now();
+        self.apply_update(ip, u, range);
+        t.update += tu.elapsed().as_secs_f64();
+    }
+
+    fn apply_update(&mut self, ip: &IterPanel, mut u: Matrix, range: ColRange) {
+        solve_u(&ip.panel, &mut u);
+        let mut av = self.a.view_mut();
+        if ip.geom.in_curr_row {
+            store_u(&ip.geom, &u, &mut av, range);
+        }
+        gemm_update_parallel(
+            &ip.geom,
+            &ip.panel,
+            &u,
+            &mut av,
+            range,
+            &self.pool,
+            self.cfg.update_threads,
+        );
+    }
+
+    /// Reference schedule: factor, broadcast, swap, update, per iteration.
+    fn run_simple(&mut self) -> Result<(), Singular> {
+        let iters = self.cfg.iterations();
+        for it in 0..iters {
+            let mut t = IterTiming { iter: it, ..Default::default() };
+            let ti = Instant::now();
+            let ip = self.fact_and_bcast(it, &mut t)?;
+            let range = self.trailing(it);
+            self.swap_and_update(&ip, range, &mut t);
+            t.total = ti.elapsed().as_secs_f64();
+            t.diag_owner = ip.geom.in_curr_row && ip.geom.in_panel_col;
+            self.timings.push(t);
+        }
+        Ok(())
+    }
+
+    /// Look-ahead pipeline, optionally with the split update. `frac` is the
+    /// initial share of local trailing columns in the right section
+    /// (`0.0` disables the split and gives the plain Fig 3 pipeline).
+    fn run_lookahead(&mut self, frac: f64) -> Result<(), Singular> {
+        let iters = self.cfg.iterations();
+        // Fixed split point: local column where the right section starts,
+        // aligned down to a local block boundary so the shrinking left
+        // section eventually hits it exactly.
+        let split_lj = if frac > 0.0 {
+            let t0 = self.trailing(0).start;
+            let width = self.a.nloc - t0;
+            let right_target = (width as f64 * frac).round() as usize;
+            let s = self.a.nloc.saturating_sub(right_target).max(t0);
+            // Align down to a local block boundary so the shrinking left
+            // section hits the split point exactly.
+            t0 + ((s - t0) / self.cfg.nb) * self.cfg.nb
+        } else {
+            self.a.nloc
+        };
+
+        // Prologue: factor+broadcast panel 0; prefetch RS2 for iteration 0.
+        let mut t = IterTiming { iter: 0, ..Default::default() };
+        let mut cur = self.fact_and_bcast(0, &mut t)?;
+        let mut pending: Option<RsData> = self.prefetch_rs2(&cur, split_lj, &mut t);
+
+        for it in 0..iters {
+            let ti = Instant::now();
+            let tstart = self.trailing(it).start;
+            t.diag_owner = cur.geom.in_curr_row && cur.geom.in_panel_col;
+
+            // Next panel's local columns (the look-ahead section).
+            let next_geom = if it + 1 < iters { Some(self.geom(it + 1)) } else { None };
+            let la_width = match &next_geom {
+                Some(g) if g.in_panel_col => g.jb.min(self.a.nloc - tstart),
+                _ => 0,
+            };
+
+            if let Some(rs2) = pending.take() {
+                // ---- Split-update iteration (Fig 6). ----
+                let right = ColRange { start: split_lj, end: self.a.nloc };
+                let la = ColRange { start: tstart, end: tstart + la_width };
+                let left_rest = ColRange { start: tstart + la_width, end: split_lj };
+
+                // 1. Scatter the pre-communicated right-section rows.
+                let tu = Instant::now();
+                apply_moves(&mut self.a.view_mut(), right, &rs2.my_moves);
+                t.update += tu.elapsed().as_secs_f64();
+
+                // 2. Row swap + update of the look-ahead columns only.
+                self.swap_and_update(&cur, la, &mut t);
+
+                // 3. Factor + broadcast the next panel (in rocHPL this is
+                // the CPU/host work hidden by UPDATE2 on the GPU).
+                let next = match next_geom {
+                    Some(_) => Some(self.fact_and_bcast(it + 1, &mut t)?),
+                    None => None,
+                };
+
+                // 4. RS1 (hidden by UPDATE2 on the GPU timeline).
+                self.swap_and_update(&cur, left_rest, &mut t);
+
+                // 5. UPDATE2 using the prefetched U2.
+                let tu = Instant::now();
+                self.apply_update(&cur, rs2.u, right);
+                t.update += tu.elapsed().as_secs_f64();
+
+                // 6. Prefetch RS2 for the next iteration (hidden by
+                // UPDATE1 on the GPU timeline).
+                if let Some(nx) = &next {
+                    pending = self.prefetch_rs2(nx, split_lj, &mut t);
+                }
+
+                if let Some(nx) = next {
+                    cur = nx;
+                }
+            } else {
+                // ---- Plain look-ahead iteration (Fig 3). ----
+                let range = ColRange { start: tstart, end: self.a.nloc };
+                if la_width > 0 {
+                    let la = ColRange { start: tstart, end: tstart + la_width };
+                    let rest = ColRange { start: tstart + la_width, end: self.a.nloc };
+                    // Swap both sections now (one collective per section to
+                    // keep column groups in lockstep), update LA first.
+                    self.swap_and_update(&cur, la, &mut t);
+                    let nx = self.fact_and_bcast(it + 1, &mut t)?;
+                    self.swap_and_update(&cur, rest, &mut t);
+                    cur = nx;
+                } else if next_geom.is_some() {
+                    // Not the look-ahead owner: swap/update trailing, then
+                    // join the next panel's factorization/broadcast.
+                    self.swap_and_update(&cur, range, &mut t);
+                    let nx = self.fact_and_bcast(it + 1, &mut t)?;
+                    cur = nx;
+                } else {
+                    self.swap_and_update(&cur, range, &mut t);
+                }
+            }
+
+            t.total = ti.elapsed().as_secs_f64();
+            t.iter = it;
+            self.timings.push(t);
+            t = IterTiming { iter: it + 1, ..Default::default() };
+        }
+        Ok(())
+    }
+
+    /// Communicates the right-section row swap for iteration `ip` ahead of
+    /// time (without scattering). Returns `None` when the left section is
+    /// exhausted (the pipeline then falls back to Fig 3 form).
+    fn prefetch_rs2(&mut self, ip: &IterPanel, split_lj: usize, t: &mut IterTiming) -> Option<RsData> {
+        let tstart = self.a.cols.local_lower_bound(ip.geom.k0 + ip.geom.jb);
+        if tstart >= split_lj || split_lj >= self.a.nloc {
+            return None;
+        }
+        let right = ColRange { start: split_lj, end: self.a.nloc };
+        let tr = Instant::now();
+        let rows = self.a.rows;
+        let av = self.a.view_mut();
+        let data =
+            row_swap_comm(self.grid.col(), rows, &ip.plan, ip.geom.prow, &av, right, self.cfg.swap);
+        t.comm += tr.elapsed().as_secs_f64();
+        Some(data)
+    }
+}

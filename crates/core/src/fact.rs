@@ -1,0 +1,528 @@
+//! Panel factorization (FACT) — the latency-critical phase of HPL.
+//!
+//! At iteration `k0` the `jb` panel columns are LU-factored with partial
+//! pivoting by the `P` ranks of one process column. Every pivot selection is
+//! one combined collective (like HPL's `HPL_pdmxswp`): the reduction payload
+//! carries the winning candidate row *and* the current top row, so a single
+//! reduce+broadcast both decides the pivot and performs the data motion of
+//! the swap.
+//!
+//! Replication discipline: the factored rows of the diagonal block
+//! (`top`, `jb x jb`, full panel width) are replicated on all ranks of the
+//! process column — each row is installed by the pivot collective at its
+//! step, and all subsequent triangular updates to `top` are performed
+//! redundantly by every rank. Unfactored rows (including the not-yet-chosen
+//! rows of the diagonal block, which live on the "current" process row)
+//! stay local and are updated in place.
+//!
+//! Multi-threading (paper §III.A, Fig 4): the tall-skinny local panel is cut
+//! into `jb`-row tiles round-robined over `T` pool threads. Each tile is
+//! touched only by its owner between barriers (Parallel Cache Assignment);
+//! the pivot search is a two-level reduction (thread-level
+//! [`hpl_threads::Ctx::reduce_maxloc`], then the process-column collective
+//! executed by thread 0, which is the only thread that talks to the
+//! "network"). Serial execution is the `T = 1` special case of the same
+//! code path.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use hpl_blas::mat::{MatMut, MatRef, Matrix};
+use hpl_blas::{dgemm, dtrsm, Diag, Side, Trans};
+use hpl_comm::{allreduce_with, Communicator};
+use hpl_threads::{Ctx, Pool};
+
+use crate::config::{FactOpts, FactVariant};
+use crate::dist::Axis;
+
+/// Everything the factorization needs to know about the panel's place in
+/// the distributed matrix.
+pub struct FactInput<'a> {
+    /// Communicator over the process column (size `P`).
+    pub col_comm: &'a Communicator,
+    /// Row distribution of the global matrix.
+    pub rows: Axis,
+    /// Global index of the panel's first row/column.
+    pub k0: usize,
+    /// Panel width.
+    pub jb: usize,
+    /// Local row index (in the full local matrix) of the first panel row.
+    pub lb: usize,
+    /// Whether this rank's process row owns the diagonal block.
+    pub is_curr: bool,
+    /// Thread pool for the parallel region.
+    pub pool: &'a Pool,
+    /// Factorization recipe.
+    pub opts: FactOpts,
+}
+
+/// Factorization output.
+#[derive(Debug)]
+pub struct FactOut {
+    /// Replicated factored diagonal block: row `k` holds the final content
+    /// of global row `k0 + k` (unit-lower `L1` below the diagonal, `U11`
+    /// on and above it), full panel width.
+    pub top: Matrix,
+    /// Global pivot row chosen at each of the `jb` steps.
+    pub ipiv: Vec<usize>,
+    /// Wall time thread 0 spent inside the pivot collectives (the MPI
+    /// share of FACT, reported separately in the Fig 7 breakdown).
+    pub comm_seconds: f64,
+}
+
+/// Zero pivot encountered: the matrix is numerically singular.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Singular {
+    /// Global column of the zero pivot.
+    pub col: usize,
+}
+
+/// The payload of the combined pivot-search collective.
+#[derive(Clone, Debug)]
+struct PivotMsg {
+    /// `|candidate|` (negative infinity when the rank has no candidates).
+    val: f64,
+    /// Global row of the candidate.
+    grow: u64,
+    /// Full-width content of the candidate row.
+    row: Vec<f64>,
+    /// Full-width content of the current top row `k` (supplied only by the
+    /// rank owning the diagonal block).
+    currow: Vec<f64>,
+}
+
+impl PivotMsg {
+    fn combine(a: PivotMsg, b: PivotMsg) -> PivotMsg {
+        let (val, grow, row) = if b.val > a.val || (b.val == a.val && b.grow < a.grow) {
+            (b.val, b.grow, b.row)
+        } else {
+            (a.val, a.grow, a.row)
+        };
+        let currow = if a.currow.is_empty() { b.currow } else { a.currow };
+        PivotMsg { val, grow, row, currow }
+    }
+}
+
+/// A column-major matrix shared across pool threads by raw pointer.
+///
+/// Safety protocol: tiles (disjoint row ranges) are accessed only by their
+/// owning thread between barriers; whole-matrix access happens only in
+/// thread-0-exclusive phases separated from parallel phases by barriers.
+struct SharedMat {
+    ptr: *mut f64,
+    rows: usize,
+    cols: usize,
+    lda: usize,
+}
+
+unsafe impl Send for SharedMat {}
+unsafe impl Sync for SharedMat {}
+
+impl SharedMat {
+    fn new(m: &mut MatMut<'_>) -> Self {
+        Self { ptr: m.as_mut_ptr(), rows: m.rows(), cols: m.cols(), lda: m.lda() }
+    }
+
+    /// Mutable view of rows `r0..r1` (all columns).
+    ///
+    /// # Safety
+    /// The caller must hold exclusive logical access to those rows under
+    /// the tile-ownership/barrier protocol described on the type. Distinct
+    /// row ranges access disjoint elements (the column stride skips other
+    /// ranges' rows), so concurrent tile views are sound.
+    unsafe fn rows_mut(&self, r0: usize, r1: usize) -> MatMut<'_> {
+        debug_assert!(r0 <= r1 && r1 <= self.rows);
+        unsafe { MatMut::from_raw_parts(self.ptr.add(r0), r1 - r0, self.cols, self.lda) }
+    }
+
+    /// Immutable view of the whole matrix.
+    ///
+    /// # Safety
+    /// No thread may be mutating any region this reader dereferences
+    /// (guaranteed between barriers when readers only touch rows the
+    /// protocol froze).
+    unsafe fn view(&self) -> MatRef<'_> {
+        unsafe { MatRef::from_raw_parts(self.ptr, self.rows, self.cols, self.lda) }
+    }
+}
+
+/// Interior-mutable cell written only by thread 0 in exclusive phases.
+struct RacyCell<T>(UnsafeCell<T>);
+
+unsafe impl<T: Send> Send for RacyCell<T> {}
+unsafe impl<T: Send> Sync for RacyCell<T> {}
+
+impl<T> RacyCell<T> {
+    fn new(v: T) -> Self {
+        Self(UnsafeCell::new(v))
+    }
+    /// # Safety
+    /// Only thread 0, in a phase where no other thread accesses the cell.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self) -> &mut T {
+        unsafe { &mut *self.0.get() }
+    }
+    fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+struct FactState<'a> {
+    inp: &'a FactInput<'a>,
+    a: SharedMat,
+    top: SharedMat,
+    ipiv: RacyCell<Vec<usize>>,
+    /// Nanoseconds thread 0 spent in the pivot collectives.
+    comm_ns: AtomicU64,
+    /// `usize::MAX` = no error; otherwise the global column of a zero pivot.
+    err: AtomicUsize,
+    /// Local panel rows.
+    m: usize,
+    jb: usize,
+}
+
+impl FactState<'_> {
+    /// First local panel row still unfactored before step `k`.
+    #[inline]
+    fn cand_start(&self, k: usize) -> usize {
+        if self.inp.is_curr {
+            k
+        } else {
+            0
+        }
+    }
+
+    /// First local panel row strictly below the (just-factored) row `k`.
+    #[inline]
+    fn below_start(&self, k: usize) -> usize {
+        if self.inp.is_curr {
+            k + 1
+        } else {
+            0
+        }
+    }
+
+    /// Global row of local panel row `pli`.
+    #[inline]
+    fn global_row(&self, pli: usize) -> usize {
+        self.inp.rows.to_global(self.inp.lb + pli)
+    }
+
+    /// Calls `f(r0, r1)` for every row range this thread owns, clipped to
+    /// rows `>= start`. Tiles are `jb` rows, round-robined (Fig 4).
+    fn for_own_tiles(&self, ctx: &Ctx<'_>, start: usize, mut f: impl FnMut(usize, usize)) {
+        let tile = self.jb.max(1);
+        let nthreads = ctx.num_threads();
+        let mut t = ctx.thread_id();
+        while t * tile < self.m {
+            let r0 = (t * tile).max(start);
+            let r1 = ((t + 1) * tile).min(self.m);
+            if r0 < r1 {
+                f(r0, r1);
+            }
+            t += nthreads;
+        }
+    }
+}
+
+/// Factors the local panel `a` (all trailing local rows x `jb` columns;
+/// on the diagonal-owning process row the first `jb` rows are the diagonal
+/// block). Collective over the process column. See module docs.
+pub fn panel_factor(inp: &FactInput<'_>, a: &mut MatMut<'_>) -> Result<FactOut, Singular> {
+    let jb = inp.jb;
+    assert!(jb > 0, "empty panel");
+    assert_eq!(a.cols(), jb, "panel width mismatch");
+    if inp.is_curr {
+        assert!(a.rows() >= jb, "diagonal owner must hold the full diagonal block");
+    }
+    let mut top = Matrix::zeros(jb, jb);
+    let mut top_view = top.view_mut();
+    let st = FactState {
+        inp,
+        m: a.rows(),
+        jb,
+        a: SharedMat::new(a),
+        top: SharedMat::new(&mut top_view),
+        ipiv: RacyCell::new(vec![0usize; jb]),
+        comm_ns: AtomicU64::new(0),
+        err: AtomicUsize::new(usize::MAX),
+    };
+    let nthreads = inp.opts.threads.clamp(1, inp.pool.size());
+    inp.pool.run(nthreads, |ctx| {
+        rec_factor(&st, ctx, 0, jb);
+    });
+    let err = st.err.load(Ordering::Relaxed);
+    let _ = top_view;
+    if err != usize::MAX {
+        return Err(Singular { col: err });
+    }
+    Ok(FactOut {
+        top,
+        ipiv: st.ipiv.into_inner(),
+        comm_seconds: st.comm_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+    })
+}
+
+/// Recursive column splitting (HPL's `RFACT` driver with `NDIV`/`NBMIN`).
+fn rec_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
+    let w = hi - lo;
+    if w <= st.inp.opts.nbmin {
+        base_factor(st, ctx, lo, hi);
+        return;
+    }
+    let ndiv = st.inp.opts.ndiv.max(2).min(w);
+    // Nearly equal pieces, earlier pieces absorb the remainder.
+    let base = w / ndiv;
+    let rem = w % ndiv;
+    let mut bounds = Vec::with_capacity(ndiv + 1);
+    let mut x = lo;
+    bounds.push(x);
+    for i in 0..ndiv {
+        x += base + usize::from(i < rem);
+        bounds.push(x);
+    }
+    for i in 0..ndiv {
+        let (plo, phi) = (bounds[i], bounds[i + 1]);
+        rec_factor(st, ctx, plo, phi);
+        if st.err.load(Ordering::Relaxed) != usize::MAX {
+            return;
+        }
+        if phi < hi {
+            // Apply the factored piece to the columns on its right.
+            if ctx.thread_id() == 0 {
+                // Replicated DTRSM on the factored top rows:
+                // top[plo..phi, phi..hi] <- L(plo..phi)^{-1} * same.
+                // SAFETY: exclusive phase (between barriers).
+                let mut t = unsafe { st.top.rows_mut(0, st.jb) };
+                let (l_part, mut rest) = t.submatrix_mut(0, 0, st.jb, hi).split_at_col(phi);
+                let l11 = l_part.as_ref().submatrix(plo, plo, phi - plo, phi - plo);
+                let mut tgt = rest.submatrix_mut(plo, 0, phi - plo, hi - phi);
+                dtrsm(Side::Left, hpl_blas::Uplo::Lower, Trans::No, Diag::Unit, 1.0, l11, &mut tgt);
+            }
+            ctx.barrier();
+            // Local trailing GEMM on candidate rows, tile-parallel.
+            // SAFETY: `top` is frozen during this parallel phase; each
+            // thread mutates only rows of its own tiles.
+            let topv = unsafe { st.top.view() };
+            let u = topv.submatrix(plo, phi, phi - plo, hi - phi);
+            st.for_own_tiles(ctx, st.cand_start(phi), |r0, r1| {
+                let mut rows = unsafe { st.a.rows_mut(r0, r1) };
+                let (l_cols, mut rest) = rows.submatrix_mut(0, 0, r1 - r0, hi).split_at_col(phi);
+                let l = l_cols.as_ref().submatrix(0, plo, r1 - r0, phi - plo);
+                let mut c = rest.submatrix_mut(0, 0, r1 - r0, hi - phi);
+                dgemm(Trans::No, Trans::No, -1.0, l, u, 1.0, &mut c);
+            });
+            ctx.barrier();
+        }
+    }
+}
+
+/// Unblocked factorization of columns `lo..hi` (the recursion base).
+fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
+    for k in lo..hi {
+        match st.inp.opts.variant {
+            FactVariant::Right => {}
+            FactVariant::Left => {
+                // Lazy update of column k by columns lo..k.
+                if k > lo {
+                    if ctx.thread_id() == 0 {
+                        // U(lo..k, k) = unit_lower(top[lo..k, lo..k])^{-1} top[lo..k, k].
+                        // SAFETY: exclusive phase.
+                        let mut t = unsafe { st.top.rows_mut(0, st.jb) };
+                        let (l_part, mut ck) = t.submatrix_mut(0, 0, st.jb, k + 1).split_at_col(k);
+                        let l11 = l_part.as_ref().submatrix(lo, lo, k - lo, k - lo);
+                        let mut tgt = ck.submatrix_mut(lo, 0, k - lo, 1);
+                        dtrsm(
+                            Side::Left,
+                            hpl_blas::Uplo::Lower,
+                            Trans::No,
+                            Diag::Unit,
+                            1.0,
+                            l11,
+                            &mut tgt,
+                        );
+                    }
+                    ctx.barrier();
+                    update_col(st, ctx, lo, k);
+                    ctx.barrier();
+                }
+            }
+            FactVariant::Crout => {
+                // Column k already holds final U above; update candidates.
+                if k > lo {
+                    update_col(st, ctx, lo, k);
+                    ctx.barrier();
+                }
+            }
+        }
+
+        if !pivot_step(st, ctx, k) {
+            return; // singular; flag already set and visible to all threads
+        }
+
+        // Scale the multipliers in column k below the pivot.
+        // SAFETY: `top` frozen; each thread touches only its tiles.
+        let pivot = unsafe { st.top.view() }.get(k, k);
+        st.for_own_tiles(ctx, st.below_start(k), |r0, r1| {
+            let mut rows = unsafe { st.a.rows_mut(r0, r1) };
+            for v in rows.col_mut(k) {
+                *v /= pivot;
+            }
+        });
+
+        match st.inp.opts.variant {
+            FactVariant::Right => {
+                // Eager rank-1 trailing update within the sub-panel.
+                if k + 1 < hi {
+                    ctx.barrier();
+                    let topv = unsafe { st.top.view() };
+                    let yrow = topv.submatrix(k, k + 1, 1, hi - k - 1);
+                    st.for_own_tiles(ctx, st.below_start(k), |r0, r1| {
+                        let mut rows = unsafe { st.a.rows_mut(r0, r1) };
+                        let (xcol, mut rest) =
+                            rows.submatrix_mut(0, 0, r1 - r0, hi).split_at_col(k + 1);
+                        let x = xcol.col(k);
+                        let mut c = rest.submatrix_mut(0, 0, r1 - r0, hi - k - 1);
+                        for j in 0..c.cols() {
+                            let yj = yrow.get(0, j);
+                            if yj != 0.0 {
+                                let col = c.col_mut(j);
+                                for (ci, &xi) in col.iter_mut().zip(x) {
+                                    *ci -= yj * xi;
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+            FactVariant::Crout => {
+                // Finalize row k across the remaining sub-panel columns:
+                // top[k, k+1..hi] -= top[k, lo..k] * top[lo..k, k+1..hi].
+                // The barrier separates the parallel scale from thread 0's
+                // exclusive mutation of the shared `top`.
+                ctx.barrier();
+                if ctx.thread_id() == 0 && k + 1 < hi && k > lo {
+                    let topv = unsafe { st.top.view() };
+                    let mut contrib = vec![0.0f64; hi - k - 1];
+                    for (jj, c) in contrib.iter_mut().enumerate() {
+                        let mut s = 0.0;
+                        for p in lo..k {
+                            s += topv.get(k, p) * topv.get(p, k + 1 + jj);
+                        }
+                        *c = s;
+                    }
+                    let mut t = unsafe { st.top.rows_mut(0, st.jb) };
+                    for (jj, c) in contrib.into_iter().enumerate() {
+                        let v = t.get(k, k + 1 + jj) - c;
+                        t.set(k, k + 1 + jj, v);
+                    }
+                }
+            }
+            FactVariant::Left => {}
+        }
+        ctx.barrier();
+    }
+}
+
+/// Lazy column-k update used by the Left and Crout variants:
+/// `a[cand.., k] -= a[cand.., lo..k] * top[lo..k, k]`, tile-parallel.
+fn update_col(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, k: usize) {
+    // SAFETY: `top` frozen during this parallel phase.
+    let topv = unsafe { st.top.view() };
+    let u: Vec<f64> = (lo..k).map(|p| topv.get(p, k)).collect();
+    st.for_own_tiles(ctx, st.cand_start(k), |r0, r1| {
+        let mut rows = unsafe { st.a.rows_mut(r0, r1) };
+        let mut acc = vec![0.0f64; r1 - r0];
+        for (p, &up) in u.iter().enumerate() {
+            if up != 0.0 {
+                let col = rows.col(lo + p);
+                for (a, &l) in acc.iter_mut().zip(col) {
+                    *a += l * up;
+                }
+            }
+        }
+        let ck = rows.col_mut(k);
+        for (c, a) in ck.iter_mut().zip(acc) {
+            *c -= a;
+        }
+    });
+}
+
+/// One pivot selection + swap at column `k`: thread-level argmax reduction,
+/// then the process-column collective on thread 0, then installation of the
+/// winning row. Returns `false` if a zero pivot was found (error flag set).
+fn pivot_step(st: &FactState<'_>, ctx: &Ctx<'_>, k: usize) -> bool {
+    // Thread-level argmax over this thread's tiles.
+    let mut best_v = f64::NEG_INFINITY;
+    let mut best_i = usize::MAX;
+    st.for_own_tiles(ctx, st.cand_start(k), |r0, r1| {
+        // SAFETY: reading own tiles during a parallel phase.
+        let rows = unsafe { st.a.rows_mut(r0, r1) };
+        for (off, &v) in rows.col(k).iter().enumerate() {
+            let av = v.abs();
+            if av > best_v {
+                best_v = av;
+                best_i = r0 + off;
+            }
+        }
+    });
+    let (lv, li) = ctx.reduce_maxloc(best_v, best_i);
+
+    if ctx.thread_id() == 0 {
+        // Build this rank's contribution.
+        // SAFETY: exclusive phase (all threads are waiting to re-sync at
+        // the barrier below).
+        let av = unsafe { st.a.view() };
+        let mine = if li != usize::MAX && lv > f64::NEG_INFINITY {
+            let mut row = Vec::with_capacity(st.jb);
+            for j in 0..st.jb {
+                row.push(av.get(li, j));
+            }
+            PivotMsg { val: lv, grow: st.global_row(li) as u64, row, currow: Vec::new() }
+        } else {
+            PivotMsg { val: f64::NEG_INFINITY, grow: u64::MAX, row: Vec::new(), currow: Vec::new() }
+        };
+        let mine = if st.inp.is_curr {
+            let mut currow = Vec::with_capacity(st.jb);
+            for j in 0..st.jb {
+                currow.push(av.get(k, j));
+            }
+            PivotMsg { currow, ..mine }
+        } else {
+            mine
+        };
+        let t0 = std::time::Instant::now();
+        let win = allreduce_with(st.inp.col_comm, mine, PivotMsg::combine);
+        st.comm_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if win.val == 0.0 || !win.val.is_finite() {
+            st.err.store(st.inp.k0 + k, Ordering::Relaxed);
+        } else {
+            let grow = win.grow as usize;
+            // SAFETY: exclusive thread-0 phase.
+            let ipiv = unsafe { st.ipiv.get_mut() };
+            ipiv[k] = grow;
+            // Install the pivot row as factored row k (replicated).
+            let mut t = unsafe { st.top.rows_mut(k, k + 1) };
+            for (j, &v) in win.row.iter().enumerate() {
+                t.set(0, j, v);
+            }
+            // Keep the diagonal owner's local copy consistent.
+            if st.inp.is_curr {
+                let mut arow = unsafe { st.a.rows_mut(k, k + 1) };
+                for (j, &v) in win.row.iter().enumerate() {
+                    arow.set(0, j, v);
+                }
+            }
+            // Move the old top row into the pivot position if we own it.
+            if st.inp.rows.is_mine(grow) {
+                let pli = st.inp.rows.to_local(grow) - st.inp.lb;
+                let mut arow = unsafe { st.a.rows_mut(pli, pli + 1) };
+                for (j, &v) in win.currow.iter().enumerate() {
+                    arow.set(0, j, v);
+                }
+            }
+        }
+    }
+    ctx.barrier();
+    st.err.load(Ordering::Relaxed) == usize::MAX
+}

@@ -1,0 +1,144 @@
+//! Per-rank storage of the distributed augmented matrix.
+//!
+//! In rocHPL this buffer lives in the GPU's HBM; here it is the rank
+//! thread's heap. The right-hand side `b` is appended as global column `N`
+//! (HPL's augmented-system trick), so the row swaps and trailing updates of
+//! the elimination transform `b` in place and only a triangular solve
+//! remains at the end.
+
+use hpl_blas::mat::{MatMut, MatRef};
+use hpl_comm::Grid;
+
+use crate::dist::Axis;
+use crate::rng::MatGen;
+
+/// One rank's slice of the global `N x (N+1)` augmented matrix, plus the
+/// index machinery to navigate it.
+pub struct LocalMatrix {
+    /// Row distribution (dimension `N` over `P` process rows).
+    pub rows: Axis,
+    /// Column distribution (dimension `N + 1` over `Q` process columns).
+    pub cols: Axis,
+    /// Local row count.
+    pub mloc: usize,
+    /// Local column count (including the `b` column if owned).
+    pub nloc: usize,
+    data: Vec<f64>,
+}
+
+impl LocalMatrix {
+    /// Allocates and fills this rank's slice of the seeded random system.
+    pub fn generate(n: usize, nb: usize, grid: &Grid, seed: u64) -> Self {
+        let gen = MatGen::new(seed, n);
+        Self::generate_with(n, nb, grid, &|i, j| gen.entry(i, j))
+    }
+
+    /// Allocates and fills this rank's slice of an arbitrary augmented
+    /// system: `fill(i, j)` supplies global entry `(i, j)` of the
+    /// `N x (N+1)` matrix (column `N` is the right-hand side). `fill` must
+    /// be a pure function of its arguments — every rank calls it for its
+    /// own slice, and verification regenerates entries on demand.
+    pub fn generate_with(
+        n: usize,
+        nb: usize,
+        grid: &Grid,
+        fill: &(dyn Fn(usize, usize) -> f64 + Sync),
+    ) -> Self {
+        let rows = Axis { n, nb, iproc: grid.myrow(), nprocs: grid.nprow() };
+        let cols = Axis { n: n + 1, nb, iproc: grid.mycol(), nprocs: grid.npcol() };
+        let mloc = rows.local_len();
+        let nloc = cols.local_len();
+        let mut data = vec![0.0f64; mloc * nloc];
+        if mloc > 0 {
+            for lj in 0..nloc {
+                let j = cols.to_global(lj);
+                for li in 0..mloc {
+                    data[lj * mloc + li] = fill(rows.to_global(li), j);
+                }
+            }
+        }
+        Self { rows, cols, mloc, nloc, data }
+    }
+
+    /// Full local view.
+    pub fn view_mut(&mut self) -> MatMut<'_> {
+        MatMut::from_slice(&mut self.data, self.mloc, self.nloc, self.mloc.max(1))
+    }
+
+    /// Full local view (immutable).
+    pub fn view(&self) -> MatRef<'_> {
+        MatRef::from_slice(&self.data, self.mloc, self.nloc, self.mloc.max(1))
+    }
+
+    /// Leading dimension of the local buffer.
+    #[inline]
+    pub fn lda(&self) -> usize {
+        self.mloc.max(1)
+    }
+
+    /// Raw storage (column-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable storage (column-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element by local indices.
+    #[inline]
+    pub fn get(&self, li: usize, lj: usize) -> f64 {
+        self.data[lj * self.lda() + li]
+    }
+
+    /// Writes element by local indices.
+    #[inline]
+    pub fn set(&mut self, li: usize, lj: usize, v: f64) {
+        let lda = self.lda();
+        self.data[lj * lda + li] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_comm::{GridOrder, Universe};
+
+    /// The union of all ranks' local slices reconstructs the global matrix.
+    #[test]
+    fn distributed_generation_tiles_global_matrix() {
+        let (n, nb, p, q) = (37usize, 5usize, 2usize, 3usize);
+        let locals = Universe::run(p * q, |comm| {
+            let grid = Grid::new(comm, p, q, GridOrder::ColumnMajor);
+            let lm = LocalMatrix::generate(n, nb, &grid, 7);
+            let mut entries = Vec::new();
+            for lj in 0..lm.nloc {
+                for li in 0..lm.mloc {
+                    entries.push((lm.rows.to_global(li), lm.cols.to_global(lj), lm.get(li, lj)));
+                }
+            }
+            entries
+        });
+        let gen = MatGen::new(7, n);
+        let mut count = 0usize;
+        for entries in locals {
+            for (i, j, v) in entries {
+                assert!(i < n && j < n + 1);
+                assert_eq!(v, gen.entry(i, j), "({i},{j})");
+                count += 1;
+            }
+        }
+        assert_eq!(count, n * (n + 1), "every global entry generated exactly once");
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let out = Universe::run(1, |comm| {
+            let grid = Grid::new(comm, 1, 1, GridOrder::ColumnMajor);
+            let lm = LocalMatrix::generate(10, 4, &grid, 1);
+            (lm.mloc, lm.nloc)
+        });
+        assert_eq!(out, vec![(10, 11)]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Panel geometry, the host panel copy ("device-to-host transfer"), and the
+//! LBCAST buffer packing.
+//!
+//! In rocHPL the panel columns are copied from the GPU's HBM to host DDR
+//! for factorization and back afterwards; here both sides are CPU memory
+//! but the copies are kept explicit (and timed by the driver) because they
+//! are part of the schedule the paper overlaps.
+
+use hpl_blas::mat::{MatMut, MatRef, Matrix};
+use hpl_comm::{panel_bcast, BcastAlgo, Communicator, Grid};
+
+use crate::dist::Axis;
+use crate::local::LocalMatrix;
+
+/// Where iteration `k0`'s panel lives relative to this rank.
+#[derive(Clone, Copy, Debug)]
+pub struct PanelGeom {
+    /// Global first row/column of the panel.
+    pub k0: usize,
+    /// Panel width (`NB`, or the remainder on the last iteration).
+    pub jb: usize,
+    /// Process column owning the panel columns.
+    pub pcol: usize,
+    /// Process row owning the diagonal block.
+    pub prow: usize,
+    /// This rank is in the panel-owning process column.
+    pub in_panel_col: bool,
+    /// This rank is in the diagonal-owning process row.
+    pub in_curr_row: bool,
+    /// Local row index of the first trailing row (`>= k0`).
+    pub lb: usize,
+    /// Local panel row count (`mloc - lb`).
+    pub mp: usize,
+    /// Local column index of the first panel column (valid when
+    /// `in_panel_col`).
+    pub lj0: usize,
+    /// Local rows strictly below the diagonal block (`mp` minus `jb` on the
+    /// current row, `mp` elsewhere) — the height of the local `L2`.
+    pub l2_rows: usize,
+}
+
+impl PanelGeom {
+    /// Computes the geometry of the panel starting at `k0` with width `jb`.
+    pub fn new(a: &LocalMatrix, grid: &Grid, k0: usize, jb: usize) -> Self {
+        let rows: Axis = a.rows;
+        let cols: Axis = a.cols;
+        let pcol = cols.owner(k0);
+        let prow = rows.owner(k0);
+        let in_panel_col = grid.mycol() == pcol;
+        let in_curr_row = grid.myrow() == prow;
+        let lb = rows.local_lower_bound(k0);
+        let mp = a.mloc - lb;
+        let lj0 = if in_panel_col { cols.to_local(k0) } else { 0 };
+        let l2_rows = if in_curr_row { mp.saturating_sub(jb) } else { mp };
+        Self { k0, jb, pcol, prow, in_panel_col, in_curr_row, lb, mp, lj0, l2_rows }
+    }
+}
+
+/// Copies this rank's panel columns out of the local matrix into a
+/// contiguous host buffer (`mp x jb`, lda = mp). The H2D/D2H analogue.
+pub fn panel_to_host(a: &LocalMatrix, g: &PanelGeom) -> Vec<f64> {
+    debug_assert!(g.in_panel_col);
+    let mut host = vec![0.0f64; g.mp * g.jb];
+    let av = a.view();
+    for j in 0..g.jb {
+        let src = &av.col(g.lj0 + j)[g.lb..g.lb + g.mp];
+        host[j * g.mp..(j + 1) * g.mp].copy_from_slice(src);
+    }
+    host
+}
+
+/// Copies the factored host panel back into the local matrix; on the
+/// diagonal-owning row the first `jb` rows are taken from the replicated
+/// `top` (the factored diagonal block) instead of the possibly stale local
+/// rows.
+pub fn panel_from_host(a: &mut LocalMatrix, g: &PanelGeom, host: &[f64], top: &Matrix) {
+    debug_assert!(g.in_panel_col);
+    let (lb, mp, jb, lj0) = (g.lb, g.mp, g.jb, g.lj0);
+    let mut av = a.view_mut();
+    for j in 0..jb {
+        let dst = &mut av.col_mut(lj0 + j)[lb..lb + mp];
+        dst.copy_from_slice(&host[j * mp..(j + 1) * mp]);
+        if g.in_curr_row {
+            for (i, d) in dst.iter_mut().take(jb).enumerate() {
+                *d = top.get(i, j);
+            }
+        }
+    }
+}
+
+/// The panel payload every rank holds after LBCAST: the replicated factored
+/// diagonal block, this process row's slice of `L2`, and the pivot vector.
+pub struct PanelL {
+    /// `jb x jb` factored diagonal block (unit-lower `L1` + `U11`).
+    pub top: Matrix,
+    /// Local `L2` (`l2_rows x jb`, column-major, lda = l2_rows).
+    pub l2: Vec<f64>,
+    /// Global pivot row per panel column.
+    pub ipiv: Vec<usize>,
+    /// Rows of `l2`.
+    pub l2_rows: usize,
+    /// Panel width.
+    pub jb: usize,
+}
+
+impl PanelL {
+    /// View of `L2`.
+    pub fn l2_view(&self) -> MatRef<'_> {
+        MatRef::from_slice(&self.l2, self.l2_rows, self.jb, self.l2_rows.max(1))
+    }
+}
+
+/// Packs `[top | L2 | ipiv]` into one flat broadcast buffer.
+///
+/// `host` is the factored host panel (`mp x jb`); on the current row its
+/// leading `jb` rows (the stale diagonal block) are skipped — `top` carries
+/// that data in factored form.
+pub fn pack_panel(g: &PanelGeom, top: &Matrix, ipiv: &[usize], host: &[f64]) -> Vec<f64> {
+    let jb = g.jb;
+    let skip = if g.in_curr_row { jb } else { 0 };
+    let mut buf = Vec::with_capacity(jb * jb + g.l2_rows * jb + jb);
+    for j in 0..jb {
+        for i in 0..jb {
+            buf.push(top.get(i, j));
+        }
+    }
+    for j in 0..jb {
+        buf.extend_from_slice(&host[j * g.mp + skip..j * g.mp + g.mp]);
+    }
+    buf.extend(ipiv.iter().map(|&p| p as f64));
+    buf
+}
+
+/// Inverse of [`pack_panel`].
+pub fn unpack_panel(g: &PanelGeom, buf: &[f64]) -> PanelL {
+    let jb = g.jb;
+    let l2_rows = g.l2_rows;
+    assert_eq!(buf.len(), jb * jb + l2_rows * jb + jb, "panel buffer size mismatch");
+    let top = Matrix::from_vec(jb, jb, buf[..jb * jb].to_vec());
+    let l2 = buf[jb * jb..jb * jb + l2_rows * jb].to_vec();
+    let ipiv = buf[jb * jb + l2_rows * jb..].iter().map(|&v| v as usize).collect();
+    PanelL { top, l2, ipiv, l2_rows, jb }
+}
+
+/// Broadcasts the packed panel along the process row from the panel-owning
+/// column; every rank returns the unpacked [`PanelL`].
+pub fn lbcast(
+    row_comm: &Communicator,
+    algo: BcastAlgo,
+    g: &PanelGeom,
+    packed: Option<Vec<f64>>,
+) -> PanelL {
+    let mut buf = match packed {
+        Some(b) => {
+            debug_assert!(g.in_panel_col);
+            b
+        }
+        None => vec![0.0f64; g.jb * g.jb + g.l2_rows * g.jb + g.jb],
+    };
+    panel_bcast(row_comm, algo, g.pcol, &mut buf);
+    unpack_panel(g, &buf)
+}
+
+/// Convenience: extracts the trailing-rows view of the panel columns as a
+/// mutable matrix view (used by the factorization).
+pub fn host_view<'a>(host: &'a mut [f64], g: &PanelGeom) -> MatMut<'a> {
+    MatMut::from_slice(host, g.mp, g.jb, g.mp.max(1))
+}

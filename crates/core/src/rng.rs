@@ -1,0 +1,173 @@
+//! Reproducible, process-independent matrix generation.
+//!
+//! HPL's `pdmatgen` fills each process's local blocks from a splittable
+//! linear congruential generator with `O(log k)` jump-ahead, so every
+//! process can generate exactly its slice of the same global random matrix
+//! without communication — and the verification step can regenerate any
+//! entry on demand. We reproduce that scheme with a 64-bit LCG (the classic
+//! Knuth MMIX constants) whose `k`-step jump is computed by squaring.
+
+/// Multiplier of the underlying LCG.
+const LCG_A: u64 = 6364136223846793005;
+/// Increment of the underlying LCG.
+const LCG_C: u64 = 1442695040888963407;
+
+/// Generator of the entries of one global random matrix.
+///
+/// Entry `(i, j)` of the `N x (N+1)` augmented HPL matrix is a pure
+/// function of `(seed, j * nrows + i)`, uniform in `[-0.5, 0.5)` like HPL's
+/// generator.
+#[derive(Clone, Copy, Debug)]
+pub struct MatGen {
+    seed: u64,
+    nrows: u64,
+}
+
+impl MatGen {
+    /// Creates a generator for a matrix with `nrows` rows under `seed`.
+    pub fn new(seed: u64, nrows: usize) -> Self {
+        Self { seed: seed.wrapping_mul(LCG_A).wrapping_add(LCG_C) | 1, nrows: nrows as u64 }
+    }
+
+    /// LCG state after `k` steps from `state`, in `O(log k)`.
+    fn jump(mut state: u64, mut k: u64) -> u64 {
+        // Compose x -> a*x + c, k times, by repeated squaring of the affine
+        // map (a, c) -> (a^2, a*c + c).
+        let mut a = LCG_A;
+        let mut c = LCG_C;
+        while k > 0 {
+            if k & 1 == 1 {
+                state = a.wrapping_mul(state).wrapping_add(c);
+            }
+            c = a.wrapping_mul(c).wrapping_add(c);
+            a = a.wrapping_mul(a);
+            k >>= 1;
+        }
+        state
+    }
+
+    /// The raw 64-bit stream value at flat position `pos`.
+    #[inline]
+    fn raw(&self, pos: u64) -> u64 {
+        let s = Self::jump(self.seed, pos);
+        // One tempering multiply-xor to decorrelate consecutive states'
+        // low-entropy high bits (plain LCG streams have lattice structure).
+        let mut x = s;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+        x ^= x >> 33;
+        x
+    }
+
+    /// Matrix entry `(i, j)`, uniform in `[-0.5, 0.5)`.
+    #[inline]
+    pub fn entry(&self, i: usize, j: usize) -> f64 {
+        let pos = (j as u64).wrapping_mul(self.nrows).wrapping_add(i as u64);
+        (self.raw(pos) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    /// Fills a column-major local buffer: element `(li, lj)` of the buffer
+    /// receives global entry `(row_of(li), col_of(lj))`.
+    pub fn fill_local(
+        &self,
+        buf: &mut [f64],
+        mloc: usize,
+        nloc: usize,
+        lda: usize,
+        row_of: impl Fn(usize) -> usize,
+        col_of: impl Fn(usize) -> usize,
+    ) {
+        assert!(lda >= mloc.max(1));
+        if mloc == 0 || nloc == 0 {
+            return;
+        }
+        assert!(buf.len() >= lda * (nloc - 1) + mloc);
+        for lj in 0..nloc {
+            let j = col_of(lj);
+            let col = &mut buf[lj * lda..lj * lda + mloc];
+            for (li, v) in col.iter_mut().enumerate() {
+                *v = self.entry(row_of(li), j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g1 = MatGen::new(42, 100);
+        let g2 = MatGen::new(42, 100);
+        let g3 = MatGen::new(43, 100);
+        assert_eq!(g1.entry(3, 7), g2.entry(3, 7));
+        assert_ne!(g1.entry(3, 7), g3.entry(3, 7));
+    }
+
+    #[test]
+    fn entries_in_range() {
+        let g = MatGen::new(7, 50);
+        for i in 0..50 {
+            for j in 0..51 {
+                let v = g.entry(i, j);
+                assert!((-0.5..0.5).contains(&v), "({i},{j}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn jump_matches_iteration() {
+        let mut s = 12345u64;
+        for k in 0..100u64 {
+            assert_eq!(MatGen::jump(12345, k), s, "k={k}");
+            s = LCG_A.wrapping_mul(s).wrapping_add(LCG_C);
+        }
+        // Large jumps compose: jump(jump(x, a), b) == jump(x, a+b).
+        let a = 1_000_000_007u64;
+        let b = 999_999_937u64;
+        assert_eq!(
+            MatGen::jump(MatGen::jump(99, a), b),
+            MatGen::jump(99, a + b)
+        );
+    }
+
+    #[test]
+    fn mean_is_near_zero() {
+        let g = MatGen::new(2024, 200);
+        let mut sum = 0.0;
+        let n = 200 * 200;
+        for i in 0..200 {
+            for j in 0..200 {
+                sum += g.entry(i, j);
+            }
+        }
+        let mean = sum / n as f64;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn distinct_entries() {
+        // Adjacent entries must differ (tempering breaks LCG lattice).
+        let g = MatGen::new(1, 10);
+        let a = g.entry(0, 0);
+        let b = g.entry(1, 0);
+        let c = g.entry(0, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn fill_local_matches_entry() {
+        let g = MatGen::new(5, 40);
+        let mut buf = vec![0.0; 6 * 3];
+        // Local rows map to globals 1,3,5,7 and cols to 0,2,4 (lda 6, mloc 4).
+        g.fill_local(&mut buf, 4, 3, 6, |li| 1 + 2 * li, |lj| 2 * lj);
+        for lj in 0..3 {
+            for li in 0..4 {
+                assert_eq!(buf[lj * 6 + li], g.entry(1 + 2 * li, 2 * lj));
+            }
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Row swapping (RS) — applying the panel's pivots to a range of trailing
+//! columns and assembling the replicated `U` block (paper Fig 2c).
+//!
+//! The `NB` sequential swaps of the factorization are first collapsed into
+//! their net permutation (HPL's `HPL_pipid` equivalent), which yields
+//! * the **U sources**: for each panel row `k`, the original global row
+//!   whose content becomes `U` row `k`, and
+//! * the **moves**: rows whose content must land at positions outside the
+//!   diagonal block (the "swapped-out" old diagonal rows, possibly chained).
+//!
+//! Communication then follows the paper's structure: move sources are
+//! gathered to the diagonal-owning process row, scattered to their
+//! destination rows (`MPI_Scatterv`), and the U sources are assembled on
+//! every process row with a ring `MPI_Allgatherv`.
+
+use std::collections::HashMap;
+
+use hpl_blas::mat::{MatMut, Matrix};
+use hpl_comm::{allgatherv, allgatherv_rd, gatherv, scatterv, Communicator};
+
+use crate::dist::Axis;
+
+/// Which allgather algorithm assembles the `U` block (HPL's row-swap
+/// algorithm choice, `SWAP` in HPL.dat).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RowSwapAlgo {
+    /// Bandwidth-optimal ring ("spread & roll" / long variant).
+    #[default]
+    Ring,
+    /// Latency-optimal recursive doubling ("binary exchange").
+    BinaryExchange,
+    /// HPL's "mix": binary exchange while the section is narrower than the
+    /// swapping threshold (latency-bound tail), ring otherwise.
+    Mix {
+        /// Column-width threshold below which binary exchange is used.
+        threshold: usize,
+    },
+}
+
+impl RowSwapAlgo {
+    /// The fixed variants, for sweeps (Mix is parameterized).
+    pub const ALL: [RowSwapAlgo; 2] = [RowSwapAlgo::Ring, RowSwapAlgo::BinaryExchange];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RowSwapAlgo::Ring => "ring",
+            RowSwapAlgo::BinaryExchange => "bin-exch",
+            RowSwapAlgo::Mix { .. } => "mix",
+        }
+    }
+
+    /// Resolves the algorithm for a section of `width` local columns.
+    pub fn resolve(self, width: usize) -> RowSwapAlgo {
+        match self {
+            RowSwapAlgo::Mix { threshold } => {
+                if width < threshold {
+                    RowSwapAlgo::BinaryExchange
+                } else {
+                    RowSwapAlgo::Ring
+                }
+            }
+            fixed => fixed,
+        }
+    }
+}
+
+/// The net effect of a panel's row interchanges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwapPlan {
+    /// Panel start.
+    pub k0: usize,
+    /// Panel width.
+    pub jb: usize,
+    /// `u_src[k]` = original global row whose content becomes `U` row `k`.
+    pub u_src: Vec<usize>,
+    /// `(dst, src)` pairs for content that must land outside the diagonal
+    /// block, sorted by `dst`.
+    pub moves: Vec<(usize, usize)>,
+}
+
+impl SwapPlan {
+    /// Collapses the sequential swaps `k0+k <-> ipiv[k]` into a net plan.
+    pub fn build(k0: usize, jb: usize, ipiv: &[usize]) -> Self {
+        assert_eq!(ipiv.len(), jb);
+        let mut content: HashMap<usize, usize> = HashMap::new();
+        let get = |m: &HashMap<usize, usize>, p: usize| *m.get(&p).unwrap_or(&p);
+        for (k, &p) in ipiv.iter().enumerate() {
+            let a = k0 + k;
+            debug_assert!(p >= a, "pivot must come from the trailing rows");
+            let ca = get(&content, a);
+            let cb = get(&content, p);
+            content.insert(a, cb);
+            content.insert(p, ca);
+        }
+        let u_src: Vec<usize> = (0..jb).map(|k| get(&content, k0 + k)).collect();
+        let mut moves: Vec<(usize, usize)> = content
+            .iter()
+            .filter(|&(&pos, &src)| (pos >= k0 + jb) && pos != src)
+            .map(|(&pos, &src)| (pos, src))
+            .collect();
+        moves.sort_unstable();
+        Self { k0, jb, u_src, moves }
+    }
+}
+
+/// A contiguous range of local columns the swap applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColRange {
+    /// First local column (inclusive).
+    pub start: usize,
+    /// One past the last local column.
+    pub end: usize,
+}
+
+impl ColRange {
+    /// Number of columns.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// Copies local row `li` over `range` into `buf` (a "gather" GPU kernel in
+/// rocHPL).
+fn read_row(a: &MatMut<'_>, li: usize, range: ColRange, buf: &mut Vec<f64>) {
+    for lj in range.start..range.end {
+        buf.push(a.get(li, lj));
+    }
+}
+
+/// Writes `vals` into local row `li` over `range` (the "scatter" kernel).
+fn write_row(a: &mut MatMut<'_>, li: usize, range: ColRange, vals: &[f64]) {
+    debug_assert_eq!(vals.len(), range.width());
+    for (off, lj) in (range.start..range.end).enumerate() {
+        a.set(li, lj, vals[off]);
+    }
+}
+
+/// The received side of one section's row-swap communication: the
+/// assembled `U` block plus the move rows destined for this rank, not yet
+/// scattered into the local matrix.
+pub struct RsData {
+    /// Replicated `U` block (`jb x width`), raw (pre-DTRSM).
+    pub u: Matrix,
+    /// `(local destination row, row content)` pairs, to be applied by
+    /// [`apply_moves`].
+    pub my_moves: Vec<(usize, Vec<f64>)>,
+}
+
+/// The communication half of the row-swap phase over one process column:
+/// gathers the source rows this rank owns, routes move rows via the
+/// diagonal-owning process row (gatherv + scatterv), ring-allgathers the
+/// `U` sources, and returns everything *without writing to `a`* — the
+/// split-update schedule scatters one iteration later.
+///
+/// Collective over `col_comm`; all ranks of the process column must call it
+/// with the same `plan`.
+pub fn row_swap_comm(
+    col_comm: &Communicator,
+    rows: Axis,
+    plan: &SwapPlan,
+    prow_curr: usize,
+    a: &MatMut<'_>,
+    range: ColRange,
+    algo: RowSwapAlgo,
+) -> RsData {
+    let w = range.width();
+    let jb = plan.jb;
+    let me = col_comm.rank();
+
+    // ---- Read phase: copy every source row we own out of A. ----
+    // U sources, ordered by k.
+    let mut u_chunk = Vec::new();
+    let mut u_count = 0usize;
+    for &src in &plan.u_src {
+        if rows.owner(src) == me {
+            read_row(a, rows.to_local(src), range, &mut u_chunk);
+            u_count += 1;
+        }
+    }
+    // Move sources, ordered by move index.
+    let mut mv_chunk = Vec::new();
+    for &(_, src) in &plan.moves {
+        if rows.owner(src) == me {
+            read_row(a, rows.to_local(src), range, &mut mv_chunk);
+        }
+    }
+
+    // ---- Move routing: gather sources to the current row, scatter to
+    // destinations (paper: "scatter the NB source rows to their destination
+    // processes ... via a Scatterv"). ----
+    let mut my_moves: Vec<(usize, Vec<f64>)> = Vec::new();
+    if !plan.moves.is_empty() {
+        let gathered = gatherv(col_comm, prow_curr, &mv_chunk);
+        let scatter_buf = gathered.map(|flat| {
+            // `flat` concatenates each rank's chunk (moves it owns the
+            // *source* of, in move order). Rebuild per-move rows, then
+            // reorder by destination owner for the scatter.
+            let mut per_move: Vec<Vec<f64>> = vec![Vec::new(); plan.moves.len()];
+            let mut offset_of_rank = vec![0usize; col_comm.size()];
+            // Prefix offsets: rank r's chunk starts after all lower ranks'.
+            let mut counts = vec![0usize; col_comm.size()];
+            for &(_, src) in &plan.moves {
+                counts[rows.owner(src)] += w;
+            }
+            for r in 1..col_comm.size() {
+                offset_of_rank[r] = offset_of_rank[r - 1] + counts[r - 1];
+            }
+            let mut cursor = offset_of_rank.clone();
+            for (mi, &(_, src)) in plan.moves.iter().enumerate() {
+                let r = rows.owner(src);
+                per_move[mi] = flat[cursor[r]..cursor[r] + w].to_vec();
+                cursor[r] += w;
+            }
+            // Scatter layout: ordered by destination owner, then move index.
+            let mut out = Vec::with_capacity(plan.moves.len() * w);
+            let mut dst_counts = vec![0usize; col_comm.size()];
+            for r in 0..col_comm.size() {
+                for (mi, &(dst, _)) in plan.moves.iter().enumerate() {
+                    if rows.owner(dst) == r {
+                        out.extend_from_slice(&per_move[mi]);
+                        dst_counts[r] += w;
+                    }
+                }
+            }
+            (out, dst_counts)
+        });
+        let mine: Vec<f64> = match scatter_buf {
+            Some((buf, counts)) => scatterv(col_comm, prow_curr, Some((&buf, &counts))),
+            None => scatterv(col_comm, prow_curr, None),
+        };
+        // Record received rows against our destination positions (in move
+        // order restricted to ours).
+        let mut off = 0;
+        for &(dst, _) in &plan.moves {
+            if rows.owner(dst) == me {
+                my_moves.push((rows.to_local(dst), mine[off..off + w].to_vec()));
+                off += w;
+            }
+        }
+        debug_assert_eq!(off, mine.len());
+    }
+
+    // ---- U assembly: ring allgatherv of the U source rows. ----
+    let mut counts = vec![0usize; col_comm.size()];
+    for &src in &plan.u_src {
+        counts[rows.owner(src)] += w;
+    }
+    debug_assert_eq!(u_chunk.len(), u_count * w);
+    let flat = match algo.resolve(w) {
+        RowSwapAlgo::Ring => allgatherv(col_comm, &u_chunk, &counts),
+        RowSwapAlgo::BinaryExchange => allgatherv_rd(col_comm, &u_chunk, &counts),
+        RowSwapAlgo::Mix { .. } => unreachable!("resolve() returns a fixed variant"),
+    };
+    // Reorder rank-major chunks into k-order.
+    let mut offset_of_rank = vec![0usize; col_comm.size()];
+    for r in 1..col_comm.size() {
+        offset_of_rank[r] = offset_of_rank[r - 1] + counts[r - 1];
+    }
+    let mut cursor = offset_of_rank;
+    let mut u = Matrix::zeros(jb, w);
+    for (k, &src) in plan.u_src.iter().enumerate() {
+        let r = rows.owner(src);
+        let row = &flat[cursor[r]..cursor[r] + w];
+        cursor[r] += w;
+        for (j, &v) in row.iter().enumerate() {
+            u.set(k, j, v);
+        }
+    }
+    RsData { u, my_moves }
+}
+
+/// Scatters previously communicated move rows back into the local matrix
+/// (rocHPL's "scatter" GPU kernel).
+pub fn apply_moves(a: &mut MatMut<'_>, range: ColRange, moves: &[(usize, Vec<f64>)]) {
+    for (li, vals) in moves {
+        write_row(a, *li, range, vals);
+    }
+}
+
+/// The complete row-swap phase: communicate, scatter the moves, and return
+/// the assembled `U` block.
+pub fn row_swap(
+    col_comm: &Communicator,
+    rows: Axis,
+    plan: &SwapPlan,
+    prow_curr: usize,
+    a: &mut MatMut<'_>,
+    range: ColRange,
+    algo: RowSwapAlgo,
+) -> Matrix {
+    let data = row_swap_comm(col_comm, rows, plan, prow_curr, a, range, algo);
+    apply_moves(a, range, &data.my_moves);
+    data.u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_pivots_produce_no_moves() {
+        let ipiv: Vec<usize> = (10..14).collect();
+        let plan = SwapPlan::build(10, 4, &ipiv);
+        assert!(plan.moves.is_empty());
+        assert_eq!(plan.u_src, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn single_distant_pivot() {
+        // k0 = 0, jb = 2: step 0 picks row 7, step 1 picks row 1 (itself).
+        let plan = SwapPlan::build(0, 2, &[7, 1]);
+        assert_eq!(plan.u_src, vec![7, 1]);
+        assert_eq!(plan.moves, vec![(7, 0)]);
+    }
+
+    #[test]
+    fn chained_pivot_positions() {
+        // Position 5 is pivot twice: step 0 moves row 0 content to 5;
+        // step 1 moves that content onward to the diagonal.
+        let plan = SwapPlan::build(0, 2, &[5, 5]);
+        // After swap 0: pos0=5, pos5=0. After swap 1: pos1=pos5(=0), pos5=1.
+        assert_eq!(plan.u_src, vec![5, 0]);
+        assert_eq!(plan.moves, vec![(5, 1)]);
+    }
+
+    #[test]
+    fn pivot_inside_diag_block() {
+        // jb = 3, step 0 picks row 2 (inside the diagonal block).
+        let plan = SwapPlan::build(0, 3, &[2, 1, 2]);
+        // swap0: p0=2, p2=0; swap1: identity; swap2: p2<->p2 identity.
+        assert_eq!(plan.u_src, vec![2, 1, 0]);
+        assert!(plan.moves.is_empty());
+    }
+
+    #[test]
+    fn net_permutation_matches_sequential_simulation() {
+        // Randomized: apply swaps to an explicit vector and compare.
+        let k0 = 4;
+        let jb = 6;
+        let n = 30;
+        let mut s = 12345u64;
+        for trial in 0..50 {
+            let ipiv: Vec<usize> = (0..jb)
+                .map(|k| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(trial + 1);
+                    k0 + k + (s >> 33) as usize % (n - k0 - k)
+                })
+                .collect();
+            let mut v: Vec<usize> = (0..n).collect();
+            for (k, &p) in ipiv.iter().enumerate() {
+                v.swap(k0 + k, p);
+            }
+            let plan = SwapPlan::build(k0, jb, &ipiv);
+            for k in 0..jb {
+                assert_eq!(plan.u_src[k], v[k0 + k], "trial {trial} k {k}");
+            }
+            for &(dst, src) in &plan.moves {
+                assert_eq!(v[dst], src, "trial {trial} dst {dst}");
+                assert!(dst >= k0 + jb);
+            }
+            // Every position outside the diagonal block whose content
+            // changed must appear as a move destination.
+            for (pos, &c) in v.iter().enumerate().skip(k0 + jb) {
+                if c != pos {
+                    assert!(plan.moves.iter().any(|&(d, s2)| d == pos && s2 == c));
+                }
+            }
+        }
+    }
+}

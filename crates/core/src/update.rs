@@ -1,0 +1,106 @@
+//! Trailing update (UPDATE): the DTRSM on the assembled `U` block and the
+//! rank-`NB` DGEMM on the local trailing submatrix (paper Fig 2d).
+//!
+//! This is the phase rocHPL runs on the GPU; 95% of GPU-active time is
+//! spent in the DGEMM here. In this reproduction it runs through
+//! `hpl-blas`'s packed DGEMM on the rank's thread.
+
+use hpl_blas::mat::{MatMut, Matrix};
+use hpl_blas::{dgemm, dgemm_parallel, dtrsm, Diag, Side, Trans, Uplo};
+use hpl_threads::Pool;
+
+use crate::panel::{PanelGeom, PanelL};
+use crate::swap::ColRange;
+
+/// Applies `U <- L1^{-1} U` using the replicated unit-lower factor in
+/// `panel.top` (every rank performs this redundantly on its own columns,
+/// exactly like rocHPL where it is the first kernel of the update).
+pub fn solve_u(panel: &PanelL, u: &mut Matrix) {
+    debug_assert_eq!(u.rows(), panel.jb);
+    let mut uv = u.view_mut();
+    dtrsm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::No,
+        Diag::Unit,
+        1.0,
+        panel.top.view(),
+        &mut uv,
+    );
+}
+
+/// Writes the solved `U` block into the local matrix rows of the diagonal
+/// block (only meaningful on ranks in the diagonal-owning process row):
+/// after the iteration, global rows `k0..k0+jb` of the trailing columns
+/// must hold the final `U` factor.
+pub fn store_u(g: &PanelGeom, u: &Matrix, a: &mut MatMut<'_>, range: ColRange) {
+    debug_assert!(g.in_curr_row);
+    debug_assert_eq!(u.cols(), range.width());
+    for (off, lj) in (range.start..range.end).enumerate() {
+        for k in 0..g.jb {
+            a.set(g.lb + k, lj, u.get(k, off));
+        }
+    }
+}
+
+/// The local rank-`jb` DGEMM: `A[below, range] -= L2 * U`.
+///
+/// `below` is every trailing local row strictly under the diagonal block —
+/// `l2_rows` rows starting at `lb` (+`jb` on the current row).
+pub fn gemm_update(g: &PanelGeom, panel: &PanelL, u: &Matrix, a: &mut MatMut<'_>, range: ColRange) {
+    let w = range.width();
+    if w == 0 || g.l2_rows == 0 {
+        return;
+    }
+    debug_assert_eq!(u.cols(), w);
+    let row0 = g.lb + if g.in_curr_row { g.jb } else { 0 };
+    let mut c = a.submatrix_mut(row0, range.start, g.l2_rows, w);
+    dgemm(Trans::No, Trans::No, -1.0, panel.l2_view(), u.view(), 1.0, &mut c);
+}
+
+/// [`gemm_update`] on `threads` pool threads (column-partitioned, bitwise
+/// identical to the serial kernel) — the device-parallel update path.
+pub fn gemm_update_parallel(
+    g: &PanelGeom,
+    panel: &PanelL,
+    u: &Matrix,
+    a: &mut MatMut<'_>,
+    range: ColRange,
+    pool: &Pool,
+    threads: usize,
+) {
+    let w = range.width();
+    if w == 0 || g.l2_rows == 0 {
+        return;
+    }
+    debug_assert_eq!(u.cols(), w);
+    let row0 = g.lb + if g.in_curr_row { g.jb } else { 0 };
+    let mut c = a.submatrix_mut(row0, range.start, g.l2_rows, w);
+    dgemm_parallel(
+        pool,
+        threads,
+        Trans::No,
+        Trans::No,
+        -1.0,
+        panel.l2_view(),
+        u.view(),
+        1.0,
+        &mut c,
+    );
+}
+
+/// Convenience composition used by the simple schedule: solve `U`, store it
+/// on the diagonal row, and apply the DGEMM.
+pub fn full_update(
+    g: &PanelGeom,
+    panel: &PanelL,
+    mut u: Matrix,
+    a: &mut MatMut<'_>,
+    range: ColRange,
+) {
+    solve_u(panel, &mut u);
+    if g.in_curr_row {
+        store_u(g, &u, a, range);
+    }
+    gemm_update(g, panel, &u, a, range);
+}

@@ -1,0 +1,348 @@
+//! Low-precision (`f32`) dense kernels: the compute-heavy factorization
+//! path of the HPL-MxP scheme. Same GotoBLAS-style structure as the `f64`
+//! kernels in `hpl-blas`, with a wider microkernel (twice as many `f32`
+//! lanes fit a vector register).
+
+/// Column-major `f32` matrix owned storage (lda == rows).
+#[derive(Clone, Debug)]
+pub struct SMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl SMatrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Demotes a column-major `f64` buffer.
+    pub fn from_f64(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        Self { rows, cols, data: data.iter().map(|&v| v as f32).collect() }
+    }
+
+    /// Builds element-wise from `f(i, j)` (demoting).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j) as f32);
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[j * self.rows + i]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[j * self.rows + i] = v;
+    }
+
+    /// Column slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f32] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable column slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f32] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+}
+
+/// Microkernel tile: 16 x 4 `f32` accumulators.
+const MR: usize = 16;
+const NR: usize = 4;
+const KC: usize = 256;
+const MC: usize = 256;
+
+/// Blocked `C -= A * B` on `f32` (`A: m x k`, `B: k x n`, all inside one
+/// [`SMatrix`] via offsets). The only GEMM shape the factorization needs.
+#[allow(clippy::too_many_arguments)]
+fn sgemm_sub(
+    a: &SMatrix,
+    (ar, ac): (usize, usize),
+    b: &SMatrix,
+    (br, bc): (usize, usize),
+    c: &mut SMatrix,
+    (cr, cc): (usize, usize),
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut apack = vec![0.0f32; MC.min(m.next_multiple_of(MR)) * KC.min(k)];
+    let mut bpack = vec![0.0f32; KC.min(k) * n.next_multiple_of(NR)];
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        // Pack B rows pc..pc+kc, all n columns, into NR strips.
+        for (js, j0) in (0..n).step_by(NR).enumerate() {
+            let nr = NR.min(n - j0);
+            for p in 0..kc {
+                for j in 0..NR {
+                    bpack[js * kc * NR + p * NR + j] = if j < nr {
+                        b.get(br + pc + p, bc + j0 + j)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+        for ic in (0..m).step_by(MC) {
+            let mc = MC.min(m - ic);
+            for (is, i0) in (0..mc).step_by(MR).enumerate() {
+                let mr = MR.min(mc - i0);
+                for p in 0..kc {
+                    for i in 0..MR {
+                        apack[is * kc * MR + p * MR + i] = if i < mr {
+                            a.get(ar + ic + i0 + i, ac + pc + p)
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+            // Macro kernel.
+            for (js, j0) in (0..n).step_by(NR).enumerate() {
+                let nr = NR.min(n - j0);
+                let bs = &bpack[js * kc * NR..(js + 1) * kc * NR];
+                for (is, i0) in (0..mc).step_by(MR).enumerate() {
+                    let as_ = &apack[is * kc * MR..(is + 1) * kc * MR];
+                    let mut acc = [[0.0f32; MR]; NR];
+                    for p in 0..kc {
+                        let av = &as_[p * MR..p * MR + MR];
+                        let bv = &bs[p * NR..p * NR + NR];
+                        for j in 0..NR {
+                            let bj = bv[j];
+                            for i in 0..MR {
+                                acc[j][i] += av[i] * bj;
+                            }
+                        }
+                    }
+                    let mr = MR.min(mc - i0);
+                    for j in 0..nr {
+                        let col = c.col_mut(cc + j0 + j);
+                        for i in 0..mr {
+                            col[cr + ic + i0 + i] -= acc[j][i];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Blocked `f32` LU with partial pivoting (SGETRF). Pivots (0-based, as
+/// "swap row k with `piv[k]`") land in `piv`; returns `Err(col)` on an
+/// exactly-zero pivot.
+pub fn sgetrf(a: &mut SMatrix, piv: &mut [usize], nb: usize) -> Result<(), usize> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "sgetrf: square matrices only");
+    assert!(piv.len() >= n);
+    let nb = nb.max(1);
+    let mut k0 = 0usize;
+    while k0 < n {
+        let kb = nb.min(n - k0);
+        // Unblocked right-looking factorization of the panel.
+        for k in k0..k0 + kb {
+            // Pivot search over rows k..n in column k.
+            let col = a.col(k);
+            let mut best = k;
+            let mut bv = col[k].abs();
+            for (off, &v) in col[k..].iter().enumerate().skip(1) {
+                if v.abs() > bv {
+                    bv = v.abs();
+                    best = k + off;
+                }
+            }
+            piv[k] = best;
+            if a.get(best, k) == 0.0 {
+                return Err(k);
+            }
+            if best != k {
+                for j in 0..n {
+                    let cj = a.col_mut(j);
+                    cj.swap(k, best);
+                }
+            }
+            let akk = a.get(k, k);
+            for i in k + 1..n {
+                let v = a.get(i, k) / akk;
+                a.set(i, k, v);
+            }
+            // Rank-1 update within the panel.
+            for j in k + 1..k0 + kb {
+                let ykj = a.get(k, j);
+                if ykj != 0.0 {
+                    for i in k + 1..n {
+                        let v = a.get(i, j) - a.get(i, k) * ykj;
+                        a.set(i, j, v);
+                    }
+                }
+            }
+        }
+        let rest = n - k0 - kb;
+        if rest > 0 {
+            // U12 = L11^{-1} A12 (unit lower triangular solve).
+            for k in k0..k0 + kb {
+                for j in k0 + kb..n {
+                    let xkj = a.get(k, j);
+                    if xkj != 0.0 {
+                        for i in k + 1..k0 + kb {
+                            let v = a.get(i, j) - a.get(i, k) * xkj;
+                            a.set(i, j, v);
+                        }
+                    }
+                }
+            }
+            // A22 -= L21 * U12.
+            let acopy = a.clone();
+            sgemm_sub(
+                &acopy,
+                (k0 + kb, k0),
+                &acopy,
+                (k0, k0 + kb),
+                a,
+                (k0 + kb, k0 + kb),
+                rest,
+                rest,
+                kb,
+            );
+        }
+        k0 += kb;
+    }
+    Ok(())
+}
+
+/// Applies a computed `f32` factorization to solve `LU y = P b`, all in
+/// `f32`; `b` is given and returned in `f64` (demoted on entry, promoted on
+/// exit) — one preconditioner application of the refinement loop.
+pub fn slu_solve(lu: &SMatrix, piv: &[usize], b: &[f64]) -> Vec<f64> {
+    let n = lu.rows();
+    assert_eq!(b.len(), n);
+    let mut y: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+    for (k, &p) in piv.iter().enumerate().take(n) {
+        if p != k {
+            y.swap(k, p);
+        }
+    }
+    // Forward: unit lower.
+    for j in 0..n {
+        let yj = y[j];
+        if yj != 0.0 {
+            let col = lu.col(j);
+            for i in j + 1..n {
+                y[i] -= yj * col[i];
+            }
+        }
+    }
+    // Backward: upper.
+    for j in (0..n).rev() {
+        y[j] /= lu.get(j, j);
+        let yj = y[j];
+        if yj != 0.0 {
+            let col = lu.col(j);
+            for (i, yi) in y.iter_mut().enumerate().take(j) {
+                *yi -= yj * col[i];
+            }
+        }
+    }
+    y.into_iter().map(|v| v as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dd_matrix(n: usize, seed: u64) -> SMatrix {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut a = SMatrix::from_fn(n, n, |_, _| 0.0);
+        for j in 0..n {
+            for i in 0..n {
+                a.set(i, j, next() as f32);
+            }
+        }
+        for i in 0..n {
+            let v = a.get(i, i);
+            a.set(i, i, v + n as f32);
+        }
+        a
+    }
+
+    #[test]
+    fn sgetrf_solves_to_f32_accuracy() {
+        for &(n, nb) in &[(5usize, 2usize), (32, 8), (100, 32), (130, 64)] {
+            let a0 = dd_matrix(n, 7);
+            let xtrue: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+            let mut b = vec![0.0f64; n];
+            for j in 0..n {
+                for (i, bi) in b.iter_mut().enumerate() {
+                    *bi += a0.get(i, j) as f64 * xtrue[j];
+                }
+            }
+            let mut lu = a0.clone();
+            let mut piv = vec![0usize; n];
+            sgetrf(&mut lu, &mut piv, nb).expect("nonsingular");
+            let x = slu_solve(&lu, &piv, &b);
+            for (got, want) in x.iter().zip(&xtrue) {
+                assert!(
+                    (got - want).abs() < 1e-3,
+                    "n={n} nb={nb}: {got} vs {want} (f32 accuracy)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sgetrf_blocked_matches_unblocked() {
+        let n = 48;
+        let a0 = dd_matrix(n, 3);
+        let mut a1 = a0.clone();
+        let mut a2 = a0.clone();
+        let mut p1 = vec![0usize; n];
+        let mut p2 = vec![0usize; n];
+        sgetrf(&mut a1, &mut p1, 1).unwrap();
+        sgetrf(&mut a2, &mut p2, 16).unwrap();
+        assert_eq!(p1, p2);
+        for j in 0..n {
+            for i in 0..n {
+                let (x, y) = (a1.get(i, j), a2.get(i, j));
+                assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0), "({i},{j}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = SMatrix::zeros(4, 4);
+        let mut piv = vec![0usize; 4];
+        assert_eq!(sgetrf(&mut a, &mut piv, 2), Err(0));
+    }
+}

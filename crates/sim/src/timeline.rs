@@ -1,0 +1,151 @@
+//! ASCII Gantt rendering of one iteration's schedule — regenerates the
+//! *structure* of the paper's Fig 3 (look-ahead) and Fig 6 (split update)
+//! timeline diagrams from the priced phase model.
+
+use crate::schedule::{Phases, Pipeline, Simulator};
+
+/// A labelled span on one of the timeline's resource rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Resource row: "GPU", "CPU", "MPI" or "XFER".
+    pub row: &'static str,
+    /// Phase label.
+    pub label: &'static str,
+    /// Start offset within the iteration (seconds).
+    pub start: f64,
+    /// Duration (seconds).
+    pub len: f64,
+}
+
+/// Builds the span list of one iteration under `pipeline`.
+pub fn iteration_spans(sim: &Simulator, it: usize, pipeline: Pipeline) -> Vec<Span> {
+    let ph = sim.phases(it, pipeline);
+    match pipeline {
+        Pipeline::SplitUpdate => split_spans(&ph),
+        _ => lookahead_spans(&ph),
+    }
+}
+
+fn lookahead_spans(ph: &Phases) -> Vec<Span> {
+    // Fig 3: RS (exposed), then UPDATE_LA; CPU chain under UPDATE_REST.
+    let mut v = Vec::new();
+    let mut t = 0.0;
+    v.push(Span { row: "MPI", label: "RS", start: t, len: ph.rs1_comm });
+    t += ph.rs1_comm;
+    v.push(Span { row: "GPU", label: "RS kernels", start: t, len: ph.rs_kernels });
+    t += ph.rs_kernels;
+    v.push(Span { row: "GPU", label: "UPDATE_LA", start: t, len: ph.up_la });
+    t += ph.up_la;
+    let rest = ph.up_left + ph.up_right;
+    v.push(Span { row: "GPU", label: "UPDATE", start: t, len: rest });
+    let mut c = t;
+    v.push(Span { row: "XFER", label: "D2H", start: c, len: ph.transfer / 2.0 });
+    c += ph.transfer / 2.0;
+    v.push(Span { row: "CPU", label: "FACT", start: c, len: ph.fact_cpu + ph.fact_comm });
+    c += ph.fact_cpu + ph.fact_comm;
+    v.push(Span { row: "XFER", label: "H2D", start: c, len: ph.transfer / 2.0 });
+    c += ph.transfer / 2.0;
+    v.push(Span { row: "MPI", label: "LBCAST", start: c, len: ph.lbcast });
+    v
+}
+
+fn split_spans(ph: &Phases) -> Vec<Span> {
+    // Fig 6: scatter RS2, update LA, then UPDATE2 over {chain + RS1},
+    // then UPDATE1 over RS2'.
+    let mut v = Vec::new();
+    let mut t = 0.0;
+    v.push(Span { row: "GPU", label: "RS kernels", start: t, len: ph.rs_kernels });
+    t += ph.rs_kernels;
+    v.push(Span { row: "GPU", label: "UPDATE_LA", start: t, len: ph.up_la });
+    t += ph.up_la;
+    v.push(Span { row: "GPU", label: "UPDATE2", start: t, len: ph.up_right });
+    let mut c = t;
+    v.push(Span { row: "XFER", label: "D2H", start: c, len: ph.transfer / 2.0 });
+    c += ph.transfer / 2.0;
+    v.push(Span { row: "CPU", label: "FACT", start: c, len: ph.fact_cpu + ph.fact_comm });
+    c += ph.fact_cpu + ph.fact_comm;
+    v.push(Span { row: "XFER", label: "H2D", start: c, len: ph.transfer / 2.0 });
+    c += ph.transfer / 2.0;
+    v.push(Span { row: "MPI", label: "LBCAST", start: c, len: ph.lbcast });
+    c += ph.lbcast;
+    v.push(Span { row: "MPI", label: "RS1", start: c, len: ph.rs1_comm });
+    let t2 = t + ph.up_right.max(c + ph.rs1_comm - t);
+    v.push(Span { row: "GPU", label: "UPDATE1", start: t2, len: ph.up_left });
+    v.push(Span { row: "MPI", label: "RS2'", start: t2, len: ph.rs2_comm });
+    v
+}
+
+/// Renders spans as a fixed-width ASCII Gantt chart.
+pub fn render(spans: &[Span], width: usize) -> String {
+    let end = spans.iter().map(|s| s.start + s.len).fold(0.0, f64::max);
+    if end <= 0.0 {
+        return String::new();
+    }
+    let rows = ["GPU", "CPU", "XFER", "MPI"];
+    let mut out = String::new();
+    out.push_str(&format!("iteration span: {:.3} ms\n", end * 1e3));
+    for row in rows {
+        let mut line = vec![b' '; width];
+        let mut labels: Vec<(usize, &str)> = Vec::new();
+        for s in spans.iter().filter(|s| s.row == row && s.len > 0.0) {
+            let a = ((s.start / end) * width as f64) as usize;
+            let b = (((s.start + s.len) / end) * width as f64).ceil() as usize;
+            for c in line.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                *c = b'#';
+            }
+            labels.push((a, s.label));
+        }
+        out.push_str(&format!("{row:>5} |{}|", String::from_utf8_lossy(&line)));
+        out.push_str("  ");
+        labels.sort_by_key(|&(a, _)| a);
+        let names: Vec<&str> = labels.iter().map(|&(_, l)| l).collect();
+        out.push_str(&names.join(", "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeModel, RunParams};
+
+    fn sim() -> Simulator {
+        Simulator::new(NodeModel::frontier(), RunParams::paper_single_node())
+    }
+
+    #[test]
+    fn lookahead_exposes_rs_before_update() {
+        let spans = iteration_spans(&sim(), 50, Pipeline::LookAhead);
+        let rs = spans.iter().find(|s| s.label == "RS").unwrap();
+        let up = spans.iter().find(|s| s.label == "UPDATE").unwrap();
+        assert!(rs.start < up.start, "Fig 3: RS precedes UPDATE");
+        // FACT runs concurrently with UPDATE (overlapping spans).
+        let fact = spans.iter().find(|s| s.label == "FACT").unwrap();
+        assert!(fact.start >= up.start && fact.start < up.start + up.len);
+    }
+
+    #[test]
+    fn split_hides_rs_under_updates() {
+        let spans = iteration_spans(&sim(), 50, Pipeline::SplitUpdate);
+        let up2 = spans.iter().find(|s| s.label == "UPDATE2").unwrap();
+        let rs1 = spans.iter().find(|s| s.label == "RS1").unwrap();
+        // RS1 lies inside UPDATE2's span early in the run (Fig 6).
+        assert!(rs1.start >= up2.start);
+        assert!(rs1.start + rs1.len <= up2.start + up2.len + 1e-9);
+        let up1 = spans.iter().find(|s| s.label == "UPDATE1").unwrap();
+        let rs2 = spans.iter().find(|s| s.label == "RS2'").unwrap();
+        assert!(rs2.start >= up1.start - 1e-12);
+        assert!(rs2.len <= up1.len + 1e-9, "RS2 hidden by UPDATE1 early on");
+    }
+
+    #[test]
+    fn render_produces_all_rows() {
+        let spans = iteration_spans(&sim(), 50, Pipeline::SplitUpdate);
+        let text = render(&spans, 80);
+        for row in ["GPU", "CPU", "XFER", "MPI"] {
+            assert!(text.contains(row), "missing row {row} in:\n{text}");
+        }
+        assert!(text.contains("UPDATE2"));
+    }
+}

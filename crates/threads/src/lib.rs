@@ -1,0 +1,68 @@
+//! # hpl-threads
+//!
+//! Thread-level substrate for the rhpl workspace: a persistent fork-join
+//! [`Pool`] emulating the OpenMP parallel regions rocHPL opens around its
+//! multi-threaded panel factorization, and the CPU core time-sharing
+//! [`binding`] calculator from §III.B of the paper.
+//!
+//! The pool deliberately uses *ownership-based* work distribution (callers
+//! partition work by [`Ctx::thread_id`]) rather than work stealing, because
+//! the paper's Parallel-Cache-Assignment factorization depends on each panel
+//! tile staying resident in one core's cache.
+
+
+// Lint policy: indexed loops are used deliberately where they mirror the
+// reference BLAS/HPL loop structure, and several kernels take the full
+// argument list their BLAS counterparts do.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::too_many_arguments)]
+
+pub mod binding;
+pub mod pool;
+
+pub use binding::{fact_cores, max_core_sharing, time_shared_bindings, BindError, CoreBinding};
+pub use pool::{Ctx, Pool};
+
+/// Splits `0..n` into round-robin tile ranges of width `tile`: tile `t`
+/// (covering `t*tile .. min((t+1)*tile, n)`) belongs to thread
+/// `t % nthreads`. Returns the tile indices owned by `tid`.
+///
+/// This is the Fig 4 assignment: square `NB x NB` tiles of the tall-skinny
+/// panel round-robined over threads so tile 0 (holding the upper-triangular
+/// factor and all pivot source rows) is always owned by thread 0.
+pub fn round_robin_tiles(n: usize, tile: usize, nthreads: usize, tid: usize) -> Vec<usize> {
+    assert!(tile > 0 && nthreads > 0 && tid < nthreads);
+    let ntiles = n.div_ceil(tile);
+    (tid..ntiles).step_by(nthreads).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_covers_all_tiles_once() {
+        let n: usize = 1000;
+        let tile = 64;
+        let t = 3;
+        let mut seen = vec![0; n.div_ceil(tile)];
+        for tid in 0..t {
+            for idx in round_robin_tiles(n, tile, t, tid) {
+                seen[idx] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn tile_zero_belongs_to_main_thread() {
+        for t in 1..8 {
+            assert_eq!(round_robin_tiles(512, 64, t, 0)[0], 0);
+        }
+    }
+
+    #[test]
+    fn empty_range_yields_no_tiles() {
+        assert!(round_robin_tiles(0, 64, 4, 1).is_empty());
+    }
+}

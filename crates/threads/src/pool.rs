@@ -1,0 +1,418 @@
+//! A persistent fork-join worker pool emulating OpenMP parallel regions.
+//!
+//! The paper's FACT phase opens an OpenMP parallel region of `T` threads at
+//! every panel factorization; threads stay warm between regions so region
+//! entry costs are dominated by a single wake + barrier. This pool gives the
+//! same shape: `N-1` persistent workers plus the calling thread, a
+//! [`Pool::run`] that executes one closure on `t <= N` participants, an
+//! in-region sense-reversing [`Ctx::barrier`], and the `maxloc` reduction
+//! that HPL's pivot search needs.
+//!
+//! Work distribution is ownership-based (the caller partitions tiles by
+//! thread id), *not* work-stealing: Parallel Cache Assignment relies on each
+//! tile staying with one thread so it remains resident in that core's cache.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::utils::CachePadded;
+
+/// Reusable sense-reversing spin barrier for a fixed participant count.
+struct SpinBarrier {
+    count: AtomicUsize,
+    sense: AtomicBool,
+    participants: usize,
+}
+
+impl SpinBarrier {
+    fn new(participants: usize) -> Self {
+        Self { count: AtomicUsize::new(0), sense: AtomicBool::new(false), participants }
+    }
+
+    /// Blocks until all participants arrive. `local_sense` must be per-thread
+    /// state initialized to `false` and owned by the caller.
+    fn wait(&self, local_sense: &mut bool) {
+        let my_sense = !*local_sense;
+        *local_sense = my_sense;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins += 1;
+                if spins < 64 {
+                    core::hint::spin_loop();
+                } else {
+                    // Give oversubscribed siblings a chance to run; this is
+                    // exactly the time-sharing scenario of §III.B.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Per-region shared state.
+struct Region {
+    barrier: SpinBarrier,
+    /// One `(value, index)` slot per participant for maxloc reductions.
+    slots: Vec<CachePadded<Slot>>,
+    nthreads: usize,
+}
+
+#[derive(Default)]
+struct Slot {
+    value: core::cell::Cell<f64>,
+    index: core::cell::Cell<usize>,
+}
+
+// Slots are written only by their owning thread between barriers and read by
+// all threads after a barrier; the barrier provides the synchronization.
+unsafe impl Sync for Slot {}
+
+/// Handle passed to the region closure: thread identity plus synchronization
+/// and reduction primitives scoped to this region.
+pub struct Ctx<'a> {
+    tid: usize,
+    region: &'a Region,
+    local_sense: core::cell::Cell<bool>,
+}
+
+impl Ctx<'_> {
+    /// This thread's id within the region (`0..num_threads`). Thread 0 is the
+    /// caller of [`Pool::run`] — the "main thread" in the paper's FACT
+    /// description, which owns the first tile and talks to MPI.
+    #[inline]
+    pub fn thread_id(&self) -> usize {
+        self.tid
+    }
+
+    /// Number of threads participating in this region.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.region.nthreads
+    }
+
+    /// Region-wide barrier.
+    pub fn barrier(&self) {
+        let mut s = self.local_sense.get();
+        self.region.barrier.wait(&mut s);
+        self.local_sense.set(s);
+    }
+
+    /// All-reduce of an `(|value|, index)` pair, returning the pair with the
+    /// largest value (lowest index wins ties, so the result is deterministic
+    /// and matches what a serial `idamax` over the concatenated ranges would
+    /// pick when callers use ascending index spaces per thread).
+    ///
+    /// Every participant must call this exactly once per reduction; all
+    /// receive the same result.
+    pub fn reduce_maxloc(&self, value: f64, index: usize) -> (f64, usize) {
+        let slot = &self.region.slots[self.tid];
+        slot.value.set(value);
+        slot.index.set(index);
+        self.barrier();
+        let mut best_v = f64::NEG_INFINITY;
+        let mut best_i = usize::MAX;
+        for s in &self.region.slots[..self.region.nthreads] {
+            let v = s.value.get();
+            let i = s.index.get();
+            if v > best_v || (v == best_v && i < best_i) {
+                best_v = v;
+                best_i = i;
+            }
+        }
+        // Second barrier so slots can be reused by the next reduction.
+        self.barrier();
+        (best_v, best_i)
+    }
+
+    /// All-reduce sum of one `f64` per participant (deterministic order).
+    pub fn reduce_sum(&self, value: f64) -> f64 {
+        let slot = &self.region.slots[self.tid];
+        slot.value.set(value);
+        self.barrier();
+        let mut s = 0.0;
+        for sl in &self.region.slots[..self.region.nthreads] {
+            s += sl.value.get();
+        }
+        self.barrier();
+        s
+    }
+}
+
+/// Type-erased borrowed job. The raw pointer is only dereferenced while
+/// [`Pool::run`] is blocked waiting for region completion, so the borrow it
+/// was created from is still live.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), &Ctx<'_>),
+}
+
+unsafe impl Send for Job {}
+
+struct Packet {
+    job: Job,
+    region: Arc<Region>,
+    tid: usize,
+    done: Sender<()>,
+}
+
+enum Msg {
+    Run(Packet),
+    Shutdown,
+}
+
+/// Persistent fork-join worker pool. See the module docs.
+pub struct Pool {
+    senders: Vec<Sender<Msg>>,
+    handles: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl Pool {
+    /// Creates a pool that can run regions of up to `size` threads
+    /// (the calling thread plus `size - 1` workers).
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "pool needs at least one thread");
+        let mut senders = Vec::with_capacity(size - 1);
+        let mut handles = Vec::with_capacity(size - 1);
+        for w in 1..size {
+            let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(1);
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("hpl-pool-{w}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("spawn pool worker"),
+            );
+        }
+        Self { senders, handles, size }
+    }
+
+    /// Maximum region width.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `f` on `nthreads` participants (1 ≤ nthreads ≤ size). The calling
+    /// thread participates as thread 0 and the call returns only after every
+    /// participant has finished, so `f` may borrow from the caller's stack.
+    pub fn run<F>(&self, nthreads: usize, f: F)
+    where
+        F: Fn(&Ctx<'_>) + Sync,
+    {
+        let nthreads = nthreads.clamp(1, self.size);
+        if nthreads == 1 {
+            let region = Region {
+                barrier: SpinBarrier::new(1),
+                slots: (0..1).map(|_| CachePadded::new(Slot::default())).collect(),
+                nthreads: 1,
+            };
+            let ctx = Ctx { tid: 0, region: &region, local_sense: core::cell::Cell::new(false) };
+            f(&ctx);
+            return;
+        }
+        let region = Arc::new(Region {
+            barrier: SpinBarrier::new(nthreads),
+            slots: (0..nthreads).map(|_| CachePadded::new(Slot::default())).collect(),
+            nthreads,
+        });
+        unsafe fn trampoline<F: Fn(&Ctx<'_>) + Sync>(data: *const (), ctx: &Ctx<'_>) {
+            let f = unsafe { &*(data as *const F) };
+            f(ctx);
+        }
+        let job = Job { data: &f as *const F as *const (), call: trampoline::<F> };
+        let (done_tx, done_rx) = bounded(nthreads - 1);
+        for tid in 1..nthreads {
+            self.senders[tid - 1]
+                .send(Msg::Run(Packet {
+                    job,
+                    region: Arc::clone(&region),
+                    tid,
+                    done: done_tx.clone(),
+                }))
+                .expect("pool worker died");
+        }
+        // Participate as thread 0.
+        let ctx = Ctx { tid: 0, region: &region, local_sense: core::cell::Cell::new(false) };
+        f(&ctx);
+        // Wait for all workers before returning: this keeps the borrow of
+        // `f` (captured by raw pointer) alive for the region's duration.
+        for _ in 1..nthreads {
+            done_rx.recv().expect("pool worker died");
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Msg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Run(p) => {
+                let ctx = Ctx {
+                    tid: p.tid,
+                    region: &p.region,
+                    local_sense: core::cell::Cell::new(false),
+                };
+                // SAFETY: `Pool::run` blocks until we signal `done`, so the
+                // closure behind `job.data` outlives this call.
+                unsafe { (p.job.call)(p.job.data, &ctx) };
+                let _ = p.done.send(());
+            }
+            Msg::Shutdown => break,
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn all_threads_participate() {
+        let pool = Pool::new(4);
+        let seen = AtomicU64::new(0);
+        pool.run(4, |ctx| {
+            seen.fetch_or(1 << ctx.thread_id(), Ordering::SeqCst);
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 0b1111);
+    }
+
+    #[test]
+    fn narrower_region_than_pool() {
+        let pool = Pool::new(8);
+        let seen = AtomicU64::new(0);
+        pool.run(3, |ctx| {
+            assert_eq!(ctx.num_threads(), 3);
+            seen.fetch_or(1 << ctx.thread_id(), Ordering::SeqCst);
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 0b111);
+    }
+
+    #[test]
+    fn single_thread_region_runs_inline() {
+        let pool = Pool::new(2);
+        let touched = AtomicBool::new(false);
+        pool.run(1, |ctx| {
+            assert_eq!(ctx.thread_id(), 0);
+            assert_eq!(ctx.num_threads(), 1);
+            touched.store(true, Ordering::SeqCst);
+        });
+        assert!(touched.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let pool = Pool::new(4);
+        let phase1 = AtomicUsize::new(0);
+        let ok = AtomicUsize::new(0);
+        pool.run(4, |ctx| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every thread must observe all 4 arrivals.
+            if phase1.load(Ordering::SeqCst) == 4 {
+                ok.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn repeated_barriers_do_not_deadlock() {
+        let pool = Pool::new(3);
+        let counter = AtomicUsize::new(0);
+        pool.run(3, |ctx| {
+            for _ in 0..100 {
+                counter.fetch_add(1, Ordering::Relaxed);
+                ctx.barrier();
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 300);
+    }
+
+    #[test]
+    fn maxloc_reduction_agrees_everywhere() {
+        let pool = Pool::new(4);
+        let results = parking_lot::Mutex::new(Vec::new());
+        pool.run(4, |ctx| {
+            let tid = ctx.thread_id();
+            // Thread 2 holds the max.
+            let v = if tid == 2 { 100.0 } else { tid as f64 };
+            let r = ctx.reduce_maxloc(v, tid * 10);
+            results.lock().push(r);
+        });
+        let rs = results.into_inner();
+        assert_eq!(rs.len(), 4);
+        for r in rs {
+            assert_eq!(r, (100.0, 20));
+        }
+    }
+
+    #[test]
+    fn maxloc_tie_breaks_by_lowest_index() {
+        let pool = Pool::new(4);
+        let out = parking_lot::Mutex::new((0.0, 0usize));
+        pool.run(4, |ctx| {
+            let r = ctx.reduce_maxloc(5.0, ctx.thread_id() + 7);
+            if ctx.thread_id() == 0 {
+                *out.lock() = r;
+            }
+        });
+        assert_eq!(out.into_inner(), (5.0, 7));
+    }
+
+    #[test]
+    fn sum_reduction() {
+        let pool = Pool::new(5);
+        let out = AtomicU64::new(0);
+        pool.run(5, |ctx| {
+            let s = ctx.reduce_sum(ctx.thread_id() as f64 + 1.0);
+            if ctx.thread_id() == 0 {
+                out.store(s as u64, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(out.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn pool_reusable_across_regions() {
+        let pool = Pool::new(4);
+        let total = AtomicUsize::new(0);
+        for t in 1..=4 {
+            pool.run(t, |_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn borrows_caller_stack() {
+        let pool = Pool::new(4);
+        let data: Vec<usize> = (0..100).collect();
+        let partial = AtomicUsize::new(0);
+        pool.run(4, |ctx| {
+            let t = ctx.thread_id();
+            let s: usize = data.iter().skip(t).step_by(4).sum();
+            partial.fetch_add(s, Ordering::SeqCst);
+        });
+        assert_eq!(partial.load(Ordering::SeqCst), 4950);
+    }
+}

@@ -1,0 +1,61 @@
+//! Frontier-node scenario: reproduce the paper's single-node study
+//! (§IV.A) end to end — the calibrated model at full scale side by side
+//! with a real scaled-down run of the same pipeline.
+//!
+//! ```text
+//! cargo run --release -p hpl-examples --bin frontier_node
+//! ```
+
+use hpl_comm::Universe;
+use hpl_sim::{iteration_spans, render, NodeModel, Pipeline, RunParams, Simulator};
+use rhpl_core::config::Schedule;
+use rhpl_core::{run_hpl, HplConfig};
+
+fn main() {
+    // ---- Full-scale model (the paper's machine). ----
+    let node = NodeModel::frontier();
+    let params = RunParams::paper_single_node();
+    let sim = Simulator::new(node, params);
+    let r = sim.run(Pipeline::SplitUpdate);
+    println!("== Crusher single node, modeled (N=256000, NB=512, 4x2, split 50%) ==");
+    println!("score:            {:.1} TFLOPS   (paper: 153)", r.tflops);
+    println!("run time:         {:.1} s", r.total_time);
+    println!(
+        "regime boundary:  iteration {} of {}   (paper: ~250)",
+        r.iters.iter().position(|x| x.time > x.gpu_active * 1.02).unwrap_or(r.iters.len()),
+        r.iters.len()
+    );
+    println!("hidden MPI time:  {:.0}%   (paper: ~75%)\n", r.hidden_time_fraction * 100.0);
+    println!("iteration 50 timeline (cf. paper Fig 6):");
+    print!("{}", render(&iteration_spans(&sim, 50, Pipeline::SplitUpdate), 90));
+    println!("\niteration 400 (latency-bound tail, cf. Fig 7's right side):");
+    let tail = &r.iters[400];
+    println!(
+        "  total {:.1} ms | gpu {:.1} ms | fact {:.1} ms | mpi {:.1} ms | xfer {:.1} ms",
+        tail.time * 1e3,
+        tail.gpu_active * 1e3,
+        tail.fact * 1e3,
+        tail.mpi * 1e3,
+        tail.transfer * 1e3
+    );
+
+    // ---- Functional run at laptop scale, same pipeline. ----
+    let mut cfg = HplConfig::new(768, 32, 4, 2);
+    cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
+    cfg.fact.threads = 2;
+    println!("\n== Same pipeline executed for real (N=768, NB=32, 4x2 on threads) ==");
+    let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, &cfg).expect("nonsingular"));
+    println!("wall {:.3} s -> {:.2} GFLOPS over 8 rank-threads", results[0].wall, results[0].gflops);
+    let owners: Vec<&rhpl_core::IterTiming> = (0..cfg.iterations())
+        .map(|it| {
+            results
+                .iter()
+                .map(|r| &r.timings[it])
+                .find(|t| t.diag_owner)
+                .expect("diag owner")
+        })
+        .collect();
+    let head: f64 = owners[..5].iter().map(|t| t.total).sum::<f64>() / 5.0;
+    let tail: f64 = owners[owners.len() - 5..].iter().map(|t| t.total).sum::<f64>() / 5.0;
+    println!("avg iteration: {:.3} ms early vs {:.3} ms late (work shrinks)", head * 1e3, tail * 1e3);
+}

@@ -1,0 +1,84 @@
+//! HPL-MxP scenario: solve an HPL-style random dense system with the
+//! mixed-precision scheme — O(n^3) factorization in `f32`, O(n^2)
+//! refinement in `f64` — and compare cost and accuracy against the pure
+//! double-precision factorization.
+//!
+//! ```text
+//! cargo run --release -p hpl-examples --bin mixed_precision [N]
+//! ```
+
+use std::time::Instant;
+
+use hpl_blas::mat::Matrix;
+use hpl_blas::{getrf, getrs};
+use hpl_mxp::{scaled_residual, solve_gmres, solve_ir, DenseOp, GmresParams, LowLu};
+use rhpl_core::MatGen;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let nb = 64usize;
+    println!("HPL-MxP demonstration, N = {n} (random HPL-style system)\n");
+
+    let gen = MatGen::new(4242, n);
+    let op = DenseOp::new(n, |i, j| gen.entry(i, j));
+    let b: Vec<f64> = (0..n).map(|i| gen.entry(i, n)).collect();
+
+    // Pure double-precision reference.
+    let t0 = Instant::now();
+    let mut a64 = Matrix::from_fn(n, n, |i, j| gen.entry(i, j));
+    let mut piv = vec![0usize; n];
+    let mut av = a64.view_mut();
+    getrf(&mut av, &mut piv, nb).expect("nonsingular");
+    let mut x64 = b.clone();
+    getrs(&av, &piv, &mut x64);
+    let t_fp64 = t0.elapsed().as_secs_f64();
+    println!(
+        "FP64 LU:            {:.3} s, scaled residual {:.4}",
+        t_fp64,
+        scaled_residual(&op, &b, &x64)
+    );
+
+    // Mixed precision: f32 factorization...
+    let t0 = Instant::now();
+    let lu = LowLu::factor(&op, nb).expect("nonsingular");
+    let t_factor32 = t0.elapsed().as_secs_f64();
+    let x32 = lu.apply(&b);
+    println!(
+        "FP32 LU alone:      {:.3} s, scaled residual {:.4} ({})",
+        t_factor32,
+        scaled_residual(&op, &b, &x32),
+        if scaled_residual(&op, &b, &x32) < 16.0 { "passes — refine anyway" } else { "FAILS HPL" }
+    );
+
+    // ... plus classic iterative refinement ...
+    let t0 = Instant::now();
+    let ir = solve_ir(&op, &lu, &b, 20);
+    let t_ir = t0.elapsed().as_secs_f64();
+    println!(
+        "  + refinement:     {:.3} s, {} sweep(s), residual {:.4} ({})",
+        t_ir,
+        ir.history.len() - 1,
+        ir.history.last().unwrap(),
+        if ir.converged { "PASSED" } else { "FAILED" }
+    );
+
+    // ... or GMRES (the HPL-MxP reference scheme).
+    let t0 = Instant::now();
+    let g = solve_gmres(&op, &lu, &b, GmresParams { restart: 30, ..Default::default() });
+    let t_g = t0.elapsed().as_secs_f64();
+    println!(
+        "  + GMRES:          {:.3} s, residual {:.4} ({})",
+        t_g,
+        g.history.last().unwrap(),
+        if g.converged { "PASSED" } else { "FAILED" }
+    );
+
+    println!(
+        "\nfactorization speed ratio (fp64 / fp32): {:.2}x",
+        t_fp64 / t_factor32
+    );
+    println!("(on MI250X-class hardware the matrix engines make this ~4x, which is");
+    println!("why HPL-MxP scores land several times above HPL on the same machine)");
+    assert!(ir.converged && g.converged);
+}

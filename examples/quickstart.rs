@@ -1,0 +1,48 @@
+//! Quickstart: run the full HPL benchmark on a 2x2 in-process grid with
+//! every paper optimization enabled, verify the solution against HPL's
+//! scaled-residual criterion, and print the score.
+//!
+//! ```text
+//! cargo run --release -p hpl-examples --bin quickstart [N] [NB]
+//! ```
+
+use hpl_comm::{BcastAlgo, Grid, GridOrder, Universe};
+use rhpl_core::config::Schedule;
+use rhpl_core::{run_hpl, verify, HplConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let nb: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let (p, q) = (2usize, 2usize);
+
+    let mut cfg = HplConfig::new(n, nb, p, q);
+    cfg.bcast = BcastAlgo::OneRingM; // rocHPL's default broadcast
+    cfg.schedule = Schedule::SplitUpdate { frac: 0.5 }; // Fig 6 pipeline
+    cfg.fact.threads = 2; // SIII.A multi-threaded FACT
+
+    println!("rhpl quickstart: N={n}, NB={nb}, grid {p}x{q}, split update 50%,");
+    println!("recursive right-looking FACT ({} threads/rank)\n", cfg.fact.threads);
+
+    // One OS thread per rank, exactly like `mpirun -np 4`.
+    let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, &cfg).expect("nonsingular"));
+
+    let wall = results[0].wall;
+    println!("solved in {:.3} s  ->  {:.2} GFLOPS", wall, results[0].gflops);
+
+    // HPL's acceptance test: scaled residual below 16.
+    let x = results[0].x.clone();
+    let res = Universe::run(cfg.ranks(), |comm| {
+        let grid = Grid::new(comm, p, q, GridOrder::ColumnMajor);
+        verify(&grid, n, nb, cfg.seed, &x)
+    });
+    let r = res[0];
+    println!(
+        "||Ax-b||_inf = {:.3e}, scaled residual = {:.4} (< {} required)",
+        r.err_inf,
+        r.scaled,
+        rhpl_core::Residuals::THRESHOLD
+    );
+    println!("verification: {}", if r.passed() { "PASSED" } else { "FAILED" });
+    assert!(r.passed());
+}

@@ -1,0 +1,79 @@
+//! Tuning-sweep scenario: what an operator bringing up HPL on a new system
+//! does — sweep the blocking factor, broadcast algorithm and split
+//! fraction on real (scaled-down) runs and pick the best combination.
+//!
+//! ```text
+//! cargo run --release -p hpl-examples --bin tuning_sweep [N]
+//! ```
+
+use hpl_comm::{BcastAlgo, Universe};
+use rhpl_core::config::Schedule;
+use rhpl_core::{run_hpl, HplConfig};
+
+fn score(cfg: &HplConfig) -> f64 {
+    let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, cfg).expect("nonsingular"));
+    results[0].gflops
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(576);
+    let (p, q) = (2usize, 2usize);
+    println!("tuning sweep at N={n}, grid {p}x{q} (each cell = one real run)\n");
+
+    // 1. Blocking factor: balance of DGEMM efficiency vs pipeline grain.
+    println!("NB sweep (split 50%, 1ringM):");
+    let mut best_nb = (0usize, 0.0f64);
+    for nb in [16usize, 24, 32, 48, 64, 96] {
+        let mut cfg = HplConfig::new(n - n % nb, nb, p, q);
+        cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
+        let g = score(&cfg);
+        println!("  NB={nb:3}: {g:8.2} GFLOPS");
+        if g > best_nb.1 {
+            best_nb = (nb, g);
+        }
+    }
+    println!("  -> best NB = {}\n", best_nb.0);
+
+    // 2. Broadcast algorithm at the chosen NB.
+    println!("LBCAST algorithm sweep (NB={}):", best_nb.0);
+    let mut best_algo = (BcastAlgo::OneRing, 0.0f64);
+    for algo in BcastAlgo::ALL {
+        let nb = best_nb.0;
+        let mut cfg = HplConfig::new(n - n % nb, nb, p, q);
+        cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
+        cfg.bcast = algo;
+        let g = score(&cfg);
+        println!("  {:>8}: {g:8.2} GFLOPS", algo.name());
+        if g > best_algo.1 {
+            best_algo = (algo, g);
+        }
+    }
+    println!("  -> best algorithm = {}\n", best_algo.0.name());
+
+    // 3. Split fraction (the SIII.C tunable).
+    println!("split-fraction sweep (NB={}, {}):", best_nb.0, best_algo.0.name());
+    let mut best_frac = (0.0f64, 0.0f64);
+    for frac in [0.0, 0.25, 0.5, 0.75] {
+        let nb = best_nb.0;
+        let mut cfg = HplConfig::new(n - n % nb, nb, p, q);
+        cfg.bcast = best_algo.0;
+        cfg.schedule = if frac == 0.0 {
+            Schedule::LookAhead
+        } else {
+            Schedule::SplitUpdate { frac }
+        };
+        let g = score(&cfg);
+        println!("  frac={frac:.2}: {g:8.2} GFLOPS");
+        if g > best_frac.1 {
+            best_frac = (frac, g);
+        }
+    }
+    println!(
+        "\nchosen configuration: NB={}, bcast={}, split={:.2} -> {:.2} GFLOPS",
+        best_nb.0,
+        best_algo.0.name(),
+        best_frac.0,
+        best_frac.1
+    );
+}

@@ -1,0 +1,1 @@
+// integration-test-only crate; see tests/tests/*.rs

@@ -1,0 +1,130 @@
+//! Structural communication assertions across crates: message counts and
+//! volumes of a real benchmark run reflect the algorithms the paper
+//! describes (ring LBCAST forwarding, scatterv+allgatherv row swaps,
+//! per-column pivot collectives).
+
+use hpl_comm::{panel_bcast, BcastAlgo, Universe};
+use rhpl_core::{run_hpl, HplConfig};
+
+/// In a 1xQ grid there is no process-column communication at all: pivot
+/// search and row swaps are rank-local, so only row-comm (LBCAST) traffic
+/// exists. In a Px1 grid it is the reverse.
+#[test]
+fn degenerate_grids_use_only_one_communicator_axis() {
+    // Both solve fine (checked elsewhere); here we simply confirm they run,
+    // since the collectives degenerate to no-ops on one rank.
+    for (p, q) in [(1usize, 4usize), (4, 1)] {
+        let cfg = HplConfig::new(128, 16, p, q);
+        let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, &cfg).expect("ok"));
+        assert!(results[0].gflops > 0.0);
+    }
+}
+
+/// The "modified" broadcast variants relieve the next panel owner: across
+/// a whole row, the rank right of the root forwards nothing.
+#[test]
+fn modified_ring_offloads_next_owner_at_scale() {
+    for algo in [BcastAlgo::OneRingM, BcastAlgo::TwoRingM, BcastAlgo::LongM] {
+        let sent = Universe::run(6, |comm| {
+            let mut buf = vec![0.0f64; 4096];
+            if comm.rank() == 2 {
+                buf.iter_mut().enumerate().for_each(|(i, v)| *v = i as f64);
+            }
+            panel_bcast(&comm, algo, 2, &mut buf);
+            assert_eq!(buf[4095], 4095.0, "payload must arrive");
+            comm.stats().snapshot()
+        });
+        // Rank 3 (the next owner relative to root 2) sent nothing.
+        assert_eq!(sent[3].0, 0, "{algo:?}: next owner must not forward");
+        // The root did send.
+        assert!(sent[2].0 >= 1);
+    }
+}
+
+/// Bandwidth-optimal "long" broadcast splits the panel into chunks: many
+/// more, much smaller messages, every rank participating in forwarding —
+/// versus the ring where whole panels hop and the tail rank never sends.
+#[test]
+fn long_bcast_trades_messages_for_volume() {
+    let len = 60_000usize;
+    let run = |algo: BcastAlgo| -> Vec<(u64, u64)> {
+        Universe::run(6, |comm| {
+            let mut buf = vec![1.0f64; len];
+            panel_bcast(&comm, algo, 0, &mut buf);
+            comm.stats().snapshot()
+        })
+    };
+    let ring = run(BcastAlgo::OneRing);
+    let long = run(BcastAlgo::Long);
+    let ring_msgs: u64 = ring.iter().map(|s| s.0).sum();
+    let long_msgs: u64 = long.iter().map(|s| s.0).sum();
+    assert!(long_msgs > ring_msgs, "long sends more, smaller messages");
+    // Ring: messages carry the full panel; long: ~1/6 chunks.
+    let ring_avg = ring.iter().map(|s| s.1).sum::<u64>() as f64 / ring_msgs as f64;
+    let long_avg = long.iter().map(|s| s.1).sum::<u64>() as f64 / long_msgs as f64;
+    assert!(
+        long_avg < 0.3 * ring_avg,
+        "long message granularity {long_avg} vs ring {ring_avg}"
+    );
+    // Ring idles its tail rank; long has every rank forwarding.
+    assert!(ring.iter().any(|s| s.0 == 0), "ring tail rank sends nothing");
+    assert!(long.iter().all(|s| s.0 > 0), "long: every rank forwards chunks");
+}
+
+/// A full benchmark run leaves every fabric quiescent (all collectives are
+/// self-contained) and actually used the network.
+#[test]
+fn full_run_produces_traffic_everywhere() {
+    let cfg = HplConfig::new(128, 16, 2, 2);
+    let msgs = Universe::run(cfg.ranks(), |comm| {
+        let handle = comm.clone();
+        run_hpl(comm, &cfg).expect("ok");
+        handle.stats().snapshot().0
+    });
+    // World-communicator traffic: the initial grid split at minimum.
+    for (rank, m) in msgs.iter().enumerate() {
+        assert!(*m > 0 || rank == 0, "rank {rank} sent no world messages");
+    }
+}
+
+/// "This involves NB small collectives among the P processes" (paper §I):
+/// the pivot-exchange message count of one panel factorization scales
+/// linearly with the panel width.
+#[test]
+fn pivot_collectives_scale_with_panel_width() {
+    use hpl_blas::mat::Matrix;
+    use rhpl_core::dist::Axis;
+    use rhpl_core::fact::{panel_factor, FactInput};
+    let count_for = |jb: usize| -> u64 {
+        let per_rank = Universe::run(2, |comm| {
+            let n = 128usize;
+            let rows = Axis { n, nb: jb, iproc: comm.rank(), nprocs: 2 };
+            let mloc = rows.local_len();
+            let pool = hpl_threads::Pool::new(1);
+            let gen = rhpl_core::MatGen::new(5, n);
+            let mut panel =
+                Matrix::from_fn(mloc, jb, |i, j| gen.entry(rows.to_global(i), j));
+            let inp = FactInput {
+                col_comm: &comm,
+                rows,
+                k0: 0,
+                jb,
+                lb: 0,
+                is_curr: comm.rank() == 0,
+                pool: &pool,
+                opts: rhpl_core::FactOpts::default(),
+            };
+            let mut v = panel.view_mut();
+            panel_factor(&inp, &mut v).expect("nonsingular");
+            comm.stats().snapshot().0
+        });
+        per_rank.iter().sum()
+    };
+    let narrow = count_for(16);
+    let wide = count_for(64);
+    // One combined reduce+bcast per column: 4x the width ~= 4x the traffic.
+    assert!(
+        (wide as f64 / narrow as f64 - 4.0).abs() < 0.5,
+        "pivot messages must scale with panel width: {narrow} -> {wide}"
+    );
+}

@@ -1,0 +1,110 @@
+//! Failure injection: singular systems, invalid configurations, and
+//! degenerate layouts must fail loudly and consistently on every rank.
+
+use hpl_blas::mat::Matrix;
+use hpl_comm::Universe;
+use hpl_threads::Pool;
+use rhpl_core::dist::Axis;
+use rhpl_core::fact::{panel_factor, FactInput};
+use rhpl_core::{FactOpts, HplConfig};
+
+/// A panel with an all-zero column is singular: every rank of the process
+/// column must return the same `Singular { col }` error (no rank may hang
+/// or succeed).
+#[test]
+fn singular_panel_detected_consistently_across_ranks() {
+    let (p, nb, n) = (3usize, 8usize, 48usize);
+    let errs = Universe::run(p, |comm| {
+        let rows = Axis { n, nb, iproc: comm.rank(), nprocs: p };
+        let mloc = rows.local_len();
+        let pool = Pool::new(1);
+        // Column 5 of the panel is zero on every rank.
+        let mut panel = Matrix::from_fn(mloc, nb, |i, j| {
+            if j == 5 {
+                0.0
+            } else {
+                ((i * 31 + j * 17) % 23) as f64 - 11.0
+            }
+        });
+        let inp = FactInput {
+            col_comm: &comm,
+            rows,
+            k0: 0,
+            jb: nb,
+            lb: 0,
+            is_curr: comm.rank() == 0,
+            pool: &pool,
+            opts: FactOpts::default(),
+        };
+        let mut v = panel.view_mut();
+        panel_factor(&inp, &mut v).unwrap_err()
+    });
+    for e in &errs {
+        assert_eq!(e.col, 5, "all ranks must report the same singular column");
+    }
+}
+
+/// Multithreaded factorization detects singularity too (the error flag
+/// must cross the barrier protocol cleanly).
+#[test]
+fn singular_panel_with_threads() {
+    let errs = Universe::run(2, |comm| {
+        let nb = 16usize;
+        let n = 64usize;
+        let rows = Axis { n, nb, iproc: comm.rank(), nprocs: 2 };
+        let mloc = rows.local_len();
+        let pool = Pool::new(4);
+        let mut panel = Matrix::from_fn(mloc, nb, |i, j| {
+            if j == 0 {
+                0.0
+            } else {
+                (i + j) as f64
+            }
+        });
+        let inp = FactInput {
+            col_comm: &comm,
+            rows,
+            k0: 0,
+            jb: nb,
+            lb: 0,
+            is_curr: comm.rank() == 0,
+            pool: &pool,
+            opts: FactOpts { threads: 4, ..FactOpts::default() },
+        };
+        let mut v = panel.view_mut();
+        panel_factor(&inp, &mut v).unwrap_err()
+    });
+    assert!(errs.iter().all(|e| e.col == 0));
+}
+
+#[test]
+#[should_panic(expected = "NB must be positive")]
+fn zero_block_size_rejected() {
+    HplConfig::new(64, 0, 2, 2).validate();
+}
+
+#[test]
+#[should_panic(expected = "grid must be non-empty")]
+fn empty_grid_rejected() {
+    HplConfig::new(64, 16, 0, 2).validate();
+}
+
+#[test]
+#[should_panic(expected = "needs exactly")]
+fn wrong_rank_count_rejected() {
+    let cfg = HplConfig::new(64, 16, 2, 2);
+    // 3 ranks for a 2x2 grid: the grid constructor must abort.
+    Universe::run(3, |comm| {
+        let _ = hpl_comm::Grid::new(comm, cfg.p, cfg.q, cfg.order);
+    });
+}
+
+/// N smaller than the grid still works (some ranks own nothing).
+#[test]
+fn more_ranks_than_blocks() {
+    let cfg = HplConfig::new(24, 8, 3, 3);
+    let results = Universe::run(cfg.ranks(), |comm| {
+        rhpl_core::run_hpl(comm, &cfg).expect("nonsingular")
+    });
+    assert_eq!(results[0].x.len(), 24);
+}
