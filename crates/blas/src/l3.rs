@@ -203,8 +203,12 @@ fn micro_kernel(kc: usize, astrip: &[f64], bstrip: &[f64], acc: &mut [[f64; MR];
     debug_assert!(astrip.len() >= kc * MR);
     debug_assert!(bstrip.len() >= kc * NR);
     for p in 0..kc {
-        let av: &[f64; MR] = astrip[p * MR..p * MR + MR].try_into().unwrap();
-        let bv: &[f64; NR] = bstrip[p * NR..p * NR + NR].try_into().unwrap();
+        let av: &[f64; MR] = astrip[p * MR..p * MR + MR]
+            .try_into()
+            .expect("slice is exactly MR long by construction");
+        let bv: &[f64; NR] = bstrip[p * NR..p * NR + NR]
+            .try_into()
+            .expect("slice is exactly NR long by construction");
         for j in 0..NR {
             let bj = bv[j];
             for i in 0..MR {
@@ -316,10 +320,10 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
                 // B2 -= op(T)21 * X1.
                 match (uplo, trans) {
                     (Uplo::Lower, Trans::No) => {
-                        dgemm(Trans::No, Trans::No, -1.0, t21.unwrap(), b1.as_ref(), 1.0, &mut b2)
+                        dgemm(Trans::No, Trans::No, -1.0, t21.expect("off-diagonal block present when n > 1"), b1.as_ref(), 1.0, &mut b2)
                     }
                     (Uplo::Upper, Trans::Yes) => {
-                        dgemm(Trans::Yes, Trans::No, -1.0, t12.unwrap(), b1.as_ref(), 1.0, &mut b2)
+                        dgemm(Trans::Yes, Trans::No, -1.0, t12.expect("off-diagonal block present when n > 1"), b1.as_ref(), 1.0, &mut b2)
                     }
                     _ => unreachable!(),
                 }
@@ -329,10 +333,10 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
                 // B1 -= op(T)12 * X2.
                 match (uplo, trans) {
                     (Uplo::Upper, Trans::No) => {
-                        dgemm(Trans::No, Trans::No, -1.0, t12.unwrap(), b2.as_ref(), 1.0, &mut b1)
+                        dgemm(Trans::No, Trans::No, -1.0, t12.expect("off-diagonal block present when n > 1"), b2.as_ref(), 1.0, &mut b1)
                     }
                     (Uplo::Lower, Trans::Yes) => {
-                        dgemm(Trans::Yes, Trans::No, -1.0, t21.unwrap(), b2.as_ref(), 1.0, &mut b1)
+                        dgemm(Trans::Yes, Trans::No, -1.0, t21.expect("off-diagonal block present when n > 1"), b2.as_ref(), 1.0, &mut b1)
                     }
                     _ => unreachable!(),
                 }
@@ -352,10 +356,10 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
                 // B2 -= X1 * op(T)12.
                 match (uplo, trans) {
                     (Uplo::Upper, Trans::No) => {
-                        dgemm(Trans::No, Trans::No, -1.0, b1.as_ref(), t12.unwrap(), 1.0, &mut b2)
+                        dgemm(Trans::No, Trans::No, -1.0, b1.as_ref(), t12.expect("off-diagonal block present when n > 1"), 1.0, &mut b2)
                     }
                     (Uplo::Lower, Trans::Yes) => {
-                        dgemm(Trans::No, Trans::Yes, -1.0, b1.as_ref(), t21.unwrap(), 1.0, &mut b2)
+                        dgemm(Trans::No, Trans::Yes, -1.0, b1.as_ref(), t21.expect("off-diagonal block present when n > 1"), 1.0, &mut b2)
                     }
                     _ => unreachable!(),
                 }
@@ -365,10 +369,10 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
                 // B1 -= X2 * op(T)21.
                 match (uplo, trans) {
                     (Uplo::Lower, Trans::No) => {
-                        dgemm(Trans::No, Trans::No, -1.0, b2.as_ref(), t21.unwrap(), 1.0, &mut b1)
+                        dgemm(Trans::No, Trans::No, -1.0, b2.as_ref(), t21.expect("off-diagonal block present when n > 1"), 1.0, &mut b1)
                     }
                     (Uplo::Upper, Trans::Yes) => {
-                        dgemm(Trans::No, Trans::Yes, -1.0, b2.as_ref(), t12.unwrap(), 1.0, &mut b1)
+                        dgemm(Trans::No, Trans::Yes, -1.0, b2.as_ref(), t12.expect("off-diagonal block present when n > 1"), 1.0, &mut b1)
                     }
                     _ => unreachable!(),
                 }

@@ -47,10 +47,10 @@ pub fn dgemm_parallel(
         if w == 0 {
             return;
         }
+        let cptr = (cbase as *mut f64).wrapping_add(j0 * lda);
         // SAFETY: column ranges are disjoint across threads, and the
         // parent `c` borrow is held for the whole region.
-        let mut cchunk =
-            unsafe { MatMut::from_raw_parts((cbase as *mut f64).add(j0 * lda), m, w, lda) };
+        let mut cchunk = unsafe { MatMut::from_raw_parts(cptr, m, w, lda) };
         let bchunk = match transb {
             Trans::No => b.submatrix(0, j0, b.rows(), w),
             Trans::Yes => b.submatrix(j0, 0, w, b.cols()),

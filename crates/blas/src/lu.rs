@@ -175,9 +175,9 @@ mod tests {
         let mut p1 = vec![0usize; n];
         let mut p2 = vec![0usize; n];
         let mut v1 = a1.view_mut();
-        getrf_unblocked(&mut v1, &mut p1).unwrap();
+        getrf_unblocked(&mut v1, &mut p1).expect("test matrix is well conditioned");
         let mut v2 = a2.view_mut();
-        getrf(&mut v2, &mut p2, 8).unwrap();
+        getrf(&mut v2, &mut p2, 8).expect("test matrix is well conditioned");
         assert_eq!(p1, p2, "pivot sequences must agree");
         for (x, y) in a1.as_slice().iter().zip(a2.as_slice()) {
             assert!((x - y).abs() < 1e-12);
@@ -200,7 +200,7 @@ mod tests {
         let mut a = a0.clone();
         let mut piv = vec![0usize; 3];
         let mut v = a.view_mut();
-        getrf(&mut v, &mut piv, 1).unwrap();
+        getrf(&mut v, &mut piv, 1).expect("matrix has a nonzero pivot in every column");
         assert_eq!(piv[0], 1);
         // All multipliers must be <= 1 in magnitude thanks to pivoting.
         for k in 0..3 {

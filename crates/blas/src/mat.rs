@@ -31,9 +31,15 @@ pub struct MatMut<'a> {
 }
 
 // A view is a window onto a `&[f64]`/`&mut [f64]`; sending it to another
-// thread is as safe as sending the underlying borrow.
+// thread is as safe as sending the underlying borrow. `MatMut` is
+// deliberately NOT `Sync`: `&MatMut` exposes reads (`get`, `col`) that
+// would race with the owner's writes if shared across threads.
+// SAFETY: semantically `&[f64]` (shared read-only window); `&[f64]` is Send.
 unsafe impl Send for MatRef<'_> {}
+// SAFETY: `&MatRef` exposes only reads of plain `f64`s, like `&&[f64]`.
 unsafe impl Sync for MatRef<'_> {}
+// SAFETY: semantically `&mut [f64]` (exclusive window, the `from_raw_parts`
+// contract forbids aliased access to the window); `&mut [f64]` is Send.
 unsafe impl Send for MatMut<'_> {}
 
 #[inline]
@@ -102,13 +108,16 @@ impl<'a> MatRef<'a> {
     #[inline(always)]
     pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
         debug_assert!(i < self.rows && j < self.cols);
-        *self.ptr.add(j * self.lda + i)
+        // SAFETY: caller guarantees `(i, j)` is inside the window, and the
+        // view's construction guarantees the window is readable.
+        unsafe { *self.ptr.add(j * self.lda + i) }
     }
 
     /// Element `(i, j)` with bounds checks.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        // SAFETY: bounds just asserted.
         unsafe { self.get_unchecked(i, j) }
     }
 
@@ -116,6 +125,8 @@ impl<'a> MatRef<'a> {
     #[inline]
     pub fn col(&self, j: usize) -> &'a [f64] {
         assert!(j < self.cols, "column {j} out of {}", self.cols);
+        // SAFETY: `j` in bounds, and each column holds `rows` contiguous
+        // readable elements by the view's construction contract.
         unsafe { core::slice::from_raw_parts(self.ptr.add(j * self.lda), self.rows) }
     }
 
@@ -131,6 +142,7 @@ impl<'a> MatRef<'a> {
         assert!(i + nrows <= self.rows, "row window {i}+{nrows} out of {}", self.rows);
         assert!(j + ncols <= self.cols, "col window {j}+{ncols} out of {}", self.cols);
         MatRef {
+            // SAFETY: `(i, j)` is inside the window by the asserts above.
             ptr: unsafe { self.ptr.add(j * self.lda + i) },
             rows: nrows,
             cols: ncols,
@@ -201,7 +213,9 @@ impl<'a> MatMut<'a> {
     #[inline(always)]
     pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
         debug_assert!(i < self.rows && j < self.cols);
-        *self.ptr.add(j * self.lda + i)
+        // SAFETY: caller guarantees `(i, j)` is inside the window, which is
+        // exclusively ours by the view's construction contract.
+        unsafe { *self.ptr.add(j * self.lda + i) }
     }
 
     /// Writes element `(i, j)` without bounds checks.
@@ -211,13 +225,16 @@ impl<'a> MatMut<'a> {
     #[inline(always)]
     pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: f64) {
         debug_assert!(i < self.rows && j < self.cols);
-        *self.ptr.add(j * self.lda + i) = v;
+        // SAFETY: caller guarantees `(i, j)` is inside the window; `&mut
+        // self` plus the construction contract make the write exclusive.
+        unsafe { *self.ptr.add(j * self.lda + i) = v };
     }
 
     /// Element `(i, j)` with bounds checks.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        // SAFETY: bounds just asserted.
         unsafe { self.get_unchecked(i, j) }
     }
 
@@ -225,6 +242,7 @@ impl<'a> MatMut<'a> {
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        // SAFETY: bounds just asserted.
         unsafe { self.set_unchecked(i, j, v) }
     }
 
@@ -232,6 +250,9 @@ impl<'a> MatMut<'a> {
     #[inline]
     pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
         assert!(j < self.cols, "column {j} out of {}", self.cols);
+        // SAFETY: `j` in bounds; the column's `rows` elements are inside
+        // the exclusively-owned window, and `&mut self` prevents overlap
+        // with any other slice borrowed from this view.
         unsafe { core::slice::from_raw_parts_mut(self.ptr.add(j * self.lda), self.rows) }
     }
 
@@ -239,6 +260,8 @@ impl<'a> MatMut<'a> {
     #[inline]
     pub fn col(&self, j: usize) -> &[f64] {
         assert!(j < self.cols, "column {j} out of {}", self.cols);
+        // SAFETY: `j` in bounds; `&self` keeps writers out for the
+        // duration of the returned borrow.
         unsafe { core::slice::from_raw_parts(self.ptr.add(j * self.lda), self.rows) }
     }
 
@@ -260,6 +283,8 @@ impl<'a> MatMut<'a> {
         assert!(i + nrows <= self.rows, "row window {i}+{nrows} out of {}", self.rows);
         assert!(j + ncols <= self.cols, "col window {j}+{ncols} out of {}", self.cols);
         MatMut {
+            // SAFETY: `(i, j)` is inside the window by the asserts above,
+            // and `&mut self` makes the reborrow exclusive.
             ptr: unsafe { self.ptr.add(j * self.lda + i) },
             rows: nrows,
             cols: ncols,
@@ -272,6 +297,8 @@ impl<'a> MatMut<'a> {
     #[inline]
     pub fn split_at_col(self, j: usize) -> (MatMut<'a>, MatMut<'a>) {
         assert!(j <= self.cols, "split col {j} out of {}", self.cols);
+        // SAFETY: `j <= cols`, so column `j` starts inside (or one past)
+        // the window; the two halves cover disjoint column ranges.
         let right_ptr = unsafe { self.ptr.add(j * self.lda) };
         (
             MatMut { ptr: self.ptr, rows: self.rows, cols: j, lda: self.lda, _marker: PhantomData },
@@ -286,6 +313,8 @@ impl<'a> MatMut<'a> {
     #[inline]
     pub fn split_at_row(self, i: usize) -> (MatMut<'a>, MatMut<'a>) {
         assert!(i <= self.rows, "split row {i} out of {}", self.rows);
+        // SAFETY: `i <= rows`, so the offset stays inside the first
+        // column; the halves cover disjoint row ranges of every column.
         let bot_ptr = unsafe { self.ptr.add(i) };
         (
             MatMut { ptr: self.ptr, rows: i, cols: self.cols, lda: self.lda, _marker: PhantomData },

@@ -80,6 +80,9 @@ impl Mailbox {
             if self.arrived.wait_for(&mut g, step).timed_out() {
                 waited += step;
                 if waited >= recv_timeout() {
+                    // Deliberate deadlock detector: real MPI would hang
+                    // forever here; failing loudly is the feature.
+                    // xtask-allow: no-panic — deadlock diagnostics
                     panic!(
                         "rank {dst}: no message from rank {src} with tag {tag:?} after \
                          {waited:?} — mismatched send/recv or collective ordering \

@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use hpl_blas::mat::{MatMut, MatRef, Matrix};
 use hpl_blas::{dgemm, dtrsm, Diag, Side, Trans};
 use hpl_comm::{allreduce_with, Communicator};
-use hpl_threads::{Ctx, Pool};
+use hpl_threads::{ledger, Ctx, Pool};
 
 use crate::config::{FactOpts, FactVariant};
 use crate::dist::Axis;
@@ -108,6 +108,11 @@ impl PivotMsg {
 /// Safety protocol: tiles (disjoint row ranges) are accessed only by their
 /// owning thread between barriers; whole-matrix access happens only in
 /// thread-0-exclusive phases separated from parallel phases by barriers.
+///
+/// Every access registers its row range with the dynamic aliasing ledger
+/// ([`hpl_threads::ledger`]), which panics on cross-thread overlap in debug
+/// builds (and under the `race-check` feature); claims are released at each
+/// pool barrier, matching the protocol's phase boundaries.
 struct SharedMat {
     ptr: *mut f64,
     rows: usize,
@@ -115,7 +120,14 @@ struct SharedMat {
     lda: usize,
 }
 
+// SAFETY: `SharedMat` is a pointer + dims bundle over an `f64` buffer that
+// the owning `panel_factor` call keeps alive for the whole region (the pool
+// region cannot outlive `panel_factor`'s stack frame). Which thread may
+// dereference what is governed by the tile-ownership protocol above and
+// checked at runtime by the aliasing ledger, not by these impls.
 unsafe impl Send for SharedMat {}
+// SAFETY: see the `Send` impl; `&SharedMat` only exposes `unsafe` accessors
+// whose contracts restate the protocol.
 unsafe impl Sync for SharedMat {}
 
 impl SharedMat {
@@ -130,8 +142,12 @@ impl SharedMat {
     /// the tile-ownership/barrier protocol described on the type. Distinct
     /// row ranges access disjoint elements (the column stride skips other
     /// ranges' rows), so concurrent tile views are sound.
+    #[track_caller]
     unsafe fn rows_mut(&self, r0: usize, r1: usize) -> MatMut<'_> {
         debug_assert!(r0 <= r1 && r1 <= self.rows);
+        ledger::claim_excl(self.ptr as usize, r0, r1);
+        // SAFETY: in-bounds by the assert; exclusivity of the row range is
+        // the caller's contract, enforced dynamically by the ledger claim.
         unsafe { MatMut::from_raw_parts(self.ptr.add(r0), r1 - r0, self.cols, self.lda) }
     }
 
@@ -141,7 +157,11 @@ impl SharedMat {
     /// No thread may be mutating any region this reader dereferences
     /// (guaranteed between barriers when readers only touch rows the
     /// protocol froze).
+    #[track_caller]
     unsafe fn view(&self) -> MatRef<'_> {
+        ledger::claim_shared(self.ptr as usize, 0, self.rows);
+        // SAFETY: the caller promises no concurrent writer (ledger-checked:
+        // a shared claim conflicts with any other thread's mutable claim).
         unsafe { MatRef::from_raw_parts(self.ptr, self.rows, self.cols, self.lda) }
     }
 }
@@ -149,7 +169,14 @@ impl SharedMat {
 /// Interior-mutable cell written only by thread 0 in exclusive phases.
 struct RacyCell<T>(UnsafeCell<T>);
 
+// SAFETY: the cell is a plain wrapper; moving it between threads is fine for
+// `T: Send`. Aliased access through `get_mut` is restricted by that method's
+// contract (thread-0-exclusive phases) and checked by the aliasing ledger.
 unsafe impl<T: Send> Send for RacyCell<T> {}
+// SAFETY: `&RacyCell<T>` only yields `&mut T` via the `unsafe` `get_mut`,
+// whose contract confines all access to one thread per phase, so no `&T`
+// is ever observable concurrently with a `&mut T` (`T: Send` suffices; no
+// `T: Sync` needed because shared references to `T` are never handed out).
 unsafe impl<T: Send> Sync for RacyCell<T> {}
 
 impl<T> RacyCell<T> {
@@ -159,7 +186,11 @@ impl<T> RacyCell<T> {
     /// # Safety
     /// Only thread 0, in a phase where no other thread accesses the cell.
     #[allow(clippy::mut_from_ref)]
+    #[track_caller]
     unsafe fn get_mut(&self) -> &mut T {
+        ledger::claim_excl(self.0.get() as usize, 0, 1);
+        // SAFETY: single-thread access per the contract above; the ledger
+        // claim turns a violation into a panic naming both claim sites.
         unsafe { &mut *self.0.get() }
     }
     fn into_inner(self) -> T {
@@ -306,6 +337,8 @@ fn rec_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
             let topv = unsafe { st.top.view() };
             let u = topv.submatrix(plo, phi, phi - plo, hi - phi);
             st.for_own_tiles(ctx, st.cand_start(phi), |r0, r1| {
+                // SAFETY: `r0..r1` is a tile this thread owns (Fig 4
+                // round-robin); no other thread touches it this phase.
                 let mut rows = unsafe { st.a.rows_mut(r0, r1) };
                 let (l_cols, mut rest) = rows.submatrix_mut(0, 0, r1 - r0, hi).split_at_col(phi);
                 let l = l_cols.as_ref().submatrix(0, plo, r1 - r0, phi - plo);
@@ -364,6 +397,7 @@ fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
         // SAFETY: `top` frozen; each thread touches only its tiles.
         let pivot = unsafe { st.top.view() }.get(k, k);
         st.for_own_tiles(ctx, st.below_start(k), |r0, r1| {
+            // SAFETY: own tile, parallel phase (disjoint across threads).
             let mut rows = unsafe { st.a.rows_mut(r0, r1) };
             for v in rows.col_mut(k) {
                 *v /= pivot;
@@ -375,9 +409,12 @@ fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
                 // Eager rank-1 trailing update within the sub-panel.
                 if k + 1 < hi {
                     ctx.barrier();
+                    // SAFETY: `top` is frozen during this parallel phase
+                    // (row k was installed before the last barrier).
                     let topv = unsafe { st.top.view() };
                     let yrow = topv.submatrix(k, k + 1, 1, hi - k - 1);
                     st.for_own_tiles(ctx, st.below_start(k), |r0, r1| {
+                        // SAFETY: own tile, parallel phase.
                         let mut rows = unsafe { st.a.rows_mut(r0, r1) };
                         let (xcol, mut rest) =
                             rows.submatrix_mut(0, 0, r1 - r0, hi).split_at_col(k + 1);
@@ -402,6 +439,8 @@ fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
                 // exclusive mutation of the shared `top`.
                 ctx.barrier();
                 if ctx.thread_id() == 0 && k + 1 < hi && k > lo {
+                    // SAFETY: thread-0-exclusive phase — every other thread
+                    // is parked at the loop's closing barrier.
                     let topv = unsafe { st.top.view() };
                     let mut contrib = vec![0.0f64; hi - k - 1];
                     for (jj, c) in contrib.iter_mut().enumerate() {
@@ -411,6 +450,7 @@ fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
                         }
                         *c = s;
                     }
+                    // SAFETY: same thread-0-exclusive phase as above.
                     let mut t = unsafe { st.top.rows_mut(0, st.jb) };
                     for (jj, c) in contrib.into_iter().enumerate() {
                         let v = t.get(k, k + 1 + jj) - c;
@@ -431,6 +471,7 @@ fn update_col(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, k: usize) {
     let topv = unsafe { st.top.view() };
     let u: Vec<f64> = (lo..k).map(|p| topv.get(p, k)).collect();
     st.for_own_tiles(ctx, st.cand_start(k), |r0, r1| {
+        // SAFETY: own tile, parallel phase.
         let mut rows = unsafe { st.a.rows_mut(r0, r1) };
         let mut acc = vec![0.0f64; r1 - r0];
         for (p, &up) in u.iter().enumerate() {
@@ -502,12 +543,14 @@ fn pivot_step(st: &FactState<'_>, ctx: &Ctx<'_>, k: usize) -> bool {
             let ipiv = unsafe { st.ipiv.get_mut() };
             ipiv[k] = grow;
             // Install the pivot row as factored row k (replicated).
+            // SAFETY: still the thread-0-exclusive phase.
             let mut t = unsafe { st.top.rows_mut(k, k + 1) };
             for (j, &v) in win.row.iter().enumerate() {
                 t.set(0, j, v);
             }
             // Keep the diagonal owner's local copy consistent.
             if st.inp.is_curr {
+                // SAFETY: still the thread-0-exclusive phase.
                 let mut arow = unsafe { st.a.rows_mut(k, k + 1) };
                 for (j, &v) in win.row.iter().enumerate() {
                     arow.set(0, j, v);
@@ -516,6 +559,7 @@ fn pivot_step(st: &FactState<'_>, ctx: &Ctx<'_>, k: usize) -> bool {
             // Move the old top row into the pivot position if we own it.
             if st.inp.rows.is_mine(grow) {
                 let pli = st.inp.rows.to_local(grow) - st.inp.lb;
+                // SAFETY: still the thread-0-exclusive phase.
                 let mut arow = unsafe { st.a.rows_mut(pli, pli + 1) };
                 for (j, &v) in win.currow.iter().enumerate() {
                     arow.set(0, j, v);
@@ -525,4 +569,84 @@ fn pivot_step(st: &FactState<'_>, ctx: &Ctx<'_>, k: usize) -> bool {
     }
     ctx.barrier();
     st.err.load(Ordering::Relaxed) == usize::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// The aliasing ledger must catch two threads taking `rows_mut` views
+    /// with overlapping row ranges in the same phase — the exact bug class
+    /// the tile-ownership protocol exists to prevent. Ordering between the
+    /// two claims is enforced so the violation is deterministic.
+    #[test]
+    fn ledger_catches_overlapping_rows_mut() {
+        assert!(ledger::enabled(), "test builds must have the ledger on");
+        let pool = Pool::new(2);
+        let mut m = Matrix::zeros(32, 4);
+        let mut mv = m.view_mut();
+        let shared = SharedMat::new(&mut mv);
+        let step = AtomicUsize::new(0);
+        struct Resolved<'a>(&'a AtomicUsize);
+        impl Drop for Resolved<'_> {
+            fn drop(&mut self) {
+                self.0.store(2, Ordering::Release);
+            }
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(2, |ctx| {
+                if ctx.thread_id() == 0 {
+                    // SAFETY: rows 0..16 claimed by thread 0 only.
+                    let _t0 = unsafe { shared.rows_mut(0, 16) };
+                    step.store(1, Ordering::Release);
+                    while step.load(Ordering::Acquire) < 2 {
+                        std::thread::yield_now();
+                    }
+                } else {
+                    while step.load(Ordering::Acquire) == 0 {
+                        std::thread::yield_now();
+                    }
+                    let _resolved = Resolved(&step);
+                    // SAFETY: deliberately violates the protocol (overlaps
+                    // thread 0's live claim); the ledger must panic before
+                    // any aliased &mut is actually used.
+                    let _t1 = unsafe { shared.rows_mut(8, 24) };
+                }
+            });
+        }))
+        .expect_err("overlapping rows_mut claims must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| err.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(
+            msg.contains("race-ledger") || msg.contains("pool worker died"),
+            "unexpected panic payload: {msg}"
+        );
+        ledger::reset(); // the dead worker cannot release its own claims
+    }
+
+    /// Disjoint tiles and protocol-respecting phases must NOT trip the
+    /// ledger (guards against false positives in the wiring).
+    #[test]
+    fn ledger_accepts_disjoint_tiles_and_frozen_reads() {
+        let pool = Pool::new(4);
+        let mut m = Matrix::zeros(64, 4);
+        let mut mv = m.view_mut();
+        let shared = SharedMat::new(&mut mv);
+        pool.run(4, |ctx| {
+            let tid = ctx.thread_id();
+            {
+                // SAFETY: 16-row tiles, one per thread — disjoint.
+                let mut t = unsafe { shared.rows_mut(tid * 16, (tid + 1) * 16) };
+                t.set(0, 0, tid as f64);
+            }
+            ctx.barrier();
+            // SAFETY: read-only phase, nobody mutates after the barrier.
+            let v = unsafe { shared.view() };
+            assert_eq!(v.get(tid * 16, 0), tid as f64);
+        });
+    }
 }

@@ -45,7 +45,7 @@ pub fn solve_gmres(op: &DenseOp, lu: &LowLu, b: &[f64], params: GmresParams) -> 
     let b_nrm = nrm2(b).max(f64::MIN_POSITIVE);
 
     'cycles: for _ in 0..params.max_cycles {
-        if *history.last().unwrap() < 16.0 && {
+        if *history.last().expect("history is seeded with the initial residual") < 16.0 && {
             let mut ax = vec![0.0; n];
             op.matvec(&x, &mut ax);
             let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
@@ -132,7 +132,7 @@ pub fn solve_gmres(op: &DenseOp, lu: &LowLu, b: &[f64], params: GmresParams) -> 
         }
         history.push(scaled_residual(op, b, &x));
         if history.len() > 2 {
-            let last = *history.last().unwrap();
+            let last = *history.last().expect("history is seeded with the initial residual");
             let prev = history[history.len() - 2];
             if last < 16.0 && last >= prev * 0.99 {
                 // Converged to working accuracy.
@@ -140,7 +140,7 @@ pub fn solve_gmres(op: &DenseOp, lu: &LowLu, b: &[f64], params: GmresParams) -> 
             }
         }
     }
-    let converged = *history.last().unwrap() < 16.0;
+    let converged = *history.last().expect("history is seeded with the initial residual") < 16.0;
     MxpReport { x, history, converged }
 }
 

@@ -116,7 +116,7 @@ pub fn solve_ir(op: &DenseOp, lu: &LowLu, b: &[f64], max_iters: usize) -> MxpRep
     let mut history = vec![scaled_residual(op, b, &x)];
     let mut r = vec![0.0f64; n];
     for _ in 0..max_iters {
-        if *history.last().unwrap() < 16.0 {
+        if *history.last().expect("history is seeded with the initial residual") < 16.0 {
             break;
         }
         op.matvec(&x, &mut r);
@@ -129,7 +129,7 @@ pub fn solve_ir(op: &DenseOp, lu: &LowLu, b: &[f64], max_iters: usize) -> MxpRep
         }
         history.push(scaled_residual(op, b, &x));
     }
-    let converged = *history.last().unwrap() < 16.0;
+    let converged = *history.last().expect("history is seeded with the initial residual") < 16.0;
     MxpReport { x, history, converged }
 }
 

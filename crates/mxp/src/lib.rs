@@ -65,7 +65,7 @@ mod tests {
         // And the initial f32-only solve alone must NOT pass at this size
         // (otherwise the refinement demonstrates nothing).
         assert!(
-            rep.history[0] > rep.history.last().unwrap() * 10.0,
+            rep.history[0] > rep.history.last().expect("history is seeded with the initial residual") * 10.0,
             "refinement must improve the residual materially: {:?}",
             rep.history
         );

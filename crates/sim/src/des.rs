@@ -96,7 +96,7 @@ impl Ord for Ev {
         other
             .0
             .partial_cmp(&self.0)
-            .unwrap()
+            .expect("event times are finite (asserted at insertion)")
             .then_with(|| other.1.cmp(&self.1))
     }
 }
@@ -211,7 +211,10 @@ impl Des {
                 end: end[i],
             })
             .collect();
-        spans.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap().then(a.task.0.cmp(&b.task.0)));
+        spans.sort_by(|a, b| {
+            let ord = a.start.partial_cmp(&b.start).expect("span times are finite");
+            ord.then(a.task.0.cmp(&b.task.0))
+        });
         let makespan = spans.iter().map(|s| s.end).fold(0.0, f64::max);
         let mut busy = vec![0.0; self.resources.len()];
         for s in &spans {

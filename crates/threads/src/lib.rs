@@ -18,6 +18,7 @@
 #![allow(clippy::too_many_arguments)]
 
 pub mod binding;
+pub mod ledger;
 pub mod pool;
 
 pub use binding::{fact_cores, max_core_sharing, time_shared_bindings, BindError, CoreBinding};

@@ -69,8 +69,11 @@ struct Slot {
     index: core::cell::Cell<usize>,
 }
 
-// Slots are written only by their owning thread between barriers and read by
-// all threads after a barrier; the barrier provides the synchronization.
+// SAFETY: each slot's `Cell`s are written only by the owning thread (slot
+// index == thread id) strictly before a barrier, and read by other threads
+// strictly after it; the barrier's Release/Acquire pair orders the plain
+// writes before the reads, so no two threads ever access a slot
+// concurrently. `f64`/`usize` payloads carry no thread affinity.
 unsafe impl Sync for Slot {}
 
 /// Handle passed to the region closure: thread identity plus synchronization
@@ -96,8 +99,11 @@ impl Ctx<'_> {
         self.region.nthreads
     }
 
-    /// Region-wide barrier.
+    /// Region-wide barrier. A barrier is the phase boundary of the
+    /// tile-ownership protocol, so the calling thread's aliasing-ledger
+    /// claims are dropped before it waits (see [`crate::ledger`]).
     pub fn barrier(&self) {
+        crate::ledger::release_current_thread();
         let mut s = self.local_sense.get();
         self.region.barrier.wait(&mut s);
         self.local_sense.set(s);
@@ -147,12 +153,19 @@ impl Ctx<'_> {
 /// Type-erased borrowed job. The raw pointer is only dereferenced while
 /// [`Pool::run`] is blocked waiting for region completion, so the borrow it
 /// was created from is still live.
+///
+/// `call` is an `unsafe fn`: the caller must guarantee `data` points to a
+/// live value of the closure type `call` was instantiated for.
 #[derive(Clone, Copy)]
 struct Job {
     data: *const (),
     call: unsafe fn(*const (), &Ctx<'_>),
 }
 
+// SAFETY: `data` points to a closure constrained to `Fn(&Ctx<'_>) + Sync` by
+// `Pool::run`, so sharing the pointee across threads is sound; the pointer
+// itself is plain data. Liveness is upheld by `Pool::run` blocking on the
+// `done` channel until every worker has finished calling it.
 unsafe impl Send for Job {}
 
 struct Packet {
@@ -216,6 +229,7 @@ impl Pool {
             };
             let ctx = Ctx { tid: 0, region: &region, local_sense: core::cell::Cell::new(false) };
             f(&ctx);
+            crate::ledger::release_current_thread();
             return;
         }
         let region = Arc::new(Region {
@@ -223,7 +237,12 @@ impl Pool {
             slots: (0..nthreads).map(|_| CachePadded::new(Slot::default())).collect(),
             nthreads,
         });
+        /// # Safety
+        /// `data` must point to a live `F`; `Pool::run` guarantees this by
+        /// blocking until every worker's `done` signal arrives.
         unsafe fn trampoline<F: Fn(&Ctx<'_>) + Sync>(data: *const (), ctx: &Ctx<'_>) {
+            // SAFETY: contract above — `data` was produced from `&f` in the
+            // enclosing `run` call, which is still on the caller's stack.
             let f = unsafe { &*(data as *const F) };
             f(ctx);
         }
@@ -239,9 +258,14 @@ impl Pool {
                 }))
                 .expect("pool worker died");
         }
+        // Drop the prototype sender so `done_rx` holds only the workers'
+        // clones: if a worker dies without signaling (e.g. a panic in the
+        // region closure), `recv` below reports it instead of hanging.
+        drop(done_tx);
         // Participate as thread 0.
         let ctx = Ctx { tid: 0, region: &region, local_sense: core::cell::Cell::new(false) };
         f(&ctx);
+        crate::ledger::release_current_thread();
         // Wait for all workers before returning: this keeps the borrow of
         // `f` (captured by raw pointer) alive for the region's duration.
         for _ in 1..nthreads {
@@ -262,6 +286,7 @@ fn worker_loop(rx: Receiver<Msg>) {
                 // SAFETY: `Pool::run` blocks until we signal `done`, so the
                 // closure behind `job.data` outlives this call.
                 unsafe { (p.job.call)(p.job.data, &ctx) };
+                crate::ledger::release_current_thread();
                 let _ = p.done.send(());
             }
             Msg::Shutdown => break,

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Full local CI gate: static safety analysis, release build, test suite.
+# Mirrors what a hosted CI job would run; everything is offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo xtask check"
+cargo xtask check
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q

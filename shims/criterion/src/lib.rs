@@ -1,0 +1,214 @@
+//! Offline shim for the slice of `criterion` this workspace's benches use.
+//!
+//! A minimal wall-clock harness with criterion's API shape: groups,
+//! `bench_with_input`/`bench_function`, `Throughput`, `BenchmarkId`. Each
+//! benchmark is warmed up, then timed for `measurement_time` (at least
+//! `sample_size` iterations) and reported as mean time per iteration plus
+//! derived throughput. No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput basis for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration (reported as Melem/s).
+    Elements(u64),
+    /// Bytes processed per iteration (reported as MiB/s).
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the harness asks.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Minimum number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for the timed phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for warm-up.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the throughput basis for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark, passing `input` to the closure.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let per_iter = self.run(|b| f(b, input));
+        self.report(&id.id, per_iter);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let per_iter = self.run(&mut f);
+        self.report(&id.to_string(), per_iter);
+        self
+    }
+
+    fn run(&self, mut f: impl FnMut(&mut Bencher)) -> f64 {
+        // Calibrate: one iteration to estimate cost.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let est = b.elapsed.max(Duration::from_nanos(1));
+        // Warm-up.
+        let warm_iters = (self.warm_up_time.as_secs_f64() / est.as_secs_f64()).ceil() as u64;
+        let mut b = Bencher { iters: warm_iters.clamp(1, 1_000_000), elapsed: Duration::ZERO };
+        f(&mut b);
+        // Timed phase: enough iterations to fill measurement_time, floored
+        // at sample_size.
+        let per = (b.elapsed.as_secs_f64() / b.iters as f64).max(1e-9);
+        let iters = (self.measurement_time.as_secs_f64() / per).ceil() as u64;
+        let iters = iters.clamp(self.sample_size as u64, 100_000_000);
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        b.elapsed.as_secs_f64() / b.iters as f64
+    }
+
+    fn report(&self, id: &str, per_iter: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.2} Melem/s", n as f64 / per_iter / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.2} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("{}/{id}: {:>12.3} us/iter{rate}", self.name, per_iter * 1e6);
+    }
+
+    /// Ends the group (reporting is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Reads configuration from the command line (accepted for API
+    /// compatibility; the shim has no CLI options).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.measurement_time(Duration::from_millis(5));
+        g.warm_up_time(Duration::from_millis(1));
+        g.throughput(Throughput::Elements(100));
+        let mut count = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter("t"), &(), |b, _| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline shim for the subset of `parking_lot` used by this workspace:
+//! a non-poisoning `Mutex` whose `lock()` returns the guard directly, and a
+//! `Condvar` whose wait methods take `&mut MutexGuard` (unlike `std`, which
+//! consumes the guard). Built entirely on `std::sync`; a poisoned std lock
+//! (a thread panicked while holding it) is transparently recovered, which
+//! matches parking_lot's non-poisoning behavior.
+
+use std::sync::{self, PoisonError};
+use std::time::Duration;
+
+/// Non-poisoning mutual-exclusion lock.
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`]. Holds an `Option` internally so [`Condvar`] can
+/// temporarily hand the std guard back to `std::sync::Condvar::wait`.
+pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    fn inner(&self) -> &sync::MutexGuard<'a, T> {
+        self.0.as_ref().expect("guard present outside Condvar::wait")
+    }
+
+    fn inner_mut(&mut self) -> &mut sync::MutexGuard<'a, T> {
+        self.0.as_mut().expect("guard present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> core::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner()
+    }
+}
+
+impl<T: ?Sized> core::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner_mut()
+    }
+}
+
+/// Result of a [`Condvar::wait_for`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable usable with [`Mutex`].
+#[derive(Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self(sync::Condvar::new())
+    }
+
+    /// Atomically releases the guard's lock and waits for a notification,
+    /// reacquiring the lock before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.0.take().expect("guard present before wait");
+        let g = self.0.wait(g).unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(g);
+    }
+
+    /// [`Condvar::wait`] with a timeout.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.0.take().expect("guard present before wait");
+        let (g, r) = self
+            .0
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(g);
+        WaitTimeoutResult(r.timed_out())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+            *g
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(0);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+        // Guard still usable after the wait.
+        *g += 1;
+        assert_eq!(*g, 1);
+    }
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(1));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the std mutex underneath");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1);
+    }
+}

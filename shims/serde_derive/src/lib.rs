@@ -1,0 +1,230 @@
+//! `#[derive(Serialize)]` for the offline `serde` shim.
+//!
+//! Implemented with hand-rolled token parsing (the offline environment has
+//! no `syn`/`quote`). Supports the shapes this workspace actually derives:
+//!
+//! - structs with named fields -> JSON object
+//! - tuple structs: one field -> the field's JSON (serde newtype behavior),
+//!   several fields -> JSON array
+//! - fieldless enums -> the variant name as a JSON string
+//!
+//! Anything else (generics, payload-carrying enum variants, unions) is a
+//! compile error naming this shim, so a future user knows to extend it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("derive shim emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("literal error"),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim derive: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generics (type {name}); extend shims/serde_derive"
+        ));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        other => return Err(format!("serde shim derive: expected a body for {name}, got {other:?}")),
+    };
+
+    match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => {
+            let fields = named_fields(body.stream())?;
+            if fields.is_empty() {
+                return Ok(impl_block(&name, "out.push_str(\"{}\");".to_string()));
+            }
+            let mut code = String::from("out.push('{');\n");
+            for (k, f) in fields.iter().enumerate() {
+                if k > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "::serde::write_json_string({f:?}, out);\nout.push(':');\n\
+                     ::serde::Serialize::to_json(&self.{f}, out);\n"
+                ));
+            }
+            code.push_str("out.push('}');");
+            Ok(impl_block(&name, code))
+        }
+        ("struct", Delimiter::Parenthesis) => {
+            let n = count_tuple_fields(body.stream());
+            let code = if n == 1 {
+                "::serde::Serialize::to_json(&self.0, out);".to_string()
+            } else {
+                let mut c = String::from("out.push('[');\n");
+                for k in 0..n {
+                    if k > 0 {
+                        c.push_str("out.push(',');\n");
+                    }
+                    c.push_str(&format!("::serde::Serialize::to_json(&self.{k}, out);\n"));
+                }
+                c.push_str("out.push(']');");
+                c
+            };
+            Ok(impl_block(&name, code))
+        }
+        ("enum", Delimiter::Brace) => {
+            let variants = fieldless_variants(&name, body.stream())?;
+            let mut code = String::from("match self {\n");
+            for v in &variants {
+                code.push_str(&format!(
+                    "{name}::{v} => ::serde::write_json_string({v:?}, out),\n"
+                ));
+            }
+            code.push('}');
+            Ok(impl_block(&name, code))
+        }
+        _ => Err(format!("serde shim derive: unsupported item shape for {name}")),
+    }
+}
+
+fn impl_block(name: &str, body: String) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Field names of a named-field struct body.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => {
+                        return Err(format!(
+                            "serde shim derive: expected ':' after field, got {other:?}"
+                        ))
+                    }
+                }
+                // Consume the type up to the next top-level comma. Angle
+                // brackets are bare puncts (not groups), so track their depth.
+                let mut angle = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => return Err(format!("serde shim derive: unexpected field token {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct body (top-level comma count).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut saw_any = false;
+    let mut angle = 0i32;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => n += 1,
+            _ => saw_any = true,
+        }
+    }
+    // A trailing comma does not add a field.
+    if saw_any {
+        n + 1
+    } else {
+        0
+    }
+}
+
+/// Variant names of a fieldless enum body (payload variants are an error).
+fn fieldless_variants(name: &str, stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    return Err(format!(
+                        "serde shim derive: enum {name} has payload-carrying variants; \
+                         extend shims/serde_derive"
+                    ));
+                }
+                // Skip a discriminant (= expr) if present.
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    while i < tokens.len()
+                        && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+                    {
+                        i += 1;
+                    }
+                }
+            }
+            other => return Err(format!("serde shim derive: unexpected enum token {other:?}")),
+        }
+    }
+    Ok(variants)
+}

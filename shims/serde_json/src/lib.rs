@@ -1,0 +1,33 @@
+//! Offline shim for the slice of `serde_json` this workspace uses:
+//! [`to_string`] over the `serde` shim's JSON-writing `Serialize` trait.
+
+use std::fmt;
+
+/// Serialization error. The shim's `Serialize` writes JSON infallibly, so
+/// this is never actually produced; it exists so call sites keep the real
+/// crate's `Result` shape.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as a JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_vec() {
+        assert_eq!(super::to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+    }
+}

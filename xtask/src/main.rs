@@ -1,0 +1,147 @@
+//! Workspace automation. Run as `cargo xtask <command>` (aliased in
+//! `.cargo/config.toml` to `cargo run -p xtask --`).
+//!
+//! Commands:
+//!
+//! - `check` — source-level safety analyzer over the workspace (see
+//!   [`rules`]). Exits non-zero with `file:line: [rule] message` diagnostics
+//!   when any rule is violated.
+//! - `list-rules` — print the rule identifiers and one-line descriptions.
+//!
+//! The analyzer is std-only and runs fully offline: it lexes each `.rs` file
+//! itself (no rustc, no network) so it works in the sandboxed CI image.
+
+mod lexer;
+mod rules;
+
+use rules::{analyze, FileKind, Violation, RULES};
+use std::path::{Path, PathBuf};
+
+/// Library crates subject to the full rule set. Bins, benches, examples and
+/// test trees only get the safety rules (`safety-comment`, `no-static-mut`).
+const LIB_CRATES: &[&str] = &["blas", "threads", "comm", "core", "mxp", "sim"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("check");
+    match cmd {
+        "check" => {
+            let root = workspace_root();
+            std::process::exit(run_check(&root));
+        }
+        "list-rules" => {
+            for (name, desc) in RULES {
+                println!("{name:16} {desc}");
+            }
+        }
+        other => {
+            eprintln!("unknown xtask command `{other}` (expected `check` or `list-rules`)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The workspace root is the parent of xtask's own manifest directory.
+fn workspace_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .expect("CARGO_MANIFEST_DIR is always set under cargo");
+    Path::new(&manifest)
+        .parent()
+        .expect("xtask lives one level below the workspace root")
+        .to_path_buf()
+}
+
+/// Runs the analyzer over the workspace; returns the process exit code.
+fn run_check(root: &Path) -> i32 {
+    let mut files = Vec::new();
+    for dir in ["crates", "examples", "tests"] {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            eprintln!("warning: unreadable file {}", path.display());
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scanned += 1;
+        violations.extend(analyze(&rel, &src, classify(&rel)));
+    }
+
+    if violations.is_empty() {
+        println!("xtask check: {scanned} files clean");
+        0
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("xtask check: {} violation(s) in {scanned} files", violations.len());
+        1
+    }
+}
+
+/// Classifies a repo-relative path: `crates/<lib>/src/**` (excluding
+/// `src/bin/`) gets the full rule set; everything else is binary/test code.
+fn classify(rel: &str) -> FileKind {
+    for lib in LIB_CRATES {
+        let src = format!("crates/{lib}/src/");
+        if rel.starts_with(&src) && !rel.starts_with(&format!("{src}bin/")) {
+            return FileKind::Library;
+        }
+    }
+    FileKind::Binary
+}
+
+/// Recursively collects `.rs` files, skipping `target/` build output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lib_src_is_library_kind() {
+        assert_eq!(classify("crates/blas/src/l3.rs"), FileKind::Library);
+        assert_eq!(classify("crates/core/src/fact.rs"), FileKind::Library);
+    }
+
+    #[test]
+    fn bins_benches_tests_are_binary_kind() {
+        assert_eq!(classify("crates/bench/src/lib.rs"), FileKind::Binary);
+        assert_eq!(classify("crates/bench/src/bin/sweep.rs"), FileKind::Binary);
+        assert_eq!(classify("crates/mxp/src/bin/tool.rs"), FileKind::Binary);
+        assert_eq!(classify("crates/blas/tests/prop.rs"), FileKind::Binary);
+        assert_eq!(classify("tests/tests/prop_e2e.rs"), FileKind::Binary);
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Binary);
+        assert_eq!(classify("crates/cli/src/main.rs"), FileKind::Binary);
+    }
+
+    #[test]
+    fn check_runs_clean_on_this_workspace() {
+        // End-to-end guard: the real workspace must stay violation-free.
+        let root = workspace_root();
+        assert_eq!(run_check(&root), 0, "xtask check found violations");
+    }
+}
