@@ -10,17 +10,26 @@ fn bench_dgemm(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(std::time::Duration::from_secs(2));
     g.warm_up_time(std::time::Duration::from_millis(300));
-    for &(m, n, k) in &[(256usize, 256usize, 64usize), (512, 512, 64), (512, 512, 128), (1024, 512, 128)] {
+    for &(m, n, k) in &[
+        (256usize, 256usize, 64usize),
+        (512, 512, 64),
+        (512, 512, 128),
+        (1024, 512, 128),
+    ] {
         let a = Matrix::from_fn(m, k, |i, j| ((i + j) % 7) as f64 * 0.1 - 0.3);
         let b = Matrix::from_fn(k, n, |i, j| ((i * 3 + j) % 5) as f64 * 0.2 - 0.4);
         let mut cm = Matrix::zeros(m, n);
         g.throughput(Throughput::Elements((2 * m * n * k) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}x{k}")), &(), |bch, _| {
-            bch.iter(|| {
-                let mut cv = cm.view_mut();
-                dgemm(Trans::No, Trans::No, -1.0, a.view(), b.view(), 1.0, &mut cv);
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}x{k}")),
+            &(),
+            |bch, _| {
+                bch.iter(|| {
+                    let mut cv = cm.view_mut();
+                    dgemm(Trans::No, Trans::No, -1.0, a.view(), b.view(), 1.0, &mut cv);
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -28,7 +28,12 @@ fn bench_fact(c: &mut Criterion) {
                             let mut panel = Matrix::from_fn(m, nb, |i, j| gen.entry(i, j));
                             let inp = FactInput {
                                 col_comm: &comm,
-                                rows: rhpl_core::dist::Axis { n: m, nb, iproc: 0, nprocs: 1 },
+                                rows: rhpl_core::dist::Axis {
+                                    n: m,
+                                    nb,
+                                    iproc: 0,
+                                    nprocs: 1,
+                                },
                                 k0: 0,
                                 jb: nb,
                                 lb: 0,

@@ -4,8 +4,8 @@
 //! width; MI250X matrix engines show ~4x).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hpl_blas::mat::Matrix;
 use hpl_blas::getrf;
+use hpl_blas::mat::Matrix;
 use hpl_mxp::{sgetrf, SMatrix};
 
 fn bench_mxp(c: &mut Criterion) {
@@ -15,7 +15,8 @@ fn bench_mxp(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(300));
     for &n in &[128usize, 256] {
         let flops = (2 * n * n * n / 3) as u64;
-        let fill = |i: usize, j: usize| ((i * 31 + j * 17) % 23) as f64 + if i == j { 64.0 } else { 0.0 };
+        let fill =
+            |i: usize, j: usize| ((i * 31 + j * 17) % 23) as f64 + if i == j { 64.0 } else { 0.0 };
         g.throughput(Throughput::Elements(flops));
         g.bench_with_input(BenchmarkId::new("fp64", n), &(), |b, _| {
             b.iter(|| {

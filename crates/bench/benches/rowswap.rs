@@ -15,30 +15,42 @@ fn bench_rowswap(c: &mut Criterion) {
     let p = 4usize;
     let nb = 32usize;
     for &cols in &[64usize, 256] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("w{cols}")), &(), |bch, _| {
-            bch.iter(|| {
-                Universe::run(p, |comm| {
-                    let n = 512usize;
-                    let rows = Axis { n, nb, iproc: comm.rank(), nprocs: p };
-                    let mloc = rows.local_len();
-                    let mut a = Matrix::from_fn(mloc, cols, |i, j| (i * cols + j) as f64);
-                    // Pivots: reverse-ish pattern exercising all ranks.
-                    let ipiv: Vec<usize> = (0..nb).map(|k| k + (n - nb - k) / 2).collect();
-                    let plan = SwapPlan::build(0, nb, &ipiv);
-                    let mut av = a.view_mut();
-                    let u = row_swap(
-                        &comm,
-                        rows,
-                        &plan,
-                        0,
-                        &mut av,
-                        ColRange { start: 0, end: cols },
-                        RowSwapAlgo::Ring,
-                    );
-                    u.get(0, 0)
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("w{cols}")),
+            &(),
+            |bch, _| {
+                bch.iter(|| {
+                    Universe::run(p, |comm| {
+                        let n = 512usize;
+                        let rows = Axis {
+                            n,
+                            nb,
+                            iproc: comm.rank(),
+                            nprocs: p,
+                        };
+                        let mloc = rows.local_len();
+                        let mut a = Matrix::from_fn(mloc, cols, |i, j| (i * cols + j) as f64);
+                        // Pivots: reverse-ish pattern exercising all ranks.
+                        let ipiv: Vec<usize> = (0..nb).map(|k| k + (n - nb - k) / 2).collect();
+                        let plan = SwapPlan::build(0, nb, &ipiv);
+                        let mut av = a.view_mut();
+                        let u = row_swap(
+                            &comm,
+                            rows,
+                            &plan,
+                            0,
+                            &mut av,
+                            ColRange {
+                                start: 0,
+                                end: cols,
+                            },
+                            RowSwapAlgo::Ring,
+                        );
+                        u.get(0, 0)
+                    })
                 })
-            })
-        });
+            },
+        );
     }
     g.finish();
 }

@@ -32,7 +32,10 @@ fn model() {
     let node = NodeModel::frontier();
     let params = RunParams::paper_single_node();
     let widths = [22usize, 10, 12, 14];
-    println!("{}", row(&["schedule", "TFLOPS", "vs serial", "hidden time"], &widths));
+    println!(
+        "{}",
+        row(&["schedule", "TFLOPS", "vs serial", "hidden time"], &widths)
+    );
     let mut out = Vec::new();
     let mut base = 0.0;
     for (name, pl) in [
@@ -80,9 +83,21 @@ fn functional() {
         let mut cfg = HplConfig::new(n, nb, 2, 2);
         cfg.schedule = schedule;
         cfg.fact.threads = 2;
-        let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, &cfg).expect("nonsingular"));
-        println!("{}", row(&[name.to_string(), format!("{:.2}", results[0].gflops)], &widths));
-        out.push(Row { schedule: name.to_string(), tflops: results[0].gflops / 1e3, vs_baseline: 0.0 });
+        let results = Universe::run(cfg.ranks(), |comm| {
+            run_hpl(comm, &cfg).expect("nonsingular")
+        });
+        println!(
+            "{}",
+            row(
+                &[name.to_string(), format!("{:.2}", results[0].gflops)],
+                &widths
+            )
+        );
+        out.push(Row {
+            schedule: name.to_string(),
+            tflops: results[0].gflops / 1e3,
+            vs_baseline: 0.0,
+        });
     }
     println!("\n(note: on threads the schedules execute the same arithmetic, so the");
     println!("functional ablation measures orchestration overheads, not the GPU-side");

@@ -25,7 +25,13 @@ fn main() {
     println!("CPU core time sharing on a {cores}-core socket (paper SIII.B)");
     println!("T = 1 + (C - PQ)/P threads per rank; every FACT uses P + C-PQ cores\n");
     let widths = [8usize, 8, 12, 12, 10];
-    println!("{}", row(&["grid", "T", "FACT cores", "idle cores", "sharing"], &widths));
+    println!(
+        "{}",
+        row(
+            &["grid", "T", "FACT cores", "idle cores", "sharing"],
+            &widths
+        )
+    );
     let mut rows = Vec::new();
     for (p, q) in [(8usize, 1usize), (4, 2), (2, 4), (1, 8)] {
         let b = time_shared_bindings(p, q, cores).expect("valid grid");

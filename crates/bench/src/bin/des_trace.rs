@@ -57,7 +57,11 @@ fn main() {
     );
 
     // Render a window of the emergent schedule.
-    let t0 = if start == 0 { 0.0 } else { des.iter_done[start - 1] };
+    let t0 = if start == 0 {
+        0.0
+    } else {
+        des.iter_done[start - 1]
+    };
     let t1 = des.iter_done[(start + window - 1).min(des.iter_done.len() - 1)];
     let rows = ["GPU", "CPU", "XFER", "MPI"];
     let spans: Vec<Span> = des
@@ -72,7 +76,10 @@ fn main() {
             len: s.end.min(t1) - s.start.max(t0),
         })
         .collect();
-    println!("\nemergent schedule, iterations {start}..{} :", start + window);
+    println!(
+        "\nemergent schedule, iterations {start}..{} :",
+        start + window
+    );
     print!("{}", hpl_sim::render(&spans, 100));
     // Task inventory of the window, per resource.
     for (ri, name) in rows.iter().enumerate() {

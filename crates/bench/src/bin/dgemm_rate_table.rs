@@ -40,7 +40,10 @@ fn model() {
     for nb in [64usize, 128, 256, 512, 1024] {
         let r = 2.0 * m.flops_rate(64000.0, 128000.0, nb as f64) / 1e12;
         println!("{}", row(&[format!("{nb}"), format!("{r:.1}")], &widths));
-        rates.push(Rate { nb, gflops: r * 1e3 });
+        rates.push(Rate {
+            nb,
+            gflops: r * 1e3,
+        });
     }
     emit_json("dgemm_model", &rates);
 }

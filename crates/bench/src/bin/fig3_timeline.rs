@@ -22,5 +22,11 @@ fn main() {
         rec.gpu_active * 1e3,
         (rec.time - rec.gpu_active).max(0.0) * 1e3
     );
-    emit_json("fig3_spans", &spans.iter().map(|s| (s.row, s.label, s.start, s.len)).collect::<Vec<_>>());
+    emit_json(
+        "fig3_spans",
+        &spans
+            .iter()
+            .map(|s| (s.row, s.label, s.start, s.len))
+            .collect::<Vec<_>>(),
+    );
 }

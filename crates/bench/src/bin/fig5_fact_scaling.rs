@@ -39,7 +39,12 @@ fn measure(nb: usize, m: usize, threads: usize, reps: usize) -> f64 {
             let mut panel = Matrix::from_fn(m, nb, |i, j| gen.entry(i, j));
             let inp = FactInput {
                 col_comm: &comm,
-                rows: rhpl_core::dist::Axis { n: m, nb, iproc: 0, nprocs: 1 },
+                rows: rhpl_core::dist::Axis {
+                    n: m,
+                    nb,
+                    iproc: 0,
+                    nprocs: 1,
+                },
                 k0: 0,
                 jb: nb,
                 lb: 0,
@@ -68,16 +73,23 @@ fn main() {
         return;
     }
     let nb: usize = arg_value("--nb").unwrap_or(128);
-    let tmax: usize = arg_value("--threads-max")
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4));
+    let tmax: usize = arg_value("--threads-max").unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|x| x.get())
+            .unwrap_or(4)
+    });
     let reps: usize = arg_value("--reps").unwrap_or(3);
-    let threads: Vec<usize> =
-        [1usize, 2, 4, 8, 16, 32, 64].into_iter().filter(|&t| t <= tmax).collect();
+    let threads: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&t| t <= tmax)
+        .collect();
     let ms: Vec<usize> = [2, 4, 8, 16, 32, 64].iter().map(|&k| k * nb).collect();
 
     println!("Fig 5 (measured): FACT GFLOPS of an M x {nb} panel, recursive right-looking");
     println!("(paper: NB = 512, 1..64 cores of a Frontier EPYC; here scaled to this host)");
-    let cores = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1);
     println!("host parallelism: {cores} hardware thread(s)");
     if cores == 1 {
         println!("NOTE: on a single-core host, threads time-slice — measured numbers can");
@@ -94,7 +106,11 @@ fn main() {
         let mut cells = vec![format!("{m}")];
         for &t in &threads {
             let g = measure(nb, m, t, reps);
-            points.push(Point { m, threads: t, gflops: g });
+            points.push(Point {
+                m,
+                threads: t,
+                gflops: g,
+            });
             cells.push(format!("{g:.2}"));
         }
         println!("{}", row(&cells, &widths));
@@ -107,7 +123,10 @@ fn model_table() {
     let nb = 512usize;
     println!("Fig 5 (model): FACT GFLOPS, NB = 512, Frontier 64-core EPYC model");
     let threads = [1usize, 2, 4, 8, 16, 32, 64];
-    let ms: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128].iter().map(|&k| k * nb).collect();
+    let ms: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128]
+        .iter()
+        .map(|&k| k * nb)
+        .collect();
     let mut widths = vec![8usize];
     widths.extend(std::iter::repeat_n(9, threads.len()));
     let mut header = vec!["M".to_string()];
@@ -118,7 +137,11 @@ fn model_table() {
         let mut cells = vec![format!("{m}")];
         for &t in &threads {
             let g = f.gflops(t, m as f64);
-            points.push(Point { m, threads: t, gflops: g });
+            points.push(Point {
+                m,
+                threads: t,
+                gflops: g,
+            });
             cells.push(format!("{g:.1}"));
         }
         println!("{}", row(&cells, &widths));

@@ -27,5 +27,11 @@ fn main() {
         rec.gpu_active * 1e3,
         rec.time <= rec.gpu_active * 1.02
     );
-    emit_json("fig6_spans", &spans.iter().map(|s| (s.row, s.label, s.start, s.len)).collect::<Vec<_>>());
+    emit_json(
+        "fig6_spans",
+        &spans
+            .iter()
+            .map(|s| (s.row, s.label, s.start, s.len))
+            .collect::<Vec<_>>(),
+    );
 }

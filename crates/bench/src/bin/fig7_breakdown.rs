@@ -32,7 +32,13 @@ fn model() {
     println!("paper anchors: 153 TFLOPS overall, regime change near iteration 250,");
     println!("iteration time == GPU time in the first regime\n");
     let widths = [6usize, 10, 10, 10, 10, 10];
-    println!("{}", row(&["iter", "total ms", "gpu ms", "fact ms", "mpi ms", "xfer ms"], &widths));
+    println!(
+        "{}",
+        row(
+            &["iter", "total ms", "gpu ms", "fact ms", "mpi ms", "xfer ms"],
+            &widths
+        )
+    );
     for it in (0..r.iters.len()).step_by(25).chain([r.iters.len() - 1]) {
         let x = &r.iters[it];
         println!(
@@ -51,10 +57,23 @@ fn model() {
         );
     }
     let boundary = r.iters.iter().position(|x| x.time > x.gpu_active * 1.02);
-    println!("\nscore:                  {:.1} TFLOPS (paper: 153)", r.tflops);
-    println!("regime boundary:        iteration {:?} of {} (paper: ~250 of 500)", boundary, r.iters.len());
-    println!("hidden-iteration frac:  {:.2} (paper: ~0.5)", r.hidden_iter_fraction);
-    println!("hidden-time frac:       {:.2} (paper: ~0.75)", r.hidden_time_fraction);
+    println!(
+        "\nscore:                  {:.1} TFLOPS (paper: 153)",
+        r.tflops
+    );
+    println!(
+        "regime boundary:        iteration {:?} of {} (paper: ~250 of 500)",
+        boundary,
+        r.iters.len()
+    );
+    println!(
+        "hidden-iteration frac:  {:.2} (paper: ~0.5)",
+        r.hidden_iter_fraction
+    );
+    println!(
+        "hidden-time frac:       {:.2} (paper: ~0.75)",
+        r.hidden_time_fraction
+    );
     emit_json("fig7_model", &r);
 }
 
@@ -67,13 +86,18 @@ fn functional() {
     cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
     cfg.fact.threads = 2;
     println!("Fig 7 (functional): measured per-iteration phases, N={n} NB={nb} {p}x{q}");
-    let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, &cfg).expect("nonsingular"));
+    let results = Universe::run(cfg.ranks(), |comm| {
+        run_hpl(comm, &cfg).expect("nonsingular")
+    });
     // Merge: per-phase maximum across ranks — the critical-path view. (With
     // look-ahead, the FACT of panel i+1 runs during iteration i on the next
     // panel's column, so no single rank's record holds every phase.)
     let mut merged = Vec::new();
     for it in 0..cfg.iterations() {
-        let mut rec = rhpl_core::IterTiming { iter: it, ..Default::default() };
+        let mut rec = rhpl_core::IterTiming {
+            iter: it,
+            ..Default::default()
+        };
         for r in &results {
             let t = r.timings[it];
             rec.total = rec.total.max(t.total);
@@ -85,7 +109,13 @@ fn functional() {
         merged.push(rec);
     }
     let widths = [6usize, 10, 10, 10, 10];
-    println!("{}", row(&["iter", "total ms", "fact ms", "comm ms", "xfer ms"], &widths));
+    println!(
+        "{}",
+        row(
+            &["iter", "total ms", "fact ms", "comm ms", "xfer ms"],
+            &widths
+        )
+    );
     for t in &merged {
         println!(
             "{}",
@@ -101,6 +131,15 @@ fn functional() {
             )
         );
     }
-    println!("\nwall: {:.3} s, {:.2} GFLOPS", results[0].wall, results[0].gflops);
-    emit_json("fig7_functional", &merged.iter().map(|t| (t.iter, t.total, t.fact, t.comm, t.transfer)).collect::<Vec<_>>());
+    println!(
+        "\nwall: {:.3} s, {:.2} GFLOPS",
+        results[0].wall, results[0].gflops
+    );
+    emit_json(
+        "fig7_functional",
+        &merged
+            .iter()
+            .map(|t| (t.iter, t.total, t.fact, t.comm, t.transfer))
+            .collect::<Vec<_>>(),
+    );
 }

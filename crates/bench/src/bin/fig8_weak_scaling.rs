@@ -30,7 +30,10 @@ fn model() {
     println!("Fig 8 (model): weak scaling on Crusher nodes");
     println!("paper anchors: 153 TF @ 1 node -> 17.75 PF @ 128 nodes, > 90% efficiency\n");
     let widths = [6usize, 10, 8, 12, 12, 8];
-    println!("{}", row(&["nodes", "N", "grid", "TFLOPS", "ideal", "eff"], &widths));
+    println!(
+        "{}",
+        row(&["nodes", "N", "grid", "TFLOPS", "ideal", "eff"], &widths)
+    );
     for p in &pts {
         println!(
             "{}",
@@ -62,7 +65,9 @@ fn functional() {
     let nb: usize = arg_value("--nb").unwrap_or(32);
     let base_n: usize = arg_value("--base-n").unwrap_or(256);
     println!("Fig 8 (functional): weak scaling over rank counts (threads as nodes)");
-    let cores = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1);
     println!("host parallelism: {cores} hardware thread(s)");
     if cores < 8 {
         println!("NOTE: rank-threads beyond the core count time-slice, so measured");
@@ -76,7 +81,9 @@ fn functional() {
         let n = n - n % nb;
         let mut cfg = HplConfig::new(n, nb, p, q);
         cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
-        let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, &cfg).expect("nonsingular"));
+        let results = Universe::run(cfg.ranks(), |comm| {
+            run_hpl(comm, &cfg).expect("nonsingular")
+        });
         let gflops = results[0].gflops;
         let eff = if let Some(first) = pts.first() {
             gflops / (first.gflops * ranks as f64)
@@ -84,7 +91,12 @@ fn functional() {
             1.0
         };
         println!("ranks {ranks:2} ({p}x{q}), N={n:5}: {gflops:8.2} GFLOPS, efficiency {eff:.3}");
-        pts.push(FuncPoint { ranks, n, gflops, efficiency: eff });
+        pts.push(FuncPoint {
+            ranks,
+            n,
+            gflops,
+            efficiency: eff,
+        });
     }
     emit_json("fig8_functional", &pts);
 }

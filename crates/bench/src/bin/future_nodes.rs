@@ -27,7 +27,13 @@ fn main() {
     println!("Future accelerated nodes (paper SV): compute doublings vs network doublings");
     println!("(single-node model, HBM-filling N, NB=512, 4x2 grid, split update)\n");
     let widths = [26usize, 10, 12, 12, 12];
-    println!("{}", row(&["node", "TFLOPS", "DGEMM limit", "% of limit", "hidden time"], &widths));
+    println!(
+        "{}",
+        row(
+            &["node", "TFLOPS", "DGEMM limit", "% of limit", "hidden time"],
+            &widths
+        )
+    );
     let mut out = Vec::new();
     for (label, compute_gen, net_gen) in [
         ("Frontier (baseline)", 0u32, 0u32),
@@ -45,7 +51,9 @@ fn main() {
         // Node DGEMM limit at NB=512 (the paper's 196 TF figure for
         // Frontier).
         let limit = node.gcds as f64
-            * node.dgemm.flops_rate(params.n as f64 / 4.0, params.n as f64 / 2.0, 512.0)
+            * node
+                .dgemm
+                .flops_rate(params.n as f64 / 4.0, params.n as f64 / 2.0, 512.0)
             / 1e12;
         let eff = r.tflops / limit;
         println!(

@@ -41,13 +41,22 @@ fn model() {
         let mut params = RunParams::paper_single_node();
         params.nb = nb;
         let r = Simulator::new(node, params).run(Pipeline::SplitUpdate);
-        println!("{}", row(&[format!("{nb}"), format!("{:.1}", r.tflops)], &widths));
+        println!(
+            "{}",
+            row(&[format!("{nb}"), format!("{:.1}", r.tflops)], &widths)
+        );
         if r.tflops > best.1 {
             best = (nb, r.tflops);
         }
-        pts.push(Point { nb, tflops: r.tflops });
+        pts.push(Point {
+            nb,
+            tflops: r.tflops,
+        });
     }
-    println!("\noptimum at NB = {} ({:.1} TF) — paper uses 512", best.0, best.1);
+    println!(
+        "\noptimum at NB = {} ({:.1} TF) — paper uses 512",
+        best.0, best.1
+    );
     emit_json("nb_sweep_model", &pts);
 }
 
@@ -60,10 +69,15 @@ fn functional() {
     for nb in [8usize, 16, 24, 32, 48, 64, 96] {
         let mut cfg = HplConfig::new(n - n % nb, nb, 2, 2);
         cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
-        let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, &cfg).expect("nonsingular"));
+        let results = Universe::run(cfg.ranks(), |comm| {
+            run_hpl(comm, &cfg).expect("nonsingular")
+        });
         let g = results[0].gflops;
         println!("{}", row(&[format!("{nb}"), format!("{g:.2}")], &widths));
-        pts.push(Point { nb, tflops: g / 1e3 });
+        pts.push(Point {
+            nb,
+            tflops: g / 1e3,
+        });
     }
     emit_json("nb_sweep_functional", &pts);
 }

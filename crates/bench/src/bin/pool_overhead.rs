@@ -7,7 +7,9 @@
 use std::time::Instant;
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1);
     println!("host parallelism: {cores}");
     let pool = hpl_threads::Pool::new(8);
     for t in [1usize, 2, 4, 8] {

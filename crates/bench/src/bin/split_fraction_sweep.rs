@@ -39,13 +39,23 @@ fn model(fracs: &[f64]) {
     for &frac in fracs {
         let mut params = RunParams::paper_single_node();
         params.split_frac = frac;
-        let pipeline = if frac == 0.0 { Pipeline::LookAhead } else { Pipeline::SplitUpdate };
+        let pipeline = if frac == 0.0 {
+            Pipeline::LookAhead
+        } else {
+            Pipeline::SplitUpdate
+        };
         let r = Simulator::new(node, params).run(pipeline);
-        println!("{}", row(&[format!("{frac:.3}"), format!("{:.1}", r.tflops)], &widths));
+        println!(
+            "{}",
+            row(&[format!("{frac:.3}"), format!("{:.1}", r.tflops)], &widths)
+        );
         if r.tflops > best.1 {
             best = (frac, r.tflops);
         }
-        pts.push(Point { frac, tflops: r.tflops });
+        pts.push(Point {
+            frac,
+            tflops: r.tflops,
+        });
     }
     println!("\noptimum at frac = {:.3} ({:.1} TF)", best.0, best.1);
     emit_json("split_sweep_model", &pts);
@@ -60,12 +70,23 @@ fn functional(fracs: &[f64]) {
     let mut pts = Vec::new();
     for &frac in fracs {
         let mut cfg = HplConfig::new(n, nb, 2, 2);
-        cfg.schedule =
-            if frac == 0.0 { Schedule::LookAhead } else { Schedule::SplitUpdate { frac } };
-        let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, &cfg).expect("nonsingular"));
+        cfg.schedule = if frac == 0.0 {
+            Schedule::LookAhead
+        } else {
+            Schedule::SplitUpdate { frac }
+        };
+        let results = Universe::run(cfg.ranks(), |comm| {
+            run_hpl(comm, &cfg).expect("nonsingular")
+        });
         let g = results[0].gflops;
-        println!("{}", row(&[format!("{frac:.3}"), format!("{g:.2}")], &widths));
-        pts.push(Point { frac, tflops: g / 1e3 });
+        println!(
+            "{}",
+            row(&[format!("{frac:.3}"), format!("{g:.2}")], &widths)
+        );
+        pts.push(Point {
+            frac,
+            tflops: g / 1e3,
+        });
     }
     emit_json("split_sweep_functional", &pts);
 }

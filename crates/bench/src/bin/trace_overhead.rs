@@ -1,0 +1,116 @@
+//! Tracing-overhead harness: quantifies what the `hpl-trace` subsystem
+//! costs, feeding the `cargo xtask bench` overhead gate.
+//!
+//! Three measurements:
+//!
+//! 1. `disabled_ns_per_call` — cost of one disabled span guard (one
+//!    thread-local flag read on open, one on drop), timed over `--calls`
+//!    iterations (default 10 M) with no tracer installed.
+//! 2. A real benchmark run with tracing **disabled** (`disabled_wall_s`) —
+//!    the production path every untraced run takes.
+//! 3. The same run with tracing **enabled** (`enabled_wall_s`,
+//!    `spans_per_run` over all ranks).
+//!
+//! `disabled_frac` — the deterministic headline metric — is the disabled
+//! guard cost times the span count, over the disabled run's wall time: the
+//! fraction of wall the compiled-in (but switched-off) instrumentation
+//! costs. The gate requires it below 1%. The wall-clock delta between the
+//! enabled and disabled runs is also printed but is noisy at this problem
+//! size; the derived fraction is the stable signal.
+
+use hpl_bench::{arg_value, emit_json, row};
+use hpl_comm::Universe;
+use rhpl_core::config::Schedule;
+use rhpl_core::{run_hpl, HplConfig};
+
+/// The series consumed by `cargo xtask bench` (via `--json`).
+#[derive(Debug, serde::Serialize)]
+struct Overhead {
+    calls: u64,
+    disabled_ns_per_call: f64,
+    spans_per_run: u64,
+    disabled_wall_s: f64,
+    enabled_wall_s: f64,
+    disabled_frac: f64,
+}
+
+fn run_once(trace: bool) -> (f64, u64) {
+    let mut cfg = HplConfig::new(192, 32, 2, 2);
+    cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
+    cfg.trace.enabled = trace;
+    let results = Universe::run(cfg.ranks(), |comm| {
+        let r = run_hpl(comm, &cfg).expect("nonsingular");
+        (r.wall, r.trace.map_or(0, |t| t.spans.len() as u64))
+    });
+    let wall = results.iter().map(|r| r.0).fold(0.0f64, f64::max);
+    let spans = results.iter().map(|r| r.1).sum();
+    (wall, spans)
+}
+
+fn main() {
+    let calls: u64 = arg_value("--calls").unwrap_or(10_000_000);
+
+    // 1. Disabled guard cost. No tracer is installed on this thread, so
+    // every guard takes the fast path.
+    let t0 = std::time::Instant::now();
+    for _ in 0..calls {
+        let g = hpl_trace::span(hpl_trace::Phase::Update);
+        std::hint::black_box(&g);
+    }
+    let disabled_ns_per_call = t0.elapsed().as_nanos() as f64 / calls as f64;
+
+    // 2./3. Paired runs. Warm up once so page-cache/allocator effects hit
+    // neither side.
+    run_once(false);
+    let (disabled_wall_s, _) = run_once(false);
+    let (enabled_wall_s, spans_per_run) = run_once(true);
+
+    let disabled_frac = disabled_ns_per_call * spans_per_run as f64 / (disabled_wall_s * 1e9);
+    let o = Overhead {
+        calls,
+        disabled_ns_per_call,
+        spans_per_run,
+        disabled_wall_s,
+        enabled_wall_s,
+        disabled_frac,
+    };
+
+    println!("trace overhead: N=192 NB=32 2x2 split-update");
+    let widths = [26usize, 14];
+    println!(
+        "{}",
+        row(
+            &["disabled ns/call", &format!("{disabled_ns_per_call:.2}")],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &["spans per traced run", &format!("{spans_per_run}")],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &["disabled wall (s)", &format!("{disabled_wall_s:.4}")],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &["enabled wall (s)", &format!("{enabled_wall_s:.4}")],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &["disabled overhead frac", &format!("{disabled_frac:.6}")],
+            &widths
+        )
+    );
+    emit_json("trace_overhead", &o);
+}

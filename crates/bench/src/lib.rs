@@ -6,7 +6,6 @@
 //! table; pass `--json` to also emit the series as JSON on stdout for
 //! post-processing.
 
-
 // Lint policy: indexed loops are used deliberately where they mirror the
 // reference BLAS/HPL loop structure, and several kernels take the full
 // argument list their BLAS counterparts do.
@@ -23,7 +22,10 @@ pub fn has_flag(flag: &str) -> bool {
 /// Tiny argv helper: value following `key`, parsed.
 pub fn arg_value<T: std::str::FromStr>(key: &str) -> Option<T> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }
 
 /// Prints a named JSON document when `--json` was passed.

@@ -115,7 +115,15 @@ fn scale_c(beta: f64, c: &mut MatMut<'_>) {
 
 /// Packs an `mc x kc` block of `op(A)` starting at `(ic, pc)` into
 /// MR-row strips, each strip stored k-major, zero-padded to MR.
-fn pack_a(transa: Trans, a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, out: &mut [f64]) {
+fn pack_a(
+    transa: Trans,
+    a: MatRef<'_>,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    out: &mut [f64],
+) {
     let mut off = 0;
     for i0 in (0..mc).step_by(MR) {
         let mr = MR.min(mc - i0);
@@ -137,7 +145,15 @@ fn pack_a(transa: Trans, a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usi
 
 /// Packs a `kc x nc` block of `op(B)` starting at `(pc, jc)` into NR-column
 /// strips, each strip stored k-major, zero-padded to NR.
-fn pack_b(transb: Trans, b: MatRef<'_>, pc: usize, jc: usize, kc: usize, nc: usize, out: &mut [f64]) {
+fn pack_b(
+    transb: Trans,
+    b: MatRef<'_>,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+    out: &mut [f64],
+) {
     let mut off = 0;
     for j0 in (0..nc).step_by(NR) {
         let nr = NR.min(nc - j0);
@@ -282,7 +298,14 @@ pub fn dtrsm(
             }
         }
     }
-    dtrsm_rec(side, uplo, trans, diag, t, &mut b.submatrix_mut(0, 0, b.rows(), b.cols()));
+    dtrsm_rec(
+        side,
+        uplo,
+        trans,
+        diag,
+        t,
+        &mut b.submatrix_mut(0, 0, b.rows(), b.cols()),
+    );
 }
 
 /// Recursion cutoff for the triangular dimension.
@@ -302,8 +325,16 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
     let t22 = t.submatrix(h, h, n - h, n - h);
     // The off-diagonal block of the triangle.
     let (t21, t12) = (
-        if matches!(uplo, Uplo::Lower) { Some(t.submatrix(h, 0, n - h, h)) } else { None },
-        if matches!(uplo, Uplo::Upper) { Some(t.submatrix(0, h, h, n - h)) } else { None },
+        if matches!(uplo, Uplo::Lower) {
+            Some(t.submatrix(h, 0, n - h, h))
+        } else {
+            None
+        },
+        if matches!(uplo, Uplo::Upper) {
+            Some(t.submatrix(0, h, h, n - h))
+        } else {
+            None
+        },
     );
     match side {
         Side::Left => {
@@ -319,12 +350,24 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
                 dtrsm_rec(side, uplo, trans, diag, t11, &mut b1);
                 // B2 -= op(T)21 * X1.
                 match (uplo, trans) {
-                    (Uplo::Lower, Trans::No) => {
-                        dgemm(Trans::No, Trans::No, -1.0, t21.expect("off-diagonal block present when n > 1"), b1.as_ref(), 1.0, &mut b2)
-                    }
-                    (Uplo::Upper, Trans::Yes) => {
-                        dgemm(Trans::Yes, Trans::No, -1.0, t12.expect("off-diagonal block present when n > 1"), b1.as_ref(), 1.0, &mut b2)
-                    }
+                    (Uplo::Lower, Trans::No) => dgemm(
+                        Trans::No,
+                        Trans::No,
+                        -1.0,
+                        t21.expect("off-diagonal block present when n > 1"),
+                        b1.as_ref(),
+                        1.0,
+                        &mut b2,
+                    ),
+                    (Uplo::Upper, Trans::Yes) => dgemm(
+                        Trans::Yes,
+                        Trans::No,
+                        -1.0,
+                        t12.expect("off-diagonal block present when n > 1"),
+                        b1.as_ref(),
+                        1.0,
+                        &mut b2,
+                    ),
                     _ => unreachable!(),
                 }
                 dtrsm_rec(side, uplo, trans, diag, t22, &mut b2);
@@ -332,12 +375,24 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
                 dtrsm_rec(side, uplo, trans, diag, t22, &mut b2);
                 // B1 -= op(T)12 * X2.
                 match (uplo, trans) {
-                    (Uplo::Upper, Trans::No) => {
-                        dgemm(Trans::No, Trans::No, -1.0, t12.expect("off-diagonal block present when n > 1"), b2.as_ref(), 1.0, &mut b1)
-                    }
-                    (Uplo::Lower, Trans::Yes) => {
-                        dgemm(Trans::Yes, Trans::No, -1.0, t21.expect("off-diagonal block present when n > 1"), b2.as_ref(), 1.0, &mut b1)
-                    }
+                    (Uplo::Upper, Trans::No) => dgemm(
+                        Trans::No,
+                        Trans::No,
+                        -1.0,
+                        t12.expect("off-diagonal block present when n > 1"),
+                        b2.as_ref(),
+                        1.0,
+                        &mut b1,
+                    ),
+                    (Uplo::Lower, Trans::Yes) => dgemm(
+                        Trans::Yes,
+                        Trans::No,
+                        -1.0,
+                        t21.expect("off-diagonal block present when n > 1"),
+                        b2.as_ref(),
+                        1.0,
+                        &mut b1,
+                    ),
                     _ => unreachable!(),
                 }
                 dtrsm_rec(side, uplo, trans, diag, t11, &mut b1);
@@ -355,12 +410,24 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
                 dtrsm_rec(side, uplo, trans, diag, t11, &mut b1);
                 // B2 -= X1 * op(T)12.
                 match (uplo, trans) {
-                    (Uplo::Upper, Trans::No) => {
-                        dgemm(Trans::No, Trans::No, -1.0, b1.as_ref(), t12.expect("off-diagonal block present when n > 1"), 1.0, &mut b2)
-                    }
-                    (Uplo::Lower, Trans::Yes) => {
-                        dgemm(Trans::No, Trans::Yes, -1.0, b1.as_ref(), t21.expect("off-diagonal block present when n > 1"), 1.0, &mut b2)
-                    }
+                    (Uplo::Upper, Trans::No) => dgemm(
+                        Trans::No,
+                        Trans::No,
+                        -1.0,
+                        b1.as_ref(),
+                        t12.expect("off-diagonal block present when n > 1"),
+                        1.0,
+                        &mut b2,
+                    ),
+                    (Uplo::Lower, Trans::Yes) => dgemm(
+                        Trans::No,
+                        Trans::Yes,
+                        -1.0,
+                        b1.as_ref(),
+                        t21.expect("off-diagonal block present when n > 1"),
+                        1.0,
+                        &mut b2,
+                    ),
                     _ => unreachable!(),
                 }
                 dtrsm_rec(side, uplo, trans, diag, t22, &mut b2);
@@ -368,12 +435,24 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
                 dtrsm_rec(side, uplo, trans, diag, t22, &mut b2);
                 // B1 -= X2 * op(T)21.
                 match (uplo, trans) {
-                    (Uplo::Lower, Trans::No) => {
-                        dgemm(Trans::No, Trans::No, -1.0, b2.as_ref(), t21.expect("off-diagonal block present when n > 1"), 1.0, &mut b1)
-                    }
-                    (Uplo::Upper, Trans::Yes) => {
-                        dgemm(Trans::No, Trans::Yes, -1.0, b2.as_ref(), t12.expect("off-diagonal block present when n > 1"), 1.0, &mut b1)
-                    }
+                    (Uplo::Lower, Trans::No) => dgemm(
+                        Trans::No,
+                        Trans::No,
+                        -1.0,
+                        b2.as_ref(),
+                        t21.expect("off-diagonal block present when n > 1"),
+                        1.0,
+                        &mut b1,
+                    ),
+                    (Uplo::Upper, Trans::Yes) => dgemm(
+                        Trans::No,
+                        Trans::Yes,
+                        -1.0,
+                        b2.as_ref(),
+                        t12.expect("off-diagonal block present when n > 1"),
+                        1.0,
+                        &mut b1,
+                    ),
                     _ => unreachable!(),
                 }
                 dtrsm_rec(side, uplo, trans, diag, t11, &mut b1);
@@ -443,7 +522,11 @@ fn dtrsm_unblocked(
                 (Uplo::Upper, Trans::No) | (Uplo::Lower, Trans::Yes)
             );
             let m = b.rows();
-            let order: Vec<usize> = if forward { (0..n).collect() } else { (0..n).rev().collect() };
+            let order: Vec<usize> = if forward {
+                (0..n).collect()
+            } else {
+                (0..n).rev().collect()
+            };
             for &c in &order {
                 // X[:,c] = (B[:,c] - sum_{p solved before} X[:,p] * op(T)[p,c]) / op(T)[c,c]
                 let tcc = match diag {

@@ -65,14 +65,25 @@ mod tests {
     use crate::mat::Matrix;
 
     fn filled(r: usize, c: usize, seed: usize) -> Matrix {
-        Matrix::from_fn(r, c, |i, j| ((i * 31 + j * 17 + seed) % 23) as f64 * 0.125 - 1.0)
+        Matrix::from_fn(r, c, |i, j| {
+            ((i * 31 + j * 17 + seed) % 23) as f64 * 0.125 - 1.0
+        })
     }
 
     #[test]
     fn parallel_matches_serial_bitwise() {
         let pool = Pool::new(4);
-        for &(m, n, k) in &[(40usize, 60usize, 16usize), (33, 7, 5), (64, 128, 32), (10, 3, 10)] {
-            for &(ta, tb) in &[(Trans::No, Trans::No), (Trans::Yes, Trans::No), (Trans::No, Trans::Yes)] {
+        for &(m, n, k) in &[
+            (40usize, 60usize, 16usize),
+            (33, 7, 5),
+            (64, 128, 32),
+            (10, 3, 10),
+        ] {
+            for &(ta, tb) in &[
+                (Trans::No, Trans::No),
+                (Trans::Yes, Trans::No),
+                (Trans::No, Trans::Yes),
+            ] {
                 let a = match ta {
                     Trans::No => filled(m, k, 1),
                     Trans::Yes => filled(k, m, 1),
@@ -88,7 +99,17 @@ mod tests {
                 for threads in [2usize, 3, 4] {
                     let mut par = c0.clone();
                     let mut pv = par.view_mut();
-                    dgemm_parallel(&pool, threads, ta, tb, -1.0, a.view(), b.view(), 1.0, &mut pv);
+                    dgemm_parallel(
+                        &pool,
+                        threads,
+                        ta,
+                        tb,
+                        -1.0,
+                        a.view(),
+                        b.view(),
+                        1.0,
+                        &mut pv,
+                    );
                     assert_eq!(
                         par.as_slice(),
                         serial.as_slice(),
@@ -110,7 +131,17 @@ mod tests {
         dgemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.5, &mut sv);
         let mut par = c0.clone();
         let mut pv = par.view_mut();
-        dgemm_parallel(&pool, 8, Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.5, &mut pv);
+        dgemm_parallel(
+            &pool,
+            8,
+            Trans::No,
+            Trans::No,
+            1.0,
+            a.view(),
+            b.view(),
+            0.5,
+            &mut pv,
+        );
         assert_eq!(par.as_slice(), serial.as_slice());
     }
 
@@ -121,7 +152,17 @@ mod tests {
         let b = filled(8, 8, 2);
         let mut c = Matrix::zeros(8, 8);
         let mut cv = c.view_mut();
-        dgemm_parallel(&pool, 1, Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, &mut cv);
+        dgemm_parallel(
+            &pool,
+            1,
+            Trans::No,
+            Trans::No,
+            1.0,
+            a.view(),
+            b.view(),
+            0.0,
+            &mut cv,
+        );
         assert!(c.as_slice().iter().any(|&v| v != 0.0));
     }
 }

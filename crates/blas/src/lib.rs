@@ -18,7 +18,6 @@
 //! * [`aux`] — `dlacpy`, `dlange`, `dlaswp` row interchanges.
 //! * [`lu`] — serial DGETRF/DGETRS used as the correctness oracle.
 
-
 // Lint policy: indexed loops are used deliberately where they mirror the
 // reference BLAS/HPL loop structure, and several kernels take the full
 // argument list their BLAS counterparts do.

@@ -99,7 +99,15 @@ pub fn getrf(a: &mut MatMut<'_>, piv: &mut [usize], nb: usize) -> Result<(), Sin
             let (mid, mut right) = a.submatrix_mut(0, 0, m, n).split_at_col(k + kb);
             let l11 = mid.as_ref().submatrix(k, k, kb, kb);
             let mut a12 = right.submatrix_mut(k, 0, kb, n - k - kb);
-            dtrsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0, l11, &mut a12);
+            dtrsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::No,
+                Diag::Unit,
+                1.0,
+                l11,
+                &mut a12,
+            );
             // A22 -= L21 * U12.
             if k + kb < m {
                 let l21 = mid.as_ref().submatrix(k + kb, k, m - k - kb, kb);
@@ -138,7 +146,9 @@ mod tests {
         // well-conditioned but still exercising pivoting.
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         Matrix::from_fn(n, n, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         })
     }
@@ -161,7 +171,15 @@ mod tests {
 
     #[test]
     fn blocked_lu_solves() {
-        for &(n, nb) in &[(1, 1), (5, 2), (16, 4), (33, 8), (64, 16), (100, 32), (128, 128)] {
+        for &(n, nb) in &[
+            (1, 1),
+            (5, 2),
+            (16, 4),
+            (33, 8),
+            (64, 16),
+            (100, 32),
+            (128, 128),
+        ] {
             check_solve(n, nb, 42 + n as u64);
         }
     }

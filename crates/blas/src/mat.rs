@@ -63,7 +63,13 @@ impl<'a> MatRef<'a> {
     #[inline]
     pub fn from_slice(data: &'a [f64], rows: usize, cols: usize, lda: usize) -> Self {
         check_dims(data.len(), rows, cols, lda);
-        Self { ptr: data.as_ptr(), rows, cols, lda, _marker: PhantomData }
+        Self {
+            ptr: data.as_ptr(),
+            rows,
+            cols,
+            lda,
+            _marker: PhantomData,
+        }
     }
 
     /// Builds a view from a raw pointer to element `(0, 0)`.
@@ -74,7 +80,13 @@ impl<'a> MatRef<'a> {
     #[inline]
     pub unsafe fn from_raw_parts(ptr: *const f64, rows: usize, cols: usize, lda: usize) -> Self {
         assert!(lda >= rows.max(1), "lda ({lda}) must be >= rows ({rows})");
-        Self { ptr, rows, cols, lda, _marker: PhantomData }
+        Self {
+            ptr,
+            rows,
+            cols,
+            lda,
+            _marker: PhantomData,
+        }
     }
 
     /// Number of rows.
@@ -108,15 +120,22 @@ impl<'a> MatRef<'a> {
     #[inline(always)]
     pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
         debug_assert!(i < self.rows && j < self.cols);
-        // SAFETY: caller guarantees `(i, j)` is inside the window, and the
-        // view's construction guarantees the window is readable.
-        unsafe { *self.ptr.add(j * self.lda + i) }
+        // SAFETY: caller guarantees `(i, j)` is inside the window, so the
+        // offset stays within the allocation.
+        let p = unsafe { self.ptr.add(j * self.lda + i) };
+        // SAFETY: the view's construction guarantees the window is readable.
+        unsafe { *p }
     }
 
     /// Element `(i, j)` with bounds checks.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         // SAFETY: bounds just asserted.
         unsafe { self.get_unchecked(i, j) }
     }
@@ -125,9 +144,11 @@ impl<'a> MatRef<'a> {
     #[inline]
     pub fn col(&self, j: usize) -> &'a [f64] {
         assert!(j < self.cols, "column {j} out of {}", self.cols);
-        // SAFETY: `j` in bounds, and each column holds `rows` contiguous
-        // readable elements by the view's construction contract.
-        unsafe { core::slice::from_raw_parts(self.ptr.add(j * self.lda), self.rows) }
+        // SAFETY: `j` in bounds, so the column start is inside the window.
+        let p = unsafe { self.ptr.add(j * self.lda) };
+        // SAFETY: each column holds `rows` contiguous readable elements by
+        // the view's construction contract.
+        unsafe { core::slice::from_raw_parts(p, self.rows) }
     }
 
     /// Raw pointer to element `(0, 0)`.
@@ -139,8 +160,16 @@ impl<'a> MatRef<'a> {
     /// Sub-view of size `nrows x ncols` starting at `(i, j)`.
     #[inline]
     pub fn submatrix(&self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatRef<'a> {
-        assert!(i + nrows <= self.rows, "row window {i}+{nrows} out of {}", self.rows);
-        assert!(j + ncols <= self.cols, "col window {j}+{ncols} out of {}", self.cols);
+        assert!(
+            i + nrows <= self.rows,
+            "row window {i}+{nrows} out of {}",
+            self.rows
+        );
+        assert!(
+            j + ncols <= self.cols,
+            "col window {j}+{ncols} out of {}",
+            self.cols
+        );
         MatRef {
             // SAFETY: `(i, j)` is inside the window by the asserts above.
             ptr: unsafe { self.ptr.add(j * self.lda + i) },
@@ -166,7 +195,13 @@ impl<'a> MatMut<'a> {
     #[inline]
     pub fn from_slice(data: &'a mut [f64], rows: usize, cols: usize, lda: usize) -> Self {
         check_dims(data.len(), rows, cols, lda);
-        Self { ptr: data.as_mut_ptr(), rows, cols, lda, _marker: PhantomData }
+        Self {
+            ptr: data.as_mut_ptr(),
+            rows,
+            cols,
+            lda,
+            _marker: PhantomData,
+        }
     }
 
     /// Builds a mutable view from a raw pointer to element `(0, 0)`.
@@ -179,7 +214,13 @@ impl<'a> MatMut<'a> {
     #[inline]
     pub unsafe fn from_raw_parts(ptr: *mut f64, rows: usize, cols: usize, lda: usize) -> Self {
         assert!(lda >= rows.max(1), "lda ({lda}) must be >= rows ({rows})");
-        Self { ptr, rows, cols, lda, _marker: PhantomData }
+        Self {
+            ptr,
+            rows,
+            cols,
+            lda,
+            _marker: PhantomData,
+        }
     }
 
     /// Number of rows.
@@ -213,9 +254,12 @@ impl<'a> MatMut<'a> {
     #[inline(always)]
     pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
         debug_assert!(i < self.rows && j < self.cols);
-        // SAFETY: caller guarantees `(i, j)` is inside the window, which is
-        // exclusively ours by the view's construction contract.
-        unsafe { *self.ptr.add(j * self.lda + i) }
+        // SAFETY: caller guarantees `(i, j)` is inside the window, so the
+        // offset stays within the allocation.
+        let p = unsafe { self.ptr.add(j * self.lda + i) };
+        // SAFETY: the window is exclusively ours by the view's construction
+        // contract, hence readable.
+        unsafe { *p }
     }
 
     /// Writes element `(i, j)` without bounds checks.
@@ -225,15 +269,23 @@ impl<'a> MatMut<'a> {
     #[inline(always)]
     pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: f64) {
         debug_assert!(i < self.rows && j < self.cols);
-        // SAFETY: caller guarantees `(i, j)` is inside the window; `&mut
-        // self` plus the construction contract make the write exclusive.
-        unsafe { *self.ptr.add(j * self.lda + i) = v };
+        // SAFETY: caller guarantees `(i, j)` is inside the window, so the
+        // offset stays within the allocation.
+        let p = unsafe { self.ptr.add(j * self.lda + i) };
+        // SAFETY: `&mut self` plus the construction contract make the
+        // write exclusive.
+        unsafe { *p = v };
     }
 
     /// Element `(i, j)` with bounds checks.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         // SAFETY: bounds just asserted.
         unsafe { self.get_unchecked(i, j) }
     }
@@ -241,7 +293,12 @@ impl<'a> MatMut<'a> {
     /// Writes element `(i, j)` with bounds checks.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         // SAFETY: bounds just asserted.
         unsafe { self.set_unchecked(i, j, v) }
     }
@@ -250,19 +307,23 @@ impl<'a> MatMut<'a> {
     #[inline]
     pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
         assert!(j < self.cols, "column {j} out of {}", self.cols);
-        // SAFETY: `j` in bounds; the column's `rows` elements are inside
-        // the exclusively-owned window, and `&mut self` prevents overlap
-        // with any other slice borrowed from this view.
-        unsafe { core::slice::from_raw_parts_mut(self.ptr.add(j * self.lda), self.rows) }
+        // SAFETY: `j` in bounds, so the column start is inside the window.
+        let p = unsafe { self.ptr.add(j * self.lda) };
+        // SAFETY: the column's `rows` elements are inside the
+        // exclusively-owned window, and `&mut self` prevents overlap with
+        // any other slice borrowed from this view.
+        unsafe { core::slice::from_raw_parts_mut(p, self.rows) }
     }
 
     /// Column `j` as a contiguous immutable slice.
     #[inline]
     pub fn col(&self, j: usize) -> &[f64] {
         assert!(j < self.cols, "column {j} out of {}", self.cols);
-        // SAFETY: `j` in bounds; `&self` keeps writers out for the
-        // duration of the returned borrow.
-        unsafe { core::slice::from_raw_parts(self.ptr.add(j * self.lda), self.rows) }
+        // SAFETY: `j` in bounds, so the column start is inside the window.
+        let p = unsafe { self.ptr.add(j * self.lda) };
+        // SAFETY: `&self` keeps writers out for the duration of the
+        // returned borrow.
+        unsafe { core::slice::from_raw_parts(p, self.rows) }
     }
 
     /// Raw pointer to element `(0, 0)`.
@@ -274,14 +335,28 @@ impl<'a> MatMut<'a> {
     /// Immutable view of the same window.
     #[inline]
     pub fn as_ref(&self) -> MatRef<'_> {
-        MatRef { ptr: self.ptr, rows: self.rows, cols: self.cols, lda: self.lda, _marker: PhantomData }
+        MatRef {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            lda: self.lda,
+            _marker: PhantomData,
+        }
     }
 
     /// Reborrows a mutable sub-view of size `nrows x ncols` at `(i, j)`.
     #[inline]
     pub fn submatrix_mut(&mut self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatMut<'_> {
-        assert!(i + nrows <= self.rows, "row window {i}+{nrows} out of {}", self.rows);
-        assert!(j + ncols <= self.cols, "col window {j}+{ncols} out of {}", self.cols);
+        assert!(
+            i + nrows <= self.rows,
+            "row window {i}+{nrows} out of {}",
+            self.rows
+        );
+        assert!(
+            j + ncols <= self.cols,
+            "col window {j}+{ncols} out of {}",
+            self.cols
+        );
         MatMut {
             // SAFETY: `(i, j)` is inside the window by the asserts above,
             // and `&mut self` makes the reborrow exclusive.
@@ -301,8 +376,20 @@ impl<'a> MatMut<'a> {
         // the window; the two halves cover disjoint column ranges.
         let right_ptr = unsafe { self.ptr.add(j * self.lda) };
         (
-            MatMut { ptr: self.ptr, rows: self.rows, cols: j, lda: self.lda, _marker: PhantomData },
-            MatMut { ptr: right_ptr, rows: self.rows, cols: self.cols - j, lda: self.lda, _marker: PhantomData },
+            MatMut {
+                ptr: self.ptr,
+                rows: self.rows,
+                cols: j,
+                lda: self.lda,
+                _marker: PhantomData,
+            },
+            MatMut {
+                ptr: right_ptr,
+                rows: self.rows,
+                cols: self.cols - j,
+                lda: self.lda,
+                _marker: PhantomData,
+            },
         )
     }
 
@@ -317,8 +404,20 @@ impl<'a> MatMut<'a> {
         // column; the halves cover disjoint row ranges of every column.
         let bot_ptr = unsafe { self.ptr.add(i) };
         (
-            MatMut { ptr: self.ptr, rows: i, cols: self.cols, lda: self.lda, _marker: PhantomData },
-            MatMut { ptr: bot_ptr, rows: self.rows - i, cols: self.cols, lda: self.lda, _marker: PhantomData },
+            MatMut {
+                ptr: self.ptr,
+                rows: i,
+                cols: self.cols,
+                lda: self.lda,
+                _marker: PhantomData,
+            },
+            MatMut {
+                ptr: bot_ptr,
+                rows: self.rows - i,
+                cols: self.cols,
+                lda: self.lda,
+                _marker: PhantomData,
+            },
         )
     }
 
@@ -361,7 +460,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zeros `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.

@@ -81,7 +81,11 @@ fn dgemm_respects_leading_dimension() {
     // Check padding rows untouched.
     for j in 0..n {
         for i in m..lda {
-            assert_eq!(buf[j * lda + i], orig[j * lda + i], "padding touched at ({i},{j})");
+            assert_eq!(
+                buf[j * lda + i],
+                orig[j * lda + i],
+                "padding touched at ({i},{j})"
+            );
         }
     }
     // And the window is correct.
@@ -107,7 +111,9 @@ fn make_triangular(rng: &mut StdRng, n: usize, uplo: Uplo, diag: Diag) -> Matrix
                 // Storage holds garbage on the diagonal for Unit: the solver
                 // must never read it.
                 Diag::Unit => rng.gen_range(5.0..9.0),
-                Diag::NonUnit => rng.gen_range(1.5..2.5) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+                Diag::NonUnit => {
+                    rng.gen_range(1.5..2.5) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 }
+                }
             }
         } else if inside {
             rng.gen_range(-0.5..0.5)
@@ -205,5 +211,13 @@ fn dtrsm_empty_rhs_is_noop() {
     let t = Matrix::identity(4);
     let mut b = Matrix::zeros(4, 0);
     let mut bv = b.view_mut();
-    dtrsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 2.0, t.view(), &mut bv);
+    dtrsm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::No,
+        Diag::NonUnit,
+        2.0,
+        t.view(),
+        &mut bv,
+    );
 }

@@ -1,0 +1,184 @@
+//! The `BENCH_hpl.json` emitter: serializes a sweep's phase traces into the
+//! stable schema the `cargo xtask bench` regression gate consumes.
+//!
+//! Schema (`rhpl-bench-v1`) — one file per invocation:
+//!
+//! ```json
+//! {
+//!   "schema": "rhpl-bench-v1",
+//!   "aggregate_gflops": 1.23,
+//!   "runs": [{
+//!     "tv": "WC112R16", "n": 192, "nb": 32, "p": 2, "q": 2,
+//!     "schedule": "split-update:0.5",
+//!     "wall_seconds": 0.01, "gflops": 1.2, "residual": 0.003, "passed": true,
+//!     "overlap_efficiency": 0.4, "seq_hash": "0x1234abcd...",
+//!     "dropped_spans": 0,
+//!     "phase_totals": { "fact_ns": 1, "fact_comm_ns": 1, ... },
+//!     "iterations": [{ "iter": 0, "phases": { ... } }],
+//!     "ranks": [{ "rank": 0, "dropped": 0, "spans": [{ "iter": 0,
+//!       "phase": "Fact", "start_ns": 1, "dur_ns": 2, "bytes": 0,
+//!       "hidden": false }] }]
+//!   }]
+//! }
+//! ```
+//!
+//! The per-iteration table is the critical-path view (per-rank phase sums,
+//! maxima across ranks) matching the paper's Fig 7; `overlap_efficiency` is
+//! hidden-comm-time / total-comm-time (see `hpl_trace::report`).
+
+use hpl_trace::report::{
+    iteration_table, overlap_efficiency, phase_totals, rank_traces, seq_hash, IterRow, PhaseTotals,
+    RankTrace,
+};
+
+use crate::runner::RunRecord;
+
+/// Schema identifier written to every file; bump on breaking changes.
+pub const SCHEMA: &str = "rhpl-bench-v1";
+
+/// Top level of `BENCH_hpl.json`.
+#[derive(Debug, serde::Serialize)]
+pub struct BenchFile {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// HPL-accounted FLOPs of all runs over their summed wall time.
+    pub aggregate_gflops: f64,
+    /// One entry per sweep combination.
+    pub runs: Vec<RunReport>,
+}
+
+/// One benchmark combination with its trace-derived metrics.
+#[derive(Debug, serde::Serialize)]
+pub struct RunReport {
+    /// Classic `T/V` code identifying the variant.
+    pub tv: String,
+    /// Problem size.
+    pub n: usize,
+    /// Blocking factor.
+    pub nb: usize,
+    /// Grid rows.
+    pub p: usize,
+    /// Grid columns.
+    pub q: usize,
+    /// Schedule name (`simple`, `lookahead`, `split-update:<frac>`).
+    pub schedule: String,
+    /// Wall time of factorization + solve (seconds).
+    pub wall_seconds: f64,
+    /// HPL score.
+    pub gflops: f64,
+    /// Scaled residual.
+    pub residual: f64,
+    /// Residual beat the threshold.
+    pub passed: bool,
+    /// Hidden-comm-time / total-comm-time over all ranks.
+    pub overlap_efficiency: f64,
+    /// Deterministic hash of the phase sequence (hex), durations excluded.
+    pub seq_hash: String,
+    /// Ring-buffer evictions summed over ranks (0 unless the run was longer
+    /// than the configured trace capacity).
+    pub dropped_spans: u64,
+    /// Critical-path aggregate: per-rank phase sums, maxima across ranks.
+    pub phase_totals: PhaseTotals,
+    /// Per-iteration critical-path phase table (Fig 7).
+    pub iterations: Vec<IterRow>,
+    /// The raw per-rank span streams.
+    pub ranks: Vec<RankTrace>,
+}
+
+/// Builds one [`RunReport`] from a finished record.
+pub fn run_report(rec: &RunRecord) -> RunReport {
+    let schedule = match rec.cfg.schedule {
+        rhpl_core::config::Schedule::Simple => "simple".to_string(),
+        rhpl_core::config::Schedule::LookAhead => "lookahead".to_string(),
+        rhpl_core::config::Schedule::SplitUpdate { frac } => format!("split-update:{frac}"),
+    };
+    RunReport {
+        tv: rec.tv.clone(),
+        n: rec.cfg.n,
+        nb: rec.cfg.nb,
+        p: rec.cfg.p,
+        q: rec.cfg.q,
+        schedule,
+        wall_seconds: rec.time,
+        gflops: rec.gflops,
+        residual: rec.residual,
+        passed: rec.passed,
+        overlap_efficiency: overlap_efficiency(&rec.traces),
+        seq_hash: format!("{:#018x}", seq_hash(&rec.traces)),
+        dropped_spans: rec.traces.iter().map(|t| t.dropped).sum(),
+        phase_totals: phase_totals(&rec.traces),
+        iterations: iteration_table(&rec.traces, rec.cfg.iterations()),
+        ranks: rank_traces(&rec.traces),
+    }
+}
+
+/// Assembles the whole file from a sweep's records.
+pub fn bench_file(records: &[RunRecord]) -> BenchFile {
+    let flops: f64 = records.iter().map(|r| r.cfg.flops()).sum();
+    let wall: f64 = records.iter().map(|r| r.time).sum();
+    BenchFile {
+        schema: SCHEMA.to_string(),
+        aggregate_gflops: if wall > 0.0 { flops / wall / 1e9 } else { 0.0 },
+        runs: records.iter().map(run_report).collect(),
+    }
+}
+
+/// Serializes and writes `BENCH_hpl.json` to `path`.
+pub fn write_bench_json(records: &[RunRecord], path: &str) -> std::io::Result<()> {
+    let file = bench_file(records);
+    let json = serde_json::to_string(&file).expect("bench schema serializes infallibly");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dat::{parse, SAMPLE};
+    use crate::runner::{expand, run_one_traced};
+
+    #[test]
+    fn traced_run_produces_well_formed_report() {
+        let mut spec = parse(SAMPLE).unwrap();
+        spec.ns = vec![96];
+        spec.nbs = vec![16];
+        let (mut cfg, depth) = expand(&spec, 42, 0.5, 1).remove(0);
+        cfg.trace = hpl_trace::TraceOpts::on();
+        let rec = run_one_traced(&cfg, depth, spec.threshold);
+        assert!(rec.passed);
+        assert_eq!(rec.traces.len(), cfg.ranks());
+        let report = run_report(&rec);
+        assert_eq!(report.iterations.len(), cfg.iterations());
+        // Every iteration's critical path spends time in the row swap and
+        // UPDATE; FACT appears in every iteration except the last, whose
+        // panel was factored ahead of time under the look-ahead schedule
+        // (spans attribute to the iteration in which the work executes).
+        for row in &report.iterations {
+            assert!(row.phases.row_swap_ns > 0, "iter {} missing RS", row.iter);
+            assert!(row.phases.update_ns > 0, "iter {} missing UPDATE", row.iter);
+        }
+        let last = report.iterations.len() - 1;
+        for row in &report.iterations[..last] {
+            assert!(row.phases.fact_ns > 0, "iter {} missing FACT", row.iter);
+            assert!(row.phases.bcast_ns > 0, "iter {} missing LBCAST", row.iter);
+        }
+        // The split-update schedule hides comm; the metric must see it.
+        assert!(report.overlap_efficiency > 0.0);
+        assert_eq!(report.dropped_spans, 0);
+        let json = serde_json::to_string(&bench_file(&[rec])).unwrap();
+        assert!(json.contains("\"schema\":\"rhpl-bench-v1\""));
+        assert!(json.contains("\"phase\":\"Update\""));
+    }
+
+    #[test]
+    fn untraced_record_serializes_empty_trace_sections() {
+        let mut spec = parse(SAMPLE).unwrap();
+        spec.ns = vec![64];
+        spec.nbs = vec![16];
+        let (cfg, depth) = expand(&spec, 42, 0.0, 1).remove(0);
+        let rec = run_one_traced(&cfg, depth, spec.threshold);
+        assert!(rec.traces.is_empty());
+        let report = run_report(&rec);
+        assert_eq!(report.overlap_efficiency, 0.0);
+        assert!(report.ranks.is_empty());
+    }
+}

@@ -85,32 +85,47 @@ struct Lines<'a> {
 
 impl<'a> Lines<'a> {
     fn new(text: &'a str) -> Self {
-        Self { lines: text.lines().collect(), pos: 0 }
+        Self {
+            lines: text.lines().collect(),
+            pos: 0,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.pos, message: message.into() }
+        ParseError {
+            line: self.pos,
+            message: message.into(),
+        }
     }
 
     fn next_line(&mut self) -> Result<&'a str, ParseError> {
-        let l = self
-            .lines
-            .get(self.pos)
-            .copied()
-            .ok_or(ParseError { line: self.pos + 1, message: "unexpected end of file".into() })?;
+        let l = self.lines.get(self.pos).copied().ok_or(ParseError {
+            line: self.pos + 1,
+            message: "unexpected end of file".into(),
+        })?;
         self.pos += 1;
         Ok(l)
     }
 
     /// First `count` whitespace-separated tokens of the next line, parsed.
-    fn values<T: std::str::FromStr>(&mut self, count: usize, what: &str) -> Result<Vec<T>, ParseError> {
+    fn values<T: std::str::FromStr>(
+        &mut self,
+        count: usize,
+        what: &str,
+    ) -> Result<Vec<T>, ParseError> {
         let line = self.next_line()?;
         let toks: Vec<&str> = line.split_whitespace().take(count).collect();
         if toks.len() < count {
-            return Err(self.err(format!("expected {count} value(s) for {what}, found {}", toks.len())));
+            return Err(self.err(format!(
+                "expected {count} value(s) for {what}, found {}",
+                toks.len()
+            )));
         }
         toks.iter()
-            .map(|t| t.parse().map_err(|_| self.err(format!("bad {what} value: {t:?}"))))
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| self.err(format!("bad {what} value: {t:?}")))
+            })
             .collect()
     }
 
@@ -133,7 +148,10 @@ fn fact_variant(code: u32, line: usize) -> Result<FactVariant, ParseError> {
         0 => Ok(FactVariant::Left),
         1 => Ok(FactVariant::Crout),
         2 => Ok(FactVariant::Right),
-        _ => Err(ParseError { line, message: format!("FACT code must be 0..=2, got {code}") }),
+        _ => Err(ParseError {
+            line,
+            message: format!("FACT code must be 0..=2, got {code}"),
+        }),
     }
 }
 
@@ -146,7 +164,10 @@ fn bcast_algo(code: u32, line: usize) -> Result<BcastAlgo, ParseError> {
         4 => Ok(BcastAlgo::Long),
         5 => Ok(BcastAlgo::LongM),
         6 => Ok(BcastAlgo::Binomial),
-        _ => Err(ParseError { line, message: format!("BCAST code must be 0..=6, got {code}") }),
+        _ => Err(ParseError {
+            line,
+            message: format!("BCAST code must be 0..=6, got {code}"),
+        }),
     }
 }
 
@@ -168,7 +189,9 @@ pub fn parse(text: &str) -> Result<JobSpec, ParseError> {
     };
     let ngrids: usize = l.value("number of process grids")?;
     if ngrids == 0 || ngrids > 64 {
-        return Err(l.err(format!("number of process grids must be in 1..=64, got {ngrids}")));
+        return Err(l.err(format!(
+            "number of process grids must be in 1..=64, got {ngrids}"
+        )));
     }
     let ps: Vec<usize> = l.values(ngrids, "Ps")?;
     let qs: Vec<usize> = l.values(ngrids, "Qs")?;
@@ -199,14 +222,19 @@ pub fn parse(text: &str) -> Result<JobSpec, ParseError> {
     let swap = match swap_code {
         0 => RowSwapAlgo::BinaryExchange,
         1 => RowSwapAlgo::Ring,
-        2 => RowSwapAlgo::Mix { threshold: swap_threshold.unwrap_or(64) },
+        2 => RowSwapAlgo::Mix {
+            threshold: swap_threshold.unwrap_or(64),
+        },
         _ => return Err(l.err(format!("SWAP must be 0..=2, got {swap_code}"))),
     };
     // Remaining classic lines (L1/U forms, equilibration, alignment) are
     // accepted and ignored if present.
     for (p, &q) in ps.iter().zip(&qs) {
         if *p == 0 || q == 0 {
-            return Err(ParseError { line: 0, message: format!("grid {p}x{q} is empty") });
+            return Err(ParseError {
+                line: 0,
+                message: format!("grid {p}x{q} is empty"),
+            });
         }
     }
     for &d in &depths {
@@ -291,13 +319,20 @@ mod tests {
     #[test]
     fn multiple_values_per_knob() {
         let text = SAMPLE
-            .replace("1            # of problems sizes (Ns)\n768          Ns",
-                     "2            # of problems sizes (Ns)\n512 1024     Ns")
-            .replace("1            # of broadcast\n1            BCASTs",
-                     "3            # of broadcast\n0 4 6        BCASTs");
+            .replace(
+                "1            # of problems sizes (Ns)\n768          Ns",
+                "2            # of problems sizes (Ns)\n512 1024     Ns",
+            )
+            .replace(
+                "1            # of broadcast\n1            BCASTs",
+                "3            # of broadcast\n0 4 6        BCASTs",
+            );
         let j = parse(&text).unwrap();
         assert_eq!(j.ns, vec![512, 1024]);
-        assert_eq!(j.bcasts, vec![BcastAlgo::OneRing, BcastAlgo::Long, BcastAlgo::Binomial]);
+        assert_eq!(
+            j.bcasts,
+            vec![BcastAlgo::OneRing, BcastAlgo::Long, BcastAlgo::Binomial]
+        );
     }
 
     #[test]
@@ -354,16 +389,27 @@ mod tests {
 
     #[test]
     fn swap_bin_exchange() {
-        let text =
-            SAMPLE.replace("1            SWAP (0=bin-exch,1=long,2=mix)", "0            SWAP");
+        let text = SAMPLE.replace(
+            "1            SWAP (0=bin-exch,1=long,2=mix)",
+            "0            SWAP",
+        );
         assert_eq!(parse(&text).unwrap().swap, RowSwapAlgo::BinaryExchange);
     }
 
     #[test]
     fn swap_mix_reads_threshold() {
         let text = SAMPLE
-            .replace("1            SWAP (0=bin-exch,1=long,2=mix)", "2            SWAP")
-            .replace("64           swapping threshold", "128          swapping threshold");
-        assert_eq!(parse(&text).unwrap().swap, RowSwapAlgo::Mix { threshold: 128 });
+            .replace(
+                "1            SWAP (0=bin-exch,1=long,2=mix)",
+                "2            SWAP",
+            )
+            .replace(
+                "64           swapping threshold",
+                "128          swapping threshold",
+            );
+        assert_eq!(
+            parse(&text).unwrap().swap,
+            RowSwapAlgo::Mix { threshold: 128 }
+        );
     }
 }

@@ -9,7 +9,7 @@
 //! * [`dat`] — the `HPL.dat` parser.
 //! * [`runner`] — sweep expansion and execution.
 //! * [`report`] — classic output formatting.
-
+//! * [`bench`] — the `BENCH_hpl.json` phase-trace emitter (`--trace-json`).
 
 // Lint policy: indexed loops are used deliberately where they mirror the
 // reference BLAS/HPL loop structure, and several kernels take the full
@@ -17,9 +17,10 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::too_many_arguments)]
 
+pub mod bench;
 pub mod dat;
 pub mod report;
 pub mod runner;
 
 pub use dat::{parse, JobSpec, ParseError, SAMPLE};
-pub use runner::{encode_tv, expand, run_one, RunRecord};
+pub use runner::{encode_tv, expand, run_one, run_one_traced, RunRecord};

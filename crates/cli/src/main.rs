@@ -6,14 +6,18 @@
 //! rhpl ... --split-frac 0.5   split-update fraction (0 = look-ahead only)
 //! rhpl ... --threads 4        FACT threads per rank (SIII.A)
 //! rhpl ... --seed 42          matrix generator seed
+//! rhpl ... --trace-json BENCH_hpl.json   emit the per-iteration phase trace
 //! ```
 
 use std::process::ExitCode;
 
-use rhpl_cli::{dat, report, runner};
+use rhpl_cli::{bench, dat, report, runner};
 
 fn arg_value<T: std::str::FromStr>(args: &[String], key: &str) -> Option<T> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }
 
 fn main() -> ExitCode {
@@ -23,7 +27,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: rhpl [HPL.dat] [--split-frac F] [--threads T] [--seed S] [--sample]");
+        eprintln!(
+            "usage: rhpl [HPL.dat] [--split-frac F] [--threads T] [--seed S] \
+             [--trace-json PATH] [--sample]"
+        );
         return ExitCode::SUCCESS;
     }
     let path = args
@@ -34,6 +41,7 @@ fn main() -> ExitCode {
     let split_frac: f64 = arg_value(&args, "--split-frac").unwrap_or(0.5);
     let threads: usize = arg_value(&args, "--threads").unwrap_or(1);
     let seed: u64 = arg_value(&args, "--seed").unwrap_or(42);
+    let trace_json: Option<String> = arg_value(&args, "--trace-json");
 
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -57,14 +65,26 @@ fn main() -> ExitCode {
     print!("{}", report::table_header());
     let mut failed = 0usize;
     let total = combos.len();
-    for (cfg, depth) in combos {
-        let rec = runner::run_one(&cfg, depth, spec.threshold);
+    let mut records = Vec::with_capacity(total);
+    for (mut cfg, depth) in combos {
+        if trace_json.is_some() {
+            cfg.trace = hpl_trace::TraceOpts::on();
+        }
+        let rec = runner::run_one_traced(&cfg, depth, spec.threshold);
         print!("{}", report::format_record(&rec));
         if !rec.passed {
             failed += 1;
         }
+        records.push(rec);
     }
     print!("{}", report::footer(total, failed));
+    if let Some(path) = &trace_json {
+        if let Err(e) = bench::write_bench_json(&records, path) {
+            eprintln!("rhpl: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rhpl: wrote phase trace to {path}");
+    }
     if failed == 0 {
         ExitCode::SUCCESS
     } else {

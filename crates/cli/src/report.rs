@@ -82,6 +82,7 @@ mod tests {
             gflops: 2.5,
             residual: 0.0051561,
             passed: true,
+            traces: Vec::new(),
         }
     }
 

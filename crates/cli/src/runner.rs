@@ -22,6 +22,8 @@ pub struct RunRecord {
     pub residual: f64,
     /// Whether the residual beat the threshold.
     pub passed: bool,
+    /// Per-rank phase traces (empty unless `cfg.trace.enabled`).
+    pub traces: Vec<hpl_trace::Trace>,
 }
 
 /// Encodes the classic `T/V` column: `W` (wall time), `R`/`C` (process
@@ -45,11 +47,19 @@ pub fn encode_tv(cfg: &HplConfig, depth: usize) -> String {
         rhpl_core::FactVariant::Crout => 'C',
         rhpl_core::FactVariant::Right => 'R',
     };
-    format!("W{order}{depth}{bcast}{}{pf}{}", cfg.fact.ndiv, cfg.fact.nbmin)
+    format!(
+        "W{order}{depth}{bcast}{}{pf}{}",
+        cfg.fact.ndiv, cfg.fact.nbmin
+    )
 }
 
 /// Expands the sweep into concrete configurations (with their depths).
-pub fn expand(spec: &JobSpec, seed: u64, split_frac: f64, threads: usize) -> Vec<(HplConfig, usize)> {
+pub fn expand(
+    spec: &JobSpec,
+    seed: u64,
+    split_frac: f64,
+    threads: usize,
+) -> Vec<(HplConfig, usize)> {
     let mut out = Vec::new();
     for &n in &spec.ns {
         for &nb in &spec.nbs {
@@ -64,7 +74,12 @@ pub fn expand(spec: &JobSpec, seed: u64, split_frac: f64, threads: usize) -> Vec
                                     cfg.order = spec.order;
                                     cfg.bcast = bcast;
                                     cfg.swap = spec.swap;
-                                    cfg.fact = FactOpts { variant, ndiv, nbmin, threads };
+                                    cfg.fact = FactOpts {
+                                        variant,
+                                        ndiv,
+                                        nbmin,
+                                        threads,
+                                    };
                                     cfg.schedule = if depth == 0 {
                                         Schedule::Simple
                                     } else if split_frac > 0.0 {
@@ -86,12 +101,20 @@ pub fn expand(spec: &JobSpec, seed: u64, split_frac: f64, threads: usize) -> Vec
 
 /// Runs one configuration and verifies it.
 pub fn run_one(cfg: &HplConfig, depth: usize, threshold: f64) -> RunRecord {
-    let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, cfg).expect("nonsingular"));
+    run_one_traced(cfg, depth, threshold)
+}
+
+/// [`run_one`], keeping each rank's phase trace in the record (traces are
+/// present only when `cfg.trace.enabled`; index = rank, the order
+/// `Universe::run` returns).
+pub fn run_one_traced(cfg: &HplConfig, depth: usize, threshold: f64) -> RunRecord {
+    let mut results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, cfg).expect("nonsingular"));
     let x = results[0].x.clone();
     let res = Universe::run(cfg.ranks(), |comm| {
         let grid = Grid::new(comm, cfg.p, cfg.q, cfg.order);
         verify(&grid, cfg.n, cfg.nb, cfg.seed, &x)
     })[0];
+    let traces = results.iter_mut().filter_map(|r| r.trace.take()).collect();
     RunRecord {
         cfg: cfg.clone(),
         tv: encode_tv(cfg, depth),
@@ -99,6 +122,7 @@ pub fn run_one(cfg: &HplConfig, depth: usize, threshold: f64) -> RunRecord {
         gflops: results[0].gflops,
         residual: res.scaled,
         passed: res.scaled < threshold,
+        traces,
     }
 }
 

@@ -61,7 +61,11 @@ pub fn bcast<T: Clone + Send + 'static>(comm: &Communicator, root: usize, value:
     }
     // Send to children: me + 2^k for k above my highest set bit.
     let v = val.expect("value present after receive");
-    let start = if me == 0 { 0 } else { usize::BITS - me.leading_zeros() };
+    let start = if me == 0 {
+        0
+    } else {
+        usize::BITS - me.leading_zeros()
+    };
     for k in start..usize::BITS {
         let child = me + (1usize << k);
         if child >= size {
@@ -102,7 +106,15 @@ pub fn reduce(comm: &Communicator, root: usize, op: Op, buf: &mut [f64]) {
 /// rank with the reduced result.
 pub fn allreduce(comm: &Communicator, op: Op, buf: &mut [f64]) {
     reduce(comm, 0, op, buf);
-    let out = bcast(comm, 0, if comm.rank() == 0 { Some(buf.to_vec()) } else { None });
+    let out = bcast(
+        comm,
+        0,
+        if comm.rank() == 0 {
+            Some(buf.to_vec())
+        } else {
+            None
+        },
+    );
     buf.copy_from_slice(&out);
 }
 
@@ -205,15 +217,15 @@ pub fn gatherv(comm: &Communicator, root: usize, chunk: &[f64]) -> Option<Vec<f6
 /// Scatters variable-size chunks from `root`. The root passes
 /// `Some((sendbuf, counts))` with `sendbuf.len() == counts.sum()`; every
 /// rank returns its chunk (of length `counts[rank]`).
-pub fn scatterv(
-    comm: &Communicator,
-    root: usize,
-    send: Option<(&[f64], &[usize])>,
-) -> Vec<f64> {
+pub fn scatterv(comm: &Communicator, root: usize, send: Option<(&[f64], &[usize])>) -> Vec<f64> {
     if comm.rank() == root {
         let (buf, counts) = send.expect("root must supply buffer and counts");
         assert_eq!(counts.len(), comm.size(), "scatterv counts length mismatch");
-        assert_eq!(counts.iter().sum::<usize>(), buf.len(), "scatterv buffer size mismatch");
+        assert_eq!(
+            counts.iter().sum::<usize>(),
+            buf.len(),
+            "scatterv buffer size mismatch"
+        );
         let mut off = 0;
         let mut mine = Vec::new();
         for (dst, &cnt) in counts.iter().enumerate() {
@@ -261,7 +273,8 @@ pub fn allgatherv(comm: &Communicator, chunk: &[f64], counts: &[usize]) -> Vec<f
     // receive the block that originated at (me - s - 1) mod size.
     let mut send_block = me;
     for _ in 0..size - 1 {
-        let send_piece = out[offsets[send_block]..offsets[send_block] + counts[send_block]].to_vec();
+        let send_piece =
+            out[offsets[send_block]..offsets[send_block] + counts[send_block]].to_vec();
         comm.send(right, Tag::ALLGATHER, send_piece);
         let recv_block = (send_block + size - 1) % size;
         let piece: Vec<f64> = comm.recv(left, Tag::ALLGATHER);
@@ -327,7 +340,11 @@ mod tests {
         for n in sizes() {
             for root in 0..n {
                 let out = Universe::run(n, |comm| {
-                    bcast(&comm, root, (comm.rank() == root).then(|| vec![root as f64, 42.0]))
+                    bcast(
+                        &comm,
+                        root,
+                        (comm.rank() == root).then(|| vec![root as f64, 42.0]),
+                    )
                 });
                 for v in out {
                     assert_eq!(v, vec![root as f64, 42.0], "n={n} root={root}");
@@ -366,10 +383,22 @@ mod tests {
             let out = Universe::run(n, |comm| {
                 let r = comm.rank();
                 let v = if r == winner { 1000.0 } else { r as f64 };
-                allreduce_maxloc(&comm, MaxLoc { value: v, loc: (r * 7) as u64 })
+                allreduce_maxloc(
+                    &comm,
+                    MaxLoc {
+                        value: v,
+                        loc: (r * 7) as u64,
+                    },
+                )
             });
             for m in out {
-                assert_eq!(m, MaxLoc { value: 1000.0, loc: (winner * 7) as u64 });
+                assert_eq!(
+                    m,
+                    MaxLoc {
+                        value: 1000.0,
+                        loc: (winner * 7) as u64
+                    }
+                );
             }
         }
     }
@@ -377,7 +406,13 @@ mod tests {
     #[test]
     fn maxloc_tie_breaks_low_loc() {
         let out = Universe::run(4, |comm| {
-            allreduce_maxloc(&comm, MaxLoc { value: 5.0, loc: 100 - comm.rank() as u64 })
+            allreduce_maxloc(
+                &comm,
+                MaxLoc {
+                    value: 5.0,
+                    loc: 100 - comm.rank() as u64,
+                },
+            )
         });
         for m in out {
             assert_eq!(m.loc, 97);

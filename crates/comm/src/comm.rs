@@ -43,7 +43,13 @@ impl Communicator {
 
     /// Sends a `f64` slice (copied) to `dst`; counted in element stats.
     pub fn send_slice(&self, dst: usize, tag: Tag, data: &[f64]) {
-        self.fabric.send(self.rank, dst, tag, Box::new(data.to_vec()), data.len() as u64);
+        self.fabric.send(
+            self.rank,
+            dst,
+            tag,
+            Box::new(data.to_vec()),
+            data.len() as u64,
+        );
     }
 
     /// Receives a `T` from `(src, tag)`, blocking. Panics if the matching

@@ -34,7 +34,10 @@ impl Tag {
 
     /// Creates a user tag; panics on collision with the reserved range.
     pub fn user(t: u64) -> Tag {
-        assert!(t < Self::RESERVED_BASE, "tag {t} collides with reserved range");
+        assert!(
+            t < Self::RESERVED_BASE,
+            "tag {t} collides with reserved range"
+        );
         Tag(t)
     }
 }
@@ -54,7 +57,10 @@ struct Mailbox {
 
 impl Mailbox {
     fn new() -> Self {
-        Self { inner: Mutex::new(MailboxInner::default()), arrived: Condvar::new() }
+        Self {
+            inner: Mutex::new(MailboxInner::default()),
+            arrived: Condvar::new(),
+        }
     }
 
     fn deposit(&self, src: usize, tag: Tag, msg: Boxed) {
@@ -126,7 +132,10 @@ pub struct CommStats {
 impl CommStats {
     /// Snapshot `(messages_sent, elems_sent)`.
     pub fn snapshot(&self) -> (u64, u64) {
-        (self.messages_sent.load(Ordering::Relaxed), self.elems_sent.load(Ordering::Relaxed))
+        (
+            self.messages_sent.load(Ordering::Relaxed),
+            self.elems_sent.load(Ordering::Relaxed),
+        )
     }
 
     pub(crate) fn count(&self, elems: u64) {
@@ -168,8 +177,18 @@ impl Fabric {
 
     /// Deposits a message for `dst`.
     pub fn send(&self, src: usize, dst: usize, tag: Tag, msg: Boxed, elems: u64) {
-        assert!(dst < self.boxes.len(), "send to rank {dst} of {}", self.boxes.len());
+        assert!(
+            dst < self.boxes.len(),
+            "send to rank {dst} of {}",
+            self.boxes.len()
+        );
         self.stats[src].count(elems);
+        // Every point-to-point payload funnels through here, so this is the
+        // one choke point where traced bytes are attributed to the calling
+        // thread's open span. `elems` counts f64 payload words for the bulk
+        // paths; typed control messages pass 1 and contribute 8 nominal
+        // bytes — negligible against panel traffic, kept for determinism.
+        hpl_trace::add_bytes(elems * 8);
         self.boxes[dst].deposit(src, tag, msg);
     }
 
@@ -177,7 +196,11 @@ impl Fabric {
     /// Panics with a diagnostic after [`recv_timeout`] (default 120 s,
     /// `HPL_COMM_TIMEOUT_SECS` to override) — see [`Mailbox::take`].
     pub fn recv(&self, dst: usize, src: usize, tag: Tag) -> Boxed {
-        assert!(src < self.boxes.len(), "recv from rank {src} of {}", self.boxes.len());
+        assert!(
+            src < self.boxes.len(),
+            "recv from rank {src} of {}",
+            self.boxes.len()
+        );
         self.boxes[dst].take(dst, src, tag)
     }
 

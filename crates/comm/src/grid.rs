@@ -33,7 +33,12 @@ impl Grid {
     /// Builds the grid; collective over all ranks of `world`. Panics unless
     /// `world.size() == p * q`.
     pub fn new(world: Communicator, p: usize, q: usize, order: GridOrder) -> Self {
-        assert_eq!(world.size(), p * q, "grid {p}x{q} needs exactly {} ranks", p * q);
+        assert_eq!(
+            world.size(),
+            p * q,
+            "grid {p}x{q} needs exactly {} ranks",
+            p * q
+        );
         let rank = world.rank();
         let (myrow, mycol) = match order {
             GridOrder::ColumnMajor => (rank % p, rank / p),
@@ -45,7 +50,15 @@ impl Grid {
         let col_comm = world.split(mycol, myrow);
         debug_assert_eq!(row_comm.rank(), mycol);
         debug_assert_eq!(col_comm.rank(), myrow);
-        Self { world, row_comm, col_comm, p, q, myrow, mycol }
+        Self {
+            world,
+            row_comm,
+            col_comm,
+            p,
+            q,
+            myrow,
+            mycol,
+        }
     }
 
     /// Number of process rows.
@@ -106,7 +119,14 @@ mod tests {
         });
         assert_eq!(
             out,
-            vec![(0, 0, 3, 2), (1, 0, 3, 2), (0, 1, 3, 2), (1, 1, 3, 2), (0, 2, 3, 2), (1, 2, 3, 2)]
+            vec![
+                (0, 0, 3, 2),
+                (1, 0, 3, 2),
+                (0, 1, 3, 2),
+                (1, 1, 3, 2),
+                (0, 2, 3, 2),
+                (1, 2, 3, 2)
+            ]
         );
     }
 

@@ -19,7 +19,6 @@
 //! * [`ring`] — the six HPL panel-broadcast variants ([`BcastAlgo`]).
 //! * [`Grid`] — the `P x Q` process grid with row/column communicators.
 
-
 // Lint policy: indexed loops are used deliberately where they mirror the
 // reference BLAS/HPL loop structure, and several kernels take the full
 // argument list their BLAS counterparts do.
@@ -34,8 +33,8 @@ pub mod ring;
 pub mod universe;
 
 pub use coll::{
-    allgatherv, allgatherv_rd, allreduce, allreduce_maxloc, allreduce_with, bcast, gatherv,
-    reduce, scatterv, MaxLoc, Op,
+    allgatherv, allgatherv_rd, allreduce, allreduce_maxloc, allreduce_with, bcast, gatherv, reduce,
+    scatterv, MaxLoc, Op,
 };
 pub use comm::Communicator;
 pub use fabric::{CommStats, Tag};

@@ -81,6 +81,7 @@ pub fn panel_bcast(comm: &Communicator, algo: BcastAlgo, root: usize, buf: &mut 
     if size <= 1 || buf.is_empty() {
         return;
     }
+    let _span = hpl_trace::span(hpl_trace::Phase::Bcast);
     match algo {
         BcastAlgo::OneRing => one_ring(comm, root, buf, false),
         BcastAlgo::OneRingM => one_ring(comm, root, buf, true),
@@ -148,7 +149,11 @@ fn two_ring(comm: &Communicator, root: usize, buf: &mut [f64], modified: bool) {
     } else if modified && me == 1 {
         comm.recv_into(actual(0, root, size), Tag::RING, buf);
     } else {
-        let (ring_start, ring_end) = if me < split { (first_a, split) } else { (split, size) };
+        let (ring_start, ring_end) = if me < split {
+            (first_a, split)
+        } else {
+            (split, size)
+        };
         let prev = if me == ring_start { 0 } else { me - 1 };
         comm.recv_into(actual(prev, root, size), Tag::RING, buf);
         if me + 1 < ring_end {
@@ -206,7 +211,11 @@ fn scatter_allgather(
     if gid == 0 {
         for g in 1..gsize {
             if count(g) > 0 {
-                comm.send_slice(to_actual(g), Tag::RING, &buf[offset(g)..offset(g) + count(g)]);
+                comm.send_slice(
+                    to_actual(g),
+                    Tag::RING,
+                    &buf[offset(g)..offset(g) + count(g)],
+                );
             }
         }
     } else if count(gid) > 0 {

@@ -52,7 +52,10 @@ impl Universe {
                 std::panic::resume_unwind(e);
             }
         });
-        results.into_iter().map(|r| r.expect("rank produced a result")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("rank produced a result"))
+            .collect()
     }
 }
 

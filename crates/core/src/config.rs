@@ -3,6 +3,7 @@
 //! look-ahead and split-update controls).
 
 use hpl_comm::{BcastAlgo, GridOrder};
+use hpl_trace::TraceOpts;
 
 use crate::swap::RowSwapAlgo;
 
@@ -53,7 +54,12 @@ impl Default for FactOpts {
     fn default() -> Self {
         // The paper's Fig 5 configuration: recursive right-looking,
         // two subdivisions, base width 16.
-        Self { variant: FactVariant::Right, ndiv: 2, nbmin: 16, threads: 1 }
+        Self {
+            variant: FactVariant::Right,
+            ndiv: 2,
+            nbmin: 16,
+            threads: 1,
+        }
     }
 }
 
@@ -108,6 +114,8 @@ pub struct HplConfig {
     pub swap: RowSwapAlgo,
     /// Rank-to-grid ordering.
     pub order: GridOrder,
+    /// Phase tracing (disabled by default; near-zero overhead when off).
+    pub trace: TraceOpts,
 }
 
 impl HplConfig {
@@ -125,6 +133,7 @@ impl HplConfig {
             update_threads: 1,
             swap: RowSwapAlgo::default(),
             order: GridOrder::ColumnMajor,
+            trace: TraceOpts::default(),
         }
     }
 

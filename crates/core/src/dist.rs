@@ -118,9 +118,14 @@ mod tests {
 
     #[test]
     fn numroc_partitions_exactly() {
-        for &(n, nb, p) in
-            &[(16usize, 4usize, 2usize), (17, 4, 2), (100, 8, 3), (5, 8, 4), (0, 4, 2), (512, 512, 2)]
-        {
+        for &(n, nb, p) in &[
+            (16usize, 4usize, 2usize),
+            (17, 4, 2),
+            (100, 8, 3),
+            (5, 8, 4),
+            (0, 4, 2),
+            (512, 512, 2),
+        ] {
             let total: usize = (0..p).map(|ip| numroc(n, nb, ip, p)).sum();
             assert_eq!(total, n, "n={n} nb={nb} p={p}");
         }
@@ -154,7 +159,10 @@ mod tests {
         for ip in 0..p {
             let cnt = numroc(n, nb, ip, p);
             let globals: Vec<usize> = (0..cnt).map(|l| local_to_global(l, nb, ip, p)).collect();
-            assert!(globals.windows(2).all(|w| w[0] < w[1]), "proc {ip}: {globals:?}");
+            assert!(
+                globals.windows(2).all(|w| w[0] < w[1]),
+                "proc {ip}: {globals:?}"
+            );
             assert!(globals.iter().all(|&g| g < n));
         }
     }
@@ -168,11 +176,7 @@ mod tests {
                 let expect = (0..cnt)
                     .find(|&l| local_to_global(l, nb, ip, p) >= g)
                     .unwrap_or(cnt);
-                assert_eq!(
-                    local_lower_bound(g, nb, ip, p),
-                    expect,
-                    "g={g} ip={ip}"
-                );
+                assert_eq!(local_lower_bound(g, nb, ip, p), expect, "g={g} ip={ip}");
             }
         }
     }
@@ -196,7 +200,12 @@ mod tests {
 
     #[test]
     fn axis_wrapper_consistency() {
-        let ax = Axis { n: 50, nb: 4, iproc: 1, nprocs: 3 };
+        let ax = Axis {
+            n: 50,
+            nb: 4,
+            iproc: 1,
+            nprocs: 3,
+        };
         assert_eq!(ax.local_len(), numroc(50, 4, 1, 3));
         for l in 0..ax.local_len() {
             let g = ax.to_global(l);

@@ -16,7 +16,9 @@ use hpl_threads::Pool;
 use crate::config::{HplConfig, Schedule};
 use crate::fact::{panel_factor, FactInput, FactOut, Singular};
 use crate::local::LocalMatrix;
-use crate::panel::{host_view, lbcast, pack_panel, panel_from_host, panel_to_host, PanelGeom, PanelL};
+use crate::panel::{
+    host_view, lbcast, pack_panel, panel_from_host, panel_to_host, PanelGeom, PanelL,
+};
 use crate::solve::back_substitute;
 use crate::swap::{apply_moves, row_swap, row_swap_comm, ColRange, RsData, SwapPlan};
 use crate::update::{gemm_update_parallel, solve_u, store_u};
@@ -55,6 +57,8 @@ pub struct HplResult {
     pub n: usize,
     /// Blocking factor.
     pub nb: usize,
+    /// Phase trace of this rank (when `cfg.trace.enabled`).
+    pub trace: Option<hpl_trace::Trace>,
 }
 
 /// One running-throughput sample, the metric rocHPL prints during
@@ -91,7 +95,11 @@ impl HplResult {
             out.push(ProgressSample {
                 iter: t.iter,
                 fraction: done / total_flops,
-                running_gflops: if elapsed > 0.0 { done / elapsed / 1e9 } else { 0.0 },
+                running_gflops: if elapsed > 0.0 {
+                    done / elapsed / 1e9
+                } else {
+                    0.0
+                },
             });
         }
         out
@@ -134,13 +142,26 @@ pub fn run_hpl_with(
     let grid = Grid::new(comm, cfg.p, cfg.q, cfg.order);
     let a = LocalMatrix::generate_with(cfg.n, cfg.nb, &grid, fill);
     let pool = Pool::new(cfg.fact.threads.max(cfg.update_threads).max(1));
-    let mut d = Driver { grid: &grid, cfg, pool, a, timings: Vec::new() };
+    let mut d = Driver {
+        grid: &grid,
+        cfg,
+        pool,
+        a,
+        timings: Vec::new(),
+    };
 
+    // The tracer lives in thread-local storage of this rank's thread; no
+    // signature in the pipeline changes whether tracing is on or off.
+    hpl_trace::install(cfg.trace);
     let t0 = Instant::now();
-    match cfg.schedule {
-        Schedule::Simple => d.run_simple()?,
-        Schedule::LookAhead => d.run_lookahead(0.0)?,
-        Schedule::SplitUpdate { frac } => d.run_lookahead(frac)?,
+    let run = match cfg.schedule {
+        Schedule::Simple => d.run_simple(),
+        Schedule::LookAhead => d.run_lookahead(0.0),
+        Schedule::SplitUpdate { frac } => d.run_lookahead(frac),
+    };
+    if let Err(e) = run {
+        hpl_trace::take();
+        return Err(e);
     }
     let x = back_substitute(&d.a, &grid, cfg.nb);
     let wall = t0.elapsed().as_secs_f64();
@@ -151,6 +172,7 @@ pub fn run_hpl_with(
         gflops: cfg.flops() / wall / 1e9,
         n: cfg.n,
         nb: cfg.nb,
+        trace: hpl_trace::take(),
     })
 }
 
@@ -166,7 +188,10 @@ impl Driver<'_> {
     fn trailing(&self, it: usize) -> ColRange {
         let k0 = it * self.cfg.nb;
         let jb = self.cfg.nb.min(self.cfg.n - k0);
-        ColRange { start: self.a.cols.local_lower_bound(k0 + jb), end: self.a.nloc }
+        ColRange {
+            start: self.a.cols.local_lower_bound(k0 + jb),
+            end: self.a.nloc,
+        }
     }
 
     /// Factors panel `it` and broadcasts it; returns the iteration panel
@@ -179,6 +204,7 @@ impl Driver<'_> {
             t.transfer += tx.elapsed().as_secs_f64();
 
             let tf = Instant::now();
+            let f0 = hpl_trace::now_ns();
             let out: FactOut = {
                 let inp = FactInput {
                     col_comm: self.grid.col(),
@@ -195,6 +221,17 @@ impl Driver<'_> {
             };
             t.fact += tf.elapsed().as_secs_f64() - out.comm_seconds;
             t.comm += out.comm_seconds;
+            // The pivot collectives run inside `panel_factor` — possibly on
+            // pool worker threads where the rank's tracer is invisible — so
+            // their time is re-exported here as one aggregate span nested in
+            // the Fact window. Consumers treat `fact_comm` as the comm share
+            // *inside* `fact`, not an addition to it.
+            hpl_trace::record(
+                hpl_trace::Phase::FactComm,
+                f0,
+                (out.comm_seconds * 1e9) as u64,
+                0,
+            );
 
             let tx = Instant::now();
             panel_from_host(&mut self.a, &geom, &host, &out.top);
@@ -223,7 +260,15 @@ impl Driver<'_> {
         let rows = self.a.rows;
         let prow = ip.geom.prow;
         let mut av = self.a.view_mut();
-        let u = row_swap(self.grid.col(), rows, &ip.plan, prow, &mut av, range, self.cfg.swap);
+        let u = row_swap(
+            self.grid.col(),
+            rows,
+            &ip.plan,
+            prow,
+            &mut av,
+            range,
+            self.cfg.swap,
+        );
         t.comm += tr.elapsed().as_secs_f64();
 
         let tu = Instant::now();
@@ -252,7 +297,11 @@ impl Driver<'_> {
     fn run_simple(&mut self) -> Result<(), Singular> {
         let iters = self.cfg.iterations();
         for it in 0..iters {
-            let mut t = IterTiming { iter: it, ..Default::default() };
+            let mut t = IterTiming {
+                iter: it,
+                ..Default::default()
+            };
+            hpl_trace::set_iter(it);
             let ti = Instant::now();
             let ip = self.fact_and_bcast(it, &mut t)?;
             let range = self.trailing(it);
@@ -285,17 +334,26 @@ impl Driver<'_> {
         };
 
         // Prologue: factor+broadcast panel 0; prefetch RS2 for iteration 0.
-        let mut t = IterTiming { iter: 0, ..Default::default() };
+        let mut t = IterTiming {
+            iter: 0,
+            ..Default::default()
+        };
+        hpl_trace::set_iter(0);
         let mut cur = self.fact_and_bcast(0, &mut t)?;
         let mut pending: Option<RsData> = self.prefetch_rs2(&cur, split_lj, &mut t);
 
         for it in 0..iters {
+            hpl_trace::set_iter(it);
             let ti = Instant::now();
             let tstart = self.trailing(it).start;
             t.diag_owner = cur.geom.in_curr_row && cur.geom.in_panel_col;
 
             // Next panel's local columns (the look-ahead section).
-            let next_geom = if it + 1 < iters { Some(self.geom(it + 1)) } else { None };
+            let next_geom = if it + 1 < iters {
+                Some(self.geom(it + 1))
+            } else {
+                None
+            };
             let la_width = match &next_geom {
                 Some(g) if g.in_panel_col => g.jb.min(self.a.nloc - tstart),
                 _ => 0,
@@ -303,9 +361,18 @@ impl Driver<'_> {
 
             if let Some(rs2) = pending.take() {
                 // ---- Split-update iteration (Fig 6). ----
-                let right = ColRange { start: split_lj, end: self.a.nloc };
-                let la = ColRange { start: tstart, end: tstart + la_width };
-                let left_rest = ColRange { start: tstart + la_width, end: split_lj };
+                let right = ColRange {
+                    start: split_lj,
+                    end: self.a.nloc,
+                };
+                let la = ColRange {
+                    start: tstart,
+                    end: tstart + la_width,
+                };
+                let left_rest = ColRange {
+                    start: tstart + la_width,
+                    end: split_lj,
+                };
 
                 // 1. Scatter the pre-communicated right-section rows.
                 let tu = Instant::now();
@@ -317,6 +384,7 @@ impl Driver<'_> {
 
                 // 3. Factor + broadcast the next panel (in rocHPL this is
                 // the CPU/host work hidden by UPDATE2 on the GPU).
+                hpl_trace::set_hidden(true);
                 let next = match next_geom {
                     Some(_) => Some(self.fact_and_bcast(it + 1, &mut t)?),
                     None => None,
@@ -324,6 +392,7 @@ impl Driver<'_> {
 
                 // 4. RS1 (hidden by UPDATE2 on the GPU timeline).
                 self.swap_and_update(&cur, left_rest, &mut t);
+                hpl_trace::set_hidden(false);
 
                 // 5. UPDATE2 using the prefetched U2.
                 let tu = Instant::now();
@@ -333,7 +402,9 @@ impl Driver<'_> {
                 // 6. Prefetch RS2 for the next iteration (hidden by
                 // UPDATE1 on the GPU timeline).
                 if let Some(nx) = &next {
+                    hpl_trace::set_hidden(true);
                     pending = self.prefetch_rs2(nx, split_lj, &mut t);
+                    hpl_trace::set_hidden(false);
                 }
 
                 if let Some(nx) = next {
@@ -341,14 +412,27 @@ impl Driver<'_> {
                 }
             } else {
                 // ---- Plain look-ahead iteration (Fig 3). ----
-                let range = ColRange { start: tstart, end: self.a.nloc };
+                let range = ColRange {
+                    start: tstart,
+                    end: self.a.nloc,
+                };
                 if la_width > 0 {
-                    let la = ColRange { start: tstart, end: tstart + la_width };
-                    let rest = ColRange { start: tstart + la_width, end: self.a.nloc };
+                    let la = ColRange {
+                        start: tstart,
+                        end: tstart + la_width,
+                    };
+                    let rest = ColRange {
+                        start: tstart + la_width,
+                        end: self.a.nloc,
+                    };
                     // Swap both sections now (one collective per section to
                     // keep column groups in lockstep), update LA first.
                     self.swap_and_update(&cur, la, &mut t);
+                    // The next panel's FACT/LBCAST sits in the slot a GPU
+                    // timeline overlaps with the rest-update (Fig 3).
+                    hpl_trace::set_hidden(true);
                     let nx = self.fact_and_bcast(it + 1, &mut t)?;
+                    hpl_trace::set_hidden(false);
                     self.swap_and_update(&cur, rest, &mut t);
                     cur = nx;
                 } else if next_geom.is_some() {
@@ -365,7 +449,10 @@ impl Driver<'_> {
             t.total = ti.elapsed().as_secs_f64();
             t.iter = it;
             self.timings.push(t);
-            t = IterTiming { iter: it + 1, ..Default::default() };
+            t = IterTiming {
+                iter: it + 1,
+                ..Default::default()
+            };
         }
         Ok(())
     }
@@ -373,17 +460,32 @@ impl Driver<'_> {
     /// Communicates the right-section row swap for iteration `ip` ahead of
     /// time (without scattering). Returns `None` when the left section is
     /// exhausted (the pipeline then falls back to Fig 3 form).
-    fn prefetch_rs2(&mut self, ip: &IterPanel, split_lj: usize, t: &mut IterTiming) -> Option<RsData> {
+    fn prefetch_rs2(
+        &mut self,
+        ip: &IterPanel,
+        split_lj: usize,
+        t: &mut IterTiming,
+    ) -> Option<RsData> {
         let tstart = self.a.cols.local_lower_bound(ip.geom.k0 + ip.geom.jb);
         if tstart >= split_lj || split_lj >= self.a.nloc {
             return None;
         }
-        let right = ColRange { start: split_lj, end: self.a.nloc };
+        let right = ColRange {
+            start: split_lj,
+            end: self.a.nloc,
+        };
         let tr = Instant::now();
         let rows = self.a.rows;
         let av = self.a.view_mut();
-        let data =
-            row_swap_comm(self.grid.col(), rows, &ip.plan, ip.geom.prow, &av, right, self.cfg.swap);
+        let data = row_swap_comm(
+            self.grid.col(),
+            rows,
+            &ip.plan,
+            ip.geom.prow,
+            &av,
+            right,
+            self.cfg.swap,
+        );
         t.comm += tr.elapsed().as_secs_f64();
         Some(data)
     }

@@ -98,8 +98,17 @@ impl PivotMsg {
         } else {
             (a.val, a.grow, a.row)
         };
-        let currow = if a.currow.is_empty() { b.currow } else { a.currow };
-        PivotMsg { val, grow, row, currow }
+        let currow = if a.currow.is_empty() {
+            b.currow
+        } else {
+            a.currow
+        };
+        PivotMsg {
+            val,
+            grow,
+            row,
+            currow,
+        }
     }
 }
 
@@ -132,7 +141,12 @@ unsafe impl Sync for SharedMat {}
 
 impl SharedMat {
     fn new(m: &mut MatMut<'_>) -> Self {
-        Self { ptr: m.as_mut_ptr(), rows: m.rows(), cols: m.cols(), lda: m.lda() }
+        Self {
+            ptr: m.as_mut_ptr(),
+            rows: m.rows(),
+            cols: m.cols(),
+            lda: m.lda(),
+        }
     }
 
     /// Mutable view of rows `r0..r1` (all columns).
@@ -146,9 +160,12 @@ impl SharedMat {
     unsafe fn rows_mut(&self, r0: usize, r1: usize) -> MatMut<'_> {
         debug_assert!(r0 <= r1 && r1 <= self.rows);
         ledger::claim_excl(self.ptr as usize, r0, r1);
-        // SAFETY: in-bounds by the assert; exclusivity of the row range is
-        // the caller's contract, enforced dynamically by the ledger claim.
-        unsafe { MatMut::from_raw_parts(self.ptr.add(r0), r1 - r0, self.cols, self.lda) }
+        // SAFETY: `r0` is in-bounds by the assert, so the offset stays
+        // within the allocation.
+        let p = unsafe { self.ptr.add(r0) };
+        // SAFETY: exclusivity of the row range is the caller's contract,
+        // enforced dynamically by the ledger claim.
+        unsafe { MatMut::from_raw_parts(p, r1 - r0, self.cols, self.lda) }
     }
 
     /// Immutable view of the whole matrix.
@@ -260,11 +277,19 @@ impl FactState<'_> {
 /// on the diagonal-owning process row the first `jb` rows are the diagonal
 /// block). Collective over the process column. See module docs.
 pub fn panel_factor(inp: &FactInput<'_>, a: &mut MatMut<'_>) -> Result<FactOut, Singular> {
+    // The span covers the whole factorization wall, pivot collectives
+    // included; the driver records those separately as a `FactComm` span
+    // from `FactOut::comm_seconds` (they may run on pool worker threads,
+    // invisible to this thread-local tracer).
+    let _span = hpl_trace::span(hpl_trace::Phase::Fact);
     let jb = inp.jb;
     assert!(jb > 0, "empty panel");
     assert_eq!(a.cols(), jb, "panel width mismatch");
     if inp.is_curr {
-        assert!(a.rows() >= jb, "diagonal owner must hold the full diagonal block");
+        assert!(
+            a.rows() >= jb,
+            "diagonal owner must hold the full diagonal block"
+        );
     }
     let mut top = Matrix::zeros(jb, jb);
     let mut top_view = top.view_mut();
@@ -328,7 +353,15 @@ fn rec_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
                 let (l_part, mut rest) = t.submatrix_mut(0, 0, st.jb, hi).split_at_col(phi);
                 let l11 = l_part.as_ref().submatrix(plo, plo, phi - plo, phi - plo);
                 let mut tgt = rest.submatrix_mut(plo, 0, phi - plo, hi - phi);
-                dtrsm(Side::Left, hpl_blas::Uplo::Lower, Trans::No, Diag::Unit, 1.0, l11, &mut tgt);
+                dtrsm(
+                    Side::Left,
+                    hpl_blas::Uplo::Lower,
+                    Trans::No,
+                    Diag::Unit,
+                    1.0,
+                    l11,
+                    &mut tgt,
+                );
             }
             ctx.barrier();
             // Local trailing GEMM on candidate rows, tile-parallel.
@@ -519,9 +552,19 @@ fn pivot_step(st: &FactState<'_>, ctx: &Ctx<'_>, k: usize) -> bool {
             for j in 0..st.jb {
                 row.push(av.get(li, j));
             }
-            PivotMsg { val: lv, grow: st.global_row(li) as u64, row, currow: Vec::new() }
+            PivotMsg {
+                val: lv,
+                grow: st.global_row(li) as u64,
+                row,
+                currow: Vec::new(),
+            }
         } else {
-            PivotMsg { val: f64::NEG_INFINITY, grow: u64::MAX, row: Vec::new(), currow: Vec::new() }
+            PivotMsg {
+                val: f64::NEG_INFINITY,
+                grow: u64::MAX,
+                row: Vec::new(),
+                currow: Vec::new(),
+            }
         };
         let mine = if st.inp.is_curr {
             let mut currow = Vec::with_capacity(st.jb);
@@ -534,7 +577,8 @@ fn pivot_step(st: &FactState<'_>, ctx: &Ctx<'_>, k: usize) -> bool {
         };
         let t0 = std::time::Instant::now();
         let win = allreduce_with(st.inp.col_comm, mine, PivotMsg::combine);
-        st.comm_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        st.comm_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         if win.val == 0.0 || !win.val.is_finite() {
             st.err.store(st.inp.k0 + k, Ordering::Relaxed);
         } else {

@@ -32,7 +32,6 @@
 //! println!("GFLOPS: {:.2}", results[0].gflops);
 //! ```
 
-
 // Lint policy: indexed loops are used deliberately where they mirror the
 // reference BLAS/HPL loop structure, and several kernels take the full
 // argument list their BLAS counterparts do.

@@ -44,8 +44,18 @@ impl LocalMatrix {
         grid: &Grid,
         fill: &(dyn Fn(usize, usize) -> f64 + Sync),
     ) -> Self {
-        let rows = Axis { n, nb, iproc: grid.myrow(), nprocs: grid.nprow() };
-        let cols = Axis { n: n + 1, nb, iproc: grid.mycol(), nprocs: grid.npcol() };
+        let rows = Axis {
+            n,
+            nb,
+            iproc: grid.myrow(),
+            nprocs: grid.nprow(),
+        };
+        let cols = Axis {
+            n: n + 1,
+            nb,
+            iproc: grid.mycol(),
+            nprocs: grid.npcol(),
+        };
         let mloc = rows.local_len();
         let nloc = cols.local_len();
         let mut data = vec![0.0f64; mloc * nloc];
@@ -57,7 +67,13 @@ impl LocalMatrix {
                 }
             }
         }
-        Self { rows, cols, mloc, nloc, data }
+        Self {
+            rows,
+            cols,
+            mloc,
+            nloc,
+            data,
+        }
     }
 
     /// Full local view.
@@ -129,7 +145,11 @@ mod tests {
                 count += 1;
             }
         }
-        assert_eq!(count, n * (n + 1), "every global entry generated exactly once");
+        assert_eq!(
+            count,
+            n * (n + 1),
+            "every global entry generated exactly once"
+        );
     }
 
     #[test]

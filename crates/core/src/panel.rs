@@ -51,14 +51,30 @@ impl PanelGeom {
         let lb = rows.local_lower_bound(k0);
         let mp = a.mloc - lb;
         let lj0 = if in_panel_col { cols.to_local(k0) } else { 0 };
-        let l2_rows = if in_curr_row { mp.saturating_sub(jb) } else { mp };
-        Self { k0, jb, pcol, prow, in_panel_col, in_curr_row, lb, mp, lj0, l2_rows }
+        let l2_rows = if in_curr_row {
+            mp.saturating_sub(jb)
+        } else {
+            mp
+        };
+        Self {
+            k0,
+            jb,
+            pcol,
+            prow,
+            in_panel_col,
+            in_curr_row,
+            lb,
+            mp,
+            lj0,
+            l2_rows,
+        }
     }
 }
 
 /// Copies this rank's panel columns out of the local matrix into a
 /// contiguous host buffer (`mp x jb`, lda = mp). The H2D/D2H analogue.
 pub fn panel_to_host(a: &LocalMatrix, g: &PanelGeom) -> Vec<f64> {
+    let _span = hpl_trace::span(hpl_trace::Phase::Transfer);
     debug_assert!(g.in_panel_col);
     let mut host = vec![0.0f64; g.mp * g.jb];
     let av = a.view();
@@ -74,6 +90,7 @@ pub fn panel_to_host(a: &LocalMatrix, g: &PanelGeom) -> Vec<f64> {
 /// `top` (the factored diagonal block) instead of the possibly stale local
 /// rows.
 pub fn panel_from_host(a: &mut LocalMatrix, g: &PanelGeom, host: &[f64], top: &Matrix) {
+    let _span = hpl_trace::span(hpl_trace::Phase::Transfer);
     debug_assert!(g.in_panel_col);
     let (lb, mp, jb, lj0) = (g.lb, g.mp, g.jb, g.lj0);
     let mut av = a.view_mut();
@@ -116,6 +133,7 @@ impl PanelL {
 /// leading `jb` rows (the stale diagonal block) are skipped — `top` carries
 /// that data in factored form.
 pub fn pack_panel(g: &PanelGeom, top: &Matrix, ipiv: &[usize], host: &[f64]) -> Vec<f64> {
+    let _span = hpl_trace::span(hpl_trace::Phase::Transfer);
     let jb = g.jb;
     let skip = if g.in_curr_row { jb } else { 0 };
     let mut buf = Vec::with_capacity(jb * jb + g.l2_rows * jb + jb);
@@ -135,11 +153,24 @@ pub fn pack_panel(g: &PanelGeom, top: &Matrix, ipiv: &[usize], host: &[f64]) -> 
 pub fn unpack_panel(g: &PanelGeom, buf: &[f64]) -> PanelL {
     let jb = g.jb;
     let l2_rows = g.l2_rows;
-    assert_eq!(buf.len(), jb * jb + l2_rows * jb + jb, "panel buffer size mismatch");
+    assert_eq!(
+        buf.len(),
+        jb * jb + l2_rows * jb + jb,
+        "panel buffer size mismatch"
+    );
     let top = Matrix::from_vec(jb, jb, buf[..jb * jb].to_vec());
     let l2 = buf[jb * jb..jb * jb + l2_rows * jb].to_vec();
-    let ipiv = buf[jb * jb + l2_rows * jb..].iter().map(|&v| v as usize).collect();
-    PanelL { top, l2, ipiv, l2_rows, jb }
+    let ipiv = buf[jb * jb + l2_rows * jb..]
+        .iter()
+        .map(|&v| v as usize)
+        .collect();
+    PanelL {
+        top,
+        l2,
+        ipiv,
+        l2_rows,
+        jb,
+    }
 }
 
 /// Broadcasts the packed panel along the process row from the panel-owning

@@ -26,7 +26,10 @@ pub struct MatGen {
 impl MatGen {
     /// Creates a generator for a matrix with `nrows` rows under `seed`.
     pub fn new(seed: u64, nrows: usize) -> Self {
-        Self { seed: seed.wrapping_mul(LCG_A).wrapping_add(LCG_C) | 1, nrows: nrows as u64 }
+        Self {
+            seed: seed.wrapping_mul(LCG_A).wrapping_add(LCG_C) | 1,
+            nrows: nrows as u64,
+        }
     }
 
     /// LCG state after `k` steps from `state`, in `O(log k)`.

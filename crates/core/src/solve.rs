@@ -88,7 +88,10 @@ fn assemble_solution(
     x_parts.sort_by_key(|&(lc, _)| lc);
     let full = if grid.myrow() == 0 {
         // Concatenate my column blocks in local order.
-        let mine: Vec<f64> = x_parts.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        let mine: Vec<f64> = x_parts
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
         // Local x-element counts per process column (x is distributed like
         // the matrix columns restricted to the first n columns).
         let counts: Vec<usize> = (0..grid.npcol())
@@ -158,7 +161,12 @@ mod tests {
     /// factorization) and check the distributed solve against it.
     #[test]
     fn backsolve_recovers_known_solution() {
-        for &(n, nb, p, q) in &[(24usize, 4usize, 2usize, 2usize), (30, 7, 2, 3), (16, 16, 1, 1), (13, 3, 3, 1)] {
+        for &(n, nb, p, q) in &[
+            (24usize, 4usize, 2usize, 2usize),
+            (30, 7, 2, 3),
+            (16, 16, 1, 1),
+            (13, 3, 3, 1),
+        ] {
             let outs = Universe::run(p * q, |comm| {
                 let grid = Grid::new(comm, p, q, GridOrder::ColumnMajor);
                 let mut a = LocalMatrix::generate(n, nb, &grid, 5);
@@ -190,7 +198,10 @@ mod tests {
             });
             for (x, xtrue) in outs {
                 for (got, want) in x.iter().zip(&xtrue) {
-                    assert!((got - want).abs() < 1e-9, "n={n} p={p} q={q}: {got} vs {want}");
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "n={n} p={p} q={q}: {got} vs {want}"
+                    );
                 }
             }
         }

@@ -100,7 +100,12 @@ impl SwapPlan {
             .map(|(&pos, &src)| (pos, src))
             .collect();
         moves.sort_unstable();
-        Self { k0, jb, u_src, moves }
+        Self {
+            k0,
+            jb,
+            u_src,
+            moves,
+        }
     }
 }
 
@@ -165,6 +170,7 @@ pub fn row_swap_comm(
     range: ColRange,
     algo: RowSwapAlgo,
 ) -> RsData {
+    let _span = hpl_trace::span(hpl_trace::Phase::RowSwap);
     let w = range.width();
     let jb = plan.jb;
     let me = col_comm.rank();
@@ -274,6 +280,7 @@ pub fn row_swap_comm(
 /// Scatters previously communicated move rows back into the local matrix
 /// (rocHPL's "scatter" GPU kernel).
 pub fn apply_moves(a: &mut MatMut<'_>, range: ColRange, moves: &[(usize, Vec<f64>)]) {
+    let _span = hpl_trace::span(hpl_trace::Phase::Scatter);
     for (li, vals) in moves {
         write_row(a, *li, range, vals);
     }

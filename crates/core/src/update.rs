@@ -16,6 +16,7 @@ use crate::swap::ColRange;
 /// `panel.top` (every rank performs this redundantly on its own columns,
 /// exactly like rocHPL where it is the first kernel of the update).
 pub fn solve_u(panel: &PanelL, u: &mut Matrix) {
+    let _span = hpl_trace::span(hpl_trace::Phase::Update);
     debug_assert_eq!(u.rows(), panel.jb);
     let mut uv = u.view_mut();
     dtrsm(
@@ -34,6 +35,7 @@ pub fn solve_u(panel: &PanelL, u: &mut Matrix) {
 /// after the iteration, global rows `k0..k0+jb` of the trailing columns
 /// must hold the final `U` factor.
 pub fn store_u(g: &PanelGeom, u: &Matrix, a: &mut MatMut<'_>, range: ColRange) {
+    let _span = hpl_trace::span(hpl_trace::Phase::Update);
     debug_assert!(g.in_curr_row);
     debug_assert_eq!(u.cols(), range.width());
     for (off, lj) in (range.start..range.end).enumerate() {
@@ -52,10 +54,19 @@ pub fn gemm_update(g: &PanelGeom, panel: &PanelL, u: &Matrix, a: &mut MatMut<'_>
     if w == 0 || g.l2_rows == 0 {
         return;
     }
+    let _span = hpl_trace::span(hpl_trace::Phase::Update);
     debug_assert_eq!(u.cols(), w);
     let row0 = g.lb + if g.in_curr_row { g.jb } else { 0 };
     let mut c = a.submatrix_mut(row0, range.start, g.l2_rows, w);
-    dgemm(Trans::No, Trans::No, -1.0, panel.l2_view(), u.view(), 1.0, &mut c);
+    dgemm(
+        Trans::No,
+        Trans::No,
+        -1.0,
+        panel.l2_view(),
+        u.view(),
+        1.0,
+        &mut c,
+    );
 }
 
 /// [`gemm_update`] on `threads` pool threads (column-partitioned, bitwise
@@ -73,6 +84,7 @@ pub fn gemm_update_parallel(
     if w == 0 || g.l2_rows == 0 {
         return;
     }
+    let _span = hpl_trace::span(hpl_trace::Phase::Update);
     debug_assert_eq!(u.cols(), w);
     let row0 = g.lb + if g.in_curr_row { g.jb } else { 0 };
     let mut c = a.submatrix_mut(row0, range.start, g.l2_rows, w);

@@ -86,5 +86,11 @@ pub fn verify_with(
 
     let eps = f64::EPSILON;
     let scaled = err_inf / (eps * (a_inf * x_inf + b_inf) * n as f64);
-    Residuals { err_inf, a_inf, x_inf, b_inf, scaled }
+    Residuals {
+        err_inf,
+        a_inf,
+        x_inf,
+        b_inf,
+        scaled,
+    }
 }

@@ -182,7 +182,11 @@ fn progress_metrics_are_sane() {
     // factor of ~2 of the reported score (score includes the epilogue).
     assert!(p.iter().all(|s| s.running_gflops > 0.0));
     let final_rate = p.last().unwrap().running_gflops;
-    assert!(final_rate >= results[0].gflops * 0.9, "{final_rate} vs {}", results[0].gflops);
+    assert!(
+        final_rate >= results[0].gflops * 0.9,
+        "{final_rate} vs {}",
+        results[0].gflops
+    );
 }
 
 #[test]

@@ -21,7 +21,11 @@ pub struct GmresParams {
 
 impl Default for GmresParams {
     fn default() -> Self {
-        Self { restart: 50, max_cycles: 8, tol: 1e-14 }
+        Self {
+            restart: 50,
+            max_cycles: 8,
+            tol: 1e-14,
+        }
     }
 }
 
@@ -45,12 +49,17 @@ pub fn solve_gmres(op: &DenseOp, lu: &LowLu, b: &[f64], params: GmresParams) -> 
     let b_nrm = nrm2(b).max(f64::MIN_POSITIVE);
 
     'cycles: for _ in 0..params.max_cycles {
-        if *history.last().expect("history is seeded with the initial residual") < 16.0 && {
-            let mut ax = vec![0.0; n];
-            op.matvec(&x, &mut ax);
-            let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
-            nrm2(&r) / b_nrm < params.tol
-        } {
+        if *history
+            .last()
+            .expect("history is seeded with the initial residual")
+            < 16.0
+            && {
+                let mut ax = vec![0.0; n];
+                op.matvec(&x, &mut ax);
+                let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+                nrm2(&r) / b_nrm < params.tol
+            }
+        {
             break;
         }
         // r0 = b - A x.
@@ -89,7 +98,11 @@ pub fn solve_gmres(op: &DenseOp, lu: &LowLu, b: &[f64], params: GmresParams) -> 
             }
             // New rotation to annihilate hj[j + 1].
             let denom = (hj[j] * hj[j] + hj[j + 1] * hj[j + 1]).sqrt();
-            let (c, s) = if denom == 0.0 { (1.0, 0.0) } else { (hj[j] / denom, hj[j + 1] / denom) };
+            let (c, s) = if denom == 0.0 {
+                (1.0, 0.0)
+            } else {
+                (hj[j] / denom, hj[j + 1] / denom)
+            };
             cs.push(c);
             sn.push(s);
             hj[j] = c * hj[j] + s * hj[j + 1];
@@ -132,7 +145,9 @@ pub fn solve_gmres(op: &DenseOp, lu: &LowLu, b: &[f64], params: GmresParams) -> 
         }
         history.push(scaled_residual(op, b, &x));
         if history.len() > 2 {
-            let last = *history.last().expect("history is seeded with the initial residual");
+            let last = *history
+                .last()
+                .expect("history is seeded with the initial residual");
             let prev = history[history.len() - 2];
             if last < 16.0 && last >= prev * 0.99 {
                 // Converged to working accuracy.
@@ -140,8 +155,15 @@ pub fn solve_gmres(op: &DenseOp, lu: &LowLu, b: &[f64], params: GmresParams) -> 
             }
         }
     }
-    let converged = *history.last().expect("history is seeded with the initial residual") < 16.0;
-    MxpReport { x, history, converged }
+    let converged = *history
+        .last()
+        .expect("history is seeded with the initial residual")
+        < 16.0;
+    MxpReport {
+        x,
+        history,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -152,7 +174,9 @@ mod tests {
         let mut s = seed | 1;
         let mut vals = Vec::with_capacity(n * n);
         for _ in 0..n * n {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             vals.push(((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5);
         }
         let op = DenseOp::new(n, |i, j| {
@@ -163,7 +187,9 @@ mod tests {
                 v
             }
         });
-        let xtrue: Vec<f64> = (0..n).map(|i| ((i * 5 + 2) % 11) as f64 * 0.5 - 2.0).collect();
+        let xtrue: Vec<f64> = (0..n)
+            .map(|i| ((i * 5 + 2) % 11) as f64 * 0.5 - 2.0)
+            .collect();
         let mut b = vec![0.0f64; n];
         op.matvec(&xtrue, &mut b);
         (op, b, xtrue)
@@ -173,9 +199,22 @@ mod tests {
     fn gmres_reaches_double_precision() {
         let (op, b, xtrue) = system(250, 11, 3.0);
         let lu = LowLu::factor(&op, 32).unwrap();
-        let rep = solve_gmres(&op, &lu, &b, GmresParams { restart: 20, ..Default::default() });
+        let rep = solve_gmres(
+            &op,
+            &lu,
+            &b,
+            GmresParams {
+                restart: 20,
+                ..Default::default()
+            },
+        );
         assert!(rep.converged, "history {:?}", rep.history);
-        let err = rep.x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        let err = rep
+            .x
+            .iter()
+            .zip(&xtrue)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
         assert!(err < 1e-9, "error {err:.3e}, history {:?}", rep.history);
     }
 
@@ -183,7 +222,15 @@ mod tests {
     fn gmres_matches_ir_on_easy_systems() {
         let (op, b, _) = system(150, 3, 4.0);
         let lu = LowLu::factor(&op, 32).unwrap();
-        let g = solve_gmres(&op, &lu, &b, GmresParams { restart: 10, ..Default::default() });
+        let g = solve_gmres(
+            &op,
+            &lu,
+            &b,
+            GmresParams {
+                restart: 10,
+                ..Default::default()
+            },
+        );
         let ir = crate::ir::solve_ir(&op, &lu, &b, 10);
         assert!(g.converged && ir.converged);
         for (a, b) in g.x.iter().zip(&ir.x) {
@@ -197,9 +244,21 @@ mod tests {
         // GMRES still converges in one or two cycles.
         let (op, b, xtrue) = system(200, 17, 1.2);
         let lu = LowLu::factor(&op, 32).unwrap();
-        let g = solve_gmres(&op, &lu, &b, GmresParams { restart: 30, ..Default::default() });
+        let g = solve_gmres(
+            &op,
+            &lu,
+            &b,
+            GmresParams {
+                restart: 30,
+                ..Default::default()
+            },
+        );
         assert!(g.converged, "history {:?}", g.history);
-        let err = g.x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        let err =
+            g.x.iter()
+                .zip(&xtrue)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
         assert!(err < 1e-8, "error {err:.3e}");
     }
 }

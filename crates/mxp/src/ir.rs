@@ -102,7 +102,11 @@ pub fn scaled_residual(op: &DenseOp, b: &[f64], x: &[f64]) -> f64 {
     let n = op.n();
     let mut ax = vec![0.0f64; n];
     op.matvec(x, &mut ax);
-    let err = ax.iter().zip(b).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    let err = ax
+        .iter()
+        .zip(b)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
     let xn = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
     let bn = b.iter().fold(0.0f64, |m, v| m.max(v.abs()));
     err / (f64::EPSILON * (op.norm_inf() * xn + bn) * n as f64)
@@ -116,7 +120,11 @@ pub fn solve_ir(op: &DenseOp, lu: &LowLu, b: &[f64], max_iters: usize) -> MxpRep
     let mut history = vec![scaled_residual(op, b, &x)];
     let mut r = vec![0.0f64; n];
     for _ in 0..max_iters {
-        if *history.last().expect("history is seeded with the initial residual") < 16.0 {
+        if *history
+            .last()
+            .expect("history is seeded with the initial residual")
+            < 16.0
+        {
             break;
         }
         op.matvec(&x, &mut r);
@@ -129,8 +137,15 @@ pub fn solve_ir(op: &DenseOp, lu: &LowLu, b: &[f64], max_iters: usize) -> MxpRep
         }
         history.push(scaled_residual(op, b, &x));
     }
-    let converged = *history.last().expect("history is seeded with the initial residual") < 16.0;
-    MxpReport { x, history, converged }
+    let converged = *history
+        .last()
+        .expect("history is seeded with the initial residual")
+        < 16.0;
+    MxpReport {
+        x,
+        history,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -141,7 +156,9 @@ mod tests {
         let mut s = seed | 1;
         let mut vals = Vec::with_capacity(n * n);
         for _ in 0..n * n {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             vals.push(((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5);
         }
         let op = DenseOp::new(n, |i, j| {

@@ -21,7 +21,6 @@
 //!   refinement method of the HPL-MxP reference implementation, which
 //!   also handles systems where classic refinement stalls.
 
-
 // Lint policy: indexed loops are used deliberately where they mirror the
 // reference BLAS/HPL loop structure, and several kernels take the full
 // argument list their BLAS counterparts do.
@@ -50,7 +49,9 @@ mod tests {
         let mut s = 99u64 | 1;
         let mut vals = Vec::with_capacity(n * (n + 1));
         for _ in 0..n * (n + 1) {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             vals.push(((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5);
         }
         let op = DenseOp::new(n, |i, j| vals[j * n + i]);
@@ -65,7 +66,12 @@ mod tests {
         // And the initial f32-only solve alone must NOT pass at this size
         // (otherwise the refinement demonstrates nothing).
         assert!(
-            rep.history[0] > rep.history.last().expect("history is seeded with the initial residual") * 10.0,
+            rep.history[0]
+                > rep
+                    .history
+                    .last()
+                    .expect("history is seeded with the initial residual")
+                    * 10.0,
             "refinement must improve the residual materially: {:?}",
             rep.history
         );

@@ -14,13 +14,21 @@ pub struct SMatrix {
 impl SMatrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Demotes a column-major `f64` buffer.
     pub fn from_f64(rows: usize, cols: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), rows * cols);
-        Self { rows, cols, data: data.iter().map(|&v| v as f32).collect() }
+        Self {
+            rows,
+            cols,
+            data: data.iter().map(|&v| v as f32).collect(),
+        }
     }
 
     /// Builds element-wise from `f(i, j)` (demoting).
@@ -280,7 +288,9 @@ mod tests {
     fn dd_matrix(n: usize, seed: u64) -> SMatrix {
         let mut s = seed | 1;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         let mut a = SMatrix::from_fn(n, n, |_, _| 0.0);
@@ -334,7 +344,10 @@ mod tests {
         for j in 0..n {
             for i in 0..n {
                 let (x, y) = (a1.get(i, j), a2.get(i, j));
-                assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0), "({i},{j}): {x} vs {y}");
+                assert!(
+                    (x - y).abs() <= 1e-4 * y.abs().max(1.0),
+                    "({i},{j}): {x} vs {y}"
+                );
             }
         }
     }

@@ -1,10 +1,21 @@
+//! Cross-checks the analytic pipeline model against the discrete-event
+//! simulator for each overlap strategy on the paper's single-node config.
 use hpl_sim::*;
 fn main() {
     let sim = Simulator::new(NodeModel::frontier(), RunParams::paper_single_node());
-    for pl in [Pipeline::NoOverlap, Pipeline::LookAhead, Pipeline::SplitUpdate] {
+    for pl in [
+        Pipeline::NoOverlap,
+        Pipeline::LookAhead,
+        Pipeline::SplitUpdate,
+    ] {
         let a = sim.run(pl);
         let d = simulate_des(&sim, pl);
-        println!("{pl:?}: analytic {:.1} TF, DES {:.1} TF ({} tasks)", a.tflops, d.tflops, d.trace.spans.len());
+        println!(
+            "{pl:?}: analytic {:.1} TF, DES {:.1} TF ({} tasks)",
+            a.tflops,
+            d.tflops,
+            d.trace.spans.len()
+        );
     }
     let d = simulate_des(&sim, Pipeline::SplitUpdate);
     println!("GPU util: {:.3}", d.trace.utilization(ResourceId(0)));

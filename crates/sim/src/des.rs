@@ -59,7 +59,10 @@ pub struct Trace {
 impl Trace {
     /// The span of a task by id.
     pub fn span(&self, t: TaskId) -> &TraceSpan {
-        self.spans.iter().find(|s| s.task == t).expect("task executed")
+        self.spans
+            .iter()
+            .find(|s| s.task == t)
+            .expect("task executed")
     }
 
     /// Busy fraction of a resource over the makespan.
@@ -212,7 +215,10 @@ impl Des {
             })
             .collect();
         spans.sort_by(|a, b| {
-            let ord = a.start.partial_cmp(&b.start).expect("span times are finite");
+            let ord = a
+                .start
+                .partial_cmp(&b.start)
+                .expect("span times are finite");
             ord.then(a.task.0.cmp(&b.task.0))
         });
         let makespan = spans.iter().map(|s| s.end).fold(0.0, f64::max);
@@ -220,7 +226,11 @@ impl Des {
         for s in &spans {
             busy[s.resource.0] += s.end - s.start;
         }
-        Trace { spans, makespan, busy }
+        Trace {
+            spans,
+            makespan,
+            busy,
+        }
     }
 }
 
@@ -282,7 +292,9 @@ mod tests {
     fn fifo_order_on_a_resource_is_submission_order_for_equal_ready_times() {
         let mut d = Des::new();
         let r = d.resource("stream");
-        let ids: Vec<TaskId> = (0..5).map(|i| d.task(r, format!("k{i}"), 1.0, &[])).collect();
+        let ids: Vec<TaskId> = (0..5)
+            .map(|i| d.task(r, format!("k{i}"), 1.0, &[]))
+            .collect();
         let t = d.run();
         for (i, id) in ids.iter().enumerate() {
             assert_eq!(t.span(*id).start, i as f64);

@@ -75,7 +75,11 @@ pub fn simulate_des(sim: &Simulator, pipeline: Pipeline) -> DesResult {
     let fact = des.task(m.cpu, "fact:0", ph0.fact_cpu + ph0.fact_comm, &[d2h]);
     let h2d = des.task(m.xfer, "h2d:0", ph0.transfer / 2.0, &[fact]);
     let lb0 = des.task(m.net, "lbcast:0", ph0.lbcast, &[h2d]);
-    let mut carry = Carry { lbcast: Some(lb0), rs2_comm: None, last_update: None };
+    let mut carry = Carry {
+        lbcast: Some(lb0),
+        rs2_comm: None,
+        last_update: None,
+    };
     if matches!(pipeline, Pipeline::SplitUpdate) && split_active(sim, 0) {
         let ph = sim.phases(0, Pipeline::SplitUpdate);
         let g = des.task(m.gpu, "rs2-gather:0", ph.rs_kernels / 4.0, &[lb0]);
@@ -97,7 +101,11 @@ pub fn simulate_des(sim: &Simulator, pipeline: Pipeline) -> DesResult {
     let trace = des.run();
     let iter_done: Vec<f64> = iter_last.iter().map(|&t| trace.span(t).end).collect();
     let makespan = trace.makespan;
-    DesResult { tflops: sim.params.flops() / makespan / 1e12, trace, iter_done }
+    DesResult {
+        tflops: sim.params.flops() / makespan / 1e12,
+        trace,
+        iter_done,
+    }
 }
 
 /// Chain D2H -> FACT -> H2D -> LBCAST for panel `it + 1`, gated on `dep`
@@ -114,9 +122,24 @@ fn next_panel_chain(
         return None;
     }
     let phn = sim.phases(it + 1, pipeline);
-    let d2h = des.task(m.xfer, format!("d2h:{}", it + 1), phn.transfer / 2.0, &[dep]);
-    let fact = des.task(m.cpu, format!("fact:{}", it + 1), phn.fact_cpu + phn.fact_comm, &[d2h]);
-    let h2d = des.task(m.xfer, format!("h2d:{}", it + 1), phn.transfer / 2.0, &[fact]);
+    let d2h = des.task(
+        m.xfer,
+        format!("d2h:{}", it + 1),
+        phn.transfer / 2.0,
+        &[dep],
+    );
+    let fact = des.task(
+        m.cpu,
+        format!("fact:{}", it + 1),
+        phn.fact_cpu + phn.fact_comm,
+        &[d2h],
+    );
+    let h2d = des.task(
+        m.xfer,
+        format!("h2d:{}", it + 1),
+        phn.transfer / 2.0,
+        &[fact],
+    );
     Some(des.task(m.net, format!("lbcast:{}", it + 1), phn.lbcast, &[h2d]))
 }
 
@@ -139,15 +162,24 @@ fn lookahead_iteration(
     deps.extend(carry.rs2_comm.take());
     let gather = des.task(m.gpu, format!("rs-gather:{it}"), ph.rs_kernels / 2.0, &deps);
     let comm = des.task(m.net, format!("rs-comm:{it}"), ph.rs1_comm, &[gather]);
-    let scatter = des.task(m.gpu, format!("rs-scatter:{it}"), ph.rs_kernels / 2.0, &[comm]);
+    let scatter = des.task(
+        m.gpu,
+        format!("rs-scatter:{it}"),
+        ph.rs_kernels / 2.0,
+        &[comm],
+    );
     let up_la = des.task(m.gpu, format!("up-la:{it}"), ph.up_la, &[scatter]);
     if !matches!(pipeline, Pipeline::NoOverlap) {
         // Look-ahead: the next panel's host chain starts as soon as its
         // columns are updated, overlapping the trailing update below.
         carry.lbcast = next_panel_chain(des, m, sim, it, up_la, pipeline);
     }
-    let update =
-        des.task(m.gpu, format!("update:{it}"), ph.up_left + ph.up_right, &[scatter, up_la]);
+    let update = des.task(
+        m.gpu,
+        format!("update:{it}"),
+        ph.up_left + ph.up_right,
+        &[scatter, up_la],
+    );
     if matches!(pipeline, Pipeline::NoOverlap) {
         // Serialized ablation: factor the next panel only after this
         // iteration's full update is done.
@@ -172,14 +204,22 @@ fn split_iteration(
     let mut deps = vec![lb];
     deps.extend(carry.last_update);
     // 1. Scatter the prefetched right-section rows.
-    let rs2 = carry.rs2_comm.take().expect("split iteration has a prefetched RS2");
+    let rs2 = carry
+        .rs2_comm
+        .take()
+        .expect("split iteration has a prefetched RS2");
     let mut scatter2_deps = vec![rs2];
     scatter2_deps.extend(carry.last_update);
     let scatter2 = des.task(m.gpu, format!("rs2-scatter:{it}"), k, &scatter2_deps);
     // 2. Look-ahead section swap + update (the look-ahead is one block
     // column, a small fraction of the left section).
     let la_gather = des.task(m.gpu, format!("rsla-gather:{it}"), k * 0.1, &deps);
-    let la_comm = des.task(m.net, format!("rsla-comm:{it}"), ph.rs1_comm * 0.1, &[la_gather]);
+    let la_comm = des.task(
+        m.net,
+        format!("rsla-comm:{it}"),
+        ph.rs1_comm * 0.1,
+        &[la_gather],
+    );
     let la_scatter = des.task(m.gpu, format!("rsla-scatter:{it}"), k * 0.1, &[la_comm]);
     let up_la = des.task(m.gpu, format!("up-la:{it}"), ph.up_la, &[la_scatter]);
     // 3. Next panel's host chain (hidden under UPDATE2 on the GPU).
@@ -267,8 +307,18 @@ mod tests {
         // runs on the GPU.
         let s = sim();
         let r = simulate_des(&s, Pipeline::SplitUpdate);
-        let fact = r.trace.spans.iter().find(|sp| sp.label == "fact:51").unwrap();
-        let up2 = r.trace.spans.iter().find(|sp| sp.label == "up2:50").unwrap();
+        let fact = r
+            .trace
+            .spans
+            .iter()
+            .find(|sp| sp.label == "fact:51")
+            .unwrap();
+        let up2 = r
+            .trace
+            .spans
+            .iter()
+            .find(|sp| sp.label == "up2:50")
+            .unwrap();
         let overlap = fact.end.min(up2.end) - fact.start.max(up2.start);
         assert!(
             overlap > 0.5 * (fact.end - fact.start),

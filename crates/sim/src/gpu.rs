@@ -79,7 +79,10 @@ impl Default for HbmModel {
     fn default() -> Self {
         // MI250X: 1.6 TB/s per GCD nominal; ~75% effective for strided
         // row gather/scatter.
-        Self { bandwidth: 1.2e12, launch_overhead: 5e-6 }
+        Self {
+            bandwidth: 1.2e12,
+            launch_overhead: 5e-6,
+        }
     }
 }
 

@@ -23,7 +23,6 @@
 //! * [`cluster`] — weak scaling (Fig 8).
 //! * [`timeline`] — ASCII Gantt rendering of one iteration.
 
-
 // Lint policy: indexed loops are used deliberately where they mirror the
 // reference BLAS/HPL loop structure, and several kernels take the full
 // argument list their BLAS counterparts do.

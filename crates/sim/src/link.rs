@@ -16,19 +16,28 @@ impl LinkModel {
     /// Frontier node: Infinity Fabric between GCDs (50 GB/s per direction,
     /// ~1.3 us software latency).
     pub fn infinity_fabric() -> Self {
-        Self { latency: 1.3e-6, bandwidth: 50.0e9 }
+        Self {
+            latency: 1.3e-6,
+            bandwidth: 50.0e9,
+        }
     }
 
     /// Host <-> GCD link (~36 GB/s effective, per the MI250X host
     /// interface).
     pub fn host_link() -> Self {
-        Self { latency: 4.0e-6, bandwidth: 36.0e9 }
+        Self {
+            latency: 4.0e-6,
+            bandwidth: 36.0e9,
+        }
     }
 
     /// HPE Slingshot NIC: 200 Gb/s = 25 GB/s per MI250X, shared by its two
     /// GCDs.
     pub fn slingshot_per_gcd() -> Self {
-        Self { latency: 1.7e-6, bandwidth: 12.5e9 }
+        Self {
+            latency: 1.7e-6,
+            bandwidth: 12.5e9,
+        }
     }
 
     /// Message time.
@@ -132,14 +141,19 @@ mod tests {
 
     #[test]
     fn link_time_is_affine() {
-        let l = LinkModel { latency: 1e-6, bandwidth: 1e9 };
+        let l = LinkModel {
+            latency: 1e-6,
+            bandwidth: 1e9,
+        };
         assert_eq!(l.time(0.0), 0.0);
         assert!((l.time(1e9) - (1.0 + 1e-6)).abs() < 1e-9);
     }
 
     #[test]
     fn long_beats_ring_for_large_messages() {
-        let c = CollectiveModel { link: LinkModel::infinity_fabric() };
+        let c = CollectiveModel {
+            link: LinkModel::infinity_fabric(),
+        };
         let big = 100e6;
         assert!(c.bcast_long(8, big) < c.bcast_1ring(8, big));
         // And loses for tiny messages (latency-dominated).
@@ -149,7 +163,9 @@ mod tests {
 
     #[test]
     fn modified_ring_serializes_root_sends() {
-        let c = CollectiveModel { link: LinkModel::infinity_fabric() };
+        let c = CollectiveModel {
+            link: LinkModel::infinity_fabric(),
+        };
         let b = 1e6;
         // Same asymptotic hop count as the plain ring.
         let plain = c.bcast_1ring(8, b);
@@ -159,7 +175,9 @@ mod tests {
 
     #[test]
     fn collectives_are_free_on_one_rank() {
-        let c = CollectiveModel { link: LinkModel::infinity_fabric() };
+        let c = CollectiveModel {
+            link: LinkModel::infinity_fabric(),
+        };
         for f in [
             CollectiveModel::bcast_1ring,
             CollectiveModel::bcast_1ring_m,

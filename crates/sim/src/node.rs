@@ -204,7 +204,12 @@ mod tests {
             let p = RunParams::paper_multi_node(&node, nodes);
             assert_eq!(p.p * p.q, nodes * 8);
             let ratio = p.p as f64 / p.q as f64;
-            assert!((1.0..=2.0).contains(&ratio), "nodes={nodes}: {}x{}", p.p, p.q);
+            assert!(
+                (1.0..=2.0).contains(&ratio),
+                "nodes={nodes}: {}x{}",
+                p.p,
+                p.q
+            );
             assert_eq!(p.local_p * p.local_q, 8);
             if p.q >= 8 {
                 assert_eq!((p.local_p, p.local_q), (1, 8), "nodes={nodes}");

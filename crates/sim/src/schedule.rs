@@ -100,7 +100,11 @@ impl Simulator {
     /// Link used by process-column collectives (pivot search, row swap).
     fn col_coll(&self) -> CollectiveModel {
         let spans_nodes = self.params.p > self.params.local_p;
-        let mut link = if spans_nodes { self.node.nic } else { self.node.fabric };
+        let mut link = if spans_nodes {
+            self.node.nic
+        } else {
+            self.node.fabric
+        };
         if spans_nodes {
             // Latency grows mildly with machine size (Slingshot dragonfly
             // adds at most a couple of switch hops).
@@ -112,7 +116,11 @@ impl Simulator {
     /// Link used by process-row collectives (LBCAST).
     fn row_coll(&self) -> CollectiveModel {
         let spans_nodes = self.params.q > self.params.local_q;
-        let mut link = if spans_nodes { self.node.nic } else { self.node.fabric };
+        let mut link = if spans_nodes {
+            self.node.nic
+        } else {
+            self.node.fabric
+        };
         if spans_nodes {
             link.latency *= 1.0 + 0.05 * (self.params.nodes as f64).log2().max(0.0);
         }
@@ -169,12 +177,17 @@ impl Simulator {
             _ => 0.0,
         };
         let w_left_total = w - w2; // includes the look-ahead columns
-        let la = if self.params.lookahead { nb.min(w_left_total.max(w)) } else { 0.0 };
+        let la = if self.params.lookahead {
+            nb.min(w_left_total.max(w))
+        } else {
+            0.0
+        };
         let up_la = self.up_time(m, la);
         let (up_left, up_right) = match pipeline {
-            Pipeline::SplitUpdate => {
-                (self.up_time(m, (w_left_total - la).max(0.0)), self.up_time(m, w2))
-            }
+            Pipeline::SplitUpdate => (
+                self.up_time(m, (w_left_total - la).max(0.0)),
+                self.up_time(m, w2),
+            ),
             _ => (self.up_time(m, (w - la).max(0.0)), 0.0),
         };
         // FACT with time-shared threads.
@@ -192,7 +205,9 @@ impl Simulator {
         // LBCAST: modified one-ring of L2 + L1 + pivots, pipelined across
         // iterations so only the root's sends sit on the critical path.
         let lb_bytes = (mp * nb + nb * nb) * 8.0;
-        let lbcast = self.row_coll().bcast_ring_pipelined(self.params.q, lb_bytes);
+        let lbcast = self
+            .row_coll()
+            .bcast_ring_pipelined(self.params.q, lb_bytes);
         // Row-swap kernels: gather + scatter over all sections, plus the U
         // pack/unpack. Row access is strided by the leading dimension, so
         // each 8-byte element costs a 64-byte cache line on one side of
@@ -239,10 +254,7 @@ impl Simulator {
             (Pipeline::LookAhead, _) | (Pipeline::SplitUpdate, false) => {
                 // Fig 3: RS exposed, FACT/LBCAST hidden by the trailing
                 // update when it is long enough.
-                ph.rs1_comm
-                    + ph.rs_kernels
-                    + ph.up_la
-                    + (ph.up_left + ph.up_right).max(chain_cpu)
+                ph.rs1_comm + ph.rs_kernels + ph.up_la + (ph.up_left + ph.up_right).max(chain_cpu)
             }
             (Pipeline::SplitUpdate, true) => {
                 // Fig 6: RS1 hidden under UPDATE2 together with the CPU
@@ -266,20 +278,30 @@ impl Simulator {
 
     /// Simulates the full run.
     pub fn run(&self, pipeline: Pipeline) -> SimResult {
-        let iters: Vec<IterRecord> =
-            (0..self.params.iterations()).map(|it| self.iter_record(it, pipeline)).collect();
+        let iters: Vec<IterRecord> = (0..self.params.iterations())
+            .map(|it| self.iter_record(it, pipeline))
+            .collect();
         let mut total: f64 = iters.iter().map(|r| r.time).sum();
         // Backsolve epilogue: N^2 flops at memory-bound rates, plus one
         // collective pair per block row — small but not free.
         let n = self.params.n as f64;
         let solve = 2.0 * n * n * 8.0 / self.node.hbm.bandwidth / self.params.q as f64
             + self.params.iterations() as f64
-                * self.col_coll().allreduce(self.params.p, self.params.nb as f64 * 8.0);
+                * self
+                    .col_coll()
+                    .allreduce(self.params.p, self.params.nb as f64 * 8.0);
         total += solve;
-        let hidden: Vec<bool> = iters.iter().map(|r| r.time <= r.gpu_active * 1.02).collect();
+        let hidden: Vec<bool> = iters
+            .iter()
+            .map(|r| r.time <= r.gpu_active * 1.02)
+            .collect();
         let hidden_iters = hidden.iter().filter(|&&h| h).count();
-        let hidden_time: f64 =
-            iters.iter().zip(&hidden).filter(|(_, &h)| h).map(|(r, _)| r.time).sum();
+        let hidden_time: f64 = iters
+            .iter()
+            .zip(&hidden)
+            .filter(|(_, &h)| h)
+            .map(|(r, _)| r.time)
+            .sum();
         SimResult {
             tflops: self.params.flops() / total / 1e12,
             hidden_iter_fraction: hidden_iters as f64 / iters.len().max(1) as f64,
@@ -337,7 +359,12 @@ mod tests {
         let with = s.run(Pipeline::SplitUpdate);
         let without = s.run(Pipeline::LookAhead);
         let serial = s.run(Pipeline::NoOverlap);
-        assert!(with.tflops > without.tflops, "{} vs {}", with.tflops, without.tflops);
+        assert!(
+            with.tflops > without.tflops,
+            "{} vs {}",
+            with.tflops,
+            without.tflops
+        );
         assert!(without.tflops > serial.tflops);
         // Paper: all MPI hidden for ~75% of execution time with the split.
         assert!(

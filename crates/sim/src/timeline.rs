@@ -30,22 +30,62 @@ fn lookahead_spans(ph: &Phases) -> Vec<Span> {
     // Fig 3: RS (exposed), then UPDATE_LA; CPU chain under UPDATE_REST.
     let mut v = Vec::new();
     let mut t = 0.0;
-    v.push(Span { row: "MPI", label: "RS", start: t, len: ph.rs1_comm });
+    v.push(Span {
+        row: "MPI",
+        label: "RS",
+        start: t,
+        len: ph.rs1_comm,
+    });
     t += ph.rs1_comm;
-    v.push(Span { row: "GPU", label: "RS kernels", start: t, len: ph.rs_kernels });
+    v.push(Span {
+        row: "GPU",
+        label: "RS kernels",
+        start: t,
+        len: ph.rs_kernels,
+    });
     t += ph.rs_kernels;
-    v.push(Span { row: "GPU", label: "UPDATE_LA", start: t, len: ph.up_la });
+    v.push(Span {
+        row: "GPU",
+        label: "UPDATE_LA",
+        start: t,
+        len: ph.up_la,
+    });
     t += ph.up_la;
     let rest = ph.up_left + ph.up_right;
-    v.push(Span { row: "GPU", label: "UPDATE", start: t, len: rest });
+    v.push(Span {
+        row: "GPU",
+        label: "UPDATE",
+        start: t,
+        len: rest,
+    });
     let mut c = t;
-    v.push(Span { row: "XFER", label: "D2H", start: c, len: ph.transfer / 2.0 });
+    v.push(Span {
+        row: "XFER",
+        label: "D2H",
+        start: c,
+        len: ph.transfer / 2.0,
+    });
     c += ph.transfer / 2.0;
-    v.push(Span { row: "CPU", label: "FACT", start: c, len: ph.fact_cpu + ph.fact_comm });
+    v.push(Span {
+        row: "CPU",
+        label: "FACT",
+        start: c,
+        len: ph.fact_cpu + ph.fact_comm,
+    });
     c += ph.fact_cpu + ph.fact_comm;
-    v.push(Span { row: "XFER", label: "H2D", start: c, len: ph.transfer / 2.0 });
+    v.push(Span {
+        row: "XFER",
+        label: "H2D",
+        start: c,
+        len: ph.transfer / 2.0,
+    });
     c += ph.transfer / 2.0;
-    v.push(Span { row: "MPI", label: "LBCAST", start: c, len: ph.lbcast });
+    v.push(Span {
+        row: "MPI",
+        label: "LBCAST",
+        start: c,
+        len: ph.lbcast,
+    });
     v
 }
 
@@ -54,24 +94,74 @@ fn split_spans(ph: &Phases) -> Vec<Span> {
     // then UPDATE1 over RS2'.
     let mut v = Vec::new();
     let mut t = 0.0;
-    v.push(Span { row: "GPU", label: "RS kernels", start: t, len: ph.rs_kernels });
+    v.push(Span {
+        row: "GPU",
+        label: "RS kernels",
+        start: t,
+        len: ph.rs_kernels,
+    });
     t += ph.rs_kernels;
-    v.push(Span { row: "GPU", label: "UPDATE_LA", start: t, len: ph.up_la });
+    v.push(Span {
+        row: "GPU",
+        label: "UPDATE_LA",
+        start: t,
+        len: ph.up_la,
+    });
     t += ph.up_la;
-    v.push(Span { row: "GPU", label: "UPDATE2", start: t, len: ph.up_right });
+    v.push(Span {
+        row: "GPU",
+        label: "UPDATE2",
+        start: t,
+        len: ph.up_right,
+    });
     let mut c = t;
-    v.push(Span { row: "XFER", label: "D2H", start: c, len: ph.transfer / 2.0 });
+    v.push(Span {
+        row: "XFER",
+        label: "D2H",
+        start: c,
+        len: ph.transfer / 2.0,
+    });
     c += ph.transfer / 2.0;
-    v.push(Span { row: "CPU", label: "FACT", start: c, len: ph.fact_cpu + ph.fact_comm });
+    v.push(Span {
+        row: "CPU",
+        label: "FACT",
+        start: c,
+        len: ph.fact_cpu + ph.fact_comm,
+    });
     c += ph.fact_cpu + ph.fact_comm;
-    v.push(Span { row: "XFER", label: "H2D", start: c, len: ph.transfer / 2.0 });
+    v.push(Span {
+        row: "XFER",
+        label: "H2D",
+        start: c,
+        len: ph.transfer / 2.0,
+    });
     c += ph.transfer / 2.0;
-    v.push(Span { row: "MPI", label: "LBCAST", start: c, len: ph.lbcast });
+    v.push(Span {
+        row: "MPI",
+        label: "LBCAST",
+        start: c,
+        len: ph.lbcast,
+    });
     c += ph.lbcast;
-    v.push(Span { row: "MPI", label: "RS1", start: c, len: ph.rs1_comm });
+    v.push(Span {
+        row: "MPI",
+        label: "RS1",
+        start: c,
+        len: ph.rs1_comm,
+    });
     let t2 = t + ph.up_right.max(c + ph.rs1_comm - t);
-    v.push(Span { row: "GPU", label: "UPDATE1", start: t2, len: ph.up_left });
-    v.push(Span { row: "MPI", label: "RS2'", start: t2, len: ph.rs2_comm });
+    v.push(Span {
+        row: "GPU",
+        label: "UPDATE1",
+        start: t2,
+        len: ph.up_left,
+    });
+    v.push(Span {
+        row: "MPI",
+        label: "RS2'",
+        start: t2,
+        len: ph.rs2_comm,
+    });
     v
 }
 

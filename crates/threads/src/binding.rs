@@ -31,7 +31,10 @@ impl core::fmt::Display for BindError {
         match self {
             BindError::EmptyGrid => write!(f, "process grid must be non-empty"),
             BindError::TooFewCores { ranks, cores } => {
-                write!(f, "{ranks} ranks need {ranks} root cores but only {cores} available")
+                write!(
+                    f,
+                    "{ranks} ranks need {ranks} root cores but only {cores} available"
+                )
             }
         }
     }
@@ -71,7 +74,11 @@ impl CoreBinding {
 /// its GCD). The remaining cores are partitioned into `p` groups assigned to
 /// process rows; when `C̄` is not divisible by `p` the first rows get one
 /// extra core.
-pub fn time_shared_bindings(p: usize, q: usize, cores: usize) -> Result<Vec<CoreBinding>, BindError> {
+pub fn time_shared_bindings(
+    p: usize,
+    q: usize,
+    cores: usize,
+) -> Result<Vec<CoreBinding>, BindError> {
     if p == 0 || q == 0 {
         return Err(BindError::EmptyGrid);
     }
@@ -166,8 +173,11 @@ mod tests {
             let first = b.iter().find(|y| y.row == x.row).unwrap();
             assert_eq!(x.extra_cores, first.extra_cores);
         }
-        let total_assigned: usize =
-            p * q + b.iter().filter(|x| x.col == 0).map(|x| x.extra_cores.len()).sum::<usize>();
+        let total_assigned: usize = p * q
+            + b.iter()
+                .filter(|x| x.col == 0)
+                .map(|x| x.extra_cores.len())
+                .sum::<usize>();
         assert_eq!(total_assigned, cores, "{p}x{q}: all cores must be covered");
         b
     }

@@ -76,7 +76,14 @@ mod imp {
                 panic!("{msg}");
             }
         }
-        claims.push(Claim { obj, r0, r1, excl, thread: me, site });
+        claims.push(Claim {
+            obj,
+            r0,
+            r1,
+            excl,
+            thread: me,
+            site,
+        });
     }
 
     pub fn release_current_thread() {

@@ -10,7 +10,6 @@
 //! the paper's Parallel-Cache-Assignment factorization depends on each panel
 //! tile staying resident in one core's cache.
 
-
 // Lint policy: indexed loops are used deliberately where they mirror the
 // reference BLAS/HPL loop structure, and several kernels take the full
 // argument list their BLAS counterparts do.

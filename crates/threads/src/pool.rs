@@ -28,7 +28,11 @@ struct SpinBarrier {
 
 impl SpinBarrier {
     fn new(participants: usize) -> Self {
-        Self { count: AtomicUsize::new(0), sense: AtomicBool::new(false), participants }
+        Self {
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            participants,
+        }
     }
 
     /// Blocks until all participants arrive. `local_sense` must be per-thread
@@ -204,7 +208,11 @@ impl Pool {
                     .expect("spawn pool worker"),
             );
         }
-        Self { senders, handles, size }
+        Self {
+            senders,
+            handles,
+            size,
+        }
     }
 
     /// Maximum region width.
@@ -227,14 +235,20 @@ impl Pool {
                 slots: (0..1).map(|_| CachePadded::new(Slot::default())).collect(),
                 nthreads: 1,
             };
-            let ctx = Ctx { tid: 0, region: &region, local_sense: core::cell::Cell::new(false) };
+            let ctx = Ctx {
+                tid: 0,
+                region: &region,
+                local_sense: core::cell::Cell::new(false),
+            };
             f(&ctx);
             crate::ledger::release_current_thread();
             return;
         }
         let region = Arc::new(Region {
             barrier: SpinBarrier::new(nthreads),
-            slots: (0..nthreads).map(|_| CachePadded::new(Slot::default())).collect(),
+            slots: (0..nthreads)
+                .map(|_| CachePadded::new(Slot::default()))
+                .collect(),
             nthreads,
         });
         /// # Safety
@@ -246,7 +260,10 @@ impl Pool {
             let f = unsafe { &*(data as *const F) };
             f(ctx);
         }
-        let job = Job { data: &f as *const F as *const (), call: trampoline::<F> };
+        let job = Job {
+            data: &f as *const F as *const (),
+            call: trampoline::<F>,
+        };
         let (done_tx, done_rx) = bounded(nthreads - 1);
         for tid in 1..nthreads {
             self.senders[tid - 1]
@@ -263,7 +280,11 @@ impl Pool {
         // region closure), `recv` below reports it instead of hanging.
         drop(done_tx);
         // Participate as thread 0.
-        let ctx = Ctx { tid: 0, region: &region, local_sense: core::cell::Cell::new(false) };
+        let ctx = Ctx {
+            tid: 0,
+            region: &region,
+            local_sense: core::cell::Cell::new(false),
+        };
         f(&ctx);
         crate::ledger::release_current_thread();
         // Wait for all workers before returning: this keeps the borrow of

@@ -13,7 +13,10 @@ use hpl_threads::{ledger, round_robin_tiles, Pool};
 
 #[test]
 fn ledger_is_active_for_these_tests() {
-    assert!(ledger::enabled(), "stress tests must run with the ledger on");
+    assert!(
+        ledger::enabled(),
+        "stress tests must run with the ledger on"
+    );
 }
 
 /// Many small regions on one pool, each claiming its round-robin tiles
@@ -40,8 +43,16 @@ fn repeated_small_regions_with_randomized_tiles() {
             // Second phase: everyone reads the whole object.
             ledger::claim_shared(obj, 0, rows);
         });
-        assert_eq!(covered.load(Ordering::Relaxed), rows, "tiles must cover all rows");
-        assert_eq!(ledger::live_claims(), 0, "region end must release all claims");
+        assert_eq!(
+            covered.load(Ordering::Relaxed),
+            rows,
+            "tiles must cover all rows"
+        );
+        assert_eq!(
+            ledger::live_claims(),
+            0,
+            "region end must release all claims"
+        );
     }
 }
 

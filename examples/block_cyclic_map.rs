@@ -15,7 +15,9 @@ fn main() {
     let nb = 4usize; // rendering granularity: one cell per block
     let n = blocks * nb;
 
-    println!("2D block-cyclic distribution (paper Fig 1): {blocks}x{blocks} blocks on {p}x{q} grid");
+    println!(
+        "2D block-cyclic distribution (paper Fig 1): {blocks}x{blocks} blocks on {p}x{q} grid"
+    );
     println!("cell = one NB x NB block, labelled with its owner rank (column-major)\n");
     for bi in 0..blocks {
         let mut line = String::new();

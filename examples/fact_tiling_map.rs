@@ -20,7 +20,13 @@ fn main() {
     for tid in 0..threads {
         let tiles = round_robin_tiles(m, nb, threads, tid);
         let cells: Vec<String> = (0..mtiles)
-            .map(|t| if tiles.contains(&t) { format!("[T{tid}]") } else { "    ".into() })
+            .map(|t| {
+                if tiles.contains(&t) {
+                    format!("[T{tid}]")
+                } else {
+                    "    ".into()
+                }
+            })
             .collect();
         println!("  thread {tid}: {}", cells.join(" "));
     }

@@ -22,12 +22,21 @@ fn main() {
     println!("run time:         {:.1} s", r.total_time);
     println!(
         "regime boundary:  iteration {} of {}   (paper: ~250)",
-        r.iters.iter().position(|x| x.time > x.gpu_active * 1.02).unwrap_or(r.iters.len()),
+        r.iters
+            .iter()
+            .position(|x| x.time > x.gpu_active * 1.02)
+            .unwrap_or(r.iters.len()),
         r.iters.len()
     );
-    println!("hidden MPI time:  {:.0}%   (paper: ~75%)\n", r.hidden_time_fraction * 100.0);
+    println!(
+        "hidden MPI time:  {:.0}%   (paper: ~75%)\n",
+        r.hidden_time_fraction * 100.0
+    );
     println!("iteration 50 timeline (cf. paper Fig 6):");
-    print!("{}", render(&iteration_spans(&sim, 50, Pipeline::SplitUpdate), 90));
+    print!(
+        "{}",
+        render(&iteration_spans(&sim, 50, Pipeline::SplitUpdate), 90)
+    );
     println!("\niteration 400 (latency-bound tail, cf. Fig 7's right side):");
     let tail = &r.iters[400];
     println!(
@@ -44,8 +53,13 @@ fn main() {
     cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
     cfg.fact.threads = 2;
     println!("\n== Same pipeline executed for real (N=768, NB=32, 4x2 on threads) ==");
-    let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, &cfg).expect("nonsingular"));
-    println!("wall {:.3} s -> {:.2} GFLOPS over 8 rank-threads", results[0].wall, results[0].gflops);
+    let results = Universe::run(cfg.ranks(), |comm| {
+        run_hpl(comm, &cfg).expect("nonsingular")
+    });
+    println!(
+        "wall {:.3} s -> {:.2} GFLOPS over 8 rank-threads",
+        results[0].wall, results[0].gflops
+    );
     let owners: Vec<&rhpl_core::IterTiming> = (0..cfg.iterations())
         .map(|it| {
             results
@@ -56,6 +70,14 @@ fn main() {
         })
         .collect();
     let head: f64 = owners[..5].iter().map(|t| t.total).sum::<f64>() / 5.0;
-    let tail: f64 = owners[owners.len() - 5..].iter().map(|t| t.total).sum::<f64>() / 5.0;
-    println!("avg iteration: {:.3} ms early vs {:.3} ms late (work shrinks)", head * 1e3, tail * 1e3);
+    let tail: f64 = owners[owners.len() - 5..]
+        .iter()
+        .map(|t| t.total)
+        .sum::<f64>()
+        / 5.0;
+    println!(
+        "avg iteration: {:.3} ms early vs {:.3} ms late (work shrinks)",
+        head * 1e3,
+        tail * 1e3
+    );
 }

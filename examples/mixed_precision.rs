@@ -48,7 +48,11 @@ fn main() {
         "FP32 LU alone:      {:.3} s, scaled residual {:.4} ({})",
         t_factor32,
         scaled_residual(&op, &b, &x32),
-        if scaled_residual(&op, &b, &x32) < 16.0 { "passes — refine anyway" } else { "FAILS HPL" }
+        if scaled_residual(&op, &b, &x32) < 16.0 {
+            "passes — refine anyway"
+        } else {
+            "FAILS HPL"
+        }
     );
 
     // ... plus classic iterative refinement ...
@@ -65,7 +69,15 @@ fn main() {
 
     // ... or GMRES (the HPL-MxP reference scheme).
     let t0 = Instant::now();
-    let g = solve_gmres(&op, &lu, &b, GmresParams { restart: 30, ..Default::default() });
+    let g = solve_gmres(
+        &op,
+        &lu,
+        &b,
+        GmresParams {
+            restart: 30,
+            ..Default::default()
+        },
+    );
     let t_g = t0.elapsed().as_secs_f64();
     println!(
         "  + GMRES:          {:.3} s, residual {:.4} ({})",

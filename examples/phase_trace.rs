@@ -17,7 +17,10 @@ use rhpl_core::{HplConfig, LocalMatrix};
 
 fn main() {
     let cfg = HplConfig::new(64, 16, 2, 2);
-    println!("one HPL iteration on a 2x2 grid, N={}, NB={} (paper Fig 2)\n", cfg.n, cfg.nb);
+    println!(
+        "one HPL iteration on a 2x2 grid, N={}, NB={} (paper Fig 2)\n",
+        cfg.n, cfg.nb
+    );
     let logs = Universe::run(cfg.ranks(), |comm| {
         let grid = Grid::new(comm, cfg.p, cfg.q, GridOrder::ColumnMajor);
         let mut a = LocalMatrix::generate(cfg.n, cfg.nb, &grid, cfg.seed);
@@ -54,13 +57,22 @@ fn main() {
         let after = snap(grid.col());
         log.push(format!(
             "FACT   rank {me:?}: {} ({} column-collective messages sent)",
-            if g.in_panel_col { "factored local panel rows" } else { "idle (not in panel column)" },
+            if g.in_panel_col {
+                "factored local panel rows"
+            } else {
+                "idle (not in panel column)"
+            },
             after.0 - before.0
         ));
 
         // Phase b: LBCAST — panel column broadcasts along process rows.
         let before = snap(grid.row());
-        let panel = lbcast(grid.row(), cfg.bcast, &g, packed.as_ref().map(|(b, _)| b.clone()));
+        let panel = lbcast(
+            grid.row(),
+            cfg.bcast,
+            &g,
+            packed.as_ref().map(|(b, _)| b.clone()),
+        );
         let after = snap(grid.row());
         log.push(format!(
             "LBCAST rank {me:?}: {} row messages sent, ipiv = {:?}",
@@ -70,7 +82,10 @@ fn main() {
 
         // Phase c: RS — scatterv + allgatherv within each process column.
         let plan = SwapPlan::build(0, cfg.nb, &panel.ipiv);
-        let range = ColRange { start: a.cols.local_lower_bound(cfg.nb), end: a.nloc };
+        let range = ColRange {
+            start: a.cols.local_lower_bound(cfg.nb),
+            end: a.nloc,
+        };
         let before = snap(grid.col());
         let rows: Axis = a.rows;
         let mut av = a.view_mut();

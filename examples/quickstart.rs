@@ -22,13 +22,21 @@ fn main() {
     cfg.fact.threads = 2; // SIII.A multi-threaded FACT
 
     println!("rhpl quickstart: N={n}, NB={nb}, grid {p}x{q}, split update 50%,");
-    println!("recursive right-looking FACT ({} threads/rank)\n", cfg.fact.threads);
+    println!(
+        "recursive right-looking FACT ({} threads/rank)\n",
+        cfg.fact.threads
+    );
 
     // One OS thread per rank, exactly like `mpirun -np 4`.
-    let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, &cfg).expect("nonsingular"));
+    let results = Universe::run(cfg.ranks(), |comm| {
+        run_hpl(comm, &cfg).expect("nonsingular")
+    });
 
     let wall = results[0].wall;
-    println!("solved in {:.3} s  ->  {:.2} GFLOPS", wall, results[0].gflops);
+    println!(
+        "solved in {:.3} s  ->  {:.2} GFLOPS",
+        wall, results[0].gflops
+    );
 
     // HPL's acceptance test: scaled residual below 16.
     let x = results[0].x.clone();
@@ -43,6 +51,9 @@ fn main() {
         r.scaled,
         rhpl_core::Residuals::THRESHOLD
     );
-    println!("verification: {}", if r.passed() { "PASSED" } else { "FAILED" });
+    println!(
+        "verification: {}",
+        if r.passed() { "PASSED" } else { "FAILED" }
+    );
     assert!(r.passed());
 }

@@ -57,10 +57,14 @@ fn main() {
     cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
     cfg.fact.threads = 2;
 
-    let results =
-        Universe::run(cfg.ranks(), |comm| run_hpl_with(comm, &cfg, &fill).expect("nonsingular"));
+    let results = Universe::run(cfg.ranks(), |comm| {
+        run_hpl_with(comm, &cfg, &fill).expect("nonsingular")
+    });
     let weights = results[0].x.clone();
-    println!("solved in {:.3} s ({:.2} GFLOPS)", results[0].wall, results[0].gflops);
+    println!(
+        "solved in {:.3} s ({:.2} GFLOPS)",
+        results[0].wall, results[0].gflops
+    );
 
     // HPL-style residual on the custom system.
     let w = weights.clone();
@@ -68,7 +72,11 @@ fn main() {
         let grid = Grid::new(comm, p, q, GridOrder::ColumnMajor);
         verify_with(&grid, n, nb, &fill, &w)
     })[0];
-    println!("scaled residual {:.4} -> {}", res.scaled, if res.passed() { "PASSED" } else { "FAILED" });
+    println!(
+        "scaled residual {:.4} -> {}",
+        res.scaled,
+        if res.passed() { "PASSED" } else { "FAILED" }
+    );
     assert!(res.passed());
 
     // Evaluate the interpolant at the nodes and at off-node probes.
@@ -94,6 +102,9 @@ fn main() {
     println!("max error at nodes:    {node_err:.3e}");
     println!("max error off nodes:   {probe_err:.3e} (interior probes)");
     assert!(node_err < 1e-5, "interpolation must reproduce node values");
-    assert!(probe_err < 1e-2, "interpolant must track the target between nodes");
+    assert!(
+        probe_err < 1e-2,
+        "interpolant must track the target between nodes"
+    );
     println!("\ninterpolation quality OK");
 }

@@ -52,7 +52,11 @@ fn main() {
     println!("  -> best algorithm = {}\n", best_algo.0.name());
 
     // 3. Split fraction (the SIII.C tunable).
-    println!("split-fraction sweep (NB={}, {}):", best_nb.0, best_algo.0.name());
+    println!(
+        "split-fraction sweep (NB={}, {}):",
+        best_nb.0,
+        best_algo.0.name()
+    );
     let mut best_frac = (0.0f64, 0.0f64);
     for frac in [0.0, 0.25, 0.5, 0.75] {
         let nb = best_nb.0;

@@ -1,14 +1,35 @@
 #!/usr/bin/env bash
-# Full local CI gate: static safety analysis, release build, test suite.
-# Mirrors what a hosted CI job would run; everything is offline.
+# Full local CI gate. Mirrors .github/workflows/ci.yml exactly — same
+# commands, same order, one section per hosted job — so a green local run
+# predicts a green hosted run. Everything is offline (all deps are vendored
+# shims).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
 
-echo "== cargo xtask check"
+echo "== [check] cargo xtask check"
 cargo xtask check
 
-echo "== cargo build --release"
+echo "== [lint] cargo fmt --check"
+cargo fmt --check
+
+echo "== [lint] cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== [test] cargo build --release"
 cargo build --release
 
-echo "== cargo test -q"
+echo "== [test] cargo test -q"
 cargo test -q
+
+echo "== [race-check] threaded FACT with the aliasing ledger armed"
+cargo test -q --release -p hpl-threads --features hpl-threads/race-check
+cargo test -q --release -p rhpl-core --features hpl-threads/race-check
+
+echo "== [bench] cargo xtask bench"
+cargo xtask bench
+
+echo "== [bench] cargo xtask bench --self-test"
+cargo xtask bench --self-test
+
+echo "ci.sh: all gates green"

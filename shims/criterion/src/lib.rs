@@ -28,12 +28,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` id.
     pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
-        Self { id: format!("{function_name}/{parameter}") }
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// Id from the parameter alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -102,7 +106,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark without an input value.
-    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let per_iter = self.run(&mut f);
         self.report(&id.to_string(), per_iter);
         self
@@ -110,19 +118,28 @@ impl BenchmarkGroup<'_> {
 
     fn run(&self, mut f: impl FnMut(&mut Bencher)) -> f64 {
         // Calibrate: one iteration to estimate cost.
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let est = b.elapsed.max(Duration::from_nanos(1));
         // Warm-up.
         let warm_iters = (self.warm_up_time.as_secs_f64() / est.as_secs_f64()).ceil() as u64;
-        let mut b = Bencher { iters: warm_iters.clamp(1, 1_000_000), elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: warm_iters.clamp(1, 1_000_000),
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         // Timed phase: enough iterations to fill measurement_time, floored
         // at sample_size.
         let per = (b.elapsed.as_secs_f64() / b.iters as f64).max(1e-9);
         let iters = (self.measurement_time.as_secs_f64() / per).ceil() as u64;
         let iters = iters.clamp(self.sample_size as u64, 100_000_000);
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         b.elapsed.as_secs_f64() / b.iters as f64
     }

@@ -42,11 +42,15 @@ impl<T: Default> Default for Mutex<T> {
 
 impl<'a, T: ?Sized> MutexGuard<'a, T> {
     fn inner(&self) -> &sync::MutexGuard<'a, T> {
-        self.0.as_ref().expect("guard present outside Condvar::wait")
+        self.0
+            .as_ref()
+            .expect("guard present outside Condvar::wait")
     }
 
     fn inner_mut(&mut self) -> &mut sync::MutexGuard<'a, T> {
-        self.0.as_mut().expect("guard present outside Condvar::wait")
+        self.0
+            .as_mut()
+            .expect("guard present outside Condvar::wait")
     }
 }
 

@@ -20,14 +20,20 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 64, max_shrink_iters: 0 }
+        Self {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
     }
 }
 
 impl ProptestConfig {
     /// Configuration running `cases` random cases.
     pub fn with_cases(cases: u32) -> Self {
-        Self { cases, ..Self::default() }
+        Self {
+            cases,
+            ..Self::default()
+        }
     }
 }
 
@@ -114,7 +120,10 @@ pub mod strategy {
     impl<T> Strategy for OneOf<T> {
         type Value = T;
         fn generate(&self, rng: &mut StdRng) -> T {
-            assert!(!self.0.is_empty(), "prop_oneof! needs at least one strategy");
+            assert!(
+                !self.0.is_empty(),
+                "prop_oneof! needs at least one strategy"
+            );
             let i = rng.gen_range(0..self.0.len());
             self.0[i].generate(rng)
         }

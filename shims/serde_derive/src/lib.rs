@@ -17,7 +17,9 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match generate(input) {
         Ok(code) => code.parse().expect("derive shim emitted invalid Rust"),
-        Err(msg) => format!("compile_error!({msg:?});").parse().expect("literal error"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("literal error"),
     }
 }
 
@@ -43,12 +45,20 @@ fn generate(input: TokenStream) -> Result<String, String> {
 
     let kind = match tokens.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
-        other => return Err(format!("serde shim derive: expected struct/enum, got {other:?}")),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected struct/enum, got {other:?}"
+            ))
+        }
     };
     i += 1;
     let name = match tokens.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
-        other => return Err(format!("serde shim derive: expected type name, got {other:?}")),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected type name, got {other:?}"
+            ))
+        }
     };
     i += 1;
 
@@ -60,7 +70,11 @@ fn generate(input: TokenStream) -> Result<String, String> {
 
     let body = match tokens.get(i) {
         Some(TokenTree::Group(g)) => g,
-        other => return Err(format!("serde shim derive: expected a body for {name}, got {other:?}")),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected a body for {name}, got {other:?}"
+            ))
+        }
     };
 
     match (kind.as_str(), body.delimiter()) {
@@ -110,7 +124,9 @@ fn generate(input: TokenStream) -> Result<String, String> {
             code.push('}');
             Ok(impl_block(&name, code))
         }
-        _ => Err(format!("serde shim derive: unsupported item shape for {name}")),
+        _ => Err(format!(
+            "serde shim derive: unsupported item shape for {name}"
+        )),
     }
 }
 
@@ -169,7 +185,11 @@ fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
                     i += 1;
                 }
             }
-            other => return Err(format!("serde shim derive: unexpected field token {other:?}")),
+            other => {
+                return Err(format!(
+                    "serde shim derive: unexpected field token {other:?}"
+                ))
+            }
         }
     }
     Ok(fields)
@@ -223,7 +243,11 @@ fn fieldless_variants(name: &str, stream: TokenStream) -> Result<Vec<String>, St
                     }
                 }
             }
-            other => return Err(format!("serde shim derive: unexpected enum token {other:?}")),
+            other => {
+                return Err(format!(
+                    "serde shim derive: unexpected enum token {other:?}"
+                ))
+            }
         }
     }
     Ok(variants)

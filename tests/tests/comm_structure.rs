@@ -67,8 +67,14 @@ fn long_bcast_trades_messages_for_volume() {
         "long message granularity {long_avg} vs ring {ring_avg}"
     );
     // Ring idles its tail rank; long has every rank forwarding.
-    assert!(ring.iter().any(|s| s.0 == 0), "ring tail rank sends nothing");
-    assert!(long.iter().all(|s| s.0 > 0), "long: every rank forwards chunks");
+    assert!(
+        ring.iter().any(|s| s.0 == 0),
+        "ring tail rank sends nothing"
+    );
+    assert!(
+        long.iter().all(|s| s.0 > 0),
+        "long: every rank forwards chunks"
+    );
 }
 
 /// A full benchmark run leaves every fabric quiescent (all collectives are
@@ -98,12 +104,16 @@ fn pivot_collectives_scale_with_panel_width() {
     let count_for = |jb: usize| -> u64 {
         let per_rank = Universe::run(2, |comm| {
             let n = 128usize;
-            let rows = Axis { n, nb: jb, iproc: comm.rank(), nprocs: 2 };
+            let rows = Axis {
+                n,
+                nb: jb,
+                iproc: comm.rank(),
+                nprocs: 2,
+            };
             let mloc = rows.local_len();
             let pool = hpl_threads::Pool::new(1);
             let gen = rhpl_core::MatGen::new(5, n);
-            let mut panel =
-                Matrix::from_fn(mloc, jb, |i, j| gen.entry(rows.to_global(i), j));
+            let mut panel = Matrix::from_fn(mloc, jb, |i, j| gen.entry(rows.to_global(i), j));
             let inp = FactInput {
                 col_comm: &comm,
                 rows,

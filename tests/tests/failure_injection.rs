@@ -15,7 +15,12 @@ use rhpl_core::{FactOpts, HplConfig};
 fn singular_panel_detected_consistently_across_ranks() {
     let (p, nb, n) = (3usize, 8usize, 48usize);
     let errs = Universe::run(p, |comm| {
-        let rows = Axis { n, nb, iproc: comm.rank(), nprocs: p };
+        let rows = Axis {
+            n,
+            nb,
+            iproc: comm.rank(),
+            nprocs: p,
+        };
         let mloc = rows.local_len();
         let pool = Pool::new(1);
         // Column 5 of the panel is zero on every rank.
@@ -51,16 +56,15 @@ fn singular_panel_with_threads() {
     let errs = Universe::run(2, |comm| {
         let nb = 16usize;
         let n = 64usize;
-        let rows = Axis { n, nb, iproc: comm.rank(), nprocs: 2 };
+        let rows = Axis {
+            n,
+            nb,
+            iproc: comm.rank(),
+            nprocs: 2,
+        };
         let mloc = rows.local_len();
         let pool = Pool::new(4);
-        let mut panel = Matrix::from_fn(mloc, nb, |i, j| {
-            if j == 0 {
-                0.0
-            } else {
-                (i + j) as f64
-            }
-        });
+        let mut panel = Matrix::from_fn(mloc, nb, |i, j| if j == 0 { 0.0 } else { (i + j) as f64 });
         let inp = FactInput {
             col_comm: &comm,
             rows,
@@ -69,7 +73,10 @@ fn singular_panel_with_threads() {
             lb: 0,
             is_curr: comm.rank() == 0,
             pool: &pool,
-            opts: FactOpts { threads: 4, ..FactOpts::default() },
+            opts: FactOpts {
+                threads: 4,
+                ..FactOpts::default()
+            },
         };
         let mut v = panel.view_mut();
         panel_factor(&inp, &mut v).unwrap_err()

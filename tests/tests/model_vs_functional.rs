@@ -30,10 +30,17 @@ fn fact_thread_counts_agree_between_crates() {
 fn functional_iteration_times_decay_like_model() {
     let mut cfg = HplConfig::new(512, 32, 2, 2);
     cfg.schedule = rhpl_core::Schedule::SplitUpdate { frac: 0.5 };
-    let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, &cfg).expect("nonsingular"));
+    let results = Universe::run(cfg.ranks(), |comm| {
+        run_hpl(comm, &cfg).expect("nonsingular")
+    });
     let iters = cfg.iterations();
     let owner_time = |it: usize| -> f64 {
-        results.iter().map(|r| r.timings[it]).find(|t| t.diag_owner).unwrap().total
+        results
+            .iter()
+            .map(|r| r.timings[it])
+            .find(|t| t.diag_owner)
+            .unwrap()
+            .total
     };
     let head: f64 = (0..4).map(owner_time).sum();
     let tail: f64 = (iters - 4..iters).map(owner_time).sum();
@@ -62,7 +69,11 @@ fn iteration_counts_agree() {
 fn calibration_regression_guard() {
     let sim = Simulator::new(NodeModel::frontier(), RunParams::paper_single_node());
     let split = sim.run(Pipeline::SplitUpdate);
-    assert!((145.0..165.0).contains(&split.tflops), "single node {:.1} TF", split.tflops);
+    assert!(
+        (145.0..165.0).contains(&split.tflops),
+        "single node {:.1} TF",
+        split.tflops
+    );
     let la = sim.run(Pipeline::LookAhead);
     let serial = sim.run(Pipeline::NoOverlap);
     assert!(split.tflops > la.tflops && la.tflops > serial.tflops);

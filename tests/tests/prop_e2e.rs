@@ -12,13 +12,15 @@ fn schedule_strategy() -> impl Strategy<Value = Schedule> {
     prop_oneof![
         Just(Schedule::Simple),
         Just(Schedule::LookAhead),
-        (1u32..=9).prop_map(|f| Schedule::SplitUpdate { frac: f as f64 / 10.0 }),
+        (1u32..=9).prop_map(|f| Schedule::SplitUpdate {
+            frac: f as f64 / 10.0
+        }),
     ]
 }
 
 proptest! {
     // Each case is a full distributed solve; keep the count moderate.
-    #![proptest_config(ProptestConfig { cases: 24, max_shrink_iters: 8, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24, max_shrink_iters: 8 })]
 
     #[test]
     fn random_configurations_solve(

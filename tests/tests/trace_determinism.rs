@@ -1,0 +1,117 @@
+//! Phase-trace guarantees the bench gate relies on (DESIGN.md §8):
+//!
+//! 1. **Determinism** — the same seed and config produce the identical span
+//!    *sequence* (iteration, phase, bytes, hidden flag) on every run; only
+//!    durations vary. This is what lets `cargo xtask bench` pin exact
+//!    `seq_hash` values in `bench/baseline.json`.
+//! 2. **Near-zero disabled cost** — with tracing off, a run carries no
+//!    trace and the compiled-in guards cost well under 1% of wall time.
+
+use hpl_comm::Universe;
+use rhpl_core::config::Schedule;
+use rhpl_core::{run_hpl, HplConfig};
+
+/// One traced run; returns each rank's trace (rank-indexed).
+fn traced_run(cfg: &HplConfig) -> Vec<hpl_trace::Trace> {
+    let mut cfg = cfg.clone();
+    cfg.trace = hpl_trace::TraceOpts::on();
+    Universe::run(cfg.ranks(), |comm| {
+        let r = run_hpl(comm, &cfg).expect("nonsingular");
+        r.trace.expect("tracing was enabled")
+    })
+}
+
+#[test]
+fn same_seed_and_config_give_identical_phase_sequence() {
+    let mut cfg = HplConfig::new(160, 32, 2, 2);
+    cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
+    cfg.fact.threads = 2;
+    cfg.seed = 77;
+
+    let a = traced_run(&cfg);
+    let b = traced_run(&cfg);
+
+    // Exact structural equality, span by span: iteration, phase, bytes and
+    // hidden flag all match. (Durations are wall-clock and excluded.)
+    assert_eq!(a.len(), b.len());
+    for (rank, (ta, tb)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(ta.dropped, 0, "rank {rank}: ring buffer overflowed");
+        assert_eq!(
+            ta.spans.len(),
+            tb.spans.len(),
+            "rank {rank}: span count differs between runs"
+        );
+        for (sa, sb) in ta.spans.iter().zip(&tb.spans) {
+            assert_eq!(
+                (sa.iter, sa.phase, sa.bytes, sa.hidden),
+                (sb.iter, sb.phase, sb.bytes, sb.hidden),
+                "rank {rank}: span sequence diverged"
+            );
+        }
+    }
+
+    // The rollup the bench gate actually pins.
+    assert_eq!(
+        hpl_trace::report::seq_hash(&a),
+        hpl_trace::report::seq_hash(&b)
+    );
+}
+
+#[test]
+fn different_schedule_changes_the_sequence() {
+    let mut cfg = HplConfig::new(160, 32, 2, 2);
+    cfg.seed = 77;
+    cfg.schedule = Schedule::Simple;
+    let simple = traced_run(&cfg);
+    cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
+    let split = traced_run(&cfg);
+    assert_ne!(
+        hpl_trace::report::seq_hash(&simple),
+        hpl_trace::report::seq_hash(&split),
+        "seq_hash must distinguish schedules, not just validate lengths"
+    );
+}
+
+#[test]
+fn disabled_tracing_carries_no_trace_and_costs_under_one_percent() {
+    let mut cfg = HplConfig::new(160, 32, 2, 2);
+    cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
+    cfg.seed = 77;
+
+    // An untraced run returns no trace at all.
+    let results = Universe::run(cfg.ranks(), |comm| {
+        let r = run_hpl(comm, &cfg).expect("nonsingular");
+        (r.wall, r.trace.is_none())
+    });
+    assert!(
+        results.iter().all(|r| r.1),
+        "trace must be None when disabled"
+    );
+    let wall = results.iter().map(|r| r.0).fold(0.0f64, f64::max);
+
+    // Span count the instrumentation would emit for this config, from a
+    // traced run of the same problem.
+    let spans: usize = traced_run(&cfg).iter().map(|t| t.spans.len()).sum();
+
+    // Cost of one disabled guard (no tracer installed on this thread):
+    // a thread-local flag read on open and on drop.
+    let calls = 1_000_000u32;
+    let t0 = std::time::Instant::now();
+    for _ in 0..calls {
+        let g = hpl_trace::span(hpl_trace::Phase::Update);
+        std::hint::black_box(&g);
+    }
+    let ns_per_call = t0.elapsed().as_nanos() as f64 / f64::from(calls);
+
+    // Deterministic form of the "<1% wall" requirement: guard cost times
+    // span count against the untraced wall time. A direct wall-vs-wall
+    // comparison at test-sized problems is noise-dominated; this derived
+    // fraction is the stable signal (same metric `cargo xtask bench`
+    // gates via the trace_overhead harness).
+    let frac = ns_per_call * spans as f64 / (wall * 1e9);
+    assert!(
+        frac < 0.01,
+        "disabled tracing overhead {frac:.5} (= {ns_per_call:.1} ns/guard x {spans} spans \
+         over {wall:.4} s) exceeds 1% of wall"
+    );
+}

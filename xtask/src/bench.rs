@@ -1,0 +1,608 @@
+//! `cargo xtask bench` — the performance regression gate.
+//!
+//! Builds the release binaries, runs a pinned deterministic sweep
+//! (`N = 192`, `NB = 32`, `2 x 2` grid, depths 0 and 1, fixed seed) through
+//! `rhpl --trace-json`, plus the `trace_overhead` harness, and compares the
+//! measured metrics against the committed `bench/baseline.json`:
+//!
+//! - **exact** across machines: run count, `T/V` codes, schedule names,
+//!   iteration counts, the deterministic phase-sequence hash, and the
+//!   residual check passing;
+//! - **banded** (machine-speed tolerant): GFLOP/s no lower than
+//!   `gflops_min_frac` of baseline, wall time and per-phase ns/iteration no
+//!   higher than `*_max_factor` times baseline (with an absolute per-phase
+//!   floor so microsecond phases don't trip on scheduler noise);
+//! - **overhead**: the disabled-tracing cost fraction stays under
+//!   `max_disabled_frac` (the "< 1% when off" guarantee).
+//!
+//! The bands live in the baseline file itself so maintainers can tune them
+//! without touching code. Maintainer flows:
+//!
+//! - `cargo xtask bench --update-baseline` re-measures and rewrites
+//!   `bench/baseline.json` (run on a quiet machine, commit the result);
+//! - `cargo xtask bench --self-test` injects an artificial slowdown into
+//!   the UPDATE phase (`RHPL_TRACE_SLOW_*`) and succeeds only if the gate
+//!   *fails*, proving the bands can trip.
+
+use std::path::Path;
+use std::process::Command;
+
+use crate::json::{self, Value};
+
+/// Phases gated per iteration, in baseline-file order. `fact_comm` is part
+/// of `fact` (see `hpl-trace`), so gating `fact` covers it; it is still
+/// recorded in the baseline for inspection.
+const PHASES: &[&str] = &[
+    "fact_ns",
+    "fact_comm_ns",
+    "bcast_ns",
+    "row_swap_ns",
+    "scatter_ns",
+    "update_ns",
+    "transfer_ns",
+];
+
+/// Default tolerance bands, used when the baseline omits a `gate` section.
+#[derive(Clone, Copy, Debug)]
+struct Gate {
+    gflops_min_frac: f64,
+    wall_max_factor: f64,
+    phase_max_factor: f64,
+    phase_floor_ns_per_iter: f64,
+    max_disabled_frac: f64,
+    max_disabled_ns_per_call: f64,
+}
+
+impl Default for Gate {
+    fn default() -> Self {
+        Self {
+            gflops_min_frac: 0.02,
+            wall_max_factor: 50.0,
+            phase_max_factor: 50.0,
+            phase_floor_ns_per_iter: 10_000_000.0,
+            max_disabled_frac: 0.01,
+            max_disabled_ns_per_call: 200.0,
+        }
+    }
+}
+
+impl Gate {
+    fn from_baseline(b: &Value) -> Self {
+        let mut g = Gate::default();
+        let Some(sec) = b.get("gate") else { return g };
+        let f = |k: &str, d: f64| sec.get(k).and_then(Value::num).unwrap_or(d);
+        g.gflops_min_frac = f("gflops_min_frac", g.gflops_min_frac);
+        g.wall_max_factor = f("wall_max_factor", g.wall_max_factor);
+        g.phase_max_factor = f("phase_max_factor", g.phase_max_factor);
+        g.phase_floor_ns_per_iter = f("phase_floor_ns_per_iter", g.phase_floor_ns_per_iter);
+        g.max_disabled_frac = f("max_disabled_frac", g.max_disabled_frac);
+        g.max_disabled_ns_per_call = f("max_disabled_ns_per_call", g.max_disabled_ns_per_call);
+        g
+    }
+}
+
+/// The pinned benchmark input: deterministic, small enough for CI, two
+/// schedules (reference and split-update) so the gate covers the overlap
+/// path. Depth count/values are the only lines differing from `--sample`.
+const BENCH_DAT: &str = "\
+HPLinpack benchmark input file (xtask bench pinned configuration)
+rhpl regression gate
+HPL.out      output file name (if any)
+6            device out (6=stdout,7=stderr,file)
+1            # of problems sizes (Ns)
+192          Ns
+1            # of NBs
+32           NBs
+1            PMAP process mapping (0=Row-,1=Column-major)
+1            # of process grids (P x Q)
+2            Ps
+2            Qs
+16.0         threshold
+1            # of panel fact
+2            PFACTs (0=left, 1=Crout, 2=Right)
+1            # of recursive stopping criterium
+16           NBMINs (>= 1)
+1            # of panels in recursion
+2            NDIVs
+1            # of recursive panel fact.
+2            RFACTs (0=left, 1=Crout, 2=Right)
+1            # of broadcast
+1            BCASTs (0=1rg,1=1rM,2=2rg,3=2rM,4=Lng,5=LnM,6=binomial)
+2            # of lookahead depth
+0 1          DEPTHs (>=0)
+1            SWAP (0=bin-exch,1=long,2=mix)
+64           swapping threshold
+0            L1 in (0=transposed,1=no-transposed) form
+0            U  in (0=transposed,1=no-transposed) form
+1            Equilibration (0=no,1=yes)
+8            memory alignment in double (> 0)
+";
+
+/// One run's gated metrics (pulled from `BENCH_hpl.json` or the baseline).
+#[derive(Clone, Debug)]
+struct RunMetrics {
+    tv: String,
+    schedule: String,
+    iterations: f64,
+    seq_hash: String,
+    passed: bool,
+    gflops: f64,
+    wall_seconds: f64,
+    /// ns per iteration, indexed like [`PHASES`].
+    phase_ns_per_iter: Vec<f64>,
+    overlap_efficiency: f64,
+}
+
+/// Entry point; returns the process exit code.
+pub fn run_bench(root: &Path, args: &[String]) -> i32 {
+    let update = args.iter().any(|a| a == "--update-baseline");
+    let self_test = args.iter().any(|a| a == "--self-test");
+    if self_test {
+        return run_self_test(root);
+    }
+
+    let measured = match measure(root, None) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("xtask bench: {e}");
+            return 1;
+        }
+    };
+    let overhead = match measure_overhead(root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask bench: {e}");
+            return 1;
+        }
+    };
+
+    let baseline_path = root.join("bench/baseline.json");
+    if update {
+        let text = baseline_json(&measured, overhead);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("xtask bench: cannot write {}: {e}", baseline_path.display());
+            return 1;
+        }
+        println!(
+            "xtask bench: baseline updated at {}",
+            baseline_path.display()
+        );
+        return 0;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "xtask bench: cannot read {} ({e}); run `cargo xtask bench --update-baseline`",
+                baseline_path.display()
+            );
+            return 1;
+        }
+    };
+    let baseline = match json::parse(&baseline) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask bench: invalid baseline: {e}");
+            return 1;
+        }
+    };
+
+    let failures = compare(&measured, Some(overhead), &baseline);
+    report(&measured, &failures)
+}
+
+/// Self-test: inject a 10 ms sleep into every UPDATE span and require the
+/// gate to fail (exit 0 when it does).
+fn run_self_test(root: &Path) -> i32 {
+    println!("xtask bench: self-test (artificially slowed UPDATE phase; the gate must trip)");
+    let slow = [
+        ("RHPL_TRACE_SLOW_PHASE", "update"),
+        ("RHPL_TRACE_SLOW_NS", "10000000"),
+    ];
+    let measured = match measure(root, Some(&slow)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("xtask bench: {e}");
+            return 1;
+        }
+    };
+    let baseline_path = root.join("bench/baseline.json");
+    let baseline = match std::fs::read_to_string(&baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| json::parse(&t))
+    {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask bench: cannot load baseline: {e}");
+            return 1;
+        }
+    };
+    // Overhead is skipped: the injected sleep would distort it.
+    let failures = compare(&measured, None, &baseline);
+    if failures.is_empty() {
+        eprintln!("xtask bench: SELF-TEST FAILED — the slowed run passed the gate");
+        1
+    } else {
+        println!("xtask bench: self-test OK — gate tripped as expected:");
+        for f in &failures {
+            println!("  {f}");
+        }
+        0
+    }
+}
+
+/// Builds release binaries and runs the pinned sweep; parses BENCH_hpl.json.
+fn measure(root: &Path, extra_env: Option<&[(&str, &str)]>) -> Result<Vec<RunMetrics>, String> {
+    let status = Command::new("cargo")
+        .args([
+            "build",
+            "--release",
+            "-q",
+            "-p",
+            "rhpl-cli",
+            "-p",
+            "hpl-bench",
+        ])
+        .current_dir(root)
+        .status()
+        .map_err(|e| format!("cannot spawn cargo: {e}"))?;
+    if !status.success() {
+        return Err("release build failed".into());
+    }
+
+    let work = root.join("target/xtask-bench");
+    std::fs::create_dir_all(&work).map_err(|e| format!("cannot create {}: {e}", work.display()))?;
+    let dat = work.join("HPL.dat");
+    std::fs::write(&dat, BENCH_DAT).map_err(|e| format!("cannot write {}: {e}", dat.display()))?;
+    let out_json = work.join("BENCH_hpl.json");
+
+    let mut cmd = Command::new(root.join("target/release/rhpl"));
+    cmd.arg(&dat)
+        .args([
+            "--seed",
+            "42",
+            "--split-frac",
+            "0.5",
+            "--threads",
+            "2",
+            "--trace-json",
+        ])
+        .arg(&out_json)
+        .current_dir(&work);
+    for (k, v) in extra_env.unwrap_or(&[]) {
+        cmd.env(k, v);
+    }
+    let out = cmd
+        .output()
+        .map_err(|e| format!("cannot spawn rhpl: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "rhpl exited with {}: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+
+    let text = std::fs::read_to_string(&out_json)
+        .map_err(|e| format!("cannot read {}: {e}", out_json.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("invalid BENCH_hpl.json: {e}"))?;
+    if doc.get("schema").and_then(Value::str) != Some("rhpl-bench-v1") {
+        return Err("BENCH_hpl.json has an unexpected schema".into());
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Value::arr)
+        .ok_or("BENCH_hpl.json has no runs")?;
+    runs.iter().map(run_metrics).collect()
+}
+
+/// Extracts one run's gated metrics from its `BENCH_hpl.json` entry.
+fn run_metrics(run: &Value) -> Result<RunMetrics, String> {
+    let s = |k: &str| {
+        run.get(k)
+            .and_then(Value::str)
+            .map(str::to_string)
+            .ok_or(format!("run missing `{k}`"))
+    };
+    let n = |k: &str| {
+        run.get(k)
+            .and_then(Value::num)
+            .ok_or(format!("run missing `{k}`"))
+    };
+    let iterations = run
+        .get("iterations")
+        .and_then(Value::arr)
+        .ok_or("run missing iterations")?;
+    let iters = iterations.len().max(1) as f64;
+    let totals = run.get("phase_totals").ok_or("run missing phase_totals")?;
+    let phase_ns_per_iter = PHASES
+        .iter()
+        .map(|p| totals.get(p).and_then(Value::num).map(|v| v / iters))
+        .collect::<Option<Vec<f64>>>()
+        .ok_or("run missing a phase total")?;
+    Ok(RunMetrics {
+        tv: s("tv")?,
+        schedule: s("schedule")?,
+        iterations: iters,
+        seq_hash: s("seq_hash")?,
+        passed: run.get("passed").and_then(Value::bool).unwrap_or(false),
+        gflops: n("gflops")?,
+        wall_seconds: n("wall_seconds")?,
+        phase_ns_per_iter,
+        overlap_efficiency: n("overlap_efficiency")?,
+    })
+}
+
+/// Runs the `trace_overhead` harness; returns
+/// `(disabled_ns_per_call, disabled_frac)`.
+fn measure_overhead(root: &Path) -> Result<(f64, f64), String> {
+    let out = Command::new(root.join("target/release/trace_overhead"))
+        .args(["--json", "--calls", "5000000"])
+        .current_dir(root)
+        .output()
+        .map_err(|e| format!("cannot spawn trace_overhead: {e}"))?;
+    if !out.status.success() {
+        return Err(format!("trace_overhead exited with {}", out.status));
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("JSON trace_overhead "))
+        .ok_or("trace_overhead emitted no JSON line")?;
+    let doc = json::parse(line).map_err(|e| format!("invalid trace_overhead JSON: {e}"))?;
+    let f = |k: &str| {
+        doc.get(k)
+            .and_then(Value::num)
+            .ok_or(format!("overhead missing `{k}`"))
+    };
+    Ok((f("disabled_ns_per_call")?, f("disabled_frac")?))
+}
+
+/// Compares measured metrics against the baseline; returns failure strings
+/// (empty = gate passes).
+fn compare(measured: &[RunMetrics], overhead: Option<(f64, f64)>, baseline: &Value) -> Vec<String> {
+    let gate = Gate::from_baseline(baseline);
+    let mut fails = Vec::new();
+    let Some(base_runs) = baseline.get("runs").and_then(Value::arr) else {
+        return vec!["baseline has no runs".into()];
+    };
+    if base_runs.len() != measured.len() {
+        return vec![format!(
+            "run count {} != baseline {}",
+            measured.len(),
+            base_runs.len()
+        )];
+    }
+    for (m, b) in measured.iter().zip(base_runs) {
+        let b = match run_metrics(b) {
+            Ok(b) => b,
+            Err(e) => {
+                fails.push(format!("bad baseline run: {e}"));
+                continue;
+            }
+        };
+        let id = &m.tv;
+        // Exact, machine-independent metrics.
+        if m.tv != b.tv {
+            fails.push(format!("[{id}] tv changed: {} -> {}", b.tv, m.tv));
+        }
+        if m.schedule != b.schedule {
+            fails.push(format!(
+                "[{id}] schedule changed: {} -> {}",
+                b.schedule, m.schedule
+            ));
+        }
+        if m.iterations != b.iterations {
+            fails.push(format!(
+                "[{id}] iterations {} != baseline {}",
+                m.iterations, b.iterations
+            ));
+        }
+        if m.seq_hash != b.seq_hash {
+            fails.push(format!(
+                "[{id}] phase sequence diverged: {} != baseline {} (trace nondeterminism \
+                 or an intentional schedule change; rerun with --update-baseline if the latter)",
+                m.seq_hash, b.seq_hash
+            ));
+        }
+        if !m.passed {
+            fails.push(format!("[{id}] residual check FAILED"));
+        }
+        // Banded performance metrics.
+        let gf_floor = b.gflops * gate.gflops_min_frac;
+        if m.gflops < gf_floor {
+            fails.push(format!(
+                "[{id}] gflops {:.3} below {:.3} ({}x under baseline {:.3})",
+                m.gflops,
+                gf_floor,
+                (b.gflops / m.gflops.max(1e-12)).round(),
+                b.gflops
+            ));
+        }
+        let wall_cap = b.wall_seconds * gate.wall_max_factor;
+        if m.wall_seconds > wall_cap {
+            fails.push(format!(
+                "[{id}] wall {:.4}s above cap {:.4}s (baseline {:.4}s x{})",
+                m.wall_seconds, wall_cap, b.wall_seconds, gate.wall_max_factor
+            ));
+        }
+        for (i, phase) in PHASES.iter().enumerate() {
+            let cap =
+                (b.phase_ns_per_iter[i] * gate.phase_max_factor).max(gate.phase_floor_ns_per_iter);
+            if m.phase_ns_per_iter[i] > cap {
+                fails.push(format!(
+                    "[{id}] {phase}/iter {:.0} above cap {:.0} (baseline {:.0})",
+                    m.phase_ns_per_iter[i], cap, b.phase_ns_per_iter[i]
+                ));
+            }
+        }
+    }
+    if let Some((ns_per_call, frac)) = overhead {
+        if ns_per_call > gate.max_disabled_ns_per_call {
+            fails.push(format!(
+                "disabled span guard costs {ns_per_call:.1} ns/call (cap {})",
+                gate.max_disabled_ns_per_call
+            ));
+        }
+        if frac > gate.max_disabled_frac {
+            fails.push(format!(
+                "disabled tracing overhead fraction {frac:.4} exceeds {}",
+                gate.max_disabled_frac
+            ));
+        }
+    }
+    fails
+}
+
+/// Prints the gate verdict; returns the exit code.
+fn report(measured: &[RunMetrics], failures: &[String]) -> i32 {
+    for m in measured {
+        println!(
+            "xtask bench: [{}] {} gflops={:.3} wall={:.4}s overlap={:.3} seq={}",
+            m.tv, m.schedule, m.gflops, m.wall_seconds, m.overlap_efficiency, m.seq_hash
+        );
+    }
+    if failures.is_empty() {
+        println!(
+            "xtask bench: PASS ({} runs within tolerance of baseline)",
+            measured.len()
+        );
+        0
+    } else {
+        for f in failures {
+            println!("xtask bench: FAIL {f}");
+        }
+        println!(
+            "xtask bench: {} regression(s) against bench/baseline.json",
+            failures.len()
+        );
+        1
+    }
+}
+
+/// Serializes the measured metrics as the committed baseline document.
+fn baseline_json(measured: &[RunMetrics], (ns_per_call, frac): (f64, f64)) -> String {
+    let gate = Gate::default();
+    let mut out = String::from("{\n  \"schema\": \"rhpl-bench-baseline-v1\",\n");
+    out.push_str(&format!(
+        "  \"gate\": {{\"gflops_min_frac\": {}, \"wall_max_factor\": {}, \
+         \"phase_max_factor\": {}, \"phase_floor_ns_per_iter\": {}, \
+         \"max_disabled_frac\": {}, \"max_disabled_ns_per_call\": {}}},\n",
+        gate.gflops_min_frac,
+        gate.wall_max_factor,
+        gate.phase_max_factor,
+        gate.phase_floor_ns_per_iter,
+        gate.max_disabled_frac,
+        gate.max_disabled_ns_per_call
+    ));
+    out.push_str(&format!(
+        "  \"overhead\": {{\"disabled_ns_per_call\": {ns_per_call}, \"disabled_frac\": {frac}}},\n"
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, m) in measured.iter().enumerate() {
+        // `run_metrics` divides `phase_totals` by the `iterations` length
+        // when reading this file back, so totals (avg x iters) are stored.
+        let phases = PHASES
+            .iter()
+            .zip(&m.phase_ns_per_iter)
+            .map(|(p, v)| format!("\"{p}\": {}", v * m.iterations))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"tv\": \"{}\", \"schedule\": \"{}\", \"iterations\": [{}],\n     \
+             \"seq_hash\": \"{}\", \"passed\": {}, \"gflops\": {}, \"wall_seconds\": {},\n     \
+             \"overlap_efficiency\": {}, \"phase_totals\": {{{}}}}}{}\n",
+            m.tv,
+            m.schedule,
+            // Placeholder rows: only the array length matters when read back.
+            vec!["{}"; m.iterations as usize].join(", "),
+            m.seq_hash,
+            m.passed,
+            m.gflops,
+            m.wall_seconds,
+            m.overlap_efficiency,
+            phases,
+            if i + 1 < measured.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(gflops: f64, update_ns: f64, seq: &str) -> RunMetrics {
+        RunMetrics {
+            tv: "WC102R16".into(),
+            schedule: "simple".into(),
+            iterations: 6.0,
+            seq_hash: seq.into(),
+            passed: true,
+            gflops,
+            wall_seconds: 0.01,
+            phase_ns_per_iter: vec![1e6, 5e5, 1e6, 1e6, 1e4, update_ns, 1e5],
+            overlap_efficiency: 0.0,
+        }
+    }
+
+    fn baseline_of(m: &[RunMetrics]) -> Value {
+        json::parse(&baseline_json(m, (3.0, 0.0002))).unwrap()
+    }
+
+    #[test]
+    fn identical_measurement_passes() {
+        let base = vec![metrics(1.0, 1e6, "0xaa")];
+        let b = baseline_of(&base);
+        assert!(compare(&base, Some((3.0, 0.0002)), &b).is_empty());
+    }
+
+    #[test]
+    fn sequence_change_and_slow_phase_fail() {
+        let base = vec![metrics(1.0, 1e6, "0xaa")];
+        let b = baseline_of(&base);
+        let diverged = vec![metrics(1.0, 1e6, "0xbb")];
+        assert!(compare(&diverged, None, &b)
+            .iter()
+            .any(|f| f.contains("diverged")));
+        // 1e6 * 50 = 5e7 < floor 1e7? no: max(5e7, 1e7) = 5e7; 6e7 trips.
+        let slow = vec![metrics(1.0, 6e7, "0xaa")];
+        assert!(compare(&slow, None, &b)
+            .iter()
+            .any(|f| f.contains("update_ns")));
+    }
+
+    #[test]
+    fn gflops_floor_and_overhead_fail() {
+        let base = vec![metrics(1.0, 1e6, "0xaa")];
+        let b = baseline_of(&base);
+        let slow = vec![metrics(0.01, 1e6, "0xaa")];
+        assert!(compare(&slow, None, &b)
+            .iter()
+            .any(|f| f.contains("gflops")));
+        assert!(compare(&base, Some((500.0, 0.5)), &b).len() == 2);
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_parser() {
+        let base = vec![metrics(1.0, 1e6, "0xaa"), metrics(2.0, 2e6, "0xcc")];
+        let b = baseline_of(&base);
+        assert_eq!(
+            b.get("schema").and_then(Value::str),
+            Some("rhpl-bench-baseline-v1")
+        );
+        assert_eq!(b.get("runs").and_then(Value::arr).unwrap().len(), 2);
+        assert!(compare(&base, None, &b).is_empty());
+    }
+
+    #[test]
+    fn pinned_dat_parses_shapewise() {
+        // Guard the inline HPL.dat against drift: 30 lines, the depth line
+        // carries two values.
+        assert_eq!(BENCH_DAT.lines().count(), 31);
+        assert!(BENCH_DAT.contains("0 1          DEPTHs"));
+        assert!(BENCH_DAT.contains("192          Ns"));
+    }
+}

@@ -115,8 +115,10 @@ pub fn lex(src: &str) -> Lexed {
                 while i < b.len() && b[i] != '\n' {
                     i += 1;
                 }
-                out.comments
-                    .push(LineComment { line, text: b[start..i].iter().collect() });
+                out.comments.push(LineComment {
+                    line,
+                    text: b[start..i].iter().collect(),
+                });
             }
             '/' if i + 1 < b.len() && b[i + 1] == '*' => {
                 // Nested block comment; may span lines — record a comment
@@ -143,13 +145,18 @@ pub fn lex(src: &str) -> Lexed {
                         i += 1;
                     }
                 }
-                out.comments
-                    .push(LineComment { line, text: b[text_start..i.min(b.len())].iter().collect() });
+                out.comments.push(LineComment {
+                    line,
+                    text: b[text_start..i.min(b.len())].iter().collect(),
+                });
             }
             '"' => {
                 let (s, ni, nl) = lex_string(&b, i, line);
                 mark_code(&mut out, line, '"');
-                out.tokens.push(SpannedTok { tok: Tok::Str(s), line });
+                out.tokens.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line,
+                });
                 i = ni;
                 line = nl;
             }
@@ -157,7 +164,10 @@ pub fn lex(src: &str) -> Lexed {
                 let start_line = line;
                 let (s, ni, nl) = lex_raw_or_byte(&b, i, line);
                 mark_code(&mut out, start_line, 'r');
-                out.tokens.push(SpannedTok { tok: Tok::Str(s), line: start_line });
+                out.tokens.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line: start_line,
+                });
                 i = ni;
                 line = nl;
             }
@@ -166,7 +176,10 @@ pub fn lex(src: &str) -> Lexed {
                 // quote right after the name; `'x'` / `'\n'` do.
                 if let Some(ni) = char_literal_end(&b, i) {
                     mark_code(&mut out, line, '\'');
-                    out.tokens.push(SpannedTok { tok: Tok::Char, line });
+                    out.tokens.push(SpannedTok {
+                        tok: Tok::Char,
+                        line,
+                    });
                     i = ni;
                 } else {
                     // Lifetime: consume the quote and the name.
@@ -184,16 +197,16 @@ pub fn lex(src: &str) -> Lexed {
                     let d = b[i];
                     if d.is_alphanumeric() || d == '_' {
                         i += 1;
-                    } else if d == '.'
-                        && i + 1 < b.len()
-                        && b[i + 1].is_ascii_digit()
-                    {
+                    } else if d == '.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
                         i += 1; // decimal point of a float
                     } else {
                         break;
                     }
                 }
-                out.tokens.push(SpannedTok { tok: Tok::Num, line });
+                out.tokens.push(SpannedTok {
+                    tok: Tok::Num,
+                    line,
+                });
             }
             c if c.is_alphanumeric() || c == '_' => {
                 mark_code(&mut out, line, c);
@@ -202,11 +215,17 @@ pub fn lex(src: &str) -> Lexed {
                     i += 1;
                 }
                 let word: String = b[start..i].iter().collect();
-                out.tokens.push(SpannedTok { tok: Tok::Ident(word), line });
+                out.tokens.push(SpannedTok {
+                    tok: Tok::Ident(word),
+                    line,
+                });
             }
             c => {
                 mark_code(&mut out, line, c);
-                out.tokens.push(SpannedTok { tok: Tok::Punct(c), line });
+                out.tokens.push(SpannedTok {
+                    tok: Tok::Punct(c),
+                    line,
+                });
                 i += 1;
             }
         }
@@ -298,7 +317,11 @@ fn char_literal_end(b: &[char], i: usize) -> Option<usize> {
         while j < b.len() && b[j] != '\'' && b[j] != '\n' {
             j += 1;
         }
-        return if j < b.len() && b[j] == '\'' { Some(j + 1) } else { None };
+        return if j < b.len() && b[j] == '\'' {
+            Some(j + 1)
+        } else {
+            None
+        };
     }
     // Plain char: exactly one char then a quote. `'a'` yes; `'a` no.
     if b[j] == '\'' {

@@ -6,11 +6,17 @@
 //! - `check` — source-level safety analyzer over the workspace (see
 //!   [`rules`]). Exits non-zero with `file:line: [rule] message` diagnostics
 //!   when any rule is violated.
+//! - `bench` — performance regression gate: runs a pinned deterministic
+//!   sweep with phase tracing and compares against `bench/baseline.json`
+//!   (see [`bench`]). `--update-baseline` rewrites the baseline;
+//!   `--self-test` verifies the gate can trip.
 //! - `list-rules` — print the rule identifiers and one-line descriptions.
 //!
 //! The analyzer is std-only and runs fully offline: it lexes each `.rs` file
 //! itself (no rustc, no network) so it works in the sandboxed CI image.
 
+mod bench;
+mod json;
 mod lexer;
 mod rules;
 
@@ -19,7 +25,7 @@ use std::path::{Path, PathBuf};
 
 /// Library crates subject to the full rule set. Bins, benches, examples and
 /// test trees only get the safety rules (`safety-comment`, `no-static-mut`).
-const LIB_CRATES: &[&str] = &["blas", "threads", "comm", "core", "mxp", "sim"];
+const LIB_CRATES: &[&str] = &["blas", "threads", "comm", "core", "mxp", "sim", "trace"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,13 +35,19 @@ fn main() {
             let root = workspace_root();
             std::process::exit(run_check(&root));
         }
+        "bench" => {
+            let root = workspace_root();
+            std::process::exit(bench::run_bench(&root, &args[1..]));
+        }
         "list-rules" => {
             for (name, desc) in RULES {
                 println!("{name:16} {desc}");
             }
         }
         other => {
-            eprintln!("unknown xtask command `{other}` (expected `check` or `list-rules`)");
+            eprintln!(
+                "unknown xtask command `{other}` (expected `check`, `bench` or `list-rules`)"
+            );
             std::process::exit(2);
         }
     }
@@ -43,8 +55,8 @@ fn main() {
 
 /// The workspace root is the parent of xtask's own manifest directory.
 fn workspace_root() -> PathBuf {
-    let manifest = std::env::var("CARGO_MANIFEST_DIR")
-        .expect("CARGO_MANIFEST_DIR is always set under cargo");
+    let manifest =
+        std::env::var("CARGO_MANIFEST_DIR").expect("CARGO_MANIFEST_DIR is always set under cargo");
     Path::new(&manifest)
         .parent()
         .expect("xtask lives one level below the workspace root")
@@ -82,7 +94,10 @@ fn run_check(root: &Path) -> i32 {
         for v in &violations {
             println!("{v}");
         }
-        println!("xtask check: {} violation(s) in {scanned} files", violations.len());
+        println!(
+            "xtask check: {} violation(s) in {scanned} files",
+            violations.len()
+        );
         1
     }
 }
@@ -125,6 +140,8 @@ mod tests {
     fn lib_src_is_library_kind() {
         assert_eq!(classify("crates/blas/src/l3.rs"), FileKind::Library);
         assert_eq!(classify("crates/core/src/fact.rs"), FileKind::Library);
+        assert_eq!(classify("crates/trace/src/lib.rs"), FileKind::Library);
+        assert_eq!(classify("crates/trace/src/report.rs"), FileKind::Library);
     }
 
     #[test]

@@ -21,9 +21,18 @@ use crate::lexer::{lex, Lexed, Tok};
 
 /// Rule identifiers, used in diagnostics and `xtask-allow` annotations.
 pub const RULES: &[(&str, &str)] = &[
-    ("safety-comment", "every `unsafe` must be preceded by a `// SAFETY:` comment"),
-    ("no-unwrap", "no `.unwrap()` / message-less `.expect()` in library crates"),
-    ("no-panic", "no `panic!`/`todo!`/`unimplemented!` in library crates"),
+    (
+        "safety-comment",
+        "every `unsafe` must be preceded by a `// SAFETY:` comment",
+    ),
+    (
+        "no-unwrap",
+        "no `.unwrap()` / message-less `.expect()` in library crates",
+    ),
+    (
+        "no-panic",
+        "no `panic!`/`todo!`/`unimplemented!` in library crates",
+    ),
     ("no-static-mut", "no `static mut` items"),
 ];
 
@@ -51,7 +60,11 @@ pub struct Violation {
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
     }
 }
 
@@ -82,15 +95,10 @@ fn allowed(lexed: &Lexed, line: u32, rule: &str) -> bool {
         }
         let text = lexed.comment_text(l);
         if let Some(rest) = text.split("xtask-allow:").nth(1) {
-            // Take the rule list up to an explanation separator.
-            let list = rest
-                .split(|c: char| c == '—' || c == '-' && false)
-                .next()
-                .unwrap_or(rest);
-            if list
-                .split([',', ' ', '—'])
-                .any(|r| r.trim() == rule)
-            {
+            // Take the rule list up to an explanation separator. Only the
+            // em-dash splits here: rule names themselves contain `-`.
+            let list = rest.split('—').next().unwrap_or(rest);
+            if list.split([',', ' ', '—']).any(|r| r.trim() == rule) {
                 return true;
             }
         }
@@ -307,18 +315,18 @@ fn check_unwrap(file: &str, lexed: &Lexed, test_spans: &[(u32, u32)], out: &mut 
             continue;
         }
         match &name.tok {
-            Tok::Ident(s) if s == "unwrap" => {
-                if toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Punct(')')) {
-                    out.push(Violation {
-                        file: file.to_string(),
-                        line: name.line,
-                        rule: "no-unwrap",
-                        msg: "`.unwrap()` in library code (use `.expect(\"why the invariant \
-                              holds\")`, propagate a Result, or `// xtask-allow: no-unwrap` \
-                              with justification)"
-                            .to_string(),
-                    });
-                }
+            Tok::Ident(s)
+                if s == "unwrap" && toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Punct(')')) =>
+            {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: name.line,
+                    rule: "no-unwrap",
+                    msg: "`.unwrap()` in library code (use `.expect(\"why the invariant \
+                          holds\")`, propagate a Result, or `// xtask-allow: no-unwrap` \
+                          with justification)"
+                        .to_string(),
+                });
             }
             Tok::Ident(s) if s == "expect" => {
                 let descriptive = matches!(
@@ -330,8 +338,7 @@ fn check_unwrap(file: &str, lexed: &Lexed, test_spans: &[(u32, u32)], out: &mut 
                         file: file.to_string(),
                         line: name.line,
                         rule: "no-unwrap",
-                        msg: "`.expect()` without a descriptive string-literal message"
-                            .to_string(),
+                        msg: "`.expect()` without a descriptive string-literal message".to_string(),
                     });
                 }
             }
@@ -347,7 +354,8 @@ fn check_panic(file: &str, lexed: &Lexed, test_spans: &[(u32, u32)], out: &mut V
         if in_spans(test_spans, a.line) {
             continue;
         }
-        let is_macro = matches!(&a.tok, Tok::Ident(s) if s == "panic" || s == "todo" || s == "unimplemented");
+        let is_macro =
+            matches!(&a.tok, Tok::Ident(s) if s == "panic" || s == "todo" || s == "unimplemented");
         if is_macro && b.tok == Tok::Punct('!') {
             let name = match &a.tok {
                 Tok::Ident(s) => s.clone(),
@@ -422,7 +430,10 @@ mod tests {
     #[test]
     fn unsafe_fn_without_docs_fails() {
         assert_eq!(
-            rules_of(&check("pub unsafe fn f(p: *const u8) {}", FileKind::Library)),
+            rules_of(&check(
+                "pub unsafe fn f(p: *const u8) {}",
+                FileKind::Library
+            )),
             ["safety-comment"]
         );
     }
@@ -492,7 +503,8 @@ mod tests {
 
     #[test]
     fn unwrap_in_cfg_test_module_exempt() {
-        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x().unwrap(); }\n}";
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x().unwrap(); }\n}";
         assert!(check(src, FileKind::Library).is_empty());
     }
 
@@ -507,7 +519,11 @@ mod tests {
     fn panic_macros_flagged() {
         for m in ["panic!(\"x\")", "todo!()", "unimplemented!()"] {
             let src = format!("fn f() {{ {m}; }}");
-            assert_eq!(rules_of(&check(&src, FileKind::Library)), ["no-panic"], "{m}");
+            assert_eq!(
+                rules_of(&check(&src, FileKind::Library)),
+                ["no-panic"],
+                "{m}"
+            );
         }
     }
 
