@@ -16,7 +16,7 @@ fn bench_bcast(c: &mut Criterion) {
             bch.iter(|| {
                 Universe::run(6, |comm| {
                     let mut buf = vec![1.0f64; len];
-                    panel_bcast(&comm, algo, 0, &mut buf);
+                    panel_bcast(&comm, algo, 0, &mut buf).expect("broadcast");
                     buf[len - 1]
                 })
             })

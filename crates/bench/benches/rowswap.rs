@@ -46,7 +46,7 @@ fn bench_rowswap(c: &mut Criterion) {
                             },
                             RowSwapAlgo::Ring,
                         );
-                        u.get(0, 0)
+                        u.expect("row swap").get(0, 0)
                     })
                 })
             },

@@ -1,7 +1,7 @@
 //! Tracing-overhead harness: quantifies what the `hpl-trace` subsystem
 //! costs, feeding the `cargo xtask bench` overhead gate.
 //!
-//! Three measurements:
+//! Four measurements:
 //!
 //! 1. `disabled_ns_per_call` — cost of one disabled span guard (one
 //!    thread-local flag read on open, one on drop), timed over `--calls`
@@ -10,16 +10,22 @@
 //!    the production path every untraced run takes.
 //! 3. The same run with tracing **enabled** (`enabled_wall_s`,
 //!    `spans_per_run` over all ranks).
+//! 4. `fault_guard_ns_per_call` — cost of one *disabled* fault-injection
+//!    guard (`hpl_faults::on_send` with no injector armed), the branch
+//!    every `Fabric::send`/`recv` takes on a fault-free run.
 //!
 //! `disabled_frac` — the deterministic headline metric — is the disabled
 //! guard cost times the span count, over the disabled run's wall time: the
 //! fraction of wall the compiled-in (but switched-off) instrumentation
-//! costs. The gate requires it below 1%. The wall-clock delta between the
-//! enabled and disabled runs is also printed but is noisy at this problem
-//! size; the derived fraction is the stable signal.
+//! costs. The gate requires it below 1%. `faults_disabled_frac` is the
+//! analogous metric for the fault hooks: guard cost times the send+recv
+//! count per run, over the same wall — also gated below 1%. The wall-clock
+//! delta between the enabled and disabled runs is also printed but is noisy
+//! at this problem size; the derived fractions are the stable signal.
 
 use hpl_bench::{arg_value, emit_json, row};
 use hpl_comm::Universe;
+use hpl_faults::{FaultPlan, Site};
 use rhpl_core::config::Schedule;
 use rhpl_core::{run_hpl, HplConfig};
 
@@ -32,8 +38,12 @@ struct Overhead {
     disabled_wall_s: f64,
     enabled_wall_s: f64,
     disabled_frac: f64,
+    fault_guard_ns_per_call: f64,
+    fault_guards_per_run: u64,
+    faults_disabled_frac: f64,
 }
 
+/// Returns (max wall over ranks, total spans).
 fn run_once(trace: bool) -> (f64, u64) {
     let mut cfg = HplConfig::new(192, 32, 2, 2);
     cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
@@ -45,6 +55,28 @@ fn run_once(trace: bool) -> (f64, u64) {
     let wall = results.iter().map(|r| r.0).fold(0.0f64, f64::max);
     let spans = results.iter().map(|r| r.1).sum();
     (wall, spans)
+}
+
+/// Counts fault-guard invocations (send + recv + region) across all ranks
+/// for one benchmark run, by arming an *empty* fault plan: the injector's
+/// per-site counters tick on every guard, world and split sub-fabrics
+/// alike. Slight overcount vs the unarmed path — an armed injector routes
+/// panel broadcasts through the checksummed variant, which adds a few typed
+/// control messages per panel — so the derived fraction is conservative.
+fn count_fault_guards() -> u64 {
+    let mut cfg = HplConfig::new(192, 32, 2, 2);
+    cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
+    let run = Universe::run_with_faults(cfg.ranks(), FaultPlan::new(0), |comm| {
+        run_hpl(comm, &cfg).expect("nonsingular");
+    });
+    let inj = &run.injector;
+    (0..cfg.ranks())
+        .flat_map(|r| {
+            [Site::Send, Site::Recv, Site::Region]
+                .into_iter()
+                .map(move |s| inj.site_count(r, s))
+        })
+        .sum()
 }
 
 fn main() {
@@ -59,13 +91,26 @@ fn main() {
     }
     let disabled_ns_per_call = t0.elapsed().as_nanos() as f64 / calls as f64;
 
+    // 4. Disabled fault-guard cost: the `None`-injector branch every
+    // send/recv takes when no fault plan is armed.
+    let no_injector = None;
+    let t1 = std::time::Instant::now();
+    for _ in 0..calls {
+        let a = hpl_faults::on_send(&no_injector);
+        std::hint::black_box(&a);
+    }
+    let fault_guard_ns_per_call = t1.elapsed().as_nanos() as f64 / calls as f64;
+
     // 2./3. Paired runs. Warm up once so page-cache/allocator effects hit
     // neither side.
     run_once(false);
     let (disabled_wall_s, _) = run_once(false);
     let (enabled_wall_s, spans_per_run) = run_once(true);
+    let fault_guards_per_run = count_fault_guards();
 
     let disabled_frac = disabled_ns_per_call * spans_per_run as f64 / (disabled_wall_s * 1e9);
+    let faults_disabled_frac =
+        fault_guard_ns_per_call * fault_guards_per_run as f64 / (disabled_wall_s * 1e9);
     let o = Overhead {
         calls,
         disabled_ns_per_call,
@@ -73,6 +118,9 @@ fn main() {
         disabled_wall_s,
         enabled_wall_s,
         disabled_frac,
+        fault_guard_ns_per_call,
+        fault_guards_per_run,
+        faults_disabled_frac,
     };
 
     println!("trace overhead: N=192 NB=32 2x2 split-update");
@@ -109,6 +157,33 @@ fn main() {
         "{}",
         row(
             &["disabled overhead frac", &format!("{disabled_frac:.6}")],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "fault guard ns/call",
+                &format!("{fault_guard_ns_per_call:.2}")
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &["fault guards per run", &format!("{fault_guards_per_run}")],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "faults disabled frac",
+                &format!("{faults_disabled_frac:.6}")
+            ],
             &widths
         )
     );

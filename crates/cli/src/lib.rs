@@ -10,6 +10,8 @@
 //! * [`runner`] — sweep expansion and execution.
 //! * [`report`] — classic output formatting.
 //! * [`bench`] — the `BENCH_hpl.json` phase-trace emitter (`--trace-json`).
+//! * [`faults`] — the `--fault` soak mode with its `HPLOK`/`HPLERROR`
+//!   stdout protocol.
 
 // Lint policy: indexed loops are used deliberately where they mirror the
 // reference BLAS/HPL loop structure, and several kernels take the full
@@ -19,6 +21,7 @@
 
 pub mod bench;
 pub mod dat;
+pub mod faults;
 pub mod report;
 pub mod runner;
 

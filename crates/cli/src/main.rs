@@ -7,11 +7,19 @@
 //! rhpl ... --threads 4        FACT threads per rank (SIII.A)
 //! rhpl ... --seed 42          matrix generator seed
 //! rhpl ... --trace-json BENCH_hpl.json   emit the per-iteration phase trace
+//! rhpl ... --fault SPEC       arm a fault (repeatable); SPEC grammar is
+//!                             kind[:param]@rank[:site][:nth][:sticky]
+//! rhpl ... --fault-seed S     fault plan seed (with no --fault: a random
+//!                             plan derived from the seed)
 //! ```
+//!
+//! With any fault flag present the classic table is replaced by the
+//! machine-readable `HPLOK`/`HPLERROR` + `FAULTLOG` protocol (see
+//! [`rhpl_cli::faults`]); exit code 3 signals a structured failure.
 
 use std::process::ExitCode;
 
-use rhpl_cli::{bench, dat, report, runner};
+use rhpl_cli::{bench, dat, faults, report, runner};
 
 fn arg_value<T: std::str::FromStr>(args: &[String], key: &str) -> Option<T> {
     args.iter()
@@ -29,7 +37,7 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: rhpl [HPL.dat] [--split-frac F] [--threads T] [--seed S] \
-             [--trace-json PATH] [--sample]"
+             [--trace-json PATH] [--fault SPEC]... [--fault-seed S] [--sample]"
         );
         return ExitCode::SUCCESS;
     }
@@ -60,6 +68,16 @@ fn main() -> ExitCode {
     };
 
     let combos = runner::expand(&spec, seed, split_frac, threads);
+    let fault_specs: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--fault")
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect();
+    if !fault_specs.is_empty() || args.iter().any(|a| a == "--fault-seed") {
+        let fault_seed: u64 = arg_value(&args, "--fault-seed").unwrap_or(1);
+        return run_faulted(&combos, fault_seed, &fault_specs, spec.threshold);
+    }
     let max_ranks = combos.iter().map(|(c, _)| c.ranks()).max().unwrap_or(1);
     print!("{}", report::banner(max_ranks));
     print!("{}", report::table_header());
@@ -89,6 +107,54 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Fault-soak mode: every combination runs under a freshly parsed copy of
+/// the plan (per-rank fault counters must start at zero for each run) and
+/// prints the `HPLOK`/`HPLERROR` + `FAULTLOG` protocol. Exit code 3 for a
+/// structured failure, 1 for a wrong answer (`HPLBAD`) or a bad spec.
+fn run_faulted(
+    combos: &[(rhpl_core::HplConfig, usize)],
+    fault_seed: u64,
+    fault_specs: &[String],
+    threshold: f64,
+) -> ExitCode {
+    // Injected rank deaths unwind as panics; the default hook's backtraces
+    // are nondeterministic noise next to the protocol lines. Outcomes are
+    // reported exclusively via HPLOK/HPLERROR (a real crash surfaces as
+    // kind=rank_failed phase=panic).
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut structured = false;
+    let mut bad = false;
+    for (cfg, _depth) in combos {
+        let plan = if fault_specs.is_empty() {
+            hpl_faults::FaultPlan::from_seed(fault_seed, cfg.ranks())
+        } else {
+            match hpl_faults::FaultPlan::parse(fault_seed, fault_specs) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("rhpl: bad --fault spec: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        let out = faults::run_one_faulted(cfg, plan, threshold);
+        print!("{}", out.block);
+        if !out.ok() {
+            if out.structured_error() {
+                structured = true;
+            } else {
+                bad = true;
+            }
+        }
+    }
+    if bad {
+        ExitCode::FAILURE
+    } else if structured {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -112,7 +112,7 @@ pub fn run_one_traced(cfg: &HplConfig, depth: usize, threshold: f64) -> RunRecor
     let x = results[0].x.clone();
     let res = Universe::run(cfg.ranks(), |comm| {
         let grid = Grid::new(comm, cfg.p, cfg.q, cfg.order);
-        verify(&grid, cfg.n, cfg.nb, cfg.seed, &x)
+        verify(&grid, cfg.n, cfg.nb, cfg.seed, &x).expect("verification collectives")
     })[0];
     let traces = results.iter_mut().filter_map(|r| r.trace.take()).collect();
     RunRecord {

@@ -4,8 +4,16 @@
 //!
 //! Every collective is blocking and must be called by all ranks of the
 //! communicator in the same order, exactly like MPI.
+//!
+//! Every collective is fallible: recoverable misuse (count mismatches, a
+//! missing root value) and substrate failures (receive timeout, a dead
+//! rank's poisoned fabric, the caller's own injected death) come back as
+//! [`CommError`] so the LU pipeline can unwind with the failure's identity.
+//! Checks that remain `assert!`/`debug_assert!` are hard algorithm
+//! invariants — they cannot fail without a bug in this module itself.
 
 use crate::comm::Communicator;
+use crate::error::CommError;
 use crate::fabric::Tag;
 
 /// Reduction operator for [`allreduce`] / [`reduce`].
@@ -42,25 +50,25 @@ fn unrel(vrank: usize, root: usize, size: usize) -> usize {
 }
 
 /// Binomial-tree broadcast of an arbitrary cloneable value. On the root,
-/// `value` must be `Some`; elsewhere it is ignored. Every rank returns the
-/// broadcast value.
-pub fn bcast<T: Clone + Send + 'static>(comm: &Communicator, root: usize, value: Option<T>) -> T {
+/// `value` must be `Some` (else [`CommError::MissingRoot`]); elsewhere it is
+/// ignored. Every rank returns the broadcast value.
+pub fn bcast<T: Clone + Send + 'static>(
+    comm: &Communicator,
+    root: usize,
+    value: Option<T>,
+) -> Result<T, CommError> {
     let size = comm.size();
     let me = rel(comm.rank(), root, size);
-    let mut val: Option<T> = if me == 0 {
-        Some(value.expect("root must supply the broadcast value"))
-    } else {
-        None
-    };
     // Binomial tree: the parent of virtual rank `me` is `me` with its
     // highest set bit cleared.
-    if me != 0 {
+    let v: T = if me == 0 {
+        value.ok_or(CommError::MissingRoot { what: "bcast" })?
+    } else {
         let hb = usize::BITS - 1 - me.leading_zeros();
         let parent = me - (1usize << hb);
-        val = Some(comm.recv(unrel(parent, root, size), Tag::BCAST));
-    }
+        comm.try_recv(unrel(parent, root, size), Tag::BCAST)?
+    };
     // Send to children: me + 2^k for k above my highest set bit.
-    let v = val.expect("value present after receive");
     let start = if me == 0 {
         0
     } else {
@@ -71,15 +79,15 @@ pub fn bcast<T: Clone + Send + 'static>(comm: &Communicator, root: usize, value:
         if child >= size {
             break;
         }
-        comm.send(unrel(child, root, size), Tag::BCAST, v.clone());
+        comm.try_send(unrel(child, root, size), Tag::BCAST, v.clone())?;
     }
-    v
+    Ok(v)
 }
 
 /// Binomial-tree reduction of `buf` to `root`; the result overwrites `buf`
 /// only on the root (other ranks' buffers hold partial sums on return and
 /// should be treated as scratch).
-pub fn reduce(comm: &Communicator, root: usize, op: Op, buf: &mut [f64]) {
+pub fn reduce(comm: &Communicator, root: usize, op: Op, buf: &mut [f64]) -> Result<(), CommError> {
     let size = comm.size();
     let me = rel(comm.rank(), root, size);
     let mut mask = 1usize;
@@ -87,25 +95,32 @@ pub fn reduce(comm: &Communicator, root: usize, op: Op, buf: &mut [f64]) {
         if me & mask != 0 {
             // Send my partial to the partner below and exit.
             let partner = me - mask;
-            comm.send_slice(unrel(partner, root, size), Tag::REDUCE, buf);
-            return;
+            comm.try_send_slice(unrel(partner, root, size), Tag::REDUCE, buf)?;
+            return Ok(());
         }
         let partner = me + mask;
         if partner < size {
-            let other: Vec<f64> = comm.recv(unrel(partner, root, size), Tag::REDUCE);
-            assert_eq!(other.len(), buf.len(), "reduce length mismatch");
+            let other: Vec<f64> = comm.try_recv(unrel(partner, root, size), Tag::REDUCE)?;
+            if other.len() != buf.len() {
+                return Err(CommError::CountMismatch {
+                    what: "reduce",
+                    expected: buf.len(),
+                    got: other.len(),
+                });
+            }
             for (b, o) in buf.iter_mut().zip(other) {
                 *b = op.apply(*b, o);
             }
         }
         mask <<= 1;
     }
+    Ok(())
 }
 
 /// Allreduce: reduce to rank `0` then broadcast, overwriting `buf` on every
 /// rank with the reduced result.
-pub fn allreduce(comm: &Communicator, op: Op, buf: &mut [f64]) {
-    reduce(comm, 0, op, buf);
+pub fn allreduce(comm: &Communicator, op: Op, buf: &mut [f64]) -> Result<(), CommError> {
+    reduce(comm, 0, op, buf)?;
     let out = bcast(
         comm,
         0,
@@ -114,8 +129,9 @@ pub fn allreduce(comm: &Communicator, op: Op, buf: &mut [f64]) {
         } else {
             None
         },
-    );
+    )?;
     buf.copy_from_slice(&out);
+    Ok(())
 }
 
 /// The `(value, location)` pair used by [`allreduce_maxloc`].
@@ -142,7 +158,7 @@ impl MaxLoc {
 
 /// Allreduce of a single `(value, loc)` pair under max-value ordering.
 /// This is the collective behind every pivot-row selection in FACT.
-pub fn allreduce_maxloc(comm: &Communicator, mine: MaxLoc) -> MaxLoc {
+pub fn allreduce_maxloc(comm: &Communicator, mine: MaxLoc) -> Result<MaxLoc, CommError> {
     let size = comm.size();
     let me = comm.rank();
     // Binomial reduce to 0.
@@ -150,12 +166,12 @@ pub fn allreduce_maxloc(comm: &Communicator, mine: MaxLoc) -> MaxLoc {
     let mut mask = 1usize;
     while mask < size {
         if me & mask != 0 {
-            comm.send(me - mask, Tag::REDUCE, acc);
+            comm.try_send(me - mask, Tag::REDUCE, acc)?;
             break;
         }
         let partner = me + mask;
         if partner < size {
-            let other: MaxLoc = comm.recv(partner, Tag::REDUCE);
+            let other: MaxLoc = comm.try_recv(partner, Tag::REDUCE)?;
             acc = acc.better(other);
         }
         mask <<= 1;
@@ -171,7 +187,7 @@ pub fn allreduce_maxloc(comm: &Communicator, mine: MaxLoc) -> MaxLoc {
 /// HPL's pivot selection (`HPL_pdmxswp`) is exactly this shape: the reduced
 /// value carries the winning pivot row's *contents* along with its index,
 /// so one collective both finds and distributes the pivot row.
-pub fn allreduce_with<T, F>(comm: &Communicator, mine: T, combine: F) -> T
+pub fn allreduce_with<T, F>(comm: &Communicator, mine: T, combine: F) -> Result<T, CommError>
 where
     T: Clone + Send + 'static,
     F: Fn(T, T) -> T,
@@ -182,12 +198,12 @@ where
     let mut mask = 1usize;
     while mask < size {
         if me & mask != 0 {
-            comm.send(me - mask, Tag::REDUCE, acc.clone());
+            comm.try_send(me - mask, Tag::REDUCE, acc.clone())?;
             break;
         }
         let partner = me + mask;
         if partner < size {
-            let other: T = comm.recv(partner, Tag::REDUCE);
+            let other: T = comm.try_recv(partner, Tag::REDUCE)?;
             acc = combine(acc, other);
         }
         mask <<= 1;
@@ -197,35 +213,52 @@ where
 
 /// Gathers variable-size chunks to `root`. Every rank passes its chunk;
 /// the root returns `Some(concatenation ordered by rank)`, others `None`.
-pub fn gatherv(comm: &Communicator, root: usize, chunk: &[f64]) -> Option<Vec<f64>> {
+pub fn gatherv(
+    comm: &Communicator,
+    root: usize,
+    chunk: &[f64],
+) -> Result<Option<Vec<f64>>, CommError> {
     if comm.rank() == root {
         let mut parts: Vec<Vec<f64>> = Vec::with_capacity(comm.size());
         for src in 0..comm.size() {
             if src == root {
                 parts.push(chunk.to_vec());
             } else {
-                parts.push(comm.recv(src, Tag::GATHER));
+                parts.push(comm.try_recv(src, Tag::GATHER)?);
             }
         }
-        Some(parts.concat())
+        Ok(Some(parts.concat()))
     } else {
-        comm.send_slice(root, Tag::GATHER, chunk);
-        None
+        comm.try_send_slice(root, Tag::GATHER, chunk)?;
+        Ok(None)
     }
 }
 
 /// Scatters variable-size chunks from `root`. The root passes
 /// `Some((sendbuf, counts))` with `sendbuf.len() == counts.sum()`; every
 /// rank returns its chunk (of length `counts[rank]`).
-pub fn scatterv(comm: &Communicator, root: usize, send: Option<(&[f64], &[usize])>) -> Vec<f64> {
+pub fn scatterv(
+    comm: &Communicator,
+    root: usize,
+    send: Option<(&[f64], &[usize])>,
+) -> Result<Vec<f64>, CommError> {
     if comm.rank() == root {
-        let (buf, counts) = send.expect("root must supply buffer and counts");
-        assert_eq!(counts.len(), comm.size(), "scatterv counts length mismatch");
-        assert_eq!(
-            counts.iter().sum::<usize>(),
-            buf.len(),
-            "scatterv buffer size mismatch"
-        );
+        let (buf, counts) = send.ok_or(CommError::MissingRoot { what: "scatterv" })?;
+        if counts.len() != comm.size() {
+            return Err(CommError::CountMismatch {
+                what: "scatterv counts",
+                expected: comm.size(),
+                got: counts.len(),
+            });
+        }
+        let total: usize = counts.iter().sum();
+        if total != buf.len() {
+            return Err(CommError::CountMismatch {
+                what: "scatterv buffer",
+                expected: total,
+                got: buf.len(),
+            });
+        }
         let mut off = 0;
         let mut mine = Vec::new();
         for (dst, &cnt) in counts.iter().enumerate() {
@@ -233,14 +266,26 @@ pub fn scatterv(comm: &Communicator, root: usize, send: Option<(&[f64], &[usize]
             if dst == root {
                 mine = piece.to_vec();
             } else {
-                comm.send_slice(dst, Tag::SCATTER, piece);
+                comm.try_send_slice(dst, Tag::SCATTER, piece)?;
             }
             off += cnt;
         }
-        mine
+        Ok(mine)
     } else {
-        comm.recv(root, Tag::SCATTER)
+        comm.try_recv(root, Tag::SCATTER)
     }
+}
+
+/// Prefix offsets of `counts` (shared by both allgatherv variants).
+fn block_offsets(counts: &[usize]) -> Vec<usize> {
+    counts
+        .iter()
+        .scan(0usize, |acc, &c| {
+            let o = *acc;
+            *acc += c;
+            Some(o)
+        })
+        .collect()
 }
 
 /// Ring allgatherv: every rank contributes `chunk` (length `counts[rank]`)
@@ -248,24 +293,33 @@ pub fn scatterv(comm: &Communicator, root: usize, send: Option<(&[f64], &[usize]
 /// steps, each forwarding the block received in the previous step — the
 /// bandwidth-optimal algorithm HPL uses to assemble the `U` matrix in the
 /// row-swap phase.
-pub fn allgatherv(comm: &Communicator, chunk: &[f64], counts: &[usize]) -> Vec<f64> {
+pub fn allgatherv(
+    comm: &Communicator,
+    chunk: &[f64],
+    counts: &[usize],
+) -> Result<Vec<f64>, CommError> {
     let size = comm.size();
     let me = comm.rank();
-    assert_eq!(counts.len(), size, "allgatherv counts length mismatch");
-    assert_eq!(chunk.len(), counts[me], "allgatherv chunk size mismatch");
-    let offsets: Vec<usize> = counts
-        .iter()
-        .scan(0usize, |acc, &c| {
-            let o = *acc;
-            *acc += c;
-            Some(o)
-        })
-        .collect();
+    if counts.len() != size {
+        return Err(CommError::CountMismatch {
+            what: "allgatherv counts",
+            expected: size,
+            got: counts.len(),
+        });
+    }
+    if chunk.len() != counts[me] {
+        return Err(CommError::CountMismatch {
+            what: "allgatherv chunk",
+            expected: counts[me],
+            got: chunk.len(),
+        });
+    }
+    let offsets = block_offsets(counts);
     let total: usize = counts.iter().sum();
     let mut out = vec![0.0f64; total];
     out[offsets[me]..offsets[me] + counts[me]].copy_from_slice(chunk);
     if size == 1 {
-        return out;
+        return Ok(out);
     }
     let right = (me + 1) % size;
     let left = (me + size - 1) % size;
@@ -275,14 +329,21 @@ pub fn allgatherv(comm: &Communicator, chunk: &[f64], counts: &[usize]) -> Vec<f
     for _ in 0..size - 1 {
         let send_piece =
             out[offsets[send_block]..offsets[send_block] + counts[send_block]].to_vec();
-        comm.send(right, Tag::ALLGATHER, send_piece);
+        comm.try_send(right, Tag::ALLGATHER, send_piece)?;
         let recv_block = (send_block + size - 1) % size;
-        let piece: Vec<f64> = comm.recv(left, Tag::ALLGATHER);
-        assert_eq!(piece.len(), counts[recv_block]);
+        let piece: Vec<f64> = comm.try_recv(left, Tag::ALLGATHER)?;
+        if piece.len() != counts[recv_block] {
+            // A peer disagreed about `counts` — caller error on its side.
+            return Err(CommError::CountMismatch {
+                what: "allgatherv received block",
+                expected: counts[recv_block],
+                got: piece.len(),
+            });
+        }
         out[offsets[recv_block]..offsets[recv_block] + counts[recv_block]].copy_from_slice(&piece);
         send_block = recv_block;
     }
-    out
+    Ok(out)
 }
 
 /// Recursive-doubling ("binary exchange") allgatherv: `log2 p` rounds, in
@@ -291,39 +352,57 @@ pub fn allgatherv(comm: &Communicator, chunk: &[f64], counts: &[usize]) -> Vec<f
 /// `p - 1` steps) at the cost of `log p`-fold send volume — HPL's
 /// binary-exchange row-swap variant. Falls back to the ring when `p` is
 /// not a power of two.
-pub fn allgatherv_rd(comm: &Communicator, chunk: &[f64], counts: &[usize]) -> Vec<f64> {
+pub fn allgatherv_rd(
+    comm: &Communicator,
+    chunk: &[f64],
+    counts: &[usize],
+) -> Result<Vec<f64>, CommError> {
     let size = comm.size();
     if !size.is_power_of_two() {
         return allgatherv(comm, chunk, counts);
     }
     let me = comm.rank();
-    assert_eq!(counts.len(), size, "allgatherv_rd counts length mismatch");
-    assert_eq!(chunk.len(), counts[me], "allgatherv_rd chunk size mismatch");
+    if counts.len() != size {
+        return Err(CommError::CountMismatch {
+            what: "allgatherv_rd counts",
+            expected: size,
+            got: counts.len(),
+        });
+    }
+    if chunk.len() != counts[me] {
+        return Err(CommError::CountMismatch {
+            what: "allgatherv_rd chunk",
+            expected: counts[me],
+            got: chunk.len(),
+        });
+    }
     // Blocks currently held, keyed by origin rank.
     let mut have: Vec<(usize, Vec<f64>)> = vec![(me, chunk.to_vec())];
     let mut dist = 1usize;
     while dist < size {
         let partner = me ^ dist;
-        comm.send(partner, Tag::ALLGATHER, have.clone());
-        let theirs: Vec<(usize, Vec<f64>)> = comm.recv(partner, Tag::ALLGATHER);
+        comm.try_send(partner, Tag::ALLGATHER, have.clone())?;
+        let theirs: Vec<(usize, Vec<f64>)> = comm.try_recv(partner, Tag::ALLGATHER)?;
         have.extend(theirs);
         dist <<= 1;
     }
-    let offsets: Vec<usize> = counts
-        .iter()
-        .scan(0usize, |acc, &c| {
-            let o = *acc;
-            *acc += c;
-            Some(o)
-        })
-        .collect();
+    let offsets = block_offsets(counts);
     let mut out = vec![0.0f64; counts.iter().sum()];
+    // INVARIANT: after log2(size) doubling rounds each origin rank's block
+    // was merged exactly once — the hypercube exchange visits every rank.
+    // Violations are bugs in the loop above, not runtime conditions.
     debug_assert_eq!(have.len(), size);
     for (origin, data) in have {
-        debug_assert_eq!(data.len(), counts[origin]);
+        if data.len() != counts[origin] {
+            return Err(CommError::CountMismatch {
+                what: "allgatherv_rd received block",
+                expected: counts[origin],
+                got: data.len(),
+            });
+        }
         out[offsets[origin]..offsets[origin] + counts[origin]].copy_from_slice(&data);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -345,6 +424,7 @@ mod tests {
                         root,
                         (comm.rank() == root).then(|| vec![root as f64, 42.0]),
                     )
+                    .unwrap()
                 });
                 for v in out {
                     assert_eq!(v, vec![root as f64, 42.0], "n={n} root={root}");
@@ -354,16 +434,22 @@ mod tests {
     }
 
     #[test]
+    fn bcast_missing_root_value_is_an_error() {
+        let out = Universe::run(1, |comm| bcast::<f64>(&comm, 0, None));
+        assert_eq!(out[0], Err(CommError::MissingRoot { what: "bcast" }));
+    }
+
+    #[test]
     fn allreduce_sum_max_min() {
         for n in sizes() {
             let out = Universe::run(n, |comm| {
                 let r = comm.rank() as f64;
                 let mut s = vec![r, -r, 1.0];
-                allreduce(&comm, Op::Sum, &mut s);
+                allreduce(&comm, Op::Sum, &mut s).unwrap();
                 let mut mx = vec![r];
-                allreduce(&comm, Op::Max, &mut mx);
+                allreduce(&comm, Op::Max, &mut mx).unwrap();
                 let mut mn = vec![r];
-                allreduce(&comm, Op::Min, &mut mn);
+                allreduce(&comm, Op::Min, &mut mn).unwrap();
                 (s, mx, mn)
             });
             let nf = n as f64;
@@ -374,6 +460,24 @@ mod tests {
                 assert_eq!(mn, vec![0.0]);
             }
         }
+    }
+
+    #[test]
+    fn reduce_length_mismatch_is_an_error() {
+        let out = Universe::run(2, |comm| {
+            // Rank 1 contributes a shorter buffer than rank 0 expects.
+            let mut buf = vec![0.0; 2 + comm.rank()];
+            reduce(&comm, 0, Op::Sum, &mut buf)
+        });
+        assert_eq!(out[1], Ok(()), "the sender cannot see the mismatch");
+        assert_eq!(
+            out[0],
+            Err(CommError::CountMismatch {
+                what: "reduce",
+                expected: 2,
+                got: 3
+            })
+        );
     }
 
     #[test]
@@ -390,6 +494,7 @@ mod tests {
                         loc: (r * 7) as u64,
                     },
                 )
+                .unwrap()
             });
             for m in out {
                 assert_eq!(
@@ -413,6 +518,7 @@ mod tests {
                     loc: 100 - comm.rank() as u64,
                 },
             )
+            .unwrap()
         });
         for m in out {
             assert_eq!(m.loc, 97);
@@ -426,7 +532,7 @@ mod tests {
                 let out = Universe::run(n, |comm| {
                     let r = comm.rank();
                     let chunk: Vec<f64> = (0..r + 1).map(|i| (r * 10 + i) as f64).collect();
-                    gatherv(&comm, root, &chunk)
+                    gatherv(&comm, root, &chunk).unwrap()
                 });
                 let mut expect = Vec::new();
                 for r in 0..n {
@@ -456,6 +562,7 @@ mod tests {
                         root,
                         (comm.rank() == root).then_some((buf.as_slice(), counts.as_slice())),
                     )
+                    .unwrap()
                 });
                 let mut off = 0;
                 for (r, chunk) in out.into_iter().enumerate() {
@@ -468,13 +575,43 @@ mod tests {
     }
 
     #[test]
+    fn scatterv_misuse_is_an_error_not_a_panic() {
+        // Root forgets its buffer.
+        let out = Universe::run(1, |comm| scatterv(&comm, 0, None));
+        assert_eq!(out[0], Err(CommError::MissingRoot { what: "scatterv" }));
+        // Counts don't cover the communicator.
+        let out = Universe::run(1, |comm| {
+            scatterv(&comm, 0, Some(([1.0].as_slice(), [1usize, 1].as_slice())))
+        });
+        assert!(matches!(
+            out[0],
+            Err(CommError::CountMismatch {
+                what: "scatterv counts",
+                ..
+            })
+        ));
+        // Buffer shorter than the counts claim.
+        let out = Universe::run(1, |comm| {
+            scatterv(&comm, 0, Some(([1.0].as_slice(), [2usize].as_slice())))
+        });
+        assert!(matches!(
+            out[0],
+            Err(CommError::CountMismatch {
+                what: "scatterv buffer",
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
     fn allgatherv_assembles_everywhere() {
         for n in sizes() {
             let out = Universe::run(n, |comm| {
                 let r = comm.rank();
                 let counts: Vec<usize> = (0..n).map(|k| (k % 3) + 1).collect();
                 let chunk: Vec<f64> = (0..counts[r]).map(|i| (r * 100 + i) as f64).collect();
-                allgatherv(&comm, &chunk, &counts)
+                allgatherv(&comm, &chunk, &counts).unwrap()
             });
             let counts: Vec<usize> = (0..n).map(|k| (k % 3) + 1).collect();
             let mut expect = Vec::new();
@@ -488,14 +625,35 @@ mod tests {
     }
 
     #[test]
+    fn allgatherv_count_mismatch_is_an_error() {
+        let out = Universe::run(1, |comm| allgatherv(&comm, &[1.0], &[1, 1]));
+        assert!(matches!(
+            out[0],
+            Err(CommError::CountMismatch {
+                what: "allgatherv counts",
+                ..
+            })
+        ));
+        let out = Universe::run(1, |comm| allgatherv(&comm, &[1.0, 2.0], &[1]));
+        assert!(matches!(
+            out[0],
+            Err(CommError::CountMismatch {
+                what: "allgatherv chunk",
+                expected: 1,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
     fn recursive_doubling_matches_ring() {
         for n in sizes() {
             let out = Universe::run(n, |comm| {
                 let r = comm.rank();
                 let counts: Vec<usize> = (0..n).map(|k| (k % 4) + 1).collect();
                 let chunk: Vec<f64> = (0..counts[r]).map(|i| (r * 100 + i) as f64).collect();
-                let a = allgatherv(&comm, &chunk, &counts);
-                let b = allgatherv_rd(&comm, &chunk, &counts);
+                let a = allgatherv(&comm, &chunk, &counts).unwrap();
+                let b = allgatherv_rd(&comm, &chunk, &counts).unwrap();
                 (a, b)
             });
             for (a, b) in out {
@@ -510,7 +668,7 @@ mod tests {
         let stats = Universe::run(8, |comm| {
             let counts = [4usize; 8];
             let chunk = vec![comm.rank() as f64; 4];
-            let _ = allgatherv_rd(&comm, &chunk, &counts);
+            let _ = allgatherv_rd(&comm, &chunk, &counts).unwrap();
             comm.stats().snapshot().0
         });
         for s in stats {
@@ -524,7 +682,7 @@ mod tests {
             let counts = [2, 0, 1, 0];
             let r = comm.rank();
             let chunk: Vec<f64> = (0..counts[r]).map(|i| (r * 10 + i) as f64).collect();
-            allgatherv(&comm, &chunk, &counts)
+            allgatherv(&comm, &chunk, &counts).unwrap()
         });
         for o in out {
             assert_eq!(o, vec![0.0, 1.0, 20.0]);
@@ -544,6 +702,7 @@ mod tests {
                     ids.sort_unstable();
                     (a.0.max(b.0), ids)
                 })
+                .unwrap()
             });
             for (mx, ids) in out {
                 assert_eq!(mx, (n - 1) as f64);
@@ -557,11 +716,11 @@ mod tests {
         // Different kinds of collectives issued consecutively must not
         // interfere, and the fabric must be quiescent at the end.
         let out = Universe::run(4, |comm| {
-            let a = bcast(&comm, 0, (comm.rank() == 0).then_some(1.5f64));
+            let a = bcast(&comm, 0, (comm.rank() == 0).then_some(1.5f64)).unwrap();
             let mut b = vec![comm.rank() as f64];
-            allreduce(&comm, Op::Sum, &mut b);
-            let c = bcast(&comm, 2, (comm.rank() == 2).then_some(7u8));
-            let d = allgatherv(&comm, &[comm.rank() as f64], &[1, 1, 1, 1]);
+            allreduce(&comm, Op::Sum, &mut b).unwrap();
+            let c = bcast(&comm, 2, (comm.rank() == 2).then_some(7u8)).unwrap();
+            let d = allgatherv(&comm, &[comm.rank() as f64], &[1, 1, 1, 1]).unwrap();
             comm.barrier();
             assert!(comm.stats().snapshot().0 > 0);
             (a, b[0], c, d)

@@ -4,6 +4,7 @@
 
 use std::sync::Arc;
 
+use crate::error::CommError;
 use crate::fabric::{CommStats, Fabric, Tag};
 
 /// A rank's endpoint in one communicator (the analogue of an `MPI_Comm`
@@ -52,12 +53,51 @@ impl Communicator {
         );
     }
 
+    /// Fallible [`Communicator::send`]: the only error is this rank's own
+    /// injected death, returned (after poisoning the job) instead of
+    /// unwinding so collectives running on pool worker threads can exit
+    /// their parallel region cleanly.
+    pub fn try_send<T: Send + 'static>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        value: T,
+    ) -> Result<(), CommError> {
+        self.fabric
+            .try_send(self.rank, dst, tag, Box::new(value), 1)
+    }
+
+    /// Fallible [`Communicator::send_slice`]; see [`Communicator::try_send`].
+    pub fn try_send_slice(&self, dst: usize, tag: Tag, data: &[f64]) -> Result<(), CommError> {
+        self.fabric.try_send(
+            self.rank,
+            dst,
+            tag,
+            Box::new(data.to_vec()),
+            data.len() as u64,
+        )
+    }
+
     /// Receives a `T` from `(src, tag)`, blocking. Panics if the matching
     /// message has a different payload type (a programming error on the
     /// matched send side).
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
-        let any = self.fabric.recv(self.rank, src, tag);
-        *any.downcast::<T>().unwrap_or_else(|_| {
+        self.try_recv(src, tag).unwrap_or_else(|e| {
+            // Deadlock/death diagnostics must fail loudly on the infallible
+            // path (see `Fabric::recv`).
+            // xtask-allow: no-panic — deadlock diagnostics
+            panic!("{e}")
+        })
+    }
+
+    /// Fallible [`Communicator::recv`]: returns [`CommError::Timeout`] (with
+    /// the mailbox's pending `(src, tag)` keys) instead of wedging until the
+    /// deadlock detector panics, and [`CommError::RankFailed`] when the job
+    /// was poisoned by a dead rank. A payload-type mismatch still panics —
+    /// that is a bug in the matched send, not a runtime condition.
+    pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> Result<T, CommError> {
+        let any = self.fabric.try_recv(self.rank, src, tag)?;
+        Ok(*any.downcast::<T>().unwrap_or_else(|_| {
             // A payload-type mismatch is a bug in the matched send, not a
             // runtime error (documented on the method).
             // xtask-allow: no-panic — programming-error contract
@@ -66,7 +106,7 @@ impl Communicator {
                 self.rank,
                 std::any::type_name::<T>()
             )
-        })
+        }))
     }
 
     /// Receives a `Vec<f64>` from `(src, tag)` into `buf` (lengths must
@@ -75,6 +115,22 @@ impl Communicator {
         let v: Vec<f64> = self.recv(src, tag);
         assert_eq!(v.len(), buf.len(), "recv_into length mismatch");
         buf.copy_from_slice(&v);
+    }
+
+    /// Fallible [`Communicator::recv_into`]: a length mismatch (which an
+    /// injected corruption cannot cause, but a protocol bug can) comes back
+    /// as [`CommError::CountMismatch`] instead of a panic.
+    pub fn try_recv_into(&self, src: usize, tag: Tag, buf: &mut [f64]) -> Result<(), CommError> {
+        let v: Vec<f64> = self.try_recv(src, tag)?;
+        if v.len() != buf.len() {
+            return Err(CommError::CountMismatch {
+                what: "recv_into",
+                expected: buf.len(),
+                got: v.len(),
+            });
+        }
+        buf.copy_from_slice(&v);
+        Ok(())
     }
 
     /// Simultaneous exchange: sends `send` to `dst` and receives the
@@ -90,9 +146,26 @@ impl Communicator {
         self.fabric.barrier();
     }
 
+    /// Fallible barrier: fails with [`CommError::RankFailed`] when the job
+    /// is poisoned while waiting (a dead rank can never arrive).
+    pub fn try_barrier(&self) -> Result<(), CommError> {
+        self.fabric.try_barrier()
+    }
+
     /// Traffic statistics for this rank.
     pub fn stats(&self) -> &CommStats {
         self.fabric.stats(self.rank)
+    }
+
+    /// The fault injector armed on this job, if any (`None` in production
+    /// runs; the checked broadcast path keys off this).
+    pub fn fault_injector(&self) -> Option<Arc<hpl_faults::Injector>> {
+        self.fabric.fault_injector()
+    }
+
+    /// `(rank, phase)` of the first rank death recorded on this job, if any.
+    pub fn poison_info(&self) -> Option<(usize, String)> {
+        self.fabric.poison_info()
     }
 
     /// Splits the communicator: ranks passing the same `color` form a new
@@ -117,7 +190,9 @@ impl Communicator {
                 let mut members: Vec<(usize, usize, usize)> =
                     entries.iter().copied().filter(|e| e.0 == c).collect();
                 members.sort_by_key(|&(_, k, r)| (k, r));
-                let fabric = Fabric::new(members.len());
+                // Sub-fabrics inherit the job's poison token and injector so
+                // a death anywhere unwinds row/column collectives too.
+                let fabric = self.fabric.child(members.len());
                 for (new_rank, &(_, _, parent_rank)) in members.iter().enumerate() {
                     if parent_rank == 0 {
                         my_comm = Some(Communicator::new(Arc::clone(&fabric), new_rank));

@@ -6,13 +6,28 @@
 //! receives block until a matching message arrives. Message order between a
 //! fixed `(source, tag)` pair is FIFO, which is what MPI guarantees per
 //! (source, tag, communicator) and what the collective algorithms rely on.
+//!
+//! Two robustness layers live at this choke point, mirroring where
+//! `hpl-trace` attributes payload bytes:
+//!
+//! * **Fault injection** — an optional armed [`hpl_faults::Injector`] decides
+//!   per send/recv whether to delay, drop-and-retransmit, bit-flip, stall,
+//!   or kill the rank. The unarmed path costs one `Option` discriminant
+//!   check, gated by the same bench budget as a disabled trace span.
+//! * **Poisoning** — when a rank dies (injected death or a panic on its
+//!   thread), the fabric is poisoned with the rank's identity. Every blocked
+//!   and future receive/barrier on the *same job* (split sub-fabrics share
+//!   the poison token) fails promptly with [`CommError::RankFailed`] instead
+//!   of wedging until the deadlock detector fires.
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
+
+use crate::error::CommError;
 
 /// Message tag. User tags live below [`Tag::RESERVED_BASE`]; the collective
 /// implementations use reserved tags above it so user point-to-point traffic
@@ -31,6 +46,9 @@ impl Tag {
     pub(crate) const ALLGATHER: Tag = Tag(Self::RESERVED_BASE + 5);
     pub(crate) const SPLIT: Tag = Tag(Self::RESERVED_BASE + 6);
     pub(crate) const RING: Tag = Tag(Self::RESERVED_BASE + 7);
+    pub(crate) const ABFT_SUM: Tag = Tag(Self::RESERVED_BASE + 8);
+    pub(crate) const ABFT_ACK: Tag = Tag(Self::RESERVED_BASE + 9);
+    pub(crate) const ABFT_CTRL: Tag = Tag(Self::RESERVED_BASE + 10);
 
     /// Creates a user tag; panics on collision with the reserved range.
     pub fn user(t: u64) -> Tag {
@@ -47,6 +65,22 @@ type Boxed = Box<dyn Any + Send>;
 #[derive(Default)]
 struct MailboxInner {
     queues: HashMap<(usize, Tag), VecDeque<Boxed>>,
+}
+
+impl MailboxInner {
+    /// The `(src, tag)` keys that currently hold undelivered messages —
+    /// dumped into timeout diagnostics so a mismatched collective ordering
+    /// shows *what* arrived instead of the expected message.
+    fn pending_keys(&self) -> Vec<(usize, Tag)> {
+        let mut keys: Vec<(usize, Tag)> = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(k, _)| *k)
+            .collect();
+        keys.sort();
+        keys
+    }
 }
 
 /// One destination rank's inbox.
@@ -69,36 +103,6 @@ impl Mailbox {
         self.arrived.notify_all();
     }
 
-    fn take(&self, dst: usize, src: usize, tag: Tag) -> Boxed {
-        let mut g = self.inner.lock();
-        let mut waited = std::time::Duration::ZERO;
-        loop {
-            if let Some(q) = g.queues.get_mut(&(src, tag)) {
-                if let Some(m) = q.pop_front() {
-                    return m;
-                }
-            }
-            // A real MPI would hang here forever on a mismatched schedule;
-            // we turn that into a diagnosable failure after a (generous,
-            // overridable) timeout so broken collective orderings fail
-            // loudly in tests instead of wedging the whole run.
-            let step = std::time::Duration::from_millis(500);
-            if self.arrived.wait_for(&mut g, step).timed_out() {
-                waited += step;
-                if waited >= recv_timeout() {
-                    // Deliberate deadlock detector: real MPI would hang
-                    // forever here; failing loudly is the feature.
-                    // xtask-allow: no-panic — deadlock diagnostics
-                    panic!(
-                        "rank {dst}: no message from rank {src} with tag {tag:?} after \
-                         {waited:?} — mismatched send/recv or collective ordering \
-                         (set HPL_COMM_TIMEOUT_SECS to lengthen)"
-                    );
-                }
-            }
-        }
-    }
-
     fn is_empty(&self) -> bool {
         self.inner.lock().queues.values().all(|q| q.is_empty())
     }
@@ -116,6 +120,34 @@ pub fn recv_timeout() -> std::time::Duration {
             .unwrap_or(120);
         std::time::Duration::from_secs(secs.max(1))
     })
+}
+
+/// Shared death token for one job. Split sub-fabrics clone the `Arc`, so a
+/// rank dying anywhere poisons every communicator the job owns; blocked
+/// receives and barriers poll the flag (≤100 ms step) and unwind with the
+/// recorded identity.
+#[derive(Default)]
+pub(crate) struct Poison {
+    flag: AtomicBool,
+    info: Mutex<Option<(usize, String)>>,
+}
+
+impl Poison {
+    fn set(&self, rank: usize, phase: &str) {
+        let mut info = self.info.lock();
+        // First death wins: it is the root cause every peer should report.
+        if info.is_none() {
+            *info = Some((rank, phase.to_string()));
+        }
+        self.flag.store(true, Ordering::Release);
+    }
+
+    fn get(&self) -> Option<(usize, String)> {
+        if !self.flag.load(Ordering::Acquire) {
+            return None;
+        }
+        self.info.lock().clone()
+    }
 }
 
 /// Per-rank traffic counters, useful for asserting the structural properties
@@ -145,12 +177,15 @@ impl CommStats {
 }
 
 /// The shared state of one communicator: `size` mailboxes plus barrier
-/// bookkeeping and per-rank stats.
+/// bookkeeping, per-rank stats, the job's poison token, and the (optional)
+/// armed fault injector.
 pub struct Fabric {
     boxes: Vec<Mailbox>,
     stats: Vec<CommStats>,
     barrier_state: Mutex<BarrierGen>,
     barrier_cv: Condvar,
+    poison: Arc<Poison>,
+    faults: Option<Arc<hpl_faults::Injector>>,
 }
 
 #[derive(Default)]
@@ -159,14 +194,41 @@ struct BarrierGen {
     generation: u64,
 }
 
+/// Polling step for blocked waits: short enough that poisoning propagates to
+/// sub-fabrics (which share the token but not the condvars) well inside the
+/// <5 s unwind budget, long enough to stay invisible on the happy path
+/// (waits are normally satisfied by a notify, not the poll).
+const WAIT_STEP: std::time::Duration = std::time::Duration::from_millis(100);
+
 impl Fabric {
     /// Creates a fabric connecting `size` ranks.
     pub fn new(size: usize) -> Arc<Self> {
+        Self::new_with_faults(size, None)
+    }
+
+    /// Creates a fabric with an armed fault injector (see [`hpl_faults`]).
+    pub fn new_with_faults(size: usize, faults: Option<Arc<hpl_faults::Injector>>) -> Arc<Self> {
+        Self::build(size, faults, Arc::new(Poison::default()))
+    }
+
+    /// A sub-fabric for `size` ranks sharing this fabric's poison token and
+    /// injector (used by `Communicator::split`).
+    pub(crate) fn child(&self, size: usize) -> Arc<Self> {
+        Self::build(size, self.faults.clone(), Arc::clone(&self.poison))
+    }
+
+    fn build(
+        size: usize,
+        faults: Option<Arc<hpl_faults::Injector>>,
+        poison: Arc<Poison>,
+    ) -> Arc<Self> {
         Arc::new(Self {
             boxes: (0..size).map(|_| Mailbox::new()).collect(),
             stats: (0..size).map(|_| CommStats::default()).collect(),
             barrier_state: Mutex::new(BarrierGen::default()),
             barrier_cv: Condvar::new(),
+            poison,
+            faults,
         })
     }
 
@@ -175,13 +237,91 @@ impl Fabric {
         self.boxes.len()
     }
 
-    /// Deposits a message for `dst`.
-    pub fn send(&self, src: usize, dst: usize, tag: Tag, msg: Boxed, elems: u64) {
+    /// The armed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<hpl_faults::Injector>> {
+        self.faults.clone()
+    }
+
+    /// Marks the job as having lost `rank` during `phase` and wakes every
+    /// waiter on *this* fabric; waiters on sibling fabrics observe the shared
+    /// token at their next poll step. Idempotent — the first recorded death
+    /// wins, so every peer reports the same root cause.
+    pub fn poison(&self, rank: usize, phase: &str) {
+        self.poison.set(rank, phase);
+        for b in &self.boxes {
+            // Touch each mailbox lock so sleepers can't miss the wakeup
+            // between their flag check and their wait.
+            let _g = b.inner.lock();
+            b.arrived.notify_all();
+        }
+        let _g = self.barrier_state.lock();
+        self.barrier_cv.notify_all();
+    }
+
+    /// `(rank, phase)` of the first death recorded on this job, if any.
+    pub fn poison_info(&self) -> Option<(usize, String)> {
+        self.poison.get()
+    }
+
+    fn poison_err(&self) -> Option<CommError> {
+        self.poison
+            .get()
+            .map(|(rank, phase)| CommError::RankFailed { rank, phase })
+    }
+
+    /// Where the current thread is in the pipeline, for death diagnostics:
+    /// the innermost open trace phase when one exists, else the comm site.
+    fn here(site: &'static str) -> String {
+        hpl_trace::current_phase()
+            .map(|p| p.name().to_string())
+            .unwrap_or_else(|| site.to_string())
+    }
+
+    /// Deposits a message for `dst`, applying any matched send-site fault.
+    /// The only error is the sending rank's own injected death (after
+    /// poisoning the job); fault-free sends cannot fail.
+    pub fn try_send(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+        msg: Boxed,
+        elems: u64,
+    ) -> Result<(), CommError> {
         assert!(
             dst < self.boxes.len(),
             "send to rank {dst} of {}",
             self.boxes.len()
         );
+        let mut msg = msg;
+        match hpl_faults::on_send(&self.faults) {
+            hpl_faults::SendAction::Deliver => {}
+            hpl_faults::SendAction::Delay { micros } => {
+                let _sp = hpl_trace::span(hpl_trace::Phase::Fault);
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+            }
+            hpl_faults::SendAction::DropRetransmit => {
+                // The message is "lost on the wire": count the wasted send,
+                // back off, then fall through to the retransmit delivery.
+                self.stats[src].count(elems);
+                let _sp = hpl_trace::span(hpl_trace::Phase::Fault);
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            hpl_faults::SendAction::Corrupt { bit } => {
+                if let Some(v) = msg.downcast_mut::<Vec<f64>>() {
+                    if !v.is_empty() {
+                        let i = v.len() / 2;
+                        v[i] = f64::from_bits(v[i].to_bits() ^ (1u64 << (bit % 64)));
+                    }
+                }
+            }
+            hpl_faults::SendAction::Death => {
+                let rank = hpl_faults::world_rank().unwrap_or(src);
+                let phase = Self::here("send");
+                self.poison(rank, &phase);
+                return Err(CommError::RankFailed { rank, phase });
+            }
+        }
         self.stats[src].count(elems);
         // Every point-to-point payload funnels through here, so this is the
         // one choke point where traced bytes are attributed to the calling
@@ -190,18 +330,93 @@ impl Fabric {
         // bytes — negligible against panel traffic, kept for determinism.
         hpl_trace::add_bytes(elems * 8);
         self.boxes[dst].deposit(src, tag, msg);
+        Ok(())
+    }
+
+    /// Infallible [`Fabric::try_send`] for call sites outside the fallible
+    /// pipeline (tests, split bootstrap). An injected death here unwinds the
+    /// rank thread with a [`hpl_faults::RankDeath`] payload; the job is
+    /// already poisoned, so peers still fail with the rank's identity.
+    pub fn send(&self, src: usize, dst: usize, tag: Tag, msg: Boxed, elems: u64) {
+        if let Err(e) = self.try_send(src, dst, tag, msg, elems) {
+            let CommError::RankFailed { rank, phase } = e else {
+                // try_send's only error is the sender's own death.
+                unreachable!("unexpected send error: {e}");
+            };
+            std::panic::panic_any(hpl_faults::RankDeath { rank, phase });
+        }
     }
 
     /// Blocks until a message from `(src, tag)` addressed to `dst` arrives.
-    /// Panics with a diagnostic after [`recv_timeout`] (default 120 s,
-    /// `HPL_COMM_TIMEOUT_SECS` to override) — see [`Mailbox::take`].
-    pub fn recv(&self, dst: usize, src: usize, tag: Tag) -> Boxed {
+    ///
+    /// Fails with [`CommError::RankFailed`] if the job is poisoned before a
+    /// matching message shows up, and with [`CommError::Timeout`] — carrying
+    /// the mailbox's pending `(src, tag)` keys — after [`recv_timeout`]
+    /// (default 120 s, `HPL_COMM_TIMEOUT_SECS` to override). A matched
+    /// recv-site fault may stall first or kill the receiving rank.
+    pub fn try_recv(&self, dst: usize, src: usize, tag: Tag) -> Result<Boxed, CommError> {
         assert!(
             src < self.boxes.len(),
             "recv from rank {src} of {}",
             self.boxes.len()
         );
-        self.boxes[dst].take(dst, src, tag)
+        match hpl_faults::on_recv(&self.faults) {
+            hpl_faults::RecvAction::Proceed => {}
+            hpl_faults::RecvAction::Stall { millis } => {
+                let _sp = hpl_trace::span(hpl_trace::Phase::Fault);
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            hpl_faults::RecvAction::Death => {
+                let rank = hpl_faults::world_rank().unwrap_or(dst);
+                let phase = Self::here("recv");
+                self.poison(rank, &phase);
+                return Err(CommError::RankFailed { rank, phase });
+            }
+        }
+        let mbox = &self.boxes[dst];
+        let mut g = mbox.inner.lock();
+        let mut waited = std::time::Duration::ZERO;
+        loop {
+            if let Some(q) = g.queues.get_mut(&(src, tag)) {
+                if let Some(m) = q.pop_front() {
+                    return Ok(m);
+                }
+            }
+            // Delivered-before-death messages win over the poison check (the
+            // queue is consulted first), so data flow stays deterministic;
+            // only receives that can never be satisfied unwind.
+            if let Some(e) = self.poison_err() {
+                return Err(e);
+            }
+            // A real MPI would hang here forever on a mismatched schedule;
+            // we turn that into a diagnosable failure after a (generous,
+            // overridable) timeout so broken collective orderings fail
+            // loudly in tests instead of wedging the whole run.
+            if mbox.arrived.wait_for(&mut g, WAIT_STEP).timed_out() {
+                waited += WAIT_STEP;
+                if waited >= recv_timeout() {
+                    return Err(CommError::Timeout {
+                        dst,
+                        src,
+                        tag,
+                        waited_ms: waited.as_millis() as u64,
+                        pending: g.pending_keys(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Infallible [`Fabric::try_recv`] for call sites outside the fallible
+    /// pipeline. Keeps the historical deadlock-detector behaviour: a timeout
+    /// (or poisoned job) panics with the full diagnostic.
+    pub fn recv(&self, dst: usize, src: usize, tag: Tag) -> Boxed {
+        self.try_recv(dst, src, tag).unwrap_or_else(|e| {
+            // Deliberate deadlock detector: real MPI would hang forever
+            // here; failing loudly is the feature.
+            // xtask-allow: no-panic — deadlock diagnostics
+            panic!("{e}")
+        })
     }
 
     /// Per-rank statistics.
@@ -215,8 +430,10 @@ impl Fabric {
         self.boxes.iter().all(Mailbox::is_empty)
     }
 
-    /// Centralized generation-counting barrier over all ranks of this fabric.
-    pub fn barrier(&self) {
+    /// Centralized generation-counting barrier over all ranks of this
+    /// fabric. Fails with [`CommError::RankFailed`] if the job is poisoned
+    /// while waiting (a dead rank can never arrive).
+    pub fn try_barrier(&self) -> Result<(), CommError> {
         let n = self.boxes.len();
         let mut g = self.barrier_state.lock();
         let gen = g.generation;
@@ -227,9 +444,26 @@ impl Fabric {
             self.barrier_cv.notify_all();
         } else {
             while g.generation == gen {
-                self.barrier_cv.wait(&mut g);
+                if let Some(e) = self.poison_err() {
+                    // Withdraw so a (hypothetical) later barrier isn't
+                    // satisfied by our abandoned arrival.
+                    g.arrived = g.arrived.saturating_sub(1);
+                    return Err(e);
+                }
+                self.barrier_cv.wait_for(&mut g, WAIT_STEP);
             }
         }
+        Ok(())
+    }
+
+    /// Infallible [`Fabric::try_barrier`]; panics if the job is poisoned.
+    pub fn barrier(&self) {
+        self.try_barrier().unwrap_or_else(|e| {
+            // Same rationale as `recv`: a barrier that can never complete
+            // must fail loudly, not wedge.
+            // xtask-allow: no-panic — deadlock diagnostics
+            panic!("{e}")
+        });
     }
 }
 
@@ -300,12 +534,85 @@ mod tests {
         // process, so set it before any recv path runs in this test bin).
         std::env::set_var("HPL_COMM_TIMEOUT_SECS", "1");
         let f = Fabric::new(2);
+        f.send(1, 1, Tag::user(11), Box::new(5u8), 1); // unrelated pending msg
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = f.recv(1, 0, Tag::user(9));
         }))
         .unwrap_err();
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("no message from rank 0"), "{msg}");
+        assert!(msg.contains("pending queues"), "{msg}");
+        assert!(msg.contains("src=1"), "should dump the pending key: {msg}");
+    }
+
+    #[test]
+    fn try_recv_reports_pending_keys_on_timeout() {
+        std::env::set_var("HPL_COMM_TIMEOUT_SECS", "1");
+        let f = Fabric::new(3);
+        f.send(2, 1, Tag::user(4), Box::new(1u8), 1);
+        let e = f.try_recv(1, 0, Tag::user(9)).unwrap_err();
+        match e {
+            CommError::Timeout {
+                dst, src, pending, ..
+            } => {
+                assert_eq!((dst, src), (1, 0));
+                assert_eq!(pending, vec![(2, Tag::user(4))]);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poison_unblocks_receivers_promptly() {
+        let f = Fabric::new(2);
+        let f2 = Arc::clone(&f);
+        let t0 = std::time::Instant::now();
+        let h = thread::spawn(move || f2.try_recv(1, 0, Tag::user(3)));
+        thread::sleep(std::time::Duration::from_millis(30));
+        f.poison(0, "fact");
+        let e = h.join().unwrap().unwrap_err();
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+        assert_eq!(
+            e,
+            CommError::RankFailed {
+                rank: 0,
+                phase: "fact".into()
+            }
+        );
+    }
+
+    #[test]
+    fn poisoned_fabric_still_delivers_queued_messages() {
+        let f = Fabric::new(2);
+        f.send(0, 1, Tag::user(1), Box::new(7u32), 1);
+        f.poison(0, "update");
+        // The delivered-before-death message wins; the next recv fails.
+        let v = *f
+            .try_recv(1, 0, Tag::user(1))
+            .unwrap()
+            .downcast::<u32>()
+            .unwrap();
+        assert_eq!(v, 7);
+        assert!(f.try_recv(1, 0, Tag::user(1)).is_err());
+    }
+
+    #[test]
+    fn poison_unblocks_barrier() {
+        let f = Fabric::new(2);
+        let f2 = Arc::clone(&f);
+        let h = thread::spawn(move || f2.try_barrier());
+        thread::sleep(std::time::Duration::from_millis(30));
+        f.poison(1, "bcast");
+        let e = h.join().unwrap().unwrap_err();
+        assert!(matches!(e, CommError::RankFailed { rank: 1, .. }));
+    }
+
+    #[test]
+    fn first_poison_wins() {
+        let f = Fabric::new(2);
+        f.poison(1, "fact");
+        f.poison(0, "update");
+        assert_eq!(f.poison_info(), Some((1, "fact".to_string())));
     }
 
     #[test]

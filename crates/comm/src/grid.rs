@@ -144,9 +144,9 @@ mod tests {
         let out = Universe::run(6, |comm| {
             let g = Grid::new(comm, 2, 3, GridOrder::ColumnMajor);
             let mut row_sum = vec![g.mycol() as f64];
-            allreduce(g.row(), Op::Sum, &mut row_sum);
+            allreduce(g.row(), Op::Sum, &mut row_sum).unwrap();
             let mut col_sum = vec![g.myrow() as f64];
-            allreduce(g.col(), Op::Sum, &mut col_sum);
+            allreduce(g.col(), Op::Sum, &mut col_sum).unwrap();
             (row_sum[0], col_sum[0])
         });
         // Row sums over cols 0+1+2 = 3, col sums over rows 0+1 = 1.

@@ -18,6 +18,13 @@
 //!   for pivot search), `gatherv`, `scatterv`, ring `allgatherv`.
 //! * [`ring`] — the six HPL panel-broadcast variants ([`BcastAlgo`]).
 //! * [`Grid`] — the `P x Q` process grid with row/column communicators.
+//!
+//! Robustness (PR 4): every blocking operation has a fallible `try_*` /
+//! `Result` form returning [`CommError`]; a dead rank poisons the fabric so
+//! peers unwind promptly with its identity ([`Universe::run_with_faults`]
+//! arms a deterministic [`hpl_faults::FaultPlan`] on the job); and
+//! [`abft::panel_bcast_checked`] adds checksum-verified panel broadcasts
+//! with bounded retransmission against in-flight corruption.
 
 // Lint policy: indexed loops are used deliberately where they mirror the
 // reference BLAS/HPL loop structure, and several kernels take the full
@@ -25,19 +32,23 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::too_many_arguments)]
 
+pub mod abft;
 pub mod coll;
 pub mod comm;
+pub mod error;
 pub mod fabric;
 pub mod grid;
 pub mod ring;
 pub mod universe;
 
+pub use abft::panel_bcast_checked;
 pub use coll::{
     allgatherv, allgatherv_rd, allreduce, allreduce_maxloc, allreduce_with, bcast, gatherv, reduce,
     scatterv, MaxLoc, Op,
 };
 pub use comm::Communicator;
-pub use fabric::{CommStats, Tag};
+pub use error::CommError;
+pub use fabric::{recv_timeout, CommStats, Tag};
 pub use grid::{Grid, GridOrder};
 pub use ring::{panel_bcast, BcastAlgo};
-pub use universe::Universe;
+pub use universe::{FaultedRun, Universe};

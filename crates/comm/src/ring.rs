@@ -14,6 +14,7 @@
 
 use crate::coll;
 use crate::comm::Communicator;
+use crate::error::CommError;
 use crate::fabric::Tag;
 
 /// Which LBCAST algorithm to use; mirrors rocHPL's `--bcast` option.
@@ -76,10 +77,17 @@ fn actual(v: usize, root: usize, size: usize) -> usize {
 }
 
 /// Broadcasts `buf` from `root` to every rank of `comm` using `algo`.
-pub fn panel_bcast(comm: &Communicator, algo: BcastAlgo, root: usize, buf: &mut [f64]) {
+/// Fails with [`CommError`] when the substrate does (timeout, poisoned
+/// fabric, the caller's own injected death).
+pub fn panel_bcast(
+    comm: &Communicator,
+    algo: BcastAlgo,
+    root: usize,
+    buf: &mut [f64],
+) -> Result<(), CommError> {
     let size = comm.size();
     if size <= 1 || buf.is_empty() {
-        return;
+        return Ok(());
     }
     let _span = hpl_trace::span(hpl_trace::Phase::Bcast);
     match algo {
@@ -90,45 +98,57 @@ pub fn panel_bcast(comm: &Communicator, algo: BcastAlgo, root: usize, buf: &mut 
         BcastAlgo::Long => long(comm, root, buf, false),
         BcastAlgo::LongM => long(comm, root, buf, true),
         BcastAlgo::Binomial => {
-            let v = coll::bcast(comm, root, (comm.rank() == root).then(|| buf.to_vec()));
+            let v = coll::bcast(comm, root, (comm.rank() == root).then(|| buf.to_vec()))?;
             buf.copy_from_slice(&v);
+            Ok(())
         }
     }
 }
 
-fn one_ring(comm: &Communicator, root: usize, buf: &mut [f64], modified: bool) {
+fn one_ring(
+    comm: &Communicator,
+    root: usize,
+    buf: &mut [f64],
+    modified: bool,
+) -> Result<(), CommError> {
     let size = comm.size();
     let me = vrank(comm.rank(), root, size);
     if modified && size > 2 {
         // Root sends to v1 (no forwarding duty) and to v2; ring v2 → v3 → …
         match me {
             0 => {
-                comm.send_slice(actual(1, root, size), Tag::RING, buf);
-                comm.send_slice(actual(2, root, size), Tag::RING, buf);
+                comm.try_send_slice(actual(1, root, size), Tag::RING, buf)?;
+                comm.try_send_slice(actual(2, root, size), Tag::RING, buf)?;
             }
-            1 => comm.recv_into(actual(0, root, size), Tag::RING, buf),
+            1 => comm.try_recv_into(actual(0, root, size), Tag::RING, buf)?,
             _ => {
                 let prev = if me == 2 { 0 } else { me - 1 };
-                comm.recv_into(actual(prev, root, size), Tag::RING, buf);
+                comm.try_recv_into(actual(prev, root, size), Tag::RING, buf)?;
                 if me + 1 < size {
-                    comm.send_slice(actual(me + 1, root, size), Tag::RING, buf);
+                    comm.try_send_slice(actual(me + 1, root, size), Tag::RING, buf)?;
                 }
             }
         }
     } else {
         // Plain increasing ring.
         if me == 0 {
-            comm.send_slice(actual(1, root, size), Tag::RING, buf);
+            comm.try_send_slice(actual(1, root, size), Tag::RING, buf)?;
         } else {
-            comm.recv_into(actual(me - 1, root, size), Tag::RING, buf);
+            comm.try_recv_into(actual(me - 1, root, size), Tag::RING, buf)?;
             if me + 1 < size {
-                comm.send_slice(actual(me + 1, root, size), Tag::RING, buf);
+                comm.try_send_slice(actual(me + 1, root, size), Tag::RING, buf)?;
             }
         }
     }
+    Ok(())
 }
 
-fn two_ring(comm: &Communicator, root: usize, buf: &mut [f64], modified: bool) {
+fn two_ring(
+    comm: &Communicator,
+    root: usize,
+    buf: &mut [f64],
+    modified: bool,
+) -> Result<(), CommError> {
     let size = comm.size();
     if size <= 3 {
         // Too small for two rings to differ from one.
@@ -142,12 +162,12 @@ fn two_ring(comm: &Communicator, root: usize, buf: &mut [f64], modified: bool) {
     let split = first_a + (size - first_a).div_ceil(2);
     if me == 0 {
         if modified {
-            comm.send_slice(actual(1, root, size), Tag::RING, buf);
+            comm.try_send_slice(actual(1, root, size), Tag::RING, buf)?;
         }
-        comm.send_slice(actual(first_a, root, size), Tag::RING, buf);
-        comm.send_slice(actual(split, root, size), Tag::RING, buf);
+        comm.try_send_slice(actual(first_a, root, size), Tag::RING, buf)?;
+        comm.try_send_slice(actual(split, root, size), Tag::RING, buf)?;
     } else if modified && me == 1 {
-        comm.recv_into(actual(0, root, size), Tag::RING, buf);
+        comm.try_recv_into(actual(0, root, size), Tag::RING, buf)?;
     } else {
         let (ring_start, ring_end) = if me < split {
             (first_a, split)
@@ -155,14 +175,20 @@ fn two_ring(comm: &Communicator, root: usize, buf: &mut [f64], modified: bool) {
             (split, size)
         };
         let prev = if me == ring_start { 0 } else { me - 1 };
-        comm.recv_into(actual(prev, root, size), Tag::RING, buf);
+        comm.try_recv_into(actual(prev, root, size), Tag::RING, buf)?;
         if me + 1 < ring_end {
-            comm.send_slice(actual(me + 1, root, size), Tag::RING, buf);
+            comm.try_send_slice(actual(me + 1, root, size), Tag::RING, buf)?;
         }
     }
+    Ok(())
 }
 
-fn long(comm: &Communicator, root: usize, buf: &mut [f64], modified: bool) {
+fn long(
+    comm: &Communicator,
+    root: usize,
+    buf: &mut [f64],
+    modified: bool,
+) -> Result<(), CommError> {
     let size = comm.size();
     let me_actual = comm.rank();
     if modified && size > 2 {
@@ -170,10 +196,9 @@ fn long(comm: &Communicator, root: usize, buf: &mut [f64], modified: bool) {
         // other ranks (root, v2, v3, …) as a contiguous virtual group.
         let me = vrank(me_actual, root, size);
         if me == 0 {
-            comm.send_slice(actual(1, root, size), Tag::RING, buf);
+            comm.try_send_slice(actual(1, root, size), Tag::RING, buf)?;
         } else if me == 1 {
-            comm.recv_into(actual(0, root, size), Tag::RING, buf);
-            return;
+            return comm.try_recv_into(actual(0, root, size), Tag::RING, buf);
         }
         // Group = all ranks except v1, with group-virtual ids: root=0,
         // v2=1, v3=2, …
@@ -183,10 +208,10 @@ fn long(comm: &Communicator, root: usize, buf: &mut [f64], modified: bool) {
             // Map group id back to an actual rank.
             let v = if g == 0 { 0 } else { g + 1 };
             actual(v, root, size)
-        });
+        })
     } else {
         let me = vrank(me_actual, root, size);
-        scatter_allgather(comm, buf, size, me, |v| actual(v, root, size));
+        scatter_allgather(comm, buf, size, me, |v| actual(v, root, size))
     }
 }
 
@@ -198,9 +223,9 @@ fn scatter_allgather(
     gsize: usize,
     gid: usize,
     to_actual: impl Fn(usize) -> usize,
-) {
+) -> Result<(), CommError> {
     if gsize <= 1 {
-        return;
+        return Ok(());
     }
     let n = buf.len();
     let base = n / gsize;
@@ -211,15 +236,15 @@ fn scatter_allgather(
     if gid == 0 {
         for g in 1..gsize {
             if count(g) > 0 {
-                comm.send_slice(
+                comm.try_send_slice(
                     to_actual(g),
                     Tag::RING,
                     &buf[offset(g)..offset(g) + count(g)],
-                );
+                )?;
             }
         }
     } else if count(gid) > 0 {
-        let v: Vec<f64> = comm.recv(to_actual(0), Tag::RING);
+        let v: Vec<f64> = comm.try_recv(to_actual(0), Tag::RING)?;
         buf[offset(gid)..offset(gid) + count(gid)].copy_from_slice(&v);
     }
     // Ring allgather over the group.
@@ -228,14 +253,21 @@ fn scatter_allgather(
     let mut block = gid;
     for _ in 0..gsize - 1 {
         let (o, c) = (offset(block), count(block));
-        comm.send_slice(right, Tag::RING, &buf[o..o + c]);
+        comm.try_send_slice(right, Tag::RING, &buf[o..o + c])?;
         let rb = (block + gsize - 1) % gsize;
         let (ro, rc) = (offset(rb), count(rb));
-        let v: Vec<f64> = comm.recv(left, Tag::RING);
-        assert_eq!(v.len(), rc, "long bcast chunk size mismatch");
+        let v: Vec<f64> = comm.try_recv(left, Tag::RING)?;
+        if v.len() != rc {
+            return Err(CommError::CountMismatch {
+                what: "long bcast chunk",
+                expected: rc,
+                got: v.len(),
+            });
+        }
         buf[ro..ro + rc].copy_from_slice(&v);
         block = rb;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -250,7 +282,7 @@ mod tests {
             } else {
                 vec![f64::NAN; len]
             };
-            panel_bcast(&comm, algo, root, &mut buf);
+            panel_bcast(&comm, algo, root, &mut buf).unwrap();
             buf
         });
         let expect: Vec<f64> = (0..len).map(|i| (i * 3 + 1) as f64).collect();
@@ -277,7 +309,7 @@ mod tests {
         for algo in BcastAlgo::ALL {
             let out = Universe::run(3, |comm| {
                 let mut buf: Vec<f64> = vec![];
-                panel_bcast(&comm, algo, 1, &mut buf);
+                panel_bcast(&comm, algo, 1, &mut buf).unwrap();
                 comm.stats().snapshot().0
             });
             assert!(out.iter().all(|&m| m == 0), "algo={algo:?}");
@@ -294,7 +326,7 @@ mod tests {
         let count_sends = |algo: BcastAlgo| -> Vec<(u64, u64)> {
             Universe::run(size, |comm| {
                 let mut buf = vec![1.0f64; len];
-                panel_bcast(&comm, algo, 0, &mut buf);
+                panel_bcast(&comm, algo, 0, &mut buf).unwrap();
                 comm.stats().snapshot()
             })
         };
@@ -334,7 +366,7 @@ mod tests {
             if comm.rank() == 2 {
                 buf.iter_mut().enumerate().for_each(|(i, v)| *v = i as f64);
             }
-            panel_bcast(&comm, BcastAlgo::OneRingM, 2, &mut buf);
+            panel_bcast(&comm, BcastAlgo::OneRingM, 2, &mut buf).unwrap();
             (comm.stats().snapshot().0, buf[31])
         });
         // Rank 3 is v1 relative to root 2.

@@ -1,67 +1,146 @@
 //! Launching a "job": one OS thread per rank, all connected by a world
 //! [`Communicator`].
 
+use std::any::Any;
 use std::sync::Arc;
+
+use hpl_faults::{FaultPlan, Injector, RankDeath};
 
 use crate::comm::Communicator;
 use crate::fabric::Fabric;
 
+type Payload = Box<dyn Any + Send>;
+
 /// Entry point of the message-passing substrate, the analogue of
 /// `mpirun -np N`.
 pub struct Universe;
+
+/// Outcome of a fault-injected job (see [`Universe::run_with_faults`]).
+pub struct FaultedRun<T> {
+    /// Per-rank results; `None` for ranks that died (injected death or a
+    /// panic on their thread).
+    pub results: Vec<Option<T>>,
+    /// The armed injector — its event logs record exactly which faults
+    /// fired, for determinism assertions.
+    pub injector: Arc<Injector>,
+    /// `(rank, phase)` of the first recorded rank death, if any.
+    pub poison: Option<(usize, String)>,
+}
 
 impl Universe {
     /// Runs `f` on `nranks` concurrent ranks (one OS thread each) and
     /// returns their results ordered by rank. `f` may borrow from the
     /// caller's stack; the call returns when every rank has finished.
     ///
-    /// A panic on any rank propagates to the caller after all other ranks
-    /// finish or panic (ranks blocked on a peer that died would otherwise
-    /// hang forever — tests rely on fail-fast, so every rank's closure
-    /// should be deadlock-free on its own).
+    /// A panic on any rank poisons the fabric — peers blocked on the dead
+    /// rank unwind promptly with its identity instead of hanging — and the
+    /// root-cause panic is re-raised on the caller after every rank has
+    /// finished or panicked.
     pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(Communicator) -> T + Sync,
     {
-        assert!(nranks >= 1, "need at least one rank");
         let fabric = Fabric::new(nranks);
-        let mut results: Vec<Option<T>> = Vec::with_capacity(nranks);
-        results.resize_with(nranks, || None);
-        std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(nranks);
-            for (rank, slot) in results.iter_mut().enumerate() {
-                let comm = Communicator::new(Arc::clone(&fabric), rank);
-                let f = &f;
-                handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("rank-{rank}"))
-                        .spawn_scoped(s, move || {
-                            *slot = Some(f(comm));
-                        })
-                        .expect("spawn rank thread"),
-                );
-            }
-            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-            for h in handles {
-                if let Err(e) = h.join() {
-                    panic.get_or_insert(e);
-                }
-            }
-            if let Some(e) = panic {
-                std::panic::resume_unwind(e);
-            }
-        });
+        let (results, panics) = Self::run_on(&fabric, f);
+        if panics.iter().any(Option::is_some) {
+            std::panic::resume_unwind(root_cause(panics, fabric.poison_info()));
+        }
         results
             .into_iter()
             .map(|r| r.expect("rank produced a result"))
             .collect()
     }
+
+    /// Runs `f` on `nranks` ranks with `plan` armed on the fabric and the
+    /// calling convention of a fault soak: rank deaths (injected or panics)
+    /// are absorbed into `None` results instead of re-raised, and the armed
+    /// injector comes back for event-log inspection.
+    pub fn run_with_faults<T, F>(nranks: usize, plan: FaultPlan, f: F) -> FaultedRun<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Sync,
+    {
+        let injector = Injector::new(plan, nranks);
+        let fabric = Fabric::new_with_faults(nranks, Some(Arc::clone(&injector)));
+        let (results, _panics) = Self::run_on(&fabric, f);
+        FaultedRun {
+            results,
+            injector,
+            poison: fabric.poison_info(),
+        }
+    }
+
+    /// Shared launcher: spawns the rank threads on `fabric`, catches each
+    /// rank's panic (poisoning the job with the rank's identity so peers
+    /// unwind), and returns per-rank results and panic payloads.
+    fn run_on<T, F>(fabric: &Arc<Fabric>, f: F) -> (Vec<Option<T>>, Vec<Option<Payload>>)
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Sync,
+    {
+        let nranks = fabric.size();
+        assert!(nranks >= 1, "need at least one rank");
+        let mut results: Vec<Option<T>> = Vec::with_capacity(nranks);
+        results.resize_with(nranks, || None);
+        let mut panics: Vec<Option<Payload>> = Vec::with_capacity(nranks);
+        panics.resize_with(nranks, || None);
+        std::thread::scope(|s| {
+            for (rank, (slot, panic_slot)) in results.iter_mut().zip(panics.iter_mut()).enumerate()
+            {
+                let comm = Communicator::new(Arc::clone(fabric), rank);
+                let fabric = Arc::clone(fabric);
+                let f = &f;
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .spawn_scoped(s, move || {
+                        hpl_faults::set_world_rank(rank);
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm))) {
+                            Ok(v) => *slot = Some(v),
+                            Err(payload) => {
+                                fabric.poison(rank, &death_phase(&payload));
+                                *panic_slot = Some(payload);
+                            }
+                        }
+                    })
+                    .expect("spawn rank thread");
+            }
+        });
+        (results, panics)
+    }
+}
+
+/// The phase to record for a rank whose thread panicked: an injected
+/// [`RankDeath`] names where it died; any other panic is a plain crash.
+fn death_phase(payload: &Payload) -> String {
+    payload
+        .downcast_ref::<RankDeath>()
+        .map(|d| d.phase.clone())
+        .unwrap_or_else(|| "panic".to_string())
+}
+
+/// Picks the panic to re-raise: the recorded root cause (the first rank that
+/// poisoned the job) when it panicked, else the lowest-rank panic. Survivor
+/// ranks that panicked *because* the job was poisoned carry derived
+/// "rank N failed" messages — re-raising those would mask the real failure.
+fn root_cause(mut panics: Vec<Option<Payload>>, poison: Option<(usize, String)>) -> Payload {
+    if let Some((rank, _)) = poison {
+        if let Some(p) = panics.get_mut(rank).and_then(Option::take) {
+            return p;
+        }
+    }
+    panics
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("caller checked a panic exists")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fabric::Tag;
+    use hpl_faults::{FaultKind, FaultSpec, Site};
 
     #[test]
     fn results_ordered_by_rank() {
@@ -93,5 +172,60 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn root_cause_panic_wins_over_derived_failures() {
+        // Rank 1 crashes while rank 0 blocks on it; rank 0's derived
+        // "rank 1 failed" panic must not mask the original "boom".
+        Universe::run(2, |c| {
+            if c.rank() == 1 {
+                panic!("boom");
+            }
+            let _: u32 = c.recv(1, Tag::user(0));
+        });
+    }
+
+    #[test]
+    fn faulted_run_absorbs_injected_death() {
+        let plan = FaultPlan::new(0).with(FaultSpec {
+            kind: FaultKind::Death,
+            rank: 1,
+            site: Site::Send,
+            nth: 0,
+            sticky: false,
+        });
+        let run = Universe::run_with_faults(2, plan, |c| {
+            if c.rank() == 1 {
+                c.send(0, Tag::user(1), 7u32); // dies here
+                unreachable!("rank 1 must die at its first send");
+            }
+            c.try_recv::<u32>(1, Tag::user(1))
+        });
+        assert!(run.results[1].is_none(), "dead rank yields no result");
+        let (rank, _phase) = run.poison.expect("job records the death");
+        assert_eq!(rank, 1);
+        // The survivor's receive failed with the dead rank's identity.
+        match &run.results[0] {
+            Some(Err(crate::error::CommError::RankFailed { rank: 1, .. })) => {}
+            other => panic!("expected RankFailed from rank 1, got {other:?}"),
+        }
+        // The injected event is on the log.
+        let ev = run.injector.events(1);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].to_string(), "send#0:death");
+    }
+
+    #[test]
+    fn faulted_run_without_matching_fault_is_clean() {
+        let plan = FaultPlan::new(3); // empty plan
+        let run = Universe::run_with_faults(3, plan, |c| c.rank());
+        assert_eq!(
+            run.results.into_iter().collect::<Option<Vec<_>>>(),
+            Some(vec![0, 1, 2])
+        );
+        assert!(run.poison.is_none());
+        assert!(run.injector.all_events().iter().all(Vec::is_empty));
     }
 }

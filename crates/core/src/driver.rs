@@ -14,7 +14,8 @@ use hpl_comm::{Communicator, Grid};
 use hpl_threads::Pool;
 
 use crate::config::{HplConfig, Schedule};
-use crate::fact::{panel_factor, FactInput, FactOut, Singular};
+use crate::error::HplError;
+use crate::fact::{panel_factor, FactInput, FactOut};
 use crate::local::LocalMatrix;
 use crate::panel::{
     host_view, lbcast, pack_panel, panel_from_host, panel_to_host, PanelGeom, PanelL,
@@ -124,7 +125,7 @@ struct Driver<'a> {
 /// Runs the full HPL benchmark on this rank with the seeded random system.
 /// Collective over all ranks of `comm` (which must have exactly
 /// `cfg.p * cfg.q` ranks).
-pub fn run_hpl(comm: Communicator, cfg: &HplConfig) -> Result<HplResult, Singular> {
+pub fn run_hpl(comm: Communicator, cfg: &HplConfig) -> Result<HplResult, HplError> {
     let gen = crate::rng::MatGen::new(cfg.seed, cfg.n);
     run_hpl_with(comm, cfg, &|i, j| gen.entry(i, j))
 }
@@ -137,11 +138,18 @@ pub fn run_hpl_with(
     comm: Communicator,
     cfg: &HplConfig,
     fill: &(dyn Fn(usize, usize) -> f64 + Sync),
-) -> Result<HplResult, Singular> {
+) -> Result<HplResult, HplError> {
     cfg.validate();
     let grid = Grid::new(comm, cfg.p, cfg.q, cfg.order);
     let a = LocalMatrix::generate_with(cfg.n, cfg.nb, &grid, fill);
     let pool = Pool::new(cfg.fact.threads.max(cfg.update_threads).max(1));
+    // On fault-injected runs, tag the pool with this rank's identity so
+    // worker-thread faults (slow worker, death during FACT) match
+    // deterministically; fault-free runs pay one uninitialized OnceLock read
+    // per region.
+    if let Some(inj) = grid.world().fault_injector() {
+        pool.arm_faults(grid.world().rank(), inj);
+    }
     let mut d = Driver {
         grid: &grid,
         cfg,
@@ -159,11 +167,13 @@ pub fn run_hpl_with(
         Schedule::LookAhead => d.run_lookahead(0.0),
         Schedule::SplitUpdate { frac } => d.run_lookahead(frac),
     };
-    if let Err(e) = run {
-        hpl_trace::take();
-        return Err(e);
-    }
-    let x = back_substitute(&d.a, &grid, cfg.nb);
+    let x = match run.and_then(|()| back_substitute(&d.a, &grid, cfg.nb)) {
+        Ok(x) => x,
+        Err(e) => {
+            hpl_trace::take();
+            return Err(e);
+        }
+    };
     let wall = t0.elapsed().as_secs_f64();
     Ok(HplResult {
         x,
@@ -196,7 +206,7 @@ impl Driver<'_> {
 
     /// Factors panel `it` and broadcasts it; returns the iteration panel
     /// and accumulates phase timings into `t`.
-    fn fact_and_bcast(&mut self, it: usize, t: &mut IterTiming) -> Result<IterPanel, Singular> {
+    fn fact_and_bcast(&mut self, it: usize, t: &mut IterTiming) -> Result<IterPanel, HplError> {
         let geom = self.geom(it);
         let packed = if geom.in_panel_col {
             let tx = Instant::now();
@@ -242,19 +252,24 @@ impl Driver<'_> {
             None
         };
         let tb = Instant::now();
-        let panel = lbcast(self.grid.row(), self.cfg.bcast, &geom, packed);
+        let panel = lbcast(self.grid.row(), self.cfg.bcast, &geom, packed)?;
         t.comm += tb.elapsed().as_secs_f64();
         let plan = SwapPlan::build(geom.k0, geom.jb, &panel.ipiv);
         Ok(IterPanel { geom, panel, plan })
     }
 
     /// Row swap + full update over `range` using iteration panel `ip`.
-    fn swap_and_update(&mut self, ip: &IterPanel, range: ColRange, t: &mut IterTiming) {
+    fn swap_and_update(
+        &mut self,
+        ip: &IterPanel,
+        range: ColRange,
+        t: &mut IterTiming,
+    ) -> Result<(), HplError> {
         if range.width() == 0 {
             // Still participate in the column collectives: peers in this
             // process column have the same width (identical column
             // distribution), so zero width is column-wide and nobody calls.
-            return;
+            return Ok(());
         }
         let tr = Instant::now();
         let rows = self.a.rows;
@@ -268,12 +283,13 @@ impl Driver<'_> {
             &mut av,
             range,
             self.cfg.swap,
-        );
+        )?;
         t.comm += tr.elapsed().as_secs_f64();
 
         let tu = Instant::now();
         self.apply_update(ip, u, range);
         t.update += tu.elapsed().as_secs_f64();
+        Ok(())
     }
 
     fn apply_update(&mut self, ip: &IterPanel, mut u: Matrix, range: ColRange) {
@@ -294,7 +310,7 @@ impl Driver<'_> {
     }
 
     /// Reference schedule: factor, broadcast, swap, update, per iteration.
-    fn run_simple(&mut self) -> Result<(), Singular> {
+    fn run_simple(&mut self) -> Result<(), HplError> {
         let iters = self.cfg.iterations();
         for it in 0..iters {
             let mut t = IterTiming {
@@ -305,7 +321,7 @@ impl Driver<'_> {
             let ti = Instant::now();
             let ip = self.fact_and_bcast(it, &mut t)?;
             let range = self.trailing(it);
-            self.swap_and_update(&ip, range, &mut t);
+            self.swap_and_update(&ip, range, &mut t)?;
             t.total = ti.elapsed().as_secs_f64();
             t.diag_owner = ip.geom.in_curr_row && ip.geom.in_panel_col;
             self.timings.push(t);
@@ -316,7 +332,7 @@ impl Driver<'_> {
     /// Look-ahead pipeline, optionally with the split update. `frac` is the
     /// initial share of local trailing columns in the right section
     /// (`0.0` disables the split and gives the plain Fig 3 pipeline).
-    fn run_lookahead(&mut self, frac: f64) -> Result<(), Singular> {
+    fn run_lookahead(&mut self, frac: f64) -> Result<(), HplError> {
         let iters = self.cfg.iterations();
         // Fixed split point: local column where the right section starts,
         // aligned down to a local block boundary so the shrinking left
@@ -340,7 +356,7 @@ impl Driver<'_> {
         };
         hpl_trace::set_iter(0);
         let mut cur = self.fact_and_bcast(0, &mut t)?;
-        let mut pending: Option<RsData> = self.prefetch_rs2(&cur, split_lj, &mut t);
+        let mut pending: Option<RsData> = self.prefetch_rs2(&cur, split_lj, &mut t)?;
 
         for it in 0..iters {
             hpl_trace::set_iter(it);
@@ -380,7 +396,7 @@ impl Driver<'_> {
                 t.update += tu.elapsed().as_secs_f64();
 
                 // 2. Row swap + update of the look-ahead columns only.
-                self.swap_and_update(&cur, la, &mut t);
+                self.swap_and_update(&cur, la, &mut t)?;
 
                 // 3. Factor + broadcast the next panel (in rocHPL this is
                 // the CPU/host work hidden by UPDATE2 on the GPU).
@@ -391,7 +407,7 @@ impl Driver<'_> {
                 };
 
                 // 4. RS1 (hidden by UPDATE2 on the GPU timeline).
-                self.swap_and_update(&cur, left_rest, &mut t);
+                self.swap_and_update(&cur, left_rest, &mut t)?;
                 hpl_trace::set_hidden(false);
 
                 // 5. UPDATE2 using the prefetched U2.
@@ -403,7 +419,7 @@ impl Driver<'_> {
                 // UPDATE1 on the GPU timeline).
                 if let Some(nx) = &next {
                     hpl_trace::set_hidden(true);
-                    pending = self.prefetch_rs2(nx, split_lj, &mut t);
+                    pending = self.prefetch_rs2(nx, split_lj, &mut t)?;
                     hpl_trace::set_hidden(false);
                 }
 
@@ -427,22 +443,22 @@ impl Driver<'_> {
                     };
                     // Swap both sections now (one collective per section to
                     // keep column groups in lockstep), update LA first.
-                    self.swap_and_update(&cur, la, &mut t);
+                    self.swap_and_update(&cur, la, &mut t)?;
                     // The next panel's FACT/LBCAST sits in the slot a GPU
                     // timeline overlaps with the rest-update (Fig 3).
                     hpl_trace::set_hidden(true);
                     let nx = self.fact_and_bcast(it + 1, &mut t)?;
                     hpl_trace::set_hidden(false);
-                    self.swap_and_update(&cur, rest, &mut t);
+                    self.swap_and_update(&cur, rest, &mut t)?;
                     cur = nx;
                 } else if next_geom.is_some() {
                     // Not the look-ahead owner: swap/update trailing, then
                     // join the next panel's factorization/broadcast.
-                    self.swap_and_update(&cur, range, &mut t);
+                    self.swap_and_update(&cur, range, &mut t)?;
                     let nx = self.fact_and_bcast(it + 1, &mut t)?;
                     cur = nx;
                 } else {
-                    self.swap_and_update(&cur, range, &mut t);
+                    self.swap_and_update(&cur, range, &mut t)?;
                 }
             }
 
@@ -465,10 +481,10 @@ impl Driver<'_> {
         ip: &IterPanel,
         split_lj: usize,
         t: &mut IterTiming,
-    ) -> Option<RsData> {
+    ) -> Result<Option<RsData>, HplError> {
         let tstart = self.a.cols.local_lower_bound(ip.geom.k0 + ip.geom.jb);
         if tstart >= split_lj || split_lj >= self.a.nloc {
-            return None;
+            return Ok(None);
         }
         let right = ColRange {
             start: split_lj,
@@ -485,8 +501,8 @@ impl Driver<'_> {
             &av,
             right,
             self.cfg.swap,
-        );
+        )?;
         t.comm += tr.elapsed().as_secs_f64();
-        Some(data)
+        Ok(Some(data))
     }
 }

@@ -26,14 +26,16 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use hpl_blas::mat::{MatMut, MatRef, Matrix};
 use hpl_blas::{dgemm, dtrsm, Diag, Side, Trans};
-use hpl_comm::{allreduce_with, Communicator};
+use hpl_comm::{allreduce_with, CommError, Communicator};
 use hpl_threads::{ledger, Ctx, Pool};
 
 use crate::config::{FactOpts, FactVariant};
 use crate::dist::Axis;
+use crate::error::HplError;
 
 /// Everything the factorization needs to know about the panel's place in
 /// the distributed matrix.
@@ -70,12 +72,11 @@ pub struct FactOut {
     pub comm_seconds: f64,
 }
 
-/// Zero pivot encountered: the matrix is numerically singular.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Singular {
-    /// Global column of the zero pivot.
-    pub col: usize,
-}
+/// `FactState::err` sentinel: no error.
+const ERR_NONE: usize = usize::MAX;
+/// `FactState::err` sentinel: a communication error was captured in
+/// `FactState::comm_err` (distinct from any real column index).
+const ERR_COMM: usize = usize::MAX - 1;
 
 /// The payload of the combined pivot-search collective.
 #[derive(Clone, Debug)]
@@ -222,8 +223,11 @@ struct FactState<'a> {
     ipiv: RacyCell<Vec<usize>>,
     /// Nanoseconds thread 0 spent in the pivot collectives.
     comm_ns: AtomicU64,
-    /// `usize::MAX` = no error; otherwise the global column of a zero pivot.
+    /// [`ERR_NONE`], [`ERR_COMM`], or the global column of a zero pivot.
     err: AtomicUsize,
+    /// The communication error behind an [`ERR_COMM`] flag (written by
+    /// thread 0 only; read after the pool region ends).
+    comm_err: Mutex<Option<CommError>>,
     /// Local panel rows.
     m: usize,
     jb: usize,
@@ -276,7 +280,7 @@ impl FactState<'_> {
 /// Factors the local panel `a` (all trailing local rows x `jb` columns;
 /// on the diagonal-owning process row the first `jb` rows are the diagonal
 /// block). Collective over the process column. See module docs.
-pub fn panel_factor(inp: &FactInput<'_>, a: &mut MatMut<'_>) -> Result<FactOut, Singular> {
+pub fn panel_factor(inp: &FactInput<'_>, a: &mut MatMut<'_>) -> Result<FactOut, HplError> {
     // The span covers the whole factorization wall, pivot collectives
     // included; the driver records those separately as a `FactComm` span
     // from `FactOut::comm_seconds` (they may run on pool worker threads,
@@ -301,7 +305,8 @@ pub fn panel_factor(inp: &FactInput<'_>, a: &mut MatMut<'_>) -> Result<FactOut, 
         top: SharedMat::new(&mut top_view),
         ipiv: RacyCell::new(vec![0usize; jb]),
         comm_ns: AtomicU64::new(0),
-        err: AtomicUsize::new(usize::MAX),
+        err: AtomicUsize::new(ERR_NONE),
+        comm_err: Mutex::new(None),
     };
     let nthreads = inp.opts.threads.clamp(1, inp.pool.size());
     inp.pool.run(nthreads, |ctx| {
@@ -309,8 +314,20 @@ pub fn panel_factor(inp: &FactInput<'_>, a: &mut MatMut<'_>) -> Result<FactOut, 
     });
     let err = st.err.load(Ordering::Relaxed);
     let _ = top_view;
-    if err != usize::MAX {
-        return Err(Singular { col: err });
+    if err == ERR_COMM {
+        // A pivot collective failed (dead peer, timeout, ...). All pool
+        // threads left the region through the normal error path above, so
+        // the rank unwinds cleanly with the captured cause.
+        let e = st
+            .comm_err
+            .lock()
+            .expect("comm error slot poisoned")
+            .take()
+            .expect("ERR_COMM flagged without a captured error");
+        return Err(HplError::from(e));
+    }
+    if err != ERR_NONE {
+        return Err(HplError::Singular { col: err });
     }
     Ok(FactOut {
         top,
@@ -340,7 +357,7 @@ fn rec_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
     for i in 0..ndiv {
         let (plo, phi) = (bounds[i], bounds[i + 1]);
         rec_factor(st, ctx, plo, phi);
-        if st.err.load(Ordering::Relaxed) != usize::MAX {
+        if st.err.load(Ordering::Relaxed) != ERR_NONE {
             return;
         }
         if phi < hi {
@@ -579,6 +596,20 @@ fn pivot_step(st: &FactState<'_>, ctx: &Ctx<'_>, k: usize) -> bool {
         let win = allreduce_with(st.inp.col_comm, mine, PivotMsg::combine);
         st.comm_ns
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let win = match win {
+            Ok(w) => w,
+            Err(e) => {
+                // A peer died or the collective wedged. Record the cause and
+                // raise the shared abort flag; every thread (this one
+                // included) exits the region at the barrier below and
+                // `panel_factor` surfaces the error — no panic crosses the
+                // pool boundary.
+                *st.comm_err.lock().expect("comm error slot poisoned") = Some(e);
+                st.err.store(ERR_COMM, Ordering::Relaxed);
+                ctx.barrier();
+                return false;
+            }
+        };
         if win.val == 0.0 || !win.val.is_finite() {
             st.err.store(st.inp.k0 + k, Ordering::Relaxed);
         } else {
@@ -612,7 +643,7 @@ fn pivot_step(st: &FactState<'_>, ctx: &Ctx<'_>, k: usize) -> bool {
         }
     }
     ctx.barrier();
-    st.err.load(Ordering::Relaxed) == usize::MAX
+    st.err.load(Ordering::Relaxed) == ERR_NONE
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@
 pub mod config;
 pub mod dist;
 pub mod driver;
+pub mod error;
 pub mod fact;
 pub mod local;
 pub mod panel;
@@ -52,7 +53,8 @@ pub mod verify;
 
 pub use config::{FactOpts, FactVariant, HplConfig, Schedule};
 pub use driver::{run_hpl, run_hpl_with, HplResult, IterTiming, ProgressSample};
-pub use fact::{panel_factor, FactInput, FactOut, Singular};
+pub use error::HplError;
+pub use fact::{panel_factor, FactInput, FactOut};
 pub use local::LocalMatrix;
 pub use rng::MatGen;
 pub use solve::back_substitute;

@@ -7,9 +7,10 @@
 //! are part of the schedule the paper overlaps.
 
 use hpl_blas::mat::{MatMut, MatRef, Matrix};
-use hpl_comm::{panel_bcast, BcastAlgo, Communicator, Grid};
+use hpl_comm::{panel_bcast, panel_bcast_checked, BcastAlgo, Communicator, Grid};
 
 use crate::dist::Axis;
+use crate::error::HplError;
 use crate::local::LocalMatrix;
 
 /// Where iteration `k0`'s panel lives relative to this rank.
@@ -175,12 +176,18 @@ pub fn unpack_panel(g: &PanelGeom, buf: &[f64]) -> PanelL {
 
 /// Broadcasts the packed panel along the process row from the panel-owning
 /// column; every rank returns the unpacked [`PanelL`].
+///
+/// On fault-armed runs (an injector is attached to the fabric) the
+/// checksummed [`panel_bcast_checked`] variant is used, so an in-flight
+/// bit-flip is detected and repaired by retransmission instead of silently
+/// corrupting every downstream update. Fault-free runs keep the plain
+/// broadcast and its exact message structure.
 pub fn lbcast(
     row_comm: &Communicator,
     algo: BcastAlgo,
     g: &PanelGeom,
     packed: Option<Vec<f64>>,
-) -> PanelL {
+) -> Result<PanelL, HplError> {
     let mut buf = match packed {
         Some(b) => {
             debug_assert!(g.in_panel_col);
@@ -188,8 +195,12 @@ pub fn lbcast(
         }
         None => vec![0.0f64; g.jb * g.jb + g.l2_rows * g.jb + g.jb],
     };
-    panel_bcast(row_comm, algo, g.pcol, &mut buf);
-    unpack_panel(g, &buf)
+    if row_comm.fault_injector().is_some() {
+        panel_bcast_checked(row_comm, algo, g.pcol, &mut buf)?;
+    } else {
+        panel_bcast(row_comm, algo, g.pcol, &mut buf)?;
+    }
+    Ok(unpack_panel(g, &buf))
 }
 
 /// Convenience: extracts the trailing-rows view of the panel columns as a

@@ -7,13 +7,14 @@
 use hpl_blas::{dtrsv, Diag, Trans, Uplo};
 use hpl_comm::{allgatherv, bcast, reduce, Grid, Op};
 
+use crate::error::HplError;
 use crate::local::LocalMatrix;
 
 /// Solves `U x = b_hat` where `U` is the factored upper triangle stored in
 /// the distributed local matrices and `b_hat` is the transformed right-hand
 /// side in global column `n`. Returns the full solution vector, replicated
 /// on every rank. Collective over the grid.
-pub fn back_substitute(a: &LocalMatrix, grid: &Grid, nb: usize) -> Vec<f64> {
+pub fn back_substitute(a: &LocalMatrix, grid: &Grid, nb: usize) -> Result<Vec<f64>, HplError> {
     let n = a.rows.n;
     let cb = a.cols.owner(n); // process column holding b
     let nblocks = n.div_ceil(nb);
@@ -45,7 +46,7 @@ pub fn back_substitute(a: &LocalMatrix, grid: &Grid, nb: usize) -> Vec<f64> {
                 *ri -= contrib[lb + i];
             }
             // Sum partials across the process row onto the diagonal owner.
-            reduce(grid.row(), pcol_j, Op::Sum, &mut r);
+            reduce(grid.row(), pcol_j, Op::Sum, &mut r)?;
             if grid.mycol() == pcol_j {
                 // Solve the diagonal block.
                 let lc = a.cols.to_local(j0);
@@ -57,7 +58,7 @@ pub fn back_substitute(a: &LocalMatrix, grid: &Grid, nb: usize) -> Vec<f64> {
         if grid.mycol() == pcol_j {
             // Broadcast x_j down the process column and fold it into the
             // contributions of all rows above the block.
-            let xj = bcast(grid.col(), prow_j, xj);
+            let xj = bcast(grid.col(), prow_j, xj)?;
             let lc = a.cols.to_local(j0);
             let above = a.rows.local_lower_bound(j0);
             for (dj, &xv) in xj.iter().enumerate() {
@@ -83,7 +84,7 @@ fn assemble_solution(
     grid: &Grid,
     nb: usize,
     mut x_parts: Vec<(usize, Vec<f64>)>,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, HplError> {
     let n = a.rows.n;
     x_parts.sort_by_key(|&(lc, _)| lc);
     let full = if grid.myrow() == 0 {
@@ -98,7 +99,7 @@ fn assemble_solution(
             .map(|c| crate::dist::numroc(n, nb, c, grid.npcol()))
             .collect();
         debug_assert_eq!(mine.len(), counts[grid.mycol()]);
-        let flat = allgatherv(grid.row(), &mine, &counts);
+        let flat = allgatherv(grid.row(), &mine, &counts)?;
         // Un-cycle: element `l` of column-owner `c`'s chunk is global index
         // local_to_global(l, nb, c, Q).
         let mut offsets = vec![0usize; grid.npcol()];
@@ -116,13 +117,17 @@ fn assemble_solution(
     } else {
         None
     };
-    bcast(grid.col(), 0, full)
+    Ok(bcast(grid.col(), 0, full)?)
 }
 
 /// Reference serial check helper: multiplies the *original* generated
 /// matrix by `x` and returns `A x` (length `n`), computed distributed and
 /// reduced to every rank. Used by verification.
-pub fn distributed_matvec(a_orig: &LocalMatrix, grid: &Grid, x: &[f64]) -> Vec<f64> {
+pub fn distributed_matvec(
+    a_orig: &LocalMatrix,
+    grid: &Grid,
+    x: &[f64],
+) -> Result<Vec<f64>, HplError> {
     let n = a_orig.rows.n;
     assert_eq!(x.len(), n);
     let av = a_orig.view();
@@ -143,13 +148,13 @@ pub fn distributed_matvec(a_orig: &LocalMatrix, grid: &Grid, x: &[f64]) -> Vec<f
     }
     // Sum across process rows' columns: allreduce over the row comm, then
     // scatter into global positions and allreduce over the column comm.
-    hpl_comm::allreduce(grid.row(), Op::Sum, &mut y_local);
+    hpl_comm::allreduce(grid.row(), Op::Sum, &mut y_local)?;
     let mut y = vec![0.0f64; n];
     for (li, &v) in y_local.iter().enumerate() {
         y[a_orig.rows.to_global(li)] = v;
     }
-    hpl_comm::allreduce(grid.col(), Op::Sum, &mut y);
-    y
+    hpl_comm::allreduce(grid.col(), Op::Sum, &mut y)?;
+    Ok(y)
 }
 
 #[cfg(test)]
@@ -193,7 +198,7 @@ mod tests {
                         a.set(li, lj, v);
                     }
                 }
-                let x = back_substitute(&a, &grid, nb);
+                let x = back_substitute(&a, &grid, nb).unwrap();
                 (x, xtrue)
             });
             for (x, xtrue) in outs {
@@ -214,7 +219,7 @@ mod tests {
             let grid = Grid::new(comm, p, q, GridOrder::ColumnMajor);
             let a = LocalMatrix::generate(n, nb, &grid, 9);
             let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
-            distributed_matvec(&a, &grid, &x)
+            distributed_matvec(&a, &grid, &x).unwrap()
         });
         // Serial reference from the generator.
         let gen = crate::rng::MatGen::new(9, n);

@@ -19,6 +19,7 @@ use hpl_blas::mat::{MatMut, Matrix};
 use hpl_comm::{allgatherv, allgatherv_rd, gatherv, scatterv, Communicator};
 
 use crate::dist::Axis;
+use crate::error::HplError;
 
 /// Which allgather algorithm assembles the `U` block (HPL's row-swap
 /// algorithm choice, `SWAP` in HPL.dat).
@@ -169,7 +170,7 @@ pub fn row_swap_comm(
     a: &MatMut<'_>,
     range: ColRange,
     algo: RowSwapAlgo,
-) -> RsData {
+) -> Result<RsData, HplError> {
     let _span = hpl_trace::span(hpl_trace::Phase::RowSwap);
     let w = range.width();
     let jb = plan.jb;
@@ -198,7 +199,7 @@ pub fn row_swap_comm(
     // processes ... via a Scatterv"). ----
     let mut my_moves: Vec<(usize, Vec<f64>)> = Vec::new();
     if !plan.moves.is_empty() {
-        let gathered = gatherv(col_comm, prow_curr, &mv_chunk);
+        let gathered = gatherv(col_comm, prow_curr, &mv_chunk)?;
         let scatter_buf = gathered.map(|flat| {
             // `flat` concatenates each rank's chunk (moves it owns the
             // *source* of, in move order). Rebuild per-move rows, then
@@ -233,8 +234,8 @@ pub fn row_swap_comm(
             (out, dst_counts)
         });
         let mine: Vec<f64> = match scatter_buf {
-            Some((buf, counts)) => scatterv(col_comm, prow_curr, Some((&buf, &counts))),
-            None => scatterv(col_comm, prow_curr, None),
+            Some((buf, counts)) => scatterv(col_comm, prow_curr, Some((&buf, &counts)))?,
+            None => scatterv(col_comm, prow_curr, None)?,
         };
         // Record received rows against our destination positions (in move
         // order restricted to ours).
@@ -255,8 +256,8 @@ pub fn row_swap_comm(
     }
     debug_assert_eq!(u_chunk.len(), u_count * w);
     let flat = match algo.resolve(w) {
-        RowSwapAlgo::Ring => allgatherv(col_comm, &u_chunk, &counts),
-        RowSwapAlgo::BinaryExchange => allgatherv_rd(col_comm, &u_chunk, &counts),
+        RowSwapAlgo::Ring => allgatherv(col_comm, &u_chunk, &counts)?,
+        RowSwapAlgo::BinaryExchange => allgatherv_rd(col_comm, &u_chunk, &counts)?,
         RowSwapAlgo::Mix { .. } => unreachable!("resolve() returns a fixed variant"),
     };
     // Reorder rank-major chunks into k-order.
@@ -274,7 +275,7 @@ pub fn row_swap_comm(
             u.set(k, j, v);
         }
     }
-    RsData { u, my_moves }
+    Ok(RsData { u, my_moves })
 }
 
 /// Scatters previously communicated move rows back into the local matrix
@@ -296,10 +297,10 @@ pub fn row_swap(
     a: &mut MatMut<'_>,
     range: ColRange,
     algo: RowSwapAlgo,
-) -> Matrix {
-    let data = row_swap_comm(col_comm, rows, plan, prow_curr, a, range, algo);
+) -> Result<Matrix, HplError> {
+    let data = row_swap_comm(col_comm, rows, plan, prow_curr, a, range, algo)?;
     apply_moves(a, range, &data.my_moves);
-    data.u
+    Ok(data.u)
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 
 use hpl_comm::{Grid, Op};
 
+use crate::error::HplError;
 use crate::local::LocalMatrix;
 use crate::rng::MatGen;
 use crate::solve::distributed_matvec;
@@ -38,7 +39,13 @@ impl Residuals {
 /// Computes the scaled residual for solution `x`. Regenerates the original
 /// system from `(seed, n, nb)` so it can be called after the in-place
 /// factorization. Collective over the grid.
-pub fn verify(grid: &Grid, n: usize, nb: usize, seed: u64, x: &[f64]) -> Residuals {
+pub fn verify(
+    grid: &Grid,
+    n: usize,
+    nb: usize,
+    seed: u64,
+    x: &[f64],
+) -> Result<Residuals, HplError> {
     let gen = MatGen::new(seed, n);
     verify_with(grid, n, nb, &|i, j| gen.entry(i, j), x)
 }
@@ -52,11 +59,11 @@ pub fn verify_with(
     nb: usize,
     fill: &(dyn Fn(usize, usize) -> f64 + Sync),
     x: &[f64],
-) -> Residuals {
+) -> Result<Residuals, HplError> {
     assert_eq!(x.len(), n);
     // Regenerate this rank's original slice.
     let a = LocalMatrix::generate_with(n, nb, grid, fill);
-    let ax = distributed_matvec(&a, grid, x);
+    let ax = distributed_matvec(&a, grid, x)?;
     // b is global column n; every rank can generate any entry, so compute
     // norms redundantly where cheap and distributed where not.
     let mut err_inf = 0.0f64;
@@ -79,18 +86,18 @@ pub fn verify_with(
             *s += v.abs();
         }
     }
-    hpl_comm::allreduce(grid.row(), Op::Sum, &mut row_sums);
+    hpl_comm::allreduce(grid.row(), Op::Sum, &mut row_sums)?;
     let mut local_max = [row_sums.into_iter().fold(0.0f64, f64::max)];
-    hpl_comm::allreduce(grid.col(), Op::Max, &mut local_max);
+    hpl_comm::allreduce(grid.col(), Op::Max, &mut local_max)?;
     let a_inf = local_max[0];
 
     let eps = f64::EPSILON;
     let scaled = err_inf / (eps * (a_inf * x_inf + b_inf) * n as f64);
-    Residuals {
+    Ok(Residuals {
         err_inf,
         a_inf,
         x_inf,
         b_inf,
         scaled,
-    }
+    })
 }

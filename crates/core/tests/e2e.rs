@@ -34,7 +34,7 @@ fn run_and_check(cfg: &HplConfig) -> Vec<f64> {
     let x = results[0].clone();
     let res = Universe::run(cfg.ranks(), |comm| {
         let grid = Grid::new(comm, cfg.p, cfg.q, GridOrder::ColumnMajor);
-        verify(&grid, cfg.n, cfg.nb, cfg.seed, &x)
+        verify(&grid, cfg.n, cfg.nb, cfg.seed, &x).expect("verification collectives")
     });
     assert!(
         res[0].passed(),

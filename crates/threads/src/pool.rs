@@ -13,11 +13,21 @@
 //! tile staying with one thread so it remains resident in that core's cache.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use crossbeam::utils::CachePadded;
+use hpl_faults::Injector;
+
+/// Fault arming for a pool: the owning rank's world id plus the job's
+/// injector, so worker threads (which have no rank TLS of their own) can be
+/// tagged and slow-worker faults can fire at region entry.
+#[derive(Clone)]
+struct FaultArm {
+    world_rank: usize,
+    injector: Arc<Injector>,
+}
 
 /// Reusable sense-reversing spin barrier for a fixed participant count.
 struct SpinBarrier {
@@ -177,6 +187,7 @@ struct Packet {
     region: Arc<Region>,
     tid: usize,
     done: Sender<()>,
+    arm: Option<FaultArm>,
 }
 
 enum Msg {
@@ -189,6 +200,9 @@ pub struct Pool {
     senders: Vec<Sender<Msg>>,
     handles: Vec<JoinHandle<()>>,
     size: usize,
+    /// Set once by [`Pool::arm_faults`] on fault-injected runs; `None` on
+    /// normal runs (the per-region cost is then a single atomic load).
+    faults: OnceLock<FaultArm>,
 }
 
 impl Pool {
@@ -212,6 +226,7 @@ impl Pool {
             senders,
             handles,
             size,
+            faults: OnceLock::new(),
         }
     }
 
@@ -219,6 +234,18 @@ impl Pool {
     #[inline]
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Arms deterministic fault injection for every subsequent region: each
+    /// participant is tagged with `world_rank` (so injected faults match by
+    /// rank even on pool worker threads, which have no rank TLS of their
+    /// own) and slow-worker faults fire at region entry. Later calls are
+    /// ignored — a pool belongs to one rank for its whole life.
+    pub fn arm_faults(&self, world_rank: usize, injector: Arc<Injector>) {
+        let _ = self.faults.set(FaultArm {
+            world_rank,
+            injector,
+        });
     }
 
     /// Runs `f` on `nthreads` participants (1 ≤ nthreads ≤ size). The calling
@@ -229,6 +256,7 @@ impl Pool {
         F: Fn(&Ctx<'_>) + Sync,
     {
         let nthreads = nthreads.clamp(1, self.size);
+        let arm = self.faults.get();
         if nthreads == 1 {
             let region = Region {
                 barrier: SpinBarrier::new(1),
@@ -240,6 +268,7 @@ impl Pool {
                 region: &region,
                 local_sense: core::cell::Cell::new(false),
             };
+            enter_region(arm, 0);
             f(&ctx);
             crate::ledger::release_current_thread();
             return;
@@ -272,6 +301,7 @@ impl Pool {
                     region: Arc::clone(&region),
                     tid,
                     done: done_tx.clone(),
+                    arm: arm.cloned(),
                 }))
                 .expect("pool worker died");
         }
@@ -285,12 +315,26 @@ impl Pool {
             region: &region,
             local_sense: core::cell::Cell::new(false),
         };
+        enter_region(arm, 0);
         f(&ctx);
         crate::ledger::release_current_thread();
         // Wait for all workers before returning: this keeps the borrow of
         // `f` (captured by raw pointer) alive for the region's duration.
         for _ in 1..nthreads {
             done_rx.recv().expect("pool worker died");
+        }
+    }
+}
+
+/// Tags the current thread with the arming rank and fires any matching
+/// slow-worker fault before the region body runs. No-op (one branch on an
+/// already-loaded `Option`) when faults are not armed.
+#[inline]
+fn enter_region(arm: Option<&FaultArm>, tid: usize) {
+    if let Some(a) = arm {
+        hpl_faults::set_world_rank(a.world_rank);
+        if let Some(millis) = a.injector.region_sleep(tid) {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
         }
     }
 }
@@ -304,6 +348,7 @@ fn worker_loop(rx: Receiver<Msg>) {
                     region: &p.region,
                     local_sense: core::cell::Cell::new(false),
                 };
+                enter_region(p.arm.as_ref(), p.tid);
                 // SAFETY: `Pool::run` blocks until we signal `done`, so the
                 // closure behind `job.data` outlives this call.
                 unsafe { (p.job.call)(p.job.data, &ctx) };
@@ -447,6 +492,42 @@ mod tests {
             });
         }
         assert_eq!(total.load(Ordering::SeqCst), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn armed_pool_fires_slow_worker_and_tags_rank() {
+        use hpl_faults::FaultPlan;
+        // slowworker:30@0:region:1 — worker tid 1's first region entry on
+        // rank 0 sleeps 30 ms; everyone else is untouched.
+        let plan = FaultPlan::parse(7, &["slowworker:30@0:region:1".into()]).unwrap();
+        let inj = hpl_faults::Injector::new(plan, 1);
+        let pool = Pool::new(3);
+        pool.arm_faults(0, Arc::clone(&inj));
+        let t0 = std::time::Instant::now();
+        let ranks = parking_lot::Mutex::new(Vec::new());
+        pool.run(3, |ctx| {
+            // Every participant (workers included) is tagged with the
+            // arming rank.
+            ranks
+                .lock()
+                .push((ctx.thread_id(), hpl_faults::world_rank()));
+        });
+        assert!(
+            t0.elapsed() >= std::time::Duration::from_millis(30),
+            "slow-worker fault must delay the region"
+        );
+        let mut seen = ranks.into_inner();
+        seen.sort();
+        assert_eq!(seen, vec![(0, Some(0)), (1, Some(0)), (2, Some(0))]);
+        let ev: Vec<String> = inj.events(0).iter().map(|e| e.to_string()).collect();
+        assert_eq!(ev, vec!["region#1:slowworker:30".to_string()]);
+    }
+
+    #[test]
+    fn unarmed_pool_has_no_fault_state() {
+        let pool = Pool::new(2);
+        pool.run(2, |_| {});
+        assert!(pool.faults.get().is_none());
     }
 
     #[test]

@@ -64,11 +64,16 @@ pub enum Phase {
     Update,
     /// Explicit host<->device panel copies and LBCAST packing.
     Transfer,
+    /// An injected fault firing (hpl-faults): the sleep/backoff the
+    /// injection adds, recorded nested inside whatever phase it hit.
+    Fault,
 }
 
 impl Phase {
-    /// Every phase, in report order.
-    pub const ALL: [Phase; 7] = [
+    /// Every phase, in report order. `Fault` is appended last so the
+    /// discriminants of the original seven — and therefore the
+    /// [`report::seq_hash`] of any fault-free run — are unchanged.
+    pub const ALL: [Phase; 8] = [
         Phase::Fact,
         Phase::FactComm,
         Phase::Bcast,
@@ -76,6 +81,7 @@ impl Phase {
         Phase::Scatter,
         Phase::Update,
         Phase::Transfer,
+        Phase::Fault,
     ];
 
     /// Stable snake-case name (the JSON schema key).
@@ -88,6 +94,7 @@ impl Phase {
             Phase::Scatter => "scatter",
             Phase::Update => "update",
             Phase::Transfer => "transfer",
+            Phase::Fault => "fault",
         }
     }
 
@@ -232,6 +239,18 @@ thread_local! {
     /// Fast-path flag, checked before touching the tracer cell.
     static ENABLED: Cell<bool> = const { Cell::new(false) };
     static TRACER: RefCell<Option<Tracer>> = const { RefCell::new(None) };
+    /// Stack of phases with an open [`SpanGuard`], maintained even when
+    /// tracing is disabled so fault diagnostics can name the phase a rank
+    /// died in (see [`current_phase`]).
+    static OPEN_PHASES: RefCell<Vec<Phase>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost phase with an open span guard on this thread. Unlike the
+/// rest of the tracer this works without [`install`]: the phase stack costs
+/// one thread-local vec push/pop per guard, kept inside the disabled-guard
+/// nanosecond budget asserted by the overhead gate.
+pub fn current_phase() -> Option<Phase> {
+    OPEN_PHASES.with(|s| s.borrow().last().copied())
 }
 
 /// Installs a tracer on the current thread (the rank thread). Replaces any
@@ -343,6 +362,7 @@ pub struct SpanGuard {
 /// the innermost); the instrumented phases are non-nesting by construction.
 #[inline]
 pub fn span(phase: Phase) -> SpanGuard {
+    OPEN_PHASES.with(|s| s.borrow_mut().push(phase));
     if !enabled() {
         return SpanGuard { phase, start: None };
     }
@@ -361,6 +381,9 @@ pub fn span(phase: Phase) -> SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        OPEN_PHASES.with(|s| {
+            s.borrow_mut().pop();
+        });
         let Some((t0, start_ns)) = self.start else {
             return;
         };

@@ -22,6 +22,8 @@ pub struct PhaseTotals {
     pub update_ns: u64,
     /// Host<->device panel copies.
     pub transfer_ns: u64,
+    /// Injected-fault sleeps/backoffs (hpl-faults; zero in fault-free runs).
+    pub fault_ns: u64,
     /// Payload bytes attributed to the spans.
     pub bytes: u64,
 }
@@ -36,6 +38,7 @@ impl PhaseTotals {
             Phase::Scatter => self.scatter_ns += s.dur_ns,
             Phase::Update => self.update_ns += s.dur_ns,
             Phase::Transfer => self.transfer_ns += s.dur_ns,
+            Phase::Fault => self.fault_ns += s.dur_ns,
         }
         self.bytes += s.bytes;
     }
@@ -48,6 +51,7 @@ impl PhaseTotals {
         self.scatter_ns = self.scatter_ns.max(o.scatter_ns);
         self.update_ns = self.update_ns.max(o.update_ns);
         self.transfer_ns = self.transfer_ns.max(o.transfer_ns);
+        self.fault_ns = self.fault_ns.max(o.fault_ns);
         self.bytes = self.bytes.max(o.bytes);
     }
 
@@ -59,7 +63,9 @@ impl PhaseTotals {
     /// Sum over every phase. `fact_comm` is excluded: it is an aggregate
     /// nested inside the `fact` window (the pivot collectives run on pool
     /// worker threads, so the driver re-exports their time as a separate
-    /// span), and `fact_ns` already contains it.
+    /// span), and `fact_ns` already contains it. `fault_ns` is excluded for
+    /// the same reason: injected sleeps happen inside whatever phase span
+    /// was open when the fault fired, so that phase already carries them.
     pub fn total_ns(&self) -> u64 {
         self.fact_ns
             + self.bcast_ns

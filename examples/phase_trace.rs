@@ -72,7 +72,8 @@ fn main() {
             cfg.bcast,
             &g,
             packed.as_ref().map(|(b, _)| b.clone()),
-        );
+        )
+        .expect("panel broadcast");
         let after = snap(grid.row());
         log.push(format!(
             "LBCAST rank {me:?}: {} row messages sent, ipiv = {:?}",
@@ -89,7 +90,8 @@ fn main() {
         let before = snap(grid.col());
         let rows: Axis = a.rows;
         let mut av = a.view_mut();
-        let u = row_swap(grid.col(), rows, &plan, g.prow, &mut av, range, cfg.swap);
+        let u =
+            row_swap(grid.col(), rows, &plan, g.prow, &mut av, range, cfg.swap).expect("row swap");
         let after = snap(grid.col());
         log.push(format!(
             "RS     rank {me:?}: {} moves, U is {}x{}, {} column messages sent",

@@ -42,7 +42,7 @@ fn main() {
     let x = results[0].x.clone();
     let res = Universe::run(cfg.ranks(), |comm| {
         let grid = Grid::new(comm, p, q, GridOrder::ColumnMajor);
-        verify(&grid, n, nb, cfg.seed, &x)
+        verify(&grid, n, nb, cfg.seed, &x).expect("verification collectives")
     });
     let r = res[0];
     println!(

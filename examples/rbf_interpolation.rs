@@ -70,7 +70,7 @@ fn main() {
     let w = weights.clone();
     let res = Universe::run(cfg.ranks(), |comm| {
         let grid = Grid::new(comm, p, q, GridOrder::ColumnMajor);
-        verify_with(&grid, n, nb, &fill, &w)
+        verify_with(&grid, n, nb, &fill, &w).expect("verification collectives")
     })[0];
     println!(
         "scaled residual {:.4} -> {}",

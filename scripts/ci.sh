@@ -32,4 +32,10 @@ cargo xtask bench
 echo "== [bench] cargo xtask bench --self-test"
 cargo xtask bench --self-test
 
+echo "== [faults] cargo xtask faults"
+cargo xtask faults
+
+echo "== [faults] cargo xtask faults --self-test"
+cargo xtask faults --self-test
+
 echo "ci.sh: all gates green"

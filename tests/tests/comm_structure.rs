@@ -30,7 +30,7 @@ fn modified_ring_offloads_next_owner_at_scale() {
             if comm.rank() == 2 {
                 buf.iter_mut().enumerate().for_each(|(i, v)| *v = i as f64);
             }
-            panel_bcast(&comm, algo, 2, &mut buf);
+            panel_bcast(&comm, algo, 2, &mut buf).expect("broadcast");
             assert_eq!(buf[4095], 4095.0, "payload must arrive");
             comm.stats().snapshot()
         });
@@ -50,7 +50,7 @@ fn long_bcast_trades_messages_for_volume() {
     let run = |algo: BcastAlgo| -> Vec<(u64, u64)> {
         Universe::run(6, |comm| {
             let mut buf = vec![1.0f64; len];
-            panel_bcast(&comm, algo, 0, &mut buf);
+            panel_bcast(&comm, algo, 0, &mut buf).expect("broadcast");
             comm.stats().snapshot()
         })
     };

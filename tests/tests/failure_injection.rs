@@ -6,7 +6,7 @@ use hpl_comm::Universe;
 use hpl_threads::Pool;
 use rhpl_core::dist::Axis;
 use rhpl_core::fact::{panel_factor, FactInput};
-use rhpl_core::{FactOpts, HplConfig};
+use rhpl_core::{FactOpts, HplConfig, HplError};
 
 /// A panel with an all-zero column is singular: every rank of the process
 /// column must return the same `Singular { col }` error (no rank may hang
@@ -45,7 +45,11 @@ fn singular_panel_detected_consistently_across_ranks() {
         panel_factor(&inp, &mut v).unwrap_err()
     });
     for e in &errs {
-        assert_eq!(e.col, 5, "all ranks must report the same singular column");
+        assert_eq!(
+            *e,
+            HplError::Singular { col: 5 },
+            "all ranks must report the same singular column"
+        );
     }
 }
 
@@ -81,7 +85,7 @@ fn singular_panel_with_threads() {
         let mut v = panel.view_mut();
         panel_factor(&inp, &mut v).unwrap_err()
     });
-    assert!(errs.iter().all(|e| e.col == 0));
+    assert!(errs.iter().all(|e| *e == HplError::Singular { col: 0 }));
 }
 
 #[test]

@@ -14,7 +14,7 @@ fn check(cfg: &HplConfig) -> Vec<f64> {
     }
     let res = Universe::run(cfg.ranks(), |comm| {
         let grid = Grid::new(comm, cfg.p, cfg.q, cfg.order);
-        verify(&grid, cfg.n, cfg.nb, cfg.seed, &x)
+        verify(&grid, cfg.n, cfg.nb, cfg.seed, &x).expect("verification collectives")
     })[0];
     assert!(
         res.passed(),
@@ -167,7 +167,7 @@ fn custom_system_through_solver_api() {
     }
     let res = Universe::run(cfg.ranks(), |comm| {
         let grid = Grid::new(comm, cfg.p, cfg.q, cfg.order);
-        verify_with(&grid, n, cfg.nb, &fill, &x)
+        verify_with(&grid, n, cfg.nb, &fill, &x).expect("verification collectives")
     })[0];
     assert!(res.passed());
 }

@@ -48,7 +48,7 @@ proptest! {
         let x = results[0].x.clone();
         let res = Universe::run(cfg.ranks(), |comm| {
             let grid = Grid::new(comm, cfg.p, cfg.q, GridOrder::ColumnMajor);
-            verify(&grid, cfg.n, cfg.nb, cfg.seed, &x)
+            verify(&grid, cfg.n, cfg.nb, cfg.seed, &x).expect("verification collectives")
         })[0];
         prop_assert!(
             res.passed(),
@@ -76,7 +76,7 @@ proptest! {
         let x = results[0].x.clone();
         let res = Universe::run(cfg.ranks(), |comm| {
             let grid = Grid::new(comm, 2, 2, GridOrder::ColumnMajor);
-            verify(&grid, cfg.n, nb, seed, &x)
+            verify(&grid, cfg.n, nb, seed, &x).expect("verification collectives")
         })[0];
         prop_assert!(res.passed(), "ndiv={ndiv} nbmin={nbmin} nb={nb}: {}", res.scaled);
     }

@@ -13,7 +13,8 @@
 //!   higher than `*_max_factor` times baseline (with an absolute per-phase
 //!   floor so microsecond phases don't trip on scheduler noise);
 //! - **overhead**: the disabled-tracing cost fraction stays under
-//!   `max_disabled_frac` (the "< 1% when off" guarantee).
+//!   `max_disabled_frac`, and the disabled fault-hook fraction under
+//!   `max_faults_disabled_frac` (the "< 1% when off" guarantees).
 //!
 //! The bands live in the baseline file itself so maintainers can tune them
 //! without touching code. Maintainer flows:
@@ -51,6 +52,8 @@ struct Gate {
     phase_floor_ns_per_iter: f64,
     max_disabled_frac: f64,
     max_disabled_ns_per_call: f64,
+    max_faults_disabled_frac: f64,
+    max_fault_guard_ns_per_call: f64,
 }
 
 impl Default for Gate {
@@ -62,6 +65,8 @@ impl Default for Gate {
             phase_floor_ns_per_iter: 10_000_000.0,
             max_disabled_frac: 0.01,
             max_disabled_ns_per_call: 200.0,
+            max_faults_disabled_frac: 0.01,
+            max_fault_guard_ns_per_call: 200.0,
         }
     }
 }
@@ -77,6 +82,9 @@ impl Gate {
         g.phase_floor_ns_per_iter = f("phase_floor_ns_per_iter", g.phase_floor_ns_per_iter);
         g.max_disabled_frac = f("max_disabled_frac", g.max_disabled_frac);
         g.max_disabled_ns_per_call = f("max_disabled_ns_per_call", g.max_disabled_ns_per_call);
+        g.max_faults_disabled_frac = f("max_faults_disabled_frac", g.max_faults_disabled_frac);
+        g.max_fault_guard_ns_per_call =
+            f("max_fault_guard_ns_per_call", g.max_fault_guard_ns_per_call);
         g
     }
 }
@@ -334,9 +342,19 @@ fn run_metrics(run: &Value) -> Result<RunMetrics, String> {
     })
 }
 
-/// Runs the `trace_overhead` harness; returns
-/// `(disabled_ns_per_call, disabled_frac)`.
-fn measure_overhead(root: &Path) -> Result<(f64, f64), String> {
+/// Guard costs with instrumentation compiled in but switched off, from the
+/// `trace_overhead` harness: the trace span guard and the fault-injection
+/// hook, each as ns/call and as a fraction of a fault-free run's wall time.
+#[derive(Clone, Copy, Debug)]
+struct Overhead {
+    disabled_ns_per_call: f64,
+    disabled_frac: f64,
+    fault_guard_ns_per_call: f64,
+    faults_disabled_frac: f64,
+}
+
+/// Runs the `trace_overhead` harness and parses its JSON line.
+fn measure_overhead(root: &Path) -> Result<Overhead, String> {
     let out = Command::new(root.join("target/release/trace_overhead"))
         .args(["--json", "--calls", "5000000"])
         .current_dir(root)
@@ -356,12 +374,17 @@ fn measure_overhead(root: &Path) -> Result<(f64, f64), String> {
             .and_then(Value::num)
             .ok_or(format!("overhead missing `{k}`"))
     };
-    Ok((f("disabled_ns_per_call")?, f("disabled_frac")?))
+    Ok(Overhead {
+        disabled_ns_per_call: f("disabled_ns_per_call")?,
+        disabled_frac: f("disabled_frac")?,
+        fault_guard_ns_per_call: f("fault_guard_ns_per_call")?,
+        faults_disabled_frac: f("faults_disabled_frac")?,
+    })
 }
 
 /// Compares measured metrics against the baseline; returns failure strings
 /// (empty = gate passes).
-fn compare(measured: &[RunMetrics], overhead: Option<(f64, f64)>, baseline: &Value) -> Vec<String> {
+fn compare(measured: &[RunMetrics], overhead: Option<Overhead>, baseline: &Value) -> Vec<String> {
     let gate = Gate::from_baseline(baseline);
     let mut fails = Vec::new();
     let Some(base_runs) = baseline.get("runs").and_then(Value::arr) else {
@@ -438,17 +461,29 @@ fn compare(measured: &[RunMetrics], overhead: Option<(f64, f64)>, baseline: &Val
             }
         }
     }
-    if let Some((ns_per_call, frac)) = overhead {
-        if ns_per_call > gate.max_disabled_ns_per_call {
+    if let Some(o) = overhead {
+        if o.disabled_ns_per_call > gate.max_disabled_ns_per_call {
             fails.push(format!(
-                "disabled span guard costs {ns_per_call:.1} ns/call (cap {})",
-                gate.max_disabled_ns_per_call
+                "disabled span guard costs {:.1} ns/call (cap {})",
+                o.disabled_ns_per_call, gate.max_disabled_ns_per_call
             ));
         }
-        if frac > gate.max_disabled_frac {
+        if o.disabled_frac > gate.max_disabled_frac {
             fails.push(format!(
-                "disabled tracing overhead fraction {frac:.4} exceeds {}",
-                gate.max_disabled_frac
+                "disabled tracing overhead fraction {:.4} exceeds {}",
+                o.disabled_frac, gate.max_disabled_frac
+            ));
+        }
+        if o.fault_guard_ns_per_call > gate.max_fault_guard_ns_per_call {
+            fails.push(format!(
+                "disabled fault guard costs {:.1} ns/call (cap {})",
+                o.fault_guard_ns_per_call, gate.max_fault_guard_ns_per_call
+            ));
+        }
+        if o.faults_disabled_frac > gate.max_faults_disabled_frac {
+            fails.push(format!(
+                "disabled fault-hook overhead fraction {:.4} exceeds {}",
+                o.faults_disabled_frac, gate.max_faults_disabled_frac
             ));
         }
     }
@@ -482,22 +517,27 @@ fn report(measured: &[RunMetrics], failures: &[String]) -> i32 {
 }
 
 /// Serializes the measured metrics as the committed baseline document.
-fn baseline_json(measured: &[RunMetrics], (ns_per_call, frac): (f64, f64)) -> String {
+fn baseline_json(measured: &[RunMetrics], o: Overhead) -> String {
     let gate = Gate::default();
     let mut out = String::from("{\n  \"schema\": \"rhpl-bench-baseline-v1\",\n");
     out.push_str(&format!(
         "  \"gate\": {{\"gflops_min_frac\": {}, \"wall_max_factor\": {}, \
          \"phase_max_factor\": {}, \"phase_floor_ns_per_iter\": {}, \
-         \"max_disabled_frac\": {}, \"max_disabled_ns_per_call\": {}}},\n",
+         \"max_disabled_frac\": {}, \"max_disabled_ns_per_call\": {}, \
+         \"max_faults_disabled_frac\": {}, \"max_fault_guard_ns_per_call\": {}}},\n",
         gate.gflops_min_frac,
         gate.wall_max_factor,
         gate.phase_max_factor,
         gate.phase_floor_ns_per_iter,
         gate.max_disabled_frac,
-        gate.max_disabled_ns_per_call
+        gate.max_disabled_ns_per_call,
+        gate.max_faults_disabled_frac,
+        gate.max_fault_guard_ns_per_call
     ));
     out.push_str(&format!(
-        "  \"overhead\": {{\"disabled_ns_per_call\": {ns_per_call}, \"disabled_frac\": {frac}}},\n"
+        "  \"overhead\": {{\"disabled_ns_per_call\": {}, \"disabled_frac\": {}, \
+         \"fault_guard_ns_per_call\": {}, \"faults_disabled_frac\": {}}},\n",
+        o.disabled_ns_per_call, o.disabled_frac, o.fault_guard_ns_per_call, o.faults_disabled_frac
     ));
     out.push_str("  \"runs\": [\n");
     for (i, m) in measured.iter().enumerate() {
@@ -548,15 +588,24 @@ mod tests {
         }
     }
 
+    fn overhead(ns: f64, frac: f64) -> Overhead {
+        Overhead {
+            disabled_ns_per_call: ns,
+            disabled_frac: frac,
+            fault_guard_ns_per_call: ns,
+            faults_disabled_frac: frac,
+        }
+    }
+
     fn baseline_of(m: &[RunMetrics]) -> Value {
-        json::parse(&baseline_json(m, (3.0, 0.0002))).unwrap()
+        json::parse(&baseline_json(m, overhead(3.0, 0.0002))).unwrap()
     }
 
     #[test]
     fn identical_measurement_passes() {
         let base = vec![metrics(1.0, 1e6, "0xaa")];
         let b = baseline_of(&base);
-        assert!(compare(&base, Some((3.0, 0.0002)), &b).is_empty());
+        assert!(compare(&base, Some(overhead(3.0, 0.0002)), &b).is_empty());
     }
 
     #[test]
@@ -582,7 +631,9 @@ mod tests {
         assert!(compare(&slow, None, &b)
             .iter()
             .any(|f| f.contains("gflops")));
-        assert!(compare(&base, Some((500.0, 0.5)), &b).len() == 2);
+        // Both guards over their ns/call caps and both fractions over
+        // their 1% caps: four overhead failures.
+        assert!(compare(&base, Some(overhead(500.0, 0.5)), &b).len() == 4);
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! `cargo xtask faults` — the fault-injection soak gate.
+//!
+//! Builds the release `rhpl` binary and drives a pinned scenario matrix
+//! through its `--fault` soak mode (one scenario per fault kind, plus a
+//! seeded random plan). Every scenario must:
+//!
+//! - finish inside its deadline (a wedged run — today's 120 s mailbox
+//!   timeout — is the exact failure mode this gate exists to catch);
+//! - end in the expected outcome: `HPLOK` with a passing residual, or the
+//!   expected structured `HPLERROR kind=...` line (exit code 3);
+//! - be byte-identical on stdout across two runs of the same seed — the
+//!   determinism contract of `hpl-faults`.
+//!
+//! `cargo xtask faults --self-test` re-runs the rank-death scenario with a
+//! deliberately wrong expectation and succeeds only if the gate *fails*,
+//! proving the matrix can trip.
+
+use std::io::Read;
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Per-run wall deadline. Rank-death unwind is asserted under 5 s by the
+/// hang-freedom integration test; the soak cap only needs to be far below
+/// the 120 s mailbox timeout while absorbing CI scheduler noise.
+const DEADLINE: Duration = Duration::from_secs(30);
+
+/// Expected scenario outcome, matched against the protocol line.
+enum Expect {
+    /// `HPLOK` with a passing residual (exit code 0).
+    Clean,
+    /// An `HPLERROR` line starting with this prefix (exit code 3).
+    Error(&'static str),
+    /// Any non-wedged deterministic outcome (exit code 0 or 3) — used for
+    /// the seeded random plan, whose outcome is seed-defined but not
+    /// hand-pinned here.
+    AnyOutcome,
+}
+
+struct Scenario {
+    name: &'static str,
+    /// Which pinned `HPL.dat` to run (index into [`DATS`]).
+    dat: usize,
+    /// Extra `rhpl` arguments (`--fault ...`, `--threads ...`).
+    args: &'static [&'static str],
+    /// Extra environment for the run.
+    env: &'static [(&'static str, &'static str)],
+    expect: Expect,
+}
+
+/// Pinned inputs: a 1x2 grid (panel broadcasts carry the row traffic, so
+/// bit-flips land on the checksummed path) and a 2x2 grid (column comms are
+/// real, so recv faults land inside FACT).
+const DATS: &[(&str, &str)] = &[("faults_1x2.dat", DAT_1X2), ("faults_2x2.dat", DAT_2X2)];
+
+fn matrix() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "delay-sticky",
+            dat: 0,
+            args: &["--fault", "delay:500@0:send:0:sticky"],
+            env: &[],
+            expect: Expect::Clean,
+        },
+        Scenario {
+            name: "drop-retransmit",
+            dat: 0,
+            args: &["--fault", "drop@0:send:0:sticky"],
+            env: &[],
+            expect: Expect::Clean,
+        },
+        Scenario {
+            name: "bitflip-repaired",
+            dat: 0,
+            args: &["--fault", "bitflip:17@0:send:2"],
+            env: &[],
+            expect: Expect::Clean,
+        },
+        Scenario {
+            name: "bitflip-sticky",
+            dat: 0,
+            args: &["--fault", "bitflip:7@0:send:0:sticky"],
+            env: &[],
+            expect: Expect::Error("HPLERROR kind=corrupt_payload root=0"),
+        },
+        Scenario {
+            name: "death-at-send",
+            dat: 0,
+            args: &["--fault", "death@1:send:4"],
+            env: &[],
+            expect: Expect::Error("HPLERROR kind=rank_failed rank=1"),
+        },
+        Scenario {
+            name: "death-in-fact",
+            dat: 1,
+            args: &["--fault", "death@2:recv:6"],
+            env: &[],
+            expect: Expect::Error("HPLERROR kind=rank_failed rank=2 phase=fact"),
+        },
+        Scenario {
+            name: "stall-recovered",
+            dat: 0,
+            args: &["--fault", "stall:80@1:recv:1"],
+            env: &[],
+            expect: Expect::Clean,
+        },
+        Scenario {
+            name: "stall-timeout",
+            dat: 0,
+            args: &["--fault", "stall:2500@1:recv:3:sticky"],
+            env: &[("HPL_COMM_TIMEOUT_SECS", "1")],
+            expect: Expect::Error("HPLERROR kind=comm_timeout src=1 dst=0"),
+        },
+        Scenario {
+            name: "slow-worker",
+            dat: 0,
+            args: &["--fault", "slowworker:20@0:region:0", "--threads", "2"],
+            env: &[],
+            expect: Expect::Clean,
+        },
+        Scenario {
+            name: "seeded-random-plan",
+            dat: 0,
+            args: &["--fault-seed", "12345"],
+            env: &[],
+            expect: Expect::AnyOutcome,
+        },
+    ]
+}
+
+/// Entry point; returns the process exit code.
+pub fn run_faults(root: &Path, args: &[String]) -> i32 {
+    let self_test = args.iter().any(|a| a == "--self-test");
+    if let Err(e) = build(root) {
+        eprintln!("xtask faults: {e}");
+        return 1;
+    }
+    let work = root.join("target/xtask-faults");
+    if let Err(e) = std::fs::create_dir_all(&work) {
+        eprintln!("xtask faults: cannot create {}: {e}", work.display());
+        return 1;
+    }
+    for (name, text) in DATS {
+        if let Err(e) = std::fs::write(work.join(name), text) {
+            eprintln!("xtask faults: cannot write {name}: {e}");
+            return 1;
+        }
+    }
+
+    if self_test {
+        return run_self_test(root, &work);
+    }
+
+    let mut failures = Vec::new();
+    let scenarios = matrix();
+    for sc in &scenarios {
+        match run_scenario(root, &work, sc) {
+            Ok(outcome) => println!("xtask faults: [{}] OK — {outcome}", sc.name),
+            Err(e) => {
+                println!("xtask faults: [{}] FAIL — {e}", sc.name);
+                failures.push(sc.name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "xtask faults: PASS ({} scenarios, each run twice, zero wedged)",
+            scenarios.len()
+        );
+        0
+    } else {
+        println!(
+            "xtask faults: {} scenario(s) failed: {}",
+            failures.len(),
+            failures.join(", ")
+        );
+        1
+    }
+}
+
+/// Self-test: the rank-death scenario judged against a deliberately wrong
+/// expectation (`HPLOK`) must make the gate trip.
+fn run_self_test(root: &Path, work: &Path) -> i32 {
+    println!("xtask faults: self-test (rank death judged as clean; the gate must trip)");
+    let wrong = Scenario {
+        name: "self-test-death-as-clean",
+        dat: 0,
+        args: &["--fault", "death@1:send:4"],
+        env: &[],
+        expect: Expect::Clean,
+    };
+    match run_scenario(root, work, &wrong) {
+        Ok(outcome) => {
+            eprintln!("xtask faults: SELF-TEST FAILED — wrong expectation passed ({outcome})");
+            1
+        }
+        Err(e) => {
+            println!("xtask faults: self-test OK — gate tripped as expected: {e}");
+            0
+        }
+    }
+}
+
+fn build(root: &Path) -> Result<(), String> {
+    let status = Command::new("cargo")
+        .args(["build", "--release", "-q", "-p", "rhpl-cli"])
+        .current_dir(root)
+        .status()
+        .map_err(|e| format!("cannot spawn cargo: {e}"))?;
+    if !status.success() {
+        return Err("release build failed".into());
+    }
+    Ok(())
+}
+
+/// Runs one scenario twice; checks deadline, exit code, expected outcome
+/// line, and byte-identical stdout. Returns the outcome line on success.
+fn run_scenario(root: &Path, work: &Path, sc: &Scenario) -> Result<String, String> {
+    let first = run_rhpl(root, work, sc)?;
+    let second = run_rhpl(root, work, sc)?;
+    if first.stdout != second.stdout {
+        return Err(format!(
+            "nondeterministic stdout across identical runs:\n--- first\n{}--- second\n{}",
+            first.stdout, second.stdout
+        ));
+    }
+    let outcome = first
+        .stdout
+        .lines()
+        .find(|l| l.starts_with("HPLOK") || l.starts_with("HPLERROR") || l.starts_with("HPLBAD"))
+        .ok_or_else(|| format!("no outcome line in stdout:\n{}", first.stdout))?;
+    match &sc.expect {
+        Expect::Clean => {
+            if !outcome.starts_with("HPLOK") {
+                return Err(format!("expected HPLOK, got `{outcome}`"));
+            }
+            if first.code != 0 {
+                return Err(format!("expected exit 0, got {}", first.code));
+            }
+        }
+        Expect::Error(prefix) => {
+            if !outcome.starts_with(prefix) {
+                return Err(format!("expected `{prefix}...`, got `{outcome}`"));
+            }
+            if first.code != 3 {
+                return Err(format!("expected exit 3, got {}", first.code));
+            }
+        }
+        Expect::AnyOutcome => {
+            if first.code != 0 && first.code != 3 {
+                return Err(format!("expected exit 0 or 3, got {}", first.code));
+            }
+        }
+    }
+    Ok(outcome.to_string())
+}
+
+struct RunOutput {
+    stdout: String,
+    code: i32,
+}
+
+/// Spawns one `rhpl` soak run and polls it against [`DEADLINE`]; an
+/// overrun kills the process and reports a wedge. The protocol output is
+/// small (well under the pipe buffer), so draining stdout after exit is
+/// safe.
+fn run_rhpl(root: &Path, work: &Path, sc: &Scenario) -> Result<RunOutput, String> {
+    let (dat_name, _) = DATS[sc.dat];
+    let mut cmd = Command::new(root.join("target/release/rhpl"));
+    cmd.arg(dat_name)
+        .args(sc.args)
+        .current_dir(work)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    for (k, v) in sc.env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().map_err(|e| format!("cannot spawn rhpl: {e}"))?;
+    let start = Instant::now();
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => {
+                if start.elapsed() > DEADLINE {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(format!("WEDGED: no exit within {}s", DEADLINE.as_secs()));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(format!("wait failed: {e}")),
+        }
+    };
+    let mut stdout = String::new();
+    if let Some(mut pipe) = child.stdout.take() {
+        pipe.read_to_string(&mut stdout)
+            .map_err(|e| format!("cannot read stdout: {e}"))?;
+    }
+    Ok(RunOutput {
+        stdout,
+        code: status.code().unwrap_or(-1),
+    })
+}
+
+/// 1x2 grid, N=48: all row traffic is the panel broadcast path.
+const DAT_1X2: &str = "\
+HPLinpack benchmark input file (xtask faults pinned 1x2 configuration)
+rhpl fault soak
+HPL.out      output file name (if any)
+6            device out (6=stdout,7=stderr,file)
+1            # of problems sizes (N)
+48           Ns
+1            # of NBs
+8            NBs
+0            PMAP process mapping (0=Row-,1=Column-major)
+1            # of process grids (P x Q)
+1            Ps
+2            Qs
+16.0         threshold
+1            # of panel fact
+2            PFACTs (0=left, 1=Crout, 2=Right)
+1            # of recursive stopping criterium
+4            NBMINs (>= 1)
+1            # of panels in recursion
+2            NDIVs
+1            # of recursive panel fact.
+2            RFACTs (0=left, 1=Crout, 2=Right)
+1            # of broadcast
+0            BCASTs (0=1rg,1=1rM,2=2rg,3=2rM,4=Lng,5=LnM)
+1            # of lookahead depth
+1            DEPTHs (>=0)
+2            SWAP (0=bin-exch,1=long,2=mix)
+64           swapping threshold
+0            L1 in (0=transposed,1=no-transposed) form
+0            U  in (0=transposed,1=no-transposed) form
+1            Equilibration (0=no,1=yes)
+8            memory alignment in double (> 0)
+";
+
+/// 2x2 grid, N=64: real column comms, so recv faults land inside FACT.
+const DAT_2X2: &str = "\
+HPLinpack benchmark input file (xtask faults pinned 2x2 configuration)
+rhpl fault soak
+HPL.out      output file name (if any)
+6            device out (6=stdout,7=stderr,file)
+1            # of problems sizes (N)
+64           Ns
+1            # of NBs
+8            NBs
+0            PMAP process mapping (0=Row-,1=Column-major)
+1            # of process grids (P x Q)
+2            Ps
+2            Qs
+16.0         threshold
+1            # of panel fact
+2            PFACTs (0=left, 1=Crout, 2=Right)
+1            # of recursive stopping criterium
+4            NBMINs (>= 1)
+1            # of panels in recursion
+2            NDIVs
+1            # of recursive panel fact.
+2            RFACTs (0=left, 1=Crout, 2=Right)
+1            # of broadcast
+0            BCASTs (0=1rg,1=1rM,2=2rg,3=2rM,4=Lng,5=LnM)
+1            # of lookahead depth
+1            DEPTHs (>=0)
+2            SWAP (0=bin-exch,1=long,2=mix)
+64           swapping threshold
+0            L1 in (0=transposed,1=no-transposed) form
+0            U  in (0=transposed,1=no-transposed) form
+1            Equilibration (0=no,1=yes)
+8            memory alignment in double (> 0)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_every_fault_kind() {
+        let scenarios = matrix();
+        for kind in ["delay", "drop", "bitflip", "death", "stall", "slowworker"] {
+            assert!(
+                scenarios
+                    .iter()
+                    .any(|s| s.args.iter().any(|a| a.starts_with(kind))),
+                "no scenario injects `{kind}`"
+            );
+        }
+        // Both failure and recovery paths are represented.
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.expect, Expect::Error(_))));
+        assert!(scenarios.iter().any(|s| matches!(s.expect, Expect::Clean)));
+    }
+
+    #[test]
+    fn pinned_dats_parse_shapewise() {
+        for (name, text) in DATS {
+            assert_eq!(text.lines().count(), 31, "{name} drifted");
+        }
+        assert!(DAT_1X2.contains("1            Ps"));
+        assert!(DAT_2X2.contains("2            Ps"));
+    }
+}

@@ -10,12 +10,18 @@
 //!   sweep with phase tracing and compares against `bench/baseline.json`
 //!   (see [`bench`]). `--update-baseline` rewrites the baseline;
 //!   `--self-test` verifies the gate can trip.
+//! - `faults` — fault-injection soak gate: drives a pinned scenario matrix
+//!   (each fault kind x pinned configs) through `rhpl --fault` and asserts
+//!   clean completion or the expected structured error, inside a deadline,
+//!   byte-identical per seed (see [`faults`]). `--self-test` verifies the
+//!   gate can trip.
 //! - `list-rules` — print the rule identifiers and one-line descriptions.
 //!
 //! The analyzer is std-only and runs fully offline: it lexes each `.rs` file
 //! itself (no rustc, no network) so it works in the sandboxed CI image.
 
 mod bench;
+mod faults;
 mod json;
 mod lexer;
 mod rules;
@@ -25,7 +31,9 @@ use std::path::{Path, PathBuf};
 
 /// Library crates subject to the full rule set. Bins, benches, examples and
 /// test trees only get the safety rules (`safety-comment`, `no-static-mut`).
-const LIB_CRATES: &[&str] = &["blas", "threads", "comm", "core", "mxp", "sim", "trace"];
+const LIB_CRATES: &[&str] = &[
+    "blas", "threads", "comm", "core", "faults", "mxp", "sim", "trace",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +47,10 @@ fn main() {
             let root = workspace_root();
             std::process::exit(bench::run_bench(&root, &args[1..]));
         }
+        "faults" => {
+            let root = workspace_root();
+            std::process::exit(faults::run_faults(&root, &args[1..]));
+        }
         "list-rules" => {
             for (name, desc) in RULES {
                 println!("{name:16} {desc}");
@@ -46,7 +58,8 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown xtask command `{other}` (expected `check`, `bench` or `list-rules`)"
+                "unknown xtask command `{other}` (expected `check`, `bench`, `faults` or \
+                 `list-rules`)"
             );
             std::process::exit(2);
         }
