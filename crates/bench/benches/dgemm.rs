@@ -1,37 +1,57 @@
 //! Criterion bench: the trailing-update DGEMM kernel across the shapes HPL
 //! produces (tall C, k = NB), backing the §IV.A DGEMM-rate discussion.
+//! Each shape runs once per available microkernel (`scalar` always,
+//! `simd` when the CPU has one) so the per-kernel GFLOPS gap is visible in
+//! the criterion report.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hpl_blas::mat::Matrix;
-use hpl_blas::{dgemm, Trans};
+use hpl_blas::{dgemm_with, Kernel, Trans};
+
+const SHAPES: &[(usize, usize, usize)] = &[
+    (256, 256, 64),
+    (512, 512, 64),
+    (512, 512, 128),
+    (1024, 512, 128),
+];
 
 fn bench_dgemm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dgemm_update");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    for &(m, n, k) in &[
-        (256usize, 256usize, 64usize),
-        (512, 512, 64),
-        (512, 512, 128),
-        (1024, 512, 128),
-    ] {
-        let a = Matrix::from_fn(m, k, |i, j| ((i + j) % 7) as f64 * 0.1 - 0.3);
-        let b = Matrix::from_fn(k, n, |i, j| ((i * 3 + j) % 5) as f64 * 0.2 - 0.4);
-        let mut cm = Matrix::zeros(m, n);
-        g.throughput(Throughput::Elements((2 * m * n * k) as u64));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{m}x{n}x{k}")),
-            &(),
-            |bch, _| {
-                bch.iter(|| {
-                    let mut cv = cm.view_mut();
-                    dgemm(Trans::No, Trans::No, -1.0, a.view(), b.view(), 1.0, &mut cv);
-                })
-            },
-        );
+    let kernels: Vec<Kernel> = [Kernel::scalar()]
+        .into_iter()
+        .chain(Kernel::simd())
+        .collect();
+    for kern in kernels {
+        let mut g = c.benchmark_group(format!("dgemm_update/{}", kern.name()));
+        g.sample_size(10);
+        g.measurement_time(std::time::Duration::from_secs(2));
+        g.warm_up_time(std::time::Duration::from_millis(300));
+        for &(m, n, k) in SHAPES {
+            let a = Matrix::from_fn(m, k, |i, j| ((i + j) % 7) as f64 * 0.1 - 0.3);
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 3 + j) % 5) as f64 * 0.2 - 0.4);
+            let mut cm = Matrix::zeros(m, n);
+            g.throughput(Throughput::Elements((2 * m * n * k) as u64));
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("{m}x{n}x{k}")),
+                &(),
+                |bch, _| {
+                    bch.iter(|| {
+                        let mut cv = cm.view_mut();
+                        dgemm_with(
+                            kern,
+                            Trans::No,
+                            Trans::No,
+                            -1.0,
+                            a.view(),
+                            b.view(),
+                            1.0,
+                            &mut cv,
+                        );
+                    })
+                },
+            );
+        }
+        g.finish();
     }
-    g.finish();
 }
 
 criterion_group!(benches, bench_dgemm);

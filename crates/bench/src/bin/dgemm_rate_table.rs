@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use hpl_bench::{emit_json, has_flag, row};
 use hpl_blas::mat::Matrix;
-use hpl_blas::{dgemm, Trans};
+use hpl_blas::{dgemm_with, Kernel, MatRef, Trans};
 use hpl_sim::DgemmModel;
 use serde::Serialize;
 
@@ -20,6 +20,14 @@ use serde::Serialize;
 struct Rate {
     nb: usize,
     gflops: f64,
+}
+
+#[derive(Serialize)]
+struct KernelRate {
+    nb: usize,
+    scalar_gflops: f64,
+    simd_gflops: Option<f64>,
+    speedup: Option<f64>,
 }
 
 fn main() {
@@ -48,28 +56,55 @@ fn model() {
     emit_json("dgemm_model", &rates);
 }
 
+/// Times one `m x n x nb` update with kernel `kern`, returning GFLOPS.
+fn time_kernel(kern: Kernel, m: usize, n: usize, nb: usize, a: MatRef<'_>, b: MatRef<'_>) -> f64 {
+    let mut c = Matrix::zeros(m, n);
+    // Warm-up: fault in the pack arena and caches outside the timed loop.
+    let mut cv = c.view_mut();
+    dgemm_with(kern, Trans::No, Trans::No, -1.0, a, b, 1.0, &mut cv);
+    let reps = (256 / nb).max(1);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let mut cv = c.view_mut();
+        dgemm_with(kern, Trans::No, Trans::No, -1.0, a, b, 1.0, &mut cv);
+    }
+    let dt = t0.elapsed().as_secs_f64() / reps as f64;
+    2.0 * (m * n * nb) as f64 / dt / 1e9
+}
+
 fn measured() {
-    println!("DGEMM GFLOPS vs NB (measured on this host, m = n = 1024)");
+    println!("DGEMM GFLOPS vs NB per kernel (measured on this host, m = n = 1024)");
     let (m, n) = (1024usize, 1024usize);
     let a_full = Matrix::from_fn(m, 1024, |i, j| ((i * 13 + j * 7) % 17) as f64 * 0.1 - 0.8);
     let b_full = Matrix::from_fn(1024, n, |i, j| ((i * 5 + j * 11) % 19) as f64 * 0.1 - 0.9);
-    let widths = [6usize, 10];
-    println!("{}", row(&["NB", "GFLOPS"], &widths));
+    let simd = Kernel::simd();
+    let widths = [6usize, 10, 10, 9];
+    println!("{}", row(&["NB", "scalar", "simd", "speedup"], &widths));
     let mut rates = Vec::new();
     for nb in [16usize, 32, 64, 128, 256, 512, 1024] {
         let a = a_full.view().submatrix(0, 0, m, nb);
         let b = b_full.view().submatrix(0, 0, nb, n);
-        let mut c = Matrix::zeros(m, n);
-        let reps = (256 / nb).max(1);
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            let mut cv = c.view_mut();
-            dgemm(Trans::No, Trans::No, -1.0, a, b, 1.0, &mut cv);
-        }
-        let dt = t0.elapsed().as_secs_f64() / reps as f64;
-        let g = 2.0 * (m * n * nb) as f64 / dt / 1e9;
-        println!("{}", row(&[format!("{nb}"), format!("{g:.2}")], &widths));
-        rates.push(Rate { nb, gflops: g });
+        let scalar_gflops = time_kernel(Kernel::scalar(), m, n, nb, a, b);
+        let simd_gflops = simd.map(|k| time_kernel(k, m, n, nb, a, b));
+        let speedup = simd_gflops.map(|s| s / scalar_gflops);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{nb}"),
+                    format!("{scalar_gflops:.2}"),
+                    simd_gflops.map_or("-".to_string(), |g| format!("{g:.2}")),
+                    speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+                ],
+                &widths
+            )
+        );
+        rates.push(KernelRate {
+            nb,
+            scalar_gflops,
+            simd_gflops,
+            speedup,
+        });
     }
     emit_json("dgemm_measured", &rates);
 }

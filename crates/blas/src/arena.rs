@@ -1,0 +1,151 @@
+//! Thread-local, grow-only scratch buffers for the DGEMM packing pipeline.
+//!
+//! The GotoBLAS loop in [`crate::l3`] repacks panels of `A` and `B` on
+//! every call. Allocating those workspaces per call puts `vec![]` (and the
+//! page faults behind it) on the hottest path in the whole benchmark, so
+//! this module keeps one pair of pack buffers per thread, growing them
+//! monotonically and never shrinking. The pool threads in `hpl-threads`
+//! are persistent, so after the first trailing update every worker runs
+//! allocation-free.
+//!
+//! The buffers hand out uninitialized-looking storage: callers must write
+//! every element they later read (the packing routines do — padding
+//! included), so the arena never zeroes on reuse.
+
+use std::cell::RefCell;
+
+/// Counters for one thread's arena, for tests and diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Number of `with_pack_bufs` regions entered on this thread.
+    pub calls: u64,
+    /// Number of regions that had to (re)allocate a buffer.
+    pub grows: u64,
+    /// Current combined capacity of both buffers, in elements.
+    pub capacity: usize,
+}
+
+struct PackArena {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    calls: u64,
+    grows: u64,
+}
+
+impl PackArena {
+    const fn new() -> Self {
+        PackArena {
+            a: Vec::new(),
+            b: Vec::new(),
+            calls: 0,
+            grows: 0,
+        }
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<PackArena> = const { RefCell::new(PackArena::new()) };
+}
+
+/// Grows `buf` to at least `len` elements, reporting whether it grew.
+fn ensure(buf: &mut Vec<f64>, len: usize) -> bool {
+    if buf.len() >= len {
+        return false;
+    }
+    buf.resize(len, 0.0);
+    true
+}
+
+/// Runs `f` with this thread's pack buffers sliced to `alen`/`blen`
+/// elements. Growth is monotone; a warm call of equal or smaller size
+/// performs no allocation. Falls back to fresh vectors in the (unused)
+/// reentrant case so nesting degrades to the old per-call behaviour
+/// instead of panicking.
+pub(crate) fn with_pack_bufs<R>(
+    alen: usize,
+    blen: usize,
+    f: impl FnOnce(&mut [f64], &mut [f64]) -> R,
+) -> R {
+    ARENA.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut arena) => {
+            let arena = &mut *arena;
+            arena.calls += 1;
+            let grew_a = ensure(&mut arena.a, alen);
+            let grew_b = ensure(&mut arena.b, blen);
+            if grew_a || grew_b {
+                arena.grows += 1;
+            }
+            f(&mut arena.a[..alen], &mut arena.b[..blen])
+        }
+        Err(_) => {
+            let mut a = vec![0.0f64; alen];
+            let mut b = vec![0.0f64; blen];
+            f(&mut a, &mut b)
+        }
+    })
+}
+
+/// Snapshot of the calling thread's arena counters.
+pub fn thread_stats() -> ArenaStats {
+    ARENA.with(|cell| {
+        let arena = cell.borrow();
+        ArenaStats {
+            calls: arena.calls,
+            grows: arena.grows,
+            capacity: arena.a.len() + arena.b.len(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_calls_do_not_grow() {
+        // A dedicated thread gives this test a pristine arena regardless of
+        // what other tests in the process have done.
+        std::thread::spawn(|| {
+            let s0 = thread_stats();
+            assert_eq!((s0.calls, s0.grows, s0.capacity), (0, 0, 0));
+            with_pack_bufs(100, 50, |a, b| {
+                assert_eq!((a.len(), b.len()), (100, 50));
+                a[99] = 1.0;
+                b[49] = 2.0;
+            });
+            let s1 = thread_stats();
+            assert_eq!((s1.calls, s1.grows, s1.capacity), (1, 1, 150));
+            // Warm: same sizes, then smaller — zero further growth.
+            with_pack_bufs(100, 50, |a, b| {
+                assert_eq!((a[99], b[49]), (1.0, 2.0), "storage is reused");
+            });
+            with_pack_bufs(10, 5, |a, b| {
+                assert_eq!((a.len(), b.len()), (10, 5));
+            });
+            let s2 = thread_stats();
+            assert_eq!((s2.calls, s2.grows, s2.capacity), (3, 1, 150));
+            // Larger request grows again, once.
+            with_pack_bufs(200, 50, |_, _| {});
+            let s3 = thread_stats();
+            assert_eq!((s3.calls, s3.grows, s3.capacity), (4, 2, 250));
+        })
+        .join()
+        .expect("arena test thread panicked");
+    }
+
+    #[test]
+    fn reentrant_use_falls_back_to_fresh_buffers() {
+        std::thread::spawn(|| {
+            with_pack_bufs(8, 8, |outer_a, _| {
+                outer_a[0] = 7.0;
+                with_pack_bufs(8, 8, |inner_a, inner_b| {
+                    assert_eq!(inner_a[0], 0.0, "inner buffers are fresh");
+                    assert_eq!((inner_a.len(), inner_b.len()), (8, 8));
+                });
+                assert_eq!(outer_a[0], 7.0, "outer buffer untouched");
+            });
+        })
+        .join()
+        .expect("arena test thread panicked");
+    }
+}

@@ -2,25 +2,33 @@
 //!
 //! DGEMM is the kernel that dominates HPL's trailing update; it is
 //! implemented GotoBLAS-style with cache blocking, panel packing and an
-//! `MR x NR` register microkernel. DTRSM recurses on the triangular factor
-//! and delegates the rectangular updates to DGEMM, so it inherits its
-//! throughput.
+//! `MR x NR` register microkernel supplied by [`kernels`] — the portable
+//! scalar tile or a runtime-detected SIMD tile (see that module for the
+//! accumulation-order contract). Pack workspaces come from the
+//! thread-local [`crate::arena`], so steady-state calls are
+//! allocation-free, and a panel of `A` can be packed once into a
+//! [`PackedA`] and reused across many calls — the `L2` panel of the
+//! trailing update is packed once per iteration and shared across the
+//! split-update sections and all worker threads. DTRSM recurses on the
+//! triangular factor and delegates the rectangular updates to DGEMM, so it
+//! inherits its throughput.
 
+pub mod kernels;
+
+use crate::arena;
 use crate::mat::{MatMut, MatRef};
 use crate::{Diag, Side, Trans, Uplo};
+use kernels::Kernel;
 
-/// Rows of the register microkernel tile.
-const MR: usize = 8;
-/// Columns of the register microkernel tile.
-const NR: usize = 4;
 /// Cache block in the `m` dimension (packed A panel height).
-const MC: usize = 256;
+pub(crate) const MC: usize = 256;
 /// Cache block in the `k` dimension (packed panel depth).
-const KC: usize = 256;
+pub(crate) const KC: usize = 256;
 /// Cache block in the `n` dimension (packed B panel width).
-const NC: usize = 2048;
+pub(crate) const NC: usize = 2048;
 
-/// General matrix-matrix multiply `C <- alpha * op(A) * op(B) + beta * C`.
+/// General matrix-matrix multiply `C <- alpha * op(A) * op(B) + beta * C`
+/// using the process-wide [`kernels::active`] microkernel.
 ///
 /// Dimensions: `op(A)` is `m x k`, `op(B)` is `k x n`, `C` is `m x n`.
 pub fn dgemm(
@@ -32,6 +40,75 @@ pub fn dgemm(
     beta: f64,
     c: &mut MatMut<'_>,
 ) {
+    dgemm_with(kernels::active(), transa, transb, alpha, a, b, beta, c);
+}
+
+/// [`dgemm`] with an explicit microkernel — the entry point the parallel
+/// and test paths use so every tile of one logical GEMM shares a single
+/// accumulation semantics.
+pub fn dgemm_with(
+    kern: Kernel,
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = checked_dims(transa, transb, a, b, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == 0.0 || k == 0 {
+        scale_c(beta, c);
+        return;
+    }
+    let (mr, nr) = (kern.mr(), kern.nr());
+    // Pack workspaces from the thread-local arena: zero allocations in the
+    // steady state. The packing below overwrites every element the macro
+    // kernel reads (padding included), so stale contents are harmless.
+    let alen = round_up(m.min(MC), mr) * k.min(KC);
+    let blen = k.min(KC) * round_up(n.min(NC), nr);
+    arena::with_pack_bufs(alen, blen, |apack, bpack| {
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                pack_b(transb, b, pc, jc, kc, nc, nr, bpack);
+                // beta applies only on the first k-panel; afterwards
+                // accumulate.
+                let beta_eff = if pc == 0 { beta } else { 1.0 };
+                for ic in (0..m).step_by(MC) {
+                    let mc = MC.min(m - ic);
+                    pack_a(transa, a, ic, pc, mc, kc, mr, apack);
+                    macro_kernel(
+                        kern,
+                        mc,
+                        nc,
+                        kc,
+                        alpha,
+                        apack,
+                        bpack,
+                        beta_eff,
+                        &mut c.submatrix_mut(ic, jc, mc, nc),
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Validates the `op(A)` / `op(B)` / `C` dimension triangle; returns `k`.
+fn checked_dims(
+    transa: Trans,
+    transb: Trans,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c: &MatMut<'_>,
+) -> usize {
     let m = c.rows();
     let n = c.cols();
     let k = match transa {
@@ -54,6 +131,116 @@ pub fn dgemm(
             assert_eq!(b.rows(), n, "dgemm: op(B) cols != C cols");
         }
     }
+    k
+}
+
+/// A full `m x k` operand `op(A)` packed once into register-strip layout
+/// for reuse across many GEMM calls.
+///
+/// The `k` dimension is cut into the same `KC` panels [`dgemm`] uses:
+/// panel `pc` starts at element `mup * pc` (`mup` = `m` rounded up to the
+/// kernel's `mr`) and holds `ceil(m / mr)` strips of `kc * mr` values
+/// each — bit-for-bit what `dgemm` would pack on the fly, which keeps the
+/// packed and on-the-fly paths bitwise interchangeable.
+pub struct PackedA {
+    buf: Vec<f64>,
+    mr: usize,
+    m: usize,
+    k: usize,
+    mup: usize,
+}
+
+impl PackedA {
+    /// Packs all of the `m x k` operand `op(A)` for kernel `kern`.
+    pub fn pack(kern: Kernel, transa: Trans, a: MatRef<'_>) -> PackedA {
+        let (m, k) = match transa {
+            Trans::No => (a.rows(), a.cols()),
+            Trans::Yes => (a.cols(), a.rows()),
+        };
+        let mr = kern.mr();
+        let mup = round_up(m, mr);
+        let mut buf = vec![0.0f64; mup * k];
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_a(
+                transa,
+                a,
+                0,
+                pc,
+                m,
+                kc,
+                mr,
+                &mut buf[mup * pc..mup * pc + mup * kc],
+            );
+        }
+        PackedA { buf, mr, m, k, mup }
+    }
+
+    /// Row count of the packed operand.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Depth (`k`) of the packed operand.
+    pub fn depth(&self) -> usize {
+        self.k
+    }
+
+    /// Register-strip height this operand was packed for.
+    pub fn mr(&self) -> usize {
+        self.mr
+    }
+
+    /// The packed strips covering rows `ic..ic+mc` of `k`-panel `pc`, in
+    /// exactly the layout [`macro_kernel`] consumes. `ic` must be
+    /// `mr`-aligned and (`pc`, `kc`) must name one of the `KC` panels the
+    /// constructor created.
+    fn block(&self, ic: usize, pc: usize, mc: usize, kc: usize) -> &[f64] {
+        debug_assert_eq!(ic % self.mr, 0);
+        debug_assert_eq!(pc % KC, 0);
+        debug_assert_eq!(kc, KC.min(self.k - pc));
+        debug_assert!(ic + mc <= self.m);
+        let start = self.mup * pc + (ic / self.mr) * kc * self.mr;
+        &self.buf[start..start + round_up(mc, self.mr) * kc]
+    }
+}
+
+/// `C <- alpha * A[row0 .. row0 + C.rows(), :] * op(B) + beta * C` where
+/// `A` was packed ahead of time with [`PackedA::pack`].
+///
+/// `row0` must be `mr`-aligned (row tiles in the parallel path are) and
+/// `kern` must be the kernel `packed` was built for. Bitwise identical to
+/// [`dgemm_with`] on the same operands and kernel.
+pub fn dgemm_packed(
+    kern: Kernel,
+    alpha: f64,
+    packed: &PackedA,
+    row0: usize,
+    transb: Trans,
+    b: MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = packed.k;
+    assert_eq!(
+        packed.mr,
+        kern.mr(),
+        "dgemm_packed: kernel/packing mismatch"
+    );
+    assert_eq!(row0 % kern.mr(), 0, "dgemm_packed: row0 must be mr-aligned");
+    assert!(row0 + m <= packed.m, "dgemm_packed: rows out of range");
+    match transb {
+        Trans::No => {
+            assert_eq!(b.rows(), k, "dgemm_packed: op(B) rows != A depth");
+            assert_eq!(b.cols(), n, "dgemm_packed: op(B) cols != C cols");
+        }
+        Trans::Yes => {
+            assert_eq!(b.cols(), k, "dgemm_packed: op(B) rows != A depth");
+            assert_eq!(b.rows(), n, "dgemm_packed: op(B) cols != C cols");
+        }
+    }
     if m == 0 || n == 0 {
         return;
     }
@@ -61,40 +248,38 @@ pub fn dgemm(
         scale_c(beta, c);
         return;
     }
-
-    // Workspaces for packed panels. Allocated per call; HPL reuses large
-    // updates so the allocation cost is negligible relative to the O(mnk)
-    // arithmetic.
-    let mut apack = vec![0.0f64; MC.min(round_up(m, MR)) * KC.min(k)];
-    let mut bpack = vec![0.0f64; KC.min(k) * NC.min(round_up(n, NR))];
-
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
-            pack_b(transb, b, pc, jc, kc, nc, &mut bpack);
-            // beta applies only on the first k-panel; afterwards accumulate.
-            let beta_eff = if pc == 0 { beta } else { 1.0 };
-            for ic in (0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
-                pack_a(transa, a, ic, pc, mc, kc, &mut apack);
-                macro_kernel(
-                    mc,
-                    nc,
-                    kc,
-                    alpha,
-                    &apack,
-                    &bpack,
-                    beta_eff,
-                    &mut c.submatrix_mut(ic, jc, mc, nc),
-                );
+    let nr = kern.nr();
+    let blen = k.min(KC) * round_up(n.min(NC), nr);
+    arena::with_pack_bufs(0, blen, |_, bpack| {
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                pack_b(transb, b, pc, jc, kc, nc, nr, bpack);
+                let beta_eff = if pc == 0 { beta } else { 1.0 };
+                for ic in (0..m).step_by(MC) {
+                    let mc = MC.min(m - ic);
+                    let apack = packed.block(row0 + ic, pc, mc, kc);
+                    macro_kernel(
+                        kern,
+                        mc,
+                        nc,
+                        kc,
+                        alpha,
+                        apack,
+                        bpack,
+                        beta_eff,
+                        &mut c.submatrix_mut(ic, jc, mc, nc),
+                    );
+                }
             }
         }
-    }
+    });
 }
 
+/// Rounds `x` up to a multiple of `to`.
 #[inline]
-fn round_up(x: usize, to: usize) -> usize {
+pub(crate) fn round_up(x: usize, to: usize) -> usize {
     x.div_ceil(to) * to
 }
 
@@ -114,7 +299,8 @@ fn scale_c(beta: f64, c: &mut MatMut<'_>) {
 }
 
 /// Packs an `mc x kc` block of `op(A)` starting at `(ic, pc)` into
-/// MR-row strips, each strip stored k-major, zero-padded to MR.
+/// `mr`-row strips, each strip stored k-major, zero-padded to `mr`.
+#[allow(clippy::too_many_arguments)]
 fn pack_a(
     transa: Trans,
     a: MatRef<'_>,
@@ -122,14 +308,15 @@ fn pack_a(
     pc: usize,
     mc: usize,
     kc: usize,
+    mr: usize,
     out: &mut [f64],
 ) {
     let mut off = 0;
-    for i0 in (0..mc).step_by(MR) {
-        let mr = MR.min(mc - i0);
+    for i0 in (0..mc).step_by(mr) {
+        let mh = mr.min(mc - i0);
         for p in 0..kc {
-            for i in 0..MR {
-                out[off + i] = if i < mr {
+            for i in 0..mr {
+                out[off + i] = if i < mh {
                     match transa {
                         Trans::No => a.get(ic + i0 + i, pc + p),
                         Trans::Yes => a.get(pc + p, ic + i0 + i),
@@ -138,13 +325,14 @@ fn pack_a(
                     0.0
                 };
             }
-            off += MR;
+            off += mr;
         }
     }
 }
 
-/// Packs a `kc x nc` block of `op(B)` starting at `(pc, jc)` into NR-column
-/// strips, each strip stored k-major, zero-padded to NR.
+/// Packs a `kc x nc` block of `op(B)` starting at `(pc, jc)` into
+/// `nr`-column strips, each strip stored k-major, zero-padded to `nr`.
+#[allow(clippy::too_many_arguments)]
 fn pack_b(
     transb: Trans,
     b: MatRef<'_>,
@@ -152,14 +340,15 @@ fn pack_b(
     jc: usize,
     kc: usize,
     nc: usize,
+    nr: usize,
     out: &mut [f64],
 ) {
     let mut off = 0;
-    for j0 in (0..nc).step_by(NR) {
-        let nr = NR.min(nc - j0);
+    for j0 in (0..nc).step_by(nr) {
+        let nw = nr.min(nc - j0);
         for p in 0..kc {
-            for j in 0..NR {
-                out[off + j] = if j < nr {
+            for j in 0..nr {
+                out[off + j] = if j < nw {
                     match transb {
                         Trans::No => b.get(pc + p, jc + j0 + j),
                         Trans::Yes => b.get(jc + j0 + j, pc + p),
@@ -168,13 +357,16 @@ fn pack_b(
                     0.0
                 };
             }
-            off += NR;
+            off += nr;
         }
     }
 }
 
-/// Multiplies packed panels into the `mc x nc` block of C.
+/// Multiplies packed panels into the `mc x nc` block of C through `kern`'s
+/// register tile, then applies the alpha/beta writeback with edge guards.
+#[allow(clippy::too_many_arguments)]
 fn macro_kernel(
+    kern: Kernel,
     mc: usize,
     nc: usize,
     kc: usize,
@@ -184,51 +376,36 @@ fn macro_kernel(
     beta: f64,
     c: &mut MatMut<'_>,
 ) {
-    for (jb, j0) in (0..nc).step_by(NR).enumerate() {
-        let nr = NR.min(nc - j0);
-        let bstrip = &bpack[jb * kc * NR..(jb + 1) * kc * NR];
-        for (ib, i0) in (0..mc).step_by(MR).enumerate() {
-            let mr = MR.min(mc - i0);
-            let astrip = &apack[ib * kc * MR..(ib + 1) * kc * MR];
-            let mut acc = [[0.0f64; MR]; NR];
-            micro_kernel(kc, astrip, bstrip, &mut acc);
-            // Write back with alpha/beta and edge guards.
-            for j in 0..nr {
-                let col = &mut c.col_mut(j0 + j)[i0..i0 + mr];
+    let (mr, nr) = (kern.mr(), kern.nr());
+    let mut accbuf = [0.0f64; kernels::MAX_TILE];
+    let acc = &mut accbuf[..mr * nr];
+    for (jb, j0) in (0..nc).step_by(nr).enumerate() {
+        let nw = nr.min(nc - j0);
+        let bstrip = &bpack[jb * kc * nr..(jb + 1) * kc * nr];
+        for (ib, i0) in (0..mc).step_by(mr).enumerate() {
+            let mh = mr.min(mc - i0);
+            let astrip = &apack[ib * kc * mr..(ib + 1) * kc * mr];
+            acc.fill(0.0);
+            kern.micro(kc, astrip, bstrip, acc);
+            // Write back with alpha/beta and edge guards. Each C element
+            // depends only on its own accumulator lane, so edge padding
+            // never leaks into stored values.
+            for j in 0..nw {
+                let lane = &acc[j * mr..j * mr + mh];
+                let col = &mut c.col_mut(j0 + j)[i0..i0 + mh];
                 if beta == 0.0 {
-                    for (i, ci) in col.iter_mut().enumerate() {
-                        *ci = alpha * acc[j][i];
+                    for (ci, &acci) in col.iter_mut().zip(lane) {
+                        *ci = alpha * acci;
                     }
                 } else if beta == 1.0 {
-                    for (i, ci) in col.iter_mut().enumerate() {
-                        *ci += alpha * acc[j][i];
+                    for (ci, &acci) in col.iter_mut().zip(lane) {
+                        *ci += alpha * acci;
                     }
                 } else {
-                    for (i, ci) in col.iter_mut().enumerate() {
-                        *ci = beta * *ci + alpha * acc[j][i];
+                    for (ci, &acci) in col.iter_mut().zip(lane) {
+                        *ci = beta * *ci + alpha * acci;
                     }
                 }
-            }
-        }
-    }
-}
-
-/// The `MR x NR` register tile: `acc[j][i] = sum_p astrip[p*MR+i] * bstrip[p*NR+j]`.
-#[inline(always)]
-fn micro_kernel(kc: usize, astrip: &[f64], bstrip: &[f64], acc: &mut [[f64; MR]; NR]) {
-    debug_assert!(astrip.len() >= kc * MR);
-    debug_assert!(bstrip.len() >= kc * NR);
-    for p in 0..kc {
-        let av: &[f64; MR] = astrip[p * MR..p * MR + MR]
-            .try_into()
-            .expect("slice is exactly MR long by construction");
-        let bv: &[f64; NR] = bstrip[p * NR..p * NR + NR]
-            .try_into()
-            .expect("slice is exactly NR long by construction");
-        for j in 0..NR {
-            let bj = bv[j];
-            for i in 0..MR {
-                acc[j][i] += av[i] * bj;
             }
         }
     }
@@ -527,14 +704,16 @@ fn dtrsm_unblocked(
             } else {
                 (0..n).rev().collect()
             };
-            for &c in &order {
+            for (ci, &c) in order.iter().enumerate() {
                 // X[:,c] = (B[:,c] - sum_{p solved before} X[:,p] * op(T)[p,c]) / op(T)[c,c]
                 let tcc = match diag {
                     Diag::Unit => 1.0,
                     Diag::NonUnit => t.get(c, c),
                 };
-                let deps: Vec<usize> = order.iter().take_while(|&&p| p != c).copied().collect();
-                for &p in &deps {
+                // The columns solved before `c` are exactly `order[..ci]`;
+                // indexing directly avoids rebuilding an O(n) dependency
+                // list (O(n^2) allocations) per column.
+                for &p in &order[..ci] {
                     let tpc = match trans {
                         Trans::No => t.get(p, c),
                         Trans::Yes => t.get(c, p),

@@ -1,0 +1,396 @@
+//! Register microkernels and run-level kernel selection for DGEMM.
+//!
+//! The GotoBLAS macro loop in [`crate::l3`] funnels every flop through one
+//! `MR x NR` register tile; this module supplies that tile in two
+//! accumulation semantics:
+//!
+//! * **scalar** — the portable 8x4 mul-then-add kernel. It is the
+//!   bit-exactness oracle: its results are identical on every platform and
+//!   to every earlier release of this crate.
+//! * **simd** — explicitly vectorized FMA kernels behind runtime feature
+//!   detection: AVX2+FMA 8x6 on `x86_64`, NEON 8x4 on `aarch64`. FMA
+//!   contracts `a*b + acc` into one rounding, so simd results differ from
+//!   scalar results in the last bits — *within* a kernel every result is
+//!   still deterministic and independent of thread count.
+//!
+//! Because the two semantics round differently, the kernel is a **per-run
+//! choice**, resolved once per process from the `RHPL_KERNEL` environment
+//! variable (`scalar` | `simd` | `auto`, default `auto`) or the `rhpl
+//! --kernel` flag, and then frozen: mixing kernels inside one factorization
+//! would break the bitwise schedule-equivalence and replay guarantees the
+//! test suite leans on. `auto` picks simd when the CPU supports it and
+//! falls back to scalar otherwise (as does an explicit `simd` request on
+//! unsupported hardware, keeping `RHPL_KERNEL=simd` portable in CI).
+
+use std::sync::OnceLock;
+
+/// Accumulation semantics of the active microkernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Portable mul-then-add 8x4 tile; bit-identical everywhere.
+    Scalar,
+    /// Runtime-detected FMA tile (AVX2+FMA 8x6 or NEON 8x4).
+    Simd,
+}
+
+/// A user-facing kernel request, before hardware resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum KernelSel {
+    /// Use simd when the hardware supports it, scalar otherwise.
+    #[default]
+    Auto,
+    /// Force the portable scalar kernel.
+    Scalar,
+    /// Request the simd kernel (resolves to scalar on unsupported CPUs).
+    Simd,
+}
+
+impl std::str::FromStr for KernelSel {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s {
+            "auto" => Ok(KernelSel::Auto),
+            "scalar" => Ok(KernelSel::Scalar),
+            "simd" => Ok(KernelSel::Simd),
+            _ => Err(()),
+        }
+    }
+}
+
+/// A resolved microkernel: its semantics plus the register-tile shape the
+/// packing routines must honor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Kernel {
+    kind: KernelKind,
+    mr: usize,
+    nr: usize,
+}
+
+/// Largest `MR * NR` over all kernels — the stack accumulator size.
+pub(crate) const MAX_TILE: usize = 48;
+
+impl Kernel {
+    /// The portable scalar kernel (always available).
+    pub fn scalar() -> Kernel {
+        Kernel {
+            kind: KernelKind::Scalar,
+            mr: 8,
+            nr: 4,
+        }
+    }
+
+    /// The vectorized kernel for this CPU, if one exists.
+    pub fn simd() -> Option<Kernel> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                return Some(Kernel {
+                    kind: KernelKind::Simd,
+                    mr: 8,
+                    nr: 6,
+                });
+            }
+            None
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            // NEON (incl. 2x f64 FMA) is baseline on aarch64.
+            Some(Kernel {
+                kind: KernelKind::Simd,
+                mr: 8,
+                nr: 4,
+            })
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            None
+        }
+    }
+
+    /// Resolves a request against the hardware.
+    pub fn resolve(sel: KernelSel) -> Kernel {
+        match sel {
+            KernelSel::Scalar => Kernel::scalar(),
+            KernelSel::Auto | KernelSel::Simd => Kernel::simd().unwrap_or_else(Kernel::scalar),
+        }
+    }
+
+    /// Accumulation semantics.
+    pub fn kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// Register-tile rows; packed-A strips are this tall (zero-padded).
+    pub fn mr(&self) -> usize {
+        self.mr
+    }
+
+    /// Register-tile columns; packed-B strips are this wide (zero-padded).
+    pub fn nr(&self) -> usize {
+        self.nr
+    }
+
+    /// Short name for logs, JSON and the CLI.
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Simd => "simd",
+        }
+    }
+
+    /// Human description including the tile shape and ISA.
+    pub fn describe(&self) -> String {
+        match self.kind {
+            KernelKind::Scalar => format!("scalar {}x{} (portable mul+add)", self.mr, self.nr),
+            KernelKind::Simd => {
+                let isa = if cfg!(target_arch = "x86_64") {
+                    "avx2+fma"
+                } else {
+                    "neon"
+                };
+                format!("simd {}x{} ({isa})", self.mr, self.nr)
+            }
+        }
+    }
+
+    /// Runs the register tile: `acc[j*mr + i] = sum_p a[p*mr + i] *
+    /// b[p*nr + j]` over `kc` depth steps, overwriting `acc` (callers pass
+    /// a zeroed slice of exactly `mr * nr` elements).
+    #[inline]
+    pub(crate) fn micro(&self, kc: usize, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
+        debug_assert!(astrip.len() >= kc * self.mr);
+        debug_assert!(bstrip.len() >= kc * self.nr);
+        debug_assert_eq!(acc.len(), self.mr * self.nr);
+        match self.kind {
+            KernelKind::Scalar => micro_scalar_8x4(kc, astrip, bstrip, acc),
+            KernelKind::Simd => micro_simd(kc, astrip, bstrip, acc),
+        }
+    }
+}
+
+/// The portable `8x4` register tile, kept bit-identical to the original
+/// serial implementation: plain mul-then-add in (p, j, i) order.
+#[inline(always)]
+fn micro_scalar_8x4(kc: usize, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
+    const MR: usize = 8;
+    const NR: usize = 4;
+    for p in 0..kc {
+        let av: &[f64; MR] = astrip[p * MR..p * MR + MR]
+            .try_into()
+            .expect("slice is exactly MR long by construction");
+        let bv: &[f64; NR] = bstrip[p * NR..p * NR + NR]
+            .try_into()
+            .expect("slice is exactly NR long by construction");
+        for j in 0..NR {
+            let bj = bv[j];
+            for i in 0..MR {
+                acc[j * MR + i] += av[i] * bj;
+            }
+        }
+    }
+}
+
+/// Dispatches to the vectorized tile for this architecture. Only reachable
+/// through a [`Kernel`] whose construction verified the ISA is present.
+#[inline]
+fn micro_simd(kc: usize, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: `Kernel::simd()` is the only constructor of a Simd kernel
+        // on x86_64 and it requires `is_x86_feature_detected!` to confirm
+        // the avx2 and fma target features before handing one out, so the
+        // `#[target_feature(enable = "avx2,fma")]` contract holds here.
+        unsafe { x86::micro_8x6_avx2fma(kc, astrip, bstrip, acc) }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // SAFETY: the neon target feature is baseline on every aarch64
+        // target rustc supports, so the `#[target_feature(enable = "neon")]`
+        // contract of the kernel is unconditionally met.
+        unsafe { aarch64::micro_8x4_neon(kc, astrip, bstrip, acc) }
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        // `Kernel::simd()` returns None here, so this is unreachable; fall
+        // back to scalar semantics rather than aborting.
+        micro_scalar_8x4(kc, astrip, bstrip, acc)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::{
+        __m256d, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_set1_pd, _mm256_setzero_pd,
+        _mm256_storeu_pd,
+    };
+
+    /// AVX2+FMA `8x6` register tile: twelve 4-lane accumulators (rows split
+    /// into two YMM halves, one pair per column) fed by broadcast B values,
+    /// leaving three YMM registers for the A loads and the broadcast.
+    ///
+    /// # Safety
+    /// The caller must have verified at runtime that the CPU supports the
+    /// `avx2` and `fma` target features.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn micro_8x6_avx2fma(
+        kc: usize,
+        astrip: &[f64],
+        bstrip: &[f64],
+        acc: &mut [f64],
+    ) {
+        const MR: usize = 8;
+        const NR: usize = 6;
+        assert!(astrip.len() >= kc * MR);
+        assert!(bstrip.len() >= kc * NR);
+        assert_eq!(acc.len(), MR * NR);
+        let mut c: [__m256d; 2 * NR] = [_mm256_setzero_pd(); 2 * NR];
+        for p in 0..kc {
+            let arow = &astrip[p * MR..p * MR + MR];
+            // SAFETY: avx2+fma — `arow` has 8 readable f64 lanes.
+            let a0 = unsafe { _mm256_loadu_pd(arow.as_ptr()) };
+            // SAFETY: avx2+fma — lanes 4..8 of the same MR-tall strip.
+            let a1 = unsafe { _mm256_loadu_pd(arow[4..].as_ptr()) };
+            let brow = &bstrip[p * NR..p * NR + NR];
+            for j in 0..NR {
+                let bj = _mm256_set1_pd(brow[j]);
+                c[2 * j] = _mm256_fmadd_pd(a0, bj, c[2 * j]);
+                c[2 * j + 1] = _mm256_fmadd_pd(a1, bj, c[2 * j + 1]);
+            }
+        }
+        for j in 0..NR {
+            // SAFETY: avx2+fma — `acc[j*MR..]` has >= 4 writable lanes.
+            unsafe { _mm256_storeu_pd(acc[j * MR..].as_mut_ptr(), c[2 * j]) };
+            // SAFETY: avx2+fma — second half of column j, inside MR*NR.
+            unsafe { _mm256_storeu_pd(acc[j * MR + 4..].as_mut_ptr(), c[2 * j + 1]) };
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod aarch64 {
+    use core::arch::aarch64::{float64x2_t, vdupq_n_f64, vfmaq_f64, vld1q_f64, vst1q_f64};
+
+    /// NEON `8x4` register tile: sixteen 2-lane accumulators (rows split
+    /// into four Q-register halves, one quartet per column).
+    ///
+    /// # Safety
+    /// The caller must be running on a target with the `neon` target
+    /// feature (baseline on every supported aarch64 target).
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn micro_8x4_neon(
+        kc: usize,
+        astrip: &[f64],
+        bstrip: &[f64],
+        acc: &mut [f64],
+    ) {
+        const MR: usize = 8;
+        const NR: usize = 4;
+        assert!(astrip.len() >= kc * MR);
+        assert!(bstrip.len() >= kc * NR);
+        assert_eq!(acc.len(), MR * NR);
+        let mut c: [float64x2_t; 4 * NR] = [vdupq_n_f64(0.0); 4 * NR];
+        for p in 0..kc {
+            let arow = &astrip[p * MR..p * MR + MR];
+            let mut a = [vdupq_n_f64(0.0); 4];
+            for (h, slot) in a.iter_mut().enumerate() {
+                // SAFETY: neon — lanes 2h..2h+2 of the 8-tall packed strip.
+                *slot = unsafe { vld1q_f64(arow[2 * h..].as_ptr()) };
+            }
+            let brow = &bstrip[p * NR..p * NR + NR];
+            for j in 0..NR {
+                let bj = vdupq_n_f64(brow[j]);
+                for h in 0..4 {
+                    c[4 * j + h] = vfmaq_f64(c[4 * j + h], a[h], bj);
+                }
+            }
+        }
+        for j in 0..NR {
+            for h in 0..4 {
+                // SAFETY: neon — `acc[j*MR + 2h..]` has 2 writable lanes
+                // inside the MR*NR accumulator (length asserted above).
+                unsafe { vst1q_f64(acc[j * MR + 2 * h..].as_mut_ptr(), c[4 * j + h]) };
+            }
+        }
+    }
+}
+
+static ACTIVE: OnceLock<Kernel> = OnceLock::new();
+
+/// The process-wide kernel, resolved on first use from `RHPL_KERNEL`
+/// (`scalar` | `simd` | `auto`; unset or unrecognized values mean `auto`).
+pub fn active() -> Kernel {
+    *ACTIVE.get_or_init(|| Kernel::resolve(sel_from_env()))
+}
+
+/// Overrides the process-wide kernel (e.g. from `rhpl --kernel`). Must run
+/// before the first [`active`] call to take effect — the kernel freezes at
+/// first use so one run never mixes accumulation semantics. Returns the
+/// kernel actually in effect.
+pub fn select(sel: KernelSel) -> Kernel {
+    *ACTIVE.get_or_init(|| Kernel::resolve(sel))
+}
+
+fn sel_from_env() -> KernelSel {
+    std::env::var("RHPL_KERNEL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sel_parses_known_names_only() {
+        assert_eq!("scalar".parse(), Ok(KernelSel::Scalar));
+        assert_eq!("simd".parse(), Ok(KernelSel::Simd));
+        assert_eq!("auto".parse(), Ok(KernelSel::Auto));
+        assert_eq!("AVX".parse::<KernelSel>(), Err(()));
+        assert_eq!("".parse::<KernelSel>(), Err(()));
+    }
+
+    #[test]
+    fn scalar_resolution_never_depends_on_hardware() {
+        let k = Kernel::resolve(KernelSel::Scalar);
+        assert_eq!(k.kind(), KernelKind::Scalar);
+        assert_eq!((k.mr(), k.nr()), (8, 4));
+        assert_eq!(k.name(), "scalar");
+    }
+
+    #[test]
+    fn simd_request_falls_back_cleanly() {
+        // On hardware without a simd kernel the request resolves to scalar;
+        // with one, shapes must fit the shared accumulator.
+        let k = Kernel::resolve(KernelSel::Simd);
+        assert!(k.mr() * k.nr() <= MAX_TILE);
+        match Kernel::simd() {
+            Some(s) => assert_eq!(k, s),
+            None => assert_eq!(k, Kernel::scalar()),
+        }
+    }
+
+    #[test]
+    fn micro_tiles_agree_with_reference_sum() {
+        // Both kernels must compute the exact dot products on small integer
+        // data (no rounding at these magnitudes, so scalar == simd here).
+        for kern in [Kernel::scalar()]
+            .into_iter()
+            .chain(Kernel::simd())
+            .collect::<Vec<_>>()
+        {
+            let (mr, nr, kc) = (kern.mr(), kern.nr(), 7usize);
+            let a: Vec<f64> = (0..kc * mr).map(|x| ((x % 11) as f64) - 5.0).collect();
+            let b: Vec<f64> = (0..kc * nr).map(|x| ((x % 7) as f64) - 3.0).collect();
+            let mut acc = vec![0.0f64; mr * nr];
+            kern.micro(kc, &a, &b, &mut acc);
+            for j in 0..nr {
+                for i in 0..mr {
+                    let want: f64 = (0..kc).map(|p| a[p * mr + i] * b[p * nr + j]).sum();
+                    assert_eq!(acc[j * mr + i], want, "kernel {} ({i},{j})", kern.name());
+                }
+            }
+        }
+    }
+}

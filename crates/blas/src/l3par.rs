@@ -1,20 +1,29 @@
 //! Thread-parallel Level-3 kernels over an `hpl-threads` pool.
 //!
 //! rocHPL's trailing update runs on a massively parallel device; this
-//! module is the CPU-side analogue: `C`'s columns are partitioned into
-//! contiguous chunks, one per pool thread. Because the serial DGEMM
-//! computes every column of `C` independently with a fixed `k`-accumulation
-//! order, the parallel result is **bitwise identical** to the serial one —
-//! a property the benchmark driver's schedule-equivalence tests rely on.
+//! module is the CPU-side analogue: `C` is cut into a 2D grid of
+//! `(jc, ic)` macro tiles which the pool threads claim by work-stealing
+//! from a shared atomic counter — so wide, tall *and* skinny-but-tall
+//! updates all scale. Each element of `C` is produced by the same packed
+//! strips, the same register tile and the same `k`-accumulation order as
+//! the serial kernel regardless of how the grid is cut, so within one
+//! kernel choice the parallel result is **bitwise identical** to the
+//! serial one — a property the benchmark driver's schedule-equivalence
+//! tests rely on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use hpl_threads::Pool;
 
-use crate::l3::dgemm;
+use crate::l3::kernels::{self, Kernel};
+use crate::l3::{dgemm_packed, dgemm_with, round_up, PackedA, MC, NC};
 use crate::mat::{MatMut, MatRef};
 use crate::Trans;
 
 /// Parallel `C <- alpha * op(A) * op(B) + beta * C` over `nthreads` pool
-/// threads. Falls back to the serial kernel for one thread or skinny `C`.
+/// threads with the process-wide kernel. Falls back to the serial kernel
+/// for one thread or tiny `C`.
+#[allow(clippy::too_many_arguments)]
 pub fn dgemm_parallel(
     pool: &Pool,
     nthreads: usize,
@@ -26,42 +35,192 @@ pub fn dgemm_parallel(
     beta: f64,
     c: &mut MatMut<'_>,
 ) {
+    dgemm_parallel_with(
+        kernels::active(),
+        pool,
+        nthreads,
+        transa,
+        transb,
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+    );
+}
+
+/// [`dgemm_parallel`] with an explicit microkernel.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_parallel_with(
+    kern: Kernel,
+    pool: &Pool,
+    nthreads: usize,
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+) {
+    let m = c.rows();
     let n = c.cols();
-    let nthreads = nthreads.clamp(1, pool.size()).min(n.max(1));
-    if nthreads <= 1 || n < 2 {
-        dgemm(transa, transb, alpha, a, b, beta, c);
+    let k = match transa {
+        Trans::No => a.cols(),
+        Trans::Yes => a.rows(),
+    };
+    let nthreads = nthreads.clamp(1, pool.size());
+    let grid = TileGrid::new(kern, m, n, nthreads);
+    if nthreads <= 1 || grid.tiles() <= 1 || alpha == 0.0 || k == 0 {
+        dgemm_with(kern, transa, transb, alpha, a, b, beta, c);
         return;
     }
-    let m = c.rows();
     let lda = c.lda();
     // Shared as an address so the `Fn + Sync` closure can capture it; the
-    // disjoint-chunk protocol below governs the actual accesses.
+    // disjoint-tile protocol below governs the actual accesses.
     let cbase = c.as_mut_ptr() as usize;
-    // Contiguous column chunks, earlier threads absorbing the remainder.
-    let base = n / nthreads;
-    let rem = n % nthreads;
-    pool.run(nthreads, |ctx| {
-        let t = ctx.thread_id();
-        let j0 = t * base + t.min(rem);
-        let w = base + usize::from(t < rem);
-        if w == 0 {
-            return;
+    let next = AtomicUsize::new(0);
+    pool.run(nthreads.min(grid.tiles()), |_ctx| {
+        loop {
+            let t = next.fetch_add(1, Ordering::Relaxed);
+            if t >= grid.tiles() {
+                break;
+            }
+            let (ic, jc, mc, nc) = grid.tile(t);
+            let cptr = (cbase as *mut f64).wrapping_add(jc * lda + ic);
+            // SAFETY: the grid assigns every (ic, jc) tile to exactly one
+            // `fetch_add` winner, so tiles are disjoint in memory, and the
+            // parent `c` borrow is held for the whole pool region.
+            let mut ctile = unsafe { MatMut::from_raw_parts(cptr, mc, nc, lda) };
+            let atile = match transa {
+                Trans::No => a.submatrix(ic, 0, mc, k),
+                Trans::Yes => a.submatrix(0, ic, k, mc),
+            };
+            let btile = match transb {
+                Trans::No => b.submatrix(0, jc, k, nc),
+                Trans::Yes => b.submatrix(jc, 0, nc, k),
+            };
+            dgemm_with(kern, transa, transb, alpha, atile, btile, beta, &mut ctile);
         }
-        let cptr = (cbase as *mut f64).wrapping_add(j0 * lda);
-        // SAFETY: column ranges are disjoint across threads, and the
-        // parent `c` borrow is held for the whole region.
-        let mut cchunk = unsafe { MatMut::from_raw_parts(cptr, m, w, lda) };
-        let bchunk = match transb {
-            Trans::No => b.submatrix(0, j0, b.rows(), w),
-            Trans::Yes => b.submatrix(j0, 0, w, b.cols()),
-        };
-        dgemm(transa, transb, alpha, a, bchunk, beta, &mut cchunk);
     });
+}
+
+/// Parallel `C <- alpha * A * op(B) + beta * C` where `A` is a pre-packed
+/// [`PackedA`] shared (read-only) by every worker — the trailing-update
+/// path: the `L2` panel is packed once per iteration and each thread's row
+/// tile slices straight into it instead of repacking.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_parallel_packed(
+    kern: Kernel,
+    pool: &Pool,
+    nthreads: usize,
+    alpha: f64,
+    packed: &PackedA,
+    transb: Trans,
+    b: MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = packed.depth();
+    let nthreads = nthreads.clamp(1, pool.size());
+    let grid = TileGrid::new(kern, m, n, nthreads);
+    if nthreads <= 1 || grid.tiles() <= 1 || alpha == 0.0 || k == 0 {
+        dgemm_packed(kern, alpha, packed, 0, transb, b, beta, c);
+        return;
+    }
+    let lda = c.lda();
+    let cbase = c.as_mut_ptr() as usize;
+    let next = AtomicUsize::new(0);
+    pool.run(nthreads.min(grid.tiles()), |_ctx| {
+        loop {
+            let t = next.fetch_add(1, Ordering::Relaxed);
+            if t >= grid.tiles() {
+                break;
+            }
+            let (ic, jc, mc, nc) = grid.tile(t);
+            let cptr = (cbase as *mut f64).wrapping_add(jc * lda + ic);
+            // SAFETY: the grid assigns every (ic, jc) tile to exactly one
+            // `fetch_add` winner, so tiles are disjoint in memory, and the
+            // parent `c` borrow is held for the whole pool region.
+            let mut ctile = unsafe { MatMut::from_raw_parts(cptr, mc, nc, lda) };
+            let btile = match transb {
+                Trans::No => b.submatrix(0, jc, k, nc),
+                Trans::Yes => b.submatrix(jc, 0, nc, k),
+            };
+            dgemm_packed(kern, alpha, packed, ic, transb, btile, beta, &mut ctile);
+        }
+    });
+}
+
+/// The 2D macro-tile decomposition of an `m x n` C.
+///
+/// Tiles start at the serial cache-block shape (`MC x NC`) and the larger
+/// dimension is halved (keeping register-tile alignment, so row tiles stay
+/// valid `PackedA` offsets) until the grid has enough tiles to keep every
+/// thread busy or the tiles reach a useful minimum.
+#[derive(Clone, Copy, Debug)]
+struct TileGrid {
+    m: usize,
+    n: usize,
+    tm: usize,
+    tn: usize,
+    mtiles: usize,
+    ntiles: usize,
+}
+
+impl TileGrid {
+    fn new(kern: Kernel, m: usize, n: usize, nthreads: usize) -> TileGrid {
+        let (mr, nr) = (kern.mr(), kern.nr());
+        let mut tm = MC.min(round_up(m.max(1), mr));
+        let mut tn = NC.min(round_up(n.max(1), nr));
+        let target = 3 * nthreads.max(1);
+        loop {
+            if m.div_ceil(tm) * n.div_ceil(tn) >= target {
+                break;
+            }
+            let can_m = tm / 2 >= 4 * mr;
+            let can_n = tn / 2 >= 4 * nr;
+            if can_n && (tn >= tm || !can_m) {
+                tn = round_up(tn / 2, nr);
+            } else if can_m {
+                tm = round_up(tm / 2, mr);
+            } else {
+                break;
+            }
+        }
+        TileGrid {
+            m,
+            n,
+            tm,
+            tn,
+            mtiles: m.div_ceil(tm).max(1),
+            ntiles: n.div_ceil(tn).max(1),
+        }
+    }
+
+    fn tiles(&self) -> usize {
+        if self.m == 0 || self.n == 0 {
+            0
+        } else {
+            self.mtiles * self.ntiles
+        }
+    }
+
+    /// Maps a claimed index to `(ic, jc, mc, nc)`; row tiles vary fastest
+    /// so consecutive claims share the same B panel while it is hot.
+    fn tile(&self, t: usize) -> (usize, usize, usize, usize) {
+        let ic = (t % self.mtiles) * self.tm;
+        let jc = (t / self.mtiles) * self.tn;
+        (ic, jc, self.tm.min(self.m - ic), self.tn.min(self.n - jc))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::l3::dgemm;
     use crate::mat::Matrix;
 
     fn filled(r: usize, c: usize, seed: usize) -> Matrix {
@@ -120,6 +279,76 @@ mod tests {
         }
     }
 
+    /// Both explicit kernels, both parallel paths (repacking and
+    /// shared-`PackedA`), against the serial kernel — bitwise.
+    #[test]
+    fn parallel_paths_match_serial_bitwise_per_kernel() {
+        let pool = Pool::new(4);
+        let kerns: Vec<Kernel> = [Kernel::scalar()]
+            .into_iter()
+            .chain(Kernel::simd())
+            .collect();
+        for kern in kerns {
+            for &(m, n, k) in &[(70usize, 9usize, 33usize), (9, 70, 12), (64, 64, 64)] {
+                let a = filled(m, k, 4);
+                let b = filled(k, n, 5);
+                let c0 = filled(m, n, 6);
+                let mut serial = c0.clone();
+                let mut sv = serial.view_mut();
+                dgemm_with(
+                    kern,
+                    Trans::No,
+                    Trans::No,
+                    -1.0,
+                    a.view(),
+                    b.view(),
+                    1.0,
+                    &mut sv,
+                );
+                let mut par = c0.clone();
+                let mut pv = par.view_mut();
+                dgemm_parallel_with(
+                    kern,
+                    &pool,
+                    4,
+                    Trans::No,
+                    Trans::No,
+                    -1.0,
+                    a.view(),
+                    b.view(),
+                    1.0,
+                    &mut pv,
+                );
+                assert_eq!(
+                    par.as_slice(),
+                    serial.as_slice(),
+                    "repack path, kernel {} m={m} n={n} k={k}",
+                    kern.name()
+                );
+                let packed = PackedA::pack(kern, Trans::No, a.view());
+                let mut ppar = c0.clone();
+                let mut ppv = ppar.view_mut();
+                dgemm_parallel_packed(
+                    kern,
+                    &pool,
+                    4,
+                    -1.0,
+                    &packed,
+                    Trans::No,
+                    b.view(),
+                    1.0,
+                    &mut ppv,
+                );
+                assert_eq!(
+                    ppar.as_slice(),
+                    serial.as_slice(),
+                    "packed path, kernel {} m={m} n={n} k={k}",
+                    kern.name()
+                );
+            }
+        }
+    }
+
     #[test]
     fn more_threads_than_columns() {
         let pool = Pool::new(8);
@@ -164,5 +393,29 @@ mod tests {
             &mut cv,
         );
         assert!(c.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn tile_grid_covers_exactly_once() {
+        let kern = Kernel::scalar();
+        for &(m, n, t) in &[(1000usize, 7usize, 8usize), (7, 1000, 8), (513, 513, 4)] {
+            let grid = TileGrid::new(kern, m, n, t);
+            let mut hits = vec![0u8; m * n];
+            for idx in 0..grid.tiles() {
+                let (ic, jc, mc, nc) = grid.tile(idx);
+                assert_eq!(ic % kern.mr(), 0, "row tiles stay mr-aligned");
+                for j in jc..jc + nc {
+                    for i in ic..ic + mc {
+                        hits[j * m + i] += 1;
+                    }
+                }
+            }
+            assert!(hits.iter().all(|&h| h == 1), "m={m} n={n} t={t}");
+            assert!(
+                grid.tiles() >= 3 * t || grid.tiles() >= (m * n) / (32 * 24),
+                "skinny shapes still split: m={m} n={n} t={t} tiles={}",
+                grid.tiles()
+            );
+        }
     }
 }

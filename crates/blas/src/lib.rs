@@ -15,6 +15,10 @@
 //! * [`l1`] — vector kernels (`idamax` drives pivot selection).
 //! * [`l2`] — `dger` (rank-1 panel update), `dgemv`, `dtrsv`.
 //! * [`l3`] — blocked/packed [`l3::dgemm`] and recursive [`l3::dtrsm`].
+//! * [`l3::kernels`] — register microkernels (scalar / AVX2+FMA / NEON)
+//!   and the per-run kernel selection (`RHPL_KERNEL`, `--kernel`).
+//! * [`arena`] — thread-local grow-only pack buffers (allocation-free
+//!   steady-state DGEMM).
 //! * [`aux`] — `dlacpy`, `dlange`, `dlaswp` row interchanges.
 //! * [`lu`] — serial DGETRF/DGETRS used as the correctness oracle.
 
@@ -24,6 +28,7 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::too_many_arguments)]
 
+pub mod arena;
 pub mod aux;
 pub mod l1;
 pub mod l2;
@@ -35,8 +40,9 @@ pub mod mat;
 pub use aux::{dlacpy, dlange, dlaswp, dlaswp_inv, dlatcpy, swap_rows, Norm};
 pub use l1::{dasum, daxpy, dcopy, ddot, dnrm2, dscal, dswap, idamax};
 pub use l2::{dgemv, dger, dtrsv};
-pub use l3::{dgemm, dgemm_naive, dtrsm};
-pub use l3par::dgemm_parallel;
+pub use l3::kernels::{self, Kernel, KernelKind, KernelSel};
+pub use l3::{dgemm, dgemm_naive, dgemm_packed, dgemm_with, dtrsm, PackedA};
+pub use l3par::{dgemm_parallel, dgemm_parallel_packed, dgemm_parallel_with};
 pub use lu::{getrf, getrf_unblocked, getrs, Singular};
 pub use mat::{MatMut, MatRef, Matrix};
 

@@ -62,6 +62,8 @@ pub struct RunReport {
     pub q: usize,
     /// Schedule name (`simple`, `lookahead`, `split-update:<frac>`).
     pub schedule: String,
+    /// DGEMM microkernel the process resolved to (`scalar` / `simd`).
+    pub kernel: String,
     /// Wall time of factorization + solve (seconds).
     pub wall_seconds: f64,
     /// HPL score.
@@ -99,6 +101,7 @@ pub fn run_report(rec: &RunRecord) -> RunReport {
         p: rec.cfg.p,
         q: rec.cfg.q,
         schedule,
+        kernel: hpl_blas::kernels::active().name().to_string(),
         wall_seconds: rec.time,
         gflops: rec.gflops,
         residual: rec.residual,

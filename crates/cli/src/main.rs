@@ -5,6 +5,8 @@
 //! rhpl --sample               print a ready-to-edit sample HPL.dat
 //! rhpl ... --split-frac 0.5   split-update fraction (0 = look-ahead only)
 //! rhpl ... --threads 4        FACT threads per rank (SIII.A)
+//! rhpl ... --kernel simd      DGEMM microkernel: auto|scalar|simd
+//!                             (also settable via RHPL_KERNEL; the flag wins)
 //! rhpl ... --seed 42          matrix generator seed
 //! rhpl ... --trace-json BENCH_hpl.json   emit the per-iteration phase trace
 //! rhpl ... --fault SPEC       arm a fault (repeatable); SPEC grammar is
@@ -37,9 +39,24 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: rhpl [HPL.dat] [--split-frac F] [--threads T] [--seed S] \
-             [--trace-json PATH] [--fault SPEC]... [--fault-seed S] [--sample]"
+             [--kernel auto|scalar|simd] [--trace-json PATH] [--fault SPEC]... \
+             [--fault-seed S] [--sample]"
         );
         return ExitCode::SUCCESS;
+    }
+    // The DGEMM kernel freezes at first use, so resolve the flag before any
+    // linear algebra runs. Without the flag the RHPL_KERNEL env (or auto
+    // detection) decides.
+    if let Some(kernel) = arg_value::<String>(&args, "--kernel") {
+        match kernel.parse::<hpl_blas::KernelSel>() {
+            Ok(sel) => {
+                hpl_blas::kernels::select(sel);
+            }
+            Err(()) => {
+                eprintln!("rhpl: --kernel must be auto, scalar or simd (got {kernel})");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     let path = args
         .iter()

@@ -60,6 +60,9 @@ pub struct HplResult {
     pub nb: usize,
     /// Phase trace of this rank (when `cfg.trace.enabled`).
     pub trace: Option<hpl_trace::Trace>,
+    /// Name of the DGEMM microkernel the run resolved to
+    /// (`"scalar"` / `"simd"`; see `hpl_blas::kernels`).
+    pub kernel: &'static str,
 }
 
 /// One running-throughput sample, the metric rocHPL prints during
@@ -183,6 +186,7 @@ pub fn run_hpl_with(
         n: cfg.n,
         nb: cfg.nb,
         trace: hpl_trace::take(),
+        kernel: hpl_blas::kernels::active().name(),
     })
 }
 

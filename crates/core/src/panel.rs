@@ -6,7 +6,10 @@
 //! but the copies are kept explicit (and timed by the driver) because they
 //! are part of the schedule the paper overlaps.
 
+use std::sync::OnceLock;
+
 use hpl_blas::mat::{MatMut, MatRef, Matrix};
+use hpl_blas::{Kernel, PackedA, Trans};
 use hpl_comm::{panel_bcast, panel_bcast_checked, BcastAlgo, Communicator, Grid};
 
 use crate::dist::Axis;
@@ -119,12 +122,24 @@ pub struct PanelL {
     pub l2_rows: usize,
     /// Panel width.
     pub jb: usize,
+    /// `L2` packed once into DGEMM strip layout on first use, then shared
+    /// by every update section and worker thread of the iteration.
+    l2_packed: OnceLock<PackedA>,
 }
 
 impl PanelL {
     /// View of `L2`.
     pub fn l2_view(&self) -> MatRef<'_> {
         MatRef::from_slice(&self.l2, self.l2_rows, self.jb, self.l2_rows.max(1))
+    }
+
+    /// `L2` in packed DGEMM layout for kernel `kern`, packed on first call
+    /// and reused afterwards — across the `n1`/`n2` split-update sections
+    /// and across `gemm_update_parallel` workers. The kernel is frozen
+    /// per process, so one panel only ever sees one `kern`.
+    pub fn l2_packed(&self, kern: Kernel) -> &PackedA {
+        self.l2_packed
+            .get_or_init(|| PackedA::pack(kern, Trans::No, self.l2_view()))
     }
 }
 
@@ -171,6 +186,7 @@ pub fn unpack_panel(g: &PanelGeom, buf: &[f64]) -> PanelL {
         ipiv,
         l2_rows,
         jb,
+        l2_packed: OnceLock::new(),
     }
 }
 

@@ -6,7 +6,7 @@
 //! `hpl-blas`'s packed DGEMM on the rank's thread.
 
 use hpl_blas::mat::{MatMut, Matrix};
-use hpl_blas::{dgemm, dgemm_parallel, dtrsm, Diag, Side, Trans, Uplo};
+use hpl_blas::{dgemm_packed, dgemm_parallel_packed, dtrsm, kernels, Diag, Side, Trans, Uplo};
 use hpl_threads::Pool;
 
 use crate::panel::{PanelGeom, PanelL};
@@ -58,19 +58,24 @@ pub fn gemm_update(g: &PanelGeom, panel: &PanelL, u: &Matrix, a: &mut MatMut<'_>
     debug_assert_eq!(u.cols(), w);
     let row0 = g.lb + if g.in_curr_row { g.jb } else { 0 };
     let mut c = a.submatrix_mut(row0, range.start, g.l2_rows, w);
-    dgemm(
-        Trans::No,
-        Trans::No,
+    // `L2` is packed once per iteration (cached on the panel) and shared by
+    // every section of the split update instead of being repacked per call.
+    let kern = kernels::active();
+    dgemm_packed(
+        kern,
         -1.0,
-        panel.l2_view(),
+        panel.l2_packed(kern),
+        0,
+        Trans::No,
         u.view(),
         1.0,
         &mut c,
     );
 }
 
-/// [`gemm_update`] on `threads` pool threads (column-partitioned, bitwise
-/// identical to the serial kernel) — the device-parallel update path.
+/// [`gemm_update`] on `threads` pool threads (2D work-stealing macro
+/// tiles, bitwise identical to the serial kernel within one kernel
+/// choice) — the device-parallel update path.
 pub fn gemm_update_parallel(
     g: &PanelGeom,
     panel: &PanelL,
@@ -88,13 +93,16 @@ pub fn gemm_update_parallel(
     debug_assert_eq!(u.cols(), w);
     let row0 = g.lb + if g.in_curr_row { g.jb } else { 0 };
     let mut c = a.submatrix_mut(row0, range.start, g.l2_rows, w);
-    dgemm_parallel(
+    // All workers slice the one panel-cached packed `L2` read-only; only
+    // `U` is repacked (per B tile) inside the workers.
+    let kern = kernels::active();
+    dgemm_parallel_packed(
+        kern,
         pool,
         threads,
-        Trans::No,
-        Trans::No,
         -1.0,
-        panel.l2_view(),
+        panel.l2_packed(kern),
+        Trans::No,
         u.view(),
         1.0,
         &mut c,

@@ -22,6 +22,10 @@ cargo build --release
 echo "== [test] cargo test -q"
 cargo test -q
 
+echo "== [kernel-matrix] cargo test -q under each pinned DGEMM kernel"
+RHPL_KERNEL=scalar cargo test -q
+RHPL_KERNEL=simd cargo test -q
+
 echo "== [race-check] threaded FACT with the aliasing ledger armed"
 cargo test -q --release -p hpl-threads --features hpl-threads/race-check
 cargo test -q --release -p rhpl-core --features hpl-threads/race-check

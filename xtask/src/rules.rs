@@ -11,6 +11,12 @@
 //!   (`unreachable!`, `assert!` and friends are allowed: they document
 //!   impossibility rather than give up on an error path).
 //! - `no-static-mut` — no `static mut` items anywhere.
+//! - `simd-safety` — an `unsafe` block or fn containing SIMD intrinsics
+//!   (`_mm*`, NEON `v..q_f*`) must carry a SAFETY comment (or `# Safety`
+//!   doc section) that **names the target feature** the surrounding code
+//!   detected (`avx2`, `avx512`, `fma`, `neon`, `sse`): the justification
+//!   of an intrinsic call is precisely which CPU feature check makes the
+//!   `#[target_feature]` contract hold.
 //!
 //! Any violation can be waived in place with
 //! `// xtask-allow: <rule> — <justification>` on the same line or the line
@@ -34,6 +40,10 @@ pub const RULES: &[(&str, &str)] = &[
         "no `panic!`/`todo!`/`unimplemented!` in library crates",
     ),
     ("no-static-mut", "no `static mut` items"),
+    (
+        "simd-safety",
+        "unsafe SIMD intrinsic code must name its detected target feature in the SAFETY comment",
+    ),
 ];
 
 /// What kind of file is being scanned; controls which rules apply.
@@ -75,6 +85,7 @@ pub fn analyze(file: &str, src: &str, kind: FileKind) -> Vec<Violation> {
     let mut out = Vec::new();
 
     check_safety_comments(file, &lexed, &mut out);
+    check_simd_safety(file, &lexed, &mut out);
     check_static_mut(file, &lexed, &mut out);
     if kind == FileKind::Library {
         check_unwrap(file, &lexed, &test_lines, &mut out);
@@ -246,28 +257,7 @@ fn check_safety_comments(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
             _ => "block",
         };
 
-        // Same-line comment counts (e.g. `unsafe { .. } // SAFETY: ..`).
-        let mut texts = vec![lexed.comment_text(st.line)];
-        // Walk upward through skippable lines collecting comment text.
-        let mut l = st.line;
-        while l > 1 {
-            l -= 1;
-            let has_code = lexed.line_has_code(l);
-            let is_attr = lexed.line_is_attr(l);
-            let has_comment = lexed.line_has_comment(l);
-            if has_code && !is_attr {
-                break;
-            }
-            if has_comment {
-                texts.push(lexed.comment_text(l));
-            } else if !is_attr && !has_comment && !has_code {
-                // Blank line ends the contiguous comment block — unless we
-                // haven't seen any comments yet (blank between code and
-                // comment breaks the association).
-                break;
-            }
-        }
-        let blob = texts.join(" ");
+        let blob = comment_blob(lexed, st.line);
         let ok = blob.contains("SAFETY:") || (is_fn && blob.contains("# Safety"));
         if !ok {
             out.push(Violation {
@@ -275,6 +265,104 @@ fn check_safety_comments(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
                 line: st.line,
                 rule: "safety-comment",
                 msg: format!("`unsafe` {form} without a `// SAFETY:` comment"),
+            });
+        }
+    }
+}
+
+/// The comment text associated with the code at `line`: the same-line
+/// comment plus the contiguous comment block directly above, walking
+/// upward through attributes and doc comments (a blank line or a code
+/// line ends the block).
+fn comment_blob(lexed: &Lexed, line: u32) -> String {
+    let mut texts = vec![lexed.comment_text(line)];
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let has_code = lexed.line_has_code(l);
+        let is_attr = lexed.line_is_attr(l);
+        let has_comment = lexed.line_has_comment(l);
+        if has_code && !is_attr {
+            break;
+        }
+        if has_comment {
+            texts.push(lexed.comment_text(l));
+        } else if !is_attr && !has_comment && !has_code {
+            // Blank line ends the contiguous comment block — unless we
+            // haven't seen any comments yet (blank between code and
+            // comment breaks the association).
+            break;
+        }
+    }
+    texts.join(" ")
+}
+
+/// Target-feature names the `simd-safety` rule accepts in a SAFETY comment.
+const SIMD_FEATURES: &[&str] = &["avx512", "avx2", "avx", "fma", "neon", "sse"];
+
+/// True for identifiers that look like `std::arch` SIMD intrinsics: x86
+/// `_mm*` / `_mm256*` / `_mm512*`, and the NEON `v..q_f64`-style vector ops
+/// (`vld1q_f64`, `vfmaq_f64`, ...).
+fn is_simd_intrinsic(name: &str) -> bool {
+    name.starts_with("_mm")
+        || (name.starts_with('v') && (name.contains("q_f64") || name.contains("q_f32")))
+}
+
+/// `simd-safety`: an `unsafe` block or fn whose body contains SIMD
+/// intrinsic calls must carry a SAFETY comment (or `# Safety` doc section)
+/// naming the detected target feature — the soundness argument for an
+/// intrinsic is exactly which runtime CPU feature check discharges its
+/// `#[target_feature]` contract.
+fn check_simd_safety(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    for (idx, st) in toks.iter().enumerate() {
+        if !matches!(&st.tok, Tok::Ident(s) if s == "unsafe") {
+            continue;
+        }
+        let next = toks.get(idx + 1).map(|t| &t.tok);
+        let is_block = next == Some(&Tok::Punct('{'));
+        let is_fn =
+            matches!(next, Some(Tok::Ident(s)) if s == "fn") && !is_fn_pointer_type(toks, idx + 1);
+        // Only block and fn forms have bodies that can call intrinsics.
+        if !is_block && !is_fn {
+            continue;
+        }
+        // Scan the balanced `{ .. }` span after the `unsafe` for intrinsics.
+        let mut j = idx + 1;
+        while j < toks.len() && toks[j].tok != Tok::Punct('{') {
+            j += 1;
+        }
+        let mut depth = 0;
+        let mut has_intrinsic = false;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(s) if is_simd_intrinsic(s) => has_intrinsic = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_intrinsic {
+            continue;
+        }
+        let blob = comment_blob(lexed, st.line);
+        if !SIMD_FEATURES.iter().any(|f| blob.contains(f)) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: st.line,
+                rule: "simd-safety",
+                msg: format!(
+                    "`unsafe` {} contains SIMD intrinsics but its SAFETY comment names no \
+                     target feature (expected one of: {})",
+                    if is_fn { "fn" } else { "block" },
+                    SIMD_FEATURES.join(", ")
+                ),
             });
         }
     }
@@ -465,6 +553,50 @@ mod tests {
     fn blank_line_breaks_comment_association() {
         let src = "// SAFETY: stale comment.\n\nfn f() { unsafe { d() } }";
         assert_eq!(rules_of(&check(src, FileKind::Library)), ["safety-comment"]);
+    }
+
+    // --- simd-safety ----------------------------------------------------
+
+    #[test]
+    fn simd_unsafe_block_without_feature_name_is_flagged() {
+        // A SAFETY comment exists (so `safety-comment` passes) but it does
+        // not say which target feature makes the intrinsic sound.
+        let src = "fn f(p: *const f64) {\n    // SAFETY: pointer is valid for 4 lanes.\n    let v = unsafe { _mm256_loadu_pd(p) };\n}";
+        assert_eq!(rules_of(&check(src, FileKind::Library)), ["simd-safety"]);
+    }
+
+    #[test]
+    fn simd_unsafe_block_naming_feature_passes() {
+        let src = "fn f(p: *const f64) {\n    // SAFETY: avx2 verified by is_x86_feature_detected!; p has 4 lanes.\n    let v = unsafe { _mm256_loadu_pd(p) };\n}";
+        assert!(check(src, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn neon_intrinsics_also_require_feature_name() {
+        let bad = "fn f(p: *const f64) {\n    // SAFETY: p has 2 lanes.\n    let v = unsafe { vld1q_f64(p) };\n}";
+        assert_eq!(rules_of(&check(bad, FileKind::Library)), ["simd-safety"]);
+        let ok = "fn f(p: *const f64) {\n    // SAFETY: neon is mandatory on aarch64; p has 2 lanes.\n    let v = unsafe { vld1q_f64(p) };\n}";
+        assert!(check(ok, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_with_simd_body_checks_doc_safety_section() {
+        let bad = "/// Kernel.\n///\n/// # Safety\n/// Caller promises stuff.\npub unsafe fn k(p: *const f64) { let v = _mm256_loadu_pd(p); }";
+        assert_eq!(rules_of(&check(bad, FileKind::Library)), ["simd-safety"]);
+        let ok = "/// Kernel.\n///\n/// # Safety\n/// CPU must support avx2 and fma (runtime-detected).\npub unsafe fn k(p: *const f64) { let v = _mm256_loadu_pd(p); }";
+        assert!(check(ok, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn non_simd_unsafe_blocks_are_not_subject_to_simd_safety() {
+        let src = "fn f(p: *const u8) {\n    // SAFETY: caller guarantees p is valid.\n    let v = unsafe { *p };\n}";
+        assert!(check(src, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn simd_safety_waivable_with_allow() {
+        let src = "fn f(p: *const f64) {\n    // SAFETY: see module docs. xtask-allow: simd-safety — feature named at module level\n    let v = unsafe { _mm256_loadu_pd(p) };\n}";
+        assert!(check(src, FileKind::Library).is_empty());
     }
 
     // --- no-unwrap ------------------------------------------------------
