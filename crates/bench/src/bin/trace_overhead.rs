@@ -13,15 +13,24 @@
 //! 4. `fault_guard_ns_per_call` — cost of one *disabled* fault-injection
 //!    guard (`hpl_faults::on_send` with no injector armed), the branch
 //!    every `Fabric::send`/`recv` takes on a fault-free run.
+//! 5. `ckpt_guard_ns_per_call` — cost of the *disabled* checkpoint cadence
+//!    check (`hpl_ckpt::due` with `--ckpt-every 0`), the only thing a run
+//!    without checkpointing pays per panel iteration.
+//! 6. The same run with checkpointing **enabled** every 2 iterations into
+//!    an in-memory store: `ckpt_ns_per_run` (total Ckpt-span time over all
+//!    ranks) and `ckpt_enabled_frac`, that time over the ranks' summed wall.
 //!
 //! `disabled_frac` — the deterministic headline metric — is the disabled
 //! guard cost times the span count, over the disabled run's wall time: the
 //! fraction of wall the compiled-in (but switched-off) instrumentation
 //! costs. The gate requires it below 1%. `faults_disabled_frac` is the
 //! analogous metric for the fault hooks: guard cost times the send+recv
-//! count per run, over the same wall — also gated below 1%. The wall-clock
-//! delta between the enabled and disabled runs is also printed but is noisy
-//! at this problem size; the derived fractions are the stable signal.
+//! count per run, over the same wall — also gated below 1%.
+//! `ckpt_enabled_frac` bounds the cost of *running* with checkpoints on
+//! (gated below 10%), while `ckpt_guard_ns_per_call` pins the disabled path
+//! at a branch. The wall-clock delta between the enabled and disabled runs
+//! is also printed but is noisy at this problem size; the derived fractions
+//! are the stable signal.
 
 use hpl_bench::{arg_value, emit_json, row};
 use hpl_comm::Universe;
@@ -41,6 +50,9 @@ struct Overhead {
     fault_guard_ns_per_call: f64,
     fault_guards_per_run: u64,
     faults_disabled_frac: f64,
+    ckpt_guard_ns_per_call: f64,
+    ckpt_ns_per_run: u64,
+    ckpt_enabled_frac: f64,
 }
 
 /// Returns (max wall over ranks, total spans).
@@ -63,6 +75,33 @@ fn run_once(trace: bool) -> (f64, u64) {
 /// alike. Slight overcount vs the unarmed path — an armed injector routes
 /// panel broadcasts through the checksummed variant, which adds a few typed
 /// control messages per panel — so the derived fraction is conservative.
+/// Traced run with checkpointing every 2 panel iterations into a fresh
+/// in-memory store; returns (summed wall over ranks, total Ckpt-span ns).
+fn run_ckpt() -> (f64, u64) {
+    let mut cfg = HplConfig::new(192, 32, 2, 2);
+    cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
+    cfg.trace.enabled = true;
+    cfg.ckpt = rhpl_core::CkptOpts {
+        every: 2,
+        store: Some(hpl_ckpt::CkptStore::mem(cfg.ranks())),
+        resume: false,
+    };
+    let results = Universe::run(cfg.ranks(), |comm| {
+        let r = run_hpl(comm, &cfg).expect("nonsingular");
+        let ckpt_ns: u64 = r.trace.as_ref().map_or(0, |t| {
+            t.spans
+                .iter()
+                .filter(|s| s.phase == hpl_trace::Phase::Ckpt)
+                .map(|s| s.dur_ns)
+                .sum()
+        });
+        (r.wall, ckpt_ns)
+    });
+    let wall_sum = results.iter().map(|r| r.0).sum();
+    let ckpt_ns = results.iter().map(|r| r.1).sum();
+    (wall_sum, ckpt_ns)
+}
+
 fn count_fault_guards() -> u64 {
     let mut cfg = HplConfig::new(192, 32, 2, 2);
     cfg.schedule = Schedule::SplitUpdate { frac: 0.5 };
@@ -101,6 +140,15 @@ fn main() {
     }
     let fault_guard_ns_per_call = t1.elapsed().as_nanos() as f64 / calls as f64;
 
+    // 5. Disabled checkpoint guard: the cadence check every panel iteration
+    // performs when `--ckpt-every` is 0.
+    let t2 = std::time::Instant::now();
+    for i in 0..calls {
+        let d = hpl_ckpt::due(0, i as usize);
+        std::hint::black_box(d);
+    }
+    let ckpt_guard_ns_per_call = t2.elapsed().as_nanos() as f64 / calls as f64;
+
     // 2./3. Paired runs. Warm up once so page-cache/allocator effects hit
     // neither side.
     run_once(false);
@@ -108,9 +156,15 @@ fn main() {
     let (enabled_wall_s, spans_per_run) = run_once(true);
     let fault_guards_per_run = count_fault_guards();
 
+    // 6. Checkpointing enabled: Ckpt-span time as a fraction of the ranks'
+    // summed wall (both sides of the ratio come from the same run, so the
+    // metric is stable against machine speed).
+    let (ckpt_wall_sum_s, ckpt_ns_per_run) = run_ckpt();
+
     let disabled_frac = disabled_ns_per_call * spans_per_run as f64 / (disabled_wall_s * 1e9);
     let faults_disabled_frac =
         fault_guard_ns_per_call * fault_guards_per_run as f64 / (disabled_wall_s * 1e9);
+    let ckpt_enabled_frac = ckpt_ns_per_run as f64 / (ckpt_wall_sum_s * 1e9);
     let o = Overhead {
         calls,
         disabled_ns_per_call,
@@ -121,6 +175,9 @@ fn main() {
         fault_guard_ns_per_call,
         fault_guards_per_run,
         faults_disabled_frac,
+        ckpt_guard_ns_per_call,
+        ckpt_ns_per_run,
+        ckpt_enabled_frac,
     };
 
     println!("trace overhead: N=192 NB=32 2x2 split-update");
@@ -184,6 +241,27 @@ fn main() {
                 "faults disabled frac",
                 &format!("{faults_disabled_frac:.6}")
             ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "ckpt guard ns/call",
+                &format!("{ckpt_guard_ns_per_call:.2}")
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(&["ckpt ns per run", &format!("{ckpt_ns_per_run}")], &widths)
+    );
+    println!(
+        "{}",
+        row(
+            &["ckpt enabled frac", &format!("{ckpt_enabled_frac:.6}")],
             &widths
         )
     );

@@ -1,0 +1,267 @@
+//! Self-describing binary snapshot codec.
+//!
+//! Layout (all integers little-endian `u64` unless noted):
+//!
+//! ```text
+//! magic   u32  = 0x52434B50 ("RCKP")
+//! version u32  = 1
+//! id      7 x u64  (n, nb, p, q, seed, schedule, frac_bits)
+//! rank, next_iter, mloc, nloc   4 x u64
+//! data    u64 count, then count x f64 (IEEE-754 bit patterns)
+//! pivots  u64 count, then count x u64
+//! cursors u64 count, then count x u64
+//! trailer u64  FNV-1a over every preceding byte
+//! ```
+//!
+//! The trailer makes a torn or bit-flipped snapshot detectable on restore;
+//! together with the store's atomic-rename deposits it guarantees a crash
+//! mid-write never yields a silently corrupt "last good" checkpoint.
+
+use crate::{CkptError, ConfigId, Snapshot};
+
+const MAGIC: u32 = 0x5243_4B50; // "RCKP"
+const VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice (same constants as the trace `seq_hash`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes a snapshot to its checksummed wire form.
+pub fn encode(snap: &Snapshot) -> Vec<u8> {
+    let words = 4 + 7 + snap.data.len() + snap.pivots.len() + snap.cursors.len() + 4;
+    let mut out = Vec::with_capacity(8 + words * 8 + 8);
+    put_u32(&mut out, MAGIC);
+    put_u32(&mut out, VERSION);
+    for v in [
+        snap.id.n,
+        snap.id.nb,
+        snap.id.p,
+        snap.id.q,
+        snap.id.seed,
+        snap.id.schedule,
+        snap.id.frac_bits,
+        snap.rank,
+        snap.next_iter,
+        snap.mloc,
+        snap.nloc,
+    ] {
+        put_u64(&mut out, v);
+    }
+    put_u64(&mut out, snap.data.len() as u64);
+    for &x in &snap.data {
+        put_u64(&mut out, x.to_bits());
+    }
+    put_u64(&mut out, snap.pivots.len() as u64);
+    for &p in &snap.pivots {
+        put_u64(&mut out, p);
+    }
+    put_u64(&mut out, snap.cursors.len() as u64);
+    for &c in &snap.cursors {
+        put_u64(&mut out, c);
+    }
+    let sum = fnv1a(&out);
+    put_u64(&mut out, sum);
+    out
+}
+
+/// Cursor over the byte stream; every read is bounds-checked.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        let end = self.pos.checked_add(n).ok_or(CkptError::Truncated {
+            need: usize::MAX,
+            have: self.bytes.len(),
+        })?;
+        if end > self.bytes.len() {
+            return Err(CkptError::Truncated {
+                need: end,
+                have: self.bytes.len(),
+            });
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, CkptError> {
+        let s = self.take(4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, CkptError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a count-prefixed `u64` vector. The count is sanity-bounded by
+    /// the bytes remaining so a corrupt length cannot trigger a huge
+    /// allocation before the checksum is even checked.
+    fn u64_vec(&mut self) -> Result<Vec<u64>, CkptError> {
+        let count = self.u64()? as usize;
+        let need = count.checked_mul(8).ok_or(CkptError::Truncated {
+            need: usize::MAX,
+            have: self.bytes.len(),
+        })?;
+        if self.bytes.len() - self.pos < need {
+            return Err(CkptError::Truncated {
+                need: self.pos + need,
+                have: self.bytes.len(),
+            });
+        }
+        let mut v = Vec::with_capacity(count);
+        for _ in 0..count {
+            v.push(self.u64()?);
+        }
+        Ok(v)
+    }
+}
+
+/// Deserializes and validates a snapshot: magic, version, field lengths and
+/// the FNV-1a trailer must all check out.
+pub fn decode(bytes: &[u8]) -> Result<Snapshot, CkptError> {
+    if bytes.len() < 8 + 8 {
+        return Err(CkptError::Truncated {
+            need: 16,
+            have: bytes.len(),
+        });
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let mut tb = [0u8; 8];
+    tb.copy_from_slice(trailer);
+    let expected = u64::from_le_bytes(tb);
+    let got = fnv1a(payload);
+    if expected != got {
+        return Err(CkptError::Checksum { expected, got });
+    }
+
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let magic = r.u32()?;
+    if magic != MAGIC {
+        return Err(CkptError::BadMagic(magic));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(CkptError::BadVersion(version));
+    }
+    let id = ConfigId {
+        n: r.u64()?,
+        nb: r.u64()?,
+        p: r.u64()?,
+        q: r.u64()?,
+        seed: r.u64()?,
+        schedule: r.u64()?,
+        frac_bits: r.u64()?,
+    };
+    let rank = r.u64()?;
+    let next_iter = r.u64()?;
+    let mloc = r.u64()?;
+    let nloc = r.u64()?;
+    let data: Vec<f64> = r.u64_vec()?.into_iter().map(f64::from_bits).collect();
+    let pivots = r.u64_vec()?;
+    let cursors = r.u64_vec()?;
+    if r.pos != payload.len() {
+        return Err(CkptError::Truncated {
+            need: r.pos,
+            have: payload.len(),
+        });
+    }
+    Ok(Snapshot {
+        id,
+        rank,
+        next_iter,
+        mloc,
+        nloc,
+        data,
+        pivots,
+        cursors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            id: ConfigId {
+                n: 48,
+                nb: 8,
+                p: 1,
+                q: 2,
+                seed: 42,
+                schedule: 2,
+                frac_bits: 0.5f64.to_bits(),
+            },
+            rank: 1,
+            next_iter: 4,
+            mloc: 3,
+            nloc: 2,
+            data: vec![1.0, -2.5, 0.0, f64::MIN_POSITIVE, 1e300, -0.0],
+            pivots: vec![5, 0, 17],
+            cursors: vec![2, 9, 0],
+        }
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        let snap = sample();
+        let bytes = encode(&snap);
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(back, snap);
+        // -0.0 must survive as -0.0, not 0.0.
+        assert_eq!(back.data[5].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn any_flipped_byte_is_detected() {
+        let bytes = encode(&sample());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(decode(&bad).is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(&sample());
+        for cut in [0, 7, 15, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode(&sample());
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Double-buffered checkpoint stores.
+//!
+//! A [`CkptStore`] collects one encoded deposit per rank per checkpoint
+//! *generation* (the boundary iteration number). A generation is only
+//! **complete** — and therefore restorable — once all `nranks` deposits
+//! have landed; [`CkptStore::latest_complete`] never returns a generation a
+//! crash interrupted halfway. The two most recent complete generations are
+//! retained (double buffering) and everything older is pruned.
+//!
+//! Two backends share the same semantics:
+//!
+//! * **Memory** — deposits live in a mutex-guarded map; this is the default
+//!   for in-process supervisor recovery.
+//! * **Disk** (`--ckpt-dir`) — each deposit is written to
+//!   `ckpt-g{gen}-r{rank}.tmp` and promoted with an atomic rename to
+//!   `.bin`; a `ckpt-g{gen}.ok` marker (also rename-promoted) records
+//!   completeness, so readers and crashes can never observe a torn file as
+//!   the latest good snapshot.
+
+use crate::CkptError;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// How many complete generations to retain.
+const KEEP: usize = 2;
+
+/// A shared, rank-coordinated checkpoint store (see module docs).
+pub struct CkptStore {
+    nranks: usize,
+    backend: Backend,
+}
+
+enum Backend {
+    Mem(Mutex<MemState>),
+    Disk(DiskState),
+}
+
+#[derive(Default)]
+struct MemState {
+    /// Per-generation deposit slots, one per rank.
+    gens: BTreeMap<u64, Vec<Option<Arc<Vec<u8>>>>>,
+    /// Complete generations, ascending.
+    complete: Vec<u64>,
+}
+
+struct DiskState {
+    dir: PathBuf,
+    /// Serializes the complete-marker check-and-write and pruning.
+    lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for CkptStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.backend {
+            Backend::Mem(_) => write!(f, "CkptStore::mem(nranks={})", self.nranks),
+            Backend::Disk(d) => write!(
+                f,
+                "CkptStore::disk({}, nranks={})",
+                d.dir.display(),
+                self.nranks
+            ),
+        }
+    }
+}
+
+impl CkptStore {
+    /// Creates an in-memory store for `nranks` ranks.
+    pub fn mem(nranks: usize) -> Arc<Self> {
+        Arc::new(CkptStore {
+            nranks,
+            backend: Backend::Mem(Mutex::new(MemState::default())),
+        })
+    }
+
+    /// Opens an on-disk store under `dir` (created if absent). Existing
+    /// checkpoint files are kept: a fresh process can resume from what a
+    /// previous one deposited.
+    pub fn disk(dir: &Path, nranks: usize) -> Result<Arc<Self>, CkptError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CkptError::Io(format!("{}: {e}", dir.display())))?;
+        Ok(Arc::new(CkptStore {
+            nranks,
+            backend: Backend::Disk(DiskState {
+                dir: dir.to_path_buf(),
+                lock: Mutex::new(()),
+            }),
+        }))
+    }
+
+    /// Opens an on-disk store under `dir`, first removing any checkpoint
+    /// files a previous run left there. Only files matching this store's
+    /// own `ckpt-g*` naming scheme are touched. Use this when the run must
+    /// be reproducible from scratch (the CLI fault-soak gate does).
+    pub fn disk_fresh(dir: &Path, nranks: usize) -> Result<Arc<Self>, CkptError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CkptError::Io(format!("{}: {e}", dir.display())))?;
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| CkptError::Io(format!("{}: {e}", dir.display())))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("ckpt-g") {
+                std::fs::remove_file(entry.path())
+                    .map_err(|e| CkptError::Io(format!("{name}: {e}")))?;
+            }
+        }
+        Self::disk(dir, nranks)
+    }
+
+    /// Number of ranks that must deposit before a generation is complete.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Deposits `rank`'s encoded snapshot for generation `gen`. When the
+    /// deposit completes the generation, older generations beyond the
+    /// retained pair are pruned. Re-depositing the same `(gen, rank)` is
+    /// idempotent (a resumed run re-deposits at its restart boundary).
+    pub fn deposit(&self, gen: u64, rank: usize, bytes: Vec<u8>) -> Result<(), CkptError> {
+        match &self.backend {
+            Backend::Mem(m) => {
+                let mut st = m.lock();
+                let slots = st
+                    .gens
+                    .entry(gen)
+                    .or_insert_with(|| vec![None; self.nranks]);
+                if rank >= slots.len() {
+                    return Err(CkptError::Missing { gen, rank });
+                }
+                slots[rank] = Some(Arc::new(bytes));
+                if slots.iter().all(Option::is_some) && !st.complete.contains(&gen) {
+                    st.complete.push(gen);
+                    st.complete.sort_unstable();
+                    if st.complete.len() > KEEP {
+                        let cutoff = st.complete[st.complete.len() - KEEP];
+                        st.complete.retain(|&g| g >= cutoff);
+                        st.gens.retain(|&g, _| g >= cutoff);
+                    }
+                }
+                Ok(())
+            }
+            Backend::Disk(d) => {
+                let tmp = d.dir.join(format!("ckpt-g{gen:08}-r{rank:04}.tmp"));
+                let fin = d.dir.join(deposit_name(gen, rank));
+                std::fs::write(&tmp, &bytes)
+                    .map_err(|e| CkptError::Io(format!("{}: {e}", tmp.display())))?;
+                std::fs::rename(&tmp, &fin)
+                    .map_err(|e| CkptError::Io(format!("{}: {e}", fin.display())))?;
+                let _g = d.lock.lock();
+                let all = (0..self.nranks).all(|r| d.dir.join(deposit_name(gen, r)).exists());
+                if all {
+                    let mark_tmp = d.dir.join(format!("ckpt-g{gen:08}.ok.tmp"));
+                    let mark = d.dir.join(marker_name(gen));
+                    if !mark.exists() {
+                        std::fs::write(&mark_tmp, b"ok\n")
+                            .map_err(|e| CkptError::Io(format!("{}: {e}", mark_tmp.display())))?;
+                        std::fs::rename(&mark_tmp, &mark)
+                            .map_err(|e| CkptError::Io(format!("{}: {e}", mark.display())))?;
+                    }
+                    self.prune_disk(d)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The newest generation for which every rank has deposited, if any.
+    pub fn latest_complete(&self) -> Option<u64> {
+        match &self.backend {
+            Backend::Mem(m) => m.lock().complete.last().copied(),
+            Backend::Disk(d) => disk_complete_gens(&d.dir).last().copied(),
+        }
+    }
+
+    /// Loads `rank`'s deposit for generation `gen`.
+    pub fn load(&self, gen: u64, rank: usize) -> Result<Vec<u8>, CkptError> {
+        match &self.backend {
+            Backend::Mem(m) => {
+                let st = m.lock();
+                st.gens
+                    .get(&gen)
+                    .and_then(|slots| slots.get(rank))
+                    .and_then(|s| s.as_ref())
+                    .map(|b| b.as_ref().clone())
+                    .ok_or(CkptError::Missing { gen, rank })
+            }
+            Backend::Disk(d) => {
+                let path = d.dir.join(deposit_name(gen, rank));
+                std::fs::read(&path).map_err(|_| CkptError::Missing { gen, rank })
+            }
+        }
+    }
+
+    /// Removes deposits and markers of generations older than the retained
+    /// pair of complete ones. Failures removing stale files are ignored:
+    /// they cost disk space, never correctness.
+    fn prune_disk(&self, d: &DiskState) -> Result<(), CkptError> {
+        let complete = disk_complete_gens(&d.dir);
+        if complete.len() <= KEEP {
+            return Ok(());
+        }
+        let cutoff = complete[complete.len() - KEEP];
+        let entries = std::fs::read_dir(&d.dir)
+            .map_err(|e| CkptError::Io(format!("{}: {e}", d.dir.display())))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(gen) = parse_gen(&name) {
+                if gen < cutoff {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn deposit_name(gen: u64, rank: usize) -> String {
+    format!("ckpt-g{gen:08}-r{rank:04}.bin")
+}
+
+fn marker_name(gen: u64) -> String {
+    format!("ckpt-g{gen:08}.ok")
+}
+
+/// Generation number of any `ckpt-g{gen}...` file name, or `None`.
+fn parse_gen(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("ckpt-g")?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Ascending list of complete (marker-bearing) generations under `dir`.
+fn disk_complete_gens(dir: &Path) -> Vec<u64> {
+    let mut gens = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return gens;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.ends_with(".ok") {
+            if let Some(g) = parse_gen(&name) {
+                gens.push(g);
+            }
+        }
+    }
+    gens.sort_unstable();
+    gens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_generation_completes_only_when_all_ranks_deposit() {
+        let store = CkptStore::mem(2);
+        store.deposit(2, 0, vec![1]).unwrap();
+        assert_eq!(store.latest_complete(), None);
+        store.deposit(2, 1, vec![2]).unwrap();
+        assert_eq!(store.latest_complete(), Some(2));
+        assert_eq!(store.load(2, 1).unwrap(), vec![2]);
+        assert!(store.load(2, 5).is_err());
+        assert!(store.load(4, 0).is_err());
+    }
+
+    #[test]
+    fn mem_keeps_the_last_two_complete_generations() {
+        let store = CkptStore::mem(1);
+        for gen in [2u64, 4, 6, 8] {
+            store.deposit(gen, 0, vec![gen as u8]).unwrap();
+        }
+        assert_eq!(store.latest_complete(), Some(8));
+        assert!(store.load(2, 0).is_err(), "gen 2 should be pruned");
+        assert!(store.load(4, 0).is_err(), "gen 4 should be pruned");
+        assert_eq!(store.load(6, 0).unwrap(), vec![6]);
+        assert_eq!(store.load(8, 0).unwrap(), vec![8]);
+    }
+
+    #[test]
+    fn mem_redeposit_is_idempotent() {
+        let store = CkptStore::mem(1);
+        store.deposit(2, 0, vec![7]).unwrap();
+        store.deposit(2, 0, vec![7]).unwrap();
+        assert_eq!(store.latest_complete(), Some(2));
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hpl-ckpt-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_round_trips_and_prunes() {
+        let dir = temp_dir("roundtrip");
+        let store = CkptStore::disk_fresh(&dir, 2).unwrap();
+        assert_eq!(store.latest_complete(), None);
+        for gen in [2u64, 4, 6, 8] {
+            store.deposit(gen, 0, vec![gen as u8, 0]).unwrap();
+            assert_eq!(
+                store.latest_complete(),
+                if gen == 2 { None } else { Some(gen - 2) },
+                "half-deposited generation {gen} must not be visible"
+            );
+            store.deposit(gen, 1, vec![gen as u8, 1]).unwrap();
+            assert_eq!(store.latest_complete(), Some(gen));
+        }
+        assert_eq!(store.load(8, 1).unwrap(), vec![8, 1]);
+        assert_eq!(store.load(6, 0).unwrap(), vec![6, 0]);
+        assert!(store.load(2, 0).is_err(), "gen 2 should be pruned");
+        assert!(!dir.join(deposit_name(4, 0)).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_fresh_wipes_previous_run() {
+        let dir = temp_dir("fresh");
+        {
+            let store = CkptStore::disk_fresh(&dir, 1).unwrap();
+            store.deposit(2, 0, vec![9]).unwrap();
+            assert_eq!(store.latest_complete(), Some(2));
+        }
+        // Re-opening without wiping resumes; wiping forgets.
+        let kept = CkptStore::disk(&dir, 1).unwrap();
+        assert_eq!(kept.latest_complete(), Some(2));
+        let fresh = CkptStore::disk_fresh(&dir, 1).unwrap();
+        assert_eq!(fresh.latest_complete(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_gen_reads_the_generation() {
+        assert_eq!(parse_gen("ckpt-g00000004-r0001.bin"), Some(4));
+        assert_eq!(parse_gen("ckpt-g00000012.ok"), Some(12));
+        assert_eq!(parse_gen("other.txt"), None);
+    }
+}

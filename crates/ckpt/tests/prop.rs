@@ -1,0 +1,108 @@
+//! Property coverage for the snapshot codec: arbitrary grid shapes and
+//! mid-panel iteration counts round-trip bitwise, and corruption anywhere
+//! in the stream is detected.
+
+use hpl_ckpt::{decode, encode, CkptStore, ConfigId, Snapshot};
+use proptest::prelude::*;
+
+/// Wide (but overflow-safe) `u64` source for seeds and raw f64 bit patterns.
+const WIDE: std::ops::RangeInclusive<u64> = 0..=(1u64 << 62);
+
+/// An arbitrary snapshot: grid shape, boundary iteration and payload sizes
+/// all vary; data values include negatives, zeros and huge magnitudes.
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        (1u64..=512, 1u64..=64, 1u64..=4, 1u64..=4),
+        (WIDE, 0u64..=2, 0u64..=64, 0u64..=15),
+        (0usize..=40, 0usize..=12),
+    )
+        .prop_flat_map(|(shape, run, (mloc, nloc))| {
+            let len = mloc * nloc;
+            (
+                Just(shape),
+                Just(run),
+                Just((mloc, nloc)),
+                collection::vec(WIDE, len..=len),
+                collection::vec(WIDE, 0..=96),
+                collection::vec(WIDE, 0..=8),
+            )
+        })
+        .prop_map(
+            |(
+                (n, nb, p, q),
+                (seed, schedule, next_iter, rank),
+                (mloc, nloc),
+                bits,
+                pivots,
+                cursors,
+            )| {
+                Snapshot {
+                    id: ConfigId {
+                        n,
+                        nb,
+                        p,
+                        q,
+                        seed,
+                        schedule,
+                        frac_bits: if schedule == 2 { 0.5f64.to_bits() } else { 0 },
+                    },
+                    rank,
+                    next_iter,
+                    mloc: mloc as u64,
+                    nloc: nloc as u64,
+                    // Reinterpret raw bits so subnormals and signed zeros
+                    // appear; NaN is unreachable in this bit range.
+                    data: bits.into_iter().map(f64::from_bits).collect(),
+                    pivots,
+                    cursors,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_round_trips(snap in arb_snapshot()) {
+        let bytes = encode(&snap);
+        let back = decode(&bytes).expect("well-formed snapshot must decode");
+        prop_assert_eq!(&back, &snap);
+        // Bitwise: signed zeros and subnormals survive exactly.
+        for (a, b) in back.data.iter().zip(snap.data.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected(snap in arb_snapshot(), pos in 0usize..=(1 << 20), bit in 0u8..=7) {
+        let mut bytes = encode(&snap);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1u8 << bit;
+        prop_assert!(decode(&bytes).is_err(), "flipped byte {} accepted", pos);
+    }
+
+    #[test]
+    fn truncation_is_detected(snap in arb_snapshot(), cut in 0usize..=(1 << 20)) {
+        let bytes = encode(&snap);
+        let cut = cut % bytes.len();
+        prop_assert!(decode(&bytes[..cut]).is_err(), "cut at {} accepted", cut);
+    }
+
+    #[test]
+    fn store_round_trip_recovers_the_deposit(snap in arb_snapshot(), nranks in 1usize..=4) {
+        let store = CkptStore::mem(nranks);
+        let rank = (snap.rank as usize) % nranks;
+        let gen = snap.next_iter;
+        for r in 0..nranks {
+            let mut s = snap.clone();
+            s.rank = r as u64;
+            store.deposit(gen, r, encode(&s)).expect("deposit");
+        }
+        prop_assert_eq!(store.latest_complete(), Some(gen));
+        let back = decode(&store.load(gen, rank).expect("load")).expect("decode");
+        prop_assert_eq!(back.rank, rank as u64);
+        prop_assert_eq!(&back.data, &snap.data);
+        prop_assert_eq!(&back.pivots, &snap.pivots);
+    }
+}

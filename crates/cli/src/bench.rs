@@ -72,6 +72,11 @@ pub struct RunReport {
     pub residual: f64,
     /// Residual beat the threshold.
     pub passed: bool,
+    /// Communication retries (timed-out receive rounds), summed over ranks.
+    pub retries: u64,
+    /// Supervisor restarts that contributed to this run (0 outside the
+    /// fault-recovery path).
+    pub recoveries: u64,
     /// Hidden-comm-time / total-comm-time over all ranks.
     pub overlap_efficiency: f64,
     /// Deterministic hash of the phase sequence (hex), durations excluded.
@@ -106,6 +111,8 @@ pub fn run_report(rec: &RunRecord) -> RunReport {
         gflops: rec.gflops,
         residual: rec.residual,
         passed: rec.passed,
+        retries: rec.retries,
+        recoveries: rec.recoveries,
         overlap_efficiency: overlap_efficiency(&rec.traces),
         seq_hash: format!("{:#018x}", seq_hash(&rec.traces)),
         dropped_spans: rec.traces.iter().map(|t| t.dropped).sum(),

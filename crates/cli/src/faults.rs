@@ -32,6 +32,9 @@ pub struct FaultOutcome {
     pub verdict: Result<f64, String>,
     /// The full stdout block (header + outcome + `FAULTLOG` digest).
     pub block: String,
+    /// Restarts the recovery supervisor performed (always 0 in plain
+    /// fault-soak mode; see [`crate::recover`]).
+    pub recoveries: u64,
 }
 
 impl FaultOutcome {
@@ -65,7 +68,24 @@ pub fn run_one_faulted(cfg: &HplConfig, plan: FaultPlan, threshold: f64) -> Faul
             let _ = writeln!(block, "{line}");
         }
     }
-    for (rank, events) in run.injector.all_events().iter().enumerate() {
+    write_faultlog(&mut block, &run.injector, &run.abft_repairs);
+    FaultOutcome {
+        verdict,
+        block,
+        recoveries: 0,
+    }
+}
+
+/// Appends the per-rank `FAULTLOG` digest: the injected-event log, plus a
+/// ` repairs=N` suffix for ranks that applied ABFT retransmits (the repair
+/// count is deterministic — it is driven by the injected corruption plan —
+/// so the soak's byte-identical assertion still holds).
+pub(crate) fn write_faultlog(
+    block: &mut String,
+    injector: &hpl_faults::Injector,
+    abft_repairs: &[u64],
+) {
+    for (rank, events) in injector.all_events().iter().enumerate() {
         let digest = if events.is_empty() {
             "-".to_string()
         } else {
@@ -75,9 +95,12 @@ pub fn run_one_faulted(cfg: &HplConfig, plan: FaultPlan, threshold: f64) -> Faul
                 .collect::<Vec<_>>()
                 .join(",")
         };
-        let _ = writeln!(block, "FAULTLOG rank={rank} events={digest}");
+        let repairs = match abft_repairs.get(rank) {
+            Some(&n) if n > 0 => format!(" repairs={n}"),
+            _ => String::new(),
+        };
+        let _ = writeln!(block, "FAULTLOG rank={rank} events={digest}{repairs}");
     }
-    FaultOutcome { verdict, block }
 }
 
 /// Decides the outcome of a faulted run.
@@ -85,7 +108,7 @@ pub fn run_one_faulted(cfg: &HplConfig, plan: FaultPlan, threshold: f64) -> Faul
 /// Precedence: a recorded rank death wins (survivor results then carry
 /// derived errors), then the lowest-rank structured error, then residual
 /// verification of the replicated solution in a clean fault-free universe.
-fn judge(
+pub(crate) fn judge(
     cfg: &HplConfig,
     run: &FaultedRun<Result<HplResult, HplError>>,
     threshold: f64,
@@ -123,7 +146,7 @@ fn judge(
 /// Formats an [`HplError`] as the deterministic `HPLERROR` protocol line.
 /// Wall-clock fields (`waited_ms`) are omitted so repeated runs of the same
 /// plan produce byte-identical output.
-fn error_line(e: &HplError) -> String {
+pub(crate) fn error_line(e: &HplError) -> String {
     match e {
         HplError::Singular { col } => format!("HPLERROR kind=singular col={col}"),
         HplError::RankFailed { rank, phase } => {
@@ -142,6 +165,7 @@ fn error_line(e: &HplError) -> String {
             expected,
             got,
         } => format!("HPLERROR kind=protocol what={what} expected={expected} got={got}"),
+        HplError::Ckpt { what } => format!("HPLERROR kind=ckpt what={what}"),
     }
 }
 

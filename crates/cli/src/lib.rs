@@ -12,6 +12,8 @@
 //! * [`bench`] — the `BENCH_hpl.json` phase-trace emitter (`--trace-json`).
 //! * [`faults`] — the `--fault` soak mode with its `HPLOK`/`HPLERROR`
 //!   stdout protocol.
+//! * [`recover`] — the checkpoint/restart supervisor (`--ckpt-every`),
+//!   which survives injected rank deaths mid-run.
 
 // Lint policy: indexed loops are used deliberately where they mirror the
 // reference BLAS/HPL loop structure, and several kernels take the full
@@ -22,6 +24,7 @@
 pub mod bench;
 pub mod dat;
 pub mod faults;
+pub mod recover;
 pub mod report;
 pub mod runner;
 

@@ -13,15 +13,25 @@
 //!                             kind[:param]@rank[:site][:nth][:sticky]
 //! rhpl ... --fault-seed S     fault plan seed (with no --fault: a random
 //!                             plan derived from the seed)
+//! rhpl ... --ckpt-every K     checkpoint the factorization every K panel
+//!                             iterations (0 = off); with faults armed this
+//!                             enables the restart supervisor
+//! rhpl ... --ckpt-dir PATH    keep checkpoints on disk under PATH instead
+//!                             of in memory
+//! rhpl ... --comm-timeout S   per-receive timeout in seconds (also
+//!                             settable via RHPL_COMM_TIMEOUT; the flag wins)
 //! ```
 //!
 //! With any fault flag present the classic table is replaced by the
 //! machine-readable `HPLOK`/`HPLERROR` + `FAULTLOG` protocol (see
-//! [`rhpl_cli::faults`]); exit code 3 signals a structured failure.
+//! [`rhpl_cli::faults`]); exit code 3 signals a structured failure. Adding
+//! `--ckpt-every K` to a faulted run routes through the recovery supervisor
+//! ([`rhpl_cli::recover`]): injected rank deaths are survived by restoring
+//! all ranks from the last complete checkpoint and resuming mid-stream.
 
 use std::process::ExitCode;
 
-use rhpl_cli::{bench, dat, faults, report, runner};
+use rhpl_cli::{bench, dat, faults, recover, report, runner};
 
 fn arg_value<T: std::str::FromStr>(args: &[String], key: &str) -> Option<T> {
     args.iter()
@@ -40,9 +50,15 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: rhpl [HPL.dat] [--split-frac F] [--threads T] [--seed S] \
              [--kernel auto|scalar|simd] [--trace-json PATH] [--fault SPEC]... \
-             [--fault-seed S] [--sample]"
+             [--fault-seed S] [--ckpt-every K] [--ckpt-dir PATH] \
+             [--comm-timeout SECS] [--sample]"
         );
         return ExitCode::SUCCESS;
+    }
+    // The timeout freezes per fabric at construction, so apply the override
+    // before any universe spins up.
+    if let Some(secs) = arg_value::<u64>(&args, "--comm-timeout") {
+        hpl_comm::set_comm_timeout(std::time::Duration::from_secs(secs));
     }
     // The DGEMM kernel freezes at first use, so resolve the flag before any
     // linear algebra runs. Without the flag the RHPL_KERNEL env (or auto
@@ -67,6 +83,8 @@ fn main() -> ExitCode {
     let threads: usize = arg_value(&args, "--threads").unwrap_or(1);
     let seed: u64 = arg_value(&args, "--seed").unwrap_or(42);
     let trace_json: Option<String> = arg_value(&args, "--trace-json");
+    let ckpt_every: usize = arg_value(&args, "--ckpt-every").unwrap_or(0);
+    let ckpt_dir: Option<String> = arg_value(&args, "--ckpt-dir");
 
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -93,7 +111,14 @@ fn main() -> ExitCode {
         .collect();
     if !fault_specs.is_empty() || args.iter().any(|a| a == "--fault-seed") {
         let fault_seed: u64 = arg_value(&args, "--fault-seed").unwrap_or(1);
-        return run_faulted(&combos, fault_seed, &fault_specs, spec.threshold);
+        return run_faulted(
+            &combos,
+            fault_seed,
+            &fault_specs,
+            spec.threshold,
+            ckpt_every,
+            ckpt_dir.as_deref(),
+        );
     }
     let max_ranks = combos.iter().map(|(c, _)| c.ranks()).max().unwrap_or(1);
     print!("{}", report::banner(max_ranks));
@@ -104,6 +129,36 @@ fn main() -> ExitCode {
     for (mut cfg, depth) in combos {
         if trace_json.is_some() {
             cfg.trace = hpl_trace::TraceOpts::on();
+        }
+        if ckpt_every > 0 {
+            // Disk stores are re-opened (not wiped): a repeated invocation
+            // after an interruption resumes from what the previous process
+            // deposited. Each combination gets its own subdirectory.
+            let store = match &ckpt_dir {
+                Some(dir) => {
+                    let sub = std::path::Path::new(dir).join(format!(
+                        "{}-n{}-nb{}-{}x{}",
+                        runner::encode_tv(&cfg, depth),
+                        cfg.n,
+                        cfg.nb,
+                        cfg.p,
+                        cfg.q
+                    ));
+                    match hpl_ckpt::CkptStore::disk(&sub, cfg.ranks()) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("rhpl: cannot open checkpoint dir: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => hpl_ckpt::CkptStore::mem(cfg.ranks()),
+            };
+            cfg.ckpt = rhpl_core::CkptOpts {
+                every: ckpt_every,
+                store: Some(store),
+                resume: true,
+            };
         }
         let rec = runner::run_one_traced(&cfg, depth, spec.threshold);
         print!("{}", report::format_record(&rec));
@@ -136,6 +191,8 @@ fn run_faulted(
     fault_seed: u64,
     fault_specs: &[String],
     threshold: f64,
+    ckpt_every: usize,
+    ckpt_dir: Option<&str>,
 ) -> ExitCode {
     // Injected rank deaths unwind as panics; the default hook's backtraces
     // are nondeterministic noise next to the protocol lines. Outcomes are
@@ -144,7 +201,7 @@ fn run_faulted(
     std::panic::set_hook(Box::new(|_| {}));
     let mut structured = false;
     let mut bad = false;
-    for (cfg, _depth) in combos {
+    for (i, (cfg, _depth)) in combos.iter().enumerate() {
         let plan = if fault_specs.is_empty() {
             hpl_faults::FaultPlan::from_seed(fault_seed, cfg.ranks())
         } else {
@@ -156,7 +213,12 @@ fn run_faulted(
                 }
             }
         };
-        let out = faults::run_one_faulted(cfg, plan, threshold);
+        let out = if ckpt_every > 0 {
+            let dir = ckpt_dir.map(|d| std::path::Path::new(d).join(format!("combo{i}")));
+            recover::run_one_supervised(cfg, plan, threshold, ckpt_every, dir.as_deref())
+        } else {
+            faults::run_one_faulted(cfg, plan, threshold)
+        };
         print!("{}", out.block);
         if !out.ok() {
             if out.structured_error() {

@@ -1,0 +1,195 @@
+//! The in-run recovery supervisor (`--fault ... --ckpt-every K`).
+//!
+//! Where plain fault-soak mode ([`crate::faults`]) reports a rank death and
+//! stops, the supervisor *survives* it: the job runs with coordinated
+//! checkpointing armed, and when an attempt ends in a structured failure the
+//! poisoned universe is torn down, every rank is restored from the last
+//! complete checkpoint generation, and the factorization resumes mid-stream.
+//! The fault injector is shared across attempts, so a one-shot death does
+//! not re-fire on the replacement ranks — exactly the component-replacement
+//! model of a real scheduler — while sticky faults keep firing and exhaust
+//! the bounded attempt budget.
+//!
+//! The protocol block extends the fault-soak one with a deterministic
+//! `RECOVERY` line per restart:
+//!
+//! ```text
+//! FAULTRUN n=64 nb=8 grid=2x2 seed=42 ckpt_every=2
+//! RECOVERY attempt=1 kind=rank_failed restored_gen=4
+//! HPLOK residual=3.241587e-2
+//! FAULTLOG rank=1 events=send#31:death
+//! ```
+//!
+//! Every field is derived from the injected plan (never wall-clock), so the
+//! `cargo xtask faults --recovery` soak can assert byte-identical stdout
+//! across repeated runs.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+use hpl_ckpt::CkptStore;
+use hpl_comm::Universe;
+use hpl_faults::{FaultPlan, Injector};
+use rhpl_core::{run_hpl, CkptOpts, HplConfig};
+
+use crate::faults::{judge, write_faultlog, FaultOutcome};
+
+/// Total attempt budget: the initial run plus up to two restarts. Sticky
+/// faults that out-live the budget surface as the final attempt's error.
+pub const MAX_ATTEMPTS: usize = 3;
+
+/// Runs one configuration under `plan` with checkpoint/restart supervision
+/// and formats its protocol block. `every` is the checkpoint cadence in
+/// panel iterations; `dir` selects the on-disk store (wiped first, so the
+/// soak is reproducible) over the default in-memory one.
+pub fn run_one_supervised(
+    cfg: &HplConfig,
+    plan: FaultPlan,
+    threshold: f64,
+    every: usize,
+    dir: Option<&Path>,
+) -> FaultOutcome {
+    let nranks = cfg.ranks();
+    let store = match dir {
+        Some(d) => match CkptStore::disk_fresh(d, nranks) {
+            Ok(s) => s,
+            Err(e) => {
+                let line = format!("HPLBAD ckpt store: {e}");
+                return FaultOutcome {
+                    verdict: Err(line.clone()),
+                    block: format!("{line}\n"),
+                    recoveries: 0,
+                };
+            }
+        },
+        None => CkptStore::mem(nranks),
+    };
+    let mut run_cfg = cfg.clone();
+    run_cfg.ckpt = CkptOpts {
+        every,
+        store: Some(Arc::clone(&store)),
+        resume: true,
+    };
+
+    let injector = Injector::new(plan, nranks);
+    let mut block = String::new();
+    let _ = writeln!(
+        block,
+        "FAULTRUN n={} nb={} grid={}x{} seed={} ckpt_every={every}",
+        cfg.n, cfg.nb, cfg.p, cfg.q, cfg.seed
+    );
+
+    let mut repairs = vec![0u64; nranks];
+    let mut recoveries = 0u64;
+    let mut verdict: Result<f64, String> = Err("HPLBAD supervisor ran no attempts".to_string());
+    for attempt in 1..=MAX_ATTEMPTS {
+        let run = Universe::run_with_injector(nranks, Arc::clone(&injector), |comm| {
+            run_hpl(comm, &run_cfg)
+        });
+        for (acc, r) in repairs.iter_mut().zip(&run.abft_repairs) {
+            *acc += r;
+        }
+        verdict = judge(&run_cfg, &run, threshold);
+        match &verdict {
+            Ok(residual) => {
+                let _ = writeln!(block, "HPLOK residual={residual:.6e}");
+                break;
+            }
+            // A structured failure with attempts left: restore and go again.
+            Err(line) if line.starts_with("HPLERROR") && attempt < MAX_ATTEMPTS => {
+                recoveries += 1;
+                let kind = line
+                    .split_whitespace()
+                    .find_map(|t| t.strip_prefix("kind="))
+                    .unwrap_or("unknown");
+                let gen = store
+                    .latest_complete()
+                    .map_or_else(|| "-".to_string(), |g| g.to_string());
+                let _ = writeln!(
+                    block,
+                    "RECOVERY attempt={attempt} kind={kind} restored_gen={gen}"
+                );
+            }
+            // HPLBAD (wrong answer) is not recoverable-by-restart; the final
+            // attempt's error also lands here.
+            Err(line) => {
+                let _ = writeln!(block, "{line}");
+                break;
+            }
+        }
+    }
+    write_faultlog(&mut block, &injector, &repairs);
+    FaultOutcome {
+        verdict,
+        block,
+        recoveries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_faults::Site;
+
+    fn cfg_2x2() -> HplConfig {
+        let mut cfg = HplConfig::new(64, 8, 2, 2);
+        cfg.seed = 42;
+        cfg
+    }
+
+    /// Places a one-shot death at `frac` of the victim's send traffic, as
+    /// counted on a fault-free rehearsal of the same configuration.
+    fn death_plan(cfg: &HplConfig, victim: usize, frac: f64) -> FaultPlan {
+        let probe = Universe::run_with_faults(cfg.ranks(), FaultPlan::new(0), |comm| {
+            run_hpl(comm, cfg).expect("nonsingular").x
+        });
+        let sends = probe.injector.site_count(victim, Site::Send);
+        let nth = ((sends as f64 * frac) as u64).max(1);
+        FaultPlan::parse(1, &[format!("death@{victim}:send:{nth}")]).expect("spec")
+    }
+
+    #[test]
+    fn one_shot_death_is_survived() {
+        let cfg = cfg_2x2();
+        let out = run_one_supervised(&cfg, death_plan(&cfg, 1, 0.5), 16.0, 2, None);
+        assert!(out.ok(), "{}", out.block);
+        assert_eq!(out.recoveries, 1, "{}", out.block);
+        assert!(
+            out.block
+                .contains("RECOVERY attempt=1 kind=rank_failed restored_gen="),
+            "{}",
+            out.block
+        );
+        assert!(out.block.contains("HPLOK residual="), "{}", out.block);
+    }
+
+    #[test]
+    fn supervised_blocks_are_byte_identical() {
+        let cfg = cfg_2x2();
+        let a = run_one_supervised(&cfg, death_plan(&cfg, 1, 0.5), 16.0, 2, None);
+        let b = run_one_supervised(&cfg, death_plan(&cfg, 1, 0.5), 16.0, 2, None);
+        assert!(a.ok(), "{}", a.block);
+        assert_eq!(a.block, b.block);
+    }
+
+    #[test]
+    fn sticky_death_exhausts_the_attempt_budget() {
+        let cfg = cfg_2x2();
+        let plan = FaultPlan::parse(1, &["death@1:send:4:sticky".to_string()]).expect("spec");
+        let out = run_one_supervised(&cfg, plan, 16.0, 2, None);
+        assert!(!out.ok());
+        assert!(out.structured_error(), "{}", out.block);
+        assert_eq!(out.recoveries as usize, MAX_ATTEMPTS - 1, "{}", out.block);
+    }
+
+    #[test]
+    fn disk_store_survives_a_death_too() {
+        let dir = std::env::temp_dir().join(format!("rhpl-recover-test-{}", std::process::id()));
+        let cfg = cfg_2x2();
+        let out = run_one_supervised(&cfg, death_plan(&cfg, 0, 0.5), 16.0, 2, Some(&dir));
+        assert!(out.ok(), "{}", out.block);
+        assert_eq!(out.recoveries, 1, "{}", out.block);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -82,6 +82,8 @@ mod tests {
             gflops: 2.5,
             residual: 0.0051561,
             passed: true,
+            retries: 0,
+            recoveries: 0,
             traces: Vec::new(),
         }
     }

@@ -22,6 +22,12 @@ pub struct RunRecord {
     pub residual: f64,
     /// Whether the residual beat the threshold.
     pub passed: bool,
+    /// Communication retries (timed-out receive rounds that were re-polled),
+    /// summed over ranks.
+    pub retries: u64,
+    /// Restarts the recovery supervisor performed (0 outside supervised
+    /// fault runs).
+    pub recoveries: u64,
     /// Per-rank phase traces (empty unless `cfg.trace.enabled`).
     pub traces: Vec<hpl_trace::Trace>,
 }
@@ -122,6 +128,8 @@ pub fn run_one_traced(cfg: &HplConfig, depth: usize, threshold: f64) -> RunRecor
         gflops: results[0].gflops,
         residual: res.scaled,
         passed: res.scaled < threshold,
+        retries: results.iter().map(|r| r.retries).sum(),
+        recoveries: 0,
         traces,
     }
 }

@@ -11,9 +11,11 @@
 //!    the configured algorithm.
 //! 2. Each peer verifies its received panel against the checksum and acks
 //!    the root (`true`/`false`).
-//! 3. For every nack the root backs off (`attempt × 200 µs`, recorded as a
-//!    fault span) and retransmits the panel *directly* to the nacking peer —
-//!    bypassing relays, so a corrupting forwarder cannot re-poison it.
+//! 3. For every nack the root backs off (the fabric's
+//!    [`RetryPolicy`](crate::fabric::RetryPolicy) — bounded exponential with
+//!    deterministic jitter, recorded as a fault span) and retransmits the
+//!    panel *directly* to the nacking peer — bypassing relays, so a
+//!    corrupting forwarder cannot re-poison it.
 //! 4. After [`MAX_ATTEMPTS`] deliveries the root sends a give-up marker
 //!    (an empty payload) and both sides surface [`CommError::Corrupt`].
 //!
@@ -29,9 +31,6 @@ use crate::ring::{panel_bcast, BcastAlgo};
 /// Total panel deliveries the root attempts per peer (initial broadcast +
 /// retransmits) before giving up.
 pub const MAX_ATTEMPTS: u32 = 3;
-
-/// Base backoff before a retransmit round; scaled by the attempt number.
-const BACKOFF: std::time::Duration = std::time::Duration::from_micros(200);
 
 /// Order-independent checksum of a panel: wrapping sum of the `f64` bit
 /// patterns mixed with the length. Any single bit-flip changes the sum by
@@ -89,7 +88,7 @@ pub fn panel_bcast_checked(
             }
             {
                 let _sp = hpl_trace::span(hpl_trace::Phase::Fault);
-                std::thread::sleep(BACKOFF * attempt);
+                std::thread::sleep(comm.retry_policy().backoff(root as u64, attempt));
             }
             for &r in &nack {
                 comm.try_send_slice(r, Tag::ABFT_CTRL, buf)?;
@@ -123,6 +122,7 @@ pub fn panel_bcast_checked(
                 });
             }
             buf.copy_from_slice(&ctrl);
+            comm.note_abft_repair();
             attempt += 1;
         }
     }
@@ -138,7 +138,7 @@ mod tests {
         nranks: usize,
         specs: &[&str],
         algo: BcastAlgo,
-    ) -> Vec<Option<Result<Vec<f64>, CommError>>> {
+    ) -> crate::universe::FaultedRun<Result<Vec<f64>, CommError>> {
         let plan =
             FaultPlan::parse(1, &specs.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap();
         Universe::run_with_faults(nranks, plan, |comm| {
@@ -149,7 +149,6 @@ mod tests {
             };
             panel_bcast_checked(&comm, algo, 0, &mut buf).map(|_| buf)
         })
-        .results
     }
 
     #[test]
@@ -167,7 +166,7 @@ mod tests {
 
     #[test]
     fn clean_checked_bcast_matches_plain() {
-        let out = run_checked(3, &[], BcastAlgo::OneRing);
+        let out = run_checked(3, &[], BcastAlgo::OneRing).results;
         let expect: Vec<f64> = (0..64).map(|i| i as f64).collect();
         for r in out {
             assert_eq!(r.unwrap().unwrap(), expect);
@@ -178,18 +177,20 @@ mod tests {
     fn one_shot_bitflip_is_repaired_by_retransmit() {
         // Root (rank 0) sends: #0 = checksum, #1 = panel payload. Flip a bit
         // of the payload once; the nack/retransmit round must repair it.
-        let out = run_checked(2, &["bitflip:17@0:send:1"], BcastAlgo::OneRing);
+        let run = run_checked(2, &["bitflip:17@0:send:1"], BcastAlgo::OneRing);
         let expect: Vec<f64> = (0..64).map(|i| i as f64).collect();
-        for r in out {
+        for r in run.results {
             assert_eq!(r.unwrap().unwrap(), expect, "repaired after one round");
         }
+        // The repair is accounted to the rank that applied the retransmit.
+        assert_eq!(run.abft_repairs, vec![0, 1]);
     }
 
     #[test]
     fn sticky_corruption_fails_cleanly_after_bounded_retries() {
         // Every payload send from the root is corrupted (the checksum and
         // give-up messages are typed/empty and immune): retries exhaust.
-        let out = run_checked(2, &["bitflip:5@0:send:1:sticky"], BcastAlgo::OneRing);
+        let out = run_checked(2, &["bitflip:5@0:send:1:sticky"], BcastAlgo::OneRing).results;
         for r in out {
             match r.unwrap() {
                 Err(CommError::Corrupt {
@@ -208,10 +209,12 @@ mod tests {
         // rank 1's forward (its send #1; send #0 is its ack... the forward is
         // actually its first send): rank 2 nacks and the root's *direct*
         // retransmit repairs it even though rank 1 stays corrupting.
-        let out = run_checked(3, &["bitflip:9@1:send:0:sticky"], BcastAlgo::OneRing);
+        let run = run_checked(3, &["bitflip:9@1:send:0:sticky"], BcastAlgo::OneRing);
         let expect: Vec<f64> = (0..64).map(|i| i as f64).collect();
-        for r in out {
+        for r in run.results {
             assert_eq!(r.unwrap().unwrap(), expect);
         }
+        // Only the victim of the corrupting relay needed a repair.
+        assert_eq!(run.abft_repairs, vec![0, 0, 1]);
     }
 }

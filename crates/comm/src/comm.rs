@@ -168,6 +168,28 @@ impl Communicator {
         self.fabric.poison_info()
     }
 
+    /// The retry/backoff policy installed on this job's fabric (shared by
+    /// timed-out receive polls and ABFT retransmit rounds).
+    pub fn retry_policy(&self) -> crate::fabric::RetryPolicy {
+        self.fabric.retry_policy()
+    }
+
+    /// Records one ABFT retransmit applied on the calling world rank (used
+    /// by [`crate::abft::panel_bcast_checked`]; surfaced per rank in
+    /// [`crate::universe::FaultedRun`]).
+    pub fn note_abft_repair(&self) {
+        self.fabric.counters().note_abft_repair();
+    }
+
+    /// Timed-out receive polls retried with backoff on the calling world
+    /// rank so far, across this fabric and every child split from it.
+    /// Zero when called off a rank thread (no world rank registered).
+    pub fn comm_retries(&self) -> u64 {
+        hpl_faults::world_rank()
+            .map(|r| self.fabric.counters().retries(r))
+            .unwrap_or(0)
+    }
+
     /// Splits the communicator: ranks passing the same `color` form a new
     /// communicator, ordered by `(key, parent rank)`. Collective — every
     /// rank of the parent must call it.

@@ -15,7 +15,8 @@ use crate::fabric::Tag;
 #[derive(Clone, Debug, PartialEq)]
 pub enum CommError {
     /// No matching message arrived within the deadlock-detection window
-    /// (`HPL_COMM_TIMEOUT_SECS`). Carries the pending queue keys — the
+    /// (`--comm-timeout` / `RHPL_COMM_TIMEOUT`, or the legacy
+    /// `HPL_COMM_TIMEOUT_SECS`). Carries the pending queue keys — the
     /// `(src, tag)` pairs that *are* waiting in the mailbox — so a
     /// mismatched collective ordering is diagnosable from the error alone.
     Timeout {
@@ -80,7 +81,8 @@ impl fmt::Display for CommError {
                     f,
                     "rank {dst}: no message from rank {src} with tag {tag:?} after \
                      {waited_ms} ms — mismatched send/recv or collective ordering \
-                     (set HPL_COMM_TIMEOUT_SECS to lengthen); pending queues: "
+                     (set RHPL_COMM_TIMEOUT or legacy HPL_COMM_TIMEOUT_SECS to \
+                     lengthen); pending queues: "
                 )?;
                 if pending.is_empty() {
                     write!(f, "none")
@@ -133,6 +135,7 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("no message from rank 0"), "{s}");
         assert!(s.contains("HPL_COMM_TIMEOUT_SECS"), "{s}");
+        assert!(s.contains("RHPL_COMM_TIMEOUT"), "{s}");
         assert!(s.contains("src=2"), "{s}");
     }
 

@@ -108,18 +108,158 @@ impl Mailbox {
     }
 }
 
-/// How long a `recv` waits before declaring the run deadlocked. Reads
-/// `HPL_COMM_TIMEOUT_SECS` once (default 120 s).
+/// Process-wide timeout override installed by [`set_comm_timeout`].
+static TIMEOUT_OVERRIDE: std::sync::OnceLock<std::time::Duration> = std::sync::OnceLock::new();
+
+/// Installs a process-wide receive timeout (the CLI's `--comm-timeout`
+/// flag). Takes precedence over both environment variables; first call
+/// wins, later calls are ignored (returns whether this call installed it).
+pub fn set_comm_timeout(timeout: std::time::Duration) -> bool {
+    TIMEOUT_OVERRIDE.set(timeout.max(MIN_TIMEOUT)).is_ok()
+}
+
+/// Floor applied to every timeout source: sub-second timeouts would race
+/// the 100 ms poison-poll step.
+const MIN_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(1);
+
+/// How long a `recv` waits before declaring the run deadlocked. Resolution
+/// order: [`set_comm_timeout`] override, then `RHPL_COMM_TIMEOUT` (seconds),
+/// then the legacy `HPL_COMM_TIMEOUT_SECS`, then the 120 s default. The
+/// environment is read once per process.
 pub fn recv_timeout() -> std::time::Duration {
     use std::sync::OnceLock;
+    if let Some(t) = TIMEOUT_OVERRIDE.get() {
+        return *t;
+    }
     static T: OnceLock<std::time::Duration> = OnceLock::new();
     *T.get_or_init(|| {
-        let secs = std::env::var("HPL_COMM_TIMEOUT_SECS")
+        let secs = std::env::var("RHPL_COMM_TIMEOUT")
             .ok()
+            .or_else(|| std::env::var("HPL_COMM_TIMEOUT_SECS").ok())
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(120);
-        std::time::Duration::from_secs(secs.max(1))
+        std::time::Duration::from_secs(secs).max(MIN_TIMEOUT)
     })
+}
+
+/// Bounded-exponential-backoff schedule for blocked receives and
+/// drop-retransmit recovery: attempt `a` waits `base * 2^a` (capped), with
+/// a deterministic ±`jitter_frac` perturbation derived by hashing
+/// `(salt, attempt)` — no RNG state, so a replayed run backs off
+/// identically. Transient delay/drop faults are absorbed by these retry
+/// rounds; only when the cumulative wait crosses the receive timeout does
+/// the fabric escalate to [`CommError::Timeout`] (and poisoning escalates
+/// to [`CommError::RankFailed`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// First backoff step, microseconds.
+    pub base_us: u64,
+    /// Largest backoff step, microseconds (also bounded by the 100 ms
+    /// poison-poll step at the wait site).
+    pub cap_us: u64,
+    /// Jitter amplitude as a fraction of the step (0.0 disables).
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base_us: 1_000,
+            cap_us: WAIT_STEP.as_micros() as u64,
+            jitter_frac: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait for retry round `attempt` (0-based), jittered by `salt`.
+    pub fn backoff(&self, salt: u64, attempt: u32) -> std::time::Duration {
+        let exp = self
+            .base_us
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.cap_us.max(1));
+        // SplitMix64-style finalizer: deterministic jitter without RNG state.
+        let mut z = salt
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let factor = 1.0 + (unit * 2.0 - 1.0) * self.jitter_frac;
+        let us = ((exp as f64 * factor) as u64).clamp(1, self.cap_us.max(1));
+        std::time::Duration::from_micros(us)
+    }
+}
+
+/// Per-world-rank recovery observability counters, shared — like the poison
+/// token — across a job's split sub-fabrics so sub-communicator traffic
+/// lands in the same ledger. `retries` counts timed-out receive poll rounds
+/// (the backoff ladder absorbing delay/stall faults); `abft_repairs` counts
+/// checksummed-broadcast retransmissions applied (see `abft`). Indexed by
+/// the thread's world rank; threads outside the rank universe (pool
+/// workers) skip counting.
+#[derive(Debug)]
+pub struct RecoveryCounters {
+    retries: Vec<AtomicU64>,
+    abft_repairs: Vec<AtomicU64>,
+}
+
+impl RecoveryCounters {
+    fn new(size: usize) -> Self {
+        Self {
+            retries: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            abft_repairs: (0..size).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn bump(slots: &[AtomicU64]) {
+        if let Some(r) = hpl_faults::world_rank() {
+            if let Some(c) = slots.get(r) {
+                c.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records one timed-out receive poll round on the calling thread's rank.
+    pub fn note_retry(&self) {
+        Self::bump(&self.retries);
+    }
+
+    /// Records one applied ABFT retransmission on the calling thread's rank.
+    pub fn note_abft_repair(&self) {
+        Self::bump(&self.abft_repairs);
+    }
+
+    /// Retry count of `rank`.
+    pub fn retries(&self, rank: usize) -> u64 {
+        self.retries
+            .get(rank)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// ABFT repair count of `rank`.
+    pub fn abft_repairs(&self, rank: usize) -> u64 {
+        self.abft_repairs
+            .get(rank)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Per-rank retry counts.
+    pub fn retries_snapshot(&self) -> Vec<u64> {
+        self.retries
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Per-rank ABFT repair counts.
+    pub fn abft_repairs_snapshot(&self) -> Vec<u64> {
+        self.abft_repairs
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
 }
 
 /// Shared death token for one job. Split sub-fabrics clone the `Arc`, so a
@@ -186,6 +326,10 @@ pub struct Fabric {
     barrier_cv: Condvar,
     poison: Arc<Poison>,
     faults: Option<Arc<hpl_faults::Injector>>,
+    /// Per-fabric receive-timeout override; falls back to [`recv_timeout`].
+    timeout: Option<std::time::Duration>,
+    retry: RetryPolicy,
+    counters: Arc<RecoveryCounters>,
 }
 
 #[derive(Default)]
@@ -200,6 +344,18 @@ struct BarrierGen {
 /// (waits are normally satisfied by a notify, not the poll).
 const WAIT_STEP: std::time::Duration = std::time::Duration::from_millis(100);
 
+/// Robustness configuration for [`Fabric::new_with_opts`].
+#[derive(Default)]
+pub struct FabricOpts {
+    /// Armed fault injector, if any.
+    pub faults: Option<Arc<hpl_faults::Injector>>,
+    /// Receive timeout for this fabric; `None` uses the process-wide
+    /// [`recv_timeout`] resolution.
+    pub timeout: Option<std::time::Duration>,
+    /// Backoff schedule for blocked receives and drop-retransmit recovery.
+    pub retry: RetryPolicy,
+}
+
 impl Fabric {
     /// Creates a fabric connecting `size` ranks.
     pub fn new(size: usize) -> Arc<Self> {
@@ -208,19 +364,47 @@ impl Fabric {
 
     /// Creates a fabric with an armed fault injector (see [`hpl_faults`]).
     pub fn new_with_faults(size: usize, faults: Option<Arc<hpl_faults::Injector>>) -> Arc<Self> {
-        Self::build(size, faults, Arc::new(Poison::default()))
+        Self::new_with_opts(
+            size,
+            FabricOpts {
+                faults,
+                ..FabricOpts::default()
+            },
+        )
     }
 
-    /// A sub-fabric for `size` ranks sharing this fabric's poison token and
-    /// injector (used by `Communicator::split`).
+    /// Creates a fabric with explicit robustness options (timeout, retry
+    /// policy, fault injector).
+    pub fn new_with_opts(size: usize, opts: FabricOpts) -> Arc<Self> {
+        Self::build(
+            size,
+            opts,
+            Arc::new(Poison::default()),
+            Arc::new(RecoveryCounters::new(size)),
+        )
+    }
+
+    /// A sub-fabric for `size` ranks sharing this fabric's poison token,
+    /// injector, recovery counters and retry/timeout configuration (used by
+    /// `Communicator::split`).
     pub(crate) fn child(&self, size: usize) -> Arc<Self> {
-        Self::build(size, self.faults.clone(), Arc::clone(&self.poison))
+        Self::build(
+            size,
+            FabricOpts {
+                faults: self.faults.clone(),
+                timeout: self.timeout,
+                retry: self.retry,
+            },
+            Arc::clone(&self.poison),
+            Arc::clone(&self.counters),
+        )
     }
 
     fn build(
         size: usize,
-        faults: Option<Arc<hpl_faults::Injector>>,
+        opts: FabricOpts,
         poison: Arc<Poison>,
+        counters: Arc<RecoveryCounters>,
     ) -> Arc<Self> {
         Arc::new(Self {
             boxes: (0..size).map(|_| Mailbox::new()).collect(),
@@ -228,7 +412,10 @@ impl Fabric {
             barrier_state: Mutex::new(BarrierGen::default()),
             barrier_cv: Condvar::new(),
             poison,
-            faults,
+            faults: opts.faults,
+            timeout: opts.timeout,
+            retry: opts.retry,
+            counters,
         })
     }
 
@@ -240,6 +427,21 @@ impl Fabric {
     /// The armed fault injector, if any.
     pub fn fault_injector(&self) -> Option<Arc<hpl_faults::Injector>> {
         self.faults.clone()
+    }
+
+    /// This fabric's retry/backoff schedule.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// This job's recovery observability counters (shared with sub-fabrics).
+    pub fn counters(&self) -> &RecoveryCounters {
+        &self.counters
+    }
+
+    /// The receive timeout in force on this fabric.
+    pub fn effective_timeout(&self) -> std::time::Duration {
+        self.timeout.unwrap_or_else(recv_timeout)
     }
 
     /// Marks the job as having lost `rank` during `phase` and wakes every
@@ -302,10 +504,11 @@ impl Fabric {
             }
             hpl_faults::SendAction::DropRetransmit => {
                 // The message is "lost on the wire": count the wasted send,
-                // back off, then fall through to the retransmit delivery.
+                // back off one policy step, then fall through to the
+                // retransmit delivery.
                 self.stats[src].count(elems);
                 let _sp = hpl_trace::span(hpl_trace::Phase::Fault);
-                std::thread::sleep(std::time::Duration::from_micros(100));
+                std::thread::sleep(self.retry.backoff(src as u64, 0));
             }
             hpl_faults::SendAction::Corrupt { bit } => {
                 if let Some(v) = msg.downcast_mut::<Vec<f64>>() {
@@ -351,9 +554,12 @@ impl Fabric {
     ///
     /// Fails with [`CommError::RankFailed`] if the job is poisoned before a
     /// matching message shows up, and with [`CommError::Timeout`] — carrying
-    /// the mailbox's pending `(src, tag)` keys — after [`recv_timeout`]
-    /// (default 120 s, `HPL_COMM_TIMEOUT_SECS` to override). A matched
-    /// recv-site fault may stall first or kill the receiving rank.
+    /// the mailbox's pending `(src, tag)` keys — once the [`RetryPolicy`]
+    /// backoff ladder has cumulatively waited past the receive timeout
+    /// ([`recv_timeout`]: default 120 s, `--comm-timeout` /
+    /// `RHPL_COMM_TIMEOUT` / legacy `HPL_COMM_TIMEOUT_SECS` to override).
+    /// Each timed-out poll round is counted in [`RecoveryCounters`]. A
+    /// matched recv-site fault may stall first or kill the receiving rank.
     pub fn try_recv(&self, dst: usize, src: usize, tag: Tag) -> Result<Boxed, CommError> {
         assert!(
             src < self.boxes.len(),
@@ -376,6 +582,8 @@ impl Fabric {
         let mbox = &self.boxes[dst];
         let mut g = mbox.inner.lock();
         let mut waited = std::time::Duration::ZERO;
+        let mut attempt = 0u32;
+        let timeout = self.effective_timeout();
         loop {
             if let Some(q) = g.queues.get_mut(&(src, tag)) {
                 if let Some(m) = q.pop_front() {
@@ -388,13 +596,18 @@ impl Fabric {
             if let Some(e) = self.poison_err() {
                 return Err(e);
             }
+            // Exponential-backoff poll rounds, each capped at the 100 ms
+            // poison-poll step so a peer's death still unwinds us promptly.
             // A real MPI would hang here forever on a mismatched schedule;
             // we turn that into a diagnosable failure after a (generous,
             // overridable) timeout so broken collective orderings fail
             // loudly in tests instead of wedging the whole run.
-            if mbox.arrived.wait_for(&mut g, WAIT_STEP).timed_out() {
-                waited += WAIT_STEP;
-                if waited >= recv_timeout() {
+            let step = self.retry.backoff(dst as u64, attempt).min(WAIT_STEP);
+            if mbox.arrived.wait_for(&mut g, step).timed_out() {
+                waited += step;
+                attempt = attempt.saturating_add(1);
+                self.counters.note_retry();
+                if waited >= timeout {
                     return Err(CommError::Timeout {
                         dst,
                         src,
@@ -613,6 +826,73 @@ mod tests {
         f.poison(1, "fact");
         f.poison(0, "update");
         assert_eq!(f.poison_info(), Some((1, "fact".to_string())));
+    }
+
+    #[test]
+    fn retry_policy_is_deterministic_bounded_and_jittered() {
+        let p = RetryPolicy::default();
+        for attempt in 0..32 {
+            for salt in 0..8u64 {
+                let a = p.backoff(salt, attempt);
+                let b = p.backoff(salt, attempt);
+                assert_eq!(a, b, "same (salt, attempt) must give the same wait");
+                assert!(a.as_micros() >= 1);
+                assert!(
+                    a.as_micros() as u64 <= p.cap_us,
+                    "attempt {attempt} exceeded the cap: {a:?}"
+                );
+            }
+        }
+        // The ladder actually grows before the cap…
+        assert!(p.backoff(0, 4) > p.backoff(0, 0));
+        // …and jitter separates salts at the same attempt.
+        assert_ne!(p.backoff(1, 0), p.backoff(2, 0));
+    }
+
+    #[test]
+    fn per_fabric_timeout_overrides_the_global_default() {
+        let f = Fabric::new_with_opts(
+            2,
+            FabricOpts {
+                timeout: Some(std::time::Duration::from_secs(1)),
+                ..FabricOpts::default()
+            },
+        );
+        let t0 = std::time::Instant::now();
+        let e = f.try_recv(1, 0, Tag::user(9)).unwrap_err();
+        assert!(matches!(e, CommError::Timeout { .. }), "{e:?}");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(30),
+            "per-fabric timeout was ignored"
+        );
+    }
+
+    #[test]
+    fn timed_out_poll_rounds_are_counted() {
+        let f = Fabric::new_with_opts(
+            2,
+            FabricOpts {
+                timeout: Some(std::time::Duration::from_secs(1)),
+                ..FabricOpts::default()
+            },
+        );
+        hpl_faults::set_world_rank(1);
+        let _ = f.try_recv(1, 0, Tag::user(3)).unwrap_err();
+        assert!(
+            f.counters().retries(1) > 0,
+            "backoff rounds should be ledgered"
+        );
+        assert_eq!(f.counters().abft_repairs(1), 0);
+    }
+
+    #[test]
+    fn child_fabrics_share_the_counter_ledger() {
+        let f = Fabric::new(2);
+        let c = f.child(1);
+        hpl_faults::set_world_rank(0);
+        c.counters().note_abft_repair();
+        assert_eq!(f.counters().abft_repairs(0), 1);
+        assert_eq!(f.counters().abft_repairs_snapshot(), vec![1, 0]);
     }
 
     #[test]

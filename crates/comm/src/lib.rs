@@ -25,6 +25,14 @@
 //! arms a deterministic [`hpl_faults::FaultPlan`] on the job); and
 //! [`abft::panel_bcast_checked`] adds checksum-verified panel broadcasts
 //! with bounded retransmission against in-flight corruption.
+//!
+//! Recovery (PR 6): timed-out receive polls back off under a configurable
+//! [`RetryPolicy`] (bounded exponential with deterministic jitter) and are
+//! counted per rank in [`RecoveryCounters`]; the receive deadline is
+//! settable per process ([`set_comm_timeout`], `RHPL_COMM_TIMEOUT`) or per
+//! fabric ([`FabricOpts`]); and [`Universe::run_with_injector`] restarts a
+//! job on a fresh fabric while keeping the armed injector's fault cursors —
+//! the supervisor primitive behind checkpoint/restart.
 
 // Lint policy: indexed loops are used deliberately where they mirror the
 // reference BLAS/HPL loop structure, and several kernels take the full
@@ -48,7 +56,9 @@ pub use coll::{
 };
 pub use comm::Communicator;
 pub use error::CommError;
-pub use fabric::{recv_timeout, CommStats, Tag};
+pub use fabric::{
+    recv_timeout, set_comm_timeout, CommStats, FabricOpts, RecoveryCounters, RetryPolicy, Tag,
+};
 pub use grid::{Grid, GridOrder};
 pub use ring::{panel_bcast, BcastAlgo};
 pub use universe::{FaultedRun, Universe};

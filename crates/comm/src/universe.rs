@@ -25,6 +25,12 @@ pub struct FaultedRun<T> {
     pub injector: Arc<Injector>,
     /// `(rank, phase)` of the first recorded rank death, if any.
     pub poison: Option<(usize, String)>,
+    /// Per-world-rank count of timed-out receive polls that were retried
+    /// with backoff (see [`crate::fabric::RetryPolicy`]).
+    pub retries: Vec<u64>,
+    /// Per-world-rank count of ABFT retransmits applied after a checksum
+    /// mismatch (see [`crate::abft::panel_bcast_checked`]).
+    pub abft_repairs: Vec<u64>,
 }
 
 impl Universe {
@@ -62,12 +68,27 @@ impl Universe {
         F: Fn(Communicator) -> T + Sync,
     {
         let injector = Injector::new(plan, nranks);
+        Self::run_with_injector(nranks, injector, f)
+    }
+
+    /// Like [`Universe::run_with_faults`] but reusing an already-armed
+    /// injector, so consecutive jobs share one set of fault cursors. This is
+    /// the supervisor's restart primitive: a one-shot death that fired on
+    /// attempt 1 does not fire again on attempt 2 (the replacement rank is
+    /// healthy), while `sticky` faults keep firing on every attempt.
+    pub fn run_with_injector<T, F>(nranks: usize, injector: Arc<Injector>, f: F) -> FaultedRun<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Sync,
+    {
         let fabric = Fabric::new_with_faults(nranks, Some(Arc::clone(&injector)));
         let (results, _panics) = Self::run_on(&fabric, f);
         FaultedRun {
             results,
             injector,
             poison: fabric.poison_info(),
+            retries: fabric.counters().retries_snapshot(),
+            abft_repairs: fabric.counters().abft_repairs_snapshot(),
         }
     }
 

@@ -87,6 +87,22 @@ impl Default for Schedule {
     }
 }
 
+/// Checkpoint/restart controls. Disabled by default: `every == 0` takes no
+/// snapshots and adds one branch per iteration to the hot path (the bench
+/// gate pins that cost at zero).
+#[derive(Clone, Debug, Default)]
+pub struct CkptOpts {
+    /// Deposit a coordinated snapshot every `every` panel iterations
+    /// (`0` disables checkpointing entirely).
+    pub every: usize,
+    /// Where snapshots go (shared by all ranks of the job); required when
+    /// `every > 0`.
+    pub store: Option<std::sync::Arc<hpl_ckpt::CkptStore>>,
+    /// Before iterating, restore from the store's latest complete
+    /// generation (no-op when the store is empty — a cold start).
+    pub resume: bool,
+}
+
 /// Full benchmark configuration.
 #[derive(Clone, Debug)]
 pub struct HplConfig {
@@ -116,6 +132,8 @@ pub struct HplConfig {
     pub order: GridOrder,
     /// Phase tracing (disabled by default; near-zero overhead when off).
     pub trace: TraceOpts,
+    /// Checkpoint/restart (disabled by default; zero-cost when off).
+    pub ckpt: CkptOpts,
 }
 
 impl HplConfig {
@@ -134,6 +152,7 @@ impl HplConfig {
             swap: RowSwapAlgo::default(),
             order: GridOrder::ColumnMajor,
             trace: TraceOpts::default(),
+            ckpt: CkptOpts::default(),
         }
     }
 
@@ -161,6 +180,32 @@ impl HplConfig {
                 (0.0..=1.0).contains(&frac),
                 "split fraction must lie in [0, 1], got {frac}"
             );
+        }
+        if self.ckpt.every > 0 {
+            assert!(
+                self.ckpt.store.is_some(),
+                "checkpointing enabled (every={}) but no store configured",
+                self.ckpt.every
+            );
+        }
+    }
+
+    /// The fingerprint a checkpoint must match to be restorable into this
+    /// configuration (see [`hpl_ckpt::Snapshot::validate_id`]).
+    pub fn ckpt_id(&self) -> hpl_ckpt::ConfigId {
+        let (schedule, frac_bits) = match self.schedule {
+            Schedule::Simple => (0, 0),
+            Schedule::LookAhead => (1, 0),
+            Schedule::SplitUpdate { frac } => (2, frac.to_bits()),
+        };
+        hpl_ckpt::ConfigId {
+            n: self.n as u64,
+            nb: self.nb as u64,
+            p: self.p as u64,
+            q: self.q as u64,
+            seed: self.seed,
+            schedule,
+            frac_bits,
         }
     }
 

@@ -7,9 +7,11 @@
 //! a different order *between* independent column groups, so their results
 //! are bitwise identical; the integration tests rely on this.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use hpl_blas::mat::Matrix;
+use hpl_ckpt::CkptStore;
 use hpl_comm::{Communicator, Grid};
 use hpl_threads::Pool;
 
@@ -63,6 +65,12 @@ pub struct HplResult {
     /// Name of the DGEMM microkernel the run resolved to
     /// (`"scalar"` / `"simd"`; see `hpl_blas::kernels`).
     pub kernel: &'static str,
+    /// Iteration this run restored to from a checkpoint (`None` for a
+    /// from-scratch run).
+    pub resumed_from: Option<usize>,
+    /// Timed-out receive polls this rank retried with backoff (see
+    /// `hpl_comm::RetryPolicy`).
+    pub retries: u64,
 }
 
 /// One running-throughput sample, the metric rocHPL prints during
@@ -117,12 +125,37 @@ struct IterPanel {
     plan: SwapPlan,
 }
 
+/// Driver-side checkpoint machinery (inert when no store is configured).
+struct CkptState {
+    every: usize,
+    store: Option<Arc<CkptStore>>,
+    /// This rank's world rank (the snapshot index in the store).
+    rank: usize,
+    id: hpl_ckpt::ConfigId,
+    /// Global pivot row per factored global column, grown panel by panel.
+    pivot_log: Vec<u64>,
+    /// Pre-factorization copy of one iteration's local panel columns as
+    /// `(iter, lj0, jb, values)`. Under look-ahead, panel `k` is factored
+    /// during iteration `k-1`, so the snapshot taken at the top of
+    /// iteration `k` overlays this stash to recover the pre-factorization
+    /// state a restore must hand back to `fact_and_bcast`.
+    prefact: Option<(usize, usize, usize, Vec<f64>)>,
+}
+
 struct Driver<'a> {
     grid: &'a Grid,
     cfg: &'a HplConfig,
     pool: Pool,
     a: LocalMatrix,
     timings: Vec<IterTiming>,
+    ckpt: CkptState,
+}
+
+/// Maps a checkpoint-layer failure into the pipeline taxonomy.
+fn ckpt_err(e: hpl_ckpt::CkptError) -> HplError {
+    HplError::Ckpt {
+        what: e.to_string(),
+    }
 }
 
 /// Runs the full HPL benchmark on this rank with the seeded random system.
@@ -159,16 +192,32 @@ pub fn run_hpl_with(
         pool,
         a,
         timings: Vec::new(),
+        ckpt: CkptState {
+            every: cfg.ckpt.every,
+            store: cfg.ckpt.store.clone(),
+            rank: grid.world().rank(),
+            id: cfg.ckpt_id(),
+            pivot_log: Vec::new(),
+            prefact: None,
+        },
     };
 
     // The tracer lives in thread-local storage of this rank's thread; no
     // signature in the pipeline changes whether tracing is on or off.
     hpl_trace::install(cfg.trace);
+    let resumed_from = match d.restore_if_due() {
+        Ok(r) => r,
+        Err(e) => {
+            hpl_trace::take();
+            return Err(e);
+        }
+    };
+    let start = resumed_from.unwrap_or(0);
     let t0 = Instant::now();
     let run = match cfg.schedule {
-        Schedule::Simple => d.run_simple(),
-        Schedule::LookAhead => d.run_lookahead(0.0),
-        Schedule::SplitUpdate { frac } => d.run_lookahead(frac),
+        Schedule::Simple => d.run_simple(start),
+        Schedule::LookAhead => d.run_lookahead(0.0, start),
+        Schedule::SplitUpdate { frac } => d.run_lookahead(frac, start),
     };
     let x = match run.and_then(|()| back_substitute(&d.a, &grid, cfg.nb)) {
         Ok(x) => x,
@@ -187,6 +236,8 @@ pub fn run_hpl_with(
         nb: cfg.nb,
         trace: hpl_trace::take(),
         kernel: hpl_blas::kernels::active().name(),
+        resumed_from,
+        retries: grid.world().comm_retries(),
     })
 }
 
@@ -212,6 +263,20 @@ impl Driver<'_> {
     /// and accumulates phase timings into `t`.
     fn fact_and_bcast(&mut self, it: usize, t: &mut IterTiming) -> Result<IterPanel, HplError> {
         let geom = self.geom(it);
+        if self.ckpt.store.is_some() && hpl_ckpt::due(self.ckpt.every, it) && geom.in_panel_col {
+            // Iteration `it` is a checkpoint boundary: stash the panel
+            // columns before factoring destroys their pre-fact values (the
+            // snapshot at the top of iteration `it` needs them; see
+            // `CkptState::prefact`).
+            let lda = self.a.lda();
+            let mloc = self.a.mloc;
+            let mut cols = Vec::with_capacity(mloc * geom.jb);
+            for c in 0..geom.jb {
+                let off = (geom.lj0 + c) * lda;
+                cols.extend_from_slice(&self.a.as_slice()[off..off + mloc]);
+            }
+            self.ckpt.prefact = Some((it, geom.lj0, geom.jb, cols));
+        }
         let packed = if geom.in_panel_col {
             let tx = Instant::now();
             let mut host = panel_to_host(&self.a, &geom);
@@ -259,7 +324,112 @@ impl Driver<'_> {
         let panel = lbcast(self.grid.row(), self.cfg.bcast, &geom, packed)?;
         t.comm += tb.elapsed().as_secs_f64();
         let plan = SwapPlan::build(geom.k0, geom.jb, &panel.ipiv);
+        if self.ckpt.store.is_some() {
+            // Every rank holds the broadcast pivots; extend the history so a
+            // snapshot can carry it (idempotent on a resumed re-factor).
+            let log = &mut self.ckpt.pivot_log;
+            if log.len() < geom.k0 + geom.jb {
+                log.resize(geom.k0 + geom.jb, 0);
+            }
+            for (j, &piv) in panel.ipiv.iter().enumerate() {
+                log[geom.k0 + j] = piv as u64;
+            }
+        }
         Ok(IterPanel { geom, panel, plan })
+    }
+
+    /// This rank's injection-site cursors (send, recv, region), recorded in
+    /// snapshots as recovery diagnostics: they say how far through the fault
+    /// plan the rank was at the boundary. In-process recovery keeps the live
+    /// armed injector, which stays authoritative.
+    fn fault_cursors(&self) -> Vec<u64> {
+        use hpl_faults::Site;
+        match self.grid.world().fault_injector() {
+            Some(inj) => [Site::Send, Site::Recv, Site::Region]
+                .iter()
+                .map(|&s| inj.site_count(self.ckpt.rank, s))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Deposits this rank's snapshot when iteration `it` is a checkpoint
+    /// boundary. Purely local — no messages — so a boundary costs one local
+    /// matrix copy plus the encode; the store's completion marker provides
+    /// the coordination (a generation is restorable only once every rank
+    /// has deposited).
+    fn maybe_checkpoint(&mut self, it: usize) -> Result<(), HplError> {
+        if !hpl_ckpt::due(self.ckpt.every, it) {
+            return Ok(());
+        }
+        let Some(store) = self.ckpt.store.clone() else {
+            return Ok(());
+        };
+        let _sp = hpl_trace::span(hpl_trace::Phase::Ckpt);
+        let mloc = self.a.mloc;
+        let lda = self.a.lda();
+        let mut data = self.a.as_slice().to_vec();
+        if let Some((siter, lj0, jb, cols)) = &self.ckpt.prefact {
+            if *siter == it {
+                // Under look-ahead this panel was already factored (during
+                // iteration `it - 1`); snapshot its pre-fact values.
+                for c in 0..*jb {
+                    let off = (lj0 + c) * lda;
+                    data[off..off + mloc].copy_from_slice(&cols[c * mloc..(c + 1) * mloc]);
+                }
+            }
+        }
+        let factored = (it * self.cfg.nb).min(self.cfg.n);
+        let snap = hpl_ckpt::Snapshot {
+            id: self.ckpt.id,
+            rank: self.ckpt.rank as u64,
+            next_iter: it as u64,
+            mloc: mloc as u64,
+            nloc: self.a.nloc as u64,
+            data,
+            pivots: self.ckpt.pivot_log.get(..factored).unwrap_or(&[]).to_vec(),
+            cursors: self.fault_cursors(),
+        };
+        store
+            .deposit(it as u64, self.ckpt.rank, hpl_ckpt::encode(&snap))
+            .map_err(ckpt_err)?;
+        Ok(())
+    }
+
+    /// Restores this rank from the store's latest complete generation when
+    /// the configuration asks for a resume. Returns the iteration to start
+    /// from (`None`: cold start). The `Restore` span it records is excluded
+    /// from `hpl_trace::report::seq_hash_from`, so a resumed run's hash can
+    /// be compared against an uninterrupted one.
+    fn restore_if_due(&mut self) -> Result<Option<usize>, HplError> {
+        if !self.cfg.ckpt.resume {
+            return Ok(None);
+        }
+        let Some(store) = self.ckpt.store.clone() else {
+            return Ok(None);
+        };
+        let Some(gen) = store.latest_complete() else {
+            return Ok(None);
+        };
+        let _sp = hpl_trace::span(hpl_trace::Phase::Restore);
+        let bytes = store.load(gen, self.ckpt.rank).map_err(ckpt_err)?;
+        let snap = hpl_ckpt::decode(&bytes).map_err(ckpt_err)?;
+        snap.validate_id(&self.ckpt.id).map_err(ckpt_err)?;
+        if snap.rank != self.ckpt.rank as u64 || snap.data.len() != self.a.as_slice().len() {
+            return Err(HplError::Ckpt {
+                what: format!(
+                    "snapshot shape mismatch: rank {} with {} local elements, expected rank {} \
+                     with {}",
+                    snap.rank,
+                    snap.data.len(),
+                    self.ckpt.rank,
+                    self.a.as_slice().len()
+                ),
+            });
+        }
+        self.a.as_mut_slice().copy_from_slice(&snap.data);
+        self.ckpt.pivot_log = snap.pivots;
+        Ok(Some(snap.next_iter as usize))
     }
 
     /// Row swap + full update over `range` using iteration panel `ip`.
@@ -314,14 +484,16 @@ impl Driver<'_> {
     }
 
     /// Reference schedule: factor, broadcast, swap, update, per iteration.
-    fn run_simple(&mut self) -> Result<(), HplError> {
+    /// `start` is 0 on a cold start, the restored boundary on a resume.
+    fn run_simple(&mut self, start: usize) -> Result<(), HplError> {
         let iters = self.cfg.iterations();
-        for it in 0..iters {
+        for it in start..iters {
             let mut t = IterTiming {
                 iter: it,
                 ..Default::default()
             };
             hpl_trace::set_iter(it);
+            self.maybe_checkpoint(it)?;
             let ti = Instant::now();
             let ip = self.fact_and_bcast(it, &mut t)?;
             let range = self.trailing(it);
@@ -336,7 +508,11 @@ impl Driver<'_> {
     /// Look-ahead pipeline, optionally with the split update. `frac` is the
     /// initial share of local trailing columns in the right section
     /// (`0.0` disables the split and gives the plain Fig 3 pipeline).
-    fn run_lookahead(&mut self, frac: f64) -> Result<(), HplError> {
+    /// `start` is 0 on a cold start, the restored boundary on a resume —
+    /// the prologue then re-factors panel `start` from its snapshotted
+    /// pre-fact state, which is bitwise the factorization the interrupted
+    /// run performed.
+    fn run_lookahead(&mut self, frac: f64, start: usize) -> Result<(), HplError> {
         let iters = self.cfg.iterations();
         // Fixed split point: local column where the right section starts,
         // aligned down to a local block boundary so the shrinking left
@@ -353,17 +529,18 @@ impl Driver<'_> {
             self.a.nloc
         };
 
-        // Prologue: factor+broadcast panel 0; prefetch RS2 for iteration 0.
+        // Prologue: factor+broadcast the first panel; prefetch its RS2.
         let mut t = IterTiming {
-            iter: 0,
+            iter: start,
             ..Default::default()
         };
-        hpl_trace::set_iter(0);
-        let mut cur = self.fact_and_bcast(0, &mut t)?;
+        hpl_trace::set_iter(start);
+        let mut cur = self.fact_and_bcast(start, &mut t)?;
         let mut pending: Option<RsData> = self.prefetch_rs2(&cur, split_lj, &mut t)?;
 
-        for it in 0..iters {
+        for it in start..iters {
             hpl_trace::set_iter(it);
+            self.maybe_checkpoint(it)?;
             let ti = Instant::now();
             let tstart = self.trailing(it).start;
             t.diag_owner = cur.geom.in_curr_row && cur.geom.in_panel_col;

@@ -56,6 +56,12 @@ pub enum HplError {
         /// Actual element count.
         got: usize,
     },
+    /// Checkpoint/restore failure: a snapshot could not be deposited,
+    /// loaded, decoded, or did not match the running configuration.
+    Ckpt {
+        /// What went wrong (the underlying `hpl_ckpt::CkptError` rendered).
+        what: String,
+    },
 }
 
 impl HplError {
@@ -68,6 +74,7 @@ impl HplError {
             HplError::CommTimeout { .. } => "comm_timeout",
             HplError::CorruptPayload { .. } => "corrupt_payload",
             HplError::Protocol { .. } => "protocol",
+            HplError::Ckpt { .. } => "ckpt",
         }
     }
 }
@@ -103,6 +110,7 @@ impl std::fmt::Display for HplError {
                 expected,
                 got,
             } => write!(f, "{what}: expected {expected} elements, got {got}"),
+            HplError::Ckpt { what } => write!(f, "checkpoint failure: {what}"),
         }
     }
 }

@@ -51,7 +51,7 @@ pub mod swap;
 pub mod update;
 pub mod verify;
 
-pub use config::{FactOpts, FactVariant, HplConfig, Schedule};
+pub use config::{CkptOpts, FactOpts, FactVariant, HplConfig, Schedule};
 pub use driver::{run_hpl, run_hpl_with, HplResult, IterTiming, ProgressSample};
 pub use error::HplError;
 pub use fact::{panel_factor, FactInput, FactOut};

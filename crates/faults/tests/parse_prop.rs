@@ -1,0 +1,161 @@
+//! Fuzz-style property coverage for the fault-plan spec grammar
+//! (`kind[:param]@rank[:site][:nth][:sticky]`): well-formed specs must
+//! round-trip through [`FaultPlan::parse`] field for field, and arbitrary
+//! grammar-adjacent strings — wrong kinds, stray separators, overflowing
+//! numbers, missing fields — must come back as `Err`, never a panic.
+
+use hpl_faults::{FaultKind, FaultPlan, FaultSpec, Site};
+use proptest::prelude::*;
+
+/// Fragments the grammar is built from, plus near-miss mutations of each:
+/// misspelled kinds, uppercase variants, stray separators, overflow-sized
+/// numbers, and empty pieces.
+fn arb_fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("delay"),
+        Just("drop"),
+        Just("bitflip"),
+        Just("stall"),
+        Just("death"),
+        Just("slowworker"),
+        Just("send"),
+        Just("recv"),
+        Just("region"),
+        Just("sticky"),
+        Just("DEATH"),
+        Just("dealy"),
+        Just("bit flip"),
+        Just("sticky2"),
+        Just(""),
+        Just("0"),
+        Just("1"),
+        Just("17"),
+        Just("-3"),
+        Just("3.5"),
+        Just("1e9"),
+        Just("99999999999999999999999999"),
+        Just("@"),
+        Just(":"),
+        Just("@@"),
+        Just("::"),
+    ]
+    .prop_map(String::from)
+}
+
+/// A random concatenation of fragments and separators: sometimes a valid
+/// spec, usually a near-miss.
+fn arb_spec_string() -> impl Strategy<Value = String> {
+    collection::vec((arb_fragment(), 0u8..=2), 1..=6).prop_map(|parts| {
+        let mut s = String::new();
+        for (frag, sep) in parts {
+            s.push_str(&frag);
+            match sep {
+                0 => s.push(':'),
+                1 => s.push('@'),
+                _ => {}
+            }
+        }
+        s
+    })
+}
+
+/// A structurally valid spec, kept alongside its expected parse. The site
+/// is drawn from the kind's `valid_at` set — the grammar rejects e.g. a
+/// bit-flip at a receive, where no payload exists to corrupt.
+fn arb_valid_spec() -> impl Strategy<Value = FaultSpec> {
+    (
+        0u64..=5,
+        0u64..=1_000_000,
+        0usize..=15,
+        0u64..=1,
+        0u64..=64,
+        0u64..=1,
+    )
+        .prop_map(|(kind_ix, param, rank, site_pick, nth, sticky)| {
+            let kind = match kind_ix {
+                0 => FaultKind::Delay { micros: param },
+                1 => FaultKind::Drop,
+                2 => FaultKind::BitFlip {
+                    bit: (param % 64) as u32,
+                },
+                3 => FaultKind::Stall { millis: param },
+                4 => FaultKind::Death,
+                _ => FaultKind::SlowWorker { millis: param },
+            };
+            // Death is the only kind valid at two sites; alternate on it.
+            let site = if kind == FaultKind::Death && site_pick == 1 {
+                Site::Recv
+            } else {
+                kind.default_site()
+            };
+            FaultSpec {
+                kind,
+                rank,
+                site,
+                nth,
+                sticky: sticky == 1,
+            }
+        })
+}
+
+/// Renders a spec in the grammar (the inverse of `parse`).
+fn render(spec: &FaultSpec) -> String {
+    let kind = match spec.kind {
+        FaultKind::Delay { micros } => format!("delay:{micros}"),
+        FaultKind::Drop => "drop".to_string(),
+        FaultKind::BitFlip { bit } => format!("bitflip:{bit}"),
+        FaultKind::Stall { millis } => format!("stall:{millis}"),
+        FaultKind::Death => "death".to_string(),
+        FaultKind::SlowWorker { millis } => format!("slowworker:{millis}"),
+    };
+    let site = match spec.site {
+        Site::Send => "send",
+        Site::Recv => "recv",
+        Site::Region => "region",
+    };
+    let sticky = if spec.sticky { ":sticky" } else { "" };
+    format!("{kind}@{}:{site}:{}{sticky}", spec.rank, spec.nth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_spec_strings_never_panic(s in arb_spec_string()) {
+        // The property is the absence of a panic; both outcomes are legal.
+        match FaultPlan::parse(7, std::slice::from_ref(&s)) {
+            Ok(plan) => prop_assert_eq!(plan.specs.len(), 1),
+            Err(msg) => prop_assert!(!msg.is_empty(), "empty diagnostic for `{}`", s),
+        }
+    }
+
+    #[test]
+    fn malformed_specs_name_the_offender(s in arb_spec_string()) {
+        if let Err(msg) = FaultPlan::parse(7, std::slice::from_ref(&s)) {
+            prop_assert!(
+                msg.contains(&s),
+                "diagnostic `{}` does not quote the spec `{}`",
+                msg, s
+            );
+        }
+    }
+
+    #[test]
+    fn valid_specs_round_trip(spec in arb_valid_spec(), seed in 0u64..=1000) {
+        let s = render(&spec);
+        let parsed = FaultPlan::parse(seed, std::slice::from_ref(&s));
+        prop_assert!(parsed.is_ok(), "valid spec `{}` rejected: {:?}", s, parsed.err());
+        let plan = parsed.expect("checked above");
+        prop_assert_eq!(plan.specs.len(), 1);
+        prop_assert_eq!(plan.specs[0], spec);
+    }
+
+    #[test]
+    fn multi_spec_plans_parse_positionally(a in arb_valid_spec(), b in arb_valid_spec()) {
+        let specs = vec![render(&a), render(&b)];
+        let plan = FaultPlan::parse(0, &specs).expect("two valid specs");
+        prop_assert_eq!(plan.specs.len(), 2);
+        prop_assert_eq!(plan.specs[0], a);
+        prop_assert_eq!(plan.specs[1], b);
+    }
+}

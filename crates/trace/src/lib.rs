@@ -67,13 +67,19 @@ pub enum Phase {
     /// An injected fault firing (hpl-faults): the sleep/backoff the
     /// injection adds, recorded nested inside whatever phase it hit.
     Fault,
+    /// Encoding and depositing a checkpoint snapshot (hpl-ckpt).
+    Ckpt,
+    /// Restoring factorization state from a checkpoint at the start of a
+    /// resumed run.
+    Restore,
 }
 
 impl Phase {
-    /// Every phase, in report order. `Fault` is appended last so the
-    /// discriminants of the original seven — and therefore the
-    /// [`report::seq_hash`] of any fault-free run — are unchanged.
-    pub const ALL: [Phase; 8] = [
+    /// Every phase, in report order. `Fault`, `Ckpt` and `Restore` are
+    /// appended after the original seven so those discriminants — and
+    /// therefore the [`report::seq_hash`] of any fault-free,
+    /// checkpoint-free run — are unchanged.
+    pub const ALL: [Phase; 10] = [
         Phase::Fact,
         Phase::FactComm,
         Phase::Bcast,
@@ -82,6 +88,8 @@ impl Phase {
         Phase::Update,
         Phase::Transfer,
         Phase::Fault,
+        Phase::Ckpt,
+        Phase::Restore,
     ];
 
     /// Stable snake-case name (the JSON schema key).
@@ -95,6 +103,8 @@ impl Phase {
             Phase::Update => "update",
             Phase::Transfer => "transfer",
             Phase::Fault => "fault",
+            Phase::Ckpt => "ckpt",
+            Phase::Restore => "restore",
         }
     }
 

@@ -24,6 +24,10 @@ pub struct PhaseTotals {
     pub transfer_ns: u64,
     /// Injected-fault sleeps/backoffs (hpl-faults; zero in fault-free runs).
     pub fault_ns: u64,
+    /// Checkpoint encode + deposit time (hpl-ckpt; zero when disabled).
+    pub ckpt_ns: u64,
+    /// Checkpoint restore time at the start of a resumed run.
+    pub restore_ns: u64,
     /// Payload bytes attributed to the spans.
     pub bytes: u64,
 }
@@ -39,6 +43,8 @@ impl PhaseTotals {
             Phase::Update => self.update_ns += s.dur_ns,
             Phase::Transfer => self.transfer_ns += s.dur_ns,
             Phase::Fault => self.fault_ns += s.dur_ns,
+            Phase::Ckpt => self.ckpt_ns += s.dur_ns,
+            Phase::Restore => self.restore_ns += s.dur_ns,
         }
         self.bytes += s.bytes;
     }
@@ -52,6 +58,8 @@ impl PhaseTotals {
         self.update_ns = self.update_ns.max(o.update_ns);
         self.transfer_ns = self.transfer_ns.max(o.transfer_ns);
         self.fault_ns = self.fault_ns.max(o.fault_ns);
+        self.ckpt_ns = self.ckpt_ns.max(o.ckpt_ns);
+        self.restore_ns = self.restore_ns.max(o.restore_ns);
         self.bytes = self.bytes.max(o.bytes);
     }
 
@@ -66,6 +74,8 @@ impl PhaseTotals {
     /// span), and `fact_ns` already contains it. `fault_ns` is excluded for
     /// the same reason: injected sleeps happen inside whatever phase span
     /// was open when the fault fired, so that phase already carries them.
+    /// `ckpt` and `restore` *are* added: they run at iteration boundaries,
+    /// outside every other phase span.
     pub fn total_ns(&self) -> u64 {
         self.fact_ns
             + self.bcast_ns
@@ -73,6 +83,8 @@ impl PhaseTotals {
             + self.scatter_ns
             + self.update_ns
             + self.transfer_ns
+            + self.ckpt_ns
+            + self.restore_ns
     }
 }
 
@@ -156,6 +168,20 @@ pub fn overlap_efficiency(traces: &[Trace]) -> f64 {
 /// Same seed + config ⇒ identical hash on any machine; the regression gate
 /// pins it in `bench/baseline.json` as the trace-determinism check.
 pub fn seq_hash(traces: &[Trace]) -> u64 {
+    seq_hash_from(traces, 0)
+}
+
+/// [`seq_hash`] restricted to spans of iterations `>= min_iter`, excluding
+/// [`Phase::Restore`] spans (which exist only in resumed runs).
+///
+/// This is the recovery-determinism check: a run restored from the
+/// checkpoint at iteration `k` must hash identically to an uninterrupted
+/// run from the recovery point onward. Pass `min_iter = k` for the simple
+/// schedule; pass `k + 1` for look-ahead schedules, whose resume prologue
+/// re-records panel `k`'s factorization at iteration `k` (the uninterrupted
+/// run recorded it one iteration earlier, inside iteration `k - 1`'s hidden
+/// slot).
+pub fn seq_hash_from(traces: &[Trace], min_iter: usize) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     let mut eat = |v: u64| {
         for b in v.to_le_bytes() {
@@ -166,6 +192,9 @@ pub fn seq_hash(traces: &[Trace]) -> u64 {
     for (rank, trace) in traces.iter().enumerate() {
         eat(rank as u64);
         for s in &trace.spans {
+            if (s.iter as usize) < min_iter || s.phase == Phase::Restore {
+                continue;
+            }
             eat(u64::from(s.iter));
             eat(s.phase as u64);
             eat(s.bytes);
@@ -291,6 +320,46 @@ mod tests {
             dropped: 0,
         };
         assert_ne!(seq_hash(&[a]), seq_hash(&[d]));
+    }
+
+    #[test]
+    fn seq_hash_from_skips_early_iterations_and_restore_spans() {
+        // An "uninterrupted" trace vs. one resumed at iteration 2: the
+        // resumed trace diverges before iteration 2 (different early spans,
+        // plus a Restore span) but matches from iteration 2 onward.
+        let uninterrupted = Trace {
+            spans: vec![
+                span(0, Phase::Fact, 10, 1, false),
+                span(1, Phase::Update, 10, 2, false),
+                span(2, Phase::Ckpt, 10, 0, false),
+                span(2, Phase::Fact, 10, 3, false),
+                span(3, Phase::Update, 10, 4, true),
+            ],
+            dropped: 0,
+        };
+        let resumed = Trace {
+            spans: vec![
+                span(1, Phase::Restore, 10, 0, false),
+                span(2, Phase::Restore, 10, 0, false),
+                span(2, Phase::Ckpt, 10, 0, false),
+                span(2, Phase::Fact, 10, 3, false),
+                span(3, Phase::Update, 10, 4, true),
+            ],
+            dropped: 0,
+        };
+        assert_ne!(
+            seq_hash(std::slice::from_ref(&uninterrupted)),
+            seq_hash(std::slice::from_ref(&resumed))
+        );
+        assert_eq!(
+            seq_hash_from(std::slice::from_ref(&uninterrupted), 2),
+            seq_hash_from(std::slice::from_ref(&resumed), 2)
+        );
+        // Full-range seq_hash_from(_, 0) is the plain seq_hash.
+        assert_eq!(
+            seq_hash(std::slice::from_ref(&uninterrupted)),
+            seq_hash_from(&[uninterrupted], 0)
+        );
     }
 
     #[test]

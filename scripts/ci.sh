@@ -42,4 +42,7 @@ cargo xtask faults
 echo "== [faults] cargo xtask faults --self-test"
 cargo xtask faults --self-test
 
+echo "== [recovery] cargo xtask faults --recovery"
+cargo xtask faults --recovery
+
 echo "ci.sh: all gates green"

@@ -13,8 +13,11 @@
 //!   higher than `*_max_factor` times baseline (with an absolute per-phase
 //!   floor so microsecond phases don't trip on scheduler noise);
 //! - **overhead**: the disabled-tracing cost fraction stays under
-//!   `max_disabled_frac`, and the disabled fault-hook fraction under
-//!   `max_faults_disabled_frac` (the "< 1% when off" guarantees).
+//!   `max_disabled_frac`, the disabled fault-hook fraction under
+//!   `max_faults_disabled_frac` (the "< 1% when off" guarantees), the
+//!   disabled checkpoint cadence check under `max_ckpt_guard_ns_per_call`,
+//!   and the *enabled* checkpointing cost fraction under
+//!   `max_ckpt_enabled_frac`.
 //!
 //! The bands live in the baseline file itself so maintainers can tune them
 //! without touching code. Maintainer flows:
@@ -54,6 +57,8 @@ struct Gate {
     max_disabled_ns_per_call: f64,
     max_faults_disabled_frac: f64,
     max_fault_guard_ns_per_call: f64,
+    max_ckpt_guard_ns_per_call: f64,
+    max_ckpt_enabled_frac: f64,
 }
 
 impl Default for Gate {
@@ -67,6 +72,8 @@ impl Default for Gate {
             max_disabled_ns_per_call: 200.0,
             max_faults_disabled_frac: 0.01,
             max_fault_guard_ns_per_call: 200.0,
+            max_ckpt_guard_ns_per_call: 200.0,
+            max_ckpt_enabled_frac: 0.10,
         }
     }
 }
@@ -85,6 +92,9 @@ impl Gate {
         g.max_faults_disabled_frac = f("max_faults_disabled_frac", g.max_faults_disabled_frac);
         g.max_fault_guard_ns_per_call =
             f("max_fault_guard_ns_per_call", g.max_fault_guard_ns_per_call);
+        g.max_ckpt_guard_ns_per_call =
+            f("max_ckpt_guard_ns_per_call", g.max_ckpt_guard_ns_per_call);
+        g.max_ckpt_enabled_frac = f("max_ckpt_enabled_frac", g.max_ckpt_enabled_frac);
         g
     }
 }
@@ -351,6 +361,8 @@ struct Overhead {
     disabled_frac: f64,
     fault_guard_ns_per_call: f64,
     faults_disabled_frac: f64,
+    ckpt_guard_ns_per_call: f64,
+    ckpt_enabled_frac: f64,
 }
 
 /// Runs the `trace_overhead` harness and parses its JSON line.
@@ -379,6 +391,8 @@ fn measure_overhead(root: &Path) -> Result<Overhead, String> {
         disabled_frac: f("disabled_frac")?,
         fault_guard_ns_per_call: f("fault_guard_ns_per_call")?,
         faults_disabled_frac: f("faults_disabled_frac")?,
+        ckpt_guard_ns_per_call: f("ckpt_guard_ns_per_call")?,
+        ckpt_enabled_frac: f("ckpt_enabled_frac")?,
     })
 }
 
@@ -486,6 +500,18 @@ fn compare(measured: &[RunMetrics], overhead: Option<Overhead>, baseline: &Value
                 o.faults_disabled_frac, gate.max_faults_disabled_frac
             ));
         }
+        if o.ckpt_guard_ns_per_call > gate.max_ckpt_guard_ns_per_call {
+            fails.push(format!(
+                "disabled checkpoint guard costs {:.1} ns/call (cap {})",
+                o.ckpt_guard_ns_per_call, gate.max_ckpt_guard_ns_per_call
+            ));
+        }
+        if o.ckpt_enabled_frac > gate.max_ckpt_enabled_frac {
+            fails.push(format!(
+                "enabled checkpointing overhead fraction {:.4} exceeds {}",
+                o.ckpt_enabled_frac, gate.max_ckpt_enabled_frac
+            ));
+        }
     }
     fails
 }
@@ -524,7 +550,8 @@ fn baseline_json(measured: &[RunMetrics], o: Overhead) -> String {
         "  \"gate\": {{\"gflops_min_frac\": {}, \"wall_max_factor\": {}, \
          \"phase_max_factor\": {}, \"phase_floor_ns_per_iter\": {}, \
          \"max_disabled_frac\": {}, \"max_disabled_ns_per_call\": {}, \
-         \"max_faults_disabled_frac\": {}, \"max_fault_guard_ns_per_call\": {}}},\n",
+         \"max_faults_disabled_frac\": {}, \"max_fault_guard_ns_per_call\": {}, \
+         \"max_ckpt_guard_ns_per_call\": {}, \"max_ckpt_enabled_frac\": {}}},\n",
         gate.gflops_min_frac,
         gate.wall_max_factor,
         gate.phase_max_factor,
@@ -532,12 +559,20 @@ fn baseline_json(measured: &[RunMetrics], o: Overhead) -> String {
         gate.max_disabled_frac,
         gate.max_disabled_ns_per_call,
         gate.max_faults_disabled_frac,
-        gate.max_fault_guard_ns_per_call
+        gate.max_fault_guard_ns_per_call,
+        gate.max_ckpt_guard_ns_per_call,
+        gate.max_ckpt_enabled_frac
     ));
     out.push_str(&format!(
         "  \"overhead\": {{\"disabled_ns_per_call\": {}, \"disabled_frac\": {}, \
-         \"fault_guard_ns_per_call\": {}, \"faults_disabled_frac\": {}}},\n",
-        o.disabled_ns_per_call, o.disabled_frac, o.fault_guard_ns_per_call, o.faults_disabled_frac
+         \"fault_guard_ns_per_call\": {}, \"faults_disabled_frac\": {}, \
+         \"ckpt_guard_ns_per_call\": {}, \"ckpt_enabled_frac\": {}}},\n",
+        o.disabled_ns_per_call,
+        o.disabled_frac,
+        o.fault_guard_ns_per_call,
+        o.faults_disabled_frac,
+        o.ckpt_guard_ns_per_call,
+        o.ckpt_enabled_frac
     ));
     out.push_str("  \"runs\": [\n");
     for (i, m) in measured.iter().enumerate() {
@@ -594,6 +629,8 @@ mod tests {
             disabled_frac: frac,
             fault_guard_ns_per_call: ns,
             faults_disabled_frac: frac,
+            ckpt_guard_ns_per_call: ns,
+            ckpt_enabled_frac: frac,
         }
     }
 
@@ -631,9 +668,10 @@ mod tests {
         assert!(compare(&slow, None, &b)
             .iter()
             .any(|f| f.contains("gflops")));
-        // Both guards over their ns/call caps and both fractions over
-        // their 1% caps: four overhead failures.
-        assert!(compare(&base, Some(overhead(500.0, 0.5)), &b).len() == 4);
+        // All three guards over their ns/call caps, both disabled fractions
+        // over their 1% caps, and the enabled-checkpoint fraction over its
+        // 10% cap: six overhead failures.
+        assert!(compare(&base, Some(overhead(500.0, 0.5)), &b).len() == 6);
     }
 
     #[test]

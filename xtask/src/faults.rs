@@ -11,6 +11,12 @@
 //! - be byte-identical on stdout across two runs of the same seed — the
 //!   determinism contract of `hpl-faults`.
 //!
+//! `cargo xtask faults --recovery` swaps in the recovery matrix instead:
+//! rank deaths injected mid-run under `--ckpt-every`, which must end in
+//! `HPLOK` — the supervisor restores every rank from the last complete
+//! checkpoint and resumes — with the deterministic `RECOVERY` line present
+//! and stdout still byte-identical across runs.
+//!
 //! `cargo xtask faults --self-test` re-runs the rank-death scenario with a
 //! deliberately wrong expectation and succeeds only if the gate *fails*,
 //! proving the matrix can trip.
@@ -24,6 +30,10 @@ use std::time::{Duration, Instant};
 /// hang-freedom integration test; the soak cap only needs to be far below
 /// the 120 s mailbox timeout while absorbing CI scheduler noise.
 const DEADLINE: Duration = Duration::from_secs(30);
+
+/// Deadline for recovery scenarios: a kill-and-restore run executes up to
+/// three attempts (probe death, restore, resume), so it gets double budget.
+const RECOVERY_DEADLINE: Duration = Duration::from_secs(60);
 
 /// Expected scenario outcome, matched against the protocol line.
 enum Expect {
@@ -46,12 +56,63 @@ struct Scenario {
     /// Extra environment for the run.
     env: &'static [(&'static str, &'static str)],
     expect: Expect,
+    /// Substrings that must appear somewhere in stdout (beyond the outcome
+    /// line) — e.g. the `RECOVERY` protocol line for supervised scenarios.
+    require: &'static [&'static str],
+    /// Per-run wall deadline.
+    deadline: Duration,
 }
 
 /// Pinned inputs: a 1x2 grid (panel broadcasts carry the row traffic, so
 /// bit-flips land on the checksummed path) and a 2x2 grid (column comms are
 /// real, so recv faults land inside FACT).
 const DATS: &[(&str, &str)] = &[("faults_1x2.dat", DAT_1X2), ("faults_2x2.dat", DAT_2X2)];
+
+/// The `--recovery` matrix: the same injected rank deaths that end the
+/// plain soak in `HPLERROR kind=rank_failed`, now run under the checkpoint
+/// supervisor — which must restore from the last complete generation and
+/// finish with a passing residual, on both pinned grid shapes and on both
+/// store backends. `restored_gen` is pinned in the required substring where
+/// the death lands past a checkpoint boundary, so a regression that
+/// silently restarts from scratch (instead of restoring) also trips.
+fn recovery_matrix() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "death-recovered-1x2",
+            dat: 0,
+            args: &["--fault", "death@1:send:4", "--ckpt-every", "2"],
+            env: &[],
+            expect: Expect::Clean,
+            require: &["RECOVERY attempt=1 kind=rank_failed restored_gen="],
+            deadline: RECOVERY_DEADLINE,
+        },
+        Scenario {
+            name: "death-recovered-2x2",
+            dat: 1,
+            args: &["--fault", "death@2:recv:6", "--ckpt-every", "2"],
+            env: &[],
+            expect: Expect::Clean,
+            require: &["RECOVERY attempt=1 kind=rank_failed restored_gen="],
+            deadline: RECOVERY_DEADLINE,
+        },
+        Scenario {
+            name: "death-recovered-disk",
+            dat: 1,
+            args: &[
+                "--fault",
+                "death@2:recv:6",
+                "--ckpt-every",
+                "2",
+                "--ckpt-dir",
+                "ckpt-recovery",
+            ],
+            env: &[],
+            expect: Expect::Clean,
+            require: &["RECOVERY attempt=1 kind=rank_failed restored_gen="],
+            deadline: RECOVERY_DEADLINE,
+        },
+    ]
+}
 
 fn matrix() -> Vec<Scenario> {
     vec![
@@ -61,6 +122,8 @@ fn matrix() -> Vec<Scenario> {
             args: &["--fault", "delay:500@0:send:0:sticky"],
             env: &[],
             expect: Expect::Clean,
+            require: &[],
+            deadline: DEADLINE,
         },
         Scenario {
             name: "drop-retransmit",
@@ -68,6 +131,8 @@ fn matrix() -> Vec<Scenario> {
             args: &["--fault", "drop@0:send:0:sticky"],
             env: &[],
             expect: Expect::Clean,
+            require: &[],
+            deadline: DEADLINE,
         },
         Scenario {
             name: "bitflip-repaired",
@@ -75,6 +140,8 @@ fn matrix() -> Vec<Scenario> {
             args: &["--fault", "bitflip:17@0:send:2"],
             env: &[],
             expect: Expect::Clean,
+            require: &[],
+            deadline: DEADLINE,
         },
         Scenario {
             name: "bitflip-sticky",
@@ -82,6 +149,8 @@ fn matrix() -> Vec<Scenario> {
             args: &["--fault", "bitflip:7@0:send:0:sticky"],
             env: &[],
             expect: Expect::Error("HPLERROR kind=corrupt_payload root=0"),
+            require: &[],
+            deadline: DEADLINE,
         },
         Scenario {
             name: "death-at-send",
@@ -89,6 +158,8 @@ fn matrix() -> Vec<Scenario> {
             args: &["--fault", "death@1:send:4"],
             env: &[],
             expect: Expect::Error("HPLERROR kind=rank_failed rank=1"),
+            require: &[],
+            deadline: DEADLINE,
         },
         Scenario {
             name: "death-in-fact",
@@ -96,6 +167,8 @@ fn matrix() -> Vec<Scenario> {
             args: &["--fault", "death@2:recv:6"],
             env: &[],
             expect: Expect::Error("HPLERROR kind=rank_failed rank=2 phase=fact"),
+            require: &[],
+            deadline: DEADLINE,
         },
         Scenario {
             name: "stall-recovered",
@@ -103,6 +176,8 @@ fn matrix() -> Vec<Scenario> {
             args: &["--fault", "stall:80@1:recv:1"],
             env: &[],
             expect: Expect::Clean,
+            require: &[],
+            deadline: DEADLINE,
         },
         Scenario {
             name: "stall-timeout",
@@ -110,6 +185,8 @@ fn matrix() -> Vec<Scenario> {
             args: &["--fault", "stall:2500@1:recv:3:sticky"],
             env: &[("HPL_COMM_TIMEOUT_SECS", "1")],
             expect: Expect::Error("HPLERROR kind=comm_timeout src=1 dst=0"),
+            require: &[],
+            deadline: DEADLINE,
         },
         Scenario {
             name: "slow-worker",
@@ -117,6 +194,8 @@ fn matrix() -> Vec<Scenario> {
             args: &["--fault", "slowworker:20@0:region:0", "--threads", "2"],
             env: &[],
             expect: Expect::Clean,
+            require: &[],
+            deadline: DEADLINE,
         },
         Scenario {
             name: "seeded-random-plan",
@@ -124,6 +203,8 @@ fn matrix() -> Vec<Scenario> {
             args: &["--fault-seed", "12345"],
             env: &[],
             expect: Expect::AnyOutcome,
+            require: &[],
+            deadline: DEADLINE,
         },
     ]
 }
@@ -131,6 +212,7 @@ fn matrix() -> Vec<Scenario> {
 /// Entry point; returns the process exit code.
 pub fn run_faults(root: &Path, args: &[String]) -> i32 {
     let self_test = args.iter().any(|a| a == "--self-test");
+    let recovery = args.iter().any(|a| a == "--recovery");
     if let Err(e) = build(root) {
         eprintln!("xtask faults: {e}");
         return 1;
@@ -152,7 +234,11 @@ pub fn run_faults(root: &Path, args: &[String]) -> i32 {
     }
 
     let mut failures = Vec::new();
-    let scenarios = matrix();
+    let scenarios = if recovery {
+        recovery_matrix()
+    } else {
+        matrix()
+    };
     for sc in &scenarios {
         match run_scenario(root, &work, sc) {
             Ok(outcome) => println!("xtask faults: [{}] OK — {outcome}", sc.name),
@@ -188,6 +274,8 @@ fn run_self_test(root: &Path, work: &Path) -> i32 {
         args: &["--fault", "death@1:send:4"],
         env: &[],
         expect: Expect::Clean,
+        require: &[],
+        deadline: DEADLINE,
     };
     match run_scenario(root, work, &wrong) {
         Ok(outcome) => {
@@ -252,6 +340,14 @@ fn run_scenario(root: &Path, work: &Path, sc: &Scenario) -> Result<String, Strin
             }
         }
     }
+    for needle in sc.require {
+        if !first.stdout.contains(needle) {
+            return Err(format!(
+                "required line `{needle}` missing from stdout:\n{}",
+                first.stdout
+            ));
+        }
+    }
     Ok(outcome.to_string())
 }
 
@@ -281,10 +377,10 @@ fn run_rhpl(root: &Path, work: &Path, sc: &Scenario) -> Result<RunOutput, String
         match child.try_wait() {
             Ok(Some(status)) => break status,
             Ok(None) => {
-                if start.elapsed() > DEADLINE {
+                if start.elapsed() > sc.deadline {
                     let _ = child.kill();
                     let _ = child.wait();
-                    return Err(format!("WEDGED: no exit within {}s", DEADLINE.as_secs()));
+                    return Err(format!("WEDGED: no exit within {}s", sc.deadline.as_secs()));
                 }
                 std::thread::sleep(Duration::from_millis(25));
             }
@@ -392,6 +488,39 @@ mod tests {
             .iter()
             .any(|s| matches!(s.expect, Expect::Error(_))));
         assert!(scenarios.iter().any(|s| matches!(s.expect, Expect::Clean)));
+    }
+
+    #[test]
+    fn recovery_matrix_kills_and_restores_on_both_grids() {
+        let scenarios = recovery_matrix();
+        let dats: std::collections::HashSet<usize> = scenarios.iter().map(|s| s.dat).collect();
+        assert_eq!(dats.len(), 2, "recovery must cover both grid shapes");
+        for sc in &scenarios {
+            assert!(
+                sc.args.contains(&"--ckpt-every"),
+                "{} lacks the supervisor flag",
+                sc.name
+            );
+            assert!(
+                sc.args.iter().any(|a| a.starts_with("death")),
+                "{} does not kill a rank",
+                sc.name
+            );
+            assert!(
+                matches!(sc.expect, Expect::Clean),
+                "{} must survive the death",
+                sc.name
+            );
+            assert!(
+                sc.require.iter().any(|r| r.contains("RECOVERY")),
+                "{} does not assert the RECOVERY line",
+                sc.name
+            );
+            assert_eq!(sc.deadline, RECOVERY_DEADLINE);
+        }
+        // Both store backends are represented.
+        assert!(scenarios.iter().any(|s| s.args.contains(&"--ckpt-dir")));
+        assert!(scenarios.iter().any(|s| !s.args.contains(&"--ckpt-dir")));
     }
 
     #[test]

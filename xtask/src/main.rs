@@ -32,7 +32,7 @@ use std::path::{Path, PathBuf};
 /// Library crates subject to the full rule set. Bins, benches, examples and
 /// test trees only get the safety rules (`safety-comment`, `no-static-mut`).
 const LIB_CRATES: &[&str] = &[
-    "blas", "threads", "comm", "core", "faults", "mxp", "sim", "trace",
+    "blas", "threads", "ckpt", "comm", "core", "faults", "mxp", "sim", "trace",
 ];
 
 fn main() {
