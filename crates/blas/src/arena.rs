@@ -78,11 +78,66 @@ pub(crate) fn with_pack_bufs<R>(
             f(&mut arena.a[..alen], &mut arena.b[..blen])
         }
         Err(_) => {
+            // xtask-allow: hot-path-alloc — reentrant fallback only; the steady state takes the borrowed grow-only path above
             let mut a = vec![0.0f64; alen];
+            // xtask-allow: hot-path-alloc — reentrant fallback only; the steady state takes the borrowed grow-only path above
             let mut b = vec![0.0f64; blen];
             f(&mut a, &mut b)
         }
     })
+}
+
+thread_local! {
+    /// Pool of grow-only scratch vectors (see [`with_scratch`]). A pool —
+    /// not a fixed pair — so nested regions each check a buffer out
+    /// without falling back to per-call allocation.
+    static SCRATCH: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn scratch_take(len: usize) -> Vec<f64> {
+    // The borrow is released before the caller's closure runs, so nested
+    // `with_scratch` regions take further buffers instead of fighting over
+    // one RefCell.
+    let mut buf = SCRATCH
+        .with(|cell| cell.borrow_mut().pop())
+        .unwrap_or_default();
+    ensure(&mut buf, len);
+    buf[..len].fill(0.0);
+    buf
+}
+
+fn scratch_put(buf: Vec<f64>) {
+    SCRATCH.with(|cell| cell.borrow_mut().push(buf));
+}
+
+/// Runs `f` with one zeroed thread-local scratch slice of `len` elements.
+///
+/// Public counterpart of the pack-buffer arena for per-column workspaces
+/// in the factorization inner loops (`hpl-core`'s `update_col` /
+/// `base_factor`): grow-only pooled storage, zeroed on entry (the
+/// factorization scratch is accumulated into, so unlike the pack buffers
+/// it must start clean), independent of the pack buffers so a kernel
+/// running inside the closure still gets the warm packing path. Nesting is
+/// fine — each region checks its own buffer out of the pool.
+pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    let mut buf = scratch_take(len);
+    let r = f(&mut buf[..len]);
+    scratch_put(buf);
+    r
+}
+
+/// [`with_scratch`] with two independent zeroed slices.
+pub fn with_scratch2<R>(
+    len0: usize,
+    len1: usize,
+    f: impl FnOnce(&mut [f64], &mut [f64]) -> R,
+) -> R {
+    let mut b0 = scratch_take(len0);
+    let mut b1 = scratch_take(len1);
+    let r = f(&mut b0[..len0], &mut b1[..len1]);
+    scratch_put(b1);
+    scratch_put(b0);
+    r
 }
 
 /// Snapshot of the calling thread's arena counters.
@@ -131,6 +186,40 @@ mod tests {
         })
         .join()
         .expect("arena test thread panicked");
+    }
+
+    #[test]
+    fn scratch_is_zeroed_and_reused() {
+        std::thread::spawn(|| {
+            with_scratch(16, |s| {
+                assert!(s.iter().all(|&v| v == 0.0));
+                s[3] = 9.0;
+            });
+            // Warm call: same storage, but zeroed again.
+            with_scratch(16, |s| {
+                assert_eq!(s[3], 0.0, "scratch must be re-zeroed");
+            });
+            with_scratch2(8, 4, |a, b| {
+                assert_eq!((a.len(), b.len()), (8, 4));
+                a[0] = 1.0;
+                b[0] = 2.0;
+            });
+            // Nested regions each check out their own pool buffer.
+            with_scratch(4, |outer| {
+                outer[0] = 5.0;
+                with_scratch(4, |inner| {
+                    assert_eq!(inner[0], 0.0, "inner scratch is its own buffer");
+                    inner[0] = 6.0;
+                });
+                assert_eq!(outer[0], 5.0, "outer scratch untouched by nesting");
+                // A pack region inside a scratch closure takes the warm path.
+                with_pack_bufs(4, 4, |pa, _| {
+                    pa[0] = 1.0;
+                });
+            });
+        })
+        .join()
+        .expect("scratch test thread panicked");
     }
 
     #[test]

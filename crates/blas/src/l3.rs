@@ -159,6 +159,7 @@ impl PackedA {
         };
         let mr = kern.mr();
         let mup = round_up(m, mr);
+        // xtask-allow: hot-path-alloc — panel-grain cache: packed once per panel (amortized over O(nb^3) work) and owned by the returned PackedA, so arena scratch cannot back it
         let mut buf = vec![0.0f64; mup * k];
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
@@ -699,21 +700,19 @@ fn dtrsm_unblocked(
                 (Uplo::Upper, Trans::No) | (Uplo::Lower, Trans::Yes)
             );
             let m = b.rows();
-            let order: Vec<usize> = if forward {
-                (0..n).collect()
-            } else {
-                (0..n).rev().collect()
-            };
-            for (ci, &c) in order.iter().enumerate() {
+            // Dependency order as index arithmetic (`ci`-th solved column is
+            // `ci` forward, `n-1-ci` backward): this loop sits on the dtrsm
+            // hot path, so it must not materialize an order list.
+            let at = |i: usize| if forward { i } else { n - 1 - i };
+            for ci in 0..n {
+                let c = at(ci);
                 // X[:,c] = (B[:,c] - sum_{p solved before} X[:,p] * op(T)[p,c]) / op(T)[c,c]
                 let tcc = match diag {
                     Diag::Unit => 1.0,
                     Diag::NonUnit => t.get(c, c),
                 };
-                // The columns solved before `c` are exactly `order[..ci]`;
-                // indexing directly avoids rebuilding an O(n) dependency
-                // list (O(n^2) allocations) per column.
-                for &p in &order[..ci] {
+                // The columns solved before `c` are exactly `at(0..ci)`.
+                for p in (0..ci).map(at) {
                     let tpc = match trans {
                         Trans::No => t.get(p, c),
                         Trans::Yes => t.get(c, p),

@@ -153,7 +153,7 @@ mod tests {
         spec.nbs = vec![16];
         let (mut cfg, depth) = expand(&spec, 42, 0.5, 1).remove(0);
         cfg.trace = hpl_trace::TraceOpts::on();
-        let rec = run_one_traced(&cfg, depth, spec.threshold);
+        let rec = run_one_traced(&cfg, depth, spec.threshold).expect("clean run");
         assert!(rec.passed);
         assert_eq!(rec.traces.len(), cfg.ranks());
         let report = run_report(&rec);
@@ -185,7 +185,7 @@ mod tests {
         spec.ns = vec![64];
         spec.nbs = vec![16];
         let (cfg, depth) = expand(&spec, 42, 0.0, 1).remove(0);
-        let rec = run_one_traced(&cfg, depth, spec.threshold);
+        let rec = run_one_traced(&cfg, depth, spec.threshold).expect("clean run");
         assert!(rec.traces.is_empty());
         let report = run_report(&rec);
         assert_eq!(report.overlap_efficiency, 0.0);

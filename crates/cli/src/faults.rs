@@ -134,12 +134,17 @@ pub(crate) fn judge(
     };
     let res = Universe::run(cfg.ranks(), |comm| {
         let grid = Grid::new(comm, cfg.p, cfg.q, GridOrder::ColumnMajor);
-        verify(&grid, cfg.n, cfg.nb, cfg.seed, &x).expect("verification collectives")
+        verify(&grid, cfg.n, cfg.nb, cfg.seed, &x)
     });
-    if res[0].passed() && res[0].scaled < threshold {
-        Ok(res[0].scaled)
+    let res0 = match res.into_iter().next() {
+        Some(Ok(r)) => r,
+        Some(Err(e)) => return Err(error_line(&e)),
+        None => return Err("HPLBAD empty verification universe".to_string()),
+    };
+    if res0.passed() && res0.scaled < threshold {
+        Ok(res0.scaled)
     } else {
-        Err(format!("HPLBAD residual={:.6e}", res[0].scaled))
+        Err(format!("HPLBAD residual={:.6e}", res0.scaled))
     }
 }
 

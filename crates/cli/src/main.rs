@@ -160,7 +160,13 @@ fn main() -> ExitCode {
                 resume: true,
             };
         }
-        let rec = runner::run_one_traced(&cfg, depth, spec.threshold);
+        let rec = match runner::run_one_traced(&cfg, depth, spec.threshold) {
+            Ok(rec) => rec,
+            Err(e) => {
+                eprintln!("rhpl: run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         print!("{}", report::format_record(&rec));
         if !rec.passed {
             failed += 1;

@@ -3,7 +3,7 @@
 
 use hpl_comm::{Grid, Universe};
 use rhpl_core::config::Schedule;
-use rhpl_core::{run_hpl, verify, FactOpts, HplConfig};
+use rhpl_core::{run_hpl, verify, FactOpts, HplConfig, HplError};
 
 use crate::dat::JobSpec;
 
@@ -105,23 +105,32 @@ pub fn expand(
     out
 }
 
-/// Runs one configuration and verifies it.
-pub fn run_one(cfg: &HplConfig, depth: usize, threshold: f64) -> RunRecord {
+/// Runs one configuration and verifies it. Any rank's solve or
+/// verification failure propagates as the typed [`HplError`] so the
+/// caller (CLI driver, bench gate) keeps its recovery and reporting
+/// options instead of aborting the whole sweep.
+pub fn run_one(cfg: &HplConfig, depth: usize, threshold: f64) -> Result<RunRecord, HplError> {
     run_one_traced(cfg, depth, threshold)
 }
 
 /// [`run_one`], keeping each rank's phase trace in the record (traces are
 /// present only when `cfg.trace.enabled`; index = rank, the order
 /// `Universe::run` returns).
-pub fn run_one_traced(cfg: &HplConfig, depth: usize, threshold: f64) -> RunRecord {
-    let mut results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, cfg).expect("nonsingular"));
+pub fn run_one_traced(
+    cfg: &HplConfig,
+    depth: usize,
+    threshold: f64,
+) -> Result<RunRecord, HplError> {
+    let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, cfg));
+    let mut results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let x = results[0].x.clone();
     let res = Universe::run(cfg.ranks(), |comm| {
         let grid = Grid::new(comm, cfg.p, cfg.q, cfg.order);
-        verify(&grid, cfg.n, cfg.nb, cfg.seed, &x).expect("verification collectives")
-    })[0];
+        verify(&grid, cfg.n, cfg.nb, cfg.seed, &x)
+    });
+    let res = res.into_iter().collect::<Result<Vec<_>, _>>()?[0];
     let traces = results.iter_mut().filter_map(|r| r.trace.take()).collect();
-    RunRecord {
+    Ok(RunRecord {
         cfg: cfg.clone(),
         tv: encode_tv(cfg, depth),
         time: results[0].wall,
@@ -131,7 +140,7 @@ pub fn run_one_traced(cfg: &HplConfig, depth: usize, threshold: f64) -> RunRecor
         retries: results.iter().map(|r| r.retries).sum(),
         recoveries: 0,
         traces,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -162,7 +171,7 @@ mod tests {
         spec.ns = vec![96];
         spec.nbs = vec![16];
         let (cfg, depth) = expand(&spec, 42, 0.5, 1).remove(0);
-        let rec = run_one(&cfg, depth, spec.threshold);
+        let rec = run_one(&cfg, depth, spec.threshold).expect("clean run");
         assert!(rec.passed, "residual {}", rec.residual);
         assert!(rec.gflops > 0.0);
     }

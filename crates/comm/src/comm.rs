@@ -85,7 +85,7 @@ impl Communicator {
         self.try_recv(src, tag).unwrap_or_else(|e| {
             // Deadlock/death diagnostics must fail loudly on the infallible
             // path (see `Fabric::recv`).
-            // xtask-allow: no-panic — deadlock diagnostics
+            // xtask-allow: no-panic, error-taxonomy — deadlock diagnostics
             panic!("{e}")
         })
     }
@@ -100,7 +100,7 @@ impl Communicator {
         Ok(*any.downcast::<T>().unwrap_or_else(|_| {
             // A payload-type mismatch is a bug in the matched send, not a
             // runtime error (documented on the method).
-            // xtask-allow: no-panic — programming-error contract
+            // xtask-allow: no-panic, error-taxonomy — programming-error contract
             panic!(
                 "rank {}: recv type mismatch from rank {src} tag {tag:?} (expected {})",
                 self.rank,

@@ -627,7 +627,7 @@ impl Fabric {
         self.try_recv(dst, src, tag).unwrap_or_else(|e| {
             // Deliberate deadlock detector: real MPI would hang forever
             // here; failing loudly is the feature.
-            // xtask-allow: no-panic — deadlock diagnostics
+            // xtask-allow: no-panic, error-taxonomy — deadlock diagnostics
             panic!("{e}")
         })
     }
@@ -674,7 +674,7 @@ impl Fabric {
         self.try_barrier().unwrap_or_else(|e| {
             // Same rationale as `recv`: a barrier that can never complete
             // must fail loudly, not wedge.
-            // xtask-allow: no-panic — deadlock diagnostics
+            // xtask-allow: no-panic, error-taxonomy — deadlock diagnostics
             panic!("{e}")
         });
     }

@@ -1,0 +1,160 @@
+//! Exhaustive model check of the mailbox send/recv/poison protocol.
+//!
+//! This mirrors the synchronization skeleton of `fabric.rs` — a `Mailbox`
+//! (`Mutex<VecDeque>` + `Condvar`) and the job-wide `Poison` flag
+//! (`AtomicBool`) — with the payloads and timeout polling stripped away, and
+//! drives it through every thread interleaving with the `loom` shim. The
+//! properties verified here are the ones the planned lock-free SPSC ring
+//! replacement must preserve:
+//!
+//! 1. a deposited message is always delivered (no lost wakeup on the
+//!    arrival path);
+//! 2. delivery is FIFO per queue;
+//! 3. poisoning always unblocks a parked receiver (the `Fabric::poison`
+//!    "touch the mailbox lock before notifying" discipline);
+//! 4. a message deposited before a death beats the poison check
+//!    (queue-first precedence in `try_recv`, which keeps data flow
+//!    deterministic during recovery).
+//!
+//! The final test drops the lock acquisition from `poison` and asserts the
+//! checker *catches* the resulting lost wakeup — both a regression test for
+//! the checker itself and the reason the real implementation may not
+//! "optimize away" that lock round-trip (its timeout polling would mask the
+//! bug at a 100 ms latency cost instead of failing loudly).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::thread;
+
+/// One rank's inbox plus the job poison flag, as in `fabric.rs`.
+struct Model {
+    queue: Mutex<VecDeque<u32>>,
+    arrived: Condvar,
+    poison: AtomicBool,
+}
+
+impl Model {
+    fn new() -> Arc<Self> {
+        Arc::new(Model {
+            queue: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+            poison: AtomicBool::new(false),
+        })
+    }
+
+    /// `Mailbox::deposit`: enqueue under the lock, then notify.
+    fn deposit(&self, msg: u32) {
+        let mut q = self.queue.lock();
+        q.push_back(msg);
+        self.arrived.notify_all();
+    }
+
+    /// `Fabric::poison`: raise the flag, then touch the mailbox lock before
+    /// notifying so a sleeper can't miss the wakeup between its flag check
+    /// and its wait.
+    fn poison(&self) {
+        self.poison.store(true, Ordering::Release);
+        let _q = self.queue.lock();
+        self.arrived.notify_all();
+    }
+
+    /// The broken variant: same store and notify but without the lock. The
+    /// notify can now fire inside a receiver's check-then-wait window.
+    fn broken_poison(&self) {
+        self.poison.store(true, Ordering::Release);
+        self.arrived.notify_all();
+    }
+
+    /// `Fabric::try_recv`'s wait loop: queue first (delivered-before-death
+    /// wins), then the poison flag, then park.
+    fn recv(&self) -> Result<u32, &'static str> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(m) = q.pop_front() {
+                return Ok(m);
+            }
+            if self.poison.load(Ordering::Acquire) {
+                return Err("rank failed");
+            }
+            q = self.arrived.wait(q);
+        }
+    }
+}
+
+#[test]
+fn message_is_delivered_in_every_interleaving() {
+    loom::model(|| {
+        let m = Model::new();
+        let tx = Arc::clone(&m);
+        let sender = thread::spawn(move || tx.deposit(7));
+        assert_eq!(m.recv(), Ok(7));
+        sender.join().expect("sender");
+    });
+}
+
+#[test]
+fn delivery_is_fifo() {
+    loom::model(|| {
+        let m = Model::new();
+        let tx = Arc::clone(&m);
+        let sender = thread::spawn(move || {
+            tx.deposit(1);
+            tx.deposit(2);
+        });
+        assert_eq!(m.recv(), Ok(1));
+        assert_eq!(m.recv(), Ok(2));
+        sender.join().expect("sender");
+    });
+}
+
+#[test]
+fn poison_always_unblocks_a_parked_receiver() {
+    loom::model(|| {
+        let m = Model::new();
+        let killer = Arc::clone(&m);
+        let t = thread::spawn(move || killer.poison());
+        // Empty queue: the only way out is the poison flag. Every
+        // interleaving must terminate (a lost wakeup would deadlock).
+        assert_eq!(m.recv(), Err("rank failed"));
+        t.join().expect("poisoner");
+    });
+}
+
+#[test]
+fn message_deposited_before_death_beats_the_poison() {
+    loom::model(|| {
+        let m = Model::new();
+        let tx = Arc::clone(&m);
+        let t = thread::spawn(move || {
+            tx.deposit(9);
+            tx.poison();
+        });
+        assert_eq!(m.recv(), Ok(9), "queued message wins over the poison check");
+        t.join().expect("dying sender");
+    });
+}
+
+#[test]
+fn checker_catches_poison_without_the_mailbox_lock() {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let m = Model::new();
+            let killer = Arc::clone(&m);
+            let t = thread::spawn(move || killer.broken_poison());
+            let _ = m.recv();
+            t.join().expect("poisoner");
+        });
+    }));
+    let msg = match r {
+        Ok(()) => panic!("the lock-free poison's lost wakeup went undetected"),
+        Err(e) => *e.downcast::<String>().expect("panic message"),
+    };
+    assert!(msg.contains("deadlock"), "unexpected diagnosis: {msg}");
+    assert!(
+        msg.contains("condvar"),
+        "should blame the parked receiver: {msg}"
+    );
+}

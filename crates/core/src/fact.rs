@@ -492,20 +492,24 @@ fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
                     // SAFETY: thread-0-exclusive phase — every other thread
                     // is parked at the loop's closing barrier.
                     let topv = unsafe { st.top.view() };
-                    let mut contrib = vec![0.0f64; hi - k - 1];
-                    for (jj, c) in contrib.iter_mut().enumerate() {
-                        let mut s = 0.0;
-                        for p in lo..k {
-                            s += topv.get(k, p) * topv.get(p, k + 1 + jj);
+                    // This runs once per panel column: scratch comes from
+                    // the arena pool so the steady state stays
+                    // allocation-free (hot-path-alloc contract).
+                    hpl_blas::arena::with_scratch(hi - k - 1, |contrib| {
+                        for (jj, c) in contrib.iter_mut().enumerate() {
+                            let mut s = 0.0;
+                            for p in lo..k {
+                                s += topv.get(k, p) * topv.get(p, k + 1 + jj);
+                            }
+                            *c = s;
                         }
-                        *c = s;
-                    }
-                    // SAFETY: same thread-0-exclusive phase as above.
-                    let mut t = unsafe { st.top.rows_mut(0, st.jb) };
-                    for (jj, c) in contrib.into_iter().enumerate() {
-                        let v = t.get(k, k + 1 + jj) - c;
-                        t.set(k, k + 1 + jj, v);
-                    }
+                        // SAFETY: same thread-0-exclusive phase as above.
+                        let mut t = unsafe { st.top.rows_mut(0, st.jb) };
+                        for (jj, &c) in contrib.iter().enumerate() {
+                            let v = t.get(k, k + 1 + jj) - c;
+                            t.set(k, k + 1 + jj, v);
+                        }
+                    });
                 }
             }
             FactVariant::Left => {}
@@ -519,23 +523,31 @@ fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
 fn update_col(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, k: usize) {
     // SAFETY: `top` frozen during this parallel phase.
     let topv = unsafe { st.top.view() };
-    let u: Vec<f64> = (lo..k).map(|p| topv.get(p, k)).collect();
-    st.for_own_tiles(ctx, st.cand_start(k), |r0, r1| {
-        // SAFETY: own tile, parallel phase.
-        let mut rows = unsafe { st.a.rows_mut(r0, r1) };
-        let mut acc = vec![0.0f64; r1 - r0];
-        for (p, &up) in u.iter().enumerate() {
-            if up != 0.0 {
-                let col = rows.col(lo + p);
-                for (a, &l) in acc.iter_mut().zip(col) {
-                    *a += l * up;
+    // Per-column workspaces come from the arena pool (nested regions check
+    // out separate buffers), keeping the lazy column update allocation-free
+    // in the steady state — this is the innermost FACT loop.
+    hpl_blas::arena::with_scratch(k - lo, |u| {
+        for (p, up) in u.iter_mut().enumerate() {
+            *up = topv.get(lo + p, k);
+        }
+        st.for_own_tiles(ctx, st.cand_start(k), |r0, r1| {
+            // SAFETY: own tile, parallel phase.
+            let mut rows = unsafe { st.a.rows_mut(r0, r1) };
+            hpl_blas::arena::with_scratch(r1 - r0, |acc| {
+                for (p, &up) in u.iter().enumerate() {
+                    if up != 0.0 {
+                        let col = rows.col(lo + p);
+                        for (a, &l) in acc.iter_mut().zip(col.iter()) {
+                            *a += l * up;
+                        }
+                    }
                 }
-            }
-        }
-        let ck = rows.col_mut(k);
-        for (c, a) in ck.iter_mut().zip(acc) {
-            *c -= a;
-        }
+                let ck = rows.col_mut(k);
+                for (c, &a) in ck.iter_mut().zip(acc.iter()) {
+                    *c -= a;
+                }
+            });
+        });
     });
 }
 
@@ -565,6 +577,7 @@ fn pivot_step(st: &FactState<'_>, ctx: &Ctx<'_>, k: usize) -> bool {
         // the barrier below).
         let av = unsafe { st.a.view() };
         let mine = if li != usize::MAX && lv > f64::NEG_INFINITY {
+            // xtask-allow: hot-path-alloc — pivot collective payload: ownership transfers to the fabric, which frees it on delivery
             let mut row = Vec::with_capacity(st.jb);
             for j in 0..st.jb {
                 row.push(av.get(li, j));
@@ -573,17 +586,18 @@ fn pivot_step(st: &FactState<'_>, ctx: &Ctx<'_>, k: usize) -> bool {
                 val: lv,
                 grow: st.global_row(li) as u64,
                 row,
-                currow: Vec::new(),
+                currow: Vec::new(), // xtask-allow: hot-path-alloc — empty sentinel, never allocates
             }
         } else {
             PivotMsg {
                 val: f64::NEG_INFINITY,
                 grow: u64::MAX,
-                row: Vec::new(),
-                currow: Vec::new(),
+                row: Vec::new(), // xtask-allow: hot-path-alloc — empty sentinel, never allocates
+                currow: Vec::new(), // xtask-allow: hot-path-alloc — empty sentinel, never allocates
             }
         };
         let mine = if st.inp.is_curr {
+            // xtask-allow: hot-path-alloc — pivot collective payload: ownership transfers to the fabric, which frees it on delivery
             let mut currow = Vec::with_capacity(st.jb);
             for j in 0..st.jb {
                 currow.push(av.get(k, j));

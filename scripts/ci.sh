@@ -9,6 +9,7 @@ export CARGO_NET_OFFLINE=true
 
 echo "== [check] cargo xtask check"
 cargo xtask check
+cargo xtask check --json > /dev/null
 
 echo "== [lint] cargo fmt --check"
 cargo fmt --check
@@ -44,5 +45,16 @@ cargo xtask faults --self-test
 
 echo "== [recovery] cargo xtask faults --recovery"
 cargo xtask faults --recovery
+
+echo "== [miri] cargo +nightly miri test -p hpl-ckpt -p hpl-faults"
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  MIRIFLAGS=-Zmiri-disable-isolation cargo +nightly miri test -p hpl-ckpt -p hpl-faults
+else
+  echo "miri: nightly toolchain with miri is not installed; skipping (hosted CI runs it)"
+fi
+
+echo "== [loom] model-check the mailbox send/recv/poison protocol"
+cargo test -q -p loom
+cargo test -q -p hpl-comm --test loom_mailbox
 
 echo "ci.sh: all gates green"

@@ -1,0 +1,254 @@
+//! Offline std-only shim of the `loom` model checker.
+//!
+//! [`model`] runs a closure repeatedly, exploring **every** interleaving of
+//! the [`thread`]s it spawns at the granularity of synchronization
+//! operations. Execution is serialized: exactly one model thread runs at a
+//! time, and immediately before each synchronization operation (mutex
+//! acquire, condvar wait/notify, atomic access) the scheduler picks which
+//! runnable thread proceeds. Those decision points form a tree; the checker
+//! walks it depth-first by replaying a recorded choice prefix and bumping
+//! the last branchable decision, until no unexplored branch remains.
+//!
+//! What the shim checks, relative to real `loom`:
+//!
+//! - **Interleavings, not weak memory.** Every atomic access is effectively
+//!   `SeqCst` (the `Ordering` argument is accepted and ignored). That is the
+//!   right tool for protocol bugs — lost wakeups, check-then-wait races,
+//!   poison-vs-queue ordering — which is what the mailbox model in
+//!   `hpl-comm` exercises.
+//! - **No spurious wakeups.** [`sync::Condvar::wait`] only returns after a
+//!   notification, so a protocol that relies on spurious wakeups (or on the
+//!   fabric's 100 ms timeout polling) to mask a lost wakeup deadlocks here
+//!   and is reported with the full per-thread blocked state.
+//! - **Deadlock detection.** If every live thread is blocked the execution
+//!   panics with a description of who waits on what.
+//! - [`sync::Condvar::notify_one`] wakes the lowest-id waiter
+//!   (deterministic) rather than branching over all waiters.
+//!
+//! Models must be deterministic apart from scheduling: the closure runs many
+//! times and a replayed prefix must reproduce the same decision points.
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use sched::Scheduler;
+
+/// Exploration budget: executions before the checker gives up. Far above
+/// anything a well-scoped model (2–3 threads, a handful of operations each)
+/// needs; hitting it means the model is too big to verify exhaustively.
+const MAX_EXECUTIONS: usize = 200_000;
+
+pub(crate) mod ctx {
+    //! Per-OS-thread handle to the scheduler of the execution it belongs to.
+
+    use std::cell::RefCell;
+    use std::sync::Arc;
+
+    use crate::sched::Scheduler;
+
+    thread_local! {
+        static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+    }
+
+    /// Clears the context when an execution (or model thread) ends, even by
+    /// panic.
+    pub(crate) struct Guard;
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            CTX.with(|c| *c.borrow_mut() = None);
+        }
+    }
+
+    pub(crate) fn set(sched: Arc<Scheduler>, tid: usize) -> Guard {
+        CTX.with(|c| *c.borrow_mut() = Some((sched, tid)));
+        Guard
+    }
+
+    /// The current scheduler and model-thread id; panics outside [`crate::model`].
+    pub(crate) fn get() -> (Arc<Scheduler>, usize) {
+        try_get().unwrap_or_else(|| panic!("loom primitive used outside loom::model"))
+    }
+
+    pub(crate) fn try_get() -> Option<(Arc<Scheduler>, usize)> {
+        CTX.with(|c| c.borrow().clone())
+    }
+}
+
+/// Exhaustively model-checks `f` over all thread interleavings.
+///
+/// Panics (with the failing execution's diagnosis) if any interleaving
+/// panics, asserts, or deadlocks. Returns normally once the whole decision
+/// tree has been explored.
+pub fn model<F: Fn()>(f: F) {
+    let mut replay: Vec<usize> = Vec::new();
+    for _ in 0..MAX_EXECUTIONS {
+        let sched = Arc::new(Scheduler::new(std::mem::take(&mut replay)));
+        let schedule = {
+            let _ctx = ctx::set(Arc::clone(&sched), 0);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                f();
+                sched.finish_main();
+            }));
+            if let Err(e) = r {
+                // Wake every parked model thread so its OS thread exits.
+                sched.abort("model aborted".to_string());
+                resume_unwind(e);
+            }
+            sched.take_schedule()
+        };
+        match next_replay(&schedule) {
+            Some(next) => replay = next,
+            None => return,
+        }
+    }
+    panic!("loom: exploration exceeded {MAX_EXECUTIONS} executions; shrink the model");
+}
+
+/// DFS backtracking: bump the deepest decision that still has an untried
+/// branch, truncating everything after it. `None` when the tree is spent.
+fn next_replay(schedule: &[(usize, usize)]) -> Option<Vec<usize>> {
+    for i in (0..schedule.len()).rev() {
+        let (chosen, options) = schedule[i];
+        if chosen + 1 < options {
+            let mut replay: Vec<usize> = schedule[..i].iter().map(|&(c, _)| c).collect();
+            replay.push(chosen + 1);
+            return Some(replay);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+
+    use crate::sync::atomic::{AtomicBool, Ordering};
+    use crate::sync::{Arc, Condvar, Mutex};
+    use crate::thread;
+
+    #[test]
+    fn counter_is_exact_under_all_interleavings() {
+        crate::model(|| {
+            let n = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        *n.lock() += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("model thread");
+            }
+            assert_eq!(*n.lock(), 2);
+        });
+    }
+
+    #[test]
+    fn explores_both_orders_of_a_store_load_race() {
+        // Accumulated across executions with plain std atomics: the model
+        // must visit the interleaving where the load beats the store AND
+        // the one where it doesn't.
+        let outcomes = StdAtomicUsize::new(0);
+        let executions = StdAtomicUsize::new(0);
+        crate::model(|| {
+            executions.fetch_add(1, StdOrdering::Relaxed);
+            let flag = Arc::new(AtomicBool::new(false));
+            let setter = Arc::clone(&flag);
+            let t = thread::spawn(move || setter.store(true, Ordering::SeqCst));
+            let seen = flag.load(Ordering::SeqCst);
+            t.join().expect("model thread");
+            outcomes.fetch_or(if seen { 1 } else { 2 }, StdOrdering::Relaxed);
+        });
+        assert_eq!(
+            outcomes.load(StdOrdering::Relaxed),
+            3,
+            "both outcomes of the race must be explored"
+        );
+        assert!(executions.load(StdOrdering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn missing_notify_is_reported_as_deadlock() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            crate::model(|| {
+                let pair = Arc::new((Mutex::new(false), Condvar::new()));
+                let setter = Arc::clone(&pair);
+                let t = thread::spawn(move || {
+                    // BROKEN on purpose: sets the flag but never notifies.
+                    *setter.0.lock() = true;
+                });
+                let (m, cv) = &*pair;
+                let mut g = m.lock();
+                while !*g {
+                    g = cv.wait(g);
+                }
+                drop(g);
+                t.join().expect("model thread");
+            });
+        }));
+        let msg = match r {
+            Ok(()) => panic!("lost wakeup went undetected"),
+            Err(e) => *e.downcast::<String>().expect("panic message"),
+        };
+        assert!(msg.contains("deadlock"), "unexpected diagnosis: {msg}");
+        assert!(
+            msg.contains("condvar"),
+            "should name the blocked wait: {msg}"
+        );
+    }
+
+    #[test]
+    fn correct_condvar_protocol_passes() {
+        crate::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let setter = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                *setter.0.lock() = true;
+                setter.1.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+            drop(g);
+            t.join().expect("model thread");
+        });
+    }
+
+    #[test]
+    fn self_deadlock_is_reported() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            crate::model(|| {
+                let m = Mutex::new(0u32);
+                let _g1 = m.lock();
+                let _g2 = m.lock();
+            });
+        }));
+        let msg = match r {
+            Ok(()) => panic!("self-deadlock went undetected"),
+            Err(e) => *e.downcast::<String>().expect("panic message"),
+        };
+        assert!(msg.contains("deadlock"), "unexpected diagnosis: {msg}");
+    }
+
+    #[test]
+    fn yield_now_is_a_decision_point() {
+        crate::model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let setter = Arc::clone(&flag);
+            let t = thread::spawn(move || setter.store(true, Ordering::SeqCst));
+            thread::yield_now();
+            t.join().expect("model thread");
+            assert!(flag.load(Ordering::SeqCst));
+        });
+    }
+}

@@ -1,0 +1,321 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! Model threads are real OS threads, but exactly one holds the "active"
+//! token at a time; everyone else parks on the scheduler's condvar. Each
+//! decision point calls [`pick_next`], which either replays a recorded
+//! choice (DFS prefix) or takes the first runnable thread and records how
+//! many options existed, so [`crate::next_replay`] can branch later.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Per-execution cap on decision points, against accidental livelock
+/// (e.g. a model spinning on an atomic instead of blocking).
+const MAX_STEPS: usize = 100_000;
+
+/// Scheduling state of one model thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TState {
+    /// Eligible to be picked at the next decision point.
+    Runnable,
+    /// Blocked acquiring the mutex with this id.
+    Mutex(usize),
+    /// Waiting on the condvar with this id; only a notify makes it
+    /// runnable again (no spurious wakeups).
+    Cond(usize),
+    /// Joining the model thread with this id.
+    Join(usize),
+    Finished,
+}
+
+struct SchedState {
+    threads: Vec<TState>,
+    /// Thread id currently allowed to run ([`DONE`] once all finished).
+    active: usize,
+    /// Mutex registry: holder tid per mutex id.
+    held: Vec<Option<usize>>,
+    n_condvars: usize,
+    /// Choice prefix to replay this execution.
+    replay: Vec<usize>,
+    /// `(chosen, options)` per decision point, for backtracking.
+    schedule: Vec<(usize, usize)>,
+    step: usize,
+    /// Set once on deadlock/panic/livelock; every parked thread re-raises it.
+    failure: Option<String>,
+}
+
+/// Sentinel for [`SchedState::active`] when the execution has completed.
+const DONE: usize = usize::MAX;
+
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    pub(crate) fn new(replay: Vec<usize>) -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                threads: vec![TState::Runnable],
+                active: 0,
+                held: Vec::new(),
+                n_condvars: 0,
+                replay,
+                schedule: Vec::new(),
+                step: 0,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.held.push(None);
+        st.held.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.lock();
+        st.n_condvars += 1;
+        st.n_condvars - 1
+    }
+
+    /// Registers a new runnable model thread (called by the spawner while
+    /// it holds the active token, so registration order is deterministic).
+    pub(crate) fn add_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(TState::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Parks until `me` is scheduled; re-raises a recorded failure.
+    fn wait_until_active(&self, mut st: MutexGuard<'_, SchedState>, me: usize) {
+        loop {
+            if let Some(msg) = &st.failure {
+                let msg = msg.clone();
+                drop(st);
+                self.cv.notify_all();
+                panic!("loom: {msg}");
+            }
+            if st.active == me {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// First scheduling of a freshly spawned thread.
+    pub(crate) fn wait_first(&self, me: usize) {
+        let st = self.lock();
+        self.wait_until_active(st, me);
+    }
+
+    /// A decision point: the scheduler picks the next thread to run (maybe
+    /// the caller again) among every runnable thread.
+    pub(crate) fn switch(&self, me: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut st = self.lock();
+        pick_next(&mut st);
+        self.cv.notify_all();
+        self.wait_until_active(st, me);
+    }
+
+    /// Acquires model mutex `mid`, blocking (and yielding the schedule) for
+    /// as long as another thread holds it.
+    pub(crate) fn acquire_mutex(&self, me: usize, mid: usize) {
+        loop {
+            let mut st = self.lock();
+            if st.failure.is_some() {
+                self.wait_until_active(st, me); // re-raises
+                unreachable!("failure always panics");
+            }
+            if st.held[mid].is_none() {
+                st.held[mid] = Some(me);
+                return;
+            }
+            st.threads[me] = TState::Mutex(mid);
+            pick_next(&mut st);
+            self.cv.notify_all();
+            self.wait_until_active(st, me);
+        }
+    }
+
+    /// Releases model mutex `mid` and makes its blocked acquirers runnable.
+    /// Not a decision point: the next synchronization operation (or block,
+    /// or finish) of the caller provides one, which is where woken
+    /// contenders get their shot.
+    pub(crate) fn release_mutex(&self, me: usize, mid: usize) {
+        let mut st = self.lock();
+        debug_assert_eq!(st.held[mid], Some(me), "unlock of a mutex not held");
+        st.held[mid] = None;
+        wake(&mut st, &TState::Mutex(mid));
+    }
+
+    /// Atomically releases `mid` and parks `me` on condvar `cid`.
+    pub(crate) fn cond_wait(&self, me: usize, cid: usize, mid: usize) {
+        let mut st = self.lock();
+        debug_assert_eq!(st.held[mid], Some(me), "wait with the mutex not held");
+        st.held[mid] = None;
+        wake(&mut st, &TState::Mutex(mid));
+        st.threads[me] = TState::Cond(cid);
+        pick_next(&mut st);
+        self.cv.notify_all();
+        self.wait_until_active(st, me);
+    }
+
+    /// Makes every waiter on `cid` runnable (they still reacquire the mutex
+    /// before their wait returns).
+    pub(crate) fn notify_all_waiters(&self, cid: usize) {
+        let mut st = self.lock();
+        wake(&mut st, &TState::Cond(cid));
+    }
+
+    /// Makes the lowest-id waiter on `cid` runnable (deterministic choice).
+    pub(crate) fn notify_one_waiter(&self, cid: usize) {
+        let mut st = self.lock();
+        if let Some(t) = st.threads.iter_mut().find(|t| **t == TState::Cond(cid)) {
+            *t = TState::Runnable;
+        }
+    }
+
+    /// Parks `me` until thread `target` finishes.
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        let mut st = self.lock();
+        if st.threads[target] == TState::Finished {
+            return;
+        }
+        st.threads[me] = TState::Join(target);
+        pick_next(&mut st);
+        self.cv.notify_all();
+        self.wait_until_active(st, me);
+    }
+
+    /// Marks `me` finished, wakes its joiners and hands the schedule on.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me] = TState::Finished;
+        wake(&mut st, &TState::Join(me));
+        pick_next(&mut st);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Main-thread epilogue: finish tid 0, then wait for every spawned
+    /// thread to run to completion (loom's implicit-join semantics).
+    pub(crate) fn finish_main(&self) {
+        self.finish(0);
+        let mut st = self.lock();
+        loop {
+            if let Some(msg) = &st.failure {
+                let msg = msg.clone();
+                drop(st);
+                self.cv.notify_all();
+                panic!("loom: {msg}");
+            }
+            if st.threads.iter().all(|t| *t == TState::Finished) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Records a failure (first writer wins) and wakes every parked thread
+    /// so it can observe it and unwind.
+    pub(crate) fn abort(&self, msg: String) {
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// The execution's decision log, consumed for backtracking.
+    pub(crate) fn take_schedule(&self) -> Vec<(usize, usize)> {
+        std::mem::take(&mut self.lock().schedule)
+    }
+}
+
+/// Flips every thread in `from` state back to runnable.
+fn wake(st: &mut SchedState, from: &TState) {
+    for t in st.threads.iter_mut() {
+        if t == from {
+            *t = TState::Runnable;
+        }
+    }
+}
+
+/// Chooses the next active thread among the runnable ones, replaying the
+/// DFS prefix and recording the decision. Declares a deadlock when live
+/// threads remain but none is runnable.
+fn pick_next(st: &mut SchedState) {
+    let runnable: Vec<usize> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| **t == TState::Runnable)
+        .map(|(i, _)| i)
+        .collect();
+    if runnable.is_empty() {
+        if st.threads.iter().all(|t| *t == TState::Finished) {
+            st.active = DONE;
+        } else if st.failure.is_none() {
+            st.failure = Some(describe_deadlock(st));
+        }
+        return;
+    }
+    if st.schedule.len() >= MAX_STEPS {
+        if st.failure.is_none() {
+            st.failure = Some(format!(
+                "execution exceeded {MAX_STEPS} decision points (livelock?)"
+            ));
+        }
+        return;
+    }
+    let choice = if st.step < st.replay.len() {
+        st.replay[st.step]
+    } else {
+        0
+    };
+    if choice >= runnable.len() {
+        st.failure = Some(
+            "model is nondeterministic: a replayed schedule diverged \
+             (decision points must not depend on anything but loom state)"
+                .to_string(),
+        );
+        return;
+    }
+    st.schedule.push((choice, runnable.len()));
+    st.step += 1;
+    st.active = runnable[choice];
+}
+
+fn describe_deadlock(st: &SchedState) -> String {
+    let parts: Vec<String> = st
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let what = match t {
+                TState::Runnable => "runnable".to_string(),
+                TState::Mutex(m) => format!("blocked locking mutex m{m}"),
+                TState::Cond(c) => {
+                    format!("waiting on condvar c{c} (never notified: lost wakeup?)")
+                }
+                TState::Join(t) => format!("joining thread t{t}"),
+                TState::Finished => "finished".to_string(),
+            };
+            format!("t{i} {what}")
+        })
+        .collect();
+    format!(
+        "deadlock: every live thread is blocked [{}]",
+        parts.join(", ")
+    )
+}

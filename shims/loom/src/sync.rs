@@ -1,0 +1,130 @@
+//! Model-checked synchronization primitives.
+//!
+//! API follows `parking_lot` style ([`Mutex::lock`] returns the guard
+//! directly, no poisoning) because that is what the modeled code in
+//! `hpl-comm` uses. Every operation that can order against another thread
+//! is preceded by a scheduler decision point, which is what makes the
+//! exploration exhaustive at synchronization granularity.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+pub use std::sync::Arc;
+
+pub mod atomic;
+
+use crate::ctx;
+
+/// Model mutex. Must be created inside [`crate::model`].
+pub struct Mutex<T> {
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler serializes model threads and `lock` enforces mutual
+// exclusion through the registry, so `&Mutex<T>` can cross threads whenever
+// the protected `T` itself can be sent.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above — access to `data` only happens through a held guard.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Registers a new mutex with the current execution's scheduler.
+    pub fn new(value: T) -> Self {
+        let (sched, _) = ctx::get();
+        Mutex {
+            id: sched.register_mutex(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking in model time while contended. The
+    /// acquire attempt is a decision point.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (sched, me) = ctx::get();
+        sched.switch(me);
+        sched.acquire_mutex(me, self.id);
+        MutexGuard { m: self }
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases on drop.
+pub struct MutexGuard<'a, T> {
+    m: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves this thread holds the lock, and the
+        // scheduler runs one model thread at a time.
+        unsafe { &*self.m.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive access for the lock holder.
+        unsafe { &mut *self.m.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((sched, me)) = ctx::try_get() {
+            sched.release_mutex(me, self.m.id);
+        }
+    }
+}
+
+/// Model condvar: no spurious wakeups, so a lost wakeup is a deadlock
+/// finding instead of silently surviving.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    /// Registers a new condvar with the current execution's scheduler.
+    pub fn new() -> Self {
+        let (sched, _) = ctx::get();
+        Condvar {
+            id: sched.register_condvar(),
+        }
+    }
+
+    /// Atomically releases the guard's mutex and waits for a notification;
+    /// reacquires before returning. The wait is a decision point — a racing
+    /// writer can be scheduled between the caller's last look at the
+    /// protected state and the park, exactly the window a sound protocol
+    /// must close by publishing under the same mutex.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let (sched, me) = ctx::get();
+        let m = guard.m;
+        std::mem::forget(guard); // release happens inside cond_wait
+        sched.switch(me);
+        sched.cond_wait(me, self.id, m.id);
+        sched.acquire_mutex(me, m.id);
+        MutexGuard { m }
+    }
+
+    /// Wakes every waiter (decision point first).
+    pub fn notify_all(&self) {
+        let (sched, me) = ctx::get();
+        sched.switch(me);
+        sched.notify_all_waiters(self.id);
+    }
+
+    /// Wakes the lowest-id waiter (decision point first).
+    pub fn notify_one(&self) {
+        let (sched, me) = ctx::get();
+        sched.switch(me);
+        sched.notify_one_waiter(self.id);
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}

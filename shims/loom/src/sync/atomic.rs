@@ -1,0 +1,80 @@
+//! Model atomics. Every access is a decision point; the memory model is
+//! sequentially consistent regardless of the `Ordering` passed (the shim
+//! explores interleavings, not weak-memory reorderings).
+
+pub use std::sync::atomic::Ordering;
+
+use std::sync::atomic::Ordering::SeqCst;
+
+use crate::ctx;
+
+fn switch() {
+    let (sched, me) = ctx::get();
+    sched.switch(me);
+}
+
+/// Model [`std::sync::atomic::AtomicBool`].
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    v: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic flag.
+    pub fn new(v: bool) -> Self {
+        AtomicBool {
+            v: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    /// Loads the value (decision point first).
+    pub fn load(&self, _order: Ordering) -> bool {
+        switch();
+        self.v.load(SeqCst)
+    }
+
+    /// Stores a value (decision point first).
+    pub fn store(&self, val: bool, _order: Ordering) {
+        switch();
+        self.v.store(val, SeqCst)
+    }
+
+    /// Swaps in a value, returning the previous one (decision point first).
+    pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+        switch();
+        self.v.swap(val, SeqCst)
+    }
+}
+
+/// Model [`std::sync::atomic::AtomicUsize`].
+#[derive(Debug, Default)]
+pub struct AtomicUsize {
+    v: std::sync::atomic::AtomicUsize,
+}
+
+impl AtomicUsize {
+    /// Creates a new atomic counter.
+    pub fn new(v: usize) -> Self {
+        AtomicUsize {
+            v: std::sync::atomic::AtomicUsize::new(v),
+        }
+    }
+
+    /// Loads the value (decision point first).
+    pub fn load(&self, _order: Ordering) -> usize {
+        switch();
+        self.v.load(SeqCst)
+    }
+
+    /// Stores a value (decision point first).
+    pub fn store(&self, val: usize, _order: Ordering) {
+        switch();
+        self.v.store(val, SeqCst)
+    }
+
+    /// Adds to the value, returning the previous one (decision point first).
+    pub fn fetch_add(&self, val: usize, _order: Ordering) -> usize {
+        switch();
+        self.v.fetch_add(val, SeqCst)
+    }
+}

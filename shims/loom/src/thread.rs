@@ -1,0 +1,62 @@
+//! Model threads: OS threads gated by the cooperative scheduler.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::ctx;
+use crate::sched::Scheduler;
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    sched: Arc<Scheduler>,
+    inner: std::thread::JoinHandle<T>,
+}
+
+/// Spawns a model thread. It becomes a scheduling option immediately (the
+/// spawn itself is a decision point) but only runs when picked.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me) = ctx::get();
+    let tid = sched.add_thread();
+    let child = Arc::clone(&sched);
+    let inner = std::thread::spawn(move || -> T {
+        let _ctx = ctx::set(Arc::clone(&child), tid);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            child.wait_first(tid);
+            f()
+        }));
+        match r {
+            Ok(v) => {
+                child.finish(tid);
+                v
+            }
+            Err(e) => {
+                // Abort the whole execution; the main thread re-raises.
+                child.abort(format!("model thread t{tid} panicked"));
+                resume_unwind(e)
+            }
+        }
+    });
+    sched.switch(me);
+    JoinHandle { tid, sched, inner }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (in model time) for the thread to finish, then collects its
+    /// result.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (_, me) = ctx::get();
+        self.sched.join_wait(me, self.tid);
+        self.inner.join()
+    }
+}
+
+/// Voluntary decision point.
+pub fn yield_now() {
+    let (sched, me) = ctx::get();
+    sched.switch(me);
+}

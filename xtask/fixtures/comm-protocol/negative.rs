@@ -1,0 +1,17 @@
+// Fixture: matched protocol — every statically-known tag is sent and
+// received; dynamic tags are invisible to the rule.
+const PING: Tag = Tag(1);
+
+fn client(c: &Comm, v: Payload) {
+    c.try_send(1, Tag::PING, v);
+    c.try_send_slice(1, Tag::user(9), &[0.0]);
+}
+
+fn server(c: &Comm) {
+    let _a: u64 = c.try_recv(0, Tag::PING);
+    c.try_recv_into(0, Tag::user(9), &mut []);
+}
+
+fn forward(c: &Comm, tag: Tag, v: Payload) {
+    c.try_send(2, tag, v);
+}

@@ -1,0 +1,11 @@
+// Fixture: one orphan send (declared tag, no recv anywhere) and one tag
+// typo (undeclared constant).
+const ORPHAN: Tag = Tag(7);
+
+fn leak(c: &Comm, v: Payload) {
+    c.try_send(1, Tag::ORPHAN, v);
+}
+
+fn typo(c: &Comm, v: Payload) {
+    c.try_send(1, Tag::BCSAT, v);
+}

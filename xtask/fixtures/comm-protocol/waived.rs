@@ -1,0 +1,8 @@
+// Fixture: orphan send explicitly waived (e.g. the receiver lives in a
+// downstream crate the analyzer cannot see).
+const EXPORT: Tag = Tag(3);
+
+fn publish(c: &Comm, v: Payload) {
+    // xtask-allow: comm-protocol — fixture: receiver is external
+    c.try_send(1, Tag::EXPORT, v);
+}

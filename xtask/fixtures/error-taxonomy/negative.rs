@@ -1,0 +1,14 @@
+// Fixture: the sanctioned forms — propagation with `?`, and
+// expect-with-message on a non-typed callee.
+fn fallible() -> Result<u8, HplError> {
+    Ok(0)
+}
+
+pub fn typed_entry() -> Result<u8, HplError> {
+    let v = fallible()?;
+    Ok(v)
+}
+
+fn other() {
+    plain_call().expect("not a typed-error callee");
+}

@@ -1,0 +1,19 @@
+// Fixture (loaded at crates/core/src/fixture.rs): a swallowed typed
+// Result and a panic reachable from a typed-error function.
+fn fallible() -> Result<u8, HplError> {
+    Ok(0)
+}
+
+fn driver() {
+    let v = fallible().expect("fixture swallows the typed error");
+    consume(v);
+}
+
+pub fn typed_entry() -> Result<u8, HplError> {
+    helper();
+    fallible()
+}
+
+fn helper() {
+    panic!("abort inside a typed-error path");
+}

@@ -1,0 +1,11 @@
+// Fixture: swallow waived in place (e.g. an infallible-by-construction
+// collective in diagnostics-only code).
+fn fallible() -> Result<u8, HplError> {
+    Ok(0)
+}
+
+fn driver() {
+    // xtask-allow: error-taxonomy — fixture: diagnostics-only path, documented invariant
+    let v = fallible().expect("infallible by construction");
+    consume(v);
+}

@@ -1,0 +1,19 @@
+// Fixture: allocations NOT reachable from any hot-path root, plus a root
+// that only uses index arithmetic.
+pub fn dgemm(n: usize) {
+    kernel(n);
+}
+
+fn kernel(n: usize) {
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += i as f64;
+    }
+    store(acc);
+}
+
+fn cold_setup(n: usize) {
+    // Not called from a root: allocation is fine here.
+    let v = vec![0.0f64; n];
+    consume(v);
+}

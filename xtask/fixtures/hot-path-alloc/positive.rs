@@ -1,0 +1,11 @@
+// Fixture: allocation reachable from a hot-path root (loaded at the rel
+// path crates/blas/src/fixture.rs by the engine tests).
+pub fn dgemm(n: usize) {
+    helper(n);
+}
+
+fn helper(n: usize) {
+    let v = vec![0.0f64; n];
+    let s: Vec<usize> = (0..n).collect();
+    consume(v, s);
+}

@@ -1,0 +1,10 @@
+// Fixture: reachable allocation carrying a waiver.
+pub fn dgemm(n: usize) {
+    helper(n);
+}
+
+fn helper(n: usize) {
+    // xtask-allow: hot-path-alloc — fixture: sanctioned fallback path
+    let v = vec![0.0f64; n];
+    consume(v);
+}

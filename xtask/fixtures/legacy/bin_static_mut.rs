@@ -1,0 +1,2 @@
+static mut COUNTER: u64 = 0;
+static N: u64 = 0;

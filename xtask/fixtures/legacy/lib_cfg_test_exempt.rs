@@ -1,0 +1,7 @@
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x().unwrap(); }
+    fn u() { panic!("boom"); }
+}

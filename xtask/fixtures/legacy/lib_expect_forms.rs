@@ -1,0 +1,4 @@
+fn a() { x().expect(""); }
+fn b() { x().expect(msg); }
+fn c() { x().expect("pool always outlives regions"); }
+fn d() { x().unwrap_or_else(|| 3); }

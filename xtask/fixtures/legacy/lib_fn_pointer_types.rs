@@ -1,0 +1,2 @@
+struct J { call: unsafe fn(*const ()), ext: unsafe extern "C" fn(i32) }
+unsafe fn g() {}

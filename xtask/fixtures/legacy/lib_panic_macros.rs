@@ -1,0 +1,4 @@
+fn f() { panic!("x"); }
+fn g() { todo!(); }
+fn h() { unimplemented!(); }
+fn ok() { assert!(x); debug_assert_eq!(a, b); unreachable!(); }

@@ -1,0 +1,3 @@
+// SAFETY: stale comment.
+
+fn f() { unsafe { d() } }

@@ -1,0 +1,23 @@
+fn f() {
+    // SAFETY: caller holds the lock.
+    unsafe { danger() }
+}
+
+fn g() {
+    // SAFETY: the region protocol guarantees
+    // exclusive access between barriers.
+    unsafe { danger() }
+}
+
+// SAFETY: single caller.
+#[inline]
+unsafe fn h() {}
+
+/// Does a thing.
+///
+/// # Safety
+/// `p` must be valid.
+pub unsafe fn k(p: *const u8) {}
+
+// SAFETY: X owns no thread-affine state.
+unsafe impl Send for X {}

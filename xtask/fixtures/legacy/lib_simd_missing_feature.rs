@@ -1,0 +1,9 @@
+fn f(p: *const f64) {
+    // SAFETY: pointer is valid for 4 lanes.
+    let v = unsafe { _mm256_loadu_pd(p) };
+}
+
+fn g(p: *const f64) {
+    // SAFETY: p has 2 lanes.
+    let v = unsafe { vld1q_f64(p) };
+}

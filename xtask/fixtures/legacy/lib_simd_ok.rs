@@ -1,0 +1,20 @@
+fn f(p: *const f64) {
+    // SAFETY: avx2 verified by is_x86_feature_detected!; p has 4 lanes.
+    let v = unsafe { _mm256_loadu_pd(p) };
+}
+
+fn g(p: *const f64) {
+    // SAFETY: neon is mandatory on aarch64; p has 2 lanes.
+    let v = unsafe { vld1q_f64(p) };
+}
+
+/// Kernel.
+///
+/// # Safety
+/// CPU must support avx2 and fma (runtime-detected).
+pub unsafe fn k(p: *const f64) { let v = _mm256_loadu_pd(p); }
+
+fn plain(p: *const u8) {
+    // SAFETY: caller guarantees p is valid.
+    let v = unsafe { *p };
+}

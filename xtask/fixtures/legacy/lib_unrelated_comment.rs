@@ -1,0 +1,4 @@
+fn f() {
+    // speed hack
+    unsafe { danger() }
+}

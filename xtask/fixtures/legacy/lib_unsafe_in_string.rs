@@ -1,0 +1,1 @@
+fn f() { let s = "unsafe { }"; } // unsafe block here

@@ -1,0 +1,4 @@
+fn f() { x().unwrap(); } // xtask-allow: no-unwrap — test helper
+// xtask-allow: no-panic — impossible state, documented in DESIGN.md
+fn g() { panic!("impossible"); }
+fn h() { unsafe { d() } } // xtask-allow: safety-comment, no-unwrap — fixture

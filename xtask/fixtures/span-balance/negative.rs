@@ -1,0 +1,15 @@
+// Fixture: guards properly bound (or consumed by an enclosing expression).
+fn fact_step() {
+    let _sp = hpl_trace::span(hpl_trace::Phase::Fact);
+    work();
+}
+
+fn update_step() {
+    let guard = hpl_trace::span(hpl_trace::Phase::Update);
+    work();
+    drop(guard);
+}
+
+fn transfer(sink: &Sink) {
+    sink.consume(hpl_trace::span(hpl_trace::Phase::Transfer));
+}

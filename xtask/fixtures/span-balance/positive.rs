@@ -1,0 +1,6 @@
+// Fixture: both ways to silently drop a phase-span guard.
+fn fact_step() {
+    let _ = hpl_trace::span(hpl_trace::Phase::Fact);
+    hpl_trace::span(hpl_trace::Phase::Update);
+    work();
+}

@@ -1,0 +1,6 @@
+// Fixture: an intentionally empty span, waived.
+fn fact_step() {
+    // xtask-allow: span-balance — fixture: marker-only span, intentionally empty
+    let _ = hpl_trace::span(hpl_trace::Phase::Fact);
+    work();
+}

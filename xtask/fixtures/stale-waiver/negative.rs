@@ -1,0 +1,4 @@
+// Fixture: a live annotation — it suppresses a real violation, so it is
+// not stale.
+// xtask-allow: no-panic — fixture: documented impossible state
+fn f() { panic!("impossible"); }

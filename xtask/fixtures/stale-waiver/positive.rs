@@ -1,0 +1,6 @@
+// Fixture: two stale annotations — one whose rule no longer fires, one
+// naming a rule that does not exist.
+// xtask-allow: no-panic — stale: the panic below was removed long ago
+fn calm() {}
+
+fn typo() {} // xtask-allow: no-pnic — misspelled rule name

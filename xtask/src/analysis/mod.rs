@@ -1,0 +1,20 @@
+//! The AST-based analysis engine behind `cargo xtask check`.
+//!
+//! Layering, bottom to top:
+//!
+//! - [`ast`] — token trees over the std-only lexer, an item walker and
+//!   per-function fact extraction (the workspace is offline; a vendored
+//!   `syn` would dwarf the analyzer, so this is the purpose-built subset).
+//! - [`model`] — the workspace index: function table, lightweight call
+//!   graph, reachability queries, declared tag constants.
+//! - [`rules`] — the rule implementations (legacy five re-hosted, plus
+//!   `hot-path-alloc`, `comm-protocol`, `error-taxonomy`, `span-balance`).
+//! - [`engine`] — orchestration, waiver accounting, `stale-waiver`
+//!   detection, text/JSON reporting.
+
+pub mod ast;
+pub mod engine;
+#[cfg(test)]
+mod fixture_tests;
+pub mod model;
+pub mod rules;

@@ -1,0 +1,74 @@
+//! `hot-path-alloc` — statically enforces the `PackArena` contract from
+//! PR 5: the steady-state DGEMM/update/factorization inner loops must not
+//! allocate. Roots are the per-element / per-column kernels (one call per
+//! matrix entry or per panel column); anything they reach transitively in
+//! the compute crates is hot, and any `Vec::new` / `vec!` / `Box::new` /
+//! `format!` / `.collect()` / `.to_vec()` / `.to_string()` there is a
+//! violation. Per-panel setup (`panel_factor`, packing at panel grain) is
+//! deliberately *not* a root: the contract is per-inner-iteration, and
+//! panel-grain allocations are amortized by O(nb³) work.
+
+use crate::analysis::model::{FnId, Workspace};
+use crate::rules::Violation;
+
+/// `(crate, fn name)` roots of the hot region.
+pub const ROOTS: &[(&str, &str)] = &[
+    ("blas", "dgemm"),
+    ("blas", "dgemm_with"),
+    ("blas", "dgemm_packed"),
+    ("blas", "dtrsm"),
+    ("core", "solve_u"),
+    ("core", "store_u"),
+    ("core", "gemm_update"),
+    ("core", "gemm_update_parallel"),
+    ("core", "full_update"),
+    ("core", "base_factor"),
+    ("core", "update_col"),
+    ("core", "pivot_step"),
+];
+
+/// Crates the traversal stays inside. Comm payload assembly allocates by
+/// design (ownership transfers to the fabric), so following call edges
+/// into `comm` would only produce waiver noise.
+pub const HOT_CRATES: &[&str] = &["blas", "core"];
+
+/// Resolves the root set against the workspace (non-test fns only).
+pub fn roots(ws: &Workspace) -> Vec<FnId> {
+    let mut out = Vec::new();
+    for (krate, name) in ROOTS {
+        out.extend(
+            ws.fns_named(name, Some(krate))
+                .into_iter()
+                .filter(|&id| !ws.fns[id].facts.cfg_test),
+        );
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Runs the rule over the whole workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Violation>) {
+    let roots = roots(ws);
+    let crate_ok = |k: &str| HOT_CRATES.contains(&k);
+    let reach = ws.reachable(&roots, crate_ok);
+    for &id in reach.keys() {
+        let entry = &ws.fns[id];
+        if entry.facts.allocs.is_empty() {
+            continue;
+        }
+        let via = ws.path_to(&roots, id, crate_ok).join(" -> ");
+        for a in &entry.facts.allocs {
+            out.push(Violation {
+                file: ws.file_of(id).to_string(),
+                line: a.line,
+                rule: "hot-path-alloc",
+                msg: format!(
+                    "heap allocation `{}` on a hot path (reachable via {via}); use the \
+                     PackArena scratch API or hoist the allocation out of the kernel",
+                    a.what
+                ),
+            });
+        }
+    }
+}

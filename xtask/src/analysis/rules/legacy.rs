@@ -1,0 +1,60 @@
+//! The legacy rule set, re-hosted on the AST engine.
+//!
+//! `safety-comment`, `simd-safety` and `no-static-mut` are inherently
+//! comment/token-association rules, so they share the token-stream
+//! implementations with `crate::rules` (which stays untouched as the
+//! regression oracle). `no-unwrap` and `no-panic` are re-implemented over
+//! [`FnFacts`] — the AST knows which function a site lives in and whether
+//! that function is test code, where the old engine guessed from
+//! `#[cfg(test)]` line spans. The fixture regression test
+//! (`engine::tests`) holds the two implementations to identical verdicts.
+
+use crate::analysis::ast::ParsedFile;
+use crate::rules::{self, FileKind, Violation};
+
+/// Runs the five legacy rules over one parsed file.
+pub fn check(pf: &ParsedFile, kind: FileKind, out: &mut Vec<Violation>) {
+    rules::check_safety_comments(&pf.rel, &pf.lexed, out);
+    rules::check_simd_safety(&pf.rel, &pf.lexed, out);
+    rules::check_static_mut(&pf.rel, &pf.lexed, out);
+    if kind != FileKind::Library {
+        return;
+    }
+    for f in &pf.fns {
+        if f.cfg_test {
+            continue;
+        }
+        for u in &f.unwraps {
+            if !u.is_expect {
+                out.push(Violation {
+                    file: pf.rel.clone(),
+                    line: u.line,
+                    rule: "no-unwrap",
+                    msg: "`.unwrap()` in library code (use `.expect(\"why the invariant \
+                          holds\")`, propagate a Result, or `// xtask-allow: no-unwrap` \
+                          with justification)"
+                        .to_string(),
+                });
+            } else if !u.has_msg {
+                out.push(Violation {
+                    file: pf.rel.clone(),
+                    line: u.line,
+                    rule: "no-unwrap",
+                    msg: "`.expect()` without a descriptive string-literal message".to_string(),
+                });
+            }
+        }
+        for p in &f.panics {
+            out.push(Violation {
+                file: pf.rel.clone(),
+                line: p.line,
+                rule: "no-panic",
+                msg: format!(
+                    "`{}!` in library code (return an error, or `// xtask-allow: no-panic` \
+                     with justification)",
+                    p.mac
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! The rule implementations of the AST engine.
+//!
+//! Per-file rules take one [`crate::analysis::ast::ParsedFile`];
+//! workspace rules take the resolved [`crate::analysis::model::Workspace`]
+//! so they can follow call edges across crates.
+
+pub mod comm_protocol;
+pub mod error_taxonomy;
+pub mod hot_path;
+pub mod legacy;
+pub mod span_balance;
+
+/// Rules introduced by the AST engine, `(id, one-line description)` —
+/// appended to the legacy catalog in `list-rules` output.
+pub const NEW_RULES: &[(&str, &str)] = &[
+    (
+        "hot-path-alloc",
+        "no heap allocation reachable from the DGEMM/update/fact inner loops (PackArena contract)",
+    ),
+    (
+        "comm-protocol",
+        "every statically-known fabric send tag must have a matching recv (and vice versa)",
+    ),
+    (
+        "error-taxonomy",
+        "no panic/unwrap swallowing or reachable from code that must return `HplError`",
+    ),
+    (
+        "span-balance",
+        "every `hpl-trace` phase span guard must stay bound for its scope",
+    ),
+    (
+        "stale-waiver",
+        "every `xtask-allow` annotation must still suppress at least one violation",
+    ),
+];

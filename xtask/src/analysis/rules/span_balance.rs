@@ -1,0 +1,35 @@
+//! `span-balance` — the `hpl-trace` phase spans are RAII guards: a span
+//! "closes on all exits" exactly when its guard stays bound until scope
+//! end. The two ways to silently break that are `let _ = span(..)` (the
+//! `_` pattern drops the guard immediately — the span is empty) and a
+//! bare `span(..);` statement (same). Both produce traces whose phase
+//! attribution is wrong in a way no test notices, so the analyzer does.
+
+use crate::analysis::ast::{ParsedFile, SpanBinding};
+use crate::rules::Violation;
+
+/// Runs the rule over one parsed file.
+pub fn check(pf: &ParsedFile, out: &mut Vec<Violation>) {
+    for f in &pf.fns {
+        if f.cfg_test {
+            continue;
+        }
+        for s in &f.spans {
+            let problem = match s.binding {
+                SpanBinding::Bound | SpanBinding::Other => continue,
+                SpanBinding::Discarded => {
+                    "`let _ = span(..)` drops the phase guard immediately (the span is empty)"
+                }
+                SpanBinding::BareStmt => {
+                    "bare `span(..);` statement drops the phase guard immediately"
+                }
+            };
+            out.push(Violation {
+                file: pf.rel.clone(),
+                line: s.line,
+                rule: "span-balance",
+                msg: format!("{problem}; bind it: `let _sp = span(..);`"),
+            });
+        }
+    }
+}

@@ -65,6 +65,86 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Serializes the value back to JSON text, pretty-printed with
+    /// 2-space indents. Round-trips with [`parse`]; integers in the f64
+    /// exact range print without a fractional part, so the `--json`
+    /// diagnostics schema stays stable byte-for-byte across runs.
+    pub fn write(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out
+    }
+
+    fn write_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Value::Str(s) => write_str(s, out),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_str(k, out);
+                    out.push_str(": ");
+                    v.write_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes one JSON string literal with the escapes [`parse`] understands.
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parses a complete JSON document (trailing whitespace allowed).
@@ -260,5 +340,17 @@ mod tests {
     fn empty_containers() {
         assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
         assert_eq!(parse("{}").unwrap(), Value::Obj(BTreeMap::new()));
+    }
+
+    #[test]
+    fn write_round_trips() {
+        let src = r#"{"diags":[{"file":"a/b.rs","line":7,"msg":"x \"y\"\nz","waived":false}],
+            "n":-1.5,"none":null,"empty":[],"eo":{}}"#;
+        let v = parse(src).unwrap();
+        let text = v.write();
+        assert_eq!(parse(&text).unwrap(), v, "write/parse round trip");
+        // Integers stay integers in the output (schema stability).
+        assert!(text.contains("\"line\": 7"), "{text}");
+        assert!(!text.contains("7.0"), "{text}");
     }
 }

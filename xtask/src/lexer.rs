@@ -18,8 +18,10 @@ pub enum Tok {
     Str(String),
     /// Character or lifetime-adjacent literal.
     Char,
-    /// Numeric literal.
-    Num,
+    /// Numeric literal; payload is the source text (digits, suffix and
+    /// underscores as written) so rules can match literal values such as
+    /// `Tag::user(7)`.
+    Num(String),
 }
 
 /// A token plus the 1-based source line it starts on.
@@ -192,6 +194,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             c if c.is_ascii_digit() => {
                 mark_code(&mut out, line, c);
+                let start = i;
                 i += 1;
                 while i < b.len() {
                     let d = b[i];
@@ -204,7 +207,7 @@ pub fn lex(src: &str) -> Lexed {
                     }
                 }
                 out.tokens.push(SpannedTok {
-                    tok: Tok::Num,
+                    tok: Tok::Num(b[start..i].iter().collect()),
                     line,
                 });
             }

@@ -20,13 +20,14 @@
 //! The analyzer is std-only and runs fully offline: it lexes each `.rs` file
 //! itself (no rustc, no network) so it works in the sandboxed CI image.
 
+mod analysis;
 mod bench;
 mod faults;
 mod json;
 mod lexer;
 mod rules;
 
-use rules::{analyze, FileKind, Violation, RULES};
+use rules::FileKind;
 use std::path::{Path, PathBuf};
 
 /// Library crates subject to the full rule set. Bins, benches, examples and
@@ -40,8 +41,13 @@ fn main() {
     let cmd = args.first().map(String::as_str).unwrap_or("check");
     match cmd {
         "check" => {
+            let json = args[1..].iter().any(|a| a == "--json");
+            if let Some(bad) = args[1..].iter().find(|a| *a != "--json") {
+                eprintln!("unknown `check` flag `{bad}` (expected `--json`)");
+                std::process::exit(2);
+            }
             let root = workspace_root();
-            std::process::exit(run_check(&root));
+            std::process::exit(run_check_mode(&root, json));
         }
         "bench" => {
             let root = workspace_root();
@@ -52,7 +58,7 @@ fn main() {
             std::process::exit(faults::run_faults(&root, &args[1..]));
         }
         "list-rules" => {
-            for (name, desc) in RULES {
+            for (name, desc) in analysis::engine::known_rules() {
                 println!("{name:16} {desc}");
             }
         }
@@ -76,16 +82,18 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Runs the analyzer over the workspace; returns the process exit code.
-fn run_check(root: &Path) -> i32 {
+/// Runs the AST engine over the workspace: collects every `.rs` file,
+/// classifies it, and hands the batch to [`analysis::engine::run`].
+/// Text mode prints unwaived diagnostics only; `--json` emits the full
+/// `rhpl-check-v1` document (waived diagnostics included) on stdout.
+fn run_check_mode(root: &Path, json: bool) -> i32 {
     let mut files = Vec::new();
     for dir in ["crates", "examples", "tests"] {
         collect_rs_files(&root.join(dir), &mut files);
     }
     files.sort();
 
-    let mut violations: Vec<Violation> = Vec::new();
-    let mut scanned = 0usize;
+    let mut inputs: Vec<(String, String, FileKind)> = Vec::new();
     for path in &files {
         let Ok(src) = std::fs::read_to_string(path) else {
             eprintln!("warning: unreadable file {}", path.display());
@@ -96,20 +104,26 @@ fn run_check(root: &Path) -> i32 {
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        scanned += 1;
-        violations.extend(analyze(&rel, &src, classify(&rel)));
+        let kind = classify(&rel);
+        inputs.push((rel, src, kind));
     }
 
-    if violations.is_empty() {
-        println!("xtask check: {scanned} files clean");
+    let report = analysis::engine::run(&inputs);
+    let unwaived = report.unwaived().count();
+    if json {
+        println!("{}", analysis::engine::to_json(&report).write());
+        return i32::from(unwaived > 0);
+    }
+    if unwaived == 0 {
+        println!("xtask check: {} files clean", report.scanned);
         0
     } else {
-        for v in &violations {
-            println!("{v}");
+        for d in report.unwaived() {
+            println!("{}", d.v);
         }
         println!(
-            "xtask check: {} violation(s) in {scanned} files",
-            violations.len()
+            "xtask check: {unwaived} violation(s) in {} files",
+            report.scanned
         );
         1
     }
@@ -172,6 +186,10 @@ mod tests {
     fn check_runs_clean_on_this_workspace() {
         // End-to-end guard: the real workspace must stay violation-free.
         let root = workspace_root();
-        assert_eq!(run_check(&root), 0, "xtask check found violations");
+        assert_eq!(
+            run_check_mode(&root, false),
+            0,
+            "xtask check found violations"
+        );
     }
 }

@@ -79,6 +79,11 @@ impl std::fmt::Display for Violation {
 }
 
 /// Analyzes one file's source, returning all violations found.
+///
+/// This is the legacy single-file entry point. `cargo xtask check` now
+/// runs the AST engine in `analysis::engine`; this function survives as
+/// the regression oracle the engine's fixture tests compare against.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn analyze(file: &str, src: &str, kind: FileKind) -> Vec<Violation> {
     let lexed = lex(src);
     let test_lines = cfg_test_lines(&lexed);
@@ -235,7 +240,7 @@ fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
 /// `safety-comment`: walk up from each `unsafe` token through comment-only,
 /// blank, and attribute lines; the contiguous comment block there must
 /// contain `SAFETY:` (or, for `unsafe fn`, a `# Safety` doc section).
-fn check_safety_comments(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+pub(crate) fn check_safety_comments(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
     for (idx, st) in lexed.tokens.iter().enumerate() {
         if !matches!(&st.tok, Tok::Ident(s) if s == "unsafe") {
             continue;
@@ -313,7 +318,7 @@ fn is_simd_intrinsic(name: &str) -> bool {
 /// naming the detected target feature — the soundness argument for an
 /// intrinsic is exactly which runtime CPU feature check discharges its
 /// `#[target_feature]` contract.
-fn check_simd_safety(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+pub(crate) fn check_simd_safety(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
     let toks = &lexed.tokens;
     for (idx, st) in toks.iter().enumerate() {
         if !matches!(&st.tok, Tok::Ident(s) if s == "unsafe") {
@@ -369,7 +374,7 @@ fn check_simd_safety(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
 }
 
 /// `no-static-mut`: `static` immediately followed by `mut`.
-fn check_static_mut(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+pub(crate) fn check_static_mut(file: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
     for w in lexed.tokens.windows(2) {
         if matches!(&w[0].tok, Tok::Ident(a) if a == "static")
             && matches!(&w[1].tok, Tok::Ident(b) if b == "mut")
