@@ -31,6 +31,7 @@
 pub mod arena;
 pub mod aux;
 pub mod l1;
+pub mod l1simd;
 pub mod l2;
 pub mod l3;
 pub mod l3par;
@@ -39,6 +40,7 @@ pub mod mat;
 
 pub use aux::{dlacpy, dlange, dlaswp, dlaswp_inv, dlatcpy, swap_rows, Norm};
 pub use l1::{dasum, daxpy, dcopy, ddot, dnrm2, dscal, dswap, idamax};
+pub use l1simd::{argmax_abs, axpy_add, axpy_sub, dscal_inv, dsub};
 pub use l2::{dgemv, dger, dtrsv};
 pub use l3::kernels::{self, Kernel, KernelKind, KernelSel};
 pub use l3::{dgemm, dgemm_naive, dgemm_packed, dgemm_with, dtrsm, PackedA};

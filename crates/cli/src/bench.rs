@@ -64,6 +64,9 @@ pub struct RunReport {
     pub schedule: String,
     /// DGEMM microkernel the process resolved to (`scalar` / `simd`).
     pub kernel: String,
+    /// Mailbox implementation the fabric resolved to (`lockfree` / `mutex`,
+    /// from `RHPL_MAILBOX`).
+    pub mailbox: String,
     /// Wall time of factorization + solve (seconds).
     pub wall_seconds: f64,
     /// HPL score.
@@ -107,6 +110,7 @@ pub fn run_report(rec: &RunRecord) -> RunReport {
         q: rec.cfg.q,
         schedule,
         kernel: hpl_blas::kernels::active().name().to_string(),
+        mailbox: hpl_comm::active_mailbox_name().to_string(),
         wall_seconds: rec.time,
         gflops: rec.gflops,
         residual: rec.residual,

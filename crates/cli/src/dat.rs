@@ -164,9 +164,10 @@ fn bcast_algo(code: u32, line: usize) -> Result<BcastAlgo, ParseError> {
         4 => Ok(BcastAlgo::Long),
         5 => Ok(BcastAlgo::LongM),
         6 => Ok(BcastAlgo::Binomial),
+        7 => Ok(BcastAlgo::Auto),
         _ => Err(ParseError {
             line,
-            message: format!("BCAST code must be 0..=6, got {code}"),
+            message: format!("BCAST code must be 0..=7, got {code}"),
         }),
     }
 }

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::CommError;
+use crate::spsc::LockfreeMailbox;
 
 /// Message tag. User tags live below [`Tag::RESERVED_BASE`]; the collective
 /// implementations use reserved tags above it so user point-to-point traffic
@@ -62,6 +63,90 @@ impl Tag {
 
 type Boxed = Box<dyn Any + Send>;
 
+/// Which mailbox implementation a fabric uses, before resolution.
+///
+/// `Lockfree` is the default fast path (SPSC rings, see [`crate::spsc`]);
+/// `Mutex` keeps the original mutex+condvar mailbox as the determinism
+/// oracle — both must produce bitwise-identical runs (CI pins this with
+/// the `mailbox-matrix` job and `tests/mailbox_determinism.rs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MailboxSel {
+    /// Resolve from `RHPL_MAILBOX` (`lockfree` | `mutex` | `auto`; unset
+    /// or unrecognized means `lockfree`).
+    #[default]
+    Auto,
+    /// The original mutex+condvar mailbox (determinism oracle).
+    Mutex,
+    /// The bounded lock-free SPSC ring mailbox.
+    Lockfree,
+}
+
+impl std::str::FromStr for MailboxSel {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(MailboxSel::Auto),
+            "mutex" => Ok(MailboxSel::Mutex),
+            "lockfree" => Ok(MailboxSel::Lockfree),
+            _ => Err(()),
+        }
+    }
+}
+
+impl MailboxSel {
+    /// Resolves `Auto` against the environment (read once per process).
+    fn resolve(self) -> MailboxSel {
+        match self {
+            MailboxSel::Auto => *env_mailbox(),
+            other => other,
+        }
+    }
+}
+
+/// Name of the mailbox implementation env-constructed fabrics resolve to
+/// ("mutex" / "lockfree") — what a plain [`Universe::run`] will use. Run
+/// reports record it next to the kernel name so a `BENCH_hpl.json` is
+/// attributable to the implementation that produced it.
+///
+/// [`Universe::run`]: crate::universe::Universe::run
+pub fn active_mailbox_name() -> &'static str {
+    match env_mailbox() {
+        MailboxSel::Mutex => "mutex",
+        _ => "lockfree",
+    }
+}
+
+fn env_mailbox() -> &'static MailboxSel {
+    static SEL: std::sync::OnceLock<MailboxSel> = std::sync::OnceLock::new();
+    SEL.get_or_init(|| {
+        match std::env::var("RHPL_MAILBOX")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default()
+        {
+            MailboxSel::Mutex => MailboxSel::Mutex,
+            _ => MailboxSel::Lockfree,
+        }
+    })
+}
+
+/// Default SPSC ring capacity per `(src, dst)` pair; deep enough that the
+/// collectives and look-ahead panel traffic never spill in practice,
+/// small enough to stay cache-resident. `RHPL_MAILBOX_CAP` (or
+/// [`FabricOpts::mailbox_cap`]) overrides it — the spill lane makes any
+/// capacity correct, so tiny values are used by tests to force the
+/// overflow path.
+const DEFAULT_RING_CAP: usize = 64;
+
+fn env_ring_cap() -> usize {
+    std::env::var("RHPL_MAILBOX_CAP")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(DEFAULT_RING_CAP)
+}
+
 #[derive(Default)]
 struct MailboxInner {
     queues: HashMap<(usize, Tag), VecDeque<Boxed>>,
@@ -83,13 +168,14 @@ impl MailboxInner {
     }
 }
 
-/// One destination rank's inbox.
-struct Mailbox {
+/// One destination rank's inbox, mutex+condvar variant (the determinism
+/// oracle behind `RHPL_MAILBOX=mutex`).
+struct MutexMailbox {
     inner: Mutex<MailboxInner>,
     arrived: Condvar,
 }
 
-impl Mailbox {
+impl MutexMailbox {
     fn new() -> Self {
         Self {
             inner: Mutex::new(MailboxInner::default()),
@@ -105,6 +191,31 @@ impl Mailbox {
 
     fn is_empty(&self) -> bool {
         self.inner.lock().queues.values().all(|q| q.is_empty())
+    }
+}
+
+/// One destination rank's inbox, dispatching between the two
+/// implementations. Both sit behind the same [`Fabric::try_send`] /
+/// [`Fabric::try_recv`] choke points, so fault injection, byte
+/// attribution, retry/backoff and poisoning are implementation-agnostic.
+enum MailboxImpl {
+    Mutex(MutexMailbox),
+    Lockfree(LockfreeMailbox),
+}
+
+impl MailboxImpl {
+    fn deposit(&self, src: usize, tag: Tag, msg: Boxed) {
+        match self {
+            MailboxImpl::Mutex(m) => m.deposit(src, tag, msg),
+            MailboxImpl::Lockfree(m) => m.deposit(src, tag, msg),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            MailboxImpl::Mutex(m) => m.is_empty(),
+            MailboxImpl::Lockfree(m) => m.is_empty(),
+        }
     }
 }
 
@@ -288,6 +399,11 @@ impl Poison {
         }
         self.info.lock().clone()
     }
+
+    /// Cheap flag-only probe for wait loops (no info lock).
+    fn is_set(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
 }
 
 /// Per-rank traffic counters, useful for asserting the structural properties
@@ -320,7 +436,7 @@ impl CommStats {
 /// bookkeeping, per-rank stats, the job's poison token, and the (optional)
 /// armed fault injector.
 pub struct Fabric {
-    boxes: Vec<Mailbox>,
+    boxes: Vec<MailboxImpl>,
     stats: Vec<CommStats>,
     barrier_state: Mutex<BarrierGen>,
     barrier_cv: Condvar,
@@ -330,6 +446,11 @@ pub struct Fabric {
     timeout: Option<std::time::Duration>,
     retry: RetryPolicy,
     counters: Arc<RecoveryCounters>,
+    /// Resolved mailbox implementation (never `Auto` after `build`),
+    /// inherited by split sub-fabrics.
+    mailbox: MailboxSel,
+    /// SPSC ring capacity in force (also inherited by sub-fabrics).
+    ring_cap: usize,
 }
 
 #[derive(Default)]
@@ -354,6 +475,13 @@ pub struct FabricOpts {
     pub timeout: Option<std::time::Duration>,
     /// Backoff schedule for blocked receives and drop-retransmit recovery.
     pub retry: RetryPolicy,
+    /// Mailbox implementation (`Auto` resolves from `RHPL_MAILBOX`). An
+    /// explicit value lets one process host both implementations — the
+    /// determinism tests compare them side by side.
+    pub mailbox: MailboxSel,
+    /// SPSC ring capacity override; `None` uses `RHPL_MAILBOX_CAP` or the
+    /// built-in default. Tests pass tiny values to force the spill lane.
+    pub mailbox_cap: Option<usize>,
 }
 
 impl Fabric {
@@ -394,6 +522,8 @@ impl Fabric {
                 faults: self.faults.clone(),
                 timeout: self.timeout,
                 retry: self.retry,
+                mailbox: self.mailbox,
+                mailbox_cap: Some(self.ring_cap),
             },
             Arc::clone(&self.poison),
             Arc::clone(&self.counters),
@@ -406,8 +536,17 @@ impl Fabric {
         poison: Arc<Poison>,
         counters: Arc<RecoveryCounters>,
     ) -> Arc<Self> {
+        let mailbox = opts.mailbox.resolve();
+        let ring_cap = opts.mailbox_cap.unwrap_or_else(env_ring_cap);
         Arc::new(Self {
-            boxes: (0..size).map(|_| Mailbox::new()).collect(),
+            boxes: (0..size)
+                .map(|_| match mailbox {
+                    MailboxSel::Lockfree | MailboxSel::Auto => {
+                        MailboxImpl::Lockfree(LockfreeMailbox::new(size, ring_cap))
+                    }
+                    MailboxSel::Mutex => MailboxImpl::Mutex(MutexMailbox::new()),
+                })
+                .collect(),
             stats: (0..size).map(|_| CommStats::default()).collect(),
             barrier_state: Mutex::new(BarrierGen::default()),
             barrier_cv: Condvar::new(),
@@ -416,6 +555,8 @@ impl Fabric {
             timeout: opts.timeout,
             retry: opts.retry,
             counters,
+            mailbox,
+            ring_cap,
         })
     }
 
@@ -451,10 +592,16 @@ impl Fabric {
     pub fn poison(&self, rank: usize, phase: &str) {
         self.poison.set(rank, phase);
         for b in &self.boxes {
-            // Touch each mailbox lock so sleepers can't miss the wakeup
-            // between their flag check and their wait.
-            let _g = b.inner.lock();
-            b.arrived.notify_all();
+            // Touch each mailbox's wait lock before notifying so sleepers
+            // can't miss the wakeup between their flag check and their
+            // wait (the loom-pinned discipline, both implementations).
+            match b {
+                MailboxImpl::Mutex(m) => {
+                    let _g = m.inner.lock();
+                    m.arrived.notify_all();
+                }
+                MailboxImpl::Lockfree(m) => m.wake_for_control(),
+            }
         }
         let _g = self.barrier_state.lock();
         self.barrier_cv.notify_all();
@@ -579,7 +726,22 @@ impl Fabric {
                 return Err(CommError::RankFailed { rank, phase });
             }
         }
-        let mbox = &self.boxes[dst];
+        match &self.boxes[dst] {
+            MailboxImpl::Mutex(m) => self.recv_mutex(m, dst, src, tag),
+            MailboxImpl::Lockfree(m) => self.recv_lockfree(m, dst, src, tag),
+        }
+    }
+
+    /// Blocking wait on the mutex+condvar mailbox: the queue check, the
+    /// poison check and the wait are atomic under the mailbox lock (the
+    /// protocol model-checked in `tests/loom_mailbox.rs`).
+    fn recv_mutex(
+        &self,
+        mbox: &MutexMailbox,
+        dst: usize,
+        src: usize,
+        tag: Tag,
+    ) -> Result<Boxed, CommError> {
         let mut g = mbox.inner.lock();
         let mut waited = std::time::Duration::ZERO;
         let mut attempt = 0u32;
@@ -620,6 +782,62 @@ impl Fabric {
         }
     }
 
+    /// Blocking wait on the lock-free mailbox: bounded spin, then the
+    /// park/poison protocol of [`crate::spsc`]. Timeout, backoff and
+    /// retry accounting match `recv_mutex` exactly.
+    fn recv_lockfree(
+        &self,
+        mbox: &LockfreeMailbox,
+        dst: usize,
+        src: usize,
+        tag: Tag,
+    ) -> Result<Boxed, CommError> {
+        if let Some(m) = mbox.spin_take(src, tag) {
+            return Ok(m);
+        }
+        let mut waited = std::time::Duration::ZERO;
+        let mut attempt = 0u32;
+        let timeout = self.effective_timeout();
+        loop {
+            if let Some(m) = mbox.try_take(src, tag) {
+                return Ok(m);
+            }
+            if let Some(e) = self.poison_err() {
+                // Queue-first precedence without a shared lock: the flag
+                // became visible *after* any deposit the dying rank
+                // published first (it stores the flag after the ring
+                // publish), so one final sweep keeps delivered-before-
+                // death messages winning, as in the mutex protocol.
+                mbox.ingest_all();
+                if let Some(m) = mbox.try_take(src, tag) {
+                    return Ok(m);
+                }
+                return Err(e);
+            }
+            // Quiesce every ring into the stash so the park-side re-check
+            // only trips on deposits newer than this sweep.
+            mbox.ingest_all();
+            if let Some(m) = mbox.try_take(src, tag) {
+                return Ok(m);
+            }
+            let step = self.retry.backoff(dst as u64, attempt).min(WAIT_STEP);
+            if mbox.park(step, || self.poison.is_set()) {
+                waited += step;
+                attempt = attempt.saturating_add(1);
+                self.counters.note_retry();
+                if waited >= timeout {
+                    return Err(CommError::Timeout {
+                        dst,
+                        src,
+                        tag,
+                        waited_ms: waited.as_millis() as u64,
+                        pending: mbox.pending_keys(),
+                    });
+                }
+            }
+        }
+    }
+
     /// Infallible [`Fabric::try_recv`] for call sites outside the fallible
     /// pipeline. Keeps the historical deadlock-detector behaviour: a timeout
     /// (or poisoned job) panics with the full diagnostic.
@@ -640,7 +858,16 @@ impl Fabric {
     /// True if no undelivered messages remain anywhere (used by tests to
     /// assert collectives are self-contained).
     pub fn quiescent(&self) -> bool {
-        self.boxes.iter().all(Mailbox::is_empty)
+        self.boxes.iter().all(MailboxImpl::is_empty)
+    }
+
+    /// Which mailbox implementation this fabric resolved to ("mutex" or
+    /// "lockfree") — surfaced in run reports next to the kernel name.
+    pub fn mailbox_name(&self) -> &'static str {
+        match self.mailbox {
+            MailboxSel::Mutex => "mutex",
+            _ => "lockfree",
+        }
     }
 
     /// Centralized generation-counting barrier over all ranks of this
@@ -903,5 +1130,126 @@ mod tests {
         assert_eq!((m, e), (1, 128));
         let _ = f.recv(1, 0, Tag::user(0));
         assert!(f.quiescent());
+    }
+
+    fn opts_for(sel: MailboxSel, cap: Option<usize>) -> FabricOpts {
+        FabricOpts {
+            mailbox: sel,
+            mailbox_cap: cap,
+            ..FabricOpts::default()
+        }
+    }
+
+    #[test]
+    fn mailbox_selector_parses_and_names() {
+        assert!(matches!("mutex".parse(), Ok(MailboxSel::Mutex)));
+        assert!(matches!("LOCKFREE".parse(), Ok(MailboxSel::Lockfree)));
+        assert!(matches!("auto".parse(), Ok(MailboxSel::Auto)));
+        assert!("ring0".parse::<MailboxSel>().is_err());
+        let f = Fabric::new_with_opts(1, opts_for(MailboxSel::Mutex, None));
+        assert_eq!(f.mailbox_name(), "mutex");
+        let f = Fabric::new_with_opts(1, opts_for(MailboxSel::Lockfree, None));
+        assert_eq!(f.mailbox_name(), "lockfree");
+    }
+
+    #[test]
+    fn both_mailboxes_round_trip_and_quiesce() {
+        for sel in [MailboxSel::Mutex, MailboxSel::Lockfree] {
+            let f = Fabric::new_with_opts(2, opts_for(sel, None));
+            f.send(0, 1, Tag::user(4), Box::new(41u32), 4);
+            f.send(0, 1, Tag::user(4), Box::new(42u32), 4);
+            for want in [41u32, 42] {
+                let got = *f
+                    .recv(1, 0, Tag::user(4))
+                    .downcast::<u32>()
+                    .expect("payload type");
+                assert_eq!(got, want, "FIFO broken under {sel:?}");
+            }
+            assert!(f.quiescent(), "{sel:?} left undelivered messages");
+        }
+    }
+
+    #[test]
+    fn lockfree_spill_preserves_fifo_past_a_tiny_ring() {
+        // cap 1 forces nearly every deposit through the spill lane; order
+        // must survive the ring→spill handoff and back.
+        let f = Fabric::new_with_opts(2, opts_for(MailboxSel::Lockfree, Some(1)));
+        for i in 0..64u32 {
+            f.send(0, 1, Tag::user(7), Box::new(i), 4);
+        }
+        for want in 0..64u32 {
+            let got = *f
+                .recv(1, 0, Tag::user(7))
+                .downcast::<u32>()
+                .expect("payload type");
+            assert_eq!(got, want);
+        }
+        assert!(f.quiescent());
+    }
+
+    #[test]
+    fn lockfree_interleaved_tags_from_many_senders() {
+        let f = Fabric::new_with_opts(4, opts_for(MailboxSel::Lockfree, Some(2)));
+        for src in [0usize, 1, 2] {
+            for i in 0..8u32 {
+                f.send(src, 3, Tag::user(src as u64), Box::new(i), 4);
+            }
+        }
+        // Receive in an order that forces stash traffic: highest src first.
+        for src in [2usize, 1, 0] {
+            for want in 0..8u32 {
+                let got = *f
+                    .recv(3, src, Tag::user(src as u64))
+                    .downcast::<u32>()
+                    .expect("payload type");
+                assert_eq!(got, want, "per-(src, tag) FIFO broken for src {src}");
+            }
+        }
+        assert!(f.quiescent());
+    }
+
+    #[test]
+    fn lockfree_timeout_reports_pending_keys() {
+        let f = Fabric::new_with_opts(
+            2,
+            FabricOpts {
+                timeout: Some(std::time::Duration::from_secs(1)),
+                ..opts_for(MailboxSel::Lockfree, Some(1))
+            },
+        );
+        f.send(0, 1, Tag::user(5), Box::new(1u8), 1);
+        f.send(0, 1, Tag::user(5), Box::new(2u8), 1); // spills
+        let e = f.try_recv(1, 0, Tag::user(6)).unwrap_err();
+        match e {
+            CommError::Timeout { pending, .. } => {
+                assert_eq!(pending, vec![(0, Tag::user(5))], "spilled + rung keys");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lockfree_poison_unblocks_parked_receiver() {
+        let f = Fabric::new_with_opts(2, opts_for(MailboxSel::Lockfree, None));
+        let f2 = Arc::clone(&f);
+        let h = thread::spawn(move || f2.try_recv(1, 0, Tag::user(0)));
+        thread::sleep(std::time::Duration::from_millis(30));
+        f.poison(0, "fact");
+        let e = h.join().unwrap().unwrap_err();
+        assert!(matches!(e, CommError::RankFailed { rank: 0, .. }), "{e:?}");
+    }
+
+    #[test]
+    fn lockfree_deposit_before_poison_still_delivers() {
+        let f = Fabric::new_with_opts(2, opts_for(MailboxSel::Lockfree, None));
+        f.send(0, 1, Tag::user(2), Box::new(9u32), 4);
+        f.poison(0, "fact");
+        let v = *f
+            .recv(1, 0, Tag::user(2))
+            .downcast::<u32>()
+            .expect("payload type");
+        assert_eq!(v, 9, "delivered-before-death message must beat the poison");
+        let e = f.try_recv(1, 0, Tag::user(2)).unwrap_err();
+        assert!(matches!(e, CommError::RankFailed { rank: 0, .. }));
     }
 }

@@ -47,6 +47,7 @@ pub mod error;
 pub mod fabric;
 pub mod grid;
 pub mod ring;
+pub mod spsc;
 pub mod universe;
 
 pub use abft::panel_bcast_checked;
@@ -57,8 +58,10 @@ pub use coll::{
 pub use comm::Communicator;
 pub use error::CommError;
 pub use fabric::{
-    recv_timeout, set_comm_timeout, CommStats, FabricOpts, RecoveryCounters, RetryPolicy, Tag,
+    active_mailbox_name, recv_timeout, set_comm_timeout, CommStats, FabricOpts, MailboxSel,
+    RecoveryCounters, RetryPolicy, Tag,
 };
 pub use grid::{Grid, GridOrder};
 pub use ring::{panel_bcast, BcastAlgo};
+pub use spsc::SpscRing;
 pub use universe::{FaultedRun, Universe};

@@ -58,6 +58,25 @@ impl Universe {
             .collect()
     }
 
+    /// Like [`Universe::run`] but with explicit fabric options, so tests can
+    /// pin a mailbox implementation (or ring capacity) per run instead of
+    /// inheriting the process-wide `RHPL_MAILBOX` resolution.
+    pub fn run_with_opts<T, F>(nranks: usize, opts: crate::fabric::FabricOpts, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Sync,
+    {
+        let fabric = Fabric::new_with_opts(nranks, opts);
+        let (results, panics) = Self::run_on(&fabric, f);
+        if panics.iter().any(Option::is_some) {
+            std::panic::resume_unwind(root_cause(panics, fabric.poison_info()));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("rank produced a result"))
+            .collect()
+    }
+
     /// Runs `f` on `nranks` ranks with `plan` armed on the fabric and the
     /// calling convention of a fault soak: rank deaths (injected or panics)
     /// are absorbed into `None` results instead of re-raised, and the armed

@@ -1,82 +1,98 @@
-//! Exhaustive model check of the mailbox send/recv/poison protocol.
+//! Exhaustive model check of the mailbox send/recv/poison protocol — for
+//! **both** mailbox implementations behind `Fabric::try_recv`.
 //!
-//! This mirrors the synchronization skeleton of `fabric.rs` — a `Mailbox`
-//! (`Mutex<VecDeque>` + `Condvar`) and the job-wide `Poison` flag
-//! (`AtomicBool`) — with the payloads and timeout polling stripped away, and
-//! drives it through every thread interleaving with the `loom` shim. The
-//! properties verified here are the ones the planned lock-free SPSC ring
-//! replacement must preserve:
+//! The synchronization skeletons mirrored here, with payloads and timeout
+//! polling stripped away:
 //!
-//! 1. a deposited message is always delivered (no lost wakeup on the
-//!    arrival path);
-//! 2. delivery is FIFO per queue;
-//! 3. poisoning always unblocks a parked receiver (the `Fabric::poison`
-//!    "touch the mailbox lock before notifying" discipline);
-//! 4. a message deposited before a death beats the poison check
-//!    (queue-first precedence in `try_recv`, which keeps data flow
-//!    deterministic during recovery).
+//! * [`MutexModel`] — the classic mailbox (`Mutex<VecDeque>` + `Condvar`),
+//!   the determinism oracle selected by `RHPL_MAILBOX=mutex`;
+//! * [`LockfreeModel`] — the SPSC fast path of `crates/comm/src/spsc.rs`:
+//!   a bounded ring (atomic head/tail), a `parked` flag published before a
+//!   locked re-check, and a park lock that `wake`/`poison` must take before
+//!   notifying. The shim serializes execution, so the `SeqCst` fences of
+//!   the real code are represented by the shim's (SeqCst-only) atomics.
 //!
-//! The final test drops the lock acquisition from `poison` and asserts the
-//! checker *catches* the resulting lost wakeup — both a regression test for
-//! the checker itself and the reason the real implementation may not
-//! "optimize away" that lock round-trip (its timeout polling would mask the
-//! bug at a 100 ms latency cost instead of failing loudly).
+//! Every model is driven through the same four-property contract — the one
+//! PR 7 pinned down for exactly this replacement:
+//!
+//! 1. a deposited message is always delivered (no lost wakeup);
+//! 2. delivery is FIFO;
+//! 3. poisoning always unblocks a parked receiver;
+//! 4. a message deposited before a death beats the poison check.
+//!
+//! The contract is generated from a single macro invocation per model, and
+//! `both_models_run_the_full_contract` fails if either implementation's
+//! list ever diverges — a model can't silently skip a property.
+//!
+//! Each model also proves the checker *catches* its own lost-wakeup bug
+//! when `poison` skips the lock round-trip: the real implementations may
+//! not "optimize away" that lock (their timeout polling would mask the bug
+//! at a latency cost instead of failing loudly).
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use loom::sync::{Arc, Condvar, Mutex};
 use loom::thread;
 
-/// One rank's inbox plus the job poison flag, as in `fabric.rs`.
-struct Model {
+/// The protocol surface both mailbox models expose to the contract tests.
+trait MailboxModel: Send + Sync + 'static {
+    fn new() -> Arc<Self>;
+    /// Producer side of `Fabric::send`.
+    fn deposit(&self, msg: u32);
+    /// `Fabric::poison`: raise the flag, then touch the park/mailbox lock
+    /// before notifying so a sleeper can't miss the wakeup between its
+    /// check and its wait.
+    fn poison(&self);
+    /// The broken variant: same store and notify but without the lock.
+    fn broken_poison(&self);
+    /// Consumer side of `Fabric::try_recv`'s wait loop.
+    fn recv(&self) -> Result<u32, &'static str>;
+}
+
+/// One rank's inbox plus the job poison flag, as in the mutex mailbox.
+struct MutexModel {
     queue: Mutex<VecDeque<u32>>,
     arrived: Condvar,
     poison: AtomicBool,
 }
 
-impl Model {
+impl MailboxModel for MutexModel {
     fn new() -> Arc<Self> {
-        Arc::new(Model {
+        Arc::new(MutexModel {
             queue: Mutex::new(VecDeque::new()),
             arrived: Condvar::new(),
             poison: AtomicBool::new(false),
         })
     }
 
-    /// `Mailbox::deposit`: enqueue under the lock, then notify.
     fn deposit(&self, msg: u32) {
         let mut q = self.queue.lock();
         q.push_back(msg);
         self.arrived.notify_all();
     }
 
-    /// `Fabric::poison`: raise the flag, then touch the mailbox lock before
-    /// notifying so a sleeper can't miss the wakeup between its flag check
-    /// and its wait.
     fn poison(&self) {
-        self.poison.store(true, Ordering::Release);
+        self.poison.store(true, Ordering::SeqCst);
         let _q = self.queue.lock();
         self.arrived.notify_all();
     }
 
-    /// The broken variant: same store and notify but without the lock. The
-    /// notify can now fire inside a receiver's check-then-wait window.
     fn broken_poison(&self) {
-        self.poison.store(true, Ordering::Release);
+        self.poison.store(true, Ordering::SeqCst);
         self.arrived.notify_all();
     }
 
-    /// `Fabric::try_recv`'s wait loop: queue first (delivered-before-death
-    /// wins), then the poison flag, then park.
+    /// Queue first (delivered-before-death wins), then the poison flag,
+    /// then park — all atomic under the mailbox lock.
     fn recv(&self) -> Result<u32, &'static str> {
         let mut q = self.queue.lock();
         loop {
             if let Some(m) = q.pop_front() {
                 return Ok(m);
             }
-            if self.poison.load(Ordering::Acquire) {
+            if self.poison.load(Ordering::SeqCst) {
                 return Err("rank failed");
             }
             q = self.arrived.wait(q);
@@ -84,77 +100,249 @@ impl Model {
     }
 }
 
-#[test]
-fn message_is_delivered_in_every_interleaving() {
-    loom::model(|| {
-        let m = Model::new();
-        let tx = Arc::clone(&m);
-        let sender = thread::spawn(move || tx.deposit(7));
-        assert_eq!(m.recv(), Ok(7));
-        sender.join().expect("sender");
-    });
+/// The SPSC fast path: one bounded ring (capacity 2 — enough for every
+/// contract scenario, small enough for exhaustive DFS) and the park
+/// protocol of `LockfreeMailbox`: publish `parked`, re-check under the
+/// park lock, wait.
+///
+/// Only the *control* state is modeled with (decision-point-generating)
+/// shim atomics: `tail`, `parked` and `poison`. Slot payloads and the
+/// consumer-private `head` are plain cells — the protocol under test keeps
+/// them single-sided (slots are written strictly before the tail publish
+/// and read strictly after observing it; head is touched only by the
+/// consumer), and the shim's serialized scheduler means they add no
+/// observable interleavings, only DFS depth.
+struct LockfreeModel {
+    slots: [std::cell::Cell<u32>; 2],
+    head: std::cell::Cell<usize>,
+    /// Producer-private tail cursor (the real ring's Relaxed self-load).
+    ptail: std::cell::Cell<usize>,
+    tail: AtomicUsize,
+    parked: AtomicBool,
+    park_lock: Mutex<()>,
+    arrived: Condvar,
+    poison: AtomicBool,
 }
 
-#[test]
-fn delivery_is_fifo() {
-    loom::model(|| {
-        let m = Model::new();
-        let tx = Arc::clone(&m);
-        let sender = thread::spawn(move || {
-            tx.deposit(1);
-            tx.deposit(2);
-        });
-        assert_eq!(m.recv(), Ok(1));
-        assert_eq!(m.recv(), Ok(2));
-        sender.join().expect("sender");
-    });
+// SAFETY: the `Cell` fields are accessed single-sided under the SPSC
+// protocol (the producer owns `ptail` and writes a slot only before
+// publishing it via `tail`; the consumer owns `head` and reads slots only
+// after observing the `tail` publication), and the loom shim runs threads
+// strictly one at a time, so the cells are never physically touched
+// concurrently.
+unsafe impl Sync for LockfreeModel {}
+
+impl LockfreeModel {
+    /// Consumer-only ring pop (head is consumer-private).
+    fn try_pop(&self) -> Option<u32> {
+        let h = self.head.get();
+        if self.tail.load(Ordering::SeqCst) == h {
+            return None;
+        }
+        let v = self.slots[h & 1].get();
+        self.head.set(h + 1);
+        Some(v)
+    }
+
+    fn has_arrivals(&self) -> bool {
+        self.tail.load(Ordering::SeqCst) != self.head.get()
+    }
 }
 
-#[test]
-fn poison_always_unblocks_a_parked_receiver() {
-    loom::model(|| {
-        let m = Model::new();
-        let killer = Arc::clone(&m);
-        let t = thread::spawn(move || killer.poison());
-        // Empty queue: the only way out is the poison flag. Every
-        // interleaving must terminate (a lost wakeup would deadlock).
-        assert_eq!(m.recv(), Err("rank failed"));
-        t.join().expect("poisoner");
-    });
+impl MailboxModel for LockfreeModel {
+    fn new() -> Arc<Self> {
+        Arc::new(LockfreeModel {
+            slots: [std::cell::Cell::new(0), std::cell::Cell::new(0)],
+            head: std::cell::Cell::new(0),
+            ptail: std::cell::Cell::new(0),
+            tail: AtomicUsize::new(0),
+            parked: AtomicBool::new(false),
+            park_lock: Mutex::new(()),
+            arrived: Condvar::new(),
+            poison: AtomicBool::new(false),
+        })
+    }
+
+    /// Producer-only ring push, then the wake half of the Dekker pair:
+    /// publish, then check `parked`, notifying only with the park lock held.
+    /// (Contract scenarios never overfill the cap-2 ring, so the full/spill
+    /// branch — covered by unit and property tests — is elided here.)
+    fn deposit(&self, msg: u32) {
+        let t = self.ptail.get();
+        self.slots[t & 1].set(msg);
+        self.ptail.set(t + 1);
+        self.tail.store(t + 1, Ordering::SeqCst);
+        if self.parked.load(Ordering::SeqCst) {
+            let _g = self.park_lock.lock();
+            self.arrived.notify_all();
+        }
+    }
+
+    fn poison(&self) {
+        self.poison.store(true, Ordering::SeqCst);
+        let _g = self.park_lock.lock();
+        self.arrived.notify_all();
+    }
+
+    fn broken_poison(&self) {
+        self.poison.store(true, Ordering::SeqCst);
+        self.arrived.notify_all();
+    }
+
+    /// `recv_lockfree`: non-blocking take, poison check with one final
+    /// sweep (deposit-before-death precedence without a shared lock), then
+    /// the park protocol. The model waits untimed where the real code uses
+    /// a timed park, so a lost wakeup is a *deadlock* here instead of a
+    /// 100 ms hiccup — that is the point.
+    fn recv(&self) -> Result<u32, &'static str> {
+        loop {
+            if let Some(m) = self.try_pop() {
+                return Ok(m);
+            }
+            if self.poison.load(Ordering::SeqCst) {
+                // The dying rank publishes its last deposit before the
+                // flag, so one final sweep keeps queue-first precedence.
+                if let Some(m) = self.try_pop() {
+                    return Ok(m);
+                }
+                return Err("rank failed");
+            }
+            let mut g = self.park_lock.lock();
+            self.parked.store(true, Ordering::SeqCst);
+            // Re-check after publishing `parked` (the consumer half of the
+            // Dekker pair): anything deposited before the producer read
+            // `parked == false` is visible here.
+            if self.has_arrivals() || self.poison.load(Ordering::SeqCst) {
+                self.parked.store(false, Ordering::SeqCst);
+                continue;
+            }
+            g = self.arrived.wait(g);
+            self.parked.store(false, Ordering::SeqCst);
+            drop(g);
+        }
+    }
 }
 
-#[test]
-fn message_deposited_before_death_beats_the_poison() {
-    loom::model(|| {
-        let m = Model::new();
-        let tx = Arc::clone(&m);
-        let t = thread::spawn(move || {
-            tx.deposit(9);
-            tx.poison();
-        });
-        assert_eq!(m.recv(), Ok(9), "queued message wins over the poison check");
-        t.join().expect("dying sender");
-    });
-}
+/// Generates the shared contract suite for one model. Adding a property
+/// here adds it to *both* implementations; the manifest test below keeps
+/// the lists in lockstep.
+macro_rules! mailbox_contract {
+    ($modname:ident, $model:ty) => {
+        mod $modname {
+            use super::*;
 
-#[test]
-fn checker_catches_poison_without_the_mailbox_lock() {
-    let r = catch_unwind(AssertUnwindSafe(|| {
-        loom::model(|| {
-            let m = Model::new();
-            let killer = Arc::clone(&m);
-            let t = thread::spawn(move || killer.broken_poison());
-            let _ = m.recv();
-            t.join().expect("poisoner");
-        });
-    }));
-    let msg = match r {
-        Ok(()) => panic!("the lock-free poison's lost wakeup went undetected"),
-        Err(e) => *e.downcast::<String>().expect("panic message"),
+            /// The properties this module proves, used by the manifest test.
+            pub(crate) const CONTRACT: &[&str] = &[
+                "message_is_delivered_in_every_interleaving",
+                "delivery_is_fifo",
+                "poison_always_unblocks_a_parked_receiver",
+                "message_deposited_before_death_beats_the_poison",
+                "checker_catches_poison_without_the_park_lock",
+            ];
+
+            #[test]
+            fn message_is_delivered_in_every_interleaving() {
+                loom::model(|| {
+                    let m = <$model>::new();
+                    let tx = Arc::clone(&m);
+                    let sender = thread::spawn(move || tx.deposit(7));
+                    assert_eq!(m.recv(), Ok(7));
+                    sender.join().expect("sender");
+                });
+            }
+
+            #[test]
+            fn delivery_is_fifo() {
+                loom::model(|| {
+                    let m = <$model>::new();
+                    let tx = Arc::clone(&m);
+                    let sender = thread::spawn(move || {
+                        tx.deposit(1);
+                        tx.deposit(2);
+                    });
+                    assert_eq!(m.recv(), Ok(1));
+                    assert_eq!(m.recv(), Ok(2));
+                    sender.join().expect("sender");
+                });
+            }
+
+            #[test]
+            fn poison_always_unblocks_a_parked_receiver() {
+                loom::model(|| {
+                    let m = <$model>::new();
+                    let killer = Arc::clone(&m);
+                    let t = thread::spawn(move || killer.poison());
+                    // Empty mailbox: the only way out is the poison flag.
+                    // Every interleaving must terminate (a lost wakeup
+                    // would deadlock).
+                    assert_eq!(m.recv(), Err("rank failed"));
+                    t.join().expect("poisoner");
+                });
+            }
+
+            #[test]
+            fn message_deposited_before_death_beats_the_poison() {
+                loom::model(|| {
+                    let m = <$model>::new();
+                    let tx = Arc::clone(&m);
+                    let t = thread::spawn(move || {
+                        tx.deposit(9);
+                        tx.poison();
+                    });
+                    assert_eq!(m.recv(), Ok(9), "queued message wins over the poison");
+                    t.join().expect("dying sender");
+                });
+            }
+
+            #[test]
+            fn checker_catches_poison_without_the_park_lock() {
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    loom::model(|| {
+                        let m = <$model>::new();
+                        let killer = Arc::clone(&m);
+                        let t = thread::spawn(move || killer.broken_poison());
+                        let _ = m.recv();
+                        t.join().expect("poisoner");
+                    });
+                }));
+                let msg = match r {
+                    Ok(()) => panic!("the lock-free poison's lost wakeup went undetected"),
+                    Err(e) => *e.downcast::<String>().expect("panic message"),
+                };
+                assert!(msg.contains("deadlock"), "unexpected diagnosis: {msg}");
+                assert!(
+                    msg.contains("condvar"),
+                    "should blame the parked receiver: {msg}"
+                );
+            }
+        }
     };
-    assert!(msg.contains("deadlock"), "unexpected diagnosis: {msg}");
-    assert!(
-        msg.contains("condvar"),
-        "should blame the parked receiver: {msg}"
+}
+
+mailbox_contract!(mutex_mailbox, MutexModel);
+mailbox_contract!(lockfree_mailbox, LockfreeModel);
+
+/// The manifest: both implementations must run the exact same contract.
+/// If a property is added to (or removed from) one module's suite without
+/// the other — or a test is renamed away from the shared macro — this
+/// fails before CI can go green on a partial model check.
+#[test]
+fn both_models_run_the_full_contract() {
+    assert_eq!(
+        mutex_mailbox::CONTRACT,
+        lockfree_mailbox::CONTRACT,
+        "mailbox models diverged on the verified contract"
+    );
+    let expected = [
+        "message_is_delivered_in_every_interleaving",
+        "delivery_is_fifo",
+        "poison_always_unblocks_a_parked_receiver",
+        "message_deposited_before_death_beats_the_poison",
+        "checker_catches_poison_without_the_park_lock",
+    ];
+    assert_eq!(
+        mutex_mailbox::CONTRACT,
+        &expected,
+        "a contract property was dropped from the suite"
     );
 }

@@ -1,0 +1,119 @@
+//! Property tests for the bounded SPSC ring behind the lock-free mailbox:
+//! against a `VecDeque` reference model, over arbitrary capacities and
+//! push/pop sequences — including the full, empty and wraparound
+//! boundaries the head/tail index arithmetic must get right.
+
+use std::collections::VecDeque;
+
+use hpl_comm::SpscRing;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push(u32),
+    Pop,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    collection::vec(
+        prop_oneof![(0u32..u32::MAX).prop_map(Op::Push), Just(Op::Pop)],
+        0..200,
+    )
+}
+
+proptest! {
+    /// Sequential equivalence with a bounded VecDeque: same accepts, same
+    /// rejects (ring full), same pop results, same lengths — for every
+    /// capacity from the degenerate 1 upward, crossing the wraparound
+    /// boundary many times within a sequence.
+    #[test]
+    fn ring_matches_a_bounded_vecdeque_model(cap in 1usize..33, script in ops()) {
+        let ring = SpscRing::new(cap);
+        let bound = ring.capacity(); // next power of two
+        prop_assert!(bound >= cap && bound < 2 * cap.max(1) + 1);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in script {
+            match op {
+                Op::Push(v) => {
+                    let accepted = ring.push(v).is_ok();
+                    let model_accepts = model.len() < bound;
+                    prop_assert_eq!(
+                        accepted, model_accepts,
+                        "full-ring boundary diverged at len {}", model.len()
+                    );
+                    if accepted {
+                        model.push_back(v);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(ring.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert_eq!(ring.is_empty(), model.is_empty());
+        }
+        // Drain: everything still inside comes out in FIFO order.
+        while let Some(want) = model.pop_front() {
+            prop_assert_eq!(ring.pop(), Some(want));
+        }
+        prop_assert_eq!(ring.pop(), None);
+    }
+
+    /// A full/empty/full cycle at exactly the capacity boundary, repeated
+    /// enough laps that head and tail wrap the index mask several times.
+    #[test]
+    fn repeated_fill_drain_laps_preserve_fifo(cap in 1usize..17, laps in 1usize..9) {
+        let ring = SpscRing::new(cap);
+        let bound = ring.capacity();
+        let mut next = 0u32;
+        for _ in 0..laps {
+            for _ in 0..bound {
+                prop_assert!(ring.push(next).is_ok());
+                next += 1;
+            }
+            // One past full must bounce and return the value intact.
+            prop_assert_eq!(ring.push(u32::MAX), Err(u32::MAX));
+            for i in 0..bound {
+                prop_assert_eq!(ring.pop(), Some(next - bound as u32 + i as u32));
+            }
+            prop_assert_eq!(ring.pop(), None);
+        }
+    }
+
+    /// Cross-thread: a producer pushing a random count with a random
+    /// capacity (retrying on full) and a consumer popping concurrently see
+    /// an exact FIFO stream — no loss, duplication or reorder across the
+    /// Release/Acquire head/tail handoff.
+    #[test]
+    fn concurrent_producer_consumer_stream_is_exact(cap in 1usize..9, n in 0u32..2000) {
+        let ring = SpscRing::new(cap);
+        std::thread::scope(|s| {
+            let producer = s.spawn(|| {
+                for v in 0..n {
+                    let mut item = v;
+                    loop {
+                        match ring.push(item) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            });
+            let mut seen = 0u32;
+            while seen < n {
+                match ring.pop() {
+                    Some(v) => {
+                        assert_eq!(v, seen, "stream reordered");
+                        seen += 1;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+            producer.join().expect("producer");
+        });
+        prop_assert_eq!(ring.pop(), None);
+    }
+}

@@ -449,9 +449,7 @@ fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
         st.for_own_tiles(ctx, st.below_start(k), |r0, r1| {
             // SAFETY: own tile, parallel phase (disjoint across threads).
             let mut rows = unsafe { st.a.rows_mut(r0, r1) };
-            for v in rows.col_mut(k) {
-                *v /= pivot;
-            }
+            hpl_blas::dscal_inv(pivot, rows.col_mut(k));
         });
 
         match st.inp.opts.variant {
@@ -473,10 +471,7 @@ fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
                         for j in 0..c.cols() {
                             let yj = yrow.get(0, j);
                             if yj != 0.0 {
-                                let col = c.col_mut(j);
-                                for (ci, &xi) in col.iter_mut().zip(x) {
-                                    *ci -= yj * xi;
-                                }
+                                hpl_blas::axpy_sub(yj, x, c.col_mut(j));
                             }
                         }
                     });
@@ -536,16 +531,10 @@ fn update_col(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, k: usize) {
             hpl_blas::arena::with_scratch(r1 - r0, |acc| {
                 for (p, &up) in u.iter().enumerate() {
                     if up != 0.0 {
-                        let col = rows.col(lo + p);
-                        for (a, &l) in acc.iter_mut().zip(col.iter()) {
-                            *a += l * up;
-                        }
+                        hpl_blas::axpy_add(up, rows.col(lo + p), acc);
                     }
                 }
-                let ck = rows.col_mut(k);
-                for (c, &a) in ck.iter_mut().zip(acc.iter()) {
-                    *c -= a;
-                }
+                hpl_blas::dsub(rows.col_mut(k), acc);
             });
         });
     });
@@ -561,12 +550,13 @@ fn pivot_step(st: &FactState<'_>, ctx: &Ctx<'_>, k: usize) -> bool {
     st.for_own_tiles(ctx, st.cand_start(k), |r0, r1| {
         // SAFETY: reading own tiles during a parallel phase.
         let rows = unsafe { st.a.rows_mut(r0, r1) };
-        for (off, &v) in rows.col(k).iter().enumerate() {
-            let av = v.abs();
-            if av > best_v {
-                best_v = av;
-                best_i = r0 + off;
-            }
+        // Tiles are visited in ascending row order, so merging per-tile
+        // first-max winners with a strict `>` reproduces the flat
+        // first-index-wins element loop exactly.
+        let (off, av) = hpl_blas::argmax_abs(rows.col(k));
+        if av > best_v {
+            best_v = av;
+            best_i = r0 + off;
         }
     });
     let (lv, li) = ctx.reduce_maxloc(best_v, best_i);

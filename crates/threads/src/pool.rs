@@ -29,12 +29,23 @@ struct FaultArm {
     injector: Arc<Injector>,
 }
 
-/// Reusable sense-reversing spin barrier for a fixed participant count.
+/// Reusable sense-reversing spin barrier for a fixed participant count,
+/// with a park fallback so long waits (e.g. the FACT pivot collective
+/// running on thread 0) stop stealing cycles from working siblings.
 struct SpinBarrier {
     count: AtomicUsize,
     sense: AtomicBool,
     participants: usize,
+    /// How many waiters are (or are about to be) parked on `gate`.
+    sleepers: AtomicUsize,
+    gate: parking_lot::Mutex<()>,
+    wake: parking_lot::Condvar,
 }
+
+/// Pure-spin rounds before a waiter starts yielding the core.
+const BARRIER_SPINS: u32 = 64;
+/// Yield rounds after spinning before a waiter parks outright.
+const BARRIER_YIELDS: u32 = 256;
 
 impl SpinBarrier {
     fn new(participants: usize) -> Self {
@@ -42,6 +53,9 @@ impl SpinBarrier {
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
             participants,
+            sleepers: AtomicUsize::new(0),
+            gate: parking_lot::Mutex::new(()),
+            wake: parking_lot::Condvar::new(),
         }
     }
 
@@ -52,20 +66,45 @@ impl SpinBarrier {
         *local_sense = my_sense;
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
             self.count.store(0, Ordering::Relaxed);
-            self.sense.store(my_sense, Ordering::Release);
+            // SeqCst store/load pair with the waiter's SeqCst
+            // `sleepers`-increment/`sense`-recheck (Dekker): either this
+            // load sees the sleeper (we notify under the gate lock), or the
+            // sleeper's recheck sees the flipped sense (it never parks).
+            self.sense.store(my_sense, Ordering::SeqCst);
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                // Taking the gate before notifying pins the sleeper either
+                // fully parked (the notify lands) or before its locked
+                // recheck (it observes the flipped sense) — no lost wakeup.
+                let _g = self.gate.lock();
+                self.wake.notify_all();
+            }
         } else {
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != my_sense {
                 spins += 1;
-                if spins < 64 {
+                if spins < BARRIER_SPINS {
                     core::hint::spin_loop();
-                } else {
+                } else if spins < BARRIER_SPINS + BARRIER_YIELDS {
                     // Give oversubscribed siblings a chance to run; this is
                     // exactly the time-sharing scenario of §III.B.
                     std::thread::yield_now();
+                } else {
+                    self.park(my_sense);
+                    return;
                 }
             }
         }
+    }
+
+    /// Slow path: park on the condvar until the release flips `sense`.
+    #[cold]
+    fn park(&self, my_sense: bool) {
+        let mut g = self.gate.lock();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        while self.sense.load(Ordering::SeqCst) != my_sense {
+            self.wake.wait(&mut g);
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 

@@ -237,6 +237,15 @@ impl Tracer {
 }
 
 fn slow_from_env() -> Option<(Phase, u64)> {
+    // Dedicated FACT knob (`RHPL_TRACE_SLOW_FACT=<ns>`): the bench gate's
+    // self-test injects through it to prove the gate catches regressions in
+    // the threaded factorization path, not just the UPDATE.
+    if let Some(ns) = std::env::var("RHPL_TRACE_SLOW_FACT")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        return Some((Phase::Fact, ns));
+    }
     let phase = std::env::var("RHPL_TRACE_SLOW_PHASE").ok()?;
     let ns: u64 = std::env::var("RHPL_TRACE_SLOW_NS").ok()?.parse().ok()?;
     Phase::ALL

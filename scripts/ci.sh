@@ -27,6 +27,10 @@ echo "== [kernel-matrix] cargo test -q under each pinned DGEMM kernel"
 RHPL_KERNEL=scalar cargo test -q
 RHPL_KERNEL=simd cargo test -q
 
+echo "== [mailbox-matrix] cargo test -q under each mailbox implementation"
+RHPL_MAILBOX=lockfree cargo test -q
+RHPL_MAILBOX=mutex cargo test -q
+
 echo "== [race-check] threaded FACT with the aliasing ledger armed"
 cargo test -q --release -p hpl-threads --features hpl-threads/race-check
 cargo test -q --release -p rhpl-core --features hpl-threads/race-check
@@ -53,7 +57,7 @@ else
   echo "miri: nightly toolchain with miri is not installed; skipping (hosted CI runs it)"
 fi
 
-echo "== [loom] model-check the mailbox send/recv/poison protocol"
+echo "== [loom] model-check both mailbox implementations' send/recv/poison protocol"
 cargo test -q -p loom
 cargo test -q -p hpl-comm --test loom_mailbox
 

@@ -24,9 +24,15 @@
 //!
 //! - `cargo xtask bench --update-baseline` re-measures and rewrites
 //!   `bench/baseline.json` (run on a quiet machine, commit the result);
-//! - `cargo xtask bench --self-test` injects an artificial slowdown into
-//!   the UPDATE phase (`RHPL_TRACE_SLOW_*`) and succeeds only if the gate
-//!   *fails*, proving the bands can trip.
+//! - `cargo xtask bench --self-test` injects artificial slowdowns — first
+//!   into the UPDATE phase (`RHPL_TRACE_SLOW_PHASE`/`_NS`), then into the
+//!   FACT path (`RHPL_TRACE_SLOW_FACT`) — and succeeds only if the gate
+//!   *fails on the injected phase* both times, proving the bands can trip
+//!   on the dominant phase and on the threaded factorization alike.
+//!
+//! A normal gate run also prints a per-phase delta table (FACT, LBCAST,
+//! UPDATE ns/iteration vs baseline) and appends it to the GitHub job
+//! summary when `$GITHUB_STEP_SUMMARY` is set.
 
 use std::path::Path;
 use std::process::Command;
@@ -207,24 +213,20 @@ pub fn run_bench(root: &Path, args: &[String]) -> i32 {
     };
 
     let failures = compare(&measured, Some(overhead), &baseline);
+    emit_phase_deltas(&measured, &baseline);
     report(&measured, &failures)
 }
 
-/// Self-test: inject a 10 ms sleep into every UPDATE span and require the
-/// gate to fail (exit 0 when it does).
+/// Self-test: two injected-slowdown passes, each of which must make the
+/// gate fail *on the injected phase* (exit 0 when both do). UPDATE goes
+/// through the generic `RHPL_TRACE_SLOW_PHASE`/`_NS` pair; FACT through
+/// its dedicated `RHPL_TRACE_SLOW_FACT` knob, so a regression in the
+/// threaded factorization path is provably catchable, not just one in the
+/// dominant phase. (The FACT sleep is 100 ms: FACT's sub-millisecond
+/// baseline puts its factor-50 cap around 30–40 ms/iteration — well above
+/// the 10 ms absolute floor UPDATE sits on — and under the look-ahead
+/// schedules the last iteration factors no panel, diluting the average.)
 fn run_self_test(root: &Path) -> i32 {
-    println!("xtask bench: self-test (artificially slowed UPDATE phase; the gate must trip)");
-    let slow = [
-        ("RHPL_TRACE_SLOW_PHASE", "update"),
-        ("RHPL_TRACE_SLOW_NS", "10000000"),
-    ];
-    let measured = match measure(root, Some(&slow)) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("xtask bench: {e}");
-            return 1;
-        }
-    };
     let baseline_path = root.join("bench/baseline.json");
     let baseline = match std::fs::read_to_string(&baseline_path)
         .map_err(|e| e.to_string())
@@ -236,17 +238,97 @@ fn run_self_test(root: &Path) -> i32 {
             return 1;
         }
     };
-    // Overhead is skipped: the injected sleep would distort it.
-    let failures = compare(&measured, None, &baseline);
-    if failures.is_empty() {
-        eprintln!("xtask bench: SELF-TEST FAILED — the slowed run passed the gate");
-        1
-    } else {
-        println!("xtask bench: self-test OK — gate tripped as expected:");
-        for f in &failures {
+    let passes: [(&str, &[(&str, &str)]); 2] = [
+        (
+            "update_ns",
+            &[
+                ("RHPL_TRACE_SLOW_PHASE", "update"),
+                ("RHPL_TRACE_SLOW_NS", "10000000"),
+            ],
+        ),
+        ("fact_ns", &[("RHPL_TRACE_SLOW_FACT", "100000000")]),
+    ];
+    for (phase, slow) in passes {
+        println!("xtask bench: self-test (artificially slowed {phase}; the gate must trip)");
+        let measured = match measure(root, Some(slow)) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("xtask bench: {e}");
+                return 1;
+            }
+        };
+        // Overhead is skipped: the injected sleep would distort it.
+        let failures = compare(&measured, None, &baseline);
+        if !failures.iter().any(|f| f.contains(phase)) {
+            eprintln!("xtask bench: SELF-TEST FAILED — the slowed {phase} run passed the gate");
+            for f in &failures {
+                eprintln!("  (other failure) {f}");
+            }
+            return 1;
+        }
+        println!("xtask bench: gate tripped on {phase} as expected:");
+        for f in failures.iter().filter(|f| f.contains(phase)) {
             println!("  {f}");
         }
-        0
+    }
+    println!("xtask bench: self-test OK — both injected slowdowns tripped the gate");
+    0
+}
+
+/// Phases surfaced in the delta table: the two this repo's comm/FACT fast
+/// paths target, plus the dominant UPDATE for proportion.
+const DELTA_PHASES: &[&str] = &["fact_ns", "bcast_ns", "update_ns"];
+
+/// Renders a markdown table of per-iteration phase times against the
+/// baseline (a negative delta is faster than baseline). `None` when the
+/// baseline doesn't line up run-for-run — `compare` reports that case as a
+/// gate failure on its own.
+fn phase_delta_table(measured: &[RunMetrics], baseline: &Value) -> Option<String> {
+    let base_runs = baseline.get("runs").and_then(Value::arr)?;
+    if base_runs.len() != measured.len() {
+        return None;
+    }
+    let mut t = String::from(
+        "| run | phase | baseline ns/iter | measured ns/iter | delta |\n\
+         |---|---|---:|---:|---:|\n",
+    );
+    for (m, b) in measured.iter().zip(base_runs) {
+        let b = run_metrics(b).ok()?;
+        for phase in DELTA_PHASES {
+            let i = PHASES.iter().position(|p| p == phase)?;
+            let (mv, bv) = (m.phase_ns_per_iter[i], b.phase_ns_per_iter[i]);
+            let delta = if bv > 0.0 {
+                format!("{:+.1}%", (mv - bv) / bv * 100.0)
+            } else {
+                "n/a".into()
+            };
+            t.push_str(&format!(
+                "| {} | {} | {:.0} | {:.0} | {} |\n",
+                m.tv, phase, bv, mv, delta
+            ));
+        }
+    }
+    Some(t)
+}
+
+/// Prints the phase-delta table and, under GitHub Actions, appends it to
+/// the job summary (`$GITHUB_STEP_SUMMARY` names the file to append to).
+fn emit_phase_deltas(measured: &[RunMetrics], baseline: &Value) {
+    let Some(table) = phase_delta_table(measured, baseline) else {
+        return;
+    };
+    println!("xtask bench: phase deltas vs bench/baseline.json");
+    print!("{table}");
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        let doc = format!("### Bench phase deltas\n\n{table}\n");
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| std::io::Write::write_all(&mut f, doc.as_bytes()));
+        if let Err(e) = appended {
+            eprintln!("xtask bench: cannot append job summary {path}: {e}");
+        }
     }
 }
 
@@ -684,6 +766,21 @@ mod tests {
         );
         assert_eq!(b.get("runs").and_then(Value::arr).unwrap().len(), 2);
         assert!(compare(&base, None, &b).is_empty());
+    }
+
+    #[test]
+    fn delta_table_reports_signed_percentages() {
+        let base = vec![metrics(1.0, 1e6, "0xaa")];
+        let b = baseline_of(&base);
+        // Halve UPDATE: the table must show it at -50% while the un-changed
+        // FACT and LBCAST rows sit at +0.0%.
+        let faster = vec![metrics(1.0, 5e5, "0xaa")];
+        let t = phase_delta_table(&faster, &b).expect("aligned baseline");
+        assert!(t.contains("| WC102R16 | update_ns | 1000000 | 500000 | -50.0% |"));
+        assert!(t.contains("| WC102R16 | fact_ns | 1000000 | 1000000 | +0.0% |"));
+        assert!(t.lines().count() == 2 + DELTA_PHASES.len());
+        // A run-count mismatch is the gate's problem, not the table's.
+        assert!(phase_delta_table(&[], &b).is_none());
     }
 
     #[test]
