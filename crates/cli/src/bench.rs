@@ -67,6 +67,12 @@ pub struct RunReport {
     /// Mailbox implementation the fabric resolved to (`lockfree` / `mutex`,
     /// from `RHPL_MAILBOX`).
     pub mailbox: String,
+    /// Transport the universe resolved to (`inproc` / `shm` / `tcp`, from
+    /// `RHPL_TRANSPORT`).
+    pub transport: String,
+    /// Per-directed-link transport counters of the most recent run (empty
+    /// under the in-process fabric, which moves no bytes).
+    pub links: Vec<LinkReport>,
     /// Wall time of factorization + solve (seconds).
     pub wall_seconds: f64,
     /// HPL score.
@@ -95,6 +101,21 @@ pub struct RunReport {
     pub ranks: Vec<RankTrace>,
 }
 
+/// One directed transport link's byte/frame/latency counters.
+#[derive(Debug, serde::Serialize)]
+pub struct LinkReport {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Encoded frame bytes sent (headers + payload + trailers).
+    pub bytes: u64,
+    /// Frames sent.
+    pub frames: u64,
+    /// Cumulative wall time spent inside transport sends (nanoseconds).
+    pub send_ns: u64,
+}
+
 /// Builds one [`RunReport`] from a finished record.
 pub fn run_report(rec: &RunRecord) -> RunReport {
     let schedule = match rec.cfg.schedule {
@@ -111,6 +132,17 @@ pub fn run_report(rec: &RunRecord) -> RunReport {
         schedule,
         kernel: hpl_blas::kernels::active().name().to_string(),
         mailbox: hpl_comm::active_mailbox_name().to_string(),
+        transport: hpl_comm::active_transport_name().to_string(),
+        links: hpl_comm::last_run_link_stats()
+            .iter()
+            .map(|l| LinkReport {
+                src: l.src,
+                dst: l.dst,
+                bytes: l.bytes,
+                frames: l.frames,
+                send_ns: l.send_ns,
+            })
+            .collect(),
         wall_seconds: rec.time,
         gflops: rec.gflops,
         residual: rec.residual,

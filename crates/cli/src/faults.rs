@@ -171,6 +171,7 @@ pub(crate) fn error_line(e: &HplError) -> String {
             got,
         } => format!("HPLERROR kind=protocol what={what} expected={expected} got={got}"),
         HplError::Ckpt { what } => format!("HPLERROR kind=ckpt what={what}"),
+        HplError::Config { what } => format!("HPLERROR kind=config what={what:?}"),
     }
 }
 

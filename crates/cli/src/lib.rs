@@ -14,6 +14,9 @@
 //!   stdout protocol.
 //! * [`recover`] — the checkpoint/restart supervisor (`--ckpt-every`),
 //!   which survives injected rank deaths mid-run.
+//! * [`launch`] — `rhpl launch`: one OS process per rank over a real
+//!   transport (tcp/shm), with heartbeat failure detection and gang restart
+//!   from checkpoints when a rank is killed.
 
 // Lint policy: indexed loops are used deliberately where they mirror the
 // reference BLAS/HPL loop structure, and several kernels take the full
@@ -24,6 +27,7 @@
 pub mod bench;
 pub mod dat;
 pub mod faults;
+pub mod launch;
 pub mod recover;
 pub mod report;
 pub mod runner;

@@ -2,6 +2,11 @@
 //!
 //! ```text
 //! rhpl [HPL.dat]              run the sweep described by the input file
+//! rhpl launch HPL.dat --ranks N --transport tcp|shm|inproc
+//!                             one OS process per rank, supervised: rendezvous,
+//!                             heartbeats, rank-death detection; with
+//!                             --ckpt-every K also respawn + resume from the
+//!                             latest checkpoint (see rhpl_cli::launch)
 //! rhpl --sample               print a ready-to-edit sample HPL.dat
 //! rhpl ... --split-frac 0.5   split-update fraction (0 = look-ahead only)
 //! rhpl ... --threads 4        FACT threads per rank (SIII.A)
@@ -31,7 +36,7 @@
 
 use std::process::ExitCode;
 
-use rhpl_cli::{bench, dat, faults, recover, report, runner};
+use rhpl_cli::{bench, dat, faults, launch, recover, report, runner};
 
 fn arg_value<T: std::str::FromStr>(args: &[String], key: &str) -> Option<T> {
     args.iter()
@@ -42,6 +47,12 @@ fn arg_value<T: std::str::FromStr>(args: &[String], key: &str) -> Option<T> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Fabric knobs are read from the environment deep inside library code;
+    // reject garbage here with the typed message instead of a late panic.
+    if let Err(e) = hpl_comm::config::validate_env() {
+        eprintln!("rhpl: configuration error: {e}");
+        return ExitCode::from(2);
+    }
     if args.iter().any(|a| a == "--sample") {
         print!("{}", dat::SAMPLE);
         return ExitCode::SUCCESS;
@@ -51,7 +62,12 @@ fn main() -> ExitCode {
             "usage: rhpl [HPL.dat] [--split-frac F] [--threads T] [--seed S] \
              [--kernel auto|scalar|simd] [--trace-json PATH] [--fault SPEC]... \
              [--fault-seed S] [--ckpt-every K] [--ckpt-dir PATH] \
-             [--comm-timeout SECS] [--sample]"
+             [--comm-timeout SECS] [--sample]\n\
+             \x20      rhpl launch [HPL.dat] --ranks N [--transport inproc|shm|tcp] \
+             [--ckpt-every K] [--ckpt-dir PATH] [--fault SPEC]...\n\
+             launch runs the first sweep combination with one OS process per \
+             rank under a supervisor (rendezvous, heartbeats, respawn+resume \
+             from checkpoints on rank death)"
         );
         return ExitCode::SUCCESS;
     }
@@ -73,6 +89,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    // Multi-process modes: `launch` supervises one OS process per rank;
+    // `_rank` is the (internal) child entry point it spawns. Both sit after
+    // the global knob handling above so --comm-timeout and --kernel apply
+    // to children too.
+    match args.first().map(String::as_str) {
+        Some("launch") => return launch::run_launch(&args[1..]),
+        Some("_rank") => return launch::run_rank(&args[1..]),
+        _ => {}
     }
     let path = args
         .iter()

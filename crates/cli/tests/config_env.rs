@@ -1,0 +1,102 @@
+//! End-to-end checks that garbage in the fabric environment knobs
+//! (`RHPL_MAILBOX`, `RHPL_MAILBOX_CAP`, `RHPL_TRANSPORT`) is rejected by
+//! the `rhpl` binary *up front* with the typed configuration message and
+//! exit code 2 — not deep inside a universe as a panic. Each case spawns
+//! the real binary so the whole path (env → `validate_env` → stderr →
+//! exit code) is exercised.
+
+use std::process::Command;
+
+fn rhpl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rhpl"))
+}
+
+/// Runs `rhpl --sample` (the cheapest subcommand) with one env var set and
+/// returns (exit code, stderr).
+fn run_with_env(var: &str, value: &str) -> (i32, String) {
+    let out = rhpl()
+        .arg("--sample")
+        .env(var, value)
+        .output()
+        .expect("spawn rhpl");
+    (
+        out.status.code().expect("no signal"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn bad_mailbox_is_a_typed_config_error() {
+    let (code, stderr) = run_with_env("RHPL_MAILBOX", "quantum");
+    assert_eq!(code, 2, "config errors exit 2, stderr: {stderr}");
+    assert!(stderr.contains("configuration error"), "stderr: {stderr}");
+    assert!(stderr.contains("RHPL_MAILBOX"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("quantum"),
+        "the offending value must be echoed back, stderr: {stderr}"
+    );
+}
+
+#[test]
+fn bad_mailbox_cap_is_a_typed_config_error() {
+    let (code, stderr) = run_with_env("RHPL_MAILBOX_CAP", "-3");
+    assert_eq!(code, 2, "config errors exit 2, stderr: {stderr}");
+    assert!(stderr.contains("RHPL_MAILBOX_CAP"), "stderr: {stderr}");
+    assert!(stderr.contains("-3"), "stderr: {stderr}");
+}
+
+#[test]
+fn bad_transport_is_a_typed_config_error() {
+    let (code, stderr) = run_with_env("RHPL_TRANSPORT", "carrier-pigeon");
+    assert_eq!(code, 2, "config errors exit 2, stderr: {stderr}");
+    assert!(stderr.contains("RHPL_TRANSPORT"), "stderr: {stderr}");
+    assert!(stderr.contains("carrier-pigeon"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("inproc") || stderr.contains("tcp"),
+        "the error should name the accepted values, stderr: {stderr}"
+    );
+}
+
+#[test]
+fn valid_env_values_are_accepted() {
+    for (var, value) in [
+        ("RHPL_MAILBOX", "lockfree"),
+        ("RHPL_MAILBOX", "mutex"),
+        ("RHPL_MAILBOX_CAP", "256"),
+        ("RHPL_TRANSPORT", "inproc"),
+        ("RHPL_TRANSPORT", "shm"),
+        ("RHPL_TRANSPORT", "tcp"),
+    ] {
+        let (code, stderr) = run_with_env(var, value);
+        assert_eq!(code, 0, "{var}={value} must be accepted, stderr: {stderr}");
+    }
+}
+
+/// `rhpl launch` validates its own arguments with the same discipline:
+/// unknown transports and malformed rank counts are usage errors (exit 1),
+/// not panics — and a bad fabric env still beats them to exit 2.
+#[test]
+fn launch_rejects_bad_arguments_cleanly() {
+    let out = rhpl()
+        .args(["launch", "--ranks", "4", "--transport", "telepathy"])
+        .output()
+        .expect("spawn rhpl");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("telepathy"), "stderr: {stderr}");
+
+    let out = rhpl()
+        .args(["launch", "--ranks", "zero"])
+        .output()
+        .expect("spawn rhpl");
+    assert_eq!(out.status.code(), Some(1));
+
+    // Env validation still runs first: a launch invocation inherits the
+    // same typed config gate as every other mode.
+    let out = rhpl()
+        .args(["launch", "--ranks", "4"])
+        .env("RHPL_TRANSPORT", "carrier-pigeon")
+        .output()
+        .expect("spawn rhpl");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -15,6 +15,7 @@
 use crate::comm::Communicator;
 use crate::error::CommError;
 use crate::fabric::Tag;
+use crate::transport::wire::Wire;
 
 /// Reduction operator for [`allreduce`] / [`reduce`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,7 +53,7 @@ fn unrel(vrank: usize, root: usize, size: usize) -> usize {
 /// Binomial-tree broadcast of an arbitrary cloneable value. On the root,
 /// `value` must be `Some` (else [`CommError::MissingRoot`]); elsewhere it is
 /// ignored. Every rank returns the broadcast value.
-pub fn bcast<T: Clone + Send + 'static>(
+pub fn bcast<T: Wire + Clone>(
     comm: &Communicator,
     root: usize,
     value: Option<T>,
@@ -189,7 +190,7 @@ pub fn allreduce_maxloc(comm: &Communicator, mine: MaxLoc) -> Result<MaxLoc, Com
 /// so one collective both finds and distributes the pivot row.
 pub fn allreduce_with<T, F>(comm: &Communicator, mine: T, combine: F) -> Result<T, CommError>
 where
-    T: Clone + Send + 'static,
+    T: Wire + Clone,
     F: Fn(T, T) -> T,
 {
     let size = comm.size();

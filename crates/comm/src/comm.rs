@@ -1,11 +1,49 @@
 //! The [`Communicator`]: a rank's handle to one communication context,
 //! offering MPI-style typed point-to-point operations, barrier, and
 //! `split` for building row/column sub-communicators.
+//!
+//! Transport awareness: on the in-process oracle a communicator is exactly
+//! what it was before the transport layer existed — a `(fabric, rank)`
+//! pair, with `split` building isolated child fabrics. On a
+//! transport-backed endpoint (one OS process per rank, or the thread-mode
+//! harness), a single world-sized fabric exists per rank; sub-communicators
+//! are *views* over it ([`CommView`]): a member list mapping local ranks to
+//! world ranks plus a context id folded into the tag bits above
+//! [`Tag::RESERVED_BASE`]'s collective range, so traffic of sibling
+//! communicators can never cross-match. Every typed payload crossing a
+//! process boundary is encoded through [`Wire`] into a [`Packet`] *before*
+//! the fabric choke point, so fault injection, stats and traced bytes see
+//! the identical send either way — the invariant behind transport-invariant
+//! `seq_hash`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::error::CommError;
 use crate::fabric::{CommStats, Fabric, Tag};
+use crate::transport::wire::{Packet, SplitInfo, Wire};
+
+/// Context ids occupy the tag bits above this shift; reserved collective
+/// tags stay below it (`RESERVED_BASE = 1 << 48`, offsets < 64).
+const CTX_SHIFT: u32 = 50;
+
+/// A sub-communicator view over a transport-backed world fabric: the
+/// in-process path expresses `split` as a fresh child fabric, but a remote
+/// endpoint cannot share mailboxes with its peers, so a split there is
+/// pure bookkeeping — member mapping, a tag-context, and an isolated
+/// stats ledger (matching the child fabric's isolated stats).
+struct CommView {
+    /// Folded into bits `CTX_SHIFT..` of every tag on this communicator.
+    ctx: u64,
+    /// World rank of each member, indexed by local rank.
+    members: Vec<usize>,
+    /// Ordered split counter for deriving child contexts.
+    split_seq: AtomicU64,
+    /// Per-local-rank traffic ledger (only this rank's slot is used in
+    /// process-per-rank mode, but sizing it like a fabric keeps the
+    /// accounting shape identical).
+    stats: Vec<CommStats>,
+}
 
 /// A rank's endpoint in one communicator (the analogue of an `MPI_Comm`
 /// plus the caller's rank in it).
@@ -18,11 +56,27 @@ use crate::fabric::{CommStats, Fabric, Tag};
 pub struct Communicator {
     fabric: Arc<Fabric>,
     rank: usize,
+    view: Option<Arc<CommView>>,
 }
 
 impl Communicator {
     pub(crate) fn new(fabric: Arc<Fabric>, rank: usize) -> Self {
-        Self { fabric, rank }
+        Self {
+            fabric,
+            rank,
+            view: None,
+        }
+    }
+
+    /// Wraps a [`Fabric::remote`] endpoint as that rank's world
+    /// communicator — the entry point for process-per-rank launchers that
+    /// wire their own transport instead of going through
+    /// [`crate::universe::Universe`].
+    pub fn endpoint(fabric: Arc<Fabric>) -> Self {
+        let rank = fabric
+            .remote_rank()
+            .expect("Communicator::endpoint needs a remote fabric");
+        Self::new(fabric, rank)
     }
 
     /// This rank's id in `0..size()`.
@@ -34,54 +88,110 @@ impl Communicator {
     /// Number of ranks in the communicator.
     #[inline]
     pub fn size(&self) -> usize {
-        self.fabric.size()
+        match &self.view {
+            Some(v) => v.members.len(),
+            None => self.fabric.size(),
+        }
+    }
+
+    /// World (fabric) rank of local rank `r` on this communicator.
+    #[inline]
+    fn world_of(&self, r: usize) -> usize {
+        match &self.view {
+            Some(v) => v.members[r],
+            None => r,
+        }
+    }
+
+    /// This communicator's context folded into `tag`.
+    #[inline]
+    fn fold(&self, tag: Tag) -> Tag {
+        match &self.view {
+            Some(v) => Tag(tag.0 | (v.ctx << CTX_SHIFT)),
+            None => tag,
+        }
+    }
+
+    /// The stats ledger this communicator's sends are counted in: the view's
+    /// own ledger when present (split isolation), else the fabric's.
+    #[inline]
+    fn ledger(&self) -> Option<&CommStats> {
+        self.view.as_ref().map(|v| &v.stats[self.rank])
+    }
+
+    /// True when payloads must cross a process boundary to reach `dst`.
+    #[inline]
+    fn crosses_process(&self, world_dst: usize) -> bool {
+        match self.fabric.remote_rank() {
+            Some(me) => world_dst != me,
+            None => false,
+        }
     }
 
     /// Sends `value` to `dst` with `tag`. Asynchronous: never blocks.
-    pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
-        self.fabric.send(self.rank, dst, tag, Box::new(value), 1);
+    pub fn send<T: Wire>(&self, dst: usize, tag: Tag, value: T) {
+        if let Err(e) = self.try_send(dst, tag, value) {
+            let CommError::RankFailed { rank, phase } = e else {
+                // try_send's only errors are deaths (own or a peer's).
+                unreachable!("unexpected send error: {e}");
+            };
+            std::panic::panic_any(hpl_faults::RankDeath { rank, phase });
+        }
     }
 
     /// Sends a `f64` slice (copied) to `dst`; counted in element stats.
     pub fn send_slice(&self, dst: usize, tag: Tag, data: &[f64]) {
-        self.fabric.send(
-            self.rank,
-            dst,
-            tag,
-            Box::new(data.to_vec()),
-            data.len() as u64,
-        );
+        self.send_counted(dst, tag, data.to_vec(), data.len() as u64);
     }
 
-    /// Fallible [`Communicator::send`]: the only error is this rank's own
-    /// injected death, returned (after poisoning the job) instead of
-    /// unwinding so collectives running on pool worker threads can exit
-    /// their parallel region cleanly.
-    pub fn try_send<T: Send + 'static>(
-        &self,
-        dst: usize,
-        tag: Tag,
-        value: T,
-    ) -> Result<(), CommError> {
-        self.fabric
-            .try_send(self.rank, dst, tag, Box::new(value), 1)
+    /// Fallible [`Communicator::send`]: the only error is a death — this
+    /// rank's own injected one, or (transport-backed) a destination whose
+    /// link is gone — returned after poisoning the job instead of unwinding
+    /// so collectives running on pool worker threads can exit their
+    /// parallel region cleanly.
+    pub fn try_send<T: Wire>(&self, dst: usize, tag: Tag, value: T) -> Result<(), CommError> {
+        self.try_send_counted(dst, tag, value, 1)
     }
 
     /// Fallible [`Communicator::send_slice`]; see [`Communicator::try_send`].
     pub fn try_send_slice(&self, dst: usize, tag: Tag, data: &[f64]) -> Result<(), CommError> {
-        self.fabric.try_send(
-            self.rank,
-            dst,
-            tag,
-            Box::new(data.to_vec()),
-            data.len() as u64,
-        )
+        self.try_send_counted(dst, tag, data.to_vec(), data.len() as u64)
+    }
+
+    fn send_counted<T: Wire>(&self, dst: usize, tag: Tag, value: T, elems: u64) {
+        if let Err(e) = self.try_send_counted(dst, tag, value, elems) {
+            let CommError::RankFailed { rank, phase } = e else {
+                unreachable!("unexpected send error: {e}");
+            };
+            std::panic::panic_any(hpl_faults::RankDeath { rank, phase });
+        }
+    }
+
+    fn try_send_counted<T: Wire>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        value: T,
+        elems: u64,
+    ) -> Result<(), CommError> {
+        let world_dst = self.world_of(dst);
+        let world_src = self.world_of(self.rank);
+        let tag = self.fold(tag);
+        // Encode *before* the choke point so the fault hooks (which fire
+        // inside `try_send_counted`) mutate the bytes that actually travel.
+        let boxed: Box<dyn std::any::Any + Send> = if self.crosses_process(world_dst) {
+            Box::new(Packet::pack(&value))
+        } else {
+            Box::new(value)
+        };
+        self.fabric
+            .try_send_counted(self.ledger(), world_src, world_dst, tag, boxed, elems)
     }
 
     /// Receives a `T` from `(src, tag)`, blocking. Panics if the matching
     /// message has a different payload type (a programming error on the
     /// matched send side).
-    pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
+    pub fn recv<T: Wire>(&self, src: usize, tag: Tag) -> T {
         self.try_recv(src, tag).unwrap_or_else(|e| {
             // Deadlock/death diagnostics must fail loudly on the infallible
             // path (see `Fabric::recv`).
@@ -92,21 +202,37 @@ impl Communicator {
 
     /// Fallible [`Communicator::recv`]: returns [`CommError::Timeout`] (with
     /// the mailbox's pending `(src, tag)` keys) instead of wedging until the
-    /// deadlock detector panics, and [`CommError::RankFailed`] when the job
-    /// was poisoned by a dead rank. A payload-type mismatch still panics —
-    /// that is a bug in the matched send, not a runtime condition.
-    pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> Result<T, CommError> {
-        let any = self.fabric.try_recv(self.rank, src, tag)?;
-        Ok(*any.downcast::<T>().unwrap_or_else(|_| {
-            // A payload-type mismatch is a bug in the matched send, not a
-            // runtime error (documented on the method).
-            // xtask-allow: no-panic, error-taxonomy — programming-error contract
-            panic!(
-                "rank {}: recv type mismatch from rank {src} tag {tag:?} (expected {})",
-                self.rank,
-                std::any::type_name::<T>()
-            )
-        }))
+    /// deadlock detector panics, [`CommError::RankFailed`] when the job was
+    /// poisoned by a dead rank, and [`CommError::Corrupt`] when a
+    /// transport-delivered payload failed its frame checksum or cannot be
+    /// decoded as `T`. A payload-type mismatch on the in-process path still
+    /// panics — that is a bug in the matched send, not a runtime condition.
+    pub fn try_recv<T: Wire>(&self, src: usize, tag: Tag) -> Result<T, CommError> {
+        let world_src = self.world_of(src);
+        let world_dst = self.world_of(self.rank);
+        let tag = self.fold(tag);
+        let any = self.fabric.try_recv(world_dst, world_src, tag)?;
+        let any = match any.downcast::<T>() {
+            Ok(v) => return Ok(*v),
+            Err(original) => original,
+        };
+        match any.downcast::<Packet>() {
+            Ok(pkt) => pkt.unpack::<T>().ok_or(CommError::Corrupt {
+                root: src,
+                rank: self.rank,
+                attempts: 1,
+            }),
+            Err(_) => {
+                // A payload-type mismatch is a bug in the matched send, not
+                // a runtime error (documented on the method).
+                // xtask-allow: no-panic, error-taxonomy — programming-error contract
+                panic!(
+                    "rank {}: recv type mismatch from rank {src} tag {tag:?} (expected {})",
+                    self.rank,
+                    std::any::type_name::<T>()
+                )
+            }
+        }
     }
 
     /// Receives a `Vec<f64>` from `(src, tag)` into `buf` (lengths must
@@ -143,18 +269,54 @@ impl Communicator {
 
     /// Barrier across all ranks of this communicator.
     pub fn barrier(&self) {
-        self.fabric.barrier();
+        self.try_barrier().unwrap_or_else(|e| {
+            // Same rationale as `recv`: a barrier that can never complete
+            // must fail loudly, not wedge.
+            // xtask-allow: no-panic, error-taxonomy — deadlock diagnostics
+            panic!("{e}")
+        });
     }
 
     /// Fallible barrier: fails with [`CommError::RankFailed`] when the job
-    /// is poisoned while waiting (a dead rank can never arrive).
+    /// is poisoned while waiting (a dead rank can never arrive). In-process
+    /// this is the fabric's generation-counting barrier; transport-backed
+    /// endpoints use a gather-then-release message barrier on the control
+    /// plane (invisible to stats, faults and trace, like the shared-memory
+    /// barrier it replaces).
     pub fn try_barrier(&self) -> Result<(), CommError> {
-        self.fabric.try_barrier()
+        if self.fabric.remote_rank().is_none() {
+            return self.fabric.try_barrier();
+        }
+        let n = self.size();
+        if n <= 1 {
+            return Ok(());
+        }
+        let tag = self.fold(Tag::BARRIER);
+        let me = self.world_of(self.rank);
+        if self.rank == 0 {
+            for src in 1..n {
+                let from = self.world_of(src);
+                self.fabric.ctrl_recv(me, from, tag)?;
+            }
+            for dst in 1..n {
+                let to = self.world_of(dst);
+                self.fabric.ctrl_send(me, to, tag, Packet::pack(&1u8))?;
+            }
+            Ok(())
+        } else {
+            let root = self.world_of(0);
+            self.fabric.ctrl_send(me, root, tag, Packet::pack(&1u8))?;
+            self.fabric.ctrl_recv(me, root, tag)?;
+            Ok(())
+        }
     }
 
-    /// Traffic statistics for this rank.
+    /// Traffic statistics for this rank on this communicator.
     pub fn stats(&self) -> &CommStats {
-        self.fabric.stats(self.rank)
+        match &self.view {
+            Some(v) => &v.stats[self.rank],
+            None => self.fabric.stats(self.rank),
+        }
     }
 
     /// The fault injector armed on this job, if any (`None` in production
@@ -194,6 +356,9 @@ impl Communicator {
     /// communicator, ordered by `(key, parent rank)`. Collective — every
     /// rank of the parent must call it.
     pub fn split(&self, color: usize, key: usize) -> Communicator {
+        if self.fabric.remote_rank().is_some() {
+            return self.split_view(color, key);
+        }
         let n = self.size();
         // Gather (color, key) at rank 0.
         if self.rank == 0 {
@@ -219,15 +384,98 @@ impl Communicator {
                     if parent_rank == 0 {
                         my_comm = Some(Communicator::new(Arc::clone(&fabric), new_rank));
                     } else {
-                        self.send(parent_rank, Tag::SPLIT, (Arc::clone(&fabric), new_rank));
+                        // The handle payload is process-local by nature, so
+                        // this bypasses the Wire-typed surface (it can never
+                        // cross a process boundary: this is the in-process
+                        // branch).
+                        self.fabric.send(
+                            0,
+                            parent_rank,
+                            Tag::SPLIT,
+                            Box::new((Arc::clone(&fabric), new_rank)),
+                            1,
+                        );
                     }
                 }
             }
             my_comm.expect("rank 0 belongs to some color group")
         } else {
             self.send(0, Tag::SPLIT, (color, key));
-            let (fabric, new_rank): (Arc<Fabric>, usize) = self.recv(0, Tag::SPLIT);
+            let any = self
+                .fabric
+                .try_recv(self.rank, 0, Tag::SPLIT)
+                .unwrap_or_else(|e| {
+                    // xtask-allow: no-panic, error-taxonomy — deadlock diagnostics
+                    panic!("{e}")
+                });
+            let (fabric, new_rank) = *any.downcast::<(Arc<Fabric>, usize)>().unwrap_or_else(|_| {
+                // xtask-allow: no-panic, error-taxonomy — programming-error contract
+                panic!("split handshake payload mismatch")
+            });
             Communicator::new(fabric, new_rank)
+        }
+    }
+
+    /// `split` for transport-backed endpoints: the same gather-at-root
+    /// message pattern (identical message counts, so traced bytes and stats
+    /// match the oracle), but the result is a [`CommView`] over the world
+    /// fabric instead of a child fabric, with a context id derived
+    /// identically on every member from the parent's ordered split count.
+    fn split_view(&self, color: usize, key: usize) -> Communicator {
+        let n = self.size();
+        let seq = match &self.view {
+            Some(v) => v.split_seq.fetch_add(1, Ordering::SeqCst),
+            None => self.fabric.next_split_seq(),
+        };
+        let parent_ctx = self.view.as_ref().map_or(0, |v| v.ctx);
+        // 64 split contexts per communicator before the (debug-checked)
+        // fold budget above CTX_SHIFT is exhausted — HPL performs two.
+        let ctx = parent_ctx * 64 + seq + 1;
+        debug_assert!(ctx < (1 << (64 - CTX_SHIFT)), "split context overflow");
+        let info: SplitInfo = if self.rank == 0 {
+            let mut entries: Vec<(usize, usize, usize)> = Vec::with_capacity(n);
+            entries.push((color, key, 0));
+            for src in 1..n {
+                let (c, k): (usize, usize) = self.recv(src, Tag::SPLIT);
+                entries.push((c, k, src));
+            }
+            let mut colors: Vec<usize> = entries.iter().map(|e| e.0).collect();
+            colors.sort_unstable();
+            colors.dedup();
+            let mut mine = None;
+            for c in colors {
+                let mut members: Vec<(usize, usize, usize)> =
+                    entries.iter().copied().filter(|e| e.0 == c).collect();
+                members.sort_by_key(|&(_, k, r)| (k, r));
+                let world_members: Vec<usize> =
+                    members.iter().map(|&(_, _, r)| self.world_of(r)).collect();
+                for (new_rank, &(_, _, parent_rank)) in members.iter().enumerate() {
+                    let info = SplitInfo {
+                        members: world_members.clone(),
+                        new_rank,
+                    };
+                    if parent_rank == 0 {
+                        mine = Some(info);
+                    } else {
+                        self.send(parent_rank, Tag::SPLIT, info);
+                    }
+                }
+            }
+            mine.expect("rank 0 belongs to some color group")
+        } else {
+            self.send(0, Tag::SPLIT, (color, key));
+            self.recv(0, Tag::SPLIT)
+        };
+        let size = info.members.len();
+        Communicator {
+            fabric: Arc::clone(&self.fabric),
+            rank: info.new_rank,
+            view: Some(Arc::new(CommView {
+                ctx,
+                members: info.members,
+                split_seq: AtomicU64::new(0),
+                stats: (0..size).map(|_| CommStats::default()).collect(),
+            })),
         }
     }
 
@@ -235,6 +483,40 @@ impl Communicator {
     /// stats), like `MPI_Comm_dup`. Collective.
     pub fn duplicate(&self) -> Communicator {
         self.split(0, self.rank)
+    }
+
+    /// Control-plane gather of one `u64` stream per rank to rank 0 (which
+    /// returns `Some(streams)` indexed by local rank; everyone else gets
+    /// `None`). Used by launchers to assemble the cross-rank `seq_hash`
+    /// after a run; rides the control plane so it is invisible to stats,
+    /// fault hooks and trace byte attribution.
+    pub fn ctrl_gather_words(&self, mine: Vec<u64>) -> Result<Option<Vec<Vec<u64>>>, CommError> {
+        let n = self.size();
+        let tag = self.fold(Tag::TRACE);
+        let me = self.world_of(self.rank);
+        if self.rank == 0 {
+            let mut streams = Vec::with_capacity(n);
+            streams.push(mine);
+            for src in 1..n {
+                let from = self.world_of(src);
+                let any = self.fabric.ctrl_recv(me, from, tag)?;
+                let words = any
+                    .downcast::<Packet>()
+                    .ok()
+                    .and_then(|p| p.unpack::<Vec<u64>>())
+                    .ok_or(CommError::Corrupt {
+                        root: src,
+                        rank: self.rank,
+                        attempts: 1,
+                    })?;
+                streams.push(words);
+            }
+            Ok(Some(streams))
+        } else {
+            let root = self.world_of(0);
+            self.fabric.ctrl_send(me, root, tag, Packet::pack(&mine))?;
+            Ok(None)
+        }
     }
 }
 

@@ -1,0 +1,149 @@
+//! Checked environment/config parsing for the fabric boundary.
+//!
+//! Every knob the fabric reads from the environment (`RHPL_MAILBOX`,
+//! `RHPL_MAILBOX_CAP`, `RHPL_TRANSPORT`) parses through this module, so an
+//! invalid value surfaces as a typed [`ConfigError`] carrying the offending
+//! text and what was expected — never a silent fallback to a default that
+//! would make a benchmark unattributable, and never a bare parse panic.
+//!
+//! The CLI calls [`validate_env`] before doing any work and turns an error
+//! into a clean exit; library entry points that cannot return an error
+//! (fabric construction) fail fast with the same message.
+
+use crate::fabric::MailboxSel;
+use crate::transport::TransportSel;
+
+/// An environment/config value that does not parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The variable (or flag) that held the bad value.
+    pub var: &'static str,
+    /// The offending value, verbatim.
+    pub value: String,
+    /// What would have been accepted.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {}={:?}: expected {}",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parses a `RHPL_MAILBOX` value (`auto` | `mutex` | `lockfree`).
+pub fn parse_mailbox(value: &str) -> Result<MailboxSel, ConfigError> {
+    value.parse().map_err(|()| ConfigError {
+        var: "RHPL_MAILBOX",
+        value: value.to_owned(),
+        expected: "one of auto, mutex, lockfree",
+    })
+}
+
+/// Parses a `RHPL_MAILBOX_CAP` value (a positive ring capacity).
+pub fn parse_mailbox_cap(value: &str) -> Result<usize, ConfigError> {
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&c| c > 0)
+        .ok_or_else(|| ConfigError {
+            var: "RHPL_MAILBOX_CAP",
+            value: value.to_owned(),
+            expected: "a positive integer ring capacity",
+        })
+}
+
+/// Parses a `RHPL_TRANSPORT` value (`inproc` | `shm` | `tcp`).
+pub fn parse_transport(value: &str) -> Result<TransportSel, ConfigError> {
+    value.parse().map_err(|()| ConfigError {
+        var: "RHPL_TRANSPORT",
+        value: value.to_owned(),
+        expected: "one of inproc, shm, tcp",
+    })
+}
+
+/// `RHPL_MAILBOX` from the environment; unset means [`MailboxSel::Auto`].
+pub fn env_mailbox() -> Result<MailboxSel, ConfigError> {
+    match std::env::var("RHPL_MAILBOX") {
+        Ok(v) => parse_mailbox(&v),
+        Err(_) => Ok(MailboxSel::Auto),
+    }
+}
+
+/// `RHPL_MAILBOX_CAP` from the environment; unset means the built-in
+/// default capacity.
+pub fn env_mailbox_cap() -> Result<Option<usize>, ConfigError> {
+    match std::env::var("RHPL_MAILBOX_CAP") {
+        Ok(v) => parse_mailbox_cap(&v).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+/// `RHPL_TRANSPORT` from the environment; unset means
+/// [`TransportSel::Inproc`].
+pub fn env_transport() -> Result<TransportSel, ConfigError> {
+    match std::env::var("RHPL_TRANSPORT") {
+        Ok(v) => parse_transport(&v),
+        Err(_) => Ok(TransportSel::Inproc),
+    }
+}
+
+/// Validates every fabric environment knob at once — the CLI's pre-flight
+/// check, so a typo'd variable fails the run before any process spawns.
+pub fn validate_env() -> Result<(), ConfigError> {
+    env_mailbox()?;
+    env_mailbox_cap()?;
+    env_transport()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mailbox_values_parse_and_bad_ones_carry_the_offender() {
+        assert_eq!(parse_mailbox("mutex"), Ok(MailboxSel::Mutex));
+        assert_eq!(parse_mailbox("Lockfree"), Ok(MailboxSel::Lockfree));
+        let err = parse_mailbox("spinlock").unwrap_err();
+        assert_eq!(err.var, "RHPL_MAILBOX");
+        assert_eq!(err.value, "spinlock");
+        let shown = err.to_string();
+        assert!(
+            shown.contains("RHPL_MAILBOX"),
+            "names the variable: {shown}"
+        );
+        assert!(shown.contains("spinlock"), "names the value: {shown}");
+        assert!(
+            shown.contains("lockfree"),
+            "names the accepted set: {shown}"
+        );
+    }
+
+    #[test]
+    fn mailbox_cap_rejects_zero_negative_and_garbage() {
+        assert_eq!(parse_mailbox_cap("64"), Ok(64));
+        assert_eq!(parse_mailbox_cap("1"), Ok(1));
+        for bad in ["0", "-3", "lots", "", "4.5"] {
+            let err = parse_mailbox_cap(bad).unwrap_err();
+            assert_eq!(err.var, "RHPL_MAILBOX_CAP");
+            assert_eq!(err.value, bad);
+        }
+    }
+
+    #[test]
+    fn transport_values_parse_and_bad_ones_are_typed() {
+        assert_eq!(parse_transport("tcp"), Ok(TransportSel::Tcp));
+        assert_eq!(parse_transport("SHM"), Ok(TransportSel::Shm));
+        assert_eq!(parse_transport("inproc"), Ok(TransportSel::Inproc));
+        let err = parse_transport("mpi").unwrap_err();
+        assert_eq!(err.var, "RHPL_TRANSPORT");
+        assert_eq!(err.value, "mpi");
+        assert!(err.to_string().contains("inproc, shm, tcp"));
+    }
+}

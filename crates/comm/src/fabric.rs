@@ -29,6 +29,9 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::error::CommError;
 use crate::spsc::LockfreeMailbox;
+use crate::transport::frame::{Frame, FrameKind};
+use crate::transport::wire::{Packet, VEC_F64_WIRE_ID};
+use crate::transport::{FrameSink, LinkStat, Transport};
 
 /// Message tag. User tags live below [`Tag::RESERVED_BASE`]; the collective
 /// implementations use reserved tags above it so user point-to-point traffic
@@ -50,6 +53,8 @@ impl Tag {
     pub(crate) const ABFT_SUM: Tag = Tag(Self::RESERVED_BASE + 8);
     pub(crate) const ABFT_ACK: Tag = Tag(Self::RESERVED_BASE + 9);
     pub(crate) const ABFT_CTRL: Tag = Tag(Self::RESERVED_BASE + 10);
+    pub(crate) const BARRIER: Tag = Tag(Self::RESERVED_BASE + 11);
+    pub(crate) const TRACE: Tag = Tag(Self::RESERVED_BASE + 12);
 
     /// Creates a user tag; panics on collision with the reserved range.
     pub fn user(t: u64) -> Tag {
@@ -120,11 +125,14 @@ pub fn active_mailbox_name() -> &'static str {
 fn env_mailbox() -> &'static MailboxSel {
     static SEL: std::sync::OnceLock<MailboxSel> = std::sync::OnceLock::new();
     SEL.get_or_init(|| {
-        match std::env::var("RHPL_MAILBOX")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_default()
-        {
+        let sel = crate::config::env_mailbox().unwrap_or_else(|e| {
+            // Fail fast on an invalid value rather than silently falling
+            // back: the CLI pre-validates the environment and reports this
+            // as a typed config error before any fabric is constructed.
+            // xtask-allow: no-panic, error-taxonomy — config fail-fast
+            panic!("{e}")
+        });
+        match sel {
             MailboxSel::Mutex => MailboxSel::Mutex,
             _ => MailboxSel::Lockfree,
         }
@@ -140,10 +148,12 @@ fn env_mailbox() -> &'static MailboxSel {
 const DEFAULT_RING_CAP: usize = 64;
 
 fn env_ring_cap() -> usize {
-    std::env::var("RHPL_MAILBOX_CAP")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&c| c > 0)
+    crate::config::env_mailbox_cap()
+        .unwrap_or_else(|e| {
+            // Same fail-fast contract as `env_mailbox` above.
+            // xtask-allow: no-panic, error-taxonomy — config fail-fast
+            panic!("{e}")
+        })
         .unwrap_or(DEFAULT_RING_CAP)
 }
 
@@ -317,7 +327,7 @@ pub struct RecoveryCounters {
 }
 
 impl RecoveryCounters {
-    fn new(size: usize) -> Self {
+    pub(crate) fn new(size: usize) -> Self {
         Self {
             retries: (0..size).map(|_| AtomicU64::new(0)).collect(),
             abft_repairs: (0..size).map(|_| AtomicU64::new(0)).collect(),
@@ -451,6 +461,63 @@ pub struct Fabric {
     mailbox: MailboxSel,
     /// SPSC ring capacity in force (also inherited by sub-fabrics).
     ring_cap: usize,
+    /// Remote endpoint state when this fabric is one rank of a
+    /// transport-backed universe (`None` for the in-process oracle).
+    remote: Option<RemoteCtx>,
+}
+
+/// What turns a world-sized fabric into *one rank's endpoint*: only
+/// `boxes[my_rank]` ever receives; sends to other ranks are encoded into
+/// frames and pushed through the attached [`Transport`].
+pub(crate) struct RemoteCtx {
+    my_rank: usize,
+    /// Wired after construction (the sink needs the fabric `Arc` first).
+    transport: std::sync::OnceLock<Arc<dyn Transport>>,
+    /// Guards the one-shot Death broadcast in [`Fabric::poison`].
+    death_sent: AtomicBool,
+    /// Per-process split counter: every rank performs the same ordered
+    /// sequence of collective `split` calls, so this yields identical
+    /// context ids without any coordination traffic.
+    split_seq: AtomicU64,
+}
+
+/// The fabric side of frame delivery: reader threads hold this (weakly)
+/// and deposit into the owning rank's mailbox.
+struct FabricSink {
+    fabric: std::sync::Weak<Fabric>,
+}
+
+impl FrameSink for FabricSink {
+    fn deliver(&self, frame: Frame, sum_ok: bool) {
+        let Some(f) = self.fabric.upgrade() else {
+            return;
+        };
+        let Some(r) = &f.remote else { return };
+        let src = frame.src as usize;
+        if src >= f.boxes.len() || frame.dst as usize != r.my_rank {
+            return; // misrouted frame: drop rather than corrupt matching
+        }
+        let pkt = Packet {
+            wire_id: frame.wire_id,
+            bytes: frame.payload,
+            corrupt: !sum_ok,
+        };
+        f.boxes[r.my_rank].deposit(src, Tag(frame.tag), Box::new(pkt));
+    }
+
+    fn peer_death(&self, _from: usize, dead: usize, phase: &str) {
+        if let Some(f) = self.fabric.upgrade() {
+            f.poison_observed(dead, phase);
+        }
+    }
+
+    fn link_down(&self, src: usize, clean: bool) {
+        if !clean {
+            if let Some(f) = self.fabric.upgrade() {
+                f.poison_observed(src, "link-lost");
+            }
+        }
+    }
 }
 
 #[derive(Default)]
@@ -466,7 +533,7 @@ struct BarrierGen {
 const WAIT_STEP: std::time::Duration = std::time::Duration::from_millis(100);
 
 /// Robustness configuration for [`Fabric::new_with_opts`].
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct FabricOpts {
     /// Armed fault injector, if any.
     pub faults: Option<Arc<hpl_faults::Injector>>,
@@ -509,7 +576,101 @@ impl Fabric {
             opts,
             Arc::new(Poison::default()),
             Arc::new(RecoveryCounters::new(size)),
+            None,
         )
+    }
+
+    /// Creates *one rank's endpoint* of a `size`-rank transport-backed
+    /// universe: only `boxes[my_rank]` receives (fed by the transport's
+    /// reader threads); sends to any other rank are framed and pushed
+    /// through the transport wired by [`Fabric::attach_transport`].
+    pub fn remote(size: usize, my_rank: usize, opts: FabricOpts) -> Arc<Self> {
+        let counters = Arc::new(RecoveryCounters::new(size));
+        Self::remote_shared(size, my_rank, opts, counters)
+    }
+
+    /// [`Fabric::remote`] with shared recovery counters — the thread-mode
+    /// harness gives every rank endpoint the same ledger so a run report
+    /// aggregates like the in-process oracle.
+    pub(crate) fn remote_shared(
+        size: usize,
+        my_rank: usize,
+        opts: FabricOpts,
+        counters: Arc<RecoveryCounters>,
+    ) -> Arc<Self> {
+        assert!(my_rank < size, "rank {my_rank} outside world of {size}");
+        Self::build(
+            size,
+            opts,
+            Arc::new(Poison::default()),
+            counters,
+            Some(RemoteCtx {
+                my_rank,
+                transport: std::sync::OnceLock::new(),
+                death_sent: AtomicBool::new(false),
+                split_seq: AtomicU64::new(0),
+            }),
+        )
+    }
+
+    /// Wires the byte-moving backend into a [`Fabric::remote`] endpoint.
+    /// Must happen before any cross-rank traffic; the two-step dance exists
+    /// because the transport's reader threads need the fabric's sink first.
+    pub fn attach_transport(&self, transport: Arc<dyn Transport>) {
+        let remote = self
+            .remote
+            .as_ref()
+            .expect("attach_transport on an in-process fabric");
+        assert!(
+            remote.transport.set(transport).is_ok(),
+            "transport already attached"
+        );
+    }
+
+    /// The frame-delivery sink a transport's reader threads feed. Holds the
+    /// fabric weakly: late deliveries after teardown become no-ops.
+    pub fn frame_sink(self: &Arc<Self>) -> Arc<dyn FrameSink> {
+        Arc::new(FabricSink {
+            fabric: Arc::downgrade(self),
+        })
+    }
+
+    /// This endpoint's world rank when transport-backed, else `None`.
+    pub fn remote_rank(&self) -> Option<usize> {
+        self.remote.as_ref().map(|r| r.my_rank)
+    }
+
+    /// Name of the byte-moving backend ("inproc" when none is attached).
+    pub fn transport_name(&self) -> &'static str {
+        self.remote
+            .as_ref()
+            .and_then(|r| r.transport.get())
+            .map_or("inproc", |t| t.name())
+    }
+
+    /// Per-destination link traffic of this endpoint (empty in-process).
+    pub fn link_stats(&self) -> Vec<LinkStat> {
+        self.remote
+            .as_ref()
+            .and_then(|r| r.transport.get())
+            .map_or_else(Vec::new, |t| t.link_stats())
+    }
+
+    /// Announces a clean goodbye on every link and joins the transport's
+    /// reader threads. Idempotent; a no-op for in-process fabrics.
+    pub fn shutdown_transport(&self) {
+        if let Some(t) = self.remote.as_ref().and_then(|r| r.transport.get()) {
+            t.shutdown();
+        }
+    }
+
+    /// Next world-level split sequence number (remote endpoints only).
+    pub(crate) fn next_split_seq(&self) -> u64 {
+        self.remote
+            .as_ref()
+            .expect("split_seq on an in-process fabric")
+            .split_seq
+            .fetch_add(1, Ordering::SeqCst)
     }
 
     /// A sub-fabric for `size` ranks sharing this fabric's poison token,
@@ -527,6 +688,7 @@ impl Fabric {
             },
             Arc::clone(&self.poison),
             Arc::clone(&self.counters),
+            None,
         )
     }
 
@@ -535,6 +697,7 @@ impl Fabric {
         opts: FabricOpts,
         poison: Arc<Poison>,
         counters: Arc<RecoveryCounters>,
+        remote: Option<RemoteCtx>,
     ) -> Arc<Self> {
         let mailbox = opts.mailbox.resolve();
         let ring_cap = opts.mailbox_cap.unwrap_or_else(env_ring_cap);
@@ -557,6 +720,7 @@ impl Fabric {
             counters,
             mailbox,
             ring_cap,
+            remote,
         })
     }
 
@@ -588,8 +752,40 @@ impl Fabric {
     /// Marks the job as having lost `rank` during `phase` and wakes every
     /// waiter on *this* fabric; waiters on sibling fabrics observe the shared
     /// token at their next poll step. Idempotent — the first recorded death
-    /// wins, so every peer reports the same root cause.
+    /// wins, so every peer reports the same root cause. On a transport-backed
+    /// endpoint the first call also broadcasts a Death frame to every peer,
+    /// so remote survivors learn the root cause within one delivery latency
+    /// instead of waiting for heartbeat staleness.
     pub fn poison(&self, rank: usize, phase: &str) {
+        self.poison_observed(rank, phase);
+        if let Some(r) = &self.remote {
+            if !r.death_sent.swap(true, Ordering::SeqCst) {
+                if let Some(t) = r.transport.get() {
+                    for dst in 0..self.boxes.len() {
+                        if dst == r.my_rank {
+                            continue;
+                        }
+                        let frame = Frame {
+                            kind: FrameKind::Death,
+                            src: r.my_rank as u32,
+                            dst: dst as u32,
+                            tag: rank as u64,
+                            wire_id: 0,
+                            payload: phase.as_bytes().to_vec(),
+                        };
+                        // Best effort: an unreachable peer is already dead.
+                        let _ = t.send(dst, &frame);
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Fabric::poison`] without the Death broadcast — for deaths learned
+    /// *from* the wire (Death frames, torn links, the launch supervisor's
+    /// control plane), which every peer is told about by the original
+    /// announcer; re-broadcasting would only echo.
+    pub fn poison_observed(&self, rank: usize, phase: &str) {
         self.poison.set(rank, phase);
         for b in &self.boxes {
             // Touch each mailbox's wait lock before notifying so sleepers
@@ -637,11 +833,28 @@ impl Fabric {
         msg: Boxed,
         elems: u64,
     ) -> Result<(), CommError> {
+        self.try_send_counted(None, src, dst, tag, msg, elems)
+    }
+
+    /// [`Fabric::try_send`] with an optional stats ledger override: a split
+    /// sub-communicator on a transport-backed endpoint shares the world
+    /// fabric but must account its traffic separately, matching the
+    /// per-child-fabric isolation of the in-process path.
+    pub(crate) fn try_send_counted(
+        &self,
+        stats: Option<&CommStats>,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+        msg: Boxed,
+        elems: u64,
+    ) -> Result<(), CommError> {
         assert!(
             dst < self.boxes.len(),
             "send to rank {dst} of {}",
             self.boxes.len()
         );
+        let ledger = stats.unwrap_or(&self.stats[src]);
         let mut msg = msg;
         match hpl_faults::on_send(&self.faults) {
             hpl_faults::SendAction::Deliver => {}
@@ -653,7 +866,7 @@ impl Fabric {
                 // The message is "lost on the wire": count the wasted send,
                 // back off one policy step, then fall through to the
                 // retransmit delivery.
-                self.stats[src].count(elems);
+                ledger.count(elems);
                 let _sp = hpl_trace::span(hpl_trace::Phase::Fault);
                 std::thread::sleep(self.retry.backoff(src as u64, 0));
             }
@@ -663,6 +876,13 @@ impl Fabric {
                         let i = v.len() / 2;
                         v[i] = f64::from_bits(v[i].to_bits() ^ (1u64 << (bit % 64)));
                     }
+                } else if let Some(p) = msg.downcast_mut::<Packet>() {
+                    // Remote payloads are already encoded when the hook
+                    // fires; flip the same bit of the same element the
+                    // in-process arm flips, *before* the frame checksum is
+                    // computed — injected corruption travels with a valid
+                    // frame and is caught by ABFT, exactly like in-process.
+                    corrupt_packet(p, bit);
                 }
             }
             hpl_faults::SendAction::Death => {
@@ -672,15 +892,108 @@ impl Fabric {
                 return Err(CommError::RankFailed { rank, phase });
             }
         }
-        self.stats[src].count(elems);
+        ledger.count(elems);
         // Every point-to-point payload funnels through here, so this is the
         // one choke point where traced bytes are attributed to the calling
         // thread's open span. `elems` counts f64 payload words for the bulk
         // paths; typed control messages pass 1 and contribute 8 nominal
         // bytes — negligible against panel traffic, kept for determinism.
         hpl_trace::add_bytes(elems * 8);
-        self.boxes[dst].deposit(src, tag, msg);
-        Ok(())
+        match &self.remote {
+            Some(r) if dst != r.my_rank => {
+                let pkt = match msg.downcast::<Packet>() {
+                    Ok(p) => p,
+                    // Remote sends are always pre-encoded by the
+                    // communicator layer; anything else is a wiring bug.
+                    // xtask-allow: no-panic, error-taxonomy — internal contract violation
+                    Err(_) => panic!("remote send of a non-wire payload (tag {tag:?})"),
+                };
+                let frame = Frame {
+                    kind: FrameKind::Data,
+                    src: src as u32,
+                    dst: dst as u32,
+                    tag: tag.0,
+                    wire_id: pkt.wire_id,
+                    payload: pkt.bytes,
+                };
+                self.transport_send(r, dst, &frame)
+            }
+            _ => {
+                self.boxes[dst].deposit(src, tag, msg);
+                Ok(())
+            }
+        }
+    }
+
+    /// Pushes one frame through the attached transport; a failed link means
+    /// the destination process is gone, which poisons the job with that
+    /// rank's identity (first recorded death still wins).
+    fn transport_send(&self, r: &RemoteCtx, dst: usize, frame: &Frame) -> Result<(), CommError> {
+        let Some(t) = r.transport.get() else {
+            return Err(CommError::RankFailed {
+                rank: dst,
+                phase: "transport-unwired".to_string(),
+            });
+        };
+        match t.send(dst, frame) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.poison_observed(dst, "link-lost");
+                Err(self.poison_err().unwrap_or(CommError::RankFailed {
+                    rank: dst,
+                    phase: "link-lost".to_string(),
+                }))
+            }
+        }
+    }
+
+    /// Control-plane send: no fault hooks, no stats, no traced bytes. Used
+    /// for transport-internal coordination (message barriers, post-run trace
+    /// gathers) that the in-process oracle performs without messages at all —
+    /// keeping it invisible is what keeps `seq_hash` transport-invariant.
+    pub(crate) fn ctrl_send(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+        pkt: Packet,
+    ) -> Result<(), CommError> {
+        assert!(
+            dst < self.boxes.len(),
+            "ctrl send to rank {dst} of {}",
+            self.boxes.len()
+        );
+        match &self.remote {
+            Some(r) if dst != r.my_rank => {
+                let frame = Frame {
+                    kind: FrameKind::Data,
+                    src: src as u32,
+                    dst: dst as u32,
+                    tag: tag.0,
+                    wire_id: pkt.wire_id,
+                    payload: pkt.bytes,
+                };
+                self.transport_send(r, dst, &frame)
+            }
+            _ => {
+                self.boxes[dst].deposit(src, tag, Box::new(pkt));
+                Ok(())
+            }
+        }
+    }
+
+    /// Control-plane receive: the blocking wait without the recv-site fault
+    /// hooks (see [`Fabric::ctrl_send`]).
+    pub(crate) fn ctrl_recv(&self, dst: usize, src: usize, tag: Tag) -> Result<Boxed, CommError> {
+        assert!(
+            src < self.boxes.len(),
+            "ctrl recv from rank {src} of {}",
+            self.boxes.len()
+        );
+        match &self.boxes[dst] {
+            MailboxImpl::Mutex(m) => self.recv_mutex(m, dst, src, tag),
+            MailboxImpl::Lockfree(m) => self.recv_lockfree(m, dst, src, tag),
+        }
     }
 
     /// Infallible [`Fabric::try_send`] for call sites outside the fallible
@@ -904,6 +1217,28 @@ impl Fabric {
             // xtask-allow: no-panic, error-taxonomy — deadlock diagnostics
             panic!("{e}")
         });
+    }
+}
+
+/// The encoded-payload twin of the in-process `Vec<f64>` corruption arm:
+/// flips bit `bit % 64` of element `len / 2`. A `Vec<f64>` wire payload is
+/// an 8-byte length prefix followed by little-endian f64 bit patterns, so
+/// the element's word starts at byte `8 + (len / 2) * 8`.
+fn corrupt_packet(p: &mut Packet, bit: u32) {
+    if p.wire_id != VEC_F64_WIRE_ID || p.bytes.len() < 16 {
+        return;
+    }
+    let Ok(prefix) = <[u8; 8]>::try_from(&p.bytes[..8]) else {
+        return;
+    };
+    let n = u64::from_le_bytes(prefix) as usize;
+    if n == 0 {
+        return;
+    }
+    let b = (bit % 64) as usize;
+    let idx = 8 + (n / 2) * 8 + b / 8;
+    if let Some(byte) = p.bytes.get_mut(idx) {
+        *byte ^= 1 << (b % 8);
     }
 }
 

@@ -43,11 +43,13 @@
 pub mod abft;
 pub mod coll;
 pub mod comm;
+pub mod config;
 pub mod error;
 pub mod fabric;
 pub mod grid;
 pub mod ring;
 pub mod spsc;
+pub mod transport;
 pub mod universe;
 
 pub use abft::panel_bcast_checked;
@@ -56,12 +58,15 @@ pub use coll::{
     scatterv, MaxLoc, Op,
 };
 pub use comm::Communicator;
+pub use config::ConfigError;
 pub use error::CommError;
 pub use fabric::{
-    active_mailbox_name, recv_timeout, set_comm_timeout, CommStats, FabricOpts, MailboxSel,
+    active_mailbox_name, recv_timeout, set_comm_timeout, CommStats, Fabric, FabricOpts, MailboxSel,
     RecoveryCounters, RetryPolicy, Tag,
 };
 pub use grid::{Grid, GridOrder};
 pub use ring::{panel_bcast, BcastAlgo};
 pub use spsc::SpscRing;
-pub use universe::{FaultedRun, Universe};
+pub use transport::wire::Wire;
+pub use transport::{last_run_link_stats, LinkStat, TransportSel};
+pub use universe::{active_transport_name, FaultedRun, Universe};

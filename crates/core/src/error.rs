@@ -62,6 +62,13 @@ pub enum HplError {
         /// What went wrong (the underlying `hpl_ckpt::CkptError` rendered).
         what: String,
     },
+    /// An environment or configuration value failed validation before the
+    /// run started (e.g. an unparseable `RHPL_TRANSPORT`).
+    Config {
+        /// The rejected setting rendered with its offending value (the
+        /// underlying [`hpl_comm::ConfigError`]).
+        what: String,
+    },
 }
 
 impl HplError {
@@ -75,6 +82,7 @@ impl HplError {
             HplError::CorruptPayload { .. } => "corrupt_payload",
             HplError::Protocol { .. } => "protocol",
             HplError::Ckpt { .. } => "ckpt",
+            HplError::Config { .. } => "config",
         }
     }
 }
@@ -111,6 +119,7 @@ impl std::fmt::Display for HplError {
                 got,
             } => write!(f, "{what}: expected {expected} elements, got {got}"),
             HplError::Ckpt { what } => write!(f, "checkpoint failure: {what}"),
+            HplError::Config { what } => write!(f, "configuration error: {what}"),
         }
     }
 }
@@ -160,6 +169,14 @@ impl From<CommError> for HplError {
     }
 }
 
+impl From<hpl_comm::ConfigError> for HplError {
+    fn from(e: hpl_comm::ConfigError) -> Self {
+        HplError::Config {
+            what: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +211,19 @@ mod tests {
 
         let e: HplError = CommError::MissingRoot { what: "bcast" }.into();
         assert_eq!(e.kind(), "protocol");
+    }
+
+    #[test]
+    fn config_errors_carry_the_offending_value() {
+        let e: HplError = hpl_comm::ConfigError {
+            var: "RHPL_TRANSPORT",
+            value: "carrier-pigeon".into(),
+            expected: "one of inproc, shm, tcp",
+        }
+        .into();
+        assert_eq!(e.kind(), "config");
+        assert!(e.to_string().contains("RHPL_TRANSPORT"));
+        assert!(e.to_string().contains("carrier-pigeon"));
     }
 
     #[test]

@@ -113,6 +113,53 @@ impl PivotMsg {
     }
 }
 
+impl hpl_comm::Wire for PivotMsg {
+    // Core-crate wire ids live above 0x4000_0000 to stay clear of the comm
+    // crate's built-in ids.
+    const WIRE_ID: u32 = 0x4000_0001;
+
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.val.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.grow.to_le_bytes());
+        for vec in [&self.row, &self.currow] {
+            out.extend_from_slice(&(vec.len() as u64).to_le_bytes());
+            for v in vec {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+
+    fn wire_decode(bytes: &[u8]) -> Option<Self> {
+        fn word(bytes: &[u8], at: usize) -> Option<u64> {
+            Some(u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?))
+        }
+        fn floats(bytes: &[u8], at: &mut usize) -> Option<Vec<f64>> {
+            let n = word(bytes, *at)? as usize;
+            *at += 8;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(f64::from_bits(word(bytes, *at)?));
+                *at += 8;
+            }
+            Some(v)
+        }
+        let val = f64::from_bits(word(bytes, 0)?);
+        let grow = word(bytes, 8)?;
+        let mut at = 16;
+        let row = floats(bytes, &mut at)?;
+        let currow = floats(bytes, &mut at)?;
+        if at != bytes.len() {
+            return None;
+        }
+        Some(PivotMsg {
+            val,
+            grow,
+            row,
+            currow,
+        })
+    }
+}
+
 /// A column-major matrix shared across pool threads by raw pointer.
 ///
 /// Safety protocol: tiles (disjoint row ranges) are accessed only by their

@@ -182,23 +182,64 @@ pub fn seq_hash(traces: &[Trace]) -> u64 {
 /// run recorded it one iteration earlier, inside iteration `k - 1`'s hidden
 /// slot).
 pub fn seq_hash_from(traces: &[Trace], min_iter: usize) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    let mut eat = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    };
+    let mut h = FNV_OFFSET;
     for (rank, trace) in traces.iter().enumerate() {
-        eat(rank as u64);
+        eat(&mut h, rank as u64);
         for s in &trace.spans {
             if (s.iter as usize) < min_iter || s.phase == Phase::Restore {
                 continue;
             }
-            eat(u64::from(s.iter));
-            eat(s.phase as u64);
-            eat(s.bytes);
-            eat(u64::from(s.hidden));
+            for w in span_words(s) {
+                eat(&mut h, w);
+            }
+        }
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+fn eat(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+fn span_words(s: &Span) -> [u64; 4] {
+    [
+        u64::from(s.iter),
+        s.phase as u64,
+        s.bytes,
+        u64::from(s.hidden),
+    ]
+}
+
+/// One rank's contribution to [`seq_hash`] as a plain word stream — what a
+/// launched rank process ships to rank 0 so the supervisor-side hash can be
+/// assembled without the trace structs crossing the wire.
+///
+/// [`seq_hash_streams`] over the per-rank streams (in rank order) is
+/// bitwise-identical to [`seq_hash`] over the corresponding traces.
+pub fn seq_words(trace: &Trace) -> Vec<u64> {
+    let mut words = Vec::with_capacity(trace.spans.len() * 4);
+    for s in &trace.spans {
+        if s.phase == Phase::Restore {
+            continue;
+        }
+        words.extend_from_slice(&span_words(s));
+    }
+    words
+}
+
+/// Assembles [`seq_hash`] from per-rank [`seq_words`] streams, indexed by
+/// rank. Bitwise-identical to hashing the original traces.
+pub fn seq_hash_streams(streams: &[Vec<u64>]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for (rank, words) in streams.iter().enumerate() {
+        eat(&mut h, rank as u64);
+        for &w in words {
+            eat(&mut h, w);
         }
     }
     h
@@ -360,6 +401,35 @@ mod tests {
             seq_hash(std::slice::from_ref(&uninterrupted)),
             seq_hash_from(&[uninterrupted], 0)
         );
+    }
+
+    #[test]
+    fn streamed_hash_matches_seq_hash_bitwise() {
+        // The gather path: each rank ships seq_words, rank 0 assembles with
+        // seq_hash_streams — must equal hashing the traces directly.
+        let traces = vec![
+            Trace {
+                spans: vec![
+                    span(0, Phase::Fact, 10, 1, false),
+                    span(1, Phase::Restore, 10, 0, false), // skipped both ways
+                    span(1, Phase::Update, 10, 2, true),
+                ],
+                dropped: 0,
+            },
+            Trace {
+                spans: vec![span(0, Phase::Bcast, 5, 64, false)],
+                dropped: 0,
+            },
+            Trace {
+                spans: vec![],
+                dropped: 0,
+            },
+        ];
+        let streams: Vec<Vec<u64>> = traces.iter().map(seq_words).collect();
+        assert_eq!(seq_hash_streams(&streams), seq_hash(&traces));
+        // Rank order matters: swapping two streams changes the hash.
+        let swapped = vec![streams[1].clone(), streams[0].clone(), streams[2].clone()];
+        assert_ne!(seq_hash_streams(&swapped), seq_hash(&traces));
     }
 
     #[test]

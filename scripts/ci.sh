@@ -50,6 +50,13 @@ cargo xtask faults --self-test
 echo "== [recovery] cargo xtask faults --recovery"
 cargo xtask faults --recovery
 
+echo "== [transport-matrix] cargo test -q under each byte-moving transport"
+RHPL_TRANSPORT=shm cargo test -q
+RHPL_TRANSPORT=tcp cargo test -q
+
+echo "== [transport-matrix] cargo xtask faults --kill"
+cargo xtask faults --kill
+
 echo "== [miri] cargo +nightly miri test -p hpl-ckpt -p hpl-faults"
 if cargo +nightly miri --version >/dev/null 2>&1; then
   MIRIFLAGS=-Zmiri-disable-isolation cargo +nightly miri test -p hpl-ckpt -p hpl-faults

@@ -637,10 +637,25 @@ const ALLOC_PATHS: &[&str] = &[
 const ALLOC_MACROS: &[&str] = &["vec", "format"];
 /// Panic macros.
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
-/// Send-direction callee names.
-const SEND_NAMES: &[&str] = &["send", "try_send", "send_slice", "try_send_slice"];
-/// Recv-direction callee names.
-const RECV_NAMES: &[&str] = &["recv", "try_recv", "recv_into", "try_recv_into"];
+/// Send-direction callee names. `ctrl_send` is the transport-era control
+/// plane (barrier / trace gather frames that bypass fault hooks and
+/// stats); its tag protocol deadlocks the same way the data plane's does,
+/// so it participates in orphan matching.
+const SEND_NAMES: &[&str] = &[
+    "send",
+    "try_send",
+    "send_slice",
+    "try_send_slice",
+    "ctrl_send",
+];
+/// Recv-direction callee names (`ctrl_recv`: see [`SEND_NAMES`]).
+const RECV_NAMES: &[&str] = &[
+    "recv",
+    "try_recv",
+    "recv_into",
+    "try_recv_into",
+    "ctrl_recv",
+];
 
 /// Scans one nesting level of a function body. `stmt_level` is true when
 /// the level is a block (statements separated by `;`), which is where span
@@ -1003,6 +1018,21 @@ mod tests {
         assert_eq!(f.comms[1].tag, TagArg::User(7));
         assert_eq!(f.comms[1].dir, CommDir::Recv);
         assert_eq!(f.comms[2].tag, TagArg::Dynamic);
+    }
+
+    #[test]
+    fn ctrl_plane_sites_are_comm_sites() {
+        let src = r#"fn f(fab: &Fabric) -> Result<(), CommError> {
+            fab.ctrl_send(me, root, Tag::BARRIER, pkt)?;
+            fab.ctrl_recv(me, root, Tag::BARRIER)?;
+            Ok(())
+        }"#;
+        let f = &facts(src)[0];
+        assert_eq!(f.comms.len(), 2);
+        assert_eq!(f.comms[0].dir, CommDir::Send);
+        assert_eq!(f.comms[0].tag, TagArg::Const("BARRIER".into()));
+        assert_eq!(f.comms[1].dir, CommDir::Recv);
+        assert_eq!(f.comms[1].tag, TagArg::Const("BARRIER".into()));
     }
 
     #[test]

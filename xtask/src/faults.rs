@@ -17,13 +17,24 @@
 //! checkpoint and resumes — with the deterministic `RECOVERY` line present
 //! and stdout still byte-identical across runs.
 //!
+//! `cargo xtask faults --kill` is the multi-process chaos soak: a clean
+//! `rhpl launch` transport-parity check (tcp vs the in-process oracle must
+//! agree on `seq_hash` bitwise), then a launch run under checkpointing
+//! whose rank 1 *OS process* is killed with `SIGKILL` mid-factorization —
+//! the supervisor must print `DOWN`/`RECOVERY`, respawn the gang from the
+//! latest on-disk checkpoint generation, and still end in `HPLOK` with a
+//! passing residual. Unlike the injected-death matrices this is real
+//! process death: no destructor runs, no poison frame is sent by the
+//! victim, and detection rides on link EOF and heartbeats alone.
+//!
 //! `cargo xtask faults --self-test` re-runs the rank-death scenario with a
 //! deliberately wrong expectation and succeeds only if the gate *fails*,
 //! proving the matrix can trip.
 
-use std::io::Read;
+use std::io::{BufRead, BufReader, Read};
 use std::path::Path;
 use std::process::{Command, Stdio};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Per-run wall deadline. Rank-death unwind is asserted under 5 s by the
@@ -34,6 +45,11 @@ const DEADLINE: Duration = Duration::from_secs(30);
 /// Deadline for recovery scenarios: a kill-and-restore run executes up to
 /// three attempts (probe death, restore, resume), so it gets double budget.
 const RECOVERY_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Deadline for one `--kill` soak launch: TCP rendezvous, a run stretched
+/// by a sticky per-send delay so the kill lands mid-factorization, then a
+/// full respawn-and-resume attempt.
+const KILL_DEADLINE: Duration = Duration::from_secs(180);
 
 /// Expected scenario outcome, matched against the protocol line.
 enum Expect {
@@ -213,6 +229,7 @@ fn matrix() -> Vec<Scenario> {
 pub fn run_faults(root: &Path, args: &[String]) -> i32 {
     let self_test = args.iter().any(|a| a == "--self-test");
     let recovery = args.iter().any(|a| a == "--recovery");
+    let kill = args.iter().any(|a| a == "--kill");
     if let Err(e) = build(root) {
         eprintln!("xtask faults: {e}");
         return 1;
@@ -231,6 +248,9 @@ pub fn run_faults(root: &Path, args: &[String]) -> i32 {
 
     if self_test {
         return run_self_test(root, &work);
+    }
+    if kill {
+        return run_kill_soak(root, &work);
     }
 
     let mut failures = Vec::new();
@@ -287,6 +307,256 @@ fn run_self_test(root: &Path, work: &Path) -> i32 {
             0
         }
     }
+}
+
+/// The `--kill` chaos soak. Two phases on the pinned 2x2 grid:
+///
+/// 1. **Parity** — clean `rhpl launch --ranks 4` over tcp and over the
+///    in-process oracle must both end `HPLOK` with bitwise-identical
+///    `seq_hash` (the multi-process determinism contract).
+/// 2. **Chaos** — a tcp launch under `--ckpt-every` with a sticky 100 ms
+///    per-send delay on rank 3 (stretching factorization so the kill lands
+///    mid-run); once the first complete checkpoint generation is on disk,
+///    rank 1's OS process is killed with `SIGKILL`. The supervisor must
+///    print `DOWN rank=1 reason=signal`, a `RECOVERY` line, respawn the
+///    gang from the checkpoint, and finish `HPLOK` with exit 0.
+fn run_kill_soak(root: &Path, work: &Path) -> i32 {
+    let (dat_name, _) = DATS[1]; // 2x2 grid -> 4 ranks
+    println!("xtask faults: [kill-parity] launch over tcp vs inproc oracle");
+    let mut hashes = Vec::new();
+    for transport in ["inproc", "tcp"] {
+        let args: Vec<String> = ["launch", dat_name, "--ranks", "4", "--transport", transport]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match run_launch_to_exit(root, work, &args, RECOVERY_DEADLINE) {
+            Ok(out) => {
+                if out.code != 0 {
+                    println!(
+                        "xtask faults: [kill-parity] FAIL — {transport} launch exit {}:\n{}",
+                        out.code, out.stdout
+                    );
+                    return 1;
+                }
+                match seq_hash_of(&out.stdout) {
+                    Some(h) => hashes.push((transport, h)),
+                    None => {
+                        println!(
+                            "xtask faults: [kill-parity] FAIL — no seq_hash in {transport} \
+                             stdout:\n{}",
+                            out.stdout
+                        );
+                        return 1;
+                    }
+                }
+            }
+            Err(e) => {
+                println!("xtask faults: [kill-parity] FAIL — {transport}: {e}");
+                return 1;
+            }
+        }
+    }
+    if hashes[0].1 != hashes[1].1 {
+        println!(
+            "xtask faults: [kill-parity] FAIL — seq_hash diverged: inproc={} tcp={}",
+            hashes[0].1, hashes[1].1
+        );
+        return 1;
+    }
+    println!(
+        "xtask faults: [kill-parity] OK — seq_hash {} on both transports",
+        hashes[0].1
+    );
+
+    println!("xtask faults: [kill-9] SIGKILL rank 1 mid-factorization under tcp");
+    match run_kill_nine(root, work, dat_name) {
+        Ok(outcome) => {
+            println!("xtask faults: [kill-9] OK — {outcome}");
+            println!("xtask faults: PASS (transport parity + kill -9 recovery)");
+            0
+        }
+        Err(e) => {
+            println!("xtask faults: [kill-9] FAIL — {e}");
+            1
+        }
+    }
+}
+
+/// The chaos phase: launch, watch stdout live for the victim's pid, wait
+/// for the first complete checkpoint generation, `kill -9` the victim,
+/// then require DOWN + RECOVERY + HPLOK and exit 0.
+fn run_kill_nine(root: &Path, work: &Path, dat_name: &str) -> Result<String, String> {
+    let ckpt_dir = work.join("kill-ckpt");
+    // The supervisor wipes the store itself (disk_fresh); stale markers
+    // from a previous soak must not satisfy the "checkpoint exists" wait.
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let mut cmd = Command::new(root.join("target/release/rhpl"));
+    cmd.args([
+        "launch",
+        dat_name,
+        "--ranks",
+        "4",
+        "--transport",
+        "tcp",
+        "--ckpt-every",
+        "2",
+        "--ckpt-dir",
+    ])
+    .arg(&ckpt_dir)
+    .args(["--fault", "delay:100000@3:send:0:sticky"])
+    .current_dir(work)
+    .stdout(Stdio::piped())
+    .stderr(Stdio::null());
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("cannot spawn rhpl launch: {e}"))?;
+
+    // Drain stdout on a thread so the supervisor never blocks on a full
+    // pipe; the main loop polls the accumulated text for protocol lines.
+    let buf = Arc::new(Mutex::new(String::new()));
+    let reader = {
+        let buf = Arc::clone(&buf);
+        let pipe = child.stdout.take().expect("stdout was piped");
+        std::thread::spawn(move || {
+            for line in BufReader::new(pipe).lines().map_while(Result::ok) {
+                let mut b = buf.lock().expect("stdout buffer");
+                b.push_str(&line);
+                b.push('\n');
+            }
+        })
+    };
+
+    let start = Instant::now();
+    let mut killed = false;
+    let status = loop {
+        if let Some(status) = child.try_wait().map_err(|e| format!("wait failed: {e}"))? {
+            break status;
+        }
+        if start.elapsed() > KILL_DEADLINE {
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = reader.join();
+            return Err(format!(
+                "WEDGED: no exit within {}s (killed={killed}):\n{}",
+                KILL_DEADLINE.as_secs(),
+                buf.lock().expect("stdout buffer")
+            ));
+        }
+        if !killed {
+            let pid = {
+                let b = buf.lock().expect("stdout buffer");
+                victim_pid(&b, 1)
+            };
+            if let Some(pid) = pid {
+                if checkpoint_on_disk(&ckpt_dir) {
+                    let status = Command::new("kill")
+                        .args(["-9", &pid.to_string()])
+                        .status()
+                        .map_err(|e| format!("cannot spawn kill: {e}"))?;
+                    if !status.success() {
+                        return Err(format!("kill -9 {pid} failed: {status}"));
+                    }
+                    killed = true;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let _ = reader.join();
+    let stdout = buf.lock().expect("stdout buffer").clone();
+    if !killed {
+        return Err(format!(
+            "run finished before the kill landed — stretch the delay fault:\n{stdout}"
+        ));
+    }
+    for needle in ["DOWN rank=1 reason=signal", "RECOVERY attempt=", "HPLOK"] {
+        if !stdout.contains(needle) {
+            return Err(format!("`{needle}` missing from stdout:\n{stdout}"));
+        }
+    }
+    if status.code() != Some(0) {
+        return Err(format!(
+            "expected exit 0 after recovery, got {:?}:\n{stdout}",
+            status.code()
+        ));
+    }
+    let outcome = stdout
+        .lines()
+        .find(|l| l.starts_with("HPLOK"))
+        .expect("checked above")
+        .to_string();
+    Ok(format!(
+        "{outcome} (victim respawned, resumed from checkpoint)"
+    ))
+}
+
+/// Runs `rhpl <args...>` to completion against a deadline, capturing stdout.
+fn run_launch_to_exit(
+    root: &Path,
+    work: &Path,
+    args: &[String],
+    deadline: Duration,
+) -> Result<RunOutput, String> {
+    let mut child = Command::new(root.join("target/release/rhpl"))
+        .args(args)
+        .current_dir(work)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("cannot spawn rhpl: {e}"))?;
+    let start = Instant::now();
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => {
+                if start.elapsed() > deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(format!("WEDGED: no exit within {}s", deadline.as_secs()));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(format!("wait failed: {e}")),
+        }
+    };
+    let mut stdout = String::new();
+    if let Some(mut pipe) = child.stdout.take() {
+        pipe.read_to_string(&mut stdout)
+            .map_err(|e| format!("cannot read stdout: {e}"))?;
+    }
+    Ok(RunOutput {
+        stdout,
+        code: status.code().unwrap_or(-1),
+    })
+}
+
+/// Extracts `seq_hash=0x...` from the `HPLOK` line.
+fn seq_hash_of(stdout: &str) -> Option<String> {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("HPLOK"))?
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("seq_hash="))
+        .map(str::to_string)
+}
+
+/// Parses the victim's pid from its `RANKPID rank={rank} pid=...` line.
+fn victim_pid(stdout: &str, rank: usize) -> Option<u32> {
+    let prefix = format!("RANKPID rank={rank} pid=");
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .and_then(|pid| pid.trim().parse().ok())
+}
+
+/// True once any complete checkpoint generation marker exists — the signal
+/// that a kill now tests *restore* rather than restart-from-scratch.
+fn checkpoint_on_disk(dir: &Path) -> bool {
+    std::fs::read_dir(dir).is_ok_and(|entries| {
+        entries
+            .filter_map(Result::ok)
+            .any(|e| e.file_name().to_string_lossy().ends_with(".ok"))
+    })
 }
 
 fn build(root: &Path) -> Result<(), String> {
@@ -521,6 +791,25 @@ mod tests {
         // Both store backends are represented.
         assert!(scenarios.iter().any(|s| s.args.contains(&"--ckpt-dir")));
         assert!(scenarios.iter().any(|s| !s.args.contains(&"--ckpt-dir")));
+    }
+
+    #[test]
+    fn kill_soak_parsers_read_the_launch_protocol() {
+        let stdout = "\
+LAUNCH ranks=4 transport=tcp n=64 nb=8 grid=2x2 seed=42 ckpt_every=2
+RANKPID rank=0 pid=1200
+RANKPID rank=1 pid=1201
+RANKPID rank=2 pid=1202
+RANKPID rank=3 pid=1203
+DOWN rank=1 reason=signal
+RECOVERY attempt=1 kind=rank_failed restored_gen=2
+HPLOK residual=6.926125e-3 seq_hash=0xdccdb6ca947fd457
+";
+        assert_eq!(victim_pid(stdout, 1), Some(1201));
+        assert_eq!(victim_pid(stdout, 3), Some(1203));
+        assert_eq!(victim_pid(stdout, 7), None);
+        assert_eq!(seq_hash_of(stdout).as_deref(), Some("0xdccdb6ca947fd457"));
+        assert_eq!(seq_hash_of("HPLERROR kind=rank_failed attempts=3\n"), None);
     }
 
     #[test]

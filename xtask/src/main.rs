@@ -13,8 +13,10 @@
 //! - `faults` — fault-injection soak gate: drives a pinned scenario matrix
 //!   (each fault kind x pinned configs) through `rhpl --fault` and asserts
 //!   clean completion or the expected structured error, inside a deadline,
-//!   byte-identical per seed (see [`faults`]). `--self-test` verifies the
-//!   gate can trip.
+//!   byte-identical per seed (see [`faults`]). `--recovery` swaps in the
+//!   checkpoint-restore matrix, `--kill` runs the multi-process chaos soak
+//!   (`rhpl launch` transport parity + a real `kill -9` of a rank process
+//!   mid-factorization), `--self-test` verifies the gate can trip.
 //! - `list-rules` — print the rule identifiers and one-line descriptions.
 //!
 //! The analyzer is std-only and runs fully offline: it lexes each `.rs` file
