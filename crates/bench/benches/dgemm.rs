@@ -1,12 +1,13 @@
-//! Criterion bench: the trailing-update DGEMM kernel across the shapes HPL
+//! Criterion bench: the trailing-update GEMM kernel across the shapes HPL
 //! produces (tall C, k = NB), backing the §IV.A DGEMM-rate discussion.
 //! Each shape runs once per available microkernel (`scalar` always,
-//! `simd` when the CPU has one) so the per-kernel GFLOPS gap is visible in
-//! the criterion report.
+//! `simd` when the CPU has one) and per element type (`f64` classic HPL,
+//! `f32` the HPL-MxP factorization precision) so both the per-kernel and
+//! the per-precision GFLOPS gaps are visible in the criterion report.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hpl_blas::mat::Matrix;
-use hpl_blas::{dgemm_with, Kernel, Trans};
+use hpl_blas::{dgemm_with, Element, Kernel, Trans};
 
 const SHAPES: &[(usize, usize, usize)] = &[
     (256, 256, 64),
@@ -15,20 +16,23 @@ const SHAPES: &[(usize, usize, usize)] = &[
     (1024, 512, 128),
 ];
 
-fn bench_dgemm(c: &mut Criterion) {
+fn bench_element<E: Element>(c: &mut Criterion) {
     let kernels: Vec<Kernel> = [Kernel::scalar()]
         .into_iter()
         .chain(Kernel::simd())
         .collect();
     for kern in kernels {
-        let mut g = c.benchmark_group(format!("dgemm_update/{}", kern.name()));
+        let mut g = c.benchmark_group(format!("dgemm_update/{}/{}", E::NAME, kern.name()));
         g.sample_size(10);
         g.measurement_time(std::time::Duration::from_secs(2));
         g.warm_up_time(std::time::Duration::from_millis(300));
         for &(m, n, k) in SHAPES {
-            let a = Matrix::from_fn(m, k, |i, j| ((i + j) % 7) as f64 * 0.1 - 0.3);
-            let b = Matrix::from_fn(k, n, |i, j| ((i * 3 + j) % 5) as f64 * 0.2 - 0.4);
-            let mut cm = Matrix::zeros(m, n);
+            let a =
+                Matrix::<E>::from_fn(m, k, |i, j| E::from_f64(((i + j) % 7) as f64 * 0.1 - 0.3));
+            let b = Matrix::<E>::from_fn(k, n, |i, j| {
+                E::from_f64(((i * 3 + j) % 5) as f64 * 0.2 - 0.4)
+            });
+            let mut cm = Matrix::<E>::zeros(m, n);
             g.throughput(Throughput::Elements((2 * m * n * k) as u64));
             g.bench_with_input(
                 BenchmarkId::from_parameter(format!("{m}x{n}x{k}")),
@@ -40,10 +44,10 @@ fn bench_dgemm(c: &mut Criterion) {
                             kern,
                             Trans::No,
                             Trans::No,
-                            -1.0,
+                            E::from_f64(-1.0),
                             a.view(),
                             b.view(),
-                            1.0,
+                            E::ONE,
                             &mut cv,
                         );
                     })
@@ -52,6 +56,11 @@ fn bench_dgemm(c: &mut Criterion) {
         }
         g.finish();
     }
+}
+
+fn bench_dgemm(c: &mut Criterion) {
+    bench_element::<f64>(c);
+    bench_element::<f32>(c);
 }
 
 criterion_group!(benches, bench_dgemm);

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use hpl_bench::{emit_json, has_flag, row};
 use hpl_blas::mat::Matrix;
-use hpl_blas::{dgemm_with, Kernel, MatRef, Trans};
+use hpl_blas::{dgemm_with, Element, Kernel, MatRef, Trans};
 use hpl_sim::DgemmModel;
 use serde::Serialize;
 
@@ -28,6 +28,10 @@ struct KernelRate {
     scalar_gflops: f64,
     simd_gflops: Option<f64>,
     speedup: Option<f64>,
+    scalar_f32_gflops: f64,
+    simd_f32_gflops: Option<f64>,
+    /// f32 SIMD rate over f64 SIMD rate — the HPL-MxP throughput lever.
+    f32_over_f64: Option<f64>,
 }
 
 fn main() {
@@ -57,29 +61,62 @@ fn model() {
 }
 
 /// Times one `m x n x nb` update with kernel `kern`, returning GFLOPS.
-fn time_kernel(kern: Kernel, m: usize, n: usize, nb: usize, a: MatRef<'_>, b: MatRef<'_>) -> f64 {
-    let mut c = Matrix::zeros(m, n);
+fn time_kernel<E: Element>(
+    kern: Kernel,
+    m: usize,
+    n: usize,
+    nb: usize,
+    a: MatRef<'_, E>,
+    b: MatRef<'_, E>,
+) -> f64 {
+    let mut c = Matrix::<E>::zeros(m, n);
     // Warm-up: fault in the pack arena and caches outside the timed loop.
     let mut cv = c.view_mut();
-    dgemm_with(kern, Trans::No, Trans::No, -1.0, a, b, 1.0, &mut cv);
+    dgemm_with(
+        kern,
+        Trans::No,
+        Trans::No,
+        E::from_f64(-1.0),
+        a,
+        b,
+        E::ONE,
+        &mut cv,
+    );
     let reps = (256 / nb).max(1);
     let t0 = Instant::now();
     for _ in 0..reps {
         let mut cv = c.view_mut();
-        dgemm_with(kern, Trans::No, Trans::No, -1.0, a, b, 1.0, &mut cv);
+        dgemm_with(
+            kern,
+            Trans::No,
+            Trans::No,
+            E::from_f64(-1.0),
+            a,
+            b,
+            E::ONE,
+            &mut cv,
+        );
     }
     let dt = t0.elapsed().as_secs_f64() / reps as f64;
     2.0 * (m * n * nb) as f64 / dt / 1e9
 }
 
 fn measured() {
-    println!("DGEMM GFLOPS vs NB per kernel (measured on this host, m = n = 1024)");
+    println!("GEMM GFLOPS vs NB per kernel and element (measured on this host, m = n = 1024)");
     let (m, n) = (1024usize, 1024usize);
     let a_full = Matrix::from_fn(m, 1024, |i, j| ((i * 13 + j * 7) % 17) as f64 * 0.1 - 0.8);
     let b_full = Matrix::from_fn(1024, n, |i, j| ((i * 5 + j * 11) % 19) as f64 * 0.1 - 0.9);
+    let a32 = Matrix::<f32>::from_fn(m, 1024, |i, j| ((i * 13 + j * 7) % 17) as f32 * 0.1 - 0.8);
+    let b32 = Matrix::<f32>::from_fn(1024, n, |i, j| ((i * 5 + j * 11) % 19) as f32 * 0.1 - 0.9);
     let simd = Kernel::simd();
-    let widths = [6usize, 10, 10, 9];
-    println!("{}", row(&["NB", "scalar", "simd", "speedup"], &widths));
+    let widths = [6usize, 10, 10, 9, 10, 10, 9];
+    println!(
+        "{}",
+        row(
+            &["NB", "f64-sc", "f64-simd", "f64-spd", "f32-sc", "f32-simd", "f32/f64"],
+            &widths
+        )
+    );
     let mut rates = Vec::new();
     for nb in [16usize, 32, 64, 128, 256, 512, 1024] {
         let a = a_full.view().submatrix(0, 0, m, nb);
@@ -87,6 +124,14 @@ fn measured() {
         let scalar_gflops = time_kernel(Kernel::scalar(), m, n, nb, a, b);
         let simd_gflops = simd.map(|k| time_kernel(k, m, n, nb, a, b));
         let speedup = simd_gflops.map(|s| s / scalar_gflops);
+        let af = a32.view().submatrix(0, 0, m, nb);
+        let bf = b32.view().submatrix(0, 0, nb, n);
+        let scalar_f32_gflops = time_kernel(Kernel::scalar(), m, n, nb, af, bf);
+        let simd_f32_gflops = simd.map(|k| time_kernel(k, m, n, nb, af, bf));
+        let f32_over_f64 = match (simd_f32_gflops, simd_gflops) {
+            (Some(s32), Some(s64)) => Some(s32 / s64),
+            _ => None,
+        };
         println!(
             "{}",
             row(
@@ -95,6 +140,9 @@ fn measured() {
                     format!("{scalar_gflops:.2}"),
                     simd_gflops.map_or("-".to_string(), |g| format!("{g:.2}")),
                     speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+                    format!("{scalar_f32_gflops:.2}"),
+                    simd_f32_gflops.map_or("-".to_string(), |g| format!("{g:.2}")),
+                    f32_over_f64.map_or("-".to_string(), |s| format!("{s:.2}x")),
                 ],
                 &widths
             )
@@ -104,6 +152,9 @@ fn measured() {
             scalar_gflops,
             simd_gflops,
             speedup,
+            scalar_f32_gflops,
+            simd_f32_gflops,
+            f32_over_f64,
         });
     }
     emit_json("dgemm_measured", &rates);

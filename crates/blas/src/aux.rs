@@ -1,7 +1,9 @@
 //! LAPACK-style auxiliary routines used throughout HPL: matrix copy,
-//! norms, and row interchanges (DLASWP).
+//! norms, and row interchanges (DLASWP) — generic over the pipeline
+//! [`Element`].
 
 use crate::mat::{MatMut, MatRef};
+use crate::Element;
 
 /// Which norm [`dlange`] computes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -15,7 +17,7 @@ pub enum Norm {
 }
 
 /// Copies `a` into `b` element-wise. Panics on shape mismatch.
-pub fn dlacpy(a: MatRef<'_>, b: &mut MatMut<'_>) {
+pub fn dlacpy<E: Element>(a: MatRef<'_, E>, b: &mut MatMut<'_, E>) {
     assert_eq!(a.rows(), b.rows(), "dlacpy: row mismatch");
     assert_eq!(a.cols(), b.cols(), "dlacpy: col mismatch");
     for j in 0..a.cols() {
@@ -27,7 +29,7 @@ pub fn dlacpy(a: MatRef<'_>, b: &mut MatMut<'_>) {
 ///
 /// Used when assembling the broadcast `L` panel in transposed layout so the
 /// trailing DGEMM reads it with stride-1 access.
-pub fn dlatcpy(a: MatRef<'_>, b: &mut MatMut<'_>) {
+pub fn dlatcpy<E: Element>(a: MatRef<'_, E>, b: &mut MatMut<'_, E>) {
     assert_eq!(a.rows(), b.cols(), "dlatcpy: shape mismatch");
     assert_eq!(a.cols(), b.rows(), "dlatcpy: shape mismatch");
     for j in 0..a.cols() {
@@ -39,13 +41,17 @@ pub fn dlatcpy(a: MatRef<'_>, b: &mut MatMut<'_>) {
 }
 
 /// Computes a norm of `a` (LAPACK DLANGE).
-pub fn dlange(norm: Norm, a: MatRef<'_>) -> f64 {
+///
+/// Accumulates in `f64` for either precision — the norms feed the residual
+/// gate, which is an `f64` computation even for an f32 factorization. For
+/// `E = f64` this is exactly the historical behaviour.
+pub fn dlange<E: Element>(norm: Norm, a: MatRef<'_, E>) -> f64 {
     match norm {
         Norm::Max => {
             let mut m = 0.0f64;
             for j in 0..a.cols() {
                 for &v in a.col(j) {
-                    m = m.max(v.abs());
+                    m = m.max(v.to_f64().abs());
                 }
             }
             m
@@ -53,7 +59,7 @@ pub fn dlange(norm: Norm, a: MatRef<'_>) -> f64 {
         Norm::One => {
             let mut m = 0.0f64;
             for j in 0..a.cols() {
-                let s: f64 = a.col(j).iter().map(|v| v.abs()).sum();
+                let s: f64 = a.col(j).iter().map(|v| v.to_f64().abs()).sum();
                 m = m.max(s);
             }
             m
@@ -62,7 +68,7 @@ pub fn dlange(norm: Norm, a: MatRef<'_>) -> f64 {
             let mut sums = vec![0.0f64; a.rows()];
             for j in 0..a.cols() {
                 for (s, &v) in sums.iter_mut().zip(a.col(j)) {
-                    *s += v.abs();
+                    *s += v.to_f64().abs();
                 }
             }
             sums.into_iter().fold(0.0, f64::max)
@@ -75,7 +81,7 @@ pub fn dlange(norm: Norm, a: MatRef<'_>) -> f64 {
 /// For `k` in `0..ipiv.len()`, swaps row `k` with row `ipiv[k]`
 /// (0-based, `ipiv[k] >= k`), in order. This matches the forward
 /// (`incx = 1`) direction of the reference routine.
-pub fn dlaswp(a: &mut MatMut<'_>, ipiv: &[usize]) {
+pub fn dlaswp<E: Element>(a: &mut MatMut<'_, E>, ipiv: &[usize]) {
     for (k, &p) in ipiv.iter().enumerate() {
         assert!(p < a.rows(), "dlaswp: pivot {p} out of {} rows", a.rows());
         if p != k {
@@ -85,7 +91,7 @@ pub fn dlaswp(a: &mut MatMut<'_>, ipiv: &[usize]) {
 }
 
 /// Applies the interchanges of [`dlaswp`] in reverse order, undoing them.
-pub fn dlaswp_inv(a: &mut MatMut<'_>, ipiv: &[usize]) {
+pub fn dlaswp_inv<E: Element>(a: &mut MatMut<'_, E>, ipiv: &[usize]) {
     for (k, &p) in ipiv.iter().enumerate().rev() {
         assert!(p < a.rows(), "dlaswp: pivot {p} out of {} rows", a.rows());
         if p != k {
@@ -95,7 +101,7 @@ pub fn dlaswp_inv(a: &mut MatMut<'_>, ipiv: &[usize]) {
 }
 
 /// Swaps rows `r1` and `r2` of `a`.
-pub fn swap_rows(a: &mut MatMut<'_>, r1: usize, r2: usize) {
+pub fn swap_rows<E: Element>(a: &mut MatMut<'_, E>, r1: usize, r2: usize) {
     if r1 == r2 {
         return;
     }
@@ -139,6 +145,13 @@ mod tests {
         assert_eq!(dlange(Norm::Max, a.view()), 4.0);
         assert_eq!(dlange(Norm::One, a.view()), 6.0); // col sums: 4, 6
         assert_eq!(dlange(Norm::Inf, a.view()), 7.0); // row sums: 3, 7
+    }
+
+    #[test]
+    fn dlange_widens_f32_to_f64() {
+        let a = Matrix::<f32>::from_vec(2, 2, vec![1.0, -3.0, -2.0, 4.0]);
+        assert_eq!(dlange(Norm::Max, a.view()), 4.0f64);
+        assert_eq!(dlange(Norm::Inf, a.view()), 7.0f64);
     }
 
     #[test]

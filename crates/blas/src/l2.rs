@@ -1,22 +1,23 @@
 //! Level-2 BLAS kernels: rank-1 update, matrix-vector product, triangular
-//! solve against a vector.
+//! solve against a vector — generic over the pipeline [`Element`].
 
 use crate::mat::{MatMut, MatRef};
+use crate::Element;
 use crate::{Diag, Trans, Uplo};
 
 /// Rank-1 update `A <- A + alpha * x * y^T`.
 ///
 /// `x.len() == A.rows()`, `y.len() == A.cols()`. This is the inner kernel of
 /// the unblocked right-looking LU factorization.
-pub fn dger(alpha: f64, x: &[f64], y: &[f64], a: &mut MatMut<'_>) {
+pub fn dger<E: Element>(alpha: E, x: &[E], y: &[E], a: &mut MatMut<'_, E>) {
     assert_eq!(x.len(), a.rows(), "dger: x length mismatch");
     assert_eq!(y.len(), a.cols(), "dger: y length mismatch");
-    if alpha == 0.0 || a.is_empty() {
+    if alpha == E::ZERO || a.is_empty() {
         return;
     }
     for j in 0..a.cols() {
         let ayj = alpha * y[j];
-        if ayj == 0.0 {
+        if ayj == E::ZERO {
             continue;
         }
         let col = a.col_mut(j);
@@ -27,20 +28,20 @@ pub fn dger(alpha: f64, x: &[f64], y: &[f64], a: &mut MatMut<'_>) {
 }
 
 /// Matrix-vector product `y <- alpha * op(A) * x + beta * y`.
-pub fn dgemv(trans: Trans, alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn dgemv<E: Element>(trans: Trans, alpha: E, a: MatRef<'_, E>, x: &[E], beta: E, y: &mut [E]) {
     let (m, n) = (a.rows(), a.cols());
     match trans {
         Trans::No => {
             assert_eq!(x.len(), n, "dgemv: x length mismatch");
             assert_eq!(y.len(), m, "dgemv: y length mismatch");
-            if beta != 1.0 {
+            if beta != E::ONE {
                 for v in y.iter_mut() {
                     *v *= beta;
                 }
             }
             for j in 0..n {
                 let axj = alpha * x[j];
-                if axj == 0.0 {
+                if axj == E::ZERO {
                     continue;
                 }
                 let col = a.col(j);
@@ -54,7 +55,7 @@ pub fn dgemv(trans: Trans, alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &
             assert_eq!(y.len(), n, "dgemv: y length mismatch");
             for (j, yj) in y.iter_mut().enumerate() {
                 let col = a.col(j);
-                let mut s = 0.0;
+                let mut s = E::ZERO;
                 for (&aij, &xi) in col.iter().zip(x) {
                     s += aij * xi;
                 }
@@ -67,7 +68,7 @@ pub fn dgemv(trans: Trans, alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &
 /// Triangular solve `x <- op(A)^{-1} x` for a triangular `A`.
 ///
 /// Used by the final back-substitution on the diagonal blocks.
-pub fn dtrsv(uplo: Uplo, trans: Trans, diag: Diag, a: MatRef<'_>, x: &mut [f64]) {
+pub fn dtrsv<E: Element>(uplo: Uplo, trans: Trans, diag: Diag, a: MatRef<'_, E>, x: &mut [E]) {
     let n = a.rows();
     assert_eq!(a.cols(), n, "dtrsv: A must be square");
     assert_eq!(x.len(), n, "dtrsv: x length mismatch");
@@ -79,7 +80,7 @@ pub fn dtrsv(uplo: Uplo, trans: Trans, diag: Diag, a: MatRef<'_>, x: &mut [f64])
                     x[j] /= a.get(j, j);
                 }
                 let xj = x[j];
-                if xj != 0.0 {
+                if xj != E::ZERO {
                     let col = a.col(j);
                     for i in j + 1..n {
                         x[i] -= xj * col[i];
@@ -94,7 +95,7 @@ pub fn dtrsv(uplo: Uplo, trans: Trans, diag: Diag, a: MatRef<'_>, x: &mut [f64])
                     x[j] /= a.get(j, j);
                 }
                 let xj = x[j];
-                if xj != 0.0 {
+                if xj != E::ZERO {
                     let col = a.col(j);
                     for (i, xi) in x.iter_mut().enumerate().take(j) {
                         *xi -= xj * col[i];
@@ -164,6 +165,18 @@ mod tests {
         let mut y = vec![0.0, 0.0];
         dgemv(Trans::Yes, 1.0, a.view(), &[1.0, 1.0], 0.0, &mut y);
         assert_eq!(y, vec![4.0, 6.0]); // A^T * [1,1]
+    }
+
+    #[test]
+    fn l2_kernels_serve_f32() {
+        let a = Matrix::<f32>::from_vec(2, 2, vec![1.0, 3.0, 2.0, 4.0]);
+        let mut y = vec![0.0f32, 0.0];
+        dgemv(Trans::No, 1.0f32, a.view(), &[1.0f32, 1.0], 0.0f32, &mut y);
+        assert_eq!(y, vec![3.0f32, 7.0]);
+        let mut b = Matrix::<f32>::zeros(2, 2);
+        let mut bv = b.view_mut();
+        dger(2.0f32, &[1.0, 2.0], &[10.0, 20.0], &mut bv);
+        assert_eq!(b.get(1, 1), 80.0f32);
     }
 
     fn tri_lower(n: usize) -> Matrix {

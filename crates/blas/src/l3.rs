@@ -1,6 +1,7 @@
-//! Level-3 BLAS kernels: DGEMM and DTRSM.
+//! Level-3 BLAS kernels: GEMM and TRSM, generic over the pipeline
+//! [`Element`] (f64 and f32 instantiate the same code).
 //!
-//! DGEMM is the kernel that dominates HPL's trailing update; it is
+//! GEMM is the kernel that dominates HPL's trailing update; it is
 //! implemented GotoBLAS-style with cache blocking, panel packing and an
 //! `MR x NR` register microkernel supplied by [`kernels`] — the portable
 //! scalar tile or a runtime-detected SIMD tile (see that module for the
@@ -9,14 +10,15 @@
 //! allocation-free, and a panel of `A` can be packed once into a
 //! [`PackedA`] and reused across many calls — the `L2` panel of the
 //! trailing update is packed once per iteration and shared across the
-//! split-update sections and all worker threads. DTRSM recurses on the
-//! triangular factor and delegates the rectangular updates to DGEMM, so it
+//! split-update sections and all worker threads. TRSM recurses on the
+//! triangular factor and delegates the rectangular updates to GEMM, so it
 //! inherits its throughput.
 
 pub mod kernels;
 
 use crate::arena;
 use crate::mat::{MatMut, MatRef};
+use crate::Element;
 use crate::{Diag, Side, Trans, Uplo};
 use kernels::Kernel;
 
@@ -31,14 +33,14 @@ pub(crate) const NC: usize = 2048;
 /// using the process-wide [`kernels::active`] microkernel.
 ///
 /// Dimensions: `op(A)` is `m x k`, `op(B)` is `k x n`, `C` is `m x n`.
-pub fn dgemm(
+pub fn dgemm<E: Element>(
     transa: Trans,
     transb: Trans,
-    alpha: f64,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
-    beta: f64,
-    c: &mut MatMut<'_>,
+    alpha: E,
+    a: MatRef<'_, E>,
+    b: MatRef<'_, E>,
+    beta: E,
+    c: &mut MatMut<'_, E>,
 ) {
     dgemm_with(kernels::active(), transa, transb, alpha, a, b, beta, c);
 }
@@ -46,15 +48,16 @@ pub fn dgemm(
 /// [`dgemm`] with an explicit microkernel — the entry point the parallel
 /// and test paths use so every tile of one logical GEMM shares a single
 /// accumulation semantics.
-pub fn dgemm_with(
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_with<E: Element>(
     kern: Kernel,
     transa: Trans,
     transb: Trans,
-    alpha: f64,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
-    beta: f64,
-    c: &mut MatMut<'_>,
+    alpha: E,
+    a: MatRef<'_, E>,
+    b: MatRef<'_, E>,
+    beta: E,
+    c: &mut MatMut<'_, E>,
 ) {
     let m = c.rows();
     let n = c.cols();
@@ -62,17 +65,17 @@ pub fn dgemm_with(
     if m == 0 || n == 0 {
         return;
     }
-    if alpha == 0.0 || k == 0 {
+    if alpha == E::ZERO || k == 0 {
         scale_c(beta, c);
         return;
     }
-    let (mr, nr) = (kern.mr(), kern.nr());
+    let (mr, nr) = (kern.mr_for::<E>(), kern.nr_for::<E>());
     // Pack workspaces from the thread-local arena: zero allocations in the
     // steady state. The packing below overwrites every element the macro
     // kernel reads (padding included), so stale contents are harmless.
     let alen = round_up(m.min(MC), mr) * k.min(KC);
     let blen = k.min(KC) * round_up(n.min(NC), nr);
-    arena::with_pack_bufs(alen, blen, |apack, bpack| {
+    arena::with_pack_bufs::<E, _>(alen, blen, |apack, bpack| {
         for jc in (0..n).step_by(NC) {
             let nc = NC.min(n - jc);
             for pc in (0..k).step_by(KC) {
@@ -80,7 +83,7 @@ pub fn dgemm_with(
                 pack_b(transb, b, pc, jc, kc, nc, nr, bpack);
                 // beta applies only on the first k-panel; afterwards
                 // accumulate.
-                let beta_eff = if pc == 0 { beta } else { 1.0 };
+                let beta_eff = if pc == 0 { beta } else { E::ONE };
                 for ic in (0..m).step_by(MC) {
                     let mc = MC.min(m - ic);
                     pack_a(transa, a, ic, pc, mc, kc, mr, apack);
@@ -102,12 +105,12 @@ pub fn dgemm_with(
 }
 
 /// Validates the `op(A)` / `op(B)` / `C` dimension triangle; returns `k`.
-fn checked_dims(
+fn checked_dims<E: Element>(
     transa: Trans,
     transb: Trans,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
-    c: &MatMut<'_>,
+    a: MatRef<'_, E>,
+    b: MatRef<'_, E>,
+    c: &MatMut<'_, E>,
 ) -> usize {
     let m = c.rows();
     let n = c.cols();
@@ -142,25 +145,25 @@ fn checked_dims(
 /// kernel's `mr`) and holds `ceil(m / mr)` strips of `kc * mr` values
 /// each — bit-for-bit what `dgemm` would pack on the fly, which keeps the
 /// packed and on-the-fly paths bitwise interchangeable.
-pub struct PackedA {
-    buf: Vec<f64>,
+pub struct PackedA<E: Element = f64> {
+    buf: Vec<E>,
     mr: usize,
     m: usize,
     k: usize,
     mup: usize,
 }
 
-impl PackedA {
+impl<E: Element> PackedA<E> {
     /// Packs all of the `m x k` operand `op(A)` for kernel `kern`.
-    pub fn pack(kern: Kernel, transa: Trans, a: MatRef<'_>) -> PackedA {
+    pub fn pack(kern: Kernel, transa: Trans, a: MatRef<'_, E>) -> PackedA<E> {
         let (m, k) = match transa {
             Trans::No => (a.rows(), a.cols()),
             Trans::Yes => (a.cols(), a.rows()),
         };
-        let mr = kern.mr();
+        let mr = kern.mr_for::<E>();
         let mup = round_up(m, mr);
         // xtask-allow: hot-path-alloc — panel-grain cache: packed once per panel (amortized over O(nb^3) work) and owned by the returned PackedA, so arena scratch cannot back it
-        let mut buf = vec![0.0f64; mup * k];
+        let mut buf = vec![E::ZERO; mup * k];
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
             pack_a(
@@ -196,7 +199,7 @@ impl PackedA {
     /// exactly the layout [`macro_kernel`] consumes. `ic` must be
     /// `mr`-aligned and (`pc`, `kc`) must name one of the `KC` panels the
     /// constructor created.
-    fn block(&self, ic: usize, pc: usize, mc: usize, kc: usize) -> &[f64] {
+    fn block(&self, ic: usize, pc: usize, mc: usize, kc: usize) -> &[E] {
         debug_assert_eq!(ic % self.mr, 0);
         debug_assert_eq!(pc % KC, 0);
         debug_assert_eq!(kc, KC.min(self.k - pc));
@@ -212,25 +215,30 @@ impl PackedA {
 /// `row0` must be `mr`-aligned (row tiles in the parallel path are) and
 /// `kern` must be the kernel `packed` was built for. Bitwise identical to
 /// [`dgemm_with`] on the same operands and kernel.
-pub fn dgemm_packed(
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_packed<E: Element>(
     kern: Kernel,
-    alpha: f64,
-    packed: &PackedA,
+    alpha: E,
+    packed: &PackedA<E>,
     row0: usize,
     transb: Trans,
-    b: MatRef<'_>,
-    beta: f64,
-    c: &mut MatMut<'_>,
+    b: MatRef<'_, E>,
+    beta: E,
+    c: &mut MatMut<'_, E>,
 ) {
     let m = c.rows();
     let n = c.cols();
     let k = packed.k;
     assert_eq!(
         packed.mr,
-        kern.mr(),
+        kern.mr_for::<E>(),
         "dgemm_packed: kernel/packing mismatch"
     );
-    assert_eq!(row0 % kern.mr(), 0, "dgemm_packed: row0 must be mr-aligned");
+    assert_eq!(
+        row0 % kern.mr_for::<E>(),
+        0,
+        "dgemm_packed: row0 must be mr-aligned"
+    );
     assert!(row0 + m <= packed.m, "dgemm_packed: rows out of range");
     match transb {
         Trans::No => {
@@ -245,19 +253,19 @@ pub fn dgemm_packed(
     if m == 0 || n == 0 {
         return;
     }
-    if alpha == 0.0 || k == 0 {
+    if alpha == E::ZERO || k == 0 {
         scale_c(beta, c);
         return;
     }
-    let nr = kern.nr();
+    let nr = kern.nr_for::<E>();
     let blen = k.min(KC) * round_up(n.min(NC), nr);
-    arena::with_pack_bufs(0, blen, |_, bpack| {
+    arena::with_pack_bufs::<E, _>(0, blen, |_, bpack| {
         for jc in (0..n).step_by(NC) {
             let nc = NC.min(n - jc);
             for pc in (0..k).step_by(KC) {
                 let kc = KC.min(k - pc);
                 pack_b(transb, b, pc, jc, kc, nc, nr, bpack);
-                let beta_eff = if pc == 0 { beta } else { 1.0 };
+                let beta_eff = if pc == 0 { beta } else { E::ONE };
                 for ic in (0..m).step_by(MC) {
                     let mc = MC.min(m - ic);
                     let apack = packed.block(row0 + ic, pc, mc, kc);
@@ -284,13 +292,13 @@ pub(crate) fn round_up(x: usize, to: usize) -> usize {
     x.div_ceil(to) * to
 }
 
-fn scale_c(beta: f64, c: &mut MatMut<'_>) {
-    if beta == 1.0 {
+fn scale_c<E: Element>(beta: E, c: &mut MatMut<'_, E>) {
+    if beta == E::ONE {
         return;
     }
     for j in 0..c.cols() {
-        if beta == 0.0 {
-            c.col_mut(j).fill(0.0);
+        if beta == E::ZERO {
+            c.col_mut(j).fill(E::ZERO);
         } else {
             for v in c.col_mut(j) {
                 *v *= beta;
@@ -302,15 +310,15 @@ fn scale_c(beta: f64, c: &mut MatMut<'_>) {
 /// Packs an `mc x kc` block of `op(A)` starting at `(ic, pc)` into
 /// `mr`-row strips, each strip stored k-major, zero-padded to `mr`.
 #[allow(clippy::too_many_arguments)]
-fn pack_a(
+fn pack_a<E: Element>(
     transa: Trans,
-    a: MatRef<'_>,
+    a: MatRef<'_, E>,
     ic: usize,
     pc: usize,
     mc: usize,
     kc: usize,
     mr: usize,
-    out: &mut [f64],
+    out: &mut [E],
 ) {
     let mut off = 0;
     for i0 in (0..mc).step_by(mr) {
@@ -323,7 +331,7 @@ fn pack_a(
                         Trans::Yes => a.get(pc + p, ic + i0 + i),
                     }
                 } else {
-                    0.0
+                    E::ZERO
                 };
             }
             off += mr;
@@ -334,15 +342,15 @@ fn pack_a(
 /// Packs a `kc x nc` block of `op(B)` starting at `(pc, jc)` into
 /// `nr`-column strips, each strip stored k-major, zero-padded to `nr`.
 #[allow(clippy::too_many_arguments)]
-fn pack_b(
+fn pack_b<E: Element>(
     transb: Trans,
-    b: MatRef<'_>,
+    b: MatRef<'_, E>,
     pc: usize,
     jc: usize,
     kc: usize,
     nc: usize,
     nr: usize,
-    out: &mut [f64],
+    out: &mut [E],
 ) {
     let mut off = 0;
     for j0 in (0..nc).step_by(nr) {
@@ -355,7 +363,7 @@ fn pack_b(
                         Trans::Yes => b.get(jc + j0 + j, pc + p),
                     }
                 } else {
-                    0.0
+                    E::ZERO
                 };
             }
             off += nr;
@@ -366,19 +374,19 @@ fn pack_b(
 /// Multiplies packed panels into the `mc x nc` block of C through `kern`'s
 /// register tile, then applies the alpha/beta writeback with edge guards.
 #[allow(clippy::too_many_arguments)]
-fn macro_kernel(
+fn macro_kernel<E: Element>(
     kern: Kernel,
     mc: usize,
     nc: usize,
     kc: usize,
-    alpha: f64,
-    apack: &[f64],
-    bpack: &[f64],
-    beta: f64,
-    c: &mut MatMut<'_>,
+    alpha: E,
+    apack: &[E],
+    bpack: &[E],
+    beta: E,
+    c: &mut MatMut<'_, E>,
 ) {
-    let (mr, nr) = (kern.mr(), kern.nr());
-    let mut accbuf = [0.0f64; kernels::MAX_TILE];
+    let (mr, nr) = (kern.mr_for::<E>(), kern.nr_for::<E>());
+    let mut accbuf = [E::ZERO; kernels::MAX_TILE];
     let acc = &mut accbuf[..mr * nr];
     for (jb, j0) in (0..nc).step_by(nr).enumerate() {
         let nw = nr.min(nc - j0);
@@ -386,7 +394,7 @@ fn macro_kernel(
         for (ib, i0) in (0..mc).step_by(mr).enumerate() {
             let mh = mr.min(mc - i0);
             let astrip = &apack[ib * kc * mr..(ib + 1) * kc * mr];
-            acc.fill(0.0);
+            acc.fill(E::ZERO);
             kern.micro(kc, astrip, bstrip, acc);
             // Write back with alpha/beta and edge guards. Each C element
             // depends only on its own accumulator lane, so edge padding
@@ -394,11 +402,11 @@ fn macro_kernel(
             for j in 0..nw {
                 let lane = &acc[j * mr..j * mr + mh];
                 let col = &mut c.col_mut(j0 + j)[i0..i0 + mh];
-                if beta == 0.0 {
+                if beta == E::ZERO {
                     for (ci, &acci) in col.iter_mut().zip(lane) {
                         *ci = alpha * acci;
                     }
-                } else if beta == 1.0 {
+                } else if beta == E::ONE {
                     for (ci, &acci) in col.iter_mut().zip(lane) {
                         *ci += alpha * acci;
                     }
@@ -412,15 +420,15 @@ fn macro_kernel(
     }
 }
 
-/// Reference (naive) DGEMM used by tests and as a fallback oracle.
-pub fn dgemm_naive(
+/// Reference (naive) GEMM used by tests and as a fallback oracle.
+pub fn dgemm_naive<E: Element>(
     transa: Trans,
     transb: Trans,
-    alpha: f64,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
-    beta: f64,
-    c: &mut MatMut<'_>,
+    alpha: E,
+    a: MatRef<'_, E>,
+    b: MatRef<'_, E>,
+    beta: E,
+    c: &mut MatMut<'_, E>,
 ) {
     let m = c.rows();
     let n = c.cols();
@@ -430,7 +438,7 @@ pub fn dgemm_naive(
     };
     for j in 0..n {
         for i in 0..m {
-            let mut s = 0.0;
+            let mut s = E::ZERO;
             for p in 0..k {
                 let aip = match transa {
                     Trans::No => a.get(i, p),
@@ -451,14 +459,14 @@ pub fn dgemm_naive(
 /// Triangular solve with multiple right-hand sides:
 /// `B <- alpha * op(T)^{-1} B` (Side::Left) or `B <- alpha * B * op(T)^{-1}`
 /// (Side::Right), where `T` is triangular per `uplo`/`diag`.
-pub fn dtrsm(
+pub fn dtrsm<E: Element>(
     side: Side,
     uplo: Uplo,
     trans: Trans,
     diag: Diag,
-    alpha: f64,
-    t: MatRef<'_>,
-    b: &mut MatMut<'_>,
+    alpha: E,
+    t: MatRef<'_, E>,
+    b: &mut MatMut<'_, E>,
 ) {
     let dim = match side {
         Side::Left => b.rows(),
@@ -469,7 +477,7 @@ pub fn dtrsm(
     if b.is_empty() {
         return;
     }
-    if alpha != 1.0 {
+    if alpha != E::ONE {
         for j in 0..b.cols() {
             for v in b.col_mut(j) {
                 *v *= alpha;
@@ -489,7 +497,14 @@ pub fn dtrsm(
 /// Recursion cutoff for the triangular dimension.
 const TRSM_BASE: usize = 32;
 
-fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b: &mut MatMut<'_>) {
+fn dtrsm_rec<E: Element>(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    t: MatRef<'_, E>,
+    b: &mut MatMut<'_, E>,
+) {
     let n = t.rows();
     if n == 0 {
         return;
@@ -531,19 +546,19 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
                     (Uplo::Lower, Trans::No) => dgemm(
                         Trans::No,
                         Trans::No,
-                        -1.0,
+                        -E::ONE,
                         t21.expect("off-diagonal block present when n > 1"),
                         b1.as_ref(),
-                        1.0,
+                        E::ONE,
                         &mut b2,
                     ),
                     (Uplo::Upper, Trans::Yes) => dgemm(
                         Trans::Yes,
                         Trans::No,
-                        -1.0,
+                        -E::ONE,
                         t12.expect("off-diagonal block present when n > 1"),
                         b1.as_ref(),
-                        1.0,
+                        E::ONE,
                         &mut b2,
                     ),
                     _ => unreachable!(),
@@ -556,19 +571,19 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
                     (Uplo::Upper, Trans::No) => dgemm(
                         Trans::No,
                         Trans::No,
-                        -1.0,
+                        -E::ONE,
                         t12.expect("off-diagonal block present when n > 1"),
                         b2.as_ref(),
-                        1.0,
+                        E::ONE,
                         &mut b1,
                     ),
                     (Uplo::Lower, Trans::Yes) => dgemm(
                         Trans::Yes,
                         Trans::No,
-                        -1.0,
+                        -E::ONE,
                         t21.expect("off-diagonal block present when n > 1"),
                         b2.as_ref(),
-                        1.0,
+                        E::ONE,
                         &mut b1,
                     ),
                     _ => unreachable!(),
@@ -591,19 +606,19 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
                     (Uplo::Upper, Trans::No) => dgemm(
                         Trans::No,
                         Trans::No,
-                        -1.0,
+                        -E::ONE,
                         b1.as_ref(),
                         t12.expect("off-diagonal block present when n > 1"),
-                        1.0,
+                        E::ONE,
                         &mut b2,
                     ),
                     (Uplo::Lower, Trans::Yes) => dgemm(
                         Trans::No,
                         Trans::Yes,
-                        -1.0,
+                        -E::ONE,
                         b1.as_ref(),
                         t21.expect("off-diagonal block present when n > 1"),
-                        1.0,
+                        E::ONE,
                         &mut b2,
                     ),
                     _ => unreachable!(),
@@ -616,19 +631,19 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
                     (Uplo::Lower, Trans::No) => dgemm(
                         Trans::No,
                         Trans::No,
-                        -1.0,
+                        -E::ONE,
                         b2.as_ref(),
                         t21.expect("off-diagonal block present when n > 1"),
-                        1.0,
+                        E::ONE,
                         &mut b1,
                     ),
                     (Uplo::Upper, Trans::Yes) => dgemm(
                         Trans::No,
                         Trans::Yes,
-                        -1.0,
+                        -E::ONE,
                         b2.as_ref(),
                         t12.expect("off-diagonal block present when n > 1"),
-                        1.0,
+                        E::ONE,
                         &mut b1,
                     ),
                     _ => unreachable!(),
@@ -640,13 +655,13 @@ fn dtrsm_rec(side: Side, uplo: Uplo, trans: Trans, diag: Diag, t: MatRef<'_>, b:
 }
 
 /// Unblocked triangular solve used as the recursion base case.
-fn dtrsm_unblocked(
+fn dtrsm_unblocked<E: Element>(
     side: Side,
     uplo: Uplo,
     trans: Trans,
     diag: Diag,
-    t: MatRef<'_>,
-    b: &mut MatMut<'_>,
+    t: MatRef<'_, E>,
+    b: &mut MatMut<'_, E>,
 ) {
     let n = t.rows();
     match side {
@@ -708,7 +723,7 @@ fn dtrsm_unblocked(
                 let c = at(ci);
                 // X[:,c] = (B[:,c] - sum_{p solved before} X[:,p] * op(T)[p,c]) / op(T)[c,c]
                 let tcc = match diag {
-                    Diag::Unit => 1.0,
+                    Diag::Unit => E::ONE,
                     Diag::NonUnit => t.get(c, c),
                 };
                 // The columns solved before `c` are exactly `at(0..ci)`.
@@ -717,7 +732,7 @@ fn dtrsm_unblocked(
                         Trans::No => t.get(p, c),
                         Trans::Yes => t.get(c, p),
                     };
-                    if tpc != 0.0 {
+                    if tpc != E::ZERO {
                         // B[:,c] -= X[:,p] * tpc; split to satisfy borrows.
                         for i in 0..m {
                             let xp = b.get(i, p);

@@ -1,17 +1,21 @@
-//! Register microkernels and run-level kernel selection for DGEMM.
+//! Register microkernels and run-level kernel selection for GEMM.
 //!
 //! The GotoBLAS macro loop in [`crate::l3`] funnels every flop through one
 //! `MR x NR` register tile; this module supplies that tile in two
-//! accumulation semantics:
+//! accumulation semantics, for both pipeline precisions:
 //!
 //! * **scalar** — the portable 8x4 mul-then-add kernel. It is the
 //!   bit-exactness oracle: its results are identical on every platform and
 //!   to every earlier release of this crate.
 //! * **simd** — explicitly vectorized FMA kernels behind runtime feature
-//!   detection: AVX2+FMA 8x6 on `x86_64`, NEON 8x4 on `aarch64`. FMA
-//!   contracts `a*b + acc` into one rounding, so simd results differ from
-//!   scalar results in the last bits — *within* a kernel every result is
-//!   still deterministic and independent of thread count.
+//!   detection. For `f64`: AVX2+FMA 8x6 on `x86_64`, NEON 8x4 on `aarch64`.
+//!   For `f32`: AVX2+FMA 16x6 on `x86_64` (8 lanes per YMM doubles the
+//!   per-register width, and doubling MR to 16 keeps the same
+//!   two-loads-six-broadcasts-twelve-FMAs schedule as the f64 tile at
+//!   twice the flops), NEON 8x4 on `aarch64`. FMA contracts
+//!   `a*b + acc` into one rounding, so simd results differ from scalar
+//!   results in the last bits — *within* a kernel every result is still
+//!   deterministic and independent of thread count.
 //!
 //! Because the two semantics round differently, the kernel is a **per-run
 //! choice**, resolved once per process from the `RHPL_KERNEL` environment
@@ -20,8 +24,18 @@
 //! would break the bitwise schedule-equivalence and replay guarantees the
 //! test suite leans on. `auto` picks simd when the CPU supports it and
 //! falls back to scalar otherwise (as does an explicit `simd` request on
-//! unsupported hardware, keeping `RHPL_KERNEL=simd` portable in CI).
+//! unsupported hardware, keeping `RHPL_KERNEL=simd` portable in CI). An
+//! *unparseable* value is a configuration error, not a fallback: the CLI
+//! validates `RHPL_KERNEL` pre-flight, and a library-only entry fails fast
+//! with the same message rather than silently running a different kernel
+//! than the one requested.
+//!
+//! The per-precision shapes and entry points are reached through
+//! [`crate::Element::micro_shape`] / [`crate::Element::micro`]; the
+//! selection machinery here stays precision-agnostic (one `RHPL_KERNEL`
+//! choice governs both element types in a mixed-precision process).
 
+use crate::Element;
 use std::sync::OnceLock;
 
 /// Accumulation semantics of the active microkernel.
@@ -29,7 +43,7 @@ use std::sync::OnceLock;
 pub enum KernelKind {
     /// Portable mul-then-add 8x4 tile; bit-identical everywhere.
     Scalar,
-    /// Runtime-detected FMA tile (AVX2+FMA 8x6 or NEON 8x4).
+    /// Runtime-detected FMA tile (AVX2+FMA or NEON; shape per precision).
     Simd,
 }
 
@@ -58,8 +72,9 @@ impl std::str::FromStr for KernelSel {
     }
 }
 
-/// A resolved microkernel: its semantics plus the register-tile shape the
-/// packing routines must honor.
+/// A resolved microkernel: its semantics plus the f64 register-tile shape
+/// (the historical default precision; per-precision shapes come from
+/// [`Kernel::mr_for`] / [`Kernel::nr_for`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Kernel {
     kind: KernelKind,
@@ -67,16 +82,46 @@ pub struct Kernel {
     nr: usize,
 }
 
-/// Largest `MR * NR` over all kernels — the stack accumulator size.
-pub(crate) const MAX_TILE: usize = 48;
+/// Largest `MR * NR` over all kernels and precisions — the stack
+/// accumulator size (the f32 AVX2 tile is 16x6).
+pub(crate) const MAX_TILE: usize = 96;
+
+/// `(mr, nr)` of the f64 tile for each accumulation semantics.
+pub(crate) fn shape_f64(kind: KernelKind) -> (usize, usize) {
+    match kind {
+        KernelKind::Scalar => (8, 4),
+        KernelKind::Simd => {
+            if cfg!(target_arch = "x86_64") {
+                (8, 6)
+            } else {
+                (8, 4)
+            }
+        }
+    }
+}
+
+/// `(mr, nr)` of the f32 tile for each accumulation semantics.
+pub(crate) fn shape_f32(kind: KernelKind) -> (usize, usize) {
+    match kind {
+        KernelKind::Scalar => (8, 4),
+        KernelKind::Simd => {
+            if cfg!(target_arch = "x86_64") {
+                (16, 6)
+            } else {
+                (8, 4)
+            }
+        }
+    }
+}
 
 impl Kernel {
     /// The portable scalar kernel (always available).
     pub fn scalar() -> Kernel {
+        let (mr, nr) = shape_f64(KernelKind::Scalar);
         Kernel {
             kind: KernelKind::Scalar,
-            mr: 8,
-            nr: 4,
+            mr,
+            nr,
         }
     }
 
@@ -85,21 +130,23 @@ impl Kernel {
         #[cfg(target_arch = "x86_64")]
         {
             if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                let (mr, nr) = shape_f64(KernelKind::Simd);
                 return Some(Kernel {
                     kind: KernelKind::Simd,
-                    mr: 8,
-                    nr: 6,
+                    mr,
+                    nr,
                 });
             }
             None
         }
         #[cfg(target_arch = "aarch64")]
         {
-            // NEON (incl. 2x f64 FMA) is baseline on aarch64.
+            // NEON (incl. 2x f64 / 4x f32 FMA) is baseline on aarch64.
+            let (mr, nr) = shape_f64(KernelKind::Simd);
             Some(Kernel {
                 kind: KernelKind::Simd,
-                mr: 8,
-                nr: 4,
+                mr,
+                nr,
             })
         }
         #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
@@ -121,14 +168,25 @@ impl Kernel {
         self.kind
     }
 
-    /// Register-tile rows; packed-A strips are this tall (zero-padded).
+    /// f64 register-tile rows; packed-A strips are this tall (zero-padded).
     pub fn mr(&self) -> usize {
         self.mr
     }
 
-    /// Register-tile columns; packed-B strips are this wide (zero-padded).
+    /// f64 register-tile columns; packed-B strips are this wide
+    /// (zero-padded).
     pub fn nr(&self) -> usize {
         self.nr
+    }
+
+    /// Register-tile rows for precision `E`.
+    pub fn mr_for<E: Element>(&self) -> usize {
+        E::micro_shape(self.kind).0
+    }
+
+    /// Register-tile columns for precision `E`.
+    pub fn nr_for<E: Element>(&self) -> usize {
+        E::micro_shape(self.kind).1
     }
 
     /// Short name for logs, JSON and the CLI.
@@ -149,37 +207,73 @@ impl Kernel {
                 } else {
                     "neon"
                 };
-                format!("simd {}x{} ({isa})", self.mr, self.nr)
+                let (mr32, nr32) = shape_f32(self.kind);
+                format!(
+                    "simd {}x{} f64 / {}x{} f32 ({isa})",
+                    self.mr, self.nr, mr32, nr32
+                )
             }
         }
     }
 
     /// Runs the register tile: `acc[j*mr + i] = sum_p a[p*mr + i] *
     /// b[p*nr + j]` over `kc` depth steps, overwriting `acc` (callers pass
-    /// a zeroed slice of exactly `mr * nr` elements).
+    /// a zeroed slice of exactly `mr * nr` elements for this precision's
+    /// tile shape).
     #[inline]
-    pub(crate) fn micro(&self, kc: usize, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
-        debug_assert!(astrip.len() >= kc * self.mr);
-        debug_assert!(bstrip.len() >= kc * self.nr);
-        debug_assert_eq!(acc.len(), self.mr * self.nr);
-        match self.kind {
-            KernelKind::Scalar => micro_scalar_8x4(kc, astrip, bstrip, acc),
-            KernelKind::Simd => micro_simd(kc, astrip, bstrip, acc),
-        }
+    pub(crate) fn micro<E: Element>(&self, kc: usize, astrip: &[E], bstrip: &[E], acc: &mut [E]) {
+        let (mr, nr) = E::micro_shape(self.kind);
+        debug_assert!(astrip.len() >= kc * mr);
+        debug_assert!(bstrip.len() >= kc * nr);
+        debug_assert_eq!(acc.len(), mr * nr);
+        E::micro(self.kind, kc, astrip, bstrip, acc)
     }
 }
 
-/// The portable `8x4` register tile, kept bit-identical to the original
+/// f64 microkernel entry for the [`Element`] dispatch.
+#[inline]
+pub(crate) fn micro_f64(
+    kind: KernelKind,
+    kc: usize,
+    astrip: &[f64],
+    bstrip: &[f64],
+    acc: &mut [f64],
+) {
+    match kind {
+        KernelKind::Scalar => micro_scalar::<f64, 8, 4>(kc, astrip, bstrip, acc),
+        KernelKind::Simd => micro_simd_f64(kc, astrip, bstrip, acc),
+    }
+}
+
+/// f32 microkernel entry for the [`Element`] dispatch.
+#[inline]
+pub(crate) fn micro_f32(
+    kind: KernelKind,
+    kc: usize,
+    astrip: &[f32],
+    bstrip: &[f32],
+    acc: &mut [f32],
+) {
+    match kind {
+        KernelKind::Scalar => micro_scalar::<f32, 8, 4>(kc, astrip, bstrip, acc),
+        KernelKind::Simd => micro_simd_f32(kc, astrip, bstrip, acc),
+    }
+}
+
+/// The portable `MR x NR` register tile, kept bit-identical to the original
 /// serial implementation: plain mul-then-add in (p, j, i) order.
 #[inline(always)]
-fn micro_scalar_8x4(kc: usize, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
-    const MR: usize = 8;
-    const NR: usize = 4;
+fn micro_scalar<E: Element, const MR: usize, const NR: usize>(
+    kc: usize,
+    astrip: &[E],
+    bstrip: &[E],
+    acc: &mut [E],
+) {
     for p in 0..kc {
-        let av: &[f64; MR] = astrip[p * MR..p * MR + MR]
+        let av: &[E; MR] = astrip[p * MR..p * MR + MR]
             .try_into()
             .expect("slice is exactly MR long by construction");
-        let bv: &[f64; NR] = bstrip[p * NR..p * NR + NR]
+        let bv: &[E; NR] = bstrip[p * NR..p * NR + NR]
             .try_into()
             .expect("slice is exactly NR long by construction");
         for j in 0..NR {
@@ -191,10 +285,10 @@ fn micro_scalar_8x4(kc: usize, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) 
     }
 }
 
-/// Dispatches to the vectorized tile for this architecture. Only reachable
-/// through a [`Kernel`] whose construction verified the ISA is present.
+/// Dispatches to the vectorized f64 tile for this architecture. Only
+/// reachable through a [`Kernel`] whose construction verified the ISA.
 #[inline]
-fn micro_simd(kc: usize, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
+fn micro_simd_f64(kc: usize, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
     #[cfg(target_arch = "x86_64")]
     {
         // SAFETY: `Kernel::simd()` is the only constructor of a Simd kernel
@@ -214,20 +308,43 @@ fn micro_simd(kc: usize, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
     {
         // `Kernel::simd()` returns None here, so this is unreachable; fall
         // back to scalar semantics rather than aborting.
-        micro_scalar_8x4(kc, astrip, bstrip, acc)
+        micro_scalar::<f64, 8, 4>(kc, astrip, bstrip, acc)
+    }
+}
+
+/// Dispatches to the vectorized f32 tile for this architecture. Only
+/// reachable through a [`Kernel`] whose construction verified the ISA.
+#[inline]
+fn micro_simd_f32(kc: usize, astrip: &[f32], bstrip: &[f32], acc: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: as in `micro_simd_f64` — a Simd kernel only exists after
+        // runtime detection of avx2+fma.
+        unsafe { x86::micro_16x6_avx2fma_f32(kc, astrip, bstrip, acc) }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // SAFETY: neon is baseline on aarch64.
+        unsafe { aarch64::micro_8x4_neon_f32(kc, astrip, bstrip, acc) }
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        micro_scalar::<f32, 8, 4>(kc, astrip, bstrip, acc)
     }
 }
 
 #[cfg(target_arch = "x86_64")]
 mod x86 {
     use core::arch::x86_64::{
-        __m256d, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_set1_pd, _mm256_setzero_pd,
-        _mm256_storeu_pd,
+        __m256, __m256d, _mm256_fmadd_pd, _mm256_fmadd_ps, _mm256_loadu_pd, _mm256_loadu_ps,
+        _mm256_set1_pd, _mm256_set1_ps, _mm256_setzero_pd, _mm256_setzero_ps, _mm256_storeu_pd,
+        _mm256_storeu_ps,
     };
 
-    /// AVX2+FMA `8x6` register tile: twelve 4-lane accumulators (rows split
-    /// into two YMM halves, one pair per column) fed by broadcast B values,
-    /// leaving three YMM registers for the A loads and the broadcast.
+    /// AVX2+FMA `8x6` f64 register tile: twelve 4-lane accumulators (rows
+    /// split into two YMM halves, one pair per column) fed by broadcast B
+    /// values, leaving three YMM registers for the A loads and the
+    /// broadcast.
     ///
     /// # Safety
     /// The caller must have verified at runtime that the CPU supports the
@@ -265,14 +382,62 @@ mod x86 {
             unsafe { _mm256_storeu_pd(acc[j * MR + 4..].as_mut_ptr(), c[2 * j + 1]) };
         }
     }
+
+    /// AVX2+FMA `16x6` f32 register tile: twelve 8-lane accumulators (rows
+    /// split into two YMM halves, one pair per column) — the same
+    /// two-loads, six-broadcasts, twelve-FMAs port schedule per depth step
+    /// as the f64 `8x6` tile, with every register twice as wide. An `8x12`
+    /// shape issues the same twelve FMAs but needs twelve B broadcasts per
+    /// step, saturating the load ports and halving throughput in practice.
+    ///
+    /// # Safety
+    /// The caller must have verified at runtime that the CPU supports the
+    /// `avx2` and `fma` target features.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn micro_16x6_avx2fma_f32(
+        kc: usize,
+        astrip: &[f32],
+        bstrip: &[f32],
+        acc: &mut [f32],
+    ) {
+        const MR: usize = 16;
+        const NR: usize = 6;
+        assert!(astrip.len() >= kc * MR);
+        assert!(bstrip.len() >= kc * NR);
+        assert_eq!(acc.len(), MR * NR);
+        let mut c: [__m256; 2 * NR] = [_mm256_setzero_ps(); 2 * NR];
+        for p in 0..kc {
+            let arow = &astrip[p * MR..p * MR + MR];
+            // SAFETY: avx2+fma — `arow` has 16 readable f32 lanes.
+            let a0 = unsafe { _mm256_loadu_ps(arow.as_ptr()) };
+            // SAFETY: avx2+fma — lanes 8..16 of the same MR-tall strip.
+            let a1 = unsafe { _mm256_loadu_ps(arow[8..].as_ptr()) };
+            let brow = &bstrip[p * NR..p * NR + NR];
+            for j in 0..NR {
+                let bj = _mm256_set1_ps(brow[j]);
+                c[2 * j] = _mm256_fmadd_ps(a0, bj, c[2 * j]);
+                c[2 * j + 1] = _mm256_fmadd_ps(a1, bj, c[2 * j + 1]);
+            }
+        }
+        for j in 0..NR {
+            // SAFETY: avx2+fma — `acc[j*MR..]` has 8 writable lanes inside
+            // the MR*NR accumulator (length asserted above).
+            unsafe { _mm256_storeu_ps(acc[j * MR..].as_mut_ptr(), c[2 * j]) };
+            // SAFETY: avx2+fma — second half of column j, inside MR*NR.
+            unsafe { _mm256_storeu_ps(acc[j * MR + 8..].as_mut_ptr(), c[2 * j + 1]) };
+        }
+    }
 }
 
 #[cfg(target_arch = "aarch64")]
 mod aarch64 {
-    use core::arch::aarch64::{float64x2_t, vdupq_n_f64, vfmaq_f64, vld1q_f64, vst1q_f64};
+    use core::arch::aarch64::{
+        float32x4_t, float64x2_t, vdupq_n_f32, vdupq_n_f64, vfmaq_f32, vfmaq_f64, vld1q_f32,
+        vld1q_f64, vst1q_f32, vst1q_f64,
+    };
 
-    /// NEON `8x4` register tile: sixteen 2-lane accumulators (rows split
-    /// into four Q-register halves, one quartet per column).
+    /// NEON `8x4` f64 register tile: sixteen 2-lane accumulators (rows
+    /// split into four Q-register halves, one quartet per column).
     ///
     /// # Safety
     /// The caller must be running on a target with the `neon` target
@@ -313,12 +478,58 @@ mod aarch64 {
             }
         }
     }
+
+    /// NEON `8x4` f32 register tile: eight 4-lane accumulators (rows split
+    /// into two Q-register halves, one pair per column) — the same loop
+    /// structure as the f64 tile at twice the lane width.
+    ///
+    /// # Safety
+    /// The caller must be running on a target with the `neon` target
+    /// feature (baseline on every supported aarch64 target).
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn micro_8x4_neon_f32(
+        kc: usize,
+        astrip: &[f32],
+        bstrip: &[f32],
+        acc: &mut [f32],
+    ) {
+        const MR: usize = 8;
+        const NR: usize = 4;
+        assert!(astrip.len() >= kc * MR);
+        assert!(bstrip.len() >= kc * NR);
+        assert_eq!(acc.len(), MR * NR);
+        let mut c: [float32x4_t; 2 * NR] = [vdupq_n_f32(0.0); 2 * NR];
+        for p in 0..kc {
+            let arow = &astrip[p * MR..p * MR + MR];
+            // SAFETY: neon — lanes 0..4 of the 8-tall packed strip.
+            let a0 = unsafe { vld1q_f32(arow.as_ptr()) };
+            // SAFETY: neon — lanes 4..8 of the same strip.
+            let a1 = unsafe { vld1q_f32(arow[4..].as_ptr()) };
+            let brow = &bstrip[p * NR..p * NR + NR];
+            for j in 0..NR {
+                let bj = vdupq_n_f32(brow[j]);
+                c[2 * j] = vfmaq_f32(c[2 * j], a0, bj);
+                c[2 * j + 1] = vfmaq_f32(c[2 * j + 1], a1, bj);
+            }
+        }
+        for j in 0..NR {
+            // SAFETY: neon — `acc[j*MR..]` has 4 writable lanes inside the
+            // MR*NR accumulator (length asserted above).
+            unsafe { vst1q_f32(acc[j * MR..].as_mut_ptr(), c[2 * j]) };
+            // SAFETY: neon — second half of column j, inside MR*NR.
+            unsafe { vst1q_f32(acc[j * MR + 4..].as_mut_ptr(), c[2 * j + 1]) };
+        }
+    }
 }
 
 static ACTIVE: OnceLock<Kernel> = OnceLock::new();
 
 /// The process-wide kernel, resolved on first use from `RHPL_KERNEL`
-/// (`scalar` | `simd` | `auto`; unset or unrecognized values mean `auto`).
+/// (`scalar` | `simd` | `auto`; unset means `auto`). An unrecognized value
+/// is a configuration error: the process fails fast with the offending
+/// value rather than silently benchmarking a kernel nobody asked for (the
+/// CLI validates `RHPL_KERNEL` pre-flight and turns the same message into
+/// a clean exit).
 pub fn active() -> Kernel {
     *ACTIVE.get_or_init(|| Kernel::resolve(sel_from_env()))
 }
@@ -332,10 +543,14 @@ pub fn select(sel: KernelSel) -> Kernel {
 }
 
 fn sel_from_env() -> KernelSel {
-    std::env::var("RHPL_KERNEL")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_default()
+    match std::env::var("RHPL_KERNEL") {
+        Ok(v) => match v.parse() {
+            Ok(sel) => sel,
+            // xtask-allow: no-panic — config fail-fast (the CLI validates pre-flight; a library entry must not silently fall back to a different kernel)
+            Err(()) => panic!("invalid RHPL_KERNEL={v:?}: expected one of auto, scalar, simd"),
+        },
+        Err(_) => KernelSel::Auto,
+    }
 }
 
 #[cfg(test)]
@@ -356,6 +571,7 @@ mod tests {
         let k = Kernel::resolve(KernelSel::Scalar);
         assert_eq!(k.kind(), KernelKind::Scalar);
         assert_eq!((k.mr(), k.nr()), (8, 4));
+        assert_eq!((k.mr_for::<f32>(), k.nr_for::<f32>()), (8, 4));
         assert_eq!(k.name(), "scalar");
     }
 
@@ -365,6 +581,7 @@ mod tests {
         // with one, shapes must fit the shared accumulator.
         let k = Kernel::resolve(KernelSel::Simd);
         assert!(k.mr() * k.nr() <= MAX_TILE);
+        assert!(k.mr_for::<f32>() * k.nr_for::<f32>() <= MAX_TILE);
         match Kernel::simd() {
             Some(s) => assert_eq!(k, s),
             None => assert_eq!(k, Kernel::scalar()),
@@ -388,6 +605,28 @@ mod tests {
             for j in 0..nr {
                 for i in 0..mr {
                     let want: f64 = (0..kc).map(|p| a[p * mr + i] * b[p * nr + j]).sum();
+                    assert_eq!(acc[j * mr + i], want, "kernel {} ({i},{j})", kern.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_micro_tiles_agree_with_reference_sum() {
+        for kern in [Kernel::scalar()]
+            .into_iter()
+            .chain(Kernel::simd())
+            .collect::<Vec<_>>()
+        {
+            let (mr, nr) = (kern.mr_for::<f32>(), kern.nr_for::<f32>());
+            let kc = 7usize;
+            let a: Vec<f32> = (0..kc * mr).map(|x| ((x % 11) as f32) - 5.0).collect();
+            let b: Vec<f32> = (0..kc * nr).map(|x| ((x % 7) as f32) - 3.0).collect();
+            let mut acc = vec![0.0f32; mr * nr];
+            kern.micro(kc, &a, &b, &mut acc);
+            for j in 0..nr {
+                for i in 0..mr {
+                    let want: f32 = (0..kc).map(|p| a[p * mr + i] * b[p * nr + j]).sum();
                     assert_eq!(acc[j * mr + i], want, "kernel {} ({i},{j})", kern.name());
                 }
             }

@@ -9,7 +9,8 @@
 //! the serial kernel regardless of how the grid is cut, so within one
 //! kernel choice the parallel result is **bitwise identical** to the
 //! serial one — a property the benchmark driver's schedule-equivalence
-//! tests rely on.
+//! tests rely on. All of it is generic over the pipeline [`Element`], so
+//! the f32 factorization scales across the same tile grid.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -18,22 +19,23 @@ use hpl_threads::Pool;
 use crate::l3::kernels::{self, Kernel};
 use crate::l3::{dgemm_packed, dgemm_with, round_up, PackedA, MC, NC};
 use crate::mat::{MatMut, MatRef};
+use crate::Element;
 use crate::Trans;
 
 /// Parallel `C <- alpha * op(A) * op(B) + beta * C` over `nthreads` pool
 /// threads with the process-wide kernel. Falls back to the serial kernel
 /// for one thread or tiny `C`.
 #[allow(clippy::too_many_arguments)]
-pub fn dgemm_parallel(
+pub fn dgemm_parallel<E: Element>(
     pool: &Pool,
     nthreads: usize,
     transa: Trans,
     transb: Trans,
-    alpha: f64,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
-    beta: f64,
-    c: &mut MatMut<'_>,
+    alpha: E,
+    a: MatRef<'_, E>,
+    b: MatRef<'_, E>,
+    beta: E,
+    c: &mut MatMut<'_, E>,
 ) {
     dgemm_parallel_with(
         kernels::active(),
@@ -51,17 +53,17 @@ pub fn dgemm_parallel(
 
 /// [`dgemm_parallel`] with an explicit microkernel.
 #[allow(clippy::too_many_arguments)]
-pub fn dgemm_parallel_with(
+pub fn dgemm_parallel_with<E: Element>(
     kern: Kernel,
     pool: &Pool,
     nthreads: usize,
     transa: Trans,
     transb: Trans,
-    alpha: f64,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
-    beta: f64,
-    c: &mut MatMut<'_>,
+    alpha: E,
+    a: MatRef<'_, E>,
+    b: MatRef<'_, E>,
+    beta: E,
+    c: &mut MatMut<'_, E>,
 ) {
     let m = c.rows();
     let n = c.cols();
@@ -70,8 +72,8 @@ pub fn dgemm_parallel_with(
         Trans::Yes => a.rows(),
     };
     let nthreads = nthreads.clamp(1, pool.size());
-    let grid = TileGrid::new(kern, m, n, nthreads);
-    if nthreads <= 1 || grid.tiles() <= 1 || alpha == 0.0 || k == 0 {
+    let grid = TileGrid::new(kern.mr_for::<E>(), kern.nr_for::<E>(), m, n, nthreads);
+    if nthreads <= 1 || grid.tiles() <= 1 || alpha == E::ZERO || k == 0 {
         dgemm_with(kern, transa, transb, alpha, a, b, beta, c);
         return;
     }
@@ -87,7 +89,7 @@ pub fn dgemm_parallel_with(
                 break;
             }
             let (ic, jc, mc, nc) = grid.tile(t);
-            let cptr = (cbase as *mut f64).wrapping_add(jc * lda + ic);
+            let cptr = (cbase as *mut E).wrapping_add(jc * lda + ic);
             // SAFETY: the grid assigns every (ic, jc) tile to exactly one
             // `fetch_add` winner, so tiles are disjoint in memory, and the
             // parent `c` borrow is held for the whole pool region.
@@ -110,23 +112,23 @@ pub fn dgemm_parallel_with(
 /// path: the `L2` panel is packed once per iteration and each thread's row
 /// tile slices straight into it instead of repacking.
 #[allow(clippy::too_many_arguments)]
-pub fn dgemm_parallel_packed(
+pub fn dgemm_parallel_packed<E: Element>(
     kern: Kernel,
     pool: &Pool,
     nthreads: usize,
-    alpha: f64,
-    packed: &PackedA,
+    alpha: E,
+    packed: &PackedA<E>,
     transb: Trans,
-    b: MatRef<'_>,
-    beta: f64,
-    c: &mut MatMut<'_>,
+    b: MatRef<'_, E>,
+    beta: E,
+    c: &mut MatMut<'_, E>,
 ) {
     let m = c.rows();
     let n = c.cols();
     let k = packed.depth();
     let nthreads = nthreads.clamp(1, pool.size());
-    let grid = TileGrid::new(kern, m, n, nthreads);
-    if nthreads <= 1 || grid.tiles() <= 1 || alpha == 0.0 || k == 0 {
+    let grid = TileGrid::new(kern.mr_for::<E>(), kern.nr_for::<E>(), m, n, nthreads);
+    if nthreads <= 1 || grid.tiles() <= 1 || alpha == E::ZERO || k == 0 {
         dgemm_packed(kern, alpha, packed, 0, transb, b, beta, c);
         return;
     }
@@ -140,7 +142,7 @@ pub fn dgemm_parallel_packed(
                 break;
             }
             let (ic, jc, mc, nc) = grid.tile(t);
-            let cptr = (cbase as *mut f64).wrapping_add(jc * lda + ic);
+            let cptr = (cbase as *mut E).wrapping_add(jc * lda + ic);
             // SAFETY: the grid assigns every (ic, jc) tile to exactly one
             // `fetch_add` winner, so tiles are disjoint in memory, and the
             // parent `c` borrow is held for the whole pool region.
@@ -159,7 +161,9 @@ pub fn dgemm_parallel_packed(
 /// Tiles start at the serial cache-block shape (`MC x NC`) and the larger
 /// dimension is halved (keeping register-tile alignment, so row tiles stay
 /// valid `PackedA` offsets) until the grid has enough tiles to keep every
-/// thread busy or the tiles reach a useful minimum.
+/// thread busy or the tiles reach a useful minimum. Register-tile shapes
+/// are per-precision, so the grid takes the `(mr, nr)` the caller resolved
+/// for its element type.
 #[derive(Clone, Copy, Debug)]
 struct TileGrid {
     m: usize,
@@ -171,8 +175,7 @@ struct TileGrid {
 }
 
 impl TileGrid {
-    fn new(kern: Kernel, m: usize, n: usize, nthreads: usize) -> TileGrid {
-        let (mr, nr) = (kern.mr(), kern.nr());
+    fn new(mr: usize, nr: usize, m: usize, n: usize, nthreads: usize) -> TileGrid {
         let mut tm = MC.min(round_up(m.max(1), mr));
         let mut tn = NC.min(round_up(n.max(1), nr));
         let target = 3 * nthreads.max(1);
@@ -349,6 +352,41 @@ mod tests {
         }
     }
 
+    /// The f32 instantiation runs the same grid and stays bitwise equal to
+    /// its own serial kernel.
+    #[test]
+    fn parallel_matches_serial_bitwise_f32() {
+        let pool = Pool::new(4);
+        let a = Matrix::<f32>::from_fn(70, 33, |i, j| ((i * 31 + j * 17 + 4) % 23) as f32 * 0.125);
+        let b = Matrix::<f32>::from_fn(33, 9, |i, j| ((i * 31 + j * 17 + 5) % 23) as f32 * 0.125);
+        let c0 = Matrix::<f32>::from_fn(70, 9, |i, j| ((i * 31 + j * 17 + 6) % 23) as f32 * 0.125);
+        let mut serial = c0.clone();
+        let mut sv = serial.view_mut();
+        dgemm(
+            Trans::No,
+            Trans::No,
+            -1.0f32,
+            a.view(),
+            b.view(),
+            1.0f32,
+            &mut sv,
+        );
+        let mut par = c0.clone();
+        let mut pv = par.view_mut();
+        dgemm_parallel(
+            &pool,
+            4,
+            Trans::No,
+            Trans::No,
+            -1.0f32,
+            a.view(),
+            b.view(),
+            1.0f32,
+            &mut pv,
+        );
+        assert_eq!(par.as_slice(), serial.as_slice());
+    }
+
     #[test]
     fn more_threads_than_columns() {
         let pool = Pool::new(8);
@@ -398,12 +436,13 @@ mod tests {
     #[test]
     fn tile_grid_covers_exactly_once() {
         let kern = Kernel::scalar();
+        let (mr, nr) = (kern.mr(), kern.nr());
         for &(m, n, t) in &[(1000usize, 7usize, 8usize), (7, 1000, 8), (513, 513, 4)] {
-            let grid = TileGrid::new(kern, m, n, t);
+            let grid = TileGrid::new(mr, nr, m, n, t);
             let mut hits = vec![0u8; m * n];
             for idx in 0..grid.tiles() {
                 let (ic, jc, mc, nc) = grid.tile(idx);
-                assert_eq!(ic % kern.mr(), 0, "row tiles stay mr-aligned");
+                assert_eq!(ic % mr, 0, "row tiles stay mr-aligned");
                 for j in jc..jc + nc {
                     for i in ic..ic + mc {
                         hits[j * m + i] += 1;

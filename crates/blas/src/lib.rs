@@ -1,9 +1,12 @@
 //! # hpl-blas
 //!
-//! Dense, column-major, `f64` linear-algebra kernels for the `rhpl`
-//! workspace — the subset of BLAS/LAPACK that the High-Performance Linpack
-//! benchmark consumes, implemented from scratch in safe-by-construction
-//! Rust (all pointer arithmetic is private to the [`mat`] view types).
+//! Dense, column-major linear-algebra kernels for the `rhpl` workspace —
+//! the subset of BLAS/LAPACK that the High-Performance Linpack benchmark
+//! consumes, implemented from scratch in safe-by-construction Rust (all
+//! pointer arithmetic is private to the [`mat`] view types) and generic
+//! over the pipeline precision via the [`Element`] trait (`f64` for
+//! classic HPL, `f32` for the HPL-MxP factorization; every public entry
+//! point defaults to `f64`, so existing call sites read unchanged).
 //!
 //! In the paper's system these roles are played by rocBLAS (on the GPU) and
 //! BLIS (on the CPU); here one portable implementation backs both the
@@ -11,6 +14,9 @@
 //! *performance* of the two is modeled by the `hpl-sim` crate.
 //!
 //! Quick map:
+//! * [`elem`] — the [`Element`] precision seam (scalar ops, SIMD shapes,
+//!   wire codec, tolerance model) that the rest of the crate is generic
+//!   over.
 //! * [`mat`] — `MatRef` / `MatMut` column-major views, owned [`mat::Matrix`].
 //! * [`l1`] — vector kernels (`idamax` drives pivot selection).
 //! * [`l2`] — `dger` (rank-1 panel update), `dgemv`, `dtrsv`.
@@ -30,6 +36,7 @@
 
 pub mod arena;
 pub mod aux;
+pub mod elem;
 pub mod l1;
 pub mod l1simd;
 pub mod l2;
@@ -39,6 +46,7 @@ pub mod lu;
 pub mod mat;
 
 pub use aux::{dlacpy, dlange, dlaswp, dlaswp_inv, dlatcpy, swap_rows, Norm};
+pub use elem::{Element, ElementSel};
 pub use l1::{dasum, daxpy, dcopy, ddot, dnrm2, dscal, dswap, idamax};
 pub use l1simd::{argmax_abs, axpy_add, axpy_sub, dscal_inv, dsub};
 pub use l2::{dgemv, dger, dtrsv};

@@ -3,44 +3,50 @@
 //! HPL operates on column-major storage with an explicit leading dimension
 //! (`lda`), constantly taking submatrix views of one distributed local array.
 //! [`MatRef`] and [`MatMut`] capture exactly that: a `(rows, cols, lda)`
-//! window into a flat `f64` buffer. Views are constructed from slices (so the
-//! borrow checker governs aliasing at the buffer level) and sub-views are
-//! produced by consuming/reborrowing splits, which keeps the `unsafe`
+//! window into a flat element buffer. Views are constructed from slices (so
+//! the borrow checker governs aliasing at the buffer level) and sub-views
+//! are produced by consuming/reborrowing splits, which keeps the `unsafe`
 //! pointer arithmetic private to this module.
+//!
+//! All three types are generic over the pipeline [`Element`] with `f64` as
+//! the default, so classic-HPL call sites read exactly as before while the
+//! mixed-precision path instantiates the same code at `f32`.
 
+use crate::Element;
 use core::fmt;
 use core::marker::PhantomData;
 
 /// Immutable column-major matrix view with leading dimension `lda >= rows`.
 #[derive(Clone, Copy)]
-pub struct MatRef<'a> {
-    ptr: *const f64,
+pub struct MatRef<'a, E: Element = f64> {
+    ptr: *const E,
     rows: usize,
     cols: usize,
     lda: usize,
-    _marker: PhantomData<&'a f64>,
+    _marker: PhantomData<&'a E>,
 }
 
 /// Mutable column-major matrix view with leading dimension `lda >= rows`.
-pub struct MatMut<'a> {
-    ptr: *mut f64,
+pub struct MatMut<'a, E: Element = f64> {
+    ptr: *mut E,
     rows: usize,
     cols: usize,
     lda: usize,
-    _marker: PhantomData<&'a mut f64>,
+    _marker: PhantomData<&'a mut E>,
 }
 
-// A view is a window onto a `&[f64]`/`&mut [f64]`; sending it to another
-// thread is as safe as sending the underlying borrow. `MatMut` is
-// deliberately NOT `Sync`: `&MatMut` exposes reads (`get`, `col`) that
-// would race with the owner's writes if shared across threads.
-// SAFETY: semantically `&[f64]` (shared read-only window); `&[f64]` is Send.
-unsafe impl Send for MatRef<'_> {}
-// SAFETY: `&MatRef` exposes only reads of plain `f64`s, like `&&[f64]`.
-unsafe impl Sync for MatRef<'_> {}
-// SAFETY: semantically `&mut [f64]` (exclusive window, the `from_raw_parts`
-// contract forbids aliased access to the window); `&mut [f64]` is Send.
-unsafe impl Send for MatMut<'_> {}
+// A view is a window onto a `&[E]`/`&mut [E]`; sending it to another
+// thread is as safe as sending the underlying borrow (`E: Element` is
+// `Send + Sync` plain-old-data). `MatMut` is deliberately NOT `Sync`:
+// `&MatMut` exposes reads (`get`, `col`) that would race with the owner's
+// writes if shared across threads.
+// SAFETY: semantically `&[E]` (shared read-only window); `&[E]` is Send.
+unsafe impl<E: Element> Send for MatRef<'_, E> {}
+// SAFETY: `&MatRef` exposes only reads of plain elements, like `&&[E]`.
+unsafe impl<E: Element> Sync for MatRef<'_, E> {}
+// SAFETY: semantically `&mut [E]` (exclusive window, the `from_raw_parts`
+// contract forbids aliased access to the window); `&mut [E]` is Send.
+unsafe impl<E: Element> Send for MatMut<'_, E> {}
 
 #[inline]
 fn check_dims(len: usize, rows: usize, cols: usize, lda: usize) {
@@ -57,11 +63,11 @@ fn check_dims(len: usize, rows: usize, cols: usize, lda: usize) {
     }
 }
 
-impl<'a> MatRef<'a> {
+impl<'a, E: Element> MatRef<'a, E> {
     /// Views `data` as a `rows x cols` column-major matrix with leading
     /// dimension `lda`. Panics if the buffer is too small.
     #[inline]
-    pub fn from_slice(data: &'a [f64], rows: usize, cols: usize, lda: usize) -> Self {
+    pub fn from_slice(data: &'a [E], rows: usize, cols: usize, lda: usize) -> Self {
         check_dims(data.len(), rows, cols, lda);
         Self {
             ptr: data.as_ptr(),
@@ -78,7 +84,7 @@ impl<'a> MatRef<'a> {
     /// The window `(rows, cols, lda)` starting at `ptr` must be readable and
     /// unaliased by mutable accesses for the lifetime `'a`.
     #[inline]
-    pub unsafe fn from_raw_parts(ptr: *const f64, rows: usize, cols: usize, lda: usize) -> Self {
+    pub unsafe fn from_raw_parts(ptr: *const E, rows: usize, cols: usize, lda: usize) -> Self {
         assert!(lda >= rows.max(1), "lda ({lda}) must be >= rows ({rows})");
         Self {
             ptr,
@@ -118,7 +124,7 @@ impl<'a> MatRef<'a> {
     /// # Safety
     /// `i < rows()` and `j < cols()`.
     #[inline(always)]
-    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
+    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> E {
         debug_assert!(i < self.rows && j < self.cols);
         // SAFETY: caller guarantees `(i, j)` is inside the window, so the
         // offset stays within the allocation.
@@ -129,7 +135,7 @@ impl<'a> MatRef<'a> {
 
     /// Element `(i, j)` with bounds checks.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> E {
         assert!(
             i < self.rows && j < self.cols,
             "index ({i},{j}) out of {}x{}",
@@ -142,7 +148,7 @@ impl<'a> MatRef<'a> {
 
     /// Column `j` as a contiguous slice.
     #[inline]
-    pub fn col(&self, j: usize) -> &'a [f64] {
+    pub fn col(&self, j: usize) -> &'a [E] {
         assert!(j < self.cols, "column {j} out of {}", self.cols);
         // SAFETY: `j` in bounds, so the column start is inside the window.
         let p = unsafe { self.ptr.add(j * self.lda) };
@@ -153,13 +159,13 @@ impl<'a> MatRef<'a> {
 
     /// Raw pointer to element `(0, 0)`.
     #[inline]
-    pub fn as_ptr(&self) -> *const f64 {
+    pub fn as_ptr(&self) -> *const E {
         self.ptr
     }
 
     /// Sub-view of size `nrows x ncols` starting at `(i, j)`.
     #[inline]
-    pub fn submatrix(&self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatRef<'a> {
+    pub fn submatrix(&self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatRef<'a, E> {
         assert!(
             i + nrows <= self.rows,
             "row window {i}+{nrows} out of {}",
@@ -181,7 +187,7 @@ impl<'a> MatRef<'a> {
     }
 
     /// Copies the view into a fresh dense `rows*cols` vector (lda == rows).
-    pub fn to_vec(&self) -> Vec<f64> {
+    pub fn to_vec(&self) -> Vec<E> {
         let mut out = Vec::with_capacity(self.rows * self.cols);
         for j in 0..self.cols {
             out.extend_from_slice(self.col(j));
@@ -190,10 +196,10 @@ impl<'a> MatRef<'a> {
     }
 }
 
-impl<'a> MatMut<'a> {
+impl<'a, E: Element> MatMut<'a, E> {
     /// Views `data` as a mutable `rows x cols` column-major matrix.
     #[inline]
-    pub fn from_slice(data: &'a mut [f64], rows: usize, cols: usize, lda: usize) -> Self {
+    pub fn from_slice(data: &'a mut [E], rows: usize, cols: usize, lda: usize) -> Self {
         check_dims(data.len(), rows, cols, lda);
         Self {
             ptr: data.as_mut_ptr(),
@@ -212,7 +218,7 @@ impl<'a> MatMut<'a> {
     /// between columns) must be exclusively accessible through this view
     /// for the lifetime `'a`.
     #[inline]
-    pub unsafe fn from_raw_parts(ptr: *mut f64, rows: usize, cols: usize, lda: usize) -> Self {
+    pub unsafe fn from_raw_parts(ptr: *mut E, rows: usize, cols: usize, lda: usize) -> Self {
         assert!(lda >= rows.max(1), "lda ({lda}) must be >= rows ({rows})");
         Self {
             ptr,
@@ -252,7 +258,7 @@ impl<'a> MatMut<'a> {
     /// # Safety
     /// `i < rows()` and `j < cols()`.
     #[inline(always)]
-    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
+    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> E {
         debug_assert!(i < self.rows && j < self.cols);
         // SAFETY: caller guarantees `(i, j)` is inside the window, so the
         // offset stays within the allocation.
@@ -267,7 +273,7 @@ impl<'a> MatMut<'a> {
     /// # Safety
     /// `i < rows()` and `j < cols()`.
     #[inline(always)]
-    pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: f64) {
+    pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: E) {
         debug_assert!(i < self.rows && j < self.cols);
         // SAFETY: caller guarantees `(i, j)` is inside the window, so the
         // offset stays within the allocation.
@@ -279,7 +285,7 @@ impl<'a> MatMut<'a> {
 
     /// Element `(i, j)` with bounds checks.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> E {
         assert!(
             i < self.rows && j < self.cols,
             "index ({i},{j}) out of {}x{}",
@@ -292,7 +298,7 @@ impl<'a> MatMut<'a> {
 
     /// Writes element `(i, j)` with bounds checks.
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: E) {
         assert!(
             i < self.rows && j < self.cols,
             "index ({i},{j}) out of {}x{}",
@@ -305,7 +311,7 @@ impl<'a> MatMut<'a> {
 
     /// Column `j` as a contiguous mutable slice.
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [E] {
         assert!(j < self.cols, "column {j} out of {}", self.cols);
         // SAFETY: `j` in bounds, so the column start is inside the window.
         let p = unsafe { self.ptr.add(j * self.lda) };
@@ -317,7 +323,7 @@ impl<'a> MatMut<'a> {
 
     /// Column `j` as a contiguous immutable slice.
     #[inline]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[E] {
         assert!(j < self.cols, "column {j} out of {}", self.cols);
         // SAFETY: `j` in bounds, so the column start is inside the window.
         let p = unsafe { self.ptr.add(j * self.lda) };
@@ -328,13 +334,13 @@ impl<'a> MatMut<'a> {
 
     /// Raw pointer to element `(0, 0)`.
     #[inline]
-    pub fn as_mut_ptr(&mut self) -> *mut f64 {
+    pub fn as_mut_ptr(&mut self) -> *mut E {
         self.ptr
     }
 
     /// Immutable view of the same window.
     #[inline]
-    pub fn as_ref(&self) -> MatRef<'_> {
+    pub fn as_ref(&self) -> MatRef<'_, E> {
         MatRef {
             ptr: self.ptr,
             rows: self.rows,
@@ -346,7 +352,13 @@ impl<'a> MatMut<'a> {
 
     /// Reborrows a mutable sub-view of size `nrows x ncols` at `(i, j)`.
     #[inline]
-    pub fn submatrix_mut(&mut self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatMut<'_> {
+    pub fn submatrix_mut(
+        &mut self,
+        i: usize,
+        j: usize,
+        nrows: usize,
+        ncols: usize,
+    ) -> MatMut<'_, E> {
         assert!(
             i + nrows <= self.rows,
             "row window {i}+{nrows} out of {}",
@@ -370,7 +382,7 @@ impl<'a> MatMut<'a> {
 
     /// Splits into non-overlapping `(left, right)` views at column `j`.
     #[inline]
-    pub fn split_at_col(self, j: usize) -> (MatMut<'a>, MatMut<'a>) {
+    pub fn split_at_col(self, j: usize) -> (MatMut<'a, E>, MatMut<'a, E>) {
         assert!(j <= self.cols, "split col {j} out of {}", self.cols);
         // SAFETY: `j <= cols`, so column `j` starts inside (or one past)
         // the window; the two halves cover disjoint column ranges.
@@ -398,7 +410,7 @@ impl<'a> MatMut<'a> {
     /// The two views alias distinct rows of the same columns; the shared
     /// `lda` stride keeps them inside the original buffer but disjoint.
     #[inline]
-    pub fn split_at_row(self, i: usize) -> (MatMut<'a>, MatMut<'a>) {
+    pub fn split_at_row(self, i: usize) -> (MatMut<'a, E>, MatMut<'a, E>) {
         assert!(i <= self.rows, "split row {i} out of {}", self.rows);
         // SAFETY: `i <= rows`, so the offset stays inside the first
         // column; the halves cover disjoint row ranges of every column.
@@ -422,16 +434,23 @@ impl<'a> MatMut<'a> {
     }
 
     /// Fills the whole view with `v`.
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: E) {
         for j in 0..self.cols {
             self.col_mut(j).fill(v);
         }
     }
 }
 
-impl fmt::Debug for MatRef<'_> {
+impl<E: Element> fmt::Debug for MatRef<'_, E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "MatRef {}x{} (lda {})", self.rows, self.cols, self.lda)?;
+        writeln!(
+            f,
+            "MatRef<{}> {}x{} (lda {})",
+            E::NAME,
+            self.rows,
+            self.cols,
+            self.lda
+        )?;
         for i in 0..self.rows.min(8) {
             for j in 0..self.cols.min(8) {
                 write!(f, "{:>12.5} ", self.get(i, j))?;
@@ -442,7 +461,7 @@ impl fmt::Debug for MatRef<'_> {
     }
 }
 
-impl fmt::Debug for MatMut<'_> {
+impl<E: Element> fmt::Debug for MatMut<'_, E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.as_ref().fmt(f)
     }
@@ -451,19 +470,19 @@ impl fmt::Debug for MatMut<'_> {
 /// Owned column-major matrix (lda == rows), the workhorse for tests,
 /// workspaces and local matrix storage.
 #[derive(Clone, Debug, PartialEq)]
-pub struct Matrix {
+pub struct Matrix<E: Element = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<E>,
 }
 
-impl Matrix {
+impl<E: Element> Matrix<E> {
     /// All-zeros `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![E::ZERO; rows * cols],
         }
     }
 
@@ -471,20 +490,20 @@ impl Matrix {
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m.data[i * n + i] = 1.0;
+            m.data[i * n + i] = E::ONE;
         }
         m
     }
 
     /// Builds from a column-major data vector; `data.len()` must be
     /// `rows * cols`.
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<E>) -> Self {
         assert_eq!(data.len(), rows * cols, "data length mismatch");
         Self { rows, cols, data }
     }
 
     /// Builds element-wise from `f(i, j)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> E) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for j in 0..cols {
             for i in 0..rows {
@@ -508,37 +527,37 @@ impl Matrix {
 
     /// Element accessor.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> E {
         self.data[j * self.rows + i]
     }
 
     /// Element mutator.
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: E) {
         self.data[j * self.rows + i] = v;
     }
 
     /// Column-major backing storage.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[E] {
         &self.data
     }
 
     /// Mutable column-major backing storage.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
         &mut self.data
     }
 
     /// Full immutable view.
     #[inline]
-    pub fn view(&self) -> MatRef<'_> {
+    pub fn view(&self) -> MatRef<'_, E> {
         MatRef::from_slice(&self.data, self.rows, self.cols, self.rows.max(1))
     }
 
     /// Full mutable view.
     #[inline]
-    pub fn view_mut(&mut self) -> MatMut<'_> {
+    pub fn view_mut(&mut self) -> MatMut<'_, E> {
         let (rows, cols) = (self.rows, self.cols);
         MatMut::from_slice(&mut self.data, rows, cols, rows.max(1))
     }
@@ -559,6 +578,16 @@ mod tests {
                 assert_eq!(v.get(i, j), (i * 10 + j) as f64);
             }
         }
+    }
+
+    #[test]
+    fn f32_views_share_the_generic_path() {
+        let m: Matrix<f32> = Matrix::from_fn(3, 3, |i, j| (i + 10 * j) as f32);
+        assert_eq!(m.view().get(2, 1), 12.0f32);
+        let mut m = m;
+        m.view_mut().set(0, 0, -1.5);
+        assert_eq!(m.get(0, 0), -1.5f32);
+        assert_eq!(Matrix::<f32>::identity(2).get(1, 1), 1.0f32);
     }
 
     #[test]
@@ -606,28 +635,28 @@ mod tests {
     #[should_panic(expected = "buffer of len")]
     fn from_slice_rejects_short_buffer() {
         let data = vec![0.0; 10];
-        let _ = MatRef::from_slice(&data, 4, 3, 4);
+        let _ = MatRef::<f64>::from_slice(&data, 4, 3, 4);
     }
 
     #[test]
     #[should_panic(expected = "out of")]
     fn submatrix_out_of_bounds_panics() {
-        let m = Matrix::zeros(3, 3);
+        let m = Matrix::<f64>::zeros(3, 3);
         let _ = m.view().submatrix(1, 1, 3, 1);
     }
 
     #[test]
     fn empty_views_are_fine() {
         let data: Vec<f64> = vec![];
-        let v = MatRef::from_slice(&data, 0, 0, 1);
+        let v = MatRef::<f64>::from_slice(&data, 0, 0, 1);
         assert!(v.is_empty());
-        let m = Matrix::zeros(0, 5);
+        let m = Matrix::<f64>::zeros(0, 5);
         assert!(m.view().is_empty());
     }
 
     #[test]
     fn identity_is_identity() {
-        let m = Matrix::identity(4);
+        let m = Matrix::<f64>::identity(4);
         for i in 0..4 {
             for j in 0..4 {
                 assert_eq!(m.get(i, j), if i == j { 1.0 } else { 0.0 });

@@ -10,6 +10,8 @@
 //!   "runs": [{
 //!     "tv": "WC112R16", "n": 192, "nb": 32, "p": 2, "q": 2,
 //!     "schedule": "split-update:0.5",
+//!     "mode": "hpl", "element": "f64",
+//!     "fact_seconds": 0.0, "fact_gflops": 0.0, "sweeps": 0,
 //!     "wall_seconds": 0.01, "gflops": 1.2, "residual": 0.003, "passed": true,
 //!     "overlap_efficiency": 0.4, "seq_hash": "0x1234abcd...",
 //!     "dropped_spans": 0,
@@ -62,6 +64,18 @@ pub struct RunReport {
     pub q: usize,
     /// Schedule name (`simple`, `lookahead`, `split-update:<frac>`).
     pub schedule: String,
+    /// Benchmark mode: `hpl` (classic FP64) or `mxp` (mixed precision).
+    pub mode: String,
+    /// Element type the factorization ran in (`f64` / `f32`).
+    pub element: String,
+    /// Wall time of the low-precision factorization + initial solve
+    /// (seconds; 0 outside `--mxp`).
+    pub fact_seconds: f64,
+    /// GFLOPS over the low-precision factorization alone — the
+    /// mixed-precision headline rate (0 outside `--mxp`).
+    pub fact_gflops: f64,
+    /// Refinement sweeps to double accuracy (0 outside `--mxp`).
+    pub sweeps: u64,
     /// DGEMM microkernel the process resolved to (`scalar` / `simd`).
     pub kernel: String,
     /// Mailbox implementation the fabric resolved to (`lockfree` / `mutex`,
@@ -130,6 +144,11 @@ pub fn run_report(rec: &RunRecord) -> RunReport {
         p: rec.cfg.p,
         q: rec.cfg.q,
         schedule,
+        mode: rec.mode().to_string(),
+        element: rec.element.to_string(),
+        fact_seconds: rec.mxp.as_ref().map_or(0.0, |m| m.fact_seconds),
+        fact_gflops: rec.mxp.as_ref().map_or(0.0, |m| m.fact_gflops),
+        sweeps: rec.mxp.as_ref().map_or(0, |m| m.sweeps as u64),
         kernel: hpl_blas::kernels::active().name().to_string(),
         mailbox: hpl_comm::active_mailbox_name().to_string(),
         transport: hpl_comm::active_transport_name().to_string(),

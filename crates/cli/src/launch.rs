@@ -684,6 +684,9 @@ struct ChildSpec {
     cfg: HplConfig,
     threshold: f64,
     injector: Option<Arc<Injector>>,
+    /// Run the HPL-MxP benchmark (f32 factorization + f64 refinement)
+    /// instead of the classic f64 pipeline.
+    mxp: bool,
 }
 
 fn parse_launch_child(args: &[String], env: &RankEnv) -> Result<ChildSpec, String> {
@@ -721,11 +724,27 @@ fn parse_launch_child(args: &[String], env: &RankEnv) -> Result<ChildSpec, Strin
         };
     }
     let injector = build_injector(args, env.ranks, env.disarm)?;
+    let mxp = args.iter().any(|a| a == "--mxp");
+    if mxp && injector.is_some() {
+        return Err(
+            "--mxp does not combine with --fault (fault soak runs the f64 pipeline)".into(),
+        );
+    }
     Ok(ChildSpec {
         cfg,
         threshold: spec.threshold,
         injector,
+        mxp,
     })
+}
+
+/// What one rank's solve produced — the classic f64 pipeline's result or
+/// the mixed-precision benchmark's output.
+enum RankOutcome {
+    /// Classic HPL: solution + trace; verified in a post-run collective.
+    Hpl(rhpl_core::HplResult),
+    /// HPL-MxP: residuals already computed inside the solve.
+    Mxp(hpl_mxp::MxpOutput),
 }
 
 /// A write handle for control-plane lines, shared between the rank body and
@@ -796,6 +815,9 @@ fn rank_main(env: &RankEnv, spec: ChildSpec) -> Result<ExitCode, String> {
 /// the oracle the multi-process transports are measured against, behind the
 /// same supervisor protocol (so `kill -9` + restart works here too).
 fn rank_body_inproc(env: &RankEnv, spec: &ChildSpec, ctrl: &CtrlLine) -> Result<ExitCode, String> {
+    if spec.mxp {
+        return rank_body_inproc_mxp(env, spec, ctrl);
+    }
     let run = match &spec.injector {
         Some(inj) => {
             let run = Universe::run_with_injector(env.ranks, Arc::clone(inj), |comm| {
@@ -869,6 +891,54 @@ fn rank_body_inproc(env: &RankEnv, spec: &ChildSpec, ctrl: &CtrlLine) -> Result<
     Ok(ExitCode::SUCCESS)
 }
 
+/// `--transport inproc --mxp`: the whole HPL-MxP job as threads of this
+/// child. The residual gate is computed inside the solve (at `f64`
+/// accuracy), so no separate verify pass runs.
+fn rank_body_inproc_mxp(
+    env: &RankEnv,
+    spec: &ChildSpec,
+    ctrl: &CtrlLine,
+) -> Result<ExitCode, String> {
+    let cfg = &spec.cfg;
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Universe::run_with_transport(
+            env.ranks,
+            TransportSel::Inproc,
+            FabricOpts::default(),
+            |comm| hpl_mxp::solve_mxp(comm, cfg),
+        )
+    }));
+    let run = match outcome {
+        Ok(r) => r,
+        Err(_) => {
+            ctrl.send(&format!("err rank={} kind=rank_failed", env.rank));
+            return Ok(ExitCode::from(3));
+        }
+    };
+    let mut results = Vec::with_capacity(env.ranks);
+    for (rank, r) in run.into_iter().enumerate() {
+        match r {
+            Ok(res) => results.push(res),
+            Err(e) => {
+                ctrl.send(&format!("err rank={rank} kind={}", e.kind()));
+                return Ok(ExitCode::from(3));
+            }
+        }
+    }
+    let traces: Vec<hpl_trace::Trace> = results
+        .iter_mut()
+        .map(|r| r.trace.take().expect("launch runs trace-enabled"))
+        .collect();
+    let seq = seq_hash(&traces);
+    let scaled = results[0].residuals.scaled;
+    let passed = scaled < spec.threshold;
+    ctrl.send(&format!(
+        "ok residual={scaled:.6e} seq_hash={seq:#018x} passed={}",
+        u8::from(passed)
+    ));
+    Ok(ExitCode::SUCCESS)
+}
+
 /// `--transport tcp|shm`: this process is exactly one rank, wired to its
 /// peers by real frames.
 fn rank_body_transport(
@@ -926,7 +996,13 @@ fn rank_body_transport(
 
     let comm = Communicator::endpoint(Arc::clone(&fabric));
     let cfg = spec.cfg.clone();
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_hpl(comm, &cfg)));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if spec.mxp {
+            hpl_mxp::solve_mxp(comm, &cfg).map(RankOutcome::Mxp)
+        } else {
+            run_hpl(comm, &cfg).map(RankOutcome::Hpl)
+        }
+    }));
     let result = match outcome {
         Ok(Ok(r)) => r,
         Ok(Err(e)) => {
@@ -946,18 +1022,25 @@ fn rank_body_transport(
     };
 
     // Post-run collectives on fresh endpoints over the same fabric: verify
-    // (data plane, trace recorder already uninstalled) and the seq_words
-    // gather (control plane, invisible to stats either way).
+    // (data plane, trace recorder already uninstalled; MxP verified inside
+    // the solve at f64 accuracy, so only the classic path re-verifies) and
+    // the seq_words gather (control plane, invisible to stats either way).
     let run_post = || -> Result<(f64, Option<u64>), rhpl_core::HplError> {
-        let comm = Communicator::endpoint(Arc::clone(&fabric));
-        let grid = Grid::new(comm, cfg.p, cfg.q, cfg.order);
-        let res = verify(&grid, cfg.n, cfg.nb, cfg.seed, &result.x)?;
-        let words = seq_words(result.trace.as_ref().expect("launch runs trace-enabled"));
+        let (scaled, trace) = match &result {
+            RankOutcome::Hpl(r) => {
+                let comm = Communicator::endpoint(Arc::clone(&fabric));
+                let grid = Grid::new(comm, cfg.p, cfg.q, cfg.order);
+                let res = verify(&grid, cfg.n, cfg.nb, cfg.seed, &r.x)?;
+                (res.scaled, r.trace.as_ref())
+            }
+            RankOutcome::Mxp(o) => (o.residuals.scaled, o.trace.as_ref()),
+        };
+        let words = seq_words(trace.expect("launch runs trace-enabled"));
         let comm = Communicator::endpoint(Arc::clone(&fabric));
         let seq = comm
             .ctrl_gather_words(words)?
             .map(|streams| seq_hash_streams(&streams));
-        Ok((res.scaled, seq))
+        Ok((scaled, seq))
     };
     let code = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run_post)) {
         Ok(Ok((scaled, seq))) => {

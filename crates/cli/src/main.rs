@@ -12,6 +12,14 @@
 //! rhpl ... --threads 4        FACT threads per rank (SIII.A)
 //! rhpl ... --kernel simd      DGEMM microkernel: auto|scalar|simd
 //!                             (also settable via RHPL_KERNEL; the flag wins)
+//! rhpl ... --mxp              run the HPL-MxP benchmark: f32 factorization
+//!                             through the full pipeline, f64 refinement
+//!                             sweeps to double accuracy (classic HPL table
+//!                             plus the HPL-MxP summary block)
+//! rhpl ... --element f32      pipeline element type: f64|f32 (also settable
+//!                             via RHPL_ELEMENT; the flag wins). An f32 run
+//!                             is gated at f32 accuracy; --mxp is how f32
+//!                             factors earn the f64 gate
 //! rhpl ... --seed 42          matrix generator seed
 //! rhpl ... --trace-json BENCH_hpl.json   emit the per-iteration phase trace
 //! rhpl ... --fault SPEC       arm a fault (repeatable); SPEC grammar is
@@ -60,7 +68,8 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: rhpl [HPL.dat] [--split-frac F] [--threads T] [--seed S] \
-             [--kernel auto|scalar|simd] [--trace-json PATH] [--fault SPEC]... \
+             [--kernel auto|scalar|simd] [--mxp] [--element f64|f32] \
+             [--trace-json PATH] [--fault SPEC]... \
              [--fault-seed S] [--ckpt-every K] [--ckpt-dir PATH] \
              [--comm-timeout SECS] [--sample]\n\
              \x20      rhpl launch [HPL.dat] --ranks N [--transport inproc|shm|tcp] \
@@ -90,6 +99,19 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Element precision: the flag wins over RHPL_ELEMENT (whose value
+    // validate_env vetted above), default f64.
+    let element = match arg_value::<String>(&args, "--element") {
+        Some(elem) => match elem.parse::<hpl_blas::ElementSel>() {
+            Ok(sel) => sel,
+            Err(()) => {
+                eprintln!("rhpl: --element must be f64 or f32 (got {elem})");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => hpl_comm::config::env_element().expect("validated above"),
+    };
+    let mxp = args.iter().any(|a| a == "--mxp");
     // Multi-process modes: `launch` supervises one OS process per rank;
     // `_rank` is the (internal) child entry point it spawns. Both sit after
     // the global knob handling above so --comm-timeout and --kernel apply
@@ -135,6 +157,12 @@ fn main() -> ExitCode {
         .filter_map(|(i, _)| args.get(i + 1).cloned())
         .collect();
     if !fault_specs.is_empty() || args.iter().any(|a| a == "--fault-seed") {
+        if mxp {
+            eprintln!(
+                "rhpl: --mxp does not combine with --fault (fault soak runs the f64 pipeline)"
+            );
+            return ExitCode::FAILURE;
+        }
         let fault_seed: u64 = arg_value(&args, "--fault-seed").unwrap_or(1);
         return run_faulted(
             &combos,
@@ -185,7 +213,12 @@ fn main() -> ExitCode {
                 resume: true,
             };
         }
-        let rec = match runner::run_one_traced(&cfg, depth, spec.threshold) {
+        let run = if mxp {
+            runner::run_one_mxp(&cfg, depth, spec.threshold)
+        } else {
+            runner::run_one_element(&cfg, depth, spec.threshold, element)
+        };
+        let rec = match run {
             Ok(rec) => rec,
             Err(e) => {
                 eprintln!("rhpl: run failed: {e}");

@@ -34,7 +34,10 @@ pub fn table_header() -> String {
     )
 }
 
-/// One result row plus its residual line.
+/// One result row plus its residual line. An `--mxp` record additionally
+/// gets the HPL-MxP summary block: the f32 factorization rate, the sweep
+/// count, and the mixed-precision score — the second benchmark's classic
+/// output riding under the first's table row.
 pub fn format_record(r: &RunRecord) -> String {
     let mut s = format!(
         "{:<12}{:>12}{:>6}{:>6}{:>6}{:>19.2}{:>19}\n",
@@ -51,6 +54,25 @@ pub fn format_record(r: &RunRecord) -> String {
         r.residual,
         if r.passed { "PASSED" } else { "FAILED" }
     ));
+    if let Some(m) = &r.mxp {
+        let first = m.history.first().copied().unwrap_or(0.0);
+        let last = m.history.last().copied().unwrap_or(0.0);
+        s.push_str(&format!(
+            "HPL-MxP: {} factorization {:>10.2} sec {:>14} GFLOPS\n",
+            r.element,
+            m.fact_seconds,
+            format!("{:.4e}", m.fact_gflops)
+        ));
+        s.push_str(&format!(
+            "HPL-MxP: {} refinement sweep(s), scaled residual {:.4e} -> {:.4e}\n",
+            m.sweeps, first, last
+        ));
+        s.push_str(&format!(
+            "HPL-MxP: mixed-precision performance {:>10.2} sec {:>14} GFLOPS\n",
+            r.time,
+            format!("{:.4e}", r.gflops)
+        ));
+    }
     s
 }
 
@@ -84,6 +106,8 @@ mod tests {
             passed: true,
             retries: 0,
             recoveries: 0,
+            element: "f64",
+            mxp: None,
             traces: Vec::new(),
         }
     }
@@ -108,6 +132,26 @@ mod tests {
         // N column right edges line up.
         let hn = header_line.find(" N").map(|i| i + 2).unwrap();
         assert_eq!(&row_line[hn - 3..hn], "768");
+    }
+
+    #[test]
+    fn mxp_record_appends_summary_block() {
+        let mut r = record();
+        r.element = "f32";
+        r.mxp = Some(crate::runner::MxpStats {
+            sweeps: 3,
+            fact_seconds: 0.62,
+            fact_gflops: 5.0,
+            history: vec![120.0, 1.5, 0.02, 0.004],
+        });
+        let s = format_record(&r);
+        assert!(s.contains("HPL-MxP: f32 factorization"));
+        assert!(s.contains("3 refinement sweep(s)"));
+        assert!(s.contains("mixed-precision performance"));
+        // The classic residual line stays — both benchmarks' output.
+        assert!(s.contains("||Ax-b||_oo"));
+        // A plain record prints no MxP block.
+        assert!(!format_record(&record()).contains("HPL-MxP"));
     }
 
     #[test]

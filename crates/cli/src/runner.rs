@@ -1,9 +1,12 @@
 //! Executes the Cartesian sweep an `HPL.dat` describes and collects one
 //! result record per combination, exactly like the reference `xhpl` binary.
 
+use hpl_blas::ElementSel;
 use hpl_comm::{Grid, Universe};
 use rhpl_core::config::Schedule;
-use rhpl_core::{run_hpl, verify, FactOpts, HplConfig, HplError};
+use rhpl_core::{
+    run_hpl, run_hpl_with_element, verify_with_eps, FactOpts, HplConfig, HplError, MatGen,
+};
 
 use crate::dat::JobSpec;
 
@@ -28,8 +31,38 @@ pub struct RunRecord {
     /// Restarts the recovery supervisor performed (0 outside supervised
     /// fault runs).
     pub recoveries: u64,
+    /// Element type the factorization ran in (`"f64"` / `"f32"`).
+    pub element: &'static str,
+    /// Mixed-precision extras; `Some` only for `--mxp` runs.
+    pub mxp: Option<MxpStats>,
     /// Per-rank phase traces (empty unless `cfg.trace.enabled`).
     pub traces: Vec<hpl_trace::Trace>,
+}
+
+impl RunRecord {
+    /// Benchmark mode this record came from: `"mxp"` when the run was the
+    /// mixed-precision benchmark, `"hpl"` for the classic pipeline.
+    pub fn mode(&self) -> &'static str {
+        if self.mxp.is_some() {
+            "mxp"
+        } else {
+            "hpl"
+        }
+    }
+}
+
+/// The HPL-MxP side of a [`RunRecord`]: what the f32 factorization cost and
+/// how the f64 refinement closed the accuracy gap.
+#[derive(Clone, Debug)]
+pub struct MxpStats {
+    /// Refinement sweeps performed after the initial f32 solve.
+    pub sweeps: usize,
+    /// Wall time of the f32 factorization + initial solve (seconds).
+    pub fact_seconds: f64,
+    /// GFLOPS over the f32 factorization alone (HPL flop formula).
+    pub fact_gflops: f64,
+    /// Scaled residual after each sweep, starting with the pure-f32 solve.
+    pub history: Vec<f64>,
 }
 
 /// Encodes the classic `T/V` column: `W` (wall time), `R`/`C` (process
@@ -122,12 +155,37 @@ pub fn run_one_traced(
     depth: usize,
     threshold: f64,
 ) -> Result<RunRecord, HplError> {
-    let results = Universe::run(cfg.ranks(), |comm| run_hpl(comm, cfg));
+    run_one_element(cfg, depth, threshold, ElementSel::F64)
+}
+
+/// [`run_one_traced`] with an explicit pipeline element. Under
+/// [`ElementSel::F32`] the whole elimination runs in single precision and
+/// the residual gate scales by `f32::EPSILON` — the precision the answer
+/// actually carries (the classic `f64` gate would reject every f32 run;
+/// recovering double accuracy from f32 factors is [`run_one_mxp`]'s job).
+pub fn run_one_element(
+    cfg: &HplConfig,
+    depth: usize,
+    threshold: f64,
+    elem: ElementSel,
+) -> Result<RunRecord, HplError> {
+    let results = Universe::run(cfg.ranks(), |comm| match elem {
+        ElementSel::F64 => run_hpl(comm, cfg),
+        ElementSel::F32 => {
+            let gen = MatGen::new(cfg.seed, cfg.n);
+            run_hpl_with_element::<f32>(comm, cfg, &|i, j| gen.entry(i, j))
+        }
+    });
     let mut results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let x = results[0].x.clone();
+    let eps = match elem {
+        ElementSel::F64 => f64::EPSILON,
+        ElementSel::F32 => f32::EPSILON as f64,
+    };
     let res = Universe::run(cfg.ranks(), |comm| {
         let grid = Grid::new(comm, cfg.p, cfg.q, cfg.order);
-        verify(&grid, cfg.n, cfg.nb, cfg.seed, &x)
+        let gen = MatGen::new(cfg.seed, cfg.n);
+        verify_with_eps(&grid, cfg.n, cfg.nb, &|i, j| gen.entry(i, j), &x, eps)
     });
     let res = res.into_iter().collect::<Result<Vec<_>, _>>()?[0];
     let traces = results.iter_mut().filter_map(|r| r.trace.take()).collect();
@@ -140,6 +198,37 @@ pub fn run_one_traced(
         passed: res.scaled < threshold,
         retries: results.iter().map(|r| r.retries).sum(),
         recoveries: 0,
+        element: results[0].element,
+        mxp: None,
+        traces,
+    })
+}
+
+/// Runs one configuration as the HPL-MxP benchmark: f32 factorization via
+/// the full distributed pipeline, f64 refinement sweeps to double accuracy,
+/// judged by HPL's residual gate at `f64::EPSILON` (already computed inside
+/// [`hpl_mxp::solve_mxp`] — no separate verify pass needed).
+pub fn run_one_mxp(cfg: &HplConfig, depth: usize, threshold: f64) -> Result<RunRecord, HplError> {
+    let results = Universe::run(cfg.ranks(), |comm| hpl_mxp::solve_mxp(comm, cfg));
+    let mut results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let traces = results.iter_mut().filter_map(|r| r.trace.take()).collect();
+    let r0 = &results[0];
+    Ok(RunRecord {
+        cfg: cfg.clone(),
+        tv: encode_tv(cfg, depth),
+        time: r0.wall,
+        gflops: r0.gflops,
+        residual: r0.residuals.scaled,
+        passed: r0.converged && r0.residuals.scaled < threshold,
+        retries: results.iter().map(|r| r.retries).sum(),
+        recoveries: 0,
+        element: r0.element,
+        mxp: Some(MxpStats {
+            sweeps: r0.sweeps,
+            fact_seconds: r0.fact_seconds,
+            fact_gflops: r0.fact_gflops,
+            history: r0.history.clone(),
+        }),
         traces,
     })
 }

@@ -1,9 +1,9 @@
-//! End-to-end checks that garbage in the fabric environment knobs
-//! (`RHPL_MAILBOX`, `RHPL_MAILBOX_CAP`, `RHPL_TRANSPORT`) is rejected by
-//! the `rhpl` binary *up front* with the typed configuration message and
-//! exit code 2 — not deep inside a universe as a panic. Each case spawns
-//! the real binary so the whole path (env → `validate_env` → stderr →
-//! exit code) is exercised.
+//! End-to-end checks that garbage in the fabric and kernel environment
+//! knobs (`RHPL_MAILBOX`, `RHPL_MAILBOX_CAP`, `RHPL_TRANSPORT`,
+//! `RHPL_KERNEL`, `RHPL_ELEMENT`) is rejected by the `rhpl` binary *up
+//! front* with the typed configuration message and exit code 2 — not deep
+//! inside a universe as a panic. Each case spawns the real binary so the
+//! whole path (env → `validate_env` → stderr → exit code) is exercised.
 
 use std::process::Command;
 
@@ -58,6 +58,50 @@ fn bad_transport_is_a_typed_config_error() {
 }
 
 #[test]
+fn bad_kernel_is_a_typed_config_error() {
+    let (code, stderr) = run_with_env("RHPL_KERNEL", "AVX512");
+    assert_eq!(code, 2, "config errors exit 2, stderr: {stderr}");
+    assert!(stderr.contains("RHPL_KERNEL"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("AVX512"),
+        "the offending value must be echoed back, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("scalar") && stderr.contains("simd"),
+        "the error should name the accepted values, stderr: {stderr}"
+    );
+}
+
+#[test]
+fn bad_element_is_a_typed_config_error() {
+    let (code, stderr) = run_with_env("RHPL_ELEMENT", "f16");
+    assert_eq!(code, 2, "config errors exit 2, stderr: {stderr}");
+    assert!(stderr.contains("RHPL_ELEMENT"), "stderr: {stderr}");
+    assert!(stderr.contains("f16"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("f64") && stderr.contains("f32"),
+        "the error should name the accepted values, stderr: {stderr}"
+    );
+}
+
+#[test]
+fn bad_element_flag_is_a_usage_error() {
+    // The `--element` flag goes through the same parser as the env var but
+    // is a usage error (exit 1), matching the other flags. It is resolved
+    // before the HPL.dat is read, so no input file is needed here.
+    let out = rhpl()
+        .args(["--element", "f16"])
+        .output()
+        .expect("spawn rhpl");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--element") && stderr.contains("f16"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
 fn valid_env_values_are_accepted() {
     for (var, value) in [
         ("RHPL_MAILBOX", "lockfree"),
@@ -66,6 +110,11 @@ fn valid_env_values_are_accepted() {
         ("RHPL_TRANSPORT", "inproc"),
         ("RHPL_TRANSPORT", "shm"),
         ("RHPL_TRANSPORT", "tcp"),
+        ("RHPL_KERNEL", "auto"),
+        ("RHPL_KERNEL", "scalar"),
+        ("RHPL_KERNEL", "simd"),
+        ("RHPL_ELEMENT", "f64"),
+        ("RHPL_ELEMENT", "f32"),
     ] {
         let (code, stderr) = run_with_env(var, value);
         assert_eq!(code, 0, "{var}={value} must be accepted, stderr: {stderr}");

@@ -27,28 +27,30 @@ use crate::comm::Communicator;
 use crate::error::CommError;
 use crate::fabric::Tag;
 use crate::ring::{panel_bcast, BcastAlgo};
+use crate::transport::wire::WireElem;
 
 /// Total panel deliveries the root attempts per peer (initial broadcast +
 /// retransmits) before giving up.
 pub const MAX_ATTEMPTS: u32 = 3;
 
-/// Order-independent checksum of a panel: wrapping sum of the `f64` bit
-/// patterns mixed with the length. Any single bit-flip changes the sum by
-/// a nonzero power of two (mod 2^64), so it is always detected.
-pub fn checksum(buf: &[f64]) -> u64 {
+/// Order-independent checksum of a panel: wrapping sum of the element bit
+/// patterns (zero-extended to 64 bits for `f32`) mixed with the length.
+/// Any single bit-flip changes the sum by a nonzero power of two
+/// (mod 2^64), so it is always detected.
+pub fn checksum<E: hpl_blas::Element>(buf: &[E]) -> u64 {
     buf.iter()
-        .fold(buf.len() as u64, |acc, v| acc.wrapping_add(v.to_bits()))
+        .fold(buf.len() as u64, |acc, v| acc.wrapping_add(v.to_bits_u64()))
 }
 
 /// [`panel_bcast`] with checksum verification and bounded retransmission
 /// (see module docs). Drop-in: same topology, same result buffer contract.
 /// Meant for fault-armed runs — fault-free runs keep the unchecked path and
 /// its message structure.
-pub fn panel_bcast_checked(
+pub fn panel_bcast_checked<E: WireElem>(
     comm: &Communicator,
     algo: BcastAlgo,
     root: usize,
-    buf: &mut [f64],
+    buf: &mut [E],
 ) -> Result<(), CommError> {
     let size = comm.size();
     if size <= 1 || buf.is_empty() {
@@ -78,7 +80,7 @@ pub fn panel_bcast_checked(
                 // Give-up marker: an empty payload (a real retransmit is
                 // never empty — the empty-buffer case returned above).
                 for &r in &nack {
-                    comm.try_send(r, Tag::ABFT_CTRL, Vec::<f64>::new())?;
+                    E::vec_send(comm, r, Tag::ABFT_CTRL, Vec::new(), 1)?;
                 }
                 return Err(CommError::Corrupt {
                     root,
@@ -106,7 +108,7 @@ pub fn panel_bcast_checked(
             if ok {
                 return Ok(());
             }
-            let ctrl: Vec<f64> = comm.try_recv(root, Tag::ABFT_CTRL)?;
+            let ctrl: Vec<E> = E::vec_recv(comm, root, Tag::ABFT_CTRL)?;
             if ctrl.is_empty() {
                 return Err(CommError::Corrupt {
                     root,

@@ -5,6 +5,11 @@
 //! Every collective is blocking and must be called by all ranks of the
 //! communicator in the same order, exactly like MPI.
 //!
+//! Slice collectives are generic over the pipeline precision via
+//! [`WireElem`] (`f64` for classic HPL, `f32` for the HPL-MxP
+//! factorization); element types are inferred from the buffers at call
+//! sites, so existing `f64` callers read unchanged.
+//!
 //! Every collective is fallible: recoverable misuse (count mismatches, a
 //! missing root value) and substrate failures (receive timeout, a dead
 //! rank's poisoned fabric, the caller's own injected death) come back as
@@ -15,7 +20,7 @@
 use crate::comm::Communicator;
 use crate::error::CommError;
 use crate::fabric::Tag;
-use crate::transport::wire::Wire;
+use crate::transport::wire::{Wire, WireElem};
 
 /// Reduction operator for [`allreduce`] / [`reduce`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,7 +35,7 @@ pub enum Op {
 
 impl Op {
     #[inline]
-    fn apply(self, a: f64, b: f64) -> f64 {
+    fn apply<E: hpl_blas::Element>(self, a: E, b: E) -> E {
         match self {
             Op::Sum => a + b,
             Op::Max => a.max(b),
@@ -88,7 +93,12 @@ pub fn bcast<T: Wire + Clone>(
 /// Binomial-tree reduction of `buf` to `root`; the result overwrites `buf`
 /// only on the root (other ranks' buffers hold partial sums on return and
 /// should be treated as scratch).
-pub fn reduce(comm: &Communicator, root: usize, op: Op, buf: &mut [f64]) -> Result<(), CommError> {
+pub fn reduce<E: WireElem>(
+    comm: &Communicator,
+    root: usize,
+    op: Op,
+    buf: &mut [E],
+) -> Result<(), CommError> {
     let size = comm.size();
     let me = rel(comm.rank(), root, size);
     let mut mask = 1usize;
@@ -101,7 +111,7 @@ pub fn reduce(comm: &Communicator, root: usize, op: Op, buf: &mut [f64]) -> Resu
         }
         let partner = me + mask;
         if partner < size {
-            let other: Vec<f64> = comm.try_recv(unrel(partner, root, size), Tag::REDUCE)?;
+            let other: Vec<E> = E::vec_recv(comm, unrel(partner, root, size), Tag::REDUCE)?;
             if other.len() != buf.len() {
                 return Err(CommError::CountMismatch {
                     what: "reduce",
@@ -120,9 +130,9 @@ pub fn reduce(comm: &Communicator, root: usize, op: Op, buf: &mut [f64]) -> Resu
 
 /// Allreduce: reduce to rank `0` then broadcast, overwriting `buf` on every
 /// rank with the reduced result.
-pub fn allreduce(comm: &Communicator, op: Op, buf: &mut [f64]) -> Result<(), CommError> {
+pub fn allreduce<E: WireElem>(comm: &Communicator, op: Op, buf: &mut [E]) -> Result<(), CommError> {
     reduce(comm, 0, op, buf)?;
-    let out = bcast(
+    let out = bcast_vec(
         comm,
         0,
         if comm.rank() == 0 {
@@ -133,6 +143,38 @@ pub fn allreduce(comm: &Communicator, op: Op, buf: &mut [f64]) -> Result<(), Com
     )?;
     buf.copy_from_slice(&out);
     Ok(())
+}
+
+/// [`bcast`] specialized to a `Vec<E>` payload through the [`WireElem`]
+/// hooks (the blanket `bcast` needs `Vec<E>: Wire`, which generic element
+/// code cannot name). Identical binomial topology and message counts.
+pub fn bcast_vec<E: WireElem>(
+    comm: &Communicator,
+    root: usize,
+    value: Option<Vec<E>>,
+) -> Result<Vec<E>, CommError> {
+    let size = comm.size();
+    let me = rel(comm.rank(), root, size);
+    let v: Vec<E> = if me == 0 {
+        value.ok_or(CommError::MissingRoot { what: "bcast" })?
+    } else {
+        let hb = usize::BITS - 1 - me.leading_zeros();
+        let parent = me - (1usize << hb);
+        E::vec_recv(comm, unrel(parent, root, size), Tag::BCAST)?
+    };
+    let start = if me == 0 {
+        0
+    } else {
+        usize::BITS - me.leading_zeros()
+    };
+    for k in start..usize::BITS {
+        let child = me + (1usize << k);
+        if child >= size {
+            break;
+        }
+        E::vec_send(comm, unrel(child, root, size), Tag::BCAST, v.clone(), 1)?;
+    }
+    Ok(v)
 }
 
 /// The `(value, location)` pair used by [`allreduce_maxloc`].
@@ -214,18 +256,18 @@ where
 
 /// Gathers variable-size chunks to `root`. Every rank passes its chunk;
 /// the root returns `Some(concatenation ordered by rank)`, others `None`.
-pub fn gatherv(
+pub fn gatherv<E: WireElem>(
     comm: &Communicator,
     root: usize,
-    chunk: &[f64],
-) -> Result<Option<Vec<f64>>, CommError> {
+    chunk: &[E],
+) -> Result<Option<Vec<E>>, CommError> {
     if comm.rank() == root {
-        let mut parts: Vec<Vec<f64>> = Vec::with_capacity(comm.size());
+        let mut parts: Vec<Vec<E>> = Vec::with_capacity(comm.size());
         for src in 0..comm.size() {
             if src == root {
                 parts.push(chunk.to_vec());
             } else {
-                parts.push(comm.try_recv(src, Tag::GATHER)?);
+                parts.push(E::vec_recv(comm, src, Tag::GATHER)?);
             }
         }
         Ok(Some(parts.concat()))
@@ -238,11 +280,11 @@ pub fn gatherv(
 /// Scatters variable-size chunks from `root`. The root passes
 /// `Some((sendbuf, counts))` with `sendbuf.len() == counts.sum()`; every
 /// rank returns its chunk (of length `counts[rank]`).
-pub fn scatterv(
+pub fn scatterv<E: WireElem>(
     comm: &Communicator,
     root: usize,
-    send: Option<(&[f64], &[usize])>,
-) -> Result<Vec<f64>, CommError> {
+    send: Option<(&[E], &[usize])>,
+) -> Result<Vec<E>, CommError> {
     if comm.rank() == root {
         let (buf, counts) = send.ok_or(CommError::MissingRoot { what: "scatterv" })?;
         if counts.len() != comm.size() {
@@ -273,7 +315,7 @@ pub fn scatterv(
         }
         Ok(mine)
     } else {
-        comm.try_recv(root, Tag::SCATTER)
+        E::vec_recv(comm, root, Tag::SCATTER)
     }
 }
 
@@ -294,11 +336,11 @@ fn block_offsets(counts: &[usize]) -> Vec<usize> {
 /// steps, each forwarding the block received in the previous step — the
 /// bandwidth-optimal algorithm HPL uses to assemble the `U` matrix in the
 /// row-swap phase.
-pub fn allgatherv(
+pub fn allgatherv<E: WireElem>(
     comm: &Communicator,
-    chunk: &[f64],
+    chunk: &[E],
     counts: &[usize],
-) -> Result<Vec<f64>, CommError> {
+) -> Result<Vec<E>, CommError> {
     let size = comm.size();
     let me = comm.rank();
     if counts.len() != size {
@@ -317,7 +359,7 @@ pub fn allgatherv(
     }
     let offsets = block_offsets(counts);
     let total: usize = counts.iter().sum();
-    let mut out = vec![0.0f64; total];
+    let mut out = vec![E::ZERO; total];
     out[offsets[me]..offsets[me] + counts[me]].copy_from_slice(chunk);
     if size == 1 {
         return Ok(out);
@@ -330,9 +372,9 @@ pub fn allgatherv(
     for _ in 0..size - 1 {
         let send_piece =
             out[offsets[send_block]..offsets[send_block] + counts[send_block]].to_vec();
-        comm.try_send(right, Tag::ALLGATHER, send_piece)?;
+        E::vec_send(comm, right, Tag::ALLGATHER, send_piece, 1)?;
         let recv_block = (send_block + size - 1) % size;
-        let piece: Vec<f64> = comm.try_recv(left, Tag::ALLGATHER)?;
+        let piece: Vec<E> = E::vec_recv(comm, left, Tag::ALLGATHER)?;
         if piece.len() != counts[recv_block] {
             // A peer disagreed about `counts` — caller error on its side.
             return Err(CommError::CountMismatch {
@@ -353,11 +395,11 @@ pub fn allgatherv(
 /// `p - 1` steps) at the cost of `log p`-fold send volume — HPL's
 /// binary-exchange row-swap variant. Falls back to the ring when `p` is
 /// not a power of two.
-pub fn allgatherv_rd(
+pub fn allgatherv_rd<E: WireElem>(
     comm: &Communicator,
-    chunk: &[f64],
+    chunk: &[E],
     counts: &[usize],
-) -> Result<Vec<f64>, CommError> {
+) -> Result<Vec<E>, CommError> {
     let size = comm.size();
     if !size.is_power_of_two() {
         return allgatherv(comm, chunk, counts);
@@ -378,17 +420,17 @@ pub fn allgatherv_rd(
         });
     }
     // Blocks currently held, keyed by origin rank.
-    let mut have: Vec<(usize, Vec<f64>)> = vec![(me, chunk.to_vec())];
+    let mut have: Vec<(usize, Vec<E>)> = vec![(me, chunk.to_vec())];
     let mut dist = 1usize;
     while dist < size {
         let partner = me ^ dist;
-        comm.try_send(partner, Tag::ALLGATHER, have.clone())?;
-        let theirs: Vec<(usize, Vec<f64>)> = comm.try_recv(partner, Tag::ALLGATHER)?;
+        E::pairs_send(comm, partner, Tag::ALLGATHER, have.clone())?;
+        let theirs: Vec<(usize, Vec<E>)> = E::pairs_recv(comm, partner, Tag::ALLGATHER)?;
         have.extend(theirs);
         dist <<= 1;
     }
     let offsets = block_offsets(counts);
-    let mut out = vec![0.0f64; counts.iter().sum()];
+    let mut out = vec![E::ZERO; counts.iter().sum()];
     // INVARIANT: after log2(size) doubling rounds each origin rank's block
     // was merged exactly once — the hypercube exchange visits every rank.
     // Violations are bugs in the loop above, not runtime conditions.
@@ -578,7 +620,7 @@ mod tests {
     #[test]
     fn scatterv_misuse_is_an_error_not_a_panic() {
         // Root forgets its buffer.
-        let out = Universe::run(1, |comm| scatterv(&comm, 0, None));
+        let out = Universe::run(1, |comm| scatterv::<f64>(&comm, 0, None));
         assert_eq!(out[0], Err(CommError::MissingRoot { what: "scatterv" }));
         // Counts don't cover the communicator.
         let out = Universe::run(1, |comm| {
@@ -708,6 +750,29 @@ mod tests {
             for (mx, ids) in out {
                 assert_eq!(mx, (n - 1) as f64);
                 assert_eq!(ids, (0..n).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_serve_f32() {
+        let out = Universe::run(4, |comm| {
+            let r = comm.rank() as f32;
+            let mut s = vec![r, 1.0f32];
+            allreduce(&comm, Op::Sum, &mut s).unwrap();
+            let g = allgatherv(&comm, &[r], &[1, 1, 1, 1]).unwrap();
+            let rd = allgatherv_rd(&comm, &[r], &[1, 1, 1, 1]).unwrap();
+            let gat = gatherv(&comm, 0, &[r]).unwrap();
+            (s, g, rd, gat)
+        });
+        for (rank, (s, g, rd, gat)) in out.into_iter().enumerate() {
+            assert_eq!(s, vec![6.0f32, 4.0]);
+            assert_eq!(g, vec![0.0f32, 1.0, 2.0, 3.0]);
+            assert_eq!(rd, g);
+            if rank == 0 {
+                assert_eq!(gat.unwrap(), g);
+            } else {
+                assert!(gat.is_none());
             }
         }
     }

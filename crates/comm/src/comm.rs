@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use crate::error::CommError;
 use crate::fabric::{CommStats, Fabric, Tag};
-use crate::transport::wire::{Packet, SplitInfo, Wire};
+use crate::transport::wire::{Packet, SplitInfo, Wire, WireElem};
 
 /// Context ids occupy the tag bits above this shift; reserved collective
 /// tags stay below it (`RESERVED_BASE = 1 << 48`, offsets < 64).
@@ -139,9 +139,15 @@ impl Communicator {
         }
     }
 
-    /// Sends a `f64` slice (copied) to `dst`; counted in element stats.
-    pub fn send_slice(&self, dst: usize, tag: Tag, data: &[f64]) {
-        self.send_counted(dst, tag, data.to_vec(), data.len() as u64);
+    /// Sends an element slice (copied) to `dst`; counted in element stats.
+    pub fn send_slice<E: WireElem>(&self, dst: usize, tag: Tag, data: &[E]) {
+        if let Err(e) = self.try_send_slice(dst, tag, data) {
+            let CommError::RankFailed { rank, phase } = e else {
+                // try_send_slice's only errors are deaths (own or a peer's).
+                unreachable!("unexpected send error: {e}");
+            };
+            std::panic::panic_any(hpl_faults::RankDeath { rank, phase });
+        }
     }
 
     /// Fallible [`Communicator::send`]: the only error is a death — this
@@ -154,20 +160,16 @@ impl Communicator {
     }
 
     /// Fallible [`Communicator::send_slice`]; see [`Communicator::try_send`].
-    pub fn try_send_slice(&self, dst: usize, tag: Tag, data: &[f64]) -> Result<(), CommError> {
-        self.try_send_counted(dst, tag, data.to_vec(), data.len() as u64)
+    pub fn try_send_slice<E: WireElem>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        data: &[E],
+    ) -> Result<(), CommError> {
+        E::vec_send(self, dst, tag, data.to_vec(), data.len() as u64)
     }
 
-    fn send_counted<T: Wire>(&self, dst: usize, tag: Tag, value: T, elems: u64) {
-        if let Err(e) = self.try_send_counted(dst, tag, value, elems) {
-            let CommError::RankFailed { rank, phase } = e else {
-                unreachable!("unexpected send error: {e}");
-            };
-            std::panic::panic_any(hpl_faults::RankDeath { rank, phase });
-        }
-    }
-
-    fn try_send_counted<T: Wire>(
+    pub(crate) fn try_send_counted<T: Wire>(
         &self,
         dst: usize,
         tag: Tag,
@@ -235,10 +237,15 @@ impl Communicator {
         }
     }
 
-    /// Receives a `Vec<f64>` from `(src, tag)` into `buf` (lengths must
+    /// Receives a `Vec<E>` from `(src, tag)` into `buf` (lengths must
     /// match). The vector-copy variant of [`Communicator::recv`].
-    pub fn recv_into(&self, src: usize, tag: Tag, buf: &mut [f64]) {
-        let v: Vec<f64> = self.recv(src, tag);
+    pub fn recv_into<E: WireElem>(&self, src: usize, tag: Tag, buf: &mut [E]) {
+        let v: Vec<E> = E::vec_recv(self, src, tag).unwrap_or_else(|e| {
+            // Same rationale as `recv`: diagnostics must fail loudly on the
+            // infallible path.
+            // xtask-allow: no-panic, error-taxonomy — deadlock diagnostics
+            panic!("{e}")
+        });
         assert_eq!(v.len(), buf.len(), "recv_into length mismatch");
         buf.copy_from_slice(&v);
     }
@@ -246,8 +253,13 @@ impl Communicator {
     /// Fallible [`Communicator::recv_into`]: a length mismatch (which an
     /// injected corruption cannot cause, but a protocol bug can) comes back
     /// as [`CommError::CountMismatch`] instead of a panic.
-    pub fn try_recv_into(&self, src: usize, tag: Tag, buf: &mut [f64]) -> Result<(), CommError> {
-        let v: Vec<f64> = self.try_recv(src, tag)?;
+    pub fn try_recv_into<E: WireElem>(
+        &self,
+        src: usize,
+        tag: Tag,
+        buf: &mut [E],
+    ) -> Result<(), CommError> {
+        let v: Vec<E> = E::vec_recv(self, src, tag)?;
         if v.len() != buf.len() {
             return Err(CommError::CountMismatch {
                 what: "recv_into",
@@ -262,9 +274,14 @@ impl Communicator {
     /// Simultaneous exchange: sends `send` to `dst` and receives the
     /// matching message from `src`. Safe against head-of-line blocking
     /// because sends never block.
-    pub fn sendrecv(&self, dst: usize, src: usize, tag: Tag, send: &[f64]) -> Vec<f64> {
+    pub fn sendrecv<E: WireElem>(&self, dst: usize, src: usize, tag: Tag, send: &[E]) -> Vec<E> {
         self.send_slice(dst, tag, send);
-        self.recv(src, tag)
+        E::vec_recv(self, src, tag).unwrap_or_else(|e| {
+            // Same rationale as `recv`: diagnostics must fail loudly on the
+            // infallible path.
+            // xtask-allow: no-panic, error-taxonomy — deadlock diagnostics
+            panic!("{e}")
+        })
     }
 
     /// Barrier across all ranks of this communicator.

@@ -1,17 +1,20 @@
 //! Checked environment/config parsing for the fabric boundary.
 //!
-//! Every knob the fabric reads from the environment (`RHPL_MAILBOX`,
-//! `RHPL_MAILBOX_CAP`, `RHPL_TRANSPORT`) parses through this module, so an
-//! invalid value surfaces as a typed [`ConfigError`] carrying the offending
-//! text and what was expected — never a silent fallback to a default that
-//! would make a benchmark unattributable, and never a bare parse panic.
+//! Every knob the runtime reads from the environment (`RHPL_MAILBOX`,
+//! `RHPL_MAILBOX_CAP`, `RHPL_TRANSPORT`, `RHPL_KERNEL`, `RHPL_ELEMENT`)
+//! parses through this module, so an invalid value surfaces as a typed
+//! [`ConfigError`] carrying the offending text and what was expected —
+//! never a silent fallback to a default that would make a benchmark
+//! unattributable, and never a bare parse panic.
 //!
 //! The CLI calls [`validate_env`] before doing any work and turns an error
 //! into a clean exit; library entry points that cannot return an error
-//! (fabric construction) fail fast with the same message.
+//! (fabric construction, kernel resolution) fail fast with the same
+//! message.
 
 use crate::fabric::MailboxSel;
 use crate::transport::TransportSel;
+use hpl_blas::{ElementSel, KernelSel};
 
 /// An environment/config value that does not parse.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -67,6 +70,24 @@ pub fn parse_transport(value: &str) -> Result<TransportSel, ConfigError> {
     })
 }
 
+/// Parses a `RHPL_KERNEL` value (`auto` | `scalar` | `simd`).
+pub fn parse_kernel(value: &str) -> Result<KernelSel, ConfigError> {
+    value.parse().map_err(|()| ConfigError {
+        var: "RHPL_KERNEL",
+        value: value.to_owned(),
+        expected: "one of auto, scalar, simd",
+    })
+}
+
+/// Parses a `RHPL_ELEMENT` value (`f64` | `f32`).
+pub fn parse_element(value: &str) -> Result<ElementSel, ConfigError> {
+    value.parse().map_err(|()| ConfigError {
+        var: "RHPL_ELEMENT",
+        value: value.to_owned(),
+        expected: "one of f64, f32",
+    })
+}
+
 /// `RHPL_MAILBOX` from the environment; unset means [`MailboxSel::Auto`].
 pub fn env_mailbox() -> Result<MailboxSel, ConfigError> {
     match std::env::var("RHPL_MAILBOX") {
@@ -93,12 +114,30 @@ pub fn env_transport() -> Result<TransportSel, ConfigError> {
     }
 }
 
-/// Validates every fabric environment knob at once — the CLI's pre-flight
+/// `RHPL_KERNEL` from the environment; unset means [`KernelSel::Auto`].
+pub fn env_kernel() -> Result<KernelSel, ConfigError> {
+    match std::env::var("RHPL_KERNEL") {
+        Ok(v) => parse_kernel(&v),
+        Err(_) => Ok(KernelSel::Auto),
+    }
+}
+
+/// `RHPL_ELEMENT` from the environment; unset means [`ElementSel::F64`].
+pub fn env_element() -> Result<ElementSel, ConfigError> {
+    match std::env::var("RHPL_ELEMENT") {
+        Ok(v) => parse_element(&v),
+        Err(_) => Ok(ElementSel::F64),
+    }
+}
+
+/// Validates every runtime environment knob at once — the CLI's pre-flight
 /// check, so a typo'd variable fails the run before any process spawns.
 pub fn validate_env() -> Result<(), ConfigError> {
     env_mailbox()?;
     env_mailbox_cap()?;
     env_transport()?;
+    env_kernel()?;
+    env_element()?;
     Ok(())
 }
 
@@ -133,6 +172,31 @@ mod tests {
             let err = parse_mailbox_cap(bad).unwrap_err();
             assert_eq!(err.var, "RHPL_MAILBOX_CAP");
             assert_eq!(err.value, bad);
+        }
+    }
+
+    #[test]
+    fn kernel_values_parse_and_bad_ones_are_typed() {
+        assert_eq!(parse_kernel("auto"), Ok(KernelSel::Auto));
+        assert_eq!(parse_kernel("scalar"), Ok(KernelSel::Scalar));
+        assert_eq!(parse_kernel("simd"), Ok(KernelSel::Simd));
+        let err = parse_kernel("avx512").unwrap_err();
+        assert_eq!(err.var, "RHPL_KERNEL");
+        assert_eq!(err.value, "avx512");
+        let shown = err.to_string();
+        assert!(shown.contains("avx512"), "names the value: {shown}");
+        assert!(shown.contains("auto, scalar, simd"));
+    }
+
+    #[test]
+    fn element_values_parse_and_bad_ones_are_typed() {
+        assert_eq!(parse_element("f64"), Ok(ElementSel::F64));
+        assert_eq!(parse_element("f32"), Ok(ElementSel::F32));
+        for bad in ["f16", "double", "single", ""] {
+            let err = parse_element(bad).unwrap_err();
+            assert_eq!(err.var, "RHPL_ELEMENT");
+            assert_eq!(err.value, bad);
+            assert!(err.to_string().contains("f64, f32"));
         }
     }
 

@@ -30,7 +30,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::error::CommError;
 use crate::spsc::LockfreeMailbox;
 use crate::transport::frame::{Frame, FrameKind};
-use crate::transport::wire::{Packet, VEC_F64_WIRE_ID};
+use crate::transport::wire::{Packet, VEC_F32_WIRE_ID, VEC_F64_WIRE_ID};
 use crate::transport::{FrameSink, LinkStat, Transport};
 
 /// Message tag. User tags live below [`Tag::RESERVED_BASE`]; the collective
@@ -876,6 +876,11 @@ impl Fabric {
                         let i = v.len() / 2;
                         v[i] = f64::from_bits(v[i].to_bits() ^ (1u64 << (bit % 64)));
                     }
+                } else if let Some(v) = msg.downcast_mut::<Vec<f32>>() {
+                    if !v.is_empty() {
+                        let i = v.len() / 2;
+                        v[i] = f32::from_bits(v[i].to_bits() ^ (1u32 << (bit % 32)));
+                    }
                 } else if let Some(p) = msg.downcast_mut::<Packet>() {
                     // Remote payloads are already encoded when the hook
                     // fires; flip the same bit of the same element the
@@ -1220,12 +1225,18 @@ impl Fabric {
     }
 }
 
-/// The encoded-payload twin of the in-process `Vec<f64>` corruption arm:
-/// flips bit `bit % 64` of element `len / 2`. A `Vec<f64>` wire payload is
-/// an 8-byte length prefix followed by little-endian f64 bit patterns, so
-/// the element's word starts at byte `8 + (len / 2) * 8`.
+/// The encoded-payload twin of the in-process bulk-vector corruption arms:
+/// flips bit `bit % word_bits` of element `len / 2`. A bulk wire payload
+/// is an 8-byte length prefix followed by little-endian bit patterns
+/// (8 bytes per element for `Vec<f64>`, 4 for `Vec<f32>`), so the
+/// element's word starts at byte `8 + (len / 2) * word`.
 fn corrupt_packet(p: &mut Packet, bit: u32) {
-    if p.wire_id != VEC_F64_WIRE_ID || p.bytes.len() < 16 {
+    let word = match p.wire_id {
+        VEC_F64_WIRE_ID => 8,
+        VEC_F32_WIRE_ID => 4,
+        _ => return,
+    };
+    if p.bytes.len() < 8 + word {
         return;
     }
     let Ok(prefix) = <[u8; 8]>::try_from(&p.bytes[..8]) else {
@@ -1235,8 +1246,8 @@ fn corrupt_packet(p: &mut Packet, bit: u32) {
     if n == 0 {
         return;
     }
-    let b = (bit % 64) as usize;
-    let idx = 8 + (n / 2) * 8 + b / 8;
+    let b = (bit as usize) % (word * 8);
+    let idx = 8 + (n / 2) * word + b / 8;
     if let Some(byte) = p.bytes.get_mut(idx) {
         *byte ^= 1 << (b % 8);
     }

@@ -54,8 +54,8 @@ pub mod universe;
 
 pub use abft::panel_bcast_checked;
 pub use coll::{
-    allgatherv, allgatherv_rd, allreduce, allreduce_maxloc, allreduce_with, bcast, gatherv, reduce,
-    scatterv, MaxLoc, Op,
+    allgatherv, allgatherv_rd, allreduce, allreduce_maxloc, allreduce_with, bcast, bcast_vec,
+    gatherv, reduce, scatterv, MaxLoc, Op,
 };
 pub use comm::Communicator;
 pub use config::ConfigError;
@@ -67,6 +67,6 @@ pub use fabric::{
 pub use grid::{Grid, GridOrder};
 pub use ring::{panel_bcast, BcastAlgo};
 pub use spsc::SpscRing;
-pub use transport::wire::Wire;
+pub use transport::wire::{Wire, WireElem};
 pub use transport::{last_run_link_stats, LinkStat, TransportSel};
 pub use universe::{active_transport_name, FaultedRun, Universe};

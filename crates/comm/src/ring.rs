@@ -16,6 +16,7 @@ use crate::coll;
 use crate::comm::Communicator;
 use crate::error::CommError;
 use crate::fabric::Tag;
+use crate::transport::wire::WireElem;
 
 /// Which LBCAST algorithm to use; mirrors rocHPL's `--bcast` option.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -109,11 +110,11 @@ fn actual(v: usize, root: usize, size: usize) -> usize {
 /// Broadcasts `buf` from `root` to every rank of `comm` using `algo`.
 /// Fails with [`CommError`] when the substrate does (timeout, poisoned
 /// fabric, the caller's own injected death).
-pub fn panel_bcast(
+pub fn panel_bcast<E: WireElem>(
     comm: &Communicator,
     algo: BcastAlgo,
     root: usize,
-    buf: &mut [f64],
+    buf: &mut [E],
 ) -> Result<(), CommError> {
     let size = comm.size();
     if size <= 1 || buf.is_empty() {
@@ -129,7 +130,7 @@ pub fn panel_bcast(
         BcastAlgo::Long => long(comm, root, buf, false),
         BcastAlgo::LongM => long(comm, root, buf, true),
         BcastAlgo::Binomial => {
-            let v = coll::bcast(comm, root, (comm.rank() == root).then(|| buf.to_vec()))?;
+            let v = coll::bcast_vec(comm, root, (comm.rank() == root).then(|| buf.to_vec()))?;
             buf.copy_from_slice(&v);
             Ok(())
         }
@@ -137,10 +138,10 @@ pub fn panel_bcast(
     }
 }
 
-fn one_ring(
+fn one_ring<E: WireElem>(
     comm: &Communicator,
     root: usize,
-    buf: &mut [f64],
+    buf: &mut [E],
     modified: bool,
 ) -> Result<(), CommError> {
     let size = comm.size();
@@ -175,10 +176,10 @@ fn one_ring(
     Ok(())
 }
 
-fn two_ring(
+fn two_ring<E: WireElem>(
     comm: &Communicator,
     root: usize,
-    buf: &mut [f64],
+    buf: &mut [E],
     modified: bool,
 ) -> Result<(), CommError> {
     let size = comm.size();
@@ -215,10 +216,10 @@ fn two_ring(
     Ok(())
 }
 
-fn long(
+fn long<E: WireElem>(
     comm: &Communicator,
     root: usize,
-    buf: &mut [f64],
+    buf: &mut [E],
     modified: bool,
 ) -> Result<(), CommError> {
     let size = comm.size();
@@ -249,9 +250,9 @@ fn long(
 
 /// The "long" body: virtual rank 0 scatters `gsize` chunks, then a ring
 /// allgather over the group reassembles the panel everywhere.
-fn scatter_allgather(
+fn scatter_allgather<E: WireElem>(
     comm: &Communicator,
-    buf: &mut [f64],
+    buf: &mut [E],
     gsize: usize,
     gid: usize,
     to_actual: impl Fn(usize) -> usize,
@@ -276,7 +277,7 @@ fn scatter_allgather(
             }
         }
     } else if count(gid) > 0 {
-        let v: Vec<f64> = comm.try_recv(to_actual(0), Tag::RING)?;
+        let v: Vec<E> = E::vec_recv(comm, to_actual(0), Tag::RING)?;
         buf[offset(gid)..offset(gid) + count(gid)].copy_from_slice(&v);
     }
     // Ring allgather over the group.
@@ -288,7 +289,7 @@ fn scatter_allgather(
         comm.try_send_slice(right, Tag::RING, &buf[o..o + c])?;
         let rb = (block + gsize - 1) % gsize;
         let (ro, rc) = (offset(rb), count(rb));
-        let v: Vec<f64> = comm.try_recv(left, Tag::RING)?;
+        let v: Vec<E> = E::vec_recv(comm, left, Tag::RING)?;
         if v.len() != rc {
             return Err(CommError::CountMismatch {
                 what: "long bcast chunk",

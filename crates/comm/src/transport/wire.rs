@@ -13,6 +13,10 @@
 //! [`crate::error::CommError::Corrupt`] at the receive — never a hang, and
 //! never a torn-down link.
 
+use crate::comm::Communicator;
+use crate::error::CommError;
+use crate::fabric::Tag;
+
 /// A type that can cross a process boundary.
 ///
 /// The encoding must be deterministic and position-independent: the
@@ -312,6 +316,179 @@ impl Wire for SplitInfo {
     }
 }
 
+impl Wire for f32 {
+    const WIRE_ID: u32 = 15;
+
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+
+    fn wire_decode(bytes: &[u8]) -> Option<Self> {
+        let a: [u8; 4] = bytes.try_into().ok()?;
+        Some(f32::from_bits(u32::from_le_bytes(a)))
+    }
+}
+
+/// Schema id of `Vec<f32>` — the bulk payload of an f32 factorization.
+/// The injected-corruption parity logic keys off this id the same way it
+/// does for [`VEC_F64_WIRE_ID`].
+pub const VEC_F32_WIRE_ID: u32 = 16;
+
+fn get_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let end = at.checked_add(4)?;
+    let s = bytes.get(at..end)?;
+    let mut a = [0u8; 4];
+    a.copy_from_slice(s);
+    Some(u32::from_le_bytes(a))
+}
+
+impl Wire for Vec<f32> {
+    const WIRE_ID: u32 = VEC_F32_WIRE_ID;
+
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.len() as u64);
+        for v in self {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    fn wire_decode(bytes: &[u8]) -> Option<Self> {
+        let n = get_u64(bytes, 0)? as usize;
+        if bytes.len() != 8 + n.checked_mul(4)? {
+            return None;
+        }
+        let mut v = Vec::with_capacity(n);
+        for i in 0..n {
+            v.push(f32::from_bits(get_u32(bytes, 8 + i * 4)?));
+        }
+        Some(v)
+    }
+}
+
+// The f32 twin of the recursive-doubling (origin, chunk) list payload.
+impl Wire for Vec<(usize, Vec<f32>)> {
+    const WIRE_ID: u32 = 17;
+
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.len() as u64);
+        for (origin, chunk) in self {
+            put_u64(out, *origin as u64);
+            put_u64(out, chunk.len() as u64);
+            for v in chunk {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+
+    fn wire_decode(bytes: &[u8]) -> Option<Self> {
+        let n = get_u64(bytes, 0)? as usize;
+        let mut at = 8;
+        let mut v = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let origin = usize::try_from(get_u64(bytes, at)?).ok()?;
+            let m = get_u64(bytes, at + 8)? as usize;
+            at += 16;
+            let mut chunk = Vec::with_capacity(m.min(1 << 24));
+            for _ in 0..m {
+                chunk.push(f32::from_bits(get_u32(bytes, at)?));
+                at += 4;
+            }
+            v.push((origin, chunk));
+        }
+        if at != bytes.len() {
+            return None;
+        }
+        Some(v)
+    }
+}
+
+/// A pipeline element precision that can cross a process boundary in every
+/// payload shape the collectives and the factorization use: the scalar
+/// itself (the `Wire` supertrait), bulk vectors, and the
+/// recursive-doubling `(origin, chunk)` lists.
+///
+/// `Vec<Self>: Wire` cannot be written as a supertrait (trait where-clauses
+/// are not implied bounds at use sites), so the vector payload surface is
+/// expressed as hook methods: each precision's impl delegates to the typed
+/// [`Communicator`] operations with the concrete payload type, and code
+/// generic over `E: WireElem` needs no further bounds.
+pub trait WireElem: hpl_blas::Element + Wire {
+    /// Schema id of `Vec<Self>` — the bulk payload id the fabric's
+    /// injected-corruption parity logic keys off.
+    const VEC_WIRE_ID: u32;
+
+    /// Fallible typed send of a `Vec<Self>` payload, counted as `elems`
+    /// elements in traffic stats.
+    fn vec_send(
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        data: Vec<Self>,
+        elems: u64,
+    ) -> Result<(), CommError>;
+
+    /// Fallible typed receive of a `Vec<Self>` payload.
+    fn vec_recv(comm: &Communicator, src: usize, tag: Tag) -> Result<Vec<Self>, CommError>;
+
+    /// Fallible typed send of a recursive-doubling `(origin, chunk)` list.
+    fn pairs_send(
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        data: Vec<(usize, Vec<Self>)>,
+    ) -> Result<(), CommError>;
+
+    /// Fallible typed receive of a recursive-doubling `(origin, chunk)`
+    /// list.
+    fn pairs_recv(
+        comm: &Communicator,
+        src: usize,
+        tag: Tag,
+    ) -> Result<Vec<(usize, Vec<Self>)>, CommError>;
+}
+
+macro_rules! wire_elem {
+    ($ty:ty, $vec_id:expr) => {
+        impl WireElem for $ty {
+            const VEC_WIRE_ID: u32 = $vec_id;
+
+            fn vec_send(
+                comm: &Communicator,
+                dst: usize,
+                tag: Tag,
+                data: Vec<$ty>,
+                elems: u64,
+            ) -> Result<(), CommError> {
+                comm.try_send_counted(dst, tag, data, elems)
+            }
+
+            fn vec_recv(comm: &Communicator, src: usize, tag: Tag) -> Result<Vec<$ty>, CommError> {
+                comm.try_recv(src, tag)
+            }
+
+            fn pairs_send(
+                comm: &Communicator,
+                dst: usize,
+                tag: Tag,
+                data: Vec<(usize, Vec<$ty>)>,
+            ) -> Result<(), CommError> {
+                comm.try_send(dst, tag, data)
+            }
+
+            fn pairs_recv(
+                comm: &Communicator,
+                src: usize,
+                tag: Tag,
+            ) -> Result<Vec<(usize, Vec<$ty>)>, CommError> {
+                comm.try_recv(src, tag)
+            }
+        }
+    };
+}
+
+wire_elem!(f64, VEC_F64_WIRE_ID);
+wire_elem!(f32, VEC_F32_WIRE_ID);
+
 // The generic-combiner allreduce test payload (max value + merged ids).
 impl Wire for (f64, Vec<usize>) {
     const WIRE_ID: u32 = 14;
@@ -376,6 +553,26 @@ mod tests {
         let p = Packet::pack(&vec![weird]);
         let back = p.unpack::<Vec<f64>>().unwrap();
         assert_eq!(back[0].to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn f32_payloads_round_trip() {
+        round_trip(-0.0f32);
+        round_trip(1.5f32);
+        round_trip(Vec::<f32>::new());
+        round_trip(vec![1.5f32, -2.25, f32::MIN_POSITIVE]);
+        round_trip(vec![(0usize, vec![1.0f32, 2.0]), (3, vec![])]);
+        // The f32 vector encoding is dense: 4 bytes per element.
+        let p = Packet::pack(&vec![1.0f32, 2.0, 3.0]);
+        assert_eq!(p.bytes.len(), 8 + 3 * 4);
+        // NaN payloads survive bit-exactly.
+        let weird = f32::from_bits(0x7FC0_BEEF);
+        let p = Packet::pack(&vec![weird]);
+        let back = p.unpack::<Vec<f32>>().unwrap();
+        assert_eq!(back[0].to_bits(), weird.to_bits());
+        // f32 and f64 vectors are distinct schemas.
+        let p = Packet::pack(&vec![1.0f32]);
+        assert!(p.unpack::<Vec<f64>>().is_none(), "schema mismatch");
     }
 
     #[test]

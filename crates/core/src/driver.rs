@@ -11,8 +11,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use hpl_blas::mat::Matrix;
+use hpl_blas::Element;
 use hpl_ckpt::CkptStore;
-use hpl_comm::{Communicator, Grid};
+use hpl_comm::{Communicator, Grid, WireElem};
 use hpl_threads::Pool;
 
 use crate::config::{HplConfig, Schedule};
@@ -65,6 +66,9 @@ pub struct HplResult {
     /// Name of the DGEMM microkernel the run resolved to
     /// (`"scalar"` / `"simd"`; see `hpl_blas::kernels`).
     pub kernel: &'static str,
+    /// Element precision the factorization ran in (`"f64"` / `"f32"`;
+    /// see [`hpl_blas::Element::NAME`]).
+    pub element: &'static str,
     /// Iteration this run restored to from a checkpoint (`None` for a
     /// from-scratch run).
     pub resumed_from: Option<usize>,
@@ -119,36 +123,39 @@ impl HplResult {
 }
 
 /// One iteration's panel, after factorization and broadcast.
-struct IterPanel {
+struct IterPanel<E: Element> {
     geom: PanelGeom,
-    panel: PanelL,
+    panel: PanelL<E>,
     plan: SwapPlan,
 }
 
 /// Driver-side checkpoint machinery (inert when no store is configured).
-struct CkptState {
+struct CkptState<E: Element> {
     every: usize,
     store: Option<Arc<CkptStore>>,
     /// This rank's world rank (the snapshot index in the store).
     rank: usize,
     id: hpl_ckpt::ConfigId,
-    /// Global pivot row per factored global column, grown panel by panel.
-    pivot_log: Vec<u64>,
     /// Pre-factorization copy of one iteration's local panel columns as
     /// `(iter, lj0, jb, values)`. Under look-ahead, panel `k` is factored
     /// during iteration `k-1`, so the snapshot taken at the top of
     /// iteration `k` overlays this stash to recover the pre-factorization
     /// state a restore must hand back to `fact_and_bcast`.
-    prefact: Option<(usize, usize, usize, Vec<f64>)>,
+    prefact: Option<(usize, usize, usize, Vec<E>)>,
 }
 
-struct Driver<'a> {
+struct Driver<'a, E: Element> {
     grid: &'a Grid,
     cfg: &'a HplConfig,
     pool: Pool,
-    a: LocalMatrix,
+    a: LocalMatrix<E>,
     timings: Vec<IterTiming>,
-    ckpt: CkptState,
+    ckpt: CkptState<E>,
+    /// Global pivot row per factored global column, grown panel by panel.
+    /// Maintained unconditionally (not just on checkpointed runs): the
+    /// mixed-precision refinement sweeps replay the factorization's row
+    /// exchanges against fresh right-hand sides from this log.
+    pivot_log: Vec<u64>,
 }
 
 /// Maps a checkpoint-layer failure into the pipeline taxonomy.
@@ -175,9 +182,84 @@ pub fn run_hpl_with(
     cfg: &HplConfig,
     fill: &(dyn Fn(usize, usize) -> f64 + Sync),
 ) -> Result<HplResult, HplError> {
+    run_hpl_with_element::<f64>(comm, cfg, fill)
+}
+
+/// [`run_hpl_with`] monomorphized over the pipeline [`Element`]: the whole
+/// elimination — panel factorization, LBCAST, row swaps, split update and
+/// the distributed back-substitution — runs in `E`, and the solution is
+/// widened to `f64` only at the very end (exact for both precisions).
+/// An `f32` run is the HPL-MxP factorization; its solution carries `f32`
+/// accuracy until iterative refinement recovers the rest.
+pub fn run_hpl_with_element<E: WireElem>(
+    comm: Communicator,
+    cfg: &HplConfig,
+    fill: &(dyn Fn(usize, usize) -> f64 + Sync),
+) -> Result<HplResult, HplError> {
     cfg.validate();
     let grid = Grid::new(comm, cfg.p, cfg.q, cfg.order);
-    let a = LocalMatrix::generate_with(cfg.n, cfg.nb, &grid, fill);
+    // The tracer lives in thread-local storage of this rank's thread; no
+    // signature in the pipeline changes whether tracing is on or off.
+    hpl_trace::install(cfg.trace);
+    let t0 = Instant::now();
+    let out = match factorize::<E>(&grid, cfg, fill) {
+        Ok(o) => o,
+        Err(e) => {
+            hpl_trace::take();
+            return Err(e);
+        }
+    };
+    let x = match back_substitute(&out.a, &grid, cfg.nb) {
+        Ok(x) => x,
+        Err(e) => {
+            hpl_trace::take();
+            return Err(e);
+        }
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    Ok(HplResult {
+        x: x.iter().map(|v| v.to_f64()).collect(),
+        timings: out.timings,
+        wall,
+        gflops: cfg.flops() / wall / 1e9,
+        n: cfg.n,
+        nb: cfg.nb,
+        trace: hpl_trace::take(),
+        kernel: hpl_blas::kernels::active().name(),
+        element: E::NAME,
+        resumed_from: out.resumed_from,
+        retries: grid.world().comm_retries(),
+    })
+}
+
+/// Everything the elimination leaves resident on one rank: the factored
+/// local matrix (`L` strictly below the diagonal, `U` on and above it, the
+/// transformed right-hand side in global column `n`) plus the complete
+/// pivot history. This is the substrate of HPL-MxP: `hpl-mxp` keeps the
+/// `f32` factors resident and replays `pivot_log` against fresh residual
+/// right-hand sides each refinement sweep.
+pub struct PipelineOut<E: Element = f64> {
+    /// The factored local matrix slice.
+    pub a: LocalMatrix<E>,
+    /// Global pivot row chosen for every factored global column.
+    pub pivot_log: Vec<u64>,
+    /// Per-iteration timings recorded by this rank.
+    pub timings: Vec<IterTiming>,
+    /// Iteration this run restored to from a checkpoint (`None` for a
+    /// from-scratch run).
+    pub resumed_from: Option<usize>,
+}
+
+/// Runs the distributed elimination (everything up to but excluding the
+/// back-substitution) under `cfg.schedule` and returns the resident
+/// factors. Collective over the grid; the caller owns tracing
+/// (`hpl_trace::install`/`take`) when it wants a phase trace.
+pub fn factorize<E: WireElem>(
+    grid: &Grid,
+    cfg: &HplConfig,
+    fill: &(dyn Fn(usize, usize) -> f64 + Sync),
+) -> Result<PipelineOut<E>, HplError> {
+    let a = LocalMatrix::<E>::generate_with(cfg.n, cfg.nb, grid, fill);
     let pool = Pool::new(cfg.fact.threads.max(cfg.update_threads).max(1));
     // On fault-injected runs, tag the pool with this rank's identity so
     // worker-thread faults (slow worker, death during FACT) match
@@ -187,7 +269,7 @@ pub fn run_hpl_with(
         pool.arm_faults(grid.world().rank(), inj);
     }
     let mut d = Driver {
-        grid: &grid,
+        grid,
         cfg,
         pool,
         a,
@@ -197,51 +279,26 @@ pub fn run_hpl_with(
             store: cfg.ckpt.store.clone(),
             rank: grid.world().rank(),
             id: cfg.ckpt_id(),
-            pivot_log: Vec::new(),
             prefact: None,
         },
+        pivot_log: Vec::new(),
     };
-
-    // The tracer lives in thread-local storage of this rank's thread; no
-    // signature in the pipeline changes whether tracing is on or off.
-    hpl_trace::install(cfg.trace);
-    let resumed_from = match d.restore_if_due() {
-        Ok(r) => r,
-        Err(e) => {
-            hpl_trace::take();
-            return Err(e);
-        }
-    };
+    let resumed_from = d.restore_if_due()?;
     let start = resumed_from.unwrap_or(0);
-    let t0 = Instant::now();
-    let run = match cfg.schedule {
-        Schedule::Simple => d.run_simple(start),
-        Schedule::LookAhead => d.run_lookahead(0.0, start),
-        Schedule::SplitUpdate { frac } => d.run_lookahead(frac, start),
-    };
-    let x = match run.and_then(|()| back_substitute(&d.a, &grid, cfg.nb)) {
-        Ok(x) => x,
-        Err(e) => {
-            hpl_trace::take();
-            return Err(e);
-        }
-    };
-    let wall = t0.elapsed().as_secs_f64();
-    Ok(HplResult {
-        x,
+    match cfg.schedule {
+        Schedule::Simple => d.run_simple(start)?,
+        Schedule::LookAhead => d.run_lookahead(0.0, start)?,
+        Schedule::SplitUpdate { frac } => d.run_lookahead(frac, start)?,
+    }
+    Ok(PipelineOut {
+        a: d.a,
+        pivot_log: d.pivot_log,
         timings: d.timings,
-        wall,
-        gflops: cfg.flops() / wall / 1e9,
-        n: cfg.n,
-        nb: cfg.nb,
-        trace: hpl_trace::take(),
-        kernel: hpl_blas::kernels::active().name(),
         resumed_from,
-        retries: grid.world().comm_retries(),
     })
 }
 
-impl Driver<'_> {
+impl<E: WireElem> Driver<'_, E> {
     /// Panel geometry for iteration `it`.
     fn geom(&self, it: usize) -> PanelGeom {
         let k0 = it * self.cfg.nb;
@@ -261,7 +318,7 @@ impl Driver<'_> {
 
     /// Factors panel `it` and broadcasts it; returns the iteration panel
     /// and accumulates phase timings into `t`.
-    fn fact_and_bcast(&mut self, it: usize, t: &mut IterTiming) -> Result<IterPanel, HplError> {
+    fn fact_and_bcast(&mut self, it: usize, t: &mut IterTiming) -> Result<IterPanel<E>, HplError> {
         let geom = self.geom(it);
         if self.ckpt.store.is_some() && hpl_ckpt::due(self.ckpt.every, it) && geom.in_panel_col {
             // Iteration `it` is a checkpoint boundary: stash the panel
@@ -284,7 +341,7 @@ impl Driver<'_> {
 
             let tf = Instant::now();
             let f0 = hpl_trace::now_ns();
-            let out: FactOut = {
+            let out: FactOut<E> = {
                 let inp = FactInput {
                     col_comm: self.grid.col(),
                     rows: self.a.rows,
@@ -324,16 +381,15 @@ impl Driver<'_> {
         let panel = lbcast(self.grid.row(), self.cfg.bcast, &geom, packed)?;
         t.comm += tb.elapsed().as_secs_f64();
         let plan = SwapPlan::build(geom.k0, geom.jb, &panel.ipiv);
-        if self.ckpt.store.is_some() {
-            // Every rank holds the broadcast pivots; extend the history so a
-            // snapshot can carry it (idempotent on a resumed re-factor).
-            let log = &mut self.ckpt.pivot_log;
-            if log.len() < geom.k0 + geom.jb {
-                log.resize(geom.k0 + geom.jb, 0);
-            }
-            for (j, &piv) in panel.ipiv.iter().enumerate() {
-                log[geom.k0 + j] = piv as u64;
-            }
+        // Every rank holds the broadcast pivots; extend the history
+        // unconditionally (idempotent on a resumed re-factor) — snapshots
+        // carry it, and the refinement sweeps replay it.
+        let log = &mut self.pivot_log;
+        if log.len() < geom.k0 + geom.jb {
+            log.resize(geom.k0 + geom.jb, 0);
+        }
+        for (j, &piv) in panel.ipiv.iter().enumerate() {
+            log[geom.k0 + j] = piv as u64;
         }
         Ok(IterPanel { geom, panel, plan })
     }
@@ -368,14 +424,22 @@ impl Driver<'_> {
         let _sp = hpl_trace::span(hpl_trace::Phase::Ckpt);
         let mloc = self.a.mloc;
         let lda = self.a.lda();
-        let mut data = self.a.as_slice().to_vec();
+        // Snapshots are stored widened to `f64` regardless of the pipeline
+        // element (one on-disk format); widening is exact, so an `f32` run
+        // restores bitwise.
+        let mut data: Vec<f64> = self.a.as_slice().iter().map(|v| v.to_f64()).collect();
         if let Some((siter, lj0, jb, cols)) = &self.ckpt.prefact {
             if *siter == it {
                 // Under look-ahead this panel was already factored (during
                 // iteration `it - 1`); snapshot its pre-fact values.
                 for c in 0..*jb {
                     let off = (lj0 + c) * lda;
-                    data[off..off + mloc].copy_from_slice(&cols[c * mloc..(c + 1) * mloc]);
+                    for (d, v) in data[off..off + mloc]
+                        .iter_mut()
+                        .zip(&cols[c * mloc..(c + 1) * mloc])
+                    {
+                        *d = v.to_f64();
+                    }
                 }
             }
         }
@@ -387,7 +451,7 @@ impl Driver<'_> {
             mloc: mloc as u64,
             nloc: self.a.nloc as u64,
             data,
-            pivots: self.ckpt.pivot_log.get(..factored).unwrap_or(&[]).to_vec(),
+            pivots: self.pivot_log.get(..factored).unwrap_or(&[]).to_vec(),
             cursors: self.fault_cursors(),
         };
         store
@@ -427,15 +491,17 @@ impl Driver<'_> {
                 ),
             });
         }
-        self.a.as_mut_slice().copy_from_slice(&snap.data);
-        self.ckpt.pivot_log = snap.pivots;
+        for (d, &v) in self.a.as_mut_slice().iter_mut().zip(&snap.data) {
+            *d = E::from_f64(v);
+        }
+        self.pivot_log = snap.pivots;
         Ok(Some(snap.next_iter as usize))
     }
 
     /// Row swap + full update over `range` using iteration panel `ip`.
     fn swap_and_update(
         &mut self,
-        ip: &IterPanel,
+        ip: &IterPanel<E>,
         range: ColRange,
         t: &mut IterTiming,
     ) -> Result<(), HplError> {
@@ -466,7 +532,7 @@ impl Driver<'_> {
         Ok(())
     }
 
-    fn apply_update(&mut self, ip: &IterPanel, mut u: Matrix, range: ColRange) {
+    fn apply_update(&mut self, ip: &IterPanel<E>, mut u: Matrix<E>, range: ColRange) {
         solve_u(&ip.panel, &mut u);
         let mut av = self.a.view_mut();
         if ip.geom.in_curr_row {
@@ -536,7 +602,7 @@ impl Driver<'_> {
         };
         hpl_trace::set_iter(start);
         let mut cur = self.fact_and_bcast(start, &mut t)?;
-        let mut pending: Option<RsData> = self.prefetch_rs2(&cur, split_lj, &mut t)?;
+        let mut pending: Option<RsData<E>> = self.prefetch_rs2(&cur, split_lj, &mut t)?;
 
         for it in start..iters {
             hpl_trace::set_iter(it);
@@ -659,10 +725,10 @@ impl Driver<'_> {
     /// exhausted (the pipeline then falls back to Fig 3 form).
     fn prefetch_rs2(
         &mut self,
-        ip: &IterPanel,
+        ip: &IterPanel<E>,
         split_lj: usize,
         t: &mut IterTiming,
-    ) -> Result<Option<RsData>, HplError> {
+    ) -> Result<Option<RsData<E>>, HplError> {
         let tstart = self.a.cols.local_lower_bound(ip.geom.k0 + ip.geom.jb);
         if tstart >= split_lj || split_lj >= self.a.nloc {
             return Ok(None);

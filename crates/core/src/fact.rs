@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use hpl_blas::mat::{MatMut, MatRef, Matrix};
-use hpl_blas::{dgemm, dtrsm, Diag, Side, Trans};
+use hpl_blas::{dgemm, dtrsm, Diag, Element, Side, Trans};
 use hpl_comm::{allreduce_with, CommError, Communicator};
 use hpl_threads::{ledger, Ctx, Pool};
 
@@ -60,11 +60,11 @@ pub struct FactInput<'a> {
 
 /// Factorization output.
 #[derive(Debug)]
-pub struct FactOut {
+pub struct FactOut<E: Element = f64> {
     /// Replicated factored diagonal block: row `k` holds the final content
     /// of global row `k0 + k` (unit-lower `L1` below the diagonal, `U11`
     /// on and above it), full panel width.
-    pub top: Matrix,
+    pub top: Matrix<E>,
     /// Global pivot row chosen at each of the `jb` steps.
     pub ipiv: Vec<usize>,
     /// Wall time thread 0 spent inside the pivot collectives (the MPI
@@ -78,22 +78,25 @@ const ERR_NONE: usize = usize::MAX;
 /// `FactState::comm_err` (distinct from any real column index).
 const ERR_COMM: usize = usize::MAX - 1;
 
-/// The payload of the combined pivot-search collective.
+/// The payload of the combined pivot-search collective. The candidate
+/// magnitude is always carried widened to `f64` (exact for both
+/// precisions), so the winner-selection logic is precision-independent;
+/// the row contents stay in the pipeline element type.
 #[derive(Clone, Debug)]
-struct PivotMsg {
+struct PivotMsg<E: Element> {
     /// `|candidate|` (negative infinity when the rank has no candidates).
     val: f64,
     /// Global row of the candidate.
     grow: u64,
     /// Full-width content of the candidate row.
-    row: Vec<f64>,
+    row: Vec<E>,
     /// Full-width content of the current top row `k` (supplied only by the
     /// rank owning the diagonal block).
-    currow: Vec<f64>,
+    currow: Vec<E>,
 }
 
-impl PivotMsg {
-    fn combine(a: PivotMsg, b: PivotMsg) -> PivotMsg {
+impl<E: Element> PivotMsg<E> {
+    fn combine(a: PivotMsg<E>, b: PivotMsg<E>) -> PivotMsg<E> {
         let (val, grow, row) = if b.val > a.val || (b.val == a.val && b.grow < a.grow) {
             (b.val, b.grow, b.row)
         } else {
@@ -113,10 +116,11 @@ impl PivotMsg {
     }
 }
 
-impl hpl_comm::Wire for PivotMsg {
+impl<E: Element> hpl_comm::Wire for PivotMsg<E> {
     // Core-crate wire ids live above 0x4000_0000 to stay clear of the comm
-    // crate's built-in ids.
-    const WIRE_ID: u32 = 0x4000_0001;
+    // crate's built-in ids; each precision gets its own id (f64 = ...01,
+    // f32 = ...02) so a schema mismatch is caught as corruption.
+    const WIRE_ID: u32 = 0x4000_0001 + E::ELEM_CODE;
 
     fn wire_encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.val.to_bits().to_le_bytes());
@@ -124,7 +128,7 @@ impl hpl_comm::Wire for PivotMsg {
         for vec in [&self.row, &self.currow] {
             out.extend_from_slice(&(vec.len() as u64).to_le_bytes());
             for v in vec {
-                out.extend_from_slice(&v.to_bits().to_le_bytes());
+                v.wire_write(out);
             }
         }
     }
@@ -133,21 +137,21 @@ impl hpl_comm::Wire for PivotMsg {
         fn word(bytes: &[u8], at: usize) -> Option<u64> {
             Some(u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?))
         }
-        fn floats(bytes: &[u8], at: &mut usize) -> Option<Vec<f64>> {
+        fn floats<E: Element>(bytes: &[u8], at: &mut usize) -> Option<Vec<E>> {
             let n = word(bytes, *at)? as usize;
             *at += 8;
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
-                v.push(f64::from_bits(word(bytes, *at)?));
-                *at += 8;
+                v.push(E::wire_read(bytes.get(*at..)?)?);
+                *at += E::WIRE_BYTES;
             }
             Some(v)
         }
         let val = f64::from_bits(word(bytes, 0)?);
         let grow = word(bytes, 8)?;
         let mut at = 16;
-        let row = floats(bytes, &mut at)?;
-        let currow = floats(bytes, &mut at)?;
+        let row = floats::<E>(bytes, &mut at)?;
+        let currow = floats::<E>(bytes, &mut at)?;
         if at != bytes.len() {
             return None;
         }
@@ -170,25 +174,25 @@ impl hpl_comm::Wire for PivotMsg {
 /// ([`hpl_threads::ledger`]), which panics on cross-thread overlap in debug
 /// builds (and under the `race-check` feature); claims are released at each
 /// pool barrier, matching the protocol's phase boundaries.
-struct SharedMat {
-    ptr: *mut f64,
+struct SharedMat<E: Element> {
+    ptr: *mut E,
     rows: usize,
     cols: usize,
     lda: usize,
 }
 
-// SAFETY: `SharedMat` is a pointer + dims bundle over an `f64` buffer that
-// the owning `panel_factor` call keeps alive for the whole region (the pool
-// region cannot outlive `panel_factor`'s stack frame). Which thread may
-// dereference what is governed by the tile-ownership protocol above and
+// SAFETY: `SharedMat` is a pointer + dims bundle over an element buffer
+// that the owning `panel_factor` call keeps alive for the whole region (the
+// pool region cannot outlive `panel_factor`'s stack frame). Which thread
+// may dereference what is governed by the tile-ownership protocol above and
 // checked at runtime by the aliasing ledger, not by these impls.
-unsafe impl Send for SharedMat {}
+unsafe impl<E: Element> Send for SharedMat<E> {}
 // SAFETY: see the `Send` impl; `&SharedMat` only exposes `unsafe` accessors
 // whose contracts restate the protocol.
-unsafe impl Sync for SharedMat {}
+unsafe impl<E: Element> Sync for SharedMat<E> {}
 
-impl SharedMat {
-    fn new(m: &mut MatMut<'_>) -> Self {
+impl<E: Element> SharedMat<E> {
+    fn new(m: &mut MatMut<'_, E>) -> Self {
         Self {
             ptr: m.as_mut_ptr(),
             rows: m.rows(),
@@ -205,7 +209,7 @@ impl SharedMat {
     /// row ranges access disjoint elements (the column stride skips other
     /// ranges' rows), so concurrent tile views are sound.
     #[track_caller]
-    unsafe fn rows_mut(&self, r0: usize, r1: usize) -> MatMut<'_> {
+    unsafe fn rows_mut(&self, r0: usize, r1: usize) -> MatMut<'_, E> {
         debug_assert!(r0 <= r1 && r1 <= self.rows);
         ledger::claim_excl(self.ptr as usize, r0, r1);
         // SAFETY: `r0` is in-bounds by the assert, so the offset stays
@@ -223,7 +227,7 @@ impl SharedMat {
     /// (guaranteed between barriers when readers only touch rows the
     /// protocol froze).
     #[track_caller]
-    unsafe fn view(&self) -> MatRef<'_> {
+    unsafe fn view(&self) -> MatRef<'_, E> {
         ledger::claim_shared(self.ptr as usize, 0, self.rows);
         // SAFETY: the caller promises no concurrent writer (ledger-checked:
         // a shared claim conflicts with any other thread's mutable claim).
@@ -263,10 +267,10 @@ impl<T> RacyCell<T> {
     }
 }
 
-struct FactState<'a> {
+struct FactState<'a, E: Element> {
     inp: &'a FactInput<'a>,
-    a: SharedMat,
-    top: SharedMat,
+    a: SharedMat<E>,
+    top: SharedMat<E>,
     ipiv: RacyCell<Vec<usize>>,
     /// Nanoseconds thread 0 spent in the pivot collectives.
     comm_ns: AtomicU64,
@@ -280,7 +284,7 @@ struct FactState<'a> {
     jb: usize,
 }
 
-impl FactState<'_> {
+impl<E: Element> FactState<'_, E> {
     /// First local panel row still unfactored before step `k`.
     #[inline]
     fn cand_start(&self, k: usize) -> usize {
@@ -327,7 +331,10 @@ impl FactState<'_> {
 /// Factors the local panel `a` (all trailing local rows x `jb` columns;
 /// on the diagonal-owning process row the first `jb` rows are the diagonal
 /// block). Collective over the process column. See module docs.
-pub fn panel_factor(inp: &FactInput<'_>, a: &mut MatMut<'_>) -> Result<FactOut, HplError> {
+pub fn panel_factor<E: Element>(
+    inp: &FactInput<'_>,
+    a: &mut MatMut<'_, E>,
+) -> Result<FactOut<E>, HplError> {
     // The span covers the whole factorization wall, pivot collectives
     // included; the driver records those separately as a `FactComm` span
     // from `FactOut::comm_seconds` (they may run on pool worker threads,
@@ -342,7 +349,7 @@ pub fn panel_factor(inp: &FactInput<'_>, a: &mut MatMut<'_>) -> Result<FactOut, 
             "diagonal owner must hold the full diagonal block"
         );
     }
-    let mut top = Matrix::zeros(jb, jb);
+    let mut top = Matrix::<E>::zeros(jb, jb);
     let mut top_view = top.view_mut();
     let st = FactState {
         inp,
@@ -384,7 +391,7 @@ pub fn panel_factor(inp: &FactInput<'_>, a: &mut MatMut<'_>) -> Result<FactOut, 
 }
 
 /// Recursive column splitting (HPL's `RFACT` driver with `NDIV`/`NBMIN`).
-fn rec_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
+fn rec_factor<E: Element>(st: &FactState<'_, E>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
     let w = hi - lo;
     if w <= st.inp.opts.nbmin {
         base_factor(st, ctx, lo, hi);
@@ -422,7 +429,7 @@ fn rec_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
                     hpl_blas::Uplo::Lower,
                     Trans::No,
                     Diag::Unit,
-                    1.0,
+                    E::ONE,
                     l11,
                     &mut tgt,
                 );
@@ -440,7 +447,7 @@ fn rec_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
                 let (l_cols, mut rest) = rows.submatrix_mut(0, 0, r1 - r0, hi).split_at_col(phi);
                 let l = l_cols.as_ref().submatrix(0, plo, r1 - r0, phi - plo);
                 let mut c = rest.submatrix_mut(0, 0, r1 - r0, hi - phi);
-                dgemm(Trans::No, Trans::No, -1.0, l, u, 1.0, &mut c);
+                dgemm(Trans::No, Trans::No, -E::ONE, l, u, E::ONE, &mut c);
             });
             ctx.barrier();
         }
@@ -448,7 +455,7 @@ fn rec_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
 }
 
 /// Unblocked factorization of columns `lo..hi` (the recursion base).
-fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
+fn base_factor<E: Element>(st: &FactState<'_, E>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
     for k in lo..hi {
         match st.inp.opts.variant {
             FactVariant::Right => {}
@@ -467,7 +474,7 @@ fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
                             hpl_blas::Uplo::Lower,
                             Trans::No,
                             Diag::Unit,
-                            1.0,
+                            E::ONE,
                             l11,
                             &mut tgt,
                         );
@@ -517,7 +524,7 @@ fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
                         let mut c = rest.submatrix_mut(0, 0, r1 - r0, hi - k - 1);
                         for j in 0..c.cols() {
                             let yj = yrow.get(0, j);
-                            if yj != 0.0 {
+                            if yj != E::ZERO {
                                 hpl_blas::axpy_sub(yj, x, c.col_mut(j));
                             }
                         }
@@ -537,9 +544,9 @@ fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
                     // This runs once per panel column: scratch comes from
                     // the arena pool so the steady state stays
                     // allocation-free (hot-path-alloc contract).
-                    hpl_blas::arena::with_scratch(hi - k - 1, |contrib| {
+                    E::with_scratch(hi - k - 1, |contrib| {
                         for (jj, c) in contrib.iter_mut().enumerate() {
-                            let mut s = 0.0;
+                            let mut s = E::ZERO;
                             for p in lo..k {
                                 s += topv.get(k, p) * topv.get(p, k + 1 + jj);
                             }
@@ -562,22 +569,22 @@ fn base_factor(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, hi: usize) {
 
 /// Lazy column-k update used by the Left and Crout variants:
 /// `a[cand.., k] -= a[cand.., lo..k] * top[lo..k, k]`, tile-parallel.
-fn update_col(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, k: usize) {
+fn update_col<E: Element>(st: &FactState<'_, E>, ctx: &Ctx<'_>, lo: usize, k: usize) {
     // SAFETY: `top` frozen during this parallel phase.
     let topv = unsafe { st.top.view() };
     // Per-column workspaces come from the arena pool (nested regions check
     // out separate buffers), keeping the lazy column update allocation-free
     // in the steady state — this is the innermost FACT loop.
-    hpl_blas::arena::with_scratch(k - lo, |u| {
+    E::with_scratch(k - lo, |u| {
         for (p, up) in u.iter_mut().enumerate() {
             *up = topv.get(lo + p, k);
         }
         st.for_own_tiles(ctx, st.cand_start(k), |r0, r1| {
             // SAFETY: own tile, parallel phase.
             let mut rows = unsafe { st.a.rows_mut(r0, r1) };
-            hpl_blas::arena::with_scratch(r1 - r0, |acc| {
+            E::with_scratch(r1 - r0, |acc| {
                 for (p, &up) in u.iter().enumerate() {
-                    if up != 0.0 {
+                    if up != E::ZERO {
                         hpl_blas::axpy_add(up, rows.col(lo + p), acc);
                     }
                 }
@@ -590,7 +597,7 @@ fn update_col(st: &FactState<'_>, ctx: &Ctx<'_>, lo: usize, k: usize) {
 /// One pivot selection + swap at column `k`: thread-level argmax reduction,
 /// then the process-column collective on thread 0, then installation of the
 /// winning row. Returns `false` if a zero pivot was found (error flag set).
-fn pivot_step(st: &FactState<'_>, ctx: &Ctx<'_>, k: usize) -> bool {
+fn pivot_step<E: Element>(st: &FactState<'_, E>, ctx: &Ctx<'_>, k: usize) -> bool {
     // Thread-level argmax over this thread's tiles.
     let mut best_v = f64::NEG_INFINITY;
     let mut best_i = usize::MAX;
@@ -601,6 +608,7 @@ fn pivot_step(st: &FactState<'_>, ctx: &Ctx<'_>, k: usize) -> bool {
         // first-max winners with a strict `>` reproduces the flat
         // first-index-wins element loop exactly.
         let (off, av) = hpl_blas::argmax_abs(rows.col(k));
+        let av = av.to_f64();
         if av > best_v {
             best_v = av;
             best_i = r0 + off;
@@ -710,7 +718,7 @@ mod tests {
     fn ledger_catches_overlapping_rows_mut() {
         assert!(ledger::enabled(), "test builds must have the ledger on");
         let pool = Pool::new(2);
-        let mut m = Matrix::zeros(32, 4);
+        let mut m = Matrix::<f64>::zeros(32, 4);
         let mut mv = m.view_mut();
         let shared = SharedMat::new(&mut mv);
         let step = AtomicUsize::new(0);
@@ -759,7 +767,7 @@ mod tests {
     #[test]
     fn ledger_accepts_disjoint_tiles_and_frozen_reads() {
         let pool = Pool::new(4);
-        let mut m = Matrix::zeros(64, 4);
+        let mut m = Matrix::<f64>::zeros(64, 4);
         let mut mv = m.view_mut();
         let shared = SharedMat::new(&mut mv);
         pool.run(4, |ctx| {

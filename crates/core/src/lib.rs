@@ -52,11 +52,14 @@ pub mod update;
 pub mod verify;
 
 pub use config::{CkptOpts, FactOpts, FactVariant, HplConfig, Schedule};
-pub use driver::{run_hpl, run_hpl_with, HplResult, IterTiming, ProgressSample};
+pub use driver::{
+    factorize, run_hpl, run_hpl_with, run_hpl_with_element, HplResult, IterTiming, PipelineOut,
+    ProgressSample,
+};
 pub use error::HplError;
 pub use fact::{panel_factor, FactInput, FactOut};
 pub use local::LocalMatrix;
 pub use rng::MatGen;
 pub use solve::back_substitute;
 pub use swap::RowSwapAlgo;
-pub use verify::{verify, verify_with, Residuals};
+pub use verify::{verify, verify_with, verify_with_eps, Residuals};

@@ -7,14 +7,18 @@
 //! remains at the end.
 
 use hpl_blas::mat::{MatMut, MatRef};
+use hpl_blas::Element;
 use hpl_comm::Grid;
 
 use crate::dist::Axis;
 use crate::rng::MatGen;
 
 /// One rank's slice of the global `N x (N+1)` augmented matrix, plus the
-/// index machinery to navigate it.
-pub struct LocalMatrix {
+/// index machinery to navigate it. Generic over the pipeline [`Element`]:
+/// entries are always *generated* in `f64` (one seeded generator serves
+/// both precisions, and verification regenerates in `f64`) and demoted on
+/// store for an `f32` factorization.
+pub struct LocalMatrix<E: Element = f64> {
     /// Row distribution (dimension `N` over `P` process rows).
     pub rows: Axis,
     /// Column distribution (dimension `N + 1` over `Q` process columns).
@@ -23,10 +27,10 @@ pub struct LocalMatrix {
     pub mloc: usize,
     /// Local column count (including the `b` column if owned).
     pub nloc: usize,
-    data: Vec<f64>,
+    data: Vec<E>,
 }
 
-impl LocalMatrix {
+impl<E: Element> LocalMatrix<E> {
     /// Allocates and fills this rank's slice of the seeded random system.
     pub fn generate(n: usize, nb: usize, grid: &Grid, seed: u64) -> Self {
         let gen = MatGen::new(seed, n);
@@ -58,12 +62,12 @@ impl LocalMatrix {
         };
         let mloc = rows.local_len();
         let nloc = cols.local_len();
-        let mut data = vec![0.0f64; mloc * nloc];
+        let mut data = vec![E::ZERO; mloc * nloc];
         if mloc > 0 {
             for lj in 0..nloc {
                 let j = cols.to_global(lj);
                 for li in 0..mloc {
-                    data[lj * mloc + li] = fill(rows.to_global(li), j);
+                    data[lj * mloc + li] = E::from_f64(fill(rows.to_global(li), j));
                 }
             }
         }
@@ -77,12 +81,12 @@ impl LocalMatrix {
     }
 
     /// Full local view.
-    pub fn view_mut(&mut self) -> MatMut<'_> {
+    pub fn view_mut(&mut self) -> MatMut<'_, E> {
         MatMut::from_slice(&mut self.data, self.mloc, self.nloc, self.mloc.max(1))
     }
 
     /// Full local view (immutable).
-    pub fn view(&self) -> MatRef<'_> {
+    pub fn view(&self) -> MatRef<'_, E> {
         MatRef::from_slice(&self.data, self.mloc, self.nloc, self.mloc.max(1))
     }
 
@@ -93,24 +97,24 @@ impl LocalMatrix {
     }
 
     /// Raw storage (column-major).
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[E] {
         &self.data
     }
 
     /// Raw mutable storage (column-major).
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
         &mut self.data
     }
 
     /// Element by local indices.
     #[inline]
-    pub fn get(&self, li: usize, lj: usize) -> f64 {
+    pub fn get(&self, li: usize, lj: usize) -> E {
         self.data[lj * self.lda() + li]
     }
 
     /// Writes element by local indices.
     #[inline]
-    pub fn set(&mut self, li: usize, lj: usize, v: f64) {
+    pub fn set(&mut self, li: usize, lj: usize, v: E) {
         let lda = self.lda();
         self.data[lj * lda + li] = v;
     }
@@ -127,7 +131,7 @@ mod tests {
         let (n, nb, p, q) = (37usize, 5usize, 2usize, 3usize);
         let locals = Universe::run(p * q, |comm| {
             let grid = Grid::new(comm, p, q, GridOrder::ColumnMajor);
-            let lm = LocalMatrix::generate(n, nb, &grid, 7);
+            let lm = LocalMatrix::<f64>::generate(n, nb, &grid, 7);
             let mut entries = Vec::new();
             for lj in 0..lm.nloc {
                 for li in 0..lm.mloc {
@@ -156,7 +160,7 @@ mod tests {
     fn single_rank_owns_everything() {
         let out = Universe::run(1, |comm| {
             let grid = Grid::new(comm, 1, 1, GridOrder::ColumnMajor);
-            let lm = LocalMatrix::generate(10, 4, &grid, 1);
+            let lm = LocalMatrix::<f64>::generate(10, 4, &grid, 1);
             (lm.mloc, lm.nloc)
         });
         assert_eq!(out, vec![(10, 11)]);

@@ -9,8 +9,8 @@
 use std::sync::OnceLock;
 
 use hpl_blas::mat::{MatMut, MatRef, Matrix};
-use hpl_blas::{Kernel, PackedA, Trans};
-use hpl_comm::{panel_bcast, panel_bcast_checked, BcastAlgo, Communicator, Grid};
+use hpl_blas::{Element, Kernel, PackedA, Trans};
+use hpl_comm::{panel_bcast, panel_bcast_checked, BcastAlgo, Communicator, Grid, WireElem};
 
 use crate::dist::Axis;
 use crate::error::HplError;
@@ -45,7 +45,7 @@ pub struct PanelGeom {
 
 impl PanelGeom {
     /// Computes the geometry of the panel starting at `k0` with width `jb`.
-    pub fn new(a: &LocalMatrix, grid: &Grid, k0: usize, jb: usize) -> Self {
+    pub fn new<E: Element>(a: &LocalMatrix<E>, grid: &Grid, k0: usize, jb: usize) -> Self {
         let rows: Axis = a.rows;
         let cols: Axis = a.cols;
         let pcol = cols.owner(k0);
@@ -77,10 +77,10 @@ impl PanelGeom {
 
 /// Copies this rank's panel columns out of the local matrix into a
 /// contiguous host buffer (`mp x jb`, lda = mp). The H2D/D2H analogue.
-pub fn panel_to_host(a: &LocalMatrix, g: &PanelGeom) -> Vec<f64> {
+pub fn panel_to_host<E: Element>(a: &LocalMatrix<E>, g: &PanelGeom) -> Vec<E> {
     let _span = hpl_trace::span(hpl_trace::Phase::Transfer);
     debug_assert!(g.in_panel_col);
-    let mut host = vec![0.0f64; g.mp * g.jb];
+    let mut host = vec![E::ZERO; g.mp * g.jb];
     let av = a.view();
     for j in 0..g.jb {
         let src = &av.col(g.lj0 + j)[g.lb..g.lb + g.mp];
@@ -93,7 +93,12 @@ pub fn panel_to_host(a: &LocalMatrix, g: &PanelGeom) -> Vec<f64> {
 /// diagonal-owning row the first `jb` rows are taken from the replicated
 /// `top` (the factored diagonal block) instead of the possibly stale local
 /// rows.
-pub fn panel_from_host(a: &mut LocalMatrix, g: &PanelGeom, host: &[f64], top: &Matrix) {
+pub fn panel_from_host<E: Element>(
+    a: &mut LocalMatrix<E>,
+    g: &PanelGeom,
+    host: &[E],
+    top: &Matrix<E>,
+) {
     let _span = hpl_trace::span(hpl_trace::Phase::Transfer);
     debug_assert!(g.in_panel_col);
     let (lb, mp, jb, lj0) = (g.lb, g.mp, g.jb, g.lj0);
@@ -111,11 +116,11 @@ pub fn panel_from_host(a: &mut LocalMatrix, g: &PanelGeom, host: &[f64], top: &M
 
 /// The panel payload every rank holds after LBCAST: the replicated factored
 /// diagonal block, this process row's slice of `L2`, and the pivot vector.
-pub struct PanelL {
+pub struct PanelL<E: Element = f64> {
     /// `jb x jb` factored diagonal block (unit-lower `L1` + `U11`).
-    pub top: Matrix,
+    pub top: Matrix<E>,
     /// Local `L2` (`l2_rows x jb`, column-major, lda = l2_rows).
-    pub l2: Vec<f64>,
+    pub l2: Vec<E>,
     /// Global pivot row per panel column.
     pub ipiv: Vec<usize>,
     /// Rows of `l2`.
@@ -124,12 +129,12 @@ pub struct PanelL {
     pub jb: usize,
     /// `L2` packed once into DGEMM strip layout on first use, then shared
     /// by every update section and worker thread of the iteration.
-    l2_packed: OnceLock<PackedA>,
+    l2_packed: OnceLock<PackedA<E>>,
 }
 
-impl PanelL {
+impl<E: Element> PanelL<E> {
     /// View of `L2`.
-    pub fn l2_view(&self) -> MatRef<'_> {
+    pub fn l2_view(&self) -> MatRef<'_, E> {
         MatRef::from_slice(&self.l2, self.l2_rows, self.jb, self.l2_rows.max(1))
     }
 
@@ -137,7 +142,7 @@ impl PanelL {
     /// and reused afterwards — across the `n1`/`n2` split-update sections
     /// and across `gemm_update_parallel` workers. The kernel is frozen
     /// per process, so one panel only ever sees one `kern`.
-    pub fn l2_packed(&self, kern: Kernel) -> &PackedA {
+    pub fn l2_packed(&self, kern: Kernel) -> &PackedA<E> {
         self.l2_packed
             .get_or_init(|| PackedA::pack(kern, Trans::No, self.l2_view()))
     }
@@ -148,7 +153,12 @@ impl PanelL {
 /// `host` is the factored host panel (`mp x jb`); on the current row its
 /// leading `jb` rows (the stale diagonal block) are skipped — `top` carries
 /// that data in factored form.
-pub fn pack_panel(g: &PanelGeom, top: &Matrix, ipiv: &[usize], host: &[f64]) -> Vec<f64> {
+pub fn pack_panel<E: Element>(
+    g: &PanelGeom,
+    top: &Matrix<E>,
+    ipiv: &[usize],
+    host: &[E],
+) -> Vec<E> {
     let _span = hpl_trace::span(hpl_trace::Phase::Transfer);
     let jb = g.jb;
     let skip = if g.in_curr_row { jb } else { 0 };
@@ -161,12 +171,24 @@ pub fn pack_panel(g: &PanelGeom, top: &Matrix, ipiv: &[usize], host: &[f64]) -> 
     for j in 0..jb {
         buf.extend_from_slice(&host[j * g.mp + skip..j * g.mp + g.mp]);
     }
-    buf.extend(ipiv.iter().map(|&p| p as f64));
+    // Pivot indices ride the panel buffer as elements; an f32 mantissa
+    // represents every integer up to 2^24 exactly, far beyond any global
+    // row index this in-process benchmark can reach.
+    buf.extend(ipiv.iter().map(|&p| {
+        let e = E::from_f64(p as f64);
+        debug_assert_eq!(
+            e.to_f64() as usize,
+            p,
+            "pivot index not exact in {}",
+            E::NAME
+        );
+        e
+    }));
     buf
 }
 
 /// Inverse of [`pack_panel`].
-pub fn unpack_panel(g: &PanelGeom, buf: &[f64]) -> PanelL {
+pub fn unpack_panel<E: Element>(g: &PanelGeom, buf: &[E]) -> PanelL<E> {
     let jb = g.jb;
     let l2_rows = g.l2_rows;
     assert_eq!(
@@ -178,7 +200,7 @@ pub fn unpack_panel(g: &PanelGeom, buf: &[f64]) -> PanelL {
     let l2 = buf[jb * jb..jb * jb + l2_rows * jb].to_vec();
     let ipiv = buf[jb * jb + l2_rows * jb..]
         .iter()
-        .map(|&v| v as usize)
+        .map(|&v| v.to_f64() as usize)
         .collect();
     PanelL {
         top,
@@ -198,18 +220,18 @@ pub fn unpack_panel(g: &PanelGeom, buf: &[f64]) -> PanelL {
 /// bit-flip is detected and repaired by retransmission instead of silently
 /// corrupting every downstream update. Fault-free runs keep the plain
 /// broadcast and its exact message structure.
-pub fn lbcast(
+pub fn lbcast<E: WireElem>(
     row_comm: &Communicator,
     algo: BcastAlgo,
     g: &PanelGeom,
-    packed: Option<Vec<f64>>,
-) -> Result<PanelL, HplError> {
+    packed: Option<Vec<E>>,
+) -> Result<PanelL<E>, HplError> {
     let mut buf = match packed {
         Some(b) => {
             debug_assert!(g.in_panel_col);
             b
         }
-        None => vec![0.0f64; g.jb * g.jb + g.l2_rows * g.jb + g.jb],
+        None => vec![E::ZERO; g.jb * g.jb + g.l2_rows * g.jb + g.jb],
     };
     if row_comm.fault_injector().is_some() {
         panel_bcast_checked(row_comm, algo, g.pcol, &mut buf)?;
@@ -221,6 +243,6 @@ pub fn lbcast(
 
 /// Convenience: extracts the trailing-rows view of the panel columns as a
 /// mutable matrix view (used by the factorization).
-pub fn host_view<'a>(host: &'a mut [f64], g: &PanelGeom) -> MatMut<'a> {
+pub fn host_view<'a, E: Element>(host: &'a mut [E], g: &PanelGeom) -> MatMut<'a, E> {
     MatMut::from_slice(host, g.mp, g.jb, g.mp.max(1))
 }

@@ -5,7 +5,7 @@
 //! column-communicator broadcast of each solved block.
 
 use hpl_blas::{dtrsv, Diag, Trans, Uplo};
-use hpl_comm::{allgatherv, bcast, reduce, Grid, Op};
+use hpl_comm::{allgatherv, bcast_vec, reduce, Grid, Op, WireElem};
 
 use crate::error::HplError;
 use crate::local::LocalMatrix;
@@ -14,15 +14,19 @@ use crate::local::LocalMatrix;
 /// the distributed local matrices and `b_hat` is the transformed right-hand
 /// side in global column `n`. Returns the full solution vector, replicated
 /// on every rank. Collective over the grid.
-pub fn back_substitute(a: &LocalMatrix, grid: &Grid, nb: usize) -> Result<Vec<f64>, HplError> {
+pub fn back_substitute<E: WireElem>(
+    a: &LocalMatrix<E>,
+    grid: &Grid,
+    nb: usize,
+) -> Result<Vec<E>, HplError> {
     let n = a.rows.n;
     let cb = a.cols.owner(n); // process column holding b
     let nblocks = n.div_ceil(nb);
     // Accumulated U[rows above solved blocks] * x contributions for this
     // rank's local rows (only its own column blocks contribute).
-    let mut contrib = vec![0.0f64; a.mloc];
+    let mut contrib = vec![E::ZERO; a.mloc];
     // Solved x blocks this process column owns, keyed by local col offset.
-    let mut x_parts: Vec<(usize, Vec<f64>)> = Vec::new();
+    let mut x_parts: Vec<(usize, Vec<E>)> = Vec::new();
     let av = a.view();
 
     for j in (0..nblocks).rev() {
@@ -30,12 +34,12 @@ pub fn back_substitute(a: &LocalMatrix, grid: &Grid, nb: usize) -> Result<Vec<f6
         let jbw = nb.min(n - j0);
         let prow_j = a.rows.owner(j0);
         let pcol_j = a.cols.owner(j0);
-        let mut xj: Option<Vec<f64>> = None;
+        let mut xj: Option<Vec<E>> = None;
         if grid.myrow() == prow_j {
             // Partial r_j on this rank: b part (if we hold b) minus our
             // accumulated contributions for the block's rows.
             let lb = a.rows.to_local(j0);
-            let mut r = vec![0.0f64; jbw];
+            let mut r = vec![E::ZERO; jbw];
             if grid.mycol() == cb {
                 let ljb = a.cols.to_local(n);
                 for (i, ri) in r.iter_mut().enumerate() {
@@ -58,11 +62,11 @@ pub fn back_substitute(a: &LocalMatrix, grid: &Grid, nb: usize) -> Result<Vec<f6
         if grid.mycol() == pcol_j {
             // Broadcast x_j down the process column and fold it into the
             // contributions of all rows above the block.
-            let xj = bcast(grid.col(), prow_j, xj)?;
+            let xj = bcast_vec(grid.col(), prow_j, xj)?;
             let lc = a.cols.to_local(j0);
             let above = a.rows.local_lower_bound(j0);
             for (dj, &xv) in xj.iter().enumerate() {
-                if xv != 0.0 {
+                if xv != E::ZERO {
                     let col = av.col(lc + dj);
                     for (ci, &uv) in contrib.iter_mut().zip(col).take(above) {
                         *ci += uv * xv;
@@ -79,17 +83,17 @@ pub fn back_substitute(a: &LocalMatrix, grid: &Grid, nb: usize) -> Result<Vec<f6
 /// Gathers the block-cyclic solution pieces into a full vector replicated
 /// on every rank: process row 0 allgathers along its row communicator, then
 /// broadcasts down each process column.
-fn assemble_solution(
-    a: &LocalMatrix,
+fn assemble_solution<E: WireElem>(
+    a: &LocalMatrix<E>,
     grid: &Grid,
     nb: usize,
-    mut x_parts: Vec<(usize, Vec<f64>)>,
-) -> Result<Vec<f64>, HplError> {
+    mut x_parts: Vec<(usize, Vec<E>)>,
+) -> Result<Vec<E>, HplError> {
     let n = a.rows.n;
     x_parts.sort_by_key(|&(lc, _)| lc);
     let full = if grid.myrow() == 0 {
         // Concatenate my column blocks in local order.
-        let mine: Vec<f64> = x_parts
+        let mine: Vec<E> = x_parts
             .iter()
             .flat_map(|(_, v)| v.iter().copied())
             .collect();
@@ -106,7 +110,7 @@ fn assemble_solution(
         for c in 1..grid.npcol() {
             offsets[c] = offsets[c - 1] + counts[c - 1];
         }
-        let mut x = vec![0.0f64; n];
+        let mut x = vec![E::ZERO; n];
         for c in 0..grid.npcol() {
             for l in 0..counts[c] {
                 let g = crate::dist::local_to_global(l, nb, c, grid.npcol());
@@ -117,12 +121,14 @@ fn assemble_solution(
     } else {
         None
     };
-    Ok(bcast(grid.col(), 0, full)?)
+    Ok(bcast_vec(grid.col(), 0, full)?)
 }
 
 /// Reference serial check helper: multiplies the *original* generated
 /// matrix by `x` and returns `A x` (length `n`), computed distributed and
-/// reduced to every rank. Used by verification.
+/// reduced to every rank. Deliberately `f64`-only: verification and the
+/// mixed-precision residual both evaluate `A x` against the full-precision
+/// regenerated system regardless of the factorization element.
 pub fn distributed_matvec(
     a_orig: &LocalMatrix,
     grid: &Grid,

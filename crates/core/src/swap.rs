@@ -16,7 +16,8 @@
 use std::collections::HashMap;
 
 use hpl_blas::mat::{MatMut, Matrix};
-use hpl_comm::{allgatherv, allgatherv_rd, gatherv, scatterv, Communicator};
+use hpl_blas::Element;
+use hpl_comm::{allgatherv, allgatherv_rd, gatherv, scatterv, Communicator, WireElem};
 
 use crate::dist::Axis;
 use crate::error::HplError;
@@ -129,14 +130,14 @@ impl ColRange {
 
 /// Copies local row `li` over `range` into `buf` (a "gather" GPU kernel in
 /// rocHPL).
-fn read_row(a: &MatMut<'_>, li: usize, range: ColRange, buf: &mut Vec<f64>) {
+fn read_row<E: Element>(a: &MatMut<'_, E>, li: usize, range: ColRange, buf: &mut Vec<E>) {
     for lj in range.start..range.end {
         buf.push(a.get(li, lj));
     }
 }
 
 /// Writes `vals` into local row `li` over `range` (the "scatter" kernel).
-fn write_row(a: &mut MatMut<'_>, li: usize, range: ColRange, vals: &[f64]) {
+fn write_row<E: Element>(a: &mut MatMut<'_, E>, li: usize, range: ColRange, vals: &[E]) {
     debug_assert_eq!(vals.len(), range.width());
     for (off, lj) in (range.start..range.end).enumerate() {
         a.set(li, lj, vals[off]);
@@ -146,12 +147,12 @@ fn write_row(a: &mut MatMut<'_>, li: usize, range: ColRange, vals: &[f64]) {
 /// The received side of one section's row-swap communication: the
 /// assembled `U` block plus the move rows destined for this rank, not yet
 /// scattered into the local matrix.
-pub struct RsData {
+pub struct RsData<E: Element = f64> {
     /// Replicated `U` block (`jb x width`), raw (pre-DTRSM).
-    pub u: Matrix,
+    pub u: Matrix<E>,
     /// `(local destination row, row content)` pairs, to be applied by
     /// [`apply_moves`].
-    pub my_moves: Vec<(usize, Vec<f64>)>,
+    pub my_moves: Vec<(usize, Vec<E>)>,
 }
 
 /// The communication half of the row-swap phase over one process column:
@@ -162,15 +163,15 @@ pub struct RsData {
 ///
 /// Collective over `col_comm`; all ranks of the process column must call it
 /// with the same `plan`.
-pub fn row_swap_comm(
+pub fn row_swap_comm<E: WireElem>(
     col_comm: &Communicator,
     rows: Axis,
     plan: &SwapPlan,
     prow_curr: usize,
-    a: &MatMut<'_>,
+    a: &MatMut<'_, E>,
     range: ColRange,
     algo: RowSwapAlgo,
-) -> Result<RsData, HplError> {
+) -> Result<RsData<E>, HplError> {
     let _span = hpl_trace::span(hpl_trace::Phase::RowSwap);
     let w = range.width();
     let jb = plan.jb;
@@ -197,14 +198,14 @@ pub fn row_swap_comm(
     // ---- Move routing: gather sources to the current row, scatter to
     // destinations (paper: "scatter the NB source rows to their destination
     // processes ... via a Scatterv"). ----
-    let mut my_moves: Vec<(usize, Vec<f64>)> = Vec::new();
+    let mut my_moves: Vec<(usize, Vec<E>)> = Vec::new();
     if !plan.moves.is_empty() {
         let gathered = gatherv(col_comm, prow_curr, &mv_chunk)?;
         let scatter_buf = gathered.map(|flat| {
             // `flat` concatenates each rank's chunk (moves it owns the
             // *source* of, in move order). Rebuild per-move rows, then
             // reorder by destination owner for the scatter.
-            let mut per_move: Vec<Vec<f64>> = vec![Vec::new(); plan.moves.len()];
+            let mut per_move: Vec<Vec<E>> = vec![Vec::new(); plan.moves.len()];
             let mut offset_of_rank = vec![0usize; col_comm.size()];
             // Prefix offsets: rank r's chunk starts after all lower ranks'.
             let mut counts = vec![0usize; col_comm.size()];
@@ -233,7 +234,7 @@ pub fn row_swap_comm(
             }
             (out, dst_counts)
         });
-        let mine: Vec<f64> = match scatter_buf {
+        let mine: Vec<E> = match scatter_buf {
             Some((buf, counts)) => scatterv(col_comm, prow_curr, Some((&buf, &counts)))?,
             None => scatterv(col_comm, prow_curr, None)?,
         };
@@ -266,7 +267,7 @@ pub fn row_swap_comm(
         offset_of_rank[r] = offset_of_rank[r - 1] + counts[r - 1];
     }
     let mut cursor = offset_of_rank;
-    let mut u = Matrix::zeros(jb, w);
+    let mut u = Matrix::<E>::zeros(jb, w);
     for (k, &src) in plan.u_src.iter().enumerate() {
         let r = rows.owner(src);
         let row = &flat[cursor[r]..cursor[r] + w];
@@ -280,7 +281,7 @@ pub fn row_swap_comm(
 
 /// Scatters previously communicated move rows back into the local matrix
 /// (rocHPL's "scatter" GPU kernel).
-pub fn apply_moves(a: &mut MatMut<'_>, range: ColRange, moves: &[(usize, Vec<f64>)]) {
+pub fn apply_moves<E: Element>(a: &mut MatMut<'_, E>, range: ColRange, moves: &[(usize, Vec<E>)]) {
     let _span = hpl_trace::span(hpl_trace::Phase::Scatter);
     for (li, vals) in moves {
         write_row(a, *li, range, vals);
@@ -289,15 +290,15 @@ pub fn apply_moves(a: &mut MatMut<'_>, range: ColRange, moves: &[(usize, Vec<f64
 
 /// The complete row-swap phase: communicate, scatter the moves, and return
 /// the assembled `U` block.
-pub fn row_swap(
+pub fn row_swap<E: WireElem>(
     col_comm: &Communicator,
     rows: Axis,
     plan: &SwapPlan,
     prow_curr: usize,
-    a: &mut MatMut<'_>,
+    a: &mut MatMut<'_, E>,
     range: ColRange,
     algo: RowSwapAlgo,
-) -> Result<Matrix, HplError> {
+) -> Result<Matrix<E>, HplError> {
     let data = row_swap_comm(col_comm, rows, plan, prow_curr, a, range, algo)?;
     apply_moves(a, range, &data.my_moves);
     Ok(data.u)

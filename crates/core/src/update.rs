@@ -6,7 +6,9 @@
 //! `hpl-blas`'s packed DGEMM on the rank's thread.
 
 use hpl_blas::mat::{MatMut, Matrix};
-use hpl_blas::{dgemm_packed, dgemm_parallel_packed, dtrsm, kernels, Diag, Side, Trans, Uplo};
+use hpl_blas::{
+    dgemm_packed, dgemm_parallel_packed, dtrsm, kernels, Diag, Element, Side, Trans, Uplo,
+};
 use hpl_threads::Pool;
 
 use crate::panel::{PanelGeom, PanelL};
@@ -15,7 +17,7 @@ use crate::swap::ColRange;
 /// Applies `U <- L1^{-1} U` using the replicated unit-lower factor in
 /// `panel.top` (every rank performs this redundantly on its own columns,
 /// exactly like rocHPL where it is the first kernel of the update).
-pub fn solve_u(panel: &PanelL, u: &mut Matrix) {
+pub fn solve_u<E: Element>(panel: &PanelL<E>, u: &mut Matrix<E>) {
     let _span = hpl_trace::span(hpl_trace::Phase::Update);
     debug_assert_eq!(u.rows(), panel.jb);
     let mut uv = u.view_mut();
@@ -24,7 +26,7 @@ pub fn solve_u(panel: &PanelL, u: &mut Matrix) {
         Uplo::Lower,
         Trans::No,
         Diag::Unit,
-        1.0,
+        E::ONE,
         panel.top.view(),
         &mut uv,
     );
@@ -34,7 +36,7 @@ pub fn solve_u(panel: &PanelL, u: &mut Matrix) {
 /// block (only meaningful on ranks in the diagonal-owning process row):
 /// after the iteration, global rows `k0..k0+jb` of the trailing columns
 /// must hold the final `U` factor.
-pub fn store_u(g: &PanelGeom, u: &Matrix, a: &mut MatMut<'_>, range: ColRange) {
+pub fn store_u<E: Element>(g: &PanelGeom, u: &Matrix<E>, a: &mut MatMut<'_, E>, range: ColRange) {
     let _span = hpl_trace::span(hpl_trace::Phase::Update);
     debug_assert!(g.in_curr_row);
     debug_assert_eq!(u.cols(), range.width());
@@ -49,7 +51,13 @@ pub fn store_u(g: &PanelGeom, u: &Matrix, a: &mut MatMut<'_>, range: ColRange) {
 ///
 /// `below` is every trailing local row strictly under the diagonal block —
 /// `l2_rows` rows starting at `lb` (+`jb` on the current row).
-pub fn gemm_update(g: &PanelGeom, panel: &PanelL, u: &Matrix, a: &mut MatMut<'_>, range: ColRange) {
+pub fn gemm_update<E: Element>(
+    g: &PanelGeom,
+    panel: &PanelL<E>,
+    u: &Matrix<E>,
+    a: &mut MatMut<'_, E>,
+    range: ColRange,
+) {
     let w = range.width();
     if w == 0 || g.l2_rows == 0 {
         return;
@@ -63,12 +71,12 @@ pub fn gemm_update(g: &PanelGeom, panel: &PanelL, u: &Matrix, a: &mut MatMut<'_>
     let kern = kernels::active();
     dgemm_packed(
         kern,
-        -1.0,
+        -E::ONE,
         panel.l2_packed(kern),
         0,
         Trans::No,
         u.view(),
-        1.0,
+        E::ONE,
         &mut c,
     );
 }
@@ -76,11 +84,11 @@ pub fn gemm_update(g: &PanelGeom, panel: &PanelL, u: &Matrix, a: &mut MatMut<'_>
 /// [`gemm_update`] on `threads` pool threads (2D work-stealing macro
 /// tiles, bitwise identical to the serial kernel within one kernel
 /// choice) — the device-parallel update path.
-pub fn gemm_update_parallel(
+pub fn gemm_update_parallel<E: Element>(
     g: &PanelGeom,
-    panel: &PanelL,
-    u: &Matrix,
-    a: &mut MatMut<'_>,
+    panel: &PanelL<E>,
+    u: &Matrix<E>,
+    a: &mut MatMut<'_, E>,
     range: ColRange,
     pool: &Pool,
     threads: usize,
@@ -100,22 +108,22 @@ pub fn gemm_update_parallel(
         kern,
         pool,
         threads,
-        -1.0,
+        -E::ONE,
         panel.l2_packed(kern),
         Trans::No,
         u.view(),
-        1.0,
+        E::ONE,
         &mut c,
     );
 }
 
 /// Convenience composition used by the simple schedule: solve `U`, store it
 /// on the diagonal row, and apply the DGEMM.
-pub fn full_update(
+pub fn full_update<E: Element>(
     g: &PanelGeom,
-    panel: &PanelL,
-    mut u: Matrix,
-    a: &mut MatMut<'_>,
+    panel: &PanelL<E>,
+    mut u: Matrix<E>,
+    a: &mut MatMut<'_, E>,
     range: ColRange,
 ) {
     solve_u(panel, &mut u);

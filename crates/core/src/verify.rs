@@ -60,6 +60,21 @@ pub fn verify_with(
     fill: &(dyn Fn(usize, usize) -> f64 + Sync),
     x: &[f64],
 ) -> Result<Residuals, HplError> {
+    verify_with_eps(grid, n, nb, fill, x, f64::EPSILON)
+}
+
+/// [`verify_with`] with a caller-supplied unit roundoff: a pure `f32`
+/// factorization is judged against `f32` accuracy
+/// ([`hpl_blas::Element::UNIT_ROUNDOFF`]), while mixed-precision
+/// refinement must recover `f64::EPSILON`-scaled accuracy to pass.
+pub fn verify_with_eps(
+    grid: &Grid,
+    n: usize,
+    nb: usize,
+    fill: &(dyn Fn(usize, usize) -> f64 + Sync),
+    x: &[f64],
+    eps: f64,
+) -> Result<Residuals, HplError> {
     assert_eq!(x.len(), n);
     // Regenerate this rank's original slice.
     let a = LocalMatrix::generate_with(n, nb, grid, fill);
@@ -91,7 +106,6 @@ pub fn verify_with(
     hpl_comm::allreduce(grid.col(), Op::Max, &mut local_max)?;
     let a_inf = local_max[0];
 
-    let eps = f64::EPSILON;
     let scaled = err_inf / (eps * (a_inf * x_inf + b_inf) * n as f64);
     Ok(Residuals {
         err_inf,

@@ -231,3 +231,90 @@ fn nb_larger_than_n() {
     cfg.seed = 41;
     run_and_check(&cfg);
 }
+
+#[test]
+fn f32_pipeline_solves_to_f32_accuracy() {
+    use rhpl_core::{run_hpl_with_element, verify_with_eps};
+    let mut cfg = HplConfig::new(96, 16, 2, 2);
+    cfg.seed = 47;
+    let gen = MatGen::new(cfg.seed, cfg.n);
+    let results = Universe::run(cfg.ranks(), |comm| {
+        let r =
+            run_hpl_with_element::<f32>(comm, &cfg, &|i, j| gen.entry(i, j)).expect("nonsingular");
+        assert_eq!(r.element, "f32");
+        r.x
+    });
+    for x in &results[1..] {
+        assert_eq!(x, &results[0], "solution must be replicated identically");
+    }
+    // The f32 factorization passes the classic gate scaled by f32's unit
+    // roundoff — single-precision accuracy, judged as single precision.
+    let x = results[0].clone();
+    let res = Universe::run(cfg.ranks(), |comm| {
+        let grid = Grid::new(comm, cfg.p, cfg.q, GridOrder::ColumnMajor);
+        let gen = MatGen::new(47, 96);
+        verify_with_eps(
+            &grid,
+            96,
+            16,
+            &|i, j| gen.entry(i, j),
+            &x,
+            f32::EPSILON as f64,
+        )
+        .expect("verification collectives")
+    });
+    assert!(
+        res[0].passed(),
+        "f32 scaled residual {} >= 16",
+        res[0].scaled
+    );
+}
+
+#[test]
+fn f32_schedules_bitwise_identical() {
+    use rhpl_core::run_hpl_with_element;
+    let mut base = HplConfig::new(120, 12, 2, 2);
+    base.seed = 53;
+    let mut sols = Vec::new();
+    for schedule in [
+        Schedule::Simple,
+        Schedule::LookAhead,
+        Schedule::SplitUpdate { frac: 0.5 },
+    ] {
+        let mut cfg = base.clone();
+        cfg.schedule = schedule;
+        let gen = MatGen::new(cfg.seed, cfg.n);
+        let results = Universe::run(cfg.ranks(), |comm| {
+            run_hpl_with_element::<f32>(comm, &cfg, &|i, j| gen.entry(i, j))
+                .expect("nonsingular")
+                .x
+        });
+        sols.push((schedule, results[0].clone()));
+    }
+    let (_, ref first) = sols[0];
+    for (schedule, x) in &sols[1..] {
+        assert_eq!(x, first, "{schedule:?} must be bitwise identical in f32");
+    }
+}
+
+#[test]
+fn factorize_returns_full_pivot_log() {
+    let cfg = HplConfig::new(64, 16, 2, 2);
+    let logs = Universe::run(cfg.ranks(), |comm| {
+        let grid = Grid::new(comm, cfg.p, cfg.q, cfg.order);
+        let gen = MatGen::new(cfg.seed, cfg.n);
+        let out =
+            rhpl_core::factorize::<f32>(&grid, &cfg, &|i, j| gen.entry(i, j)).expect("nonsingular");
+        out.pivot_log
+    });
+    for log in &logs {
+        // One pivot per factored global column, always from the trailing rows.
+        assert_eq!(log.len(), cfg.n);
+        for (k, &p) in log.iter().enumerate() {
+            assert!(p as usize >= k && (p as usize) < cfg.n, "pivot {p} at {k}");
+        }
+    }
+    for log in &logs[1..] {
+        assert_eq!(log, &logs[0], "pivot log must be replicated identically");
+    }
+}

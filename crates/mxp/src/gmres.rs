@@ -45,21 +45,17 @@ pub fn solve_gmres(op: &DenseOp, lu: &LowLu, b: &[f64], params: GmresParams) -> 
     let m = params.restart.clamp(1, n);
     // Initial guess from the low-precision solve (as in HPL-MxP).
     let mut x = lu.apply(b);
-    let mut history = vec![scaled_residual(op, b, &x)];
+    let mut last = scaled_residual(op, b, &x);
+    let mut history = vec![last];
     let b_nrm = nrm2(b).max(f64::MIN_POSITIVE);
 
     'cycles: for _ in 0..params.max_cycles {
-        if *history
-            .last()
-            .expect("history is seeded with the initial residual")
-            < 16.0
-            && {
-                let mut ax = vec![0.0; n];
-                op.matvec(&x, &mut ax);
-                let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
-                nrm2(&r) / b_nrm < params.tol
-            }
-        {
+        if last < 16.0 && {
+            let mut ax = vec![0.0; n];
+            op.matvec(&x, &mut ax);
+            let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+            nrm2(&r) / b_nrm < params.tol
+        } {
             break;
         }
         // r0 = b - A x.
@@ -143,26 +139,18 @@ pub fn solve_gmres(op: &DenseOp, lu: &LowLu, b: &[f64], params: GmresParams) -> 
         for (xi, ci) in x.iter_mut().zip(corr) {
             *xi += ci;
         }
-        history.push(scaled_residual(op, b, &x));
-        if history.len() > 2 {
-            let last = *history
-                .last()
-                .expect("history is seeded with the initial residual");
-            let prev = history[history.len() - 2];
-            if last < 16.0 && last >= prev * 0.99 {
-                // Converged to working accuracy.
-                break 'cycles;
-            }
+        let prev = last;
+        last = scaled_residual(op, b, &x);
+        history.push(last);
+        if history.len() > 2 && last < 16.0 && last >= prev * 0.99 {
+            // Converged to working accuracy.
+            break 'cycles;
         }
     }
-    let converged = *history
-        .last()
-        .expect("history is seeded with the initial residual")
-        < 16.0;
     MxpReport {
         x,
         history,
-        converged,
+        converged: last < 16.0,
     }
 }
 

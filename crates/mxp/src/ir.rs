@@ -4,6 +4,8 @@
 //! runs entirely in low precision; the O(n^2) refinement recovers full
 //! double-precision accuracy.
 
+use rhpl_core::HplError;
+
 use crate::low::{sgetrf, slu_solve, SMatrix};
 
 /// Dense `f64` operator used for the high-precision residuals. The matrix
@@ -71,8 +73,9 @@ pub struct LowLu {
 }
 
 impl LowLu {
-    /// Factors the demoted operator (`Err(col)` on an exactly-zero pivot).
-    pub fn factor(op: &DenseOp, nb: usize) -> Result<Self, usize> {
+    /// Factors the demoted operator ([`HplError::Singular`] on an
+    /// exactly-zero pivot).
+    pub fn factor(op: &DenseOp, nb: usize) -> Result<Self, HplError> {
         let mut lu = op.to_f32();
         let mut piv = vec![0usize; op.n()];
         sgetrf(&mut lu, &mut piv, nb)?;
@@ -117,14 +120,11 @@ pub fn solve_ir(op: &DenseOp, lu: &LowLu, b: &[f64], max_iters: usize) -> MxpRep
     let n = op.n();
     assert_eq!(b.len(), n);
     let mut x = lu.apply(b);
-    let mut history = vec![scaled_residual(op, b, &x)];
+    let mut last = scaled_residual(op, b, &x);
+    let mut history = vec![last];
     let mut r = vec![0.0f64; n];
     for _ in 0..max_iters {
-        if *history
-            .last()
-            .expect("history is seeded with the initial residual")
-            < 16.0
-        {
+        if last < 16.0 {
             break;
         }
         op.matvec(&x, &mut r);
@@ -135,16 +135,13 @@ pub fn solve_ir(op: &DenseOp, lu: &LowLu, b: &[f64], max_iters: usize) -> MxpRep
         for (xi, di) in x.iter_mut().zip(d) {
             *xi += di;
         }
-        history.push(scaled_residual(op, b, &x));
+        last = scaled_residual(op, b, &x);
+        history.push(last);
     }
-    let converged = *history
-        .last()
-        .expect("history is seeded with the initial residual")
-        < 16.0;
     MxpReport {
         x,
         history,
-        converged,
+        converged: last < 16.0,
     }
 }
 

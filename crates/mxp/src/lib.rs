@@ -9,11 +9,16 @@
 //!
 //! Scope note (see DESIGN.md): the paper's *contribution* is the FP64 HPL
 //! pipeline reproduced in `rhpl-core`; this crate implements the sibling
-//! benchmark's numerical core as a single-process solver so the
-//! mixed-precision claims are demonstrable:
+//! benchmark on top of it:
 //!
-//! * [`low`] — `f32` blocked LU (SGETRF) and triangular solves: the
-//!   O(n^3) work at low precision.
+//! * [`dist`] — the distributed benchmark: the *full* `rhpl-core`
+//!   pipeline (look-ahead, split update, LBCAST, threaded FACT) runs in
+//!   `f32` via [`rhpl_core::factorize`], then replicated `f64` refinement
+//!   sweeps replay the pivot log against the resident factors until the
+//!   solution passes HPL's residual gate at double accuracy.
+//! * [`low`] — single-process `f32` blocked LU (SGETRF) and triangular
+//!   solves: the O(n^3) work at low precision, kept as the shared-memory
+//!   oracle for the distributed path.
 //! * [`ir`] — classic iterative refinement: `x += M^{-1}(b - A x)` with
 //!   `f64` residuals, reaching double accuracy in a handful of O(n^2)
 //!   sweeps.
@@ -27,10 +32,12 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::too_many_arguments)]
 
+pub mod dist;
 pub mod gmres;
 pub mod ir;
 pub mod low;
 
+pub use dist::{replay_solve, solve_mxp, solve_mxp_with, MxpOutput, MxpParams};
 pub use gmres::{solve_gmres, GmresParams};
 pub use ir::{scaled_residual, solve_ir, DenseOp, LowLu, MxpReport};
 pub use low::{sgetrf, slu_solve, SMatrix};

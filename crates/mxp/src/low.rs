@@ -3,6 +3,8 @@
 //! kernels in `hpl-blas`, with a wider microkernel (twice as many `f32`
 //! lanes fit a vector register).
 
+use rhpl_core::HplError;
+
 /// Column-major `f32` matrix owned storage (lda == rows).
 #[derive(Clone, Debug)]
 pub struct SMatrix {
@@ -164,9 +166,10 @@ fn sgemm_sub(
 }
 
 /// Blocked `f32` LU with partial pivoting (SGETRF). Pivots (0-based, as
-/// "swap row k with `piv[k]`") land in `piv`; returns `Err(col)` on an
-/// exactly-zero pivot.
-pub fn sgetrf(a: &mut SMatrix, piv: &mut [usize], nb: usize) -> Result<(), usize> {
+/// "swap row k with `piv[k]`") land in `piv`; an exactly-zero pivot
+/// surfaces as [`HplError::Singular`] naming the offending column, the
+/// same taxonomy the distributed pipeline uses.
+pub fn sgetrf(a: &mut SMatrix, piv: &mut [usize], nb: usize) -> Result<(), HplError> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "sgetrf: square matrices only");
     assert!(piv.len() >= n);
@@ -188,7 +191,7 @@ pub fn sgetrf(a: &mut SMatrix, piv: &mut [usize], nb: usize) -> Result<(), usize
             }
             piv[k] = best;
             if a.get(best, k) == 0.0 {
-                return Err(k);
+                return Err(HplError::Singular { col: k });
             }
             if best != k {
                 for j in 0..n {
@@ -356,6 +359,9 @@ mod tests {
     fn singular_detected() {
         let mut a = SMatrix::zeros(4, 4);
         let mut piv = vec![0usize; 4];
-        assert_eq!(sgetrf(&mut a, &mut piv, 2), Err(0));
+        assert_eq!(
+            sgetrf(&mut a, &mut piv, 2),
+            Err(HplError::Singular { col: 0 })
+        );
     }
 }

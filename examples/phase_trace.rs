@@ -23,7 +23,7 @@ fn main() {
     );
     let logs = Universe::run(cfg.ranks(), |comm| {
         let grid = Grid::new(comm, cfg.p, cfg.q, GridOrder::ColumnMajor);
-        let mut a = LocalMatrix::generate(cfg.n, cfg.nb, &grid, cfg.seed);
+        let mut a = LocalMatrix::<f64>::generate(cfg.n, cfg.nb, &grid, cfg.seed);
         let pool = hpl_threads::Pool::new(1);
         let mut log = Vec::new();
         let me = (grid.myrow(), grid.mycol());

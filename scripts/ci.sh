@@ -27,6 +27,15 @@ echo "== [kernel-matrix] cargo test -q under each pinned DGEMM kernel"
 RHPL_KERNEL=scalar cargo test -q
 RHPL_KERNEL=simd cargo test -q
 
+echo "== [mxp-matrix] HPL-MxP suites under each pinned DGEMM kernel"
+RHPL_KERNEL=scalar cargo test -q -p hpl-mxp -p hpl-blas -p rhpl-cli
+RHPL_KERNEL=simd cargo test -q -p hpl-mxp -p hpl-blas -p rhpl-cli
+
+echo "== [mxp-matrix] process-per-rank --mxp launch over localhost TCP"
+cargo build --release -p rhpl-cli
+./target/release/rhpl --sample > target/HPL-mxp.dat
+RHPL_KERNEL=simd ./target/release/rhpl launch target/HPL-mxp.dat --ranks 4 --transport tcp --mxp
+
 echo "== [mailbox-matrix] cargo test -q under each mailbox implementation"
 RHPL_MAILBOX=lockfree cargo test -q
 RHPL_MAILBOX=mutex cargo test -q

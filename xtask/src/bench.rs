@@ -147,10 +147,14 @@ HPL.out      output file name (if any)
 struct RunMetrics {
     tv: String,
     schedule: String,
+    /// `"hpl"` (classic f64) or `"mxp"` (f32 factors + f64 refinement).
+    mode: String,
     iterations: f64,
     seq_hash: String,
     passed: bool,
     gflops: f64,
+    /// f32 factorization rate; 0 outside `--mxp` (band-gated only when set).
+    fact_gflops: f64,
     wall_seconds: f64,
     /// ns per iteration, indexed like [`PHASES`].
     phase_ns_per_iter: Vec<f64>,
@@ -355,46 +359,64 @@ fn measure(root: &Path, extra_env: Option<&[(&str, &str)]>) -> Result<Vec<RunMet
     std::fs::create_dir_all(&work).map_err(|e| format!("cannot create {}: {e}", work.display()))?;
     let dat = work.join("HPL.dat");
     std::fs::write(&dat, BENCH_DAT).map_err(|e| format!("cannot write {}: {e}", dat.display()))?;
-    let out_json = work.join("BENCH_hpl.json");
 
-    let mut cmd = Command::new(root.join("target/release/rhpl"));
-    cmd.arg(&dat)
-        .args([
-            "--seed",
-            "42",
-            "--split-frac",
-            "0.5",
-            "--threads",
-            "2",
-            "--trace-json",
-        ])
-        .arg(&out_json)
-        .current_dir(&work);
-    for (k, v) in extra_env.unwrap_or(&[]) {
-        cmd.env(k, v);
-    }
-    let out = cmd
-        .output()
-        .map_err(|e| format!("cannot spawn rhpl: {e}"))?;
-    if !out.status.success() {
-        return Err(format!(
-            "rhpl exited with {}: {}",
-            out.status,
-            String::from_utf8_lossy(&out.stderr)
-        ));
-    }
+    // The classic sweep and the `--mxp` sweep are separate invocations
+    // (the mode is per-process); their runs concatenate in order, so the
+    // baseline pins both the f64 pipeline and the mixed-precision one.
+    let mut metrics = Vec::new();
+    for mxp in [false, true] {
+        let out_json = work.join(if mxp {
+            "BENCH_mxp.json"
+        } else {
+            "BENCH_hpl.json"
+        });
+        let mut cmd = Command::new(root.join("target/release/rhpl"));
+        cmd.arg(&dat)
+            .args([
+                "--seed",
+                "42",
+                "--split-frac",
+                "0.5",
+                "--threads",
+                "2",
+                "--trace-json",
+            ])
+            .arg(&out_json)
+            .current_dir(&work);
+        if mxp {
+            cmd.arg("--mxp");
+        }
+        for (k, v) in extra_env.unwrap_or(&[]) {
+            cmd.env(k, v);
+        }
+        let out = cmd
+            .output()
+            .map_err(|e| format!("cannot spawn rhpl: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "rhpl exited with {}: {}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr)
+            ));
+        }
 
-    let text = std::fs::read_to_string(&out_json)
-        .map_err(|e| format!("cannot read {}: {e}", out_json.display()))?;
-    let doc = json::parse(&text).map_err(|e| format!("invalid BENCH_hpl.json: {e}"))?;
-    if doc.get("schema").and_then(Value::str) != Some("rhpl-bench-v1") {
-        return Err("BENCH_hpl.json has an unexpected schema".into());
+        let text = std::fs::read_to_string(&out_json)
+            .map_err(|e| format!("cannot read {}: {e}", out_json.display()))?;
+        let doc = json::parse(&text).map_err(|e| format!("invalid BENCH_hpl.json: {e}"))?;
+        if doc.get("schema").and_then(Value::str) != Some("rhpl-bench-v1") {
+            return Err("BENCH_hpl.json has an unexpected schema".into());
+        }
+        let runs = doc
+            .get("runs")
+            .and_then(Value::arr)
+            .ok_or("BENCH_hpl.json has no runs")?;
+        metrics.extend(
+            runs.iter()
+                .map(run_metrics)
+                .collect::<Result<Vec<_>, _>>()?,
+        );
     }
-    let runs = doc
-        .get("runs")
-        .and_then(Value::arr)
-        .ok_or("BENCH_hpl.json has no runs")?;
-    runs.iter().map(run_metrics).collect()
+    Ok(metrics)
 }
 
 /// Extracts one run's gated metrics from its `BENCH_hpl.json` entry.
@@ -424,10 +446,13 @@ fn run_metrics(run: &Value) -> Result<RunMetrics, String> {
     Ok(RunMetrics {
         tv: s("tv")?,
         schedule: s("schedule")?,
+        // Absent in pre-mxp baselines: those recorded classic runs only.
+        mode: s("mode").unwrap_or_else(|_| "hpl".into()),
         iterations: iters,
         seq_hash: s("seq_hash")?,
         passed: run.get("passed").and_then(Value::bool).unwrap_or(false),
         gflops: n("gflops")?,
+        fact_gflops: n("fact_gflops").unwrap_or(0.0),
         wall_seconds: n("wall_seconds")?,
         phase_ns_per_iter,
         overlap_efficiency: n("overlap_efficiency")?,
@@ -512,6 +537,9 @@ fn compare(measured: &[RunMetrics], overhead: Option<Overhead>, baseline: &Value
                 b.schedule, m.schedule
             ));
         }
+        if m.mode != b.mode {
+            fails.push(format!("[{id}] mode changed: {} -> {}", b.mode, m.mode));
+        }
         if m.iterations != b.iterations {
             fails.push(format!(
                 "[{id}] iterations {} != baseline {}",
@@ -538,6 +566,15 @@ fn compare(measured: &[RunMetrics], overhead: Option<Overhead>, baseline: &Value
                 (b.gflops / m.gflops.max(1e-12)).round(),
                 b.gflops
             ));
+        }
+        if b.fact_gflops > 0.0 {
+            let fact_floor = b.fact_gflops * gate.gflops_min_frac;
+            if m.fact_gflops < fact_floor {
+                fails.push(format!(
+                    "[{id}] {} fact_gflops {:.3} below {:.3} (baseline {:.3})",
+                    m.mode, m.fact_gflops, fact_floor, b.fact_gflops
+                ));
+            }
         }
         let wall_cap = b.wall_seconds * gate.wall_max_factor;
         if m.wall_seconds > wall_cap {
@@ -602,8 +639,15 @@ fn compare(measured: &[RunMetrics], overhead: Option<Overhead>, baseline: &Value
 fn report(measured: &[RunMetrics], failures: &[String]) -> i32 {
     for m in measured {
         println!(
-            "xtask bench: [{}] {} gflops={:.3} wall={:.4}s overlap={:.3} seq={}",
-            m.tv, m.schedule, m.gflops, m.wall_seconds, m.overlap_efficiency, m.seq_hash
+            "xtask bench: [{}] {} mode={} gflops={:.3} fact={:.3} wall={:.4}s overlap={:.3} seq={}",
+            m.tv,
+            m.schedule,
+            m.mode,
+            m.gflops,
+            m.fact_gflops,
+            m.wall_seconds,
+            m.overlap_efficiency,
+            m.seq_hash
         );
     }
     if failures.is_empty() {
@@ -667,16 +711,19 @@ fn baseline_json(measured: &[RunMetrics], o: Overhead) -> String {
             .collect::<Vec<_>>()
             .join(", ");
         out.push_str(&format!(
-            "    {{\"tv\": \"{}\", \"schedule\": \"{}\", \"iterations\": [{}],\n     \
-             \"seq_hash\": \"{}\", \"passed\": {}, \"gflops\": {}, \"wall_seconds\": {},\n     \
+            "    {{\"tv\": \"{}\", \"schedule\": \"{}\", \"mode\": \"{}\", \"iterations\": [{}],\n     \
+             \"seq_hash\": \"{}\", \"passed\": {}, \"gflops\": {}, \"fact_gflops\": {}, \
+             \"wall_seconds\": {},\n     \
              \"overlap_efficiency\": {}, \"phase_totals\": {{{}}}}}{}\n",
             m.tv,
             m.schedule,
+            m.mode,
             // Placeholder rows: only the array length matters when read back.
             vec!["{}"; m.iterations as usize].join(", "),
             m.seq_hash,
             m.passed,
             m.gflops,
+            m.fact_gflops,
             m.wall_seconds,
             m.overlap_efficiency,
             phases,
@@ -695,10 +742,12 @@ mod tests {
         RunMetrics {
             tv: "WC102R16".into(),
             schedule: "simple".into(),
+            mode: "hpl".into(),
             iterations: 6.0,
             seq_hash: seq.into(),
             passed: true,
             gflops,
+            fact_gflops: 0.0,
             wall_seconds: 0.01,
             phase_ns_per_iter: vec![1e6, 5e5, 1e6, 1e6, 1e4, update_ns, 1e5],
             overlap_efficiency: 0.0,
